@@ -1,0 +1,51 @@
+//! Criterion benches for the broadcast simulator (experiment E2/E3's
+//! microbenchmark companion): how fast the simulation itself runs, and
+//! the adaptive controller's planning cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::{LinkSpec, SimTime};
+use wdoc_dist::{broadcast_uniform, predict_completion, star_uniform, AdaptiveController};
+
+fn bench_broadcast_sim(c: &mut Criterion) {
+    let link = LinkSpec::new(1_000_000, SimTime::from_millis(20));
+    let mut g = c.benchmark_group("broadcast_sim");
+    for n in [64usize, 512] {
+        g.bench_with_input(BenchmarkId::new("tree_m3", n), &n, |b, &n| {
+            b.iter(|| broadcast_uniform(black_box(n), 3, 8_000_000, link));
+        });
+        g.bench_with_input(BenchmarkId::new("star", n), &n, |b, &n| {
+            b.iter(|| star_uniform(black_box(n), 8_000_000, link));
+        });
+    }
+    g.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let link = LinkSpec::isdn();
+    let mut g = c.benchmark_group("adaptive_controller");
+    for n in [64u64, 1024, 16_384] {
+        g.bench_with_input(BenchmarkId::new("predict", n), &n, |b, &n| {
+            b.iter(|| predict_completion(black_box(n), 3, 8_000_000, link));
+        });
+        g.bench_with_input(BenchmarkId::new("best_m", n), &n, |b, &n| {
+            let ctl = AdaptiveController::default();
+            b.iter(|| ctl.best_m(black_box(n), 8_000_000, link));
+        });
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    // Single-core CI box: short, deterministic-enough runs.
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_broadcast_sim, bench_adaptive
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benches for the virtual library (experiment E9's
+//! microbenchmark companion): inverted index vs linear scan, publish
+//! cost, and ledger operations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdoc_core::ids::{CourseId, ScriptName, UserId};
+use wdoc_library::{Catalog, CatalogEntry, CheckoutLedger};
+
+const VOCAB: [&str; 16] = [
+    "introduction",
+    "computer",
+    "engineering",
+    "multimedia",
+    "computing",
+    "drawing",
+    "database",
+    "network",
+    "distance",
+    "learning",
+    "virtual",
+    "university",
+    "java",
+    "html",
+    "video",
+    "audio",
+];
+
+fn build(n: usize) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut c = Catalog::new();
+    for i in 0..n {
+        let kw: Vec<String> = (0..4)
+            .map(|_| VOCAB[rng.gen_range(0..VOCAB.len())].to_owned())
+            .collect();
+        c.publish(CatalogEntry {
+            course: CourseId::new(format!("C{i}")),
+            title: format!("{} {}", kw[0], kw[1]),
+            instructor: UserId::new(format!("prof{}", i % 20)),
+            keywords: kw,
+            script: ScriptName::new(format!("doc-{i}")),
+            pages: vec!["index.html".into()],
+        });
+    }
+    c
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("library_search");
+    for n in [1_000usize, 10_000] {
+        let catalog = build(n);
+        g.bench_with_input(BenchmarkId::new("indexed", n), &catalog, |b, cat| {
+            b.iter(|| cat.search_keywords(black_box("multimedia computing")));
+        });
+        g.bench_with_input(BenchmarkId::new("linear", n), &catalog, |b, cat| {
+            b.iter(|| cat.search_keywords_linear(black_box("multimedia computing")));
+        });
+        g.bench_with_input(BenchmarkId::new("by_instructor", n), &catalog, |b, cat| {
+            b.iter(|| cat.search_instructor(black_box(&UserId::new("prof7"))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_publish_and_ledger(c: &mut Criterion) {
+    let mut g = c.benchmark_group("library_mutation");
+    g.bench_function("publish_1k", |b| {
+        b.iter(|| build(black_box(1_000)));
+    });
+    g.bench_function("checkout_checkin_cycle", |b| {
+        let mut ledger = CheckoutLedger::new();
+        let student = UserId::new("ann");
+        let doc = ScriptName::new("mm-1");
+        let mut t = 0u64;
+        b.iter(|| {
+            ledger.check_out(&student, &doc, black_box("p.html"), t);
+            ledger.check_in(&student, &doc, "p.html", t + 1);
+            t += 2;
+        });
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    // Single-core CI box: short, deterministic-enough runs.
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_search, bench_publish_and_ledger
+}
+criterion_main!(benches);

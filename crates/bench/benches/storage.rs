@@ -1,0 +1,111 @@
+//! Criterion benches for the storage substrates: relstore point
+//! operations, index vs scan selection, and BLOB store throughput
+//! (experiment E4/E8's microbenchmark companion).
+
+use blobstore::{BlobStore, MediaKind};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use relstore::{ColumnType, Database, Predicate, TableSchema, Value};
+
+fn seeded_db(rows: i64) -> Database {
+    let db = Database::new();
+    db.create_table(
+        TableSchema::builder("doc")
+            .column("id", ColumnType::Int)
+            .column("author", ColumnType::Text)
+            .column("title", ColumnType::Text)
+            .primary_key(&["id"])
+            .index("by_author", &["author"], false)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let txn = db.begin();
+    for i in 0..rows {
+        txn.insert(
+            "doc",
+            vec![
+                Value::Int(i),
+                Value::from(format!("author{}", i % 50)),
+                Value::from(format!("Lecture {i} on multimedia databases")),
+            ],
+        )
+        .unwrap();
+    }
+    txn.commit().unwrap();
+    db
+}
+
+fn bench_relstore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relstore");
+    g.bench_function("insert_1k_rows", |b| {
+        b.iter(|| seeded_db(black_box(1_000)));
+    });
+    for rows in [1_000i64, 10_000] {
+        let db = seeded_db(rows);
+        g.bench_with_input(BenchmarkId::new("select_indexed_eq", rows), &db, |b, db| {
+            b.iter(|| {
+                db.with_txn(|t| t.select("doc", &Predicate::eq("author", "author7")))
+                    .unwrap()
+            });
+        });
+        g.bench_with_input(
+            BenchmarkId::new("select_scan_contains", rows),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    db.with_txn(|t| {
+                        t.select("doc", &Predicate::Contains("title".into(), "77".into()))
+                    })
+                    .unwrap()
+                });
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("point_get_by_pk", rows), &db, |b, db| {
+            b.iter(|| {
+                db.with_txn(|t| t.select("doc", &Predicate::eq("id", rows / 2)))
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_blobstore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blobstore");
+    let payload = vec![7u8; 64 * 1024];
+    g.bench_function("store_64k_fresh", |b| {
+        b.iter_with_setup(BlobStore::new, |bs| {
+            bs.store(MediaKind::StillImage, black_box(payload.clone()));
+            bs
+        });
+    });
+    g.bench_function("store_64k_dedup_hit", |b| {
+        let bs = BlobStore::new();
+        bs.store(MediaKind::StillImage, payload.clone());
+        b.iter(|| bs.store(MediaKind::StillImage, black_box(payload.clone())));
+    });
+    g.bench_function("retain_release_cycle", |b| {
+        let bs = BlobStore::new();
+        let meta = bs.store(MediaKind::Audio, payload.clone());
+        b.iter(|| {
+            bs.retain(black_box(meta.id));
+            bs.release(meta.id)
+        });
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    // Single-core CI box: short, deterministic-enough runs.
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_relstore, bench_blobstore
+}
+criterion_main!(benches);

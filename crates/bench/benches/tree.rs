@@ -1,0 +1,64 @@
+//! Criterion benches for the m-ary tree math (experiment E1's
+//! microbenchmark companion).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::StationId;
+use wdoc_dist::{child_position, parent_position, BroadcastTree};
+
+fn bench_formulas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_formulas");
+    for m in [2u64, 3, 8] {
+        g.bench_with_input(BenchmarkId::new("parent_sweep_100k", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for k in 2..100_000u64 {
+                    acc = acc.wrapping_add(parent_position(black_box(k), m));
+                }
+                acc
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("child_sweep_100k", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for n in 1..100_000u64 {
+                    acc = acc.wrapping_add(child_position(black_box(n), 1, m));
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast_tree");
+    for n in [1_000usize, 100_000] {
+        let ids: Vec<StationId> = (0..n as u32).map(StationId).collect();
+        g.bench_with_input(BenchmarkId::new("construct", n), &ids, |b, ids| {
+            b.iter(|| BroadcastTree::new(black_box(ids.clone()), 3));
+        });
+        let tree = BroadcastTree::new(ids, 3);
+        g.bench_with_input(BenchmarkId::new("depth_of_last", n), &tree, |b, tree| {
+            b.iter(|| tree.depth_of(black_box(tree.len() as u64)));
+        });
+        g.bench_with_input(BenchmarkId::new("children_of_root", n), &tree, |b, tree| {
+            b.iter(|| tree.children_of(black_box(1)));
+        });
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    // Single-core CI box: short, deterministic-enough runs.
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_formulas, bench_tree_ops
+}
+criterion_main!(benches);

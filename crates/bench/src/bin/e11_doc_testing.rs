@@ -1,0 +1,188 @@
+//! E11 — automated document testing and course complexity (§1).
+//!
+//! Claim: "How do we estimate the complexity of a course and how do we
+//! perform a white box or black box testing of a multimedia
+//! presentation are research issues that we have solved partially."
+//!
+//! Sweep: courses with injected dangling-link rates ∈ {0, 10, 30, 60}%
+//! at three sizes. For each, the white-box tester runs over every
+//! implementation; we report findings (and verify the found dangling
+//! count matches the injected ground truth), test-record sizes, time
+//! per document, and the complexity score distribution.
+//!
+//! Expected shape: findings scale linearly with the injection rate and
+//! zero-defect courses test clean; complexity score grows with course
+//! size; test time is linear in pages + links.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+use wdoc_bench::emit;
+use wdoc_core::complexity::{estimate, PageGraph};
+use wdoc_core::ids::UserId;
+use wdoc_core::testing::{global_test, white_box_test};
+use wdoc_core::WebDocDb;
+use wdoc_workload::{generate_course, CourseSpec, MediaMix};
+
+#[derive(Serialize)]
+struct Row {
+    lectures: usize,
+    pages_per_lecture: usize,
+    injected_percent: u32,
+    documents_tested: usize,
+    bad_urls_found: usize,
+    injected_truth: usize,
+    missing_objects: usize,
+    redundant_objects: usize,
+    clean_documents: usize,
+    mean_complexity: f64,
+    us_per_document: f64,
+}
+
+fn main() {
+    println!("E11: white-box testing + complexity over defect-injected courses");
+    println!(
+        "{:>4} {:>6} {:>8} {:>6} {:>6} {:>6} {:>8} {:>6} {:>11} {:>8}",
+        "lec",
+        "pages",
+        "inject%",
+        "docs",
+        "bad",
+        "truth",
+        "missing",
+        "clean",
+        "complexity",
+        "us/doc"
+    );
+    for (lectures, pages) in [(4usize, 4usize), (8, 8), (16, 12)] {
+        for injected in [0u32, 10, 30, 60] {
+            let db = WebDocDb::new();
+            let mut rng = StdRng::seed_from_u64(u64::from(injected) * 100 + lectures as u64);
+            let spec = CourseSpec {
+                name: format!("c{lectures}x{pages}i{injected}"),
+                instructor: "shih".into(),
+                lectures,
+                pages_per_lecture: pages,
+                media_per_lecture: 3,
+                programs_per_lecture: 1,
+                media_scale: 4096,
+                tested_percent: 0,
+                broken_link_percent: injected,
+            };
+            let course =
+                generate_course(&db, &mut rng, &spec, &MediaMix::courseware()).expect("generate");
+
+            // Ground truth from the page graphs themselves.
+            let mut truth = 0usize;
+            let mut complexity_sum = 0.0;
+            for url in &course.urls {
+                let html = db.html_files(url).expect("files");
+                let graph = PageGraph::build(&html);
+                truth += graph.dangling_links().len();
+                let programs = db.program_files(url).expect("programs");
+                let media = db.implementation_resources(url).expect("media");
+                complexity_sum += estimate(&html, &programs, &media, "page0.html").score();
+            }
+
+            let qa = UserId::new("huang");
+            let start = Instant::now();
+            let mut bad = 0usize;
+            let mut missing = 0usize;
+            let mut redundant = 0usize;
+            let mut clean = 0usize;
+            for (i, url) in course.urls.iter().enumerate() {
+                let out = white_box_test(&db, url, &format!("wb-{i}"), &qa, i as u64)
+                    .expect("tester runs");
+                bad += out.report.bad_urls.len();
+                missing += out.report.missing_objects.len();
+                redundant += out.report.redundant_objects.len();
+                if out.is_clean() {
+                    clean += 1;
+                }
+            }
+            let elapsed = start.elapsed();
+            assert_eq!(bad, truth, "tester must find exactly the injected defects");
+
+            let row = Row {
+                lectures,
+                pages_per_lecture: pages,
+                injected_percent: injected,
+                documents_tested: course.urls.len(),
+                bad_urls_found: bad,
+                injected_truth: truth,
+                missing_objects: missing,
+                redundant_objects: redundant,
+                clean_documents: clean,
+                mean_complexity: complexity_sum / course.urls.len() as f64,
+                us_per_document: elapsed.as_secs_f64() * 1e6 / course.urls.len() as f64,
+            };
+            println!(
+                "{:>4} {:>6} {:>8} {:>6} {:>6} {:>6} {:>8} {:>6} {:>11.1} {:>8.1}",
+                row.lectures,
+                row.pages_per_lecture,
+                row.injected_percent,
+                row.documents_tested,
+                row.bad_urls_found,
+                row.injected_truth,
+                row.missing_objects,
+                row.clean_documents,
+                row.mean_complexity,
+                row.us_per_document
+            );
+            emit("e11", &row);
+        }
+        println!();
+    }
+
+    // Global scope: cross-document link verification over one whole
+    // course database ("Testing scope: local or global", §3).
+    println!("E11b: global cross-document link check");
+    for injected in [0u32, 30] {
+        let db = WebDocDb::new();
+        let mut rng = StdRng::seed_from_u64(500 + u64::from(injected));
+        let spec = CourseSpec {
+            name: "global-course".into(),
+            instructor: "shih".into(),
+            lectures: 10,
+            pages_per_lecture: 5,
+            media_per_lecture: 2,
+            programs_per_lecture: 1,
+            media_scale: 4096,
+            tested_percent: 0,
+            broken_link_percent: injected,
+        };
+        generate_course(&db, &mut rng, &spec, &MediaMix::courseware()).expect("generate");
+        let outcomes = global_test(&db, &UserId::new("huang"), 1).expect("global test");
+        let bad: usize = outcomes.iter().map(|o| o.report.bad_urls.len()).sum();
+        let checked: usize = outcomes
+            .iter()
+            .map(|o| o.record.messages.len() / 2) // Navigate+Activate pairs
+            .sum();
+        println!(
+            "  inject={injected}%: {} implementations with cross-links, {checked} links checked, {bad} dangling",
+            outcomes.len()
+        );
+        if injected == 0 {
+            assert_eq!(bad, 0, "defect-free course has no dangling cross-links");
+        } else {
+            assert!(bad > 0, "injected cross-document defects must be found");
+        }
+        #[derive(Serialize)]
+        struct GlobalRow {
+            injected_percent: u32,
+            implementations: usize,
+            links_checked: usize,
+            dangling: usize,
+        }
+        emit(
+            "e11b",
+            &GlobalRow {
+                injected_percent: injected,
+                implementations: outcomes.len(),
+                links_checked: checked,
+                dangling: bad,
+            },
+        );
+    }
+}

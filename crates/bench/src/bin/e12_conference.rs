@@ -1,0 +1,74 @@
+//! E12 — live data-conferencing fan-out (§1).
+//!
+//! Claim: the MMU system provides "audio/video communication tools, and
+//! data conferencing tools" and "a number of on-line communication
+//! facilities to fit the limitation of current Internet environment"
+//! (§6). The limitation in question is the speaker's uplink; the
+//! design lever is the same m-ary relay the course distribution uses.
+//!
+//! Sweep: N ∈ {8..256} listeners × strategy ∈ {direct, tree m=2, tree
+//! m=3} with the speaker emitting 2 KB annotation-stroke updates every
+//! 100 ms over 1 MB/s uplinks with 10 ms hops. Reports mean/max
+//! delivery latency and speaker uplink load.
+//!
+//! Expected shape: direct wins at small N (fewer hops); as N grows,
+//! direct delivery time grows linearly with N and *diverges* once the
+//! update rate × roster size exceeds the uplink, while tree latency
+//! grows logarithmically — the crossover is the reason the paper's
+//! architecture relays through student stations.
+
+use netsim::{LinkSpec, Network, SimTime};
+use serde::Serialize;
+use wdoc_bench::emit;
+use wdoc_collab::{Conference, FanoutStrategy};
+
+#[derive(Serialize)]
+struct Row {
+    listeners: usize,
+    strategy: String,
+    mean_latency_ms: f64,
+    max_latency_ms: f64,
+    speaker_tx_kb: f64,
+}
+
+fn main() {
+    const UPDATES: u64 = 20;
+    const UPDATE_BYTES: u64 = 2_000;
+    let interval = SimTime::from_millis(100);
+    let link = LinkSpec::new(1_000_000, SimTime::from_millis(10));
+
+    println!("E12: conference fan-out — 2 KB strokes every 100 ms, 1 MB/s uplinks");
+    println!(
+        "{:>5} {:>8} {:>11} {:>11} {:>12}",
+        "N", "strategy", "mean ms", "max ms", "speaker KB"
+    );
+    for n in [8usize, 16, 32, 64, 128, 256] {
+        for (name, strategy) in [
+            ("direct", FanoutStrategy::Direct),
+            ("m=2", FanoutStrategy::Tree { m: 2 }),
+            ("m=3", FanoutStrategy::Tree { m: 3 }),
+        ] {
+            let (mut net, ids) = Network::uniform(n + 1, link);
+            let conf = Conference::new(ids, strategy);
+            let r = conf.run(&mut net, UPDATES, UPDATE_BYTES, interval);
+            assert_eq!(r.deliveries, UPDATES * n as u64, "no update lost");
+            let row = Row {
+                listeners: n,
+                strategy: name.into(),
+                mean_latency_ms: r.mean_latency_us / 1e3,
+                max_latency_ms: r.max_latency_us as f64 / 1e3,
+                speaker_tx_kb: r.speaker_tx_bytes as f64 / 1e3,
+            };
+            println!(
+                "{:>5} {:>8} {:>11.1} {:>11.1} {:>12.0}",
+                row.listeners,
+                row.strategy,
+                row.mean_latency_ms,
+                row.max_latency_ms,
+                row.speaker_tx_kb
+            );
+            emit("e12", &row);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,68 @@
+//! E2 — pre-broadcast completion time vs fan-out (§4).
+//!
+//! Claim: "With the appropriate selection of m, the propagation of
+//! physical data can be proceeded in an efficient manner, starting from
+//! the instructor station as the root of the m-ary tree."
+//!
+//! Sweep: N ∈ {8..512} stations × strategy ∈ {star, chain(m=1), m=2,
+//! 3, 4, 8} broadcasting one 8 MB lecture over a uniform 1 MB/s, 20 ms
+//! network. Reports completion time, mean arrival, total bytes, and the
+//! busiest station's transmit volume.
+//!
+//! Expected shape: star is linear in N (root uplink serializes all
+//! sends); trees are ~m·log_m N; m ∈ {2..4} wins at every N; chain is
+//! the worst tree.
+
+use netsim::{LinkSpec, SimTime};
+use serde::Serialize;
+use wdoc_bench::emit;
+use wdoc_dist::{broadcast_uniform, star_uniform};
+
+#[derive(Serialize)]
+struct Row {
+    n: usize,
+    strategy: String,
+    completion_s: f64,
+    mean_arrival_s: f64,
+    total_mb: f64,
+    max_station_tx_mb: f64,
+}
+
+fn main() {
+    const OBJECT: u64 = 8_000_000; // one video lecture
+    let link = LinkSpec::new(1_000_000, SimTime::from_millis(20));
+
+    println!("E2: broadcast completion time — 8 MB lecture, 1 MB/s uplinks, 20 ms hops");
+    println!(
+        "{:>5} {:>8} {:>12} {:>12} {:>10} {:>12}",
+        "N", "strategy", "complete(s)", "mean(s)", "total MB", "peak tx MB"
+    );
+    for n in [8usize, 16, 32, 64, 128, 256, 512] {
+        let mut rows: Vec<(String, wdoc_dist::BroadcastReport)> = Vec::new();
+        rows.push(("star".into(), star_uniform(n, OBJECT, link)));
+        for m in [1u64, 2, 3, 4, 8] {
+            rows.push((format!("m={m}"), broadcast_uniform(n, m, OBJECT, link)));
+        }
+        for (strategy, r) in rows {
+            let row = Row {
+                n,
+                strategy: strategy.clone(),
+                completion_s: r.completion.as_secs_f64(),
+                mean_arrival_s: r.mean_arrival().as_secs_f64(),
+                total_mb: r.total_bytes as f64 / 1e6,
+                max_station_tx_mb: r.max_station_tx as f64 / 1e6,
+            };
+            println!(
+                "{:>5} {:>8} {:>12.2} {:>12.2} {:>10.1} {:>12.1}",
+                row.n,
+                row.strategy,
+                row.completion_s,
+                row.mean_arrival_s,
+                row.total_mb,
+                row.max_station_tx_mb
+            );
+            emit("e2", &row);
+        }
+        println!();
+    }
+}

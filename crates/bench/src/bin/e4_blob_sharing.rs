@@ -1,0 +1,104 @@
+//! E4 — BLOB sharing through the class/instance model (§3–§4).
+//!
+//! Claim: "This design allows the BLOBs to be stored in a class. The
+//! BLOBs are shared by different instances instantiated from the class.
+//! … BLOB objects in the same station should be shared as much as
+//! possible among different documents. … This strategy avoids the
+//! abuse of disk storage."
+//!
+//! Sweep: k ∈ {1..64} instances instantiated from one course class
+//! (media-heavy and media-light variants). Reports physical vs logical
+//! BLOB bytes and duplicated structure bytes; the baseline column is
+//! what full duplication (no classes) would cost.
+//!
+//! Expected shape: physical BLOB bytes stay flat in k; baseline grows
+//! linearly; savings approach the course's BLOB fraction.
+
+use blobstore::BlobStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use wdoc_bench::emit;
+use wdoc_core::ObjectManager;
+use wdoc_workload::{generate_sci, payload, CourseSpec, MediaMix};
+
+#[derive(Serialize)]
+struct Row {
+    mix: String,
+    instances: usize,
+    structure_kb: f64,
+    blob_physical_kb: f64,
+    blob_logical_kb: f64,
+    baseline_total_kb: f64,
+    savings_percent: f64,
+}
+
+fn run_mix(mix_name: &str, mix: &MediaMix, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = CourseSpec {
+        name: format!("course-{mix_name}"),
+        instructor: "shih".into(),
+        lectures: 1,
+        pages_per_lecture: 6,
+        media_per_lecture: 4,
+        programs_per_lecture: 2,
+        media_scale: 64, // KB-scale payloads, MB-scale ratios
+        tested_percent: 0,
+        broken_link_percent: 0,
+    };
+    let sci = generate_sci(&mut rng, &spec, mix);
+    // Materialize actual payloads for the structure's media descriptors.
+    let payloads: Vec<_> = sci
+        .media()
+        .iter()
+        .map(|m| (m.kind, payload(rng.gen(), m.size)))
+        .collect();
+
+    for k in [1usize, 2, 4, 8, 16, 32, 64] {
+        let mut mgr = ObjectManager::new(BlobStore::new());
+        mgr.create_instance("original", sci.clone(), payloads.clone())
+            .expect("fresh manager");
+        mgr.declare_class("original", "course-class")
+            .expect("declare");
+        for i in 1..k {
+            mgr.instantiate("course-class", format!("instance-{i}"))
+                .expect("instantiate");
+        }
+        let st = mgr.stats();
+        // Full-duplication baseline: every instance carries its own
+        // structure AND its own copy of every blob.
+        let baseline = k as u64 * (sci.structure_bytes() + st.blob_physical_bytes);
+        let with_sharing = st.structure_bytes + st.blob_physical_bytes;
+        let row = Row {
+            mix: mix_name.into(),
+            instances: k,
+            structure_kb: st.structure_bytes as f64 / 1e3,
+            blob_physical_kb: st.blob_physical_bytes as f64 / 1e3,
+            blob_logical_kb: st.blob_logical_bytes as f64 / 1e3,
+            baseline_total_kb: baseline as f64 / 1e3,
+            savings_percent: (1.0 - with_sharing as f64 / baseline as f64) * 100.0,
+        };
+        println!(
+            "{:>12} {:>4} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>9.1}",
+            row.mix,
+            row.instances,
+            row.structure_kb,
+            row.blob_physical_kb,
+            row.blob_logical_kb,
+            row.baseline_total_kb,
+            row.savings_percent
+        );
+        emit("e4", &row);
+    }
+    println!();
+}
+
+fn main() {
+    println!("E4: BLOB sharing — k instances from one class vs full duplication");
+    println!(
+        "{:>12} {:>4} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "mix", "k", "struct KB", "phys KB", "logical KB", "baseline KB", "saved %"
+    );
+    run_mix("courseware", &MediaMix::courseware(), 11);
+    run_mix("video-heavy", &MediaMix::video_heavy(), 13);
+}

@@ -1,0 +1,158 @@
+//! E7 — collaborative editing under the lock compatibility table (§3).
+//!
+//! Claim: "With the table, the system can control which instructor is
+//! changing a Web document. Therefore, collaborative work is feasible."
+//!
+//! A deterministic tick-driven admission simulation (independent of the
+//! host's core count): I instructors repeatedly (try-lock → edit for E
+//! ticks → unlock → think for T ticks) against a shared course tree.
+//!
+//! Policies:
+//! * `hier/disjoint` — the paper's table; each instructor write-locks
+//!   only their own lecture subtree;
+//! * `hier/10%cross` — as above, but 10% of edits target another
+//!   instructor's lecture (realistic cross-editing);
+//! * `global` — the baseline; every edit write-locks the course root.
+//!
+//! Expected shape: disjoint throughput scales linearly with I (up to
+//! the think/edit duty cycle); global is pinned at one editor's
+//! throughput; cross-editing sits slightly below disjoint with a small
+//! conflict rate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use wdoc_bench::emit;
+use wdoc_core::{Access, DocTree, NodeId, UserId};
+
+#[derive(Serialize)]
+struct Row {
+    policy: String,
+    instructors: usize,
+    edits_done: u64,
+    conflicts: u64,
+    throughput_per_ktick: f64,
+    speedup_vs_one: f64,
+    max_concurrent_editors: usize,
+}
+
+const EDIT_TICKS: u32 = 8;
+const THINK_TICKS: u32 = 2;
+const TOTAL_TICKS: u32 = 10_000;
+
+#[derive(Clone, Copy)]
+enum State {
+    Waiting,
+    Editing { left: u32, node: NodeId },
+    Thinking { left: u32 },
+}
+
+fn run(policy: &str, instructors: usize, seed: u64) -> Row {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = DocTree::new();
+    let course = tree.root("course");
+    let lectures: Vec<NodeId> = (0..instructors)
+        .map(|i| {
+            let lec = tree.child(course, format!("lecture{i}"));
+            for p in 0..3 {
+                tree.child(lec, format!("page{p}"));
+            }
+            lec
+        })
+        .collect();
+    let users: Vec<UserId> = (0..instructors)
+        .map(|i| UserId::new(format!("instructor-{i}")))
+        .collect();
+
+    let mut states = vec![State::Waiting; instructors];
+    let mut edits_done = 0u64;
+    let mut conflicts = 0u64;
+    let mut max_concurrent = 0usize;
+
+    for _tick in 0..TOTAL_TICKS {
+        let mut editing_now = 0usize;
+        for i in 0..instructors {
+            match states[i] {
+                State::Waiting => {
+                    let node = match policy {
+                        "global" => course,
+                        "hier/10%cross" if rng.gen_bool(0.1) => {
+                            lectures[rng.gen_range(0..instructors)]
+                        }
+                        _ => lectures[i],
+                    };
+                    if tree.try_lock(&users[i], node, Access::Write).is_ok() {
+                        states[i] = State::Editing {
+                            left: EDIT_TICKS,
+                            node,
+                        };
+                        editing_now += 1;
+                    } else {
+                        conflicts += 1;
+                    }
+                }
+                State::Editing { left, node } => {
+                    if left == 1 {
+                        tree.unlock(&users[i], node);
+                        edits_done += 1;
+                        states[i] = State::Thinking { left: THINK_TICKS };
+                    } else {
+                        states[i] = State::Editing {
+                            left: left - 1,
+                            node,
+                        };
+                        editing_now += 1;
+                    }
+                }
+                State::Thinking { left } => {
+                    states[i] = if left == 1 {
+                        State::Waiting
+                    } else {
+                        State::Thinking { left: left - 1 }
+                    };
+                }
+            }
+        }
+        max_concurrent = max_concurrent.max(editing_now);
+    }
+
+    Row {
+        policy: policy.into(),
+        instructors,
+        edits_done,
+        conflicts,
+        throughput_per_ktick: edits_done as f64 / (TOTAL_TICKS as f64 / 1e3),
+        speedup_vs_one: 0.0, // filled by caller
+        max_concurrent_editors: max_concurrent,
+    }
+}
+
+fn main() {
+    println!("E7: collaborative-editing admission — {EDIT_TICKS}-tick edits, {THINK_TICKS}-tick think, {TOTAL_TICKS} ticks");
+    println!(
+        "{:>14} {:>4} {:>7} {:>10} {:>12} {:>8} {:>11}",
+        "policy", "I", "edits", "conflicts", "edits/ktick", "speedup", "max editors"
+    );
+    for policy in ["hier/disjoint", "hier/10%cross", "global"] {
+        let mut base = 0.0f64;
+        for instructors in [1usize, 2, 4, 8, 16, 32] {
+            let mut row = run(policy, instructors, 7);
+            if instructors == 1 {
+                base = row.throughput_per_ktick;
+            }
+            row.speedup_vs_one = row.throughput_per_ktick / base;
+            println!(
+                "{:>14} {:>4} {:>7} {:>10} {:>12.1} {:>8.2} {:>11}",
+                row.policy,
+                row.instructors,
+                row.edits_done,
+                row.conflicts,
+                row.throughput_per_ktick,
+                row.speedup_vs_one,
+                row.max_concurrent_editors
+            );
+            emit("e7", &row);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,107 @@
+//! E8 — referential-integrity alert propagation (§3).
+//!
+//! Claim: "If the source object is updated, the system will trigger a
+//! message which alerts the user to update the destination object. …
+//! if a script SCI is updated, its corresponding implementations should
+//! be updated, which further triggers the changes of one or more HTML
+//! programs, zero or more multimedia resources, and some control
+//! programs."
+//!
+//! Workload: generated courses of growing size; update every script
+//! once and count alerts, propagation depth and time per update.
+//!
+//! Expected shape: alerts per update = size of the reachable child set
+//! (pages + programs + media + tests + bugs + annotations of the
+//! script's implementations); cost linear in that set.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+use wdoc_bench::emit;
+use wdoc_core::{ObjectKind, WebDocDb};
+use wdoc_workload::{generate_course, CourseSpec, MediaMix};
+
+#[derive(Serialize)]
+struct Row {
+    lectures: usize,
+    pages: usize,
+    media: usize,
+    updates: usize,
+    total_alerts: usize,
+    mean_alerts: f64,
+    max_depth: usize,
+    mean_update_us: f64,
+}
+
+fn main() {
+    println!("E8: integrity alert propagation — script updates over generated courses");
+    println!(
+        "{:>4} {:>6} {:>6} {:>8} {:>8} {:>8} {:>6} {:>10}",
+        "lec", "pages", "media", "updates", "alerts", "mean", "depth", "us/update"
+    );
+    for (lectures, pages, media) in [
+        (2usize, 2usize, 1usize),
+        (4, 3, 2),
+        (8, 5, 4),
+        (16, 8, 6),
+        (32, 10, 8),
+    ] {
+        let db = WebDocDb::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        let spec = CourseSpec {
+            name: format!("course-{lectures}-{pages}"),
+            instructor: "shih".into(),
+            lectures,
+            pages_per_lecture: pages,
+            media_per_lecture: media,
+            programs_per_lecture: 2,
+            media_scale: 4096,
+            tested_percent: 60,
+            broken_link_percent: 0,
+        };
+        let course = generate_course(&db, &mut rng, &spec, &MediaMix::courseware())
+            .expect("generation succeeds");
+
+        let mut total_alerts = 0usize;
+        let mut max_depth = 0usize;
+        let start = Instant::now();
+        for script in &course.scripts {
+            let alerts = db
+                .update_script(script, |s| {
+                    s.version += 1;
+                    s.description.push_str(" (revised)");
+                })
+                .expect("update succeeds");
+            total_alerts += alerts.len();
+            max_depth = max_depth.max(alerts.iter().map(|a| a.depth).max().unwrap_or(0));
+            // Sanity: the first alert is always the implementation.
+            assert!(alerts
+                .iter()
+                .any(|a| a.target.kind == ObjectKind::Implementation));
+        }
+        let elapsed = start.elapsed();
+        let row = Row {
+            lectures,
+            pages,
+            media,
+            updates: course.scripts.len(),
+            total_alerts,
+            mean_alerts: total_alerts as f64 / course.scripts.len() as f64,
+            max_depth,
+            mean_update_us: elapsed.as_secs_f64() * 1e6 / course.scripts.len() as f64,
+        };
+        println!(
+            "{:>4} {:>6} {:>6} {:>8} {:>8} {:>8.1} {:>6} {:>10.1}",
+            row.lectures,
+            row.pages,
+            row.media,
+            row.updates,
+            row.total_alerts,
+            row.mean_alerts,
+            row.max_depth,
+            row.mean_update_us
+        );
+        emit("e8", &row);
+    }
+}

@@ -1,0 +1,173 @@
+//! E9 — virtual-library search and assessment (§5).
+//!
+//! Claim: "We provide a browsing interface which allows students to
+//! retrieve course materials according to matching keywords, instructor
+//! names, and course numbers/titles. … The check in/out procedure
+//! serves as an assessment criteria to the study performance of a
+//! student."
+//!
+//! Workload: catalogs of C ∈ {100..20,000} entries built from a keyword
+//! vocabulary; 500 two-token queries answered by the inverted index vs
+//! the linear-scan baseline. A second phase replays a checkout trace
+//! and prints the assessment ranking.
+//!
+//! Expected shape: index latency roughly flat in C (posting-list
+//! bound); linear scan grows linearly; crossover at tiny C.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+use wdoc_bench::emit;
+use wdoc_core::ids::{CourseId, ScriptName, UserId};
+use wdoc_library::{assess, rank, Catalog, CatalogEntry, CheckoutLedger};
+
+#[derive(Serialize)]
+struct Row {
+    entries: usize,
+    queries: usize,
+    indexed_us_per_query: f64,
+    linear_us_per_query: f64,
+    speedup: f64,
+    mean_hits: f64,
+}
+
+const VOCAB: [&str; 24] = [
+    "introduction",
+    "computer",
+    "engineering",
+    "multimedia",
+    "computing",
+    "drawing",
+    "database",
+    "network",
+    "distance",
+    "learning",
+    "virtual",
+    "university",
+    "java",
+    "html",
+    "video",
+    "audio",
+    "synchronization",
+    "hypermedia",
+    "retrieval",
+    "authoring",
+    "assessment",
+    "quiz",
+    "lecture",
+    "laboratory",
+];
+
+fn build_catalog(rng: &mut StdRng, n: usize) -> Catalog {
+    let mut c = Catalog::new();
+    for i in 0..n {
+        let kw: Vec<String> = (0..4)
+            .map(|_| VOCAB[rng.gen_range(0..VOCAB.len())].to_owned())
+            .collect();
+        c.publish(CatalogEntry {
+            course: CourseId::new(format!("C{:05}", i % (n / 10 + 1))),
+            title: format!("{} {}", kw[0], kw[1]),
+            instructor: UserId::new(format!("prof{}", i % 37)),
+            keywords: kw,
+            script: ScriptName::new(format!("doc-{i}")),
+            pages: vec!["index.html".into()],
+        });
+    }
+    c
+}
+
+fn main() {
+    println!("E9: library search — inverted index vs linear scan");
+    println!(
+        "{:>7} {:>8} {:>12} {:>12} {:>9} {:>9}",
+        "entries", "queries", "index us/q", "linear us/q", "speedup", "hits"
+    );
+    const QUERIES: usize = 500;
+    for n in [100usize, 500, 2_000, 8_000, 20_000] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let catalog = build_catalog(&mut rng, n);
+        let queries: Vec<String> = (0..QUERIES)
+            .map(|_| {
+                format!(
+                    "{} {}",
+                    VOCAB[rng.gen_range(0..VOCAB.len())],
+                    VOCAB[rng.gen_range(0..VOCAB.len())]
+                )
+            })
+            .collect();
+
+        let start = Instant::now();
+        let mut hits = 0usize;
+        for q in &queries {
+            hits += catalog.search_keywords(q).len();
+        }
+        let indexed = start.elapsed().as_secs_f64() * 1e6 / QUERIES as f64;
+
+        let start = Instant::now();
+        let mut hits_linear = 0usize;
+        for q in &queries {
+            hits_linear += catalog.search_keywords_linear(q).len();
+        }
+        let linear = start.elapsed().as_secs_f64() * 1e6 / QUERIES as f64;
+        assert_eq!(hits, hits_linear, "index and scan must agree");
+
+        let row = Row {
+            entries: n,
+            queries: QUERIES,
+            indexed_us_per_query: indexed,
+            linear_us_per_query: linear,
+            speedup: linear / indexed,
+            mean_hits: hits as f64 / QUERIES as f64,
+        };
+        println!(
+            "{:>7} {:>8} {:>12.1} {:>12.1} {:>9.1} {:>9.1}",
+            row.entries,
+            row.queries,
+            row.indexed_us_per_query,
+            row.linear_us_per_query,
+            row.speedup,
+            row.mean_hits
+        );
+        emit("e9", &row);
+    }
+
+    // Assessment phase: replay a checkout trace, print the ranking.
+    println!("\nE9b: assessment from checkout history");
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut ledger = CheckoutLedger::new();
+    const HOUR: u64 = 3_600_000_000;
+    for s in 0..8u32 {
+        let student = UserId::new(format!("student{s}"));
+        let diligence = u64::from(s) + 1; // student7 studies the most
+        for d in 0..diligence {
+            let doc = ScriptName::new(format!("doc-{d}"));
+            for p in 0..=rng.gen_range(0..3) {
+                let page = format!("p{p}.html");
+                let t0 = rng.gen_range(0..10) * HOUR;
+                ledger.check_out(&student, &doc, &page, t0);
+                if rng.gen_bool(0.9) {
+                    ledger.check_in(&student, &doc, &page, t0 + diligence * HOUR / 2);
+                }
+            }
+        }
+    }
+    let ranked = rank(assess(&ledger, 100 * HOUR));
+    println!(
+        "{:>10} {:>6} {:>6} {:>6} {:>10} {:>8} {:>7}",
+        "student", "outs", "docs", "pages", "hours", "return%", "score"
+    );
+    for r in &ranked {
+        println!(
+            "{:>10} {:>6} {:>6} {:>6} {:>10.1} {:>8.0} {:>7.2}",
+            r.student.as_str(),
+            r.checkouts,
+            r.distinct_documents,
+            r.distinct_pages,
+            r.engaged_us as f64 / HOUR as f64,
+            r.return_rate * 100.0,
+            r.score()
+        );
+        emit("e9b", r);
+    }
+}

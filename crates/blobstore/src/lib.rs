@@ -1,0 +1,506 @@
+//! # blobstore — the BLOB layer of the Web document database
+//!
+//! The paper's three-layer hierarchy bottoms out in a BLOB layer of
+//! multimedia files that are "shared by instances and classes" within a
+//! workstation (§3) so that "an individual multimedia resource is used
+//! only by a presentation in a workstation with respect to a time
+//! duration … this strategy avoids the abuse of disk storage" (§4).
+//!
+//! [`BlobStore`] models one workstation's BLOB storage:
+//!
+//! * **content addressing** — storing identical bytes twice yields the
+//!   same [`BlobId`] and one physical copy;
+//! * **reference counting** — every logical user (a document class, an
+//!   instance, a lecture buffer) holds a reference; the physical copy is
+//!   evicted when the last reference is released;
+//! * **byte accounting** — `physical_bytes` vs `logical_bytes` is
+//!   exactly the disk saving the paper's sharing design claims, and is
+//!   what experiment E4 measures.
+//!
+//! The store is thread-safe; cloning it clones a handle to the same
+//! underlying storage.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod media;
+
+pub use media::MediaKind;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Content-derived identifier of a BLOB: a 128-bit FNV-1a style digest
+/// plus the payload length, which makes accidental collisions in
+/// simulation workloads vanishingly unlikely while keeping the crate
+/// dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlobId {
+    hi: u64,
+    lo: u64,
+    len: u64,
+}
+
+impl BlobId {
+    /// Digest the payload.
+    #[must_use]
+    pub fn of(data: &[u8]) -> Self {
+        // Two independent FNV-1a streams with distinct offset bases.
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut hi: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut lo: u64 = 0x6c62_272e_07bb_0142;
+        for &b in data {
+            hi ^= u64::from(b);
+            hi = hi.wrapping_mul(PRIME);
+            lo ^= u64::from(b.rotate_left(3));
+            lo = lo.wrapping_mul(PRIME).rotate_left(17);
+        }
+        BlobId {
+            hi,
+            lo,
+            len: data.len() as u64,
+        }
+    }
+
+    /// Payload length in bytes.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True for the digest of an empty payload.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::fmt::Display for BlobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}/{}", self.hi, self.lo, self.len)
+    }
+}
+
+/// Error from parsing a [`BlobId`] display string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBlobIdError;
+
+impl std::fmt::Display for ParseBlobIdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("malformed blob id (expected 32 hex digits, '/', length)")
+    }
+}
+
+impl std::error::Error for ParseBlobIdError {}
+
+impl std::str::FromStr for BlobId {
+    type Err = ParseBlobIdError;
+
+    /// Parse the `Display` format back into an id.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (digest, len) = s.split_once('/').ok_or(ParseBlobIdError)?;
+        if digest.len() != 32 {
+            return Err(ParseBlobIdError);
+        }
+        let hi = u64::from_str_radix(&digest[..16], 16).map_err(|_| ParseBlobIdError)?;
+        let lo = u64::from_str_radix(&digest[16..], 16).map_err(|_| ParseBlobIdError)?;
+        let len = len.parse::<u64>().map_err(|_| ParseBlobIdError)?;
+        Ok(BlobId { hi, lo, len })
+    }
+}
+
+/// Descriptor of a BLOB: everything but the bytes. Documents reference
+/// media through descriptors; only stations that materialized the object
+/// hold the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlobMeta {
+    /// Content id.
+    pub id: BlobId,
+    /// Media kind.
+    pub kind: MediaKind,
+    /// Size in bytes (equal to `id.len()`).
+    pub size: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    data: Bytes,
+    kind: MediaKind,
+    refs: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    slots: BTreeMap<BlobId, Slot>,
+    physical: u64,
+    logical: u64,
+    /// Monotone counters for experiment reporting.
+    stores: u64,
+    dedup_hits: u64,
+    evictions: u64,
+}
+
+/// One workstation's BLOB storage. Cheap to clone (shared handle).
+#[derive(Debug, Clone, Default)]
+pub struct BlobStore {
+    inner: Arc<RwLock<Inner>>,
+}
+
+/// A point-in-time snapshot of store statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlobStats {
+    /// Bytes physically resident.
+    pub physical_bytes: u64,
+    /// Bytes all reference holders *believe* they hold (`Σ size·refs`).
+    pub logical_bytes: u64,
+    /// Number of distinct resident blobs.
+    pub blob_count: usize,
+    /// Total `store` calls.
+    pub stores: u64,
+    /// `store` calls that deduplicated against resident content.
+    pub dedup_hits: u64,
+    /// Blobs evicted after their last release.
+    pub evictions: u64,
+}
+
+impl BlobStats {
+    /// Fraction of logical bytes saved by sharing (0 when empty).
+    #[must_use]
+    pub fn sharing_ratio(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            0.0
+        } else {
+            1.0 - (self.physical_bytes as f64 / self.logical_bytes as f64)
+        }
+    }
+}
+
+impl BlobStore {
+    /// Create an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a payload, taking one reference. Identical content
+    /// deduplicates to the same id and a single physical copy.
+    pub fn store(&self, kind: MediaKind, data: impl Into<Bytes>) -> BlobMeta {
+        let data = data.into();
+        let id = BlobId::of(&data);
+        let size = data.len() as u64;
+        let mut g = self.inner.write();
+        g.stores += 1;
+        g.logical += size;
+        match g.slots.get_mut(&id) {
+            Some(slot) => {
+                slot.refs += 1;
+                let kind = slot.kind;
+                g.dedup_hits += 1;
+                BlobMeta { id, kind, size }
+            }
+            None => {
+                g.slots.insert(
+                    id,
+                    Slot {
+                        data,
+                        kind,
+                        refs: 1,
+                    },
+                );
+                g.physical += size;
+                BlobMeta { id, kind, size }
+            }
+        }
+    }
+
+    /// Take an additional reference on resident content. Returns false
+    /// if the blob is not resident.
+    pub fn retain(&self, id: BlobId) -> bool {
+        let mut g = self.inner.write();
+        match g.slots.get_mut(&id) {
+            Some(slot) => {
+                slot.refs += 1;
+                g.logical += id.len();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Release one reference; evicts the payload when the last reference
+    /// goes. Returns the remaining reference count, or `None` if the
+    /// blob was not resident.
+    pub fn release(&self, id: BlobId) -> Option<u64> {
+        let mut g = self.inner.write();
+        let slot = g.slots.get_mut(&id)?;
+        slot.refs -= 1;
+        let remaining = slot.refs;
+        g.logical -= id.len();
+        if remaining == 0 {
+            g.slots.remove(&id);
+            g.physical -= id.len();
+            g.evictions += 1;
+        }
+        Some(remaining)
+    }
+
+    /// Fetch the payload of a resident blob.
+    #[must_use]
+    pub fn get(&self, id: BlobId) -> Option<Bytes> {
+        self.inner.read().slots.get(&id).map(|s| s.data.clone())
+    }
+
+    /// Metadata of a resident blob.
+    #[must_use]
+    pub fn meta(&self, id: BlobId) -> Option<BlobMeta> {
+        self.inner.read().slots.get(&id).map(|s| BlobMeta {
+            id,
+            kind: s.kind,
+            size: id.len(),
+        })
+    }
+
+    /// Whether the payload is resident.
+    #[must_use]
+    pub fn contains(&self, id: BlobId) -> bool {
+        self.inner.read().slots.contains_key(&id)
+    }
+
+    /// Current reference count of a resident blob.
+    #[must_use]
+    pub fn ref_count(&self, id: BlobId) -> u64 {
+        self.inner.read().slots.get(&id).map_or(0, |s| s.refs)
+    }
+
+    /// Snapshot the statistics.
+    #[must_use]
+    pub fn stats(&self) -> BlobStats {
+        let g = self.inner.read();
+        BlobStats {
+            physical_bytes: g.physical,
+            logical_bytes: g.logical,
+            blob_count: g.slots.len(),
+            stores: g.stores,
+            dedup_hits: g.dedup_hits,
+            evictions: g.evictions,
+        }
+    }
+
+    /// Physical bytes per media kind (report helper).
+    #[must_use]
+    pub fn bytes_by_kind(&self) -> BTreeMap<MediaKind, u64> {
+        let g = self.inner.read();
+        let mut out = BTreeMap::new();
+        for slot in g.slots.values() {
+            *out.entry(slot.kind).or_insert(0) += slot.data.len() as u64;
+        }
+        out
+    }
+
+    /// Ids of all resident blobs (deterministic order).
+    #[must_use]
+    pub fn resident_ids(&self) -> Vec<BlobId> {
+        self.inner.read().slots.keys().copied().collect()
+    }
+
+    /// Export every resident blob with its reference count (station
+    /// backup; pair with the relational snapshot for a full course
+    /// backup).
+    #[must_use]
+    pub fn export(&self) -> Vec<BlobExport> {
+        let g = self.inner.read();
+        g.slots
+            .values()
+            .map(|s| BlobExport {
+                kind: s.kind,
+                refs: s.refs,
+                data: s.data.clone(),
+            })
+            .collect()
+    }
+
+    /// Import a previously exported set, restoring reference counts.
+    /// Content already resident gains the imported references.
+    pub fn import(&self, blobs: impl IntoIterator<Item = BlobExport>) {
+        for b in blobs {
+            let meta = self.store(b.kind, b.data);
+            for _ in 1..b.refs {
+                self.retain(meta.id);
+            }
+        }
+    }
+}
+
+/// One exported blob: payload, kind and reference count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlobExport {
+    /// Media kind.
+    pub kind: MediaKind,
+    /// Reference count at export time.
+    pub refs: u64,
+    /// The payload.
+    #[serde(with = "bytes_serde")]
+    pub data: Bytes,
+}
+
+mod bytes_serde {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(data: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(data)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize, fill: u8) -> Vec<u8> {
+        vec![fill; n]
+    }
+
+    #[test]
+    fn store_get_roundtrip() {
+        let bs = BlobStore::new();
+        let meta = bs.store(MediaKind::Video, payload(100, 1));
+        assert_eq!(meta.size, 100);
+        assert_eq!(bs.get(meta.id).unwrap().len(), 100);
+        assert_eq!(bs.meta(meta.id), Some(meta));
+    }
+
+    #[test]
+    fn identical_content_deduplicates() {
+        let bs = BlobStore::new();
+        let a = bs.store(MediaKind::Audio, payload(64, 7));
+        let b = bs.store(MediaKind::Audio, payload(64, 7));
+        assert_eq!(a.id, b.id);
+        let st = bs.stats();
+        assert_eq!(st.blob_count, 1);
+        assert_eq!(st.physical_bytes, 64);
+        assert_eq!(st.logical_bytes, 128);
+        assert_eq!(st.dedup_hits, 1);
+        assert_eq!(bs.ref_count(a.id), 2);
+    }
+
+    #[test]
+    fn different_content_distinct_ids() {
+        let bs = BlobStore::new();
+        let a = bs.store(MediaKind::Midi, payload(16, 0));
+        let b = bs.store(MediaKind::Midi, payload(16, 1));
+        assert_ne!(a.id, b.id);
+        assert_eq!(bs.stats().blob_count, 2);
+    }
+
+    #[test]
+    fn release_evicts_at_zero() {
+        let bs = BlobStore::new();
+        let m = bs.store(MediaKind::StillImage, payload(32, 9));
+        bs.retain(m.id);
+        assert_eq!(bs.release(m.id), Some(1));
+        assert!(bs.contains(m.id));
+        assert_eq!(bs.release(m.id), Some(0));
+        assert!(!bs.contains(m.id));
+        assert_eq!(bs.stats().physical_bytes, 0);
+        assert_eq!(bs.stats().logical_bytes, 0);
+        assert_eq!(bs.stats().evictions, 1);
+    }
+
+    #[test]
+    fn retain_missing_is_false() {
+        let bs = BlobStore::new();
+        let ghost = BlobId::of(b"never stored");
+        assert!(!bs.retain(ghost));
+        assert_eq!(bs.release(ghost), None);
+    }
+
+    #[test]
+    fn sharing_ratio() {
+        let bs = BlobStore::new();
+        let m = bs.store(MediaKind::Video, payload(1000, 3));
+        for _ in 0..9 {
+            bs.retain(m.id);
+        }
+        let st = bs.stats();
+        assert_eq!(st.logical_bytes, 10_000);
+        assert_eq!(st.physical_bytes, 1000);
+        assert!((st.sharing_ratio() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_by_kind_partitions_physical() {
+        let bs = BlobStore::new();
+        bs.store(MediaKind::Video, payload(100, 1));
+        bs.store(MediaKind::Audio, payload(40, 2));
+        bs.store(MediaKind::Audio, payload(60, 3));
+        let by_kind = bs.bytes_by_kind();
+        assert_eq!(by_kind[&MediaKind::Video], 100);
+        assert_eq!(by_kind[&MediaKind::Audio], 100);
+        let total: u64 = by_kind.values().sum();
+        assert_eq!(total, bs.stats().physical_bytes);
+    }
+
+    #[test]
+    fn blob_id_stable_and_length_aware() {
+        let a = BlobId::of(b"hello");
+        let b = BlobId::of(b"hello");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert!(BlobId::of(b"").is_empty());
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let bs = BlobStore::new();
+        let a = bs.store(MediaKind::Video, payload(100, 1));
+        bs.retain(a.id);
+        bs.retain(a.id); // refs = 3
+        bs.store(MediaKind::Midi, payload(10, 2)); // refs = 1
+        let dump = bs.export();
+        assert_eq!(dump.len(), 2);
+
+        let restored = BlobStore::new();
+        restored.import(dump);
+        assert_eq!(restored.ref_count(a.id), 3);
+        let st = restored.stats();
+        assert_eq!(st.physical_bytes, 110);
+        assert_eq!(st.logical_bytes, 310);
+    }
+
+    #[test]
+    fn import_merges_with_resident_content() {
+        let src = BlobStore::new();
+        let m = src.store(MediaKind::Audio, payload(20, 5));
+        let dst = BlobStore::new();
+        dst.store(MediaKind::Audio, payload(20, 5)); // same content
+        dst.import(src.export());
+        assert_eq!(dst.ref_count(m.id), 2);
+        assert_eq!(dst.stats().physical_bytes, 20);
+    }
+
+    #[test]
+    fn blob_id_display_parse_roundtrip() {
+        let id = BlobId::of(b"some payload");
+        let parsed: BlobId = id.to_string().parse().unwrap();
+        assert_eq!(parsed, id);
+        assert!("not-an-id".parse::<BlobId>().is_err());
+        assert!("abcd/12".parse::<BlobId>().is_err()); // short digest
+    }
+
+    #[test]
+    fn clone_is_shared_handle() {
+        let bs = BlobStore::new();
+        let bs2 = bs.clone();
+        let m = bs.store(MediaKind::Midi, payload(8, 1));
+        assert!(bs2.contains(m.id));
+    }
+}

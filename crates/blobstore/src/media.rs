@@ -1,0 +1,92 @@
+//! Media kinds of the paper's BLOB layer.
+//!
+//! §3 of the paper: "Multimedia sources: multimedia files in standard
+//! formats (i.e., video, audio, still image, animation, and MIDI
+//! files)."
+
+use serde::{Deserialize, Serialize};
+
+/// The five standard media formats of the BLOB layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MediaKind {
+    /// Video clips — the largest objects (tens of MB in 1999 terms).
+    Video,
+    /// Audio clips / verbal script descriptions.
+    Audio,
+    /// Still images.
+    StillImage,
+    /// Animations.
+    Animation,
+    /// MIDI music files — the smallest media objects.
+    Midi,
+}
+
+impl MediaKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [MediaKind; 5] = [
+        MediaKind::Video,
+        MediaKind::Audio,
+        MediaKind::StillImage,
+        MediaKind::Animation,
+        MediaKind::Midi,
+    ];
+
+    /// A short lowercase label, used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MediaKind::Video => "video",
+            MediaKind::Audio => "audio",
+            MediaKind::StillImage => "image",
+            MediaKind::Animation => "animation",
+            MediaKind::Midi => "midi",
+        }
+    }
+
+    /// Inverse of [`MediaKind::label`].
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<MediaKind> {
+        MediaKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+
+    /// Typical object size in bytes for synthetic workloads, matching
+    /// late-1990s courseware: video dominates, MIDI is tiny. Workload
+    /// generators draw around these central values.
+    #[must_use]
+    pub fn typical_size(self) -> u64 {
+        match self {
+            MediaKind::Video => 8 * 1024 * 1024,
+            MediaKind::Audio => 1024 * 1024,
+            MediaKind::StillImage => 120 * 1024,
+            MediaKind::Animation => 600 * 1024,
+            MediaKind::Midi => 24 * 1024,
+        }
+    }
+}
+
+impl std::fmt::Display for MediaKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = MediaKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), MediaKind::ALL.len());
+    }
+
+    #[test]
+    fn video_is_largest_midi_smallest() {
+        for k in MediaKind::ALL {
+            assert!(k.typical_size() <= MediaKind::Video.typical_size());
+            assert!(k.typical_size() >= MediaKind::Midi.typical_size());
+        }
+    }
+}

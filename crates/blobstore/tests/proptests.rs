@@ -1,0 +1,78 @@
+//! Property tests for BLOB store invariants.
+
+use blobstore::{BlobId, BlobStore, MediaKind};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// physical ≤ logical always; both hit zero when all refs released.
+    #[test]
+    fn accounting_invariants(
+        payloads in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..64), 1u64..5),
+            1..30,
+        )
+    ) {
+        let bs = BlobStore::new();
+        let mut held: Vec<(BlobId, u64)> = Vec::new();
+        for (data, times) in payloads {
+            let meta = bs.store(MediaKind::Audio, data);
+            for _ in 1..times {
+                prop_assert!(bs.retain(meta.id));
+            }
+            held.push((meta.id, times));
+        }
+        let st = bs.stats();
+        prop_assert!(st.physical_bytes <= st.logical_bytes);
+
+        // Logical equals the sum of size*refs over what we hold.
+        let mut refs: HashMap<BlobId, u64> = HashMap::new();
+        for (id, times) in &held {
+            *refs.entry(*id).or_insert(0) += times;
+        }
+        let expect_logical: u64 = refs.iter().map(|(id, r)| id.len() * r).sum();
+        prop_assert_eq!(st.logical_bytes, expect_logical);
+        let expect_physical: u64 = refs.keys().map(BlobId::len).sum();
+        prop_assert_eq!(st.physical_bytes, expect_physical);
+
+        // Release everything → empty store.
+        for (id, times) in held {
+            for _ in 0..times {
+                prop_assert!(bs.release(id).is_some());
+            }
+        }
+        let st = bs.stats();
+        prop_assert_eq!(st.physical_bytes, 0);
+        prop_assert_eq!(st.logical_bytes, 0);
+        prop_assert_eq!(st.blob_count, 0);
+    }
+
+    /// Content addressing: equal bytes ↔ equal ids.
+    #[test]
+    fn content_addressing(a in proptest::collection::vec(any::<u8>(), 0..128),
+                          b in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let ia = BlobId::of(&a);
+        let ib = BlobId::of(&b);
+        if a == b {
+            prop_assert_eq!(ia, ib);
+        } else {
+            prop_assert_ne!(ia, ib); // FNV-128+len collision would fail here
+        }
+        prop_assert_eq!(ia.len(), a.len() as u64);
+    }
+
+    /// Dedup means re-storing identical content never grows physical.
+    #[test]
+    fn restore_never_grows_physical(data in proptest::collection::vec(any::<u8>(), 1..64),
+                                    times in 1usize..10) {
+        let bs = BlobStore::new();
+        let first = bs.store(MediaKind::Video, data.clone());
+        let base = bs.stats().physical_bytes;
+        for _ in 0..times {
+            let again = bs.store(MediaKind::Video, data.clone());
+            prop_assert_eq!(again.id, first.id);
+            prop_assert_eq!(bs.stats().physical_bytes, base);
+        }
+        prop_assert_eq!(bs.stats().dedup_hits, times as u64);
+    }
+}

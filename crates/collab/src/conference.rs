@@ -1,0 +1,225 @@
+//! Live data conferencing over the simulated network (§1).
+//!
+//! "Web browsers, audio/video communication tools, and data
+//! conferencing tools are widely developed" — the MMU instructor
+//! shares live annotation strokes and slide flips with every student
+//! station in the session. The interesting systems question is the
+//! same one as for course distribution: *how should a single sender
+//! fan small, frequent updates out to N receivers over its one
+//! uplink?* [`Conference`] supports both strategies — direct unicast
+//! to every participant, or relay down the session's m-ary tree — and
+//! measures per-update delivery latency, so the trade-off is
+//! quantifiable (experiment E12).
+
+use netsim::{Network, SimTime, StationId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How updates reach the participants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FanoutStrategy {
+    /// The speaker unicasts to every participant.
+    Direct,
+    /// Participants relay down an m-ary tree rooted at the speaker.
+    Tree {
+        /// Fan-out of the relay tree.
+        m: u64,
+    },
+}
+
+/// A message of the conferencing protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct ConfMsg {
+    /// Sequence number of the update.
+    pub seq: u64,
+    /// When the speaker emitted it.
+    pub sent_at: SimTime,
+    /// Position of the receiver in the session roster (0 = speaker).
+    pub roster_pos: usize,
+}
+
+/// Delivery statistics of one conference run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConferenceReport {
+    /// Updates emitted by the speaker.
+    pub updates: u64,
+    /// Deliveries (updates × participants).
+    pub deliveries: u64,
+    /// Mean delivery latency (µs).
+    pub mean_latency_us: f64,
+    /// Worst delivery latency (µs).
+    pub max_latency_us: u64,
+    /// Bytes the speaker's station transmitted.
+    pub speaker_tx_bytes: u64,
+}
+
+/// A live session: a speaker and a roster of listeners.
+#[derive(Debug, Clone)]
+pub struct Conference {
+    /// Roster; index 0 is the speaker.
+    pub roster: Vec<StationId>,
+    /// Fan-out strategy.
+    pub strategy: FanoutStrategy,
+}
+
+impl Conference {
+    /// Create a session. `roster[0]` is the speaker.
+    ///
+    /// # Panics
+    /// Panics if the roster is empty or a tree strategy has `m == 0`.
+    #[must_use]
+    pub fn new(roster: Vec<StationId>, strategy: FanoutStrategy) -> Self {
+        assert!(!roster.is_empty(), "a conference needs a speaker");
+        if let FanoutStrategy::Tree { m } = strategy {
+            assert!(m >= 1, "tree fan-out must be positive");
+        }
+        Conference { roster, strategy }
+    }
+
+    fn children_of(&self, pos: usize) -> Vec<usize> {
+        match self.strategy {
+            FanoutStrategy::Direct => {
+                if pos == 0 {
+                    (1..self.roster.len()).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            FanoutStrategy::Tree { m } => (1..=m)
+                .map(|i| crate::tree_child(pos as u64, i, m) as usize)
+                .filter(|&c| c < self.roster.len())
+                .collect(),
+        }
+    }
+
+    /// Run the session: the speaker emits `updates` stroke updates of
+    /// `update_bytes` each, `interval` apart; the report aggregates
+    /// delivery latency over all participants.
+    pub fn run(
+        &self,
+        net: &mut Network<ConfMsg>,
+        updates: u64,
+        update_bytes: u64,
+        interval: SimTime,
+    ) -> ConferenceReport {
+        // Emit the speaker's updates on a timer so intervals are
+        // respected regardless of uplink backlog.
+        for seq in 0..updates {
+            let at = SimTime::from_micros(interval.as_micros() * seq);
+            net.schedule(
+                self.roster[0],
+                at,
+                ConfMsg {
+                    seq,
+                    sent_at: at,
+                    roster_pos: 0,
+                },
+            );
+        }
+
+        let mut latencies: BTreeMap<(u64, usize), u64> = BTreeMap::new();
+        let roster_len = self.roster.len();
+        let conf = self;
+        net.run(|net, msg| {
+            let m = msg.payload;
+            if m.roster_pos != 0 {
+                latencies.insert((m.seq, m.roster_pos), (net.now() - m.sent_at).as_micros());
+            }
+            // Forward to this node's children (speaker included: its
+            // timer event triggers the initial sends).
+            for child in conf.children_of(m.roster_pos) {
+                debug_assert!(child < roster_len);
+                net.send(
+                    conf.roster[m.roster_pos],
+                    conf.roster[child],
+                    msg.bytes.max(update_bytes),
+                    ConfMsg {
+                        roster_pos: child,
+                        ..m
+                    },
+                );
+            }
+        });
+
+        let deliveries = latencies.len() as u64;
+        let sum: u64 = latencies.values().sum();
+        let max = latencies.values().copied().max().unwrap_or(0);
+        ConferenceReport {
+            updates,
+            deliveries,
+            mean_latency_us: if deliveries == 0 {
+                0.0
+            } else {
+                sum as f64 / deliveries as f64
+            },
+            max_latency_us: max,
+            speaker_tx_bytes: net.station_stats(self.roster[0]).tx_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::LinkSpec;
+
+    fn session(n: usize, strategy: FanoutStrategy) -> (Conference, Network<ConfMsg>) {
+        let (net, ids) = Network::uniform(n, LinkSpec::new(1_000_000, SimTime::from_millis(10)));
+        (Conference::new(ids, strategy), net)
+    }
+
+    #[test]
+    fn every_listener_gets_every_update() {
+        for strategy in [FanoutStrategy::Direct, FanoutStrategy::Tree { m: 2 }] {
+            let (conf, mut net) = session(9, strategy);
+            let r = conf.run(&mut net, 5, 1_000, SimTime::from_millis(100));
+            assert_eq!(r.deliveries, 5 * 8, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn direct_concentrates_speaker_load() {
+        let (direct, mut net1) = session(17, FanoutStrategy::Direct);
+        let rd = direct.run(&mut net1, 10, 2_000, SimTime::from_millis(50));
+        let (tree, mut net2) = session(17, FanoutStrategy::Tree { m: 2 });
+        let rt = tree.run(&mut net2, 10, 2_000, SimTime::from_millis(50));
+        assert_eq!(rd.speaker_tx_bytes, 10 * 16 * 2_000);
+        assert_eq!(rt.speaker_tx_bytes, 10 * 2 * 2_000);
+    }
+
+    #[test]
+    fn small_updates_direct_wins_on_latency_at_small_n() {
+        // With tiny updates the uplink is fast; the tree's extra hops
+        // (store-and-forward + 10 ms latency each) cost more.
+        let (direct, mut net1) = session(8, FanoutStrategy::Direct);
+        let rd = direct.run(&mut net1, 20, 200, SimTime::from_millis(100));
+        let (tree, mut net2) = session(8, FanoutStrategy::Tree { m: 2 });
+        let rt = tree.run(&mut net2, 20, 200, SimTime::from_millis(100));
+        assert!(rd.mean_latency_us < rt.mean_latency_us);
+    }
+
+    #[test]
+    fn large_fanout_saturates_direct_uplink() {
+        // 200 listeners × 5 KB updates every 50 ms exceed a 1 MB/s
+        // uplink (20 MB/s needed): direct latency blows up, the tree
+        // stays bounded.
+        let (direct, mut net1) = session(201, FanoutStrategy::Direct);
+        let rd = direct.run(&mut net1, 10, 5_000, SimTime::from_millis(50));
+        let (tree, mut net2) = session(201, FanoutStrategy::Tree { m: 3 });
+        let rt = tree.run(&mut net2, 10, 5_000, SimTime::from_millis(50));
+        assert!(
+            rd.max_latency_us > 2 * rt.max_latency_us,
+            "direct {} vs tree {}",
+            rd.max_latency_us,
+            rt.max_latency_us
+        );
+    }
+
+    #[test]
+    fn zero_listeners_is_fine() {
+        let (conf, mut net) = session(1, FanoutStrategy::Direct);
+        let r = conf.run(&mut net, 3, 100, SimTime::from_millis(10));
+        assert_eq!(r.deliveries, 0);
+        assert_eq!(r.mean_latency_us, 0.0);
+    }
+}

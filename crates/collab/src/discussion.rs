@@ -1,0 +1,267 @@
+//! Group discussion boards (§1).
+//!
+//! "Some underlying sub-systems are transmitted to a student
+//! workstation to allow group discussions, annotation playback, and
+//! virtual course assessment."
+//!
+//! A threaded board per course: posts form a forest (top-level posts
+//! plus replies), read cursors give per-user unread counts, and
+//! instructors may moderate (delete subtrees).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wdoc_core::ids::{CourseId, UserId};
+
+/// Message identifier within one board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MsgId(pub u64);
+
+/// One post.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Post {
+    /// Id.
+    pub id: MsgId,
+    /// Author.
+    pub author: UserId,
+    /// Parent post for replies; `None` for thread starters.
+    pub parent: Option<MsgId>,
+    /// The text.
+    pub body: String,
+    /// Post time (µs).
+    pub at: u64,
+    /// Soft-deleted by moderation.
+    pub deleted: bool,
+}
+
+/// Errors of the discussion board.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoardError {
+    /// Replied to a message that does not exist (or was deleted).
+    NoSuchParent(MsgId),
+    /// Moderation attempted by a non-moderator.
+    NotModerator(UserId),
+}
+
+impl std::fmt::Display for BoardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoardError::NoSuchParent(id) => write!(f, "no post {id:?} to reply to"),
+            BoardError::NotModerator(u) => write!(f, "`{u}` is not a moderator"),
+        }
+    }
+}
+
+impl std::error::Error for BoardError {}
+
+/// A threaded discussion board for one course.
+#[derive(Debug, Clone)]
+pub struct DiscussionBoard {
+    /// The course this board belongs to.
+    pub course: CourseId,
+    moderators: Vec<UserId>,
+    posts: BTreeMap<MsgId, Post>,
+    next: u64,
+    /// Per-user read cursor: highest MsgId seen.
+    cursors: BTreeMap<UserId, MsgId>,
+}
+
+impl DiscussionBoard {
+    /// A board moderated by the given instructors.
+    #[must_use]
+    pub fn new(course: CourseId, moderators: Vec<UserId>) -> Self {
+        DiscussionBoard {
+            course,
+            moderators,
+            posts: BTreeMap::new(),
+            next: 1,
+            cursors: BTreeMap::new(),
+        }
+    }
+
+    /// Start a thread or reply to a post; returns the new id.
+    pub fn post(
+        &mut self,
+        author: &UserId,
+        parent: Option<MsgId>,
+        body: impl Into<String>,
+        now: u64,
+    ) -> Result<MsgId, BoardError> {
+        if let Some(p) = parent {
+            match self.posts.get(&p) {
+                Some(post) if !post.deleted => {}
+                _ => return Err(BoardError::NoSuchParent(p)),
+            }
+        }
+        let id = MsgId(self.next);
+        self.next += 1;
+        self.posts.insert(
+            id,
+            Post {
+                id,
+                author: author.clone(),
+                parent,
+                body: body.into(),
+                at: now,
+                deleted: false,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Moderate: soft-delete a post and its whole reply subtree.
+    /// Only moderators may do this.
+    pub fn moderate_delete(&mut self, by: &UserId, id: MsgId) -> Result<usize, BoardError> {
+        if !self.moderators.contains(by) {
+            return Err(BoardError::NotModerator(by.clone()));
+        }
+        let mut stack = vec![id];
+        let mut deleted = 0;
+        while let Some(cur) = stack.pop() {
+            if let Some(p) = self.posts.get_mut(&cur) {
+                if !p.deleted {
+                    p.deleted = true;
+                    deleted += 1;
+                }
+            }
+            stack.extend(
+                self.posts
+                    .values()
+                    .filter(|p| p.parent == Some(cur) && !p.deleted)
+                    .map(|p| p.id),
+            );
+        }
+        Ok(deleted)
+    }
+
+    /// Thread starters, oldest first (not deleted).
+    #[must_use]
+    pub fn threads(&self) -> Vec<&Post> {
+        self.posts
+            .values()
+            .filter(|p| p.parent.is_none() && !p.deleted)
+            .collect()
+    }
+
+    /// Live replies to a post, oldest first.
+    #[must_use]
+    pub fn replies(&self, id: MsgId) -> Vec<&Post> {
+        self.posts
+            .values()
+            .filter(|p| p.parent == Some(id) && !p.deleted)
+            .collect()
+    }
+
+    /// Full subtree size (live posts) of a thread.
+    #[must_use]
+    pub fn thread_size(&self, root: MsgId) -> usize {
+        let mut stack = vec![root];
+        let mut n = 0;
+        while let Some(cur) = stack.pop() {
+            if self.posts.get(&cur).is_some_and(|p| !p.deleted) {
+                n += 1;
+                stack.extend(self.replies(cur).iter().map(|p| p.id));
+            }
+        }
+        n
+    }
+
+    /// Mark everything up to now as read for a user.
+    pub fn mark_read(&mut self, user: &UserId) {
+        let newest = self.posts.keys().next_back().copied().unwrap_or(MsgId(0));
+        self.cursors.insert(user.clone(), newest);
+    }
+
+    /// Posts the user has not yet seen (their awareness badge).
+    #[must_use]
+    pub fn unread_count(&self, user: &UserId) -> usize {
+        let cursor = self.cursors.get(user).copied().unwrap_or(MsgId(0));
+        self.posts
+            .values()
+            .filter(|p| p.id > cursor && !p.deleted && &p.author != user)
+            .count()
+    }
+
+    /// Live post count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.posts.values().filter(|p| !p.deleted).count()
+    }
+
+    /// True when no live posts exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(s: &str) -> UserId {
+        UserId::new(s)
+    }
+
+    fn board() -> DiscussionBoard {
+        DiscussionBoard::new(CourseId::new("MM201"), vec![u("shih")])
+    }
+
+    #[test]
+    fn threads_and_replies() {
+        let mut b = board();
+        let t1 = b.post(&u("ann"), None, "What is QoS?", 1).unwrap();
+        let r1 = b.post(&u("shih"), Some(t1), "See lecture 2.", 2).unwrap();
+        let _r2 = b.post(&u("bob"), Some(r1), "Thanks!", 3).unwrap();
+        let t2 = b.post(&u("bob"), None, "Quiz deadline?", 4).unwrap();
+        assert_eq!(b.threads().len(), 2);
+        assert_eq!(b.replies(t1).len(), 1);
+        assert_eq!(b.thread_size(t1), 3);
+        assert_eq!(b.thread_size(t2), 1);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn reply_to_missing_or_deleted_rejected() {
+        let mut b = board();
+        assert_eq!(
+            b.post(&u("ann"), Some(MsgId(99)), "?", 1),
+            Err(BoardError::NoSuchParent(MsgId(99)))
+        );
+        let t = b.post(&u("ann"), None, "x", 1).unwrap();
+        b.moderate_delete(&u("shih"), t).unwrap();
+        assert!(matches!(
+            b.post(&u("bob"), Some(t), "y", 2),
+            Err(BoardError::NoSuchParent(_))
+        ));
+    }
+
+    #[test]
+    fn moderation_deletes_subtree_and_needs_rights() {
+        let mut b = board();
+        let t = b.post(&u("ann"), None, "spam", 1).unwrap();
+        let r = b.post(&u("bob"), Some(t), "more spam", 2).unwrap();
+        b.post(&u("cyd"), Some(r), "even more", 3).unwrap();
+        assert!(matches!(
+            b.moderate_delete(&u("ann"), t),
+            Err(BoardError::NotModerator(_))
+        ));
+        assert_eq!(b.moderate_delete(&u("shih"), t).unwrap(), 3);
+        assert!(b.is_empty());
+        // Idempotent.
+        assert_eq!(b.moderate_delete(&u("shih"), t).unwrap(), 0);
+    }
+
+    #[test]
+    fn unread_counting() {
+        let mut b = board();
+        b.post(&u("ann"), None, "1", 1).unwrap();
+        b.post(&u("bob"), None, "2", 2).unwrap();
+        assert_eq!(b.unread_count(&u("cyd")), 2);
+        // Own posts never count as unread.
+        assert_eq!(b.unread_count(&u("ann")), 1);
+        b.mark_read(&u("cyd"));
+        assert_eq!(b.unread_count(&u("cyd")), 0);
+        b.post(&u("ann"), None, "3", 3).unwrap();
+        assert_eq!(b.unread_count(&u("cyd")), 1);
+    }
+}

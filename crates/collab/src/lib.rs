@@ -1,0 +1,60 @@
+//! # wdoc-collab — awareness and communication facilities
+//!
+//! The paper's **Awareness Criterion** (§1): "Since instructors and
+//! students are separated spatially, they are sometimes hard to 'feel'
+//! the existence of each other. A virtual university supporting
+//! environment needs to provide reasonable communication tools such
+//! that awareness is realized." And §6: "we implemented a distributed
+//! virtual course database with a number of on-line communication
+//! facilities."
+//!
+//! * [`presence`] — who is online/idle at which station (heartbeats);
+//! * [`discussion`] — threaded group-discussion boards with read
+//!   cursors and instructor moderation;
+//! * [`conference`] — live data conferencing (annotation strokes, slide
+//!   flips) over the network simulator, with direct-unicast vs
+//!   tree-relay fan-out (experiment E12).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod conference;
+pub mod discussion;
+pub mod presence;
+
+pub use conference::{Conference, ConferenceReport, FanoutStrategy};
+pub use discussion::{BoardError, DiscussionBoard, MsgId, Post};
+pub use presence::{PresenceBoard, PresenceState};
+
+/// The paper's child-position formula, re-exported for the conference
+/// relay (0-based positions: children of `pos` are `m·pos + 1..=m·pos + m`,
+/// equivalent to the paper's 1-based `m(n−1)+i+1`).
+#[must_use]
+pub fn tree_child(pos: u64, i: u64, m: u64) -> u64 {
+    m * pos + i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tree_child;
+
+    #[test]
+    fn zero_based_children_match_paper_formula() {
+        // Paper (1-based): children of n are m(n-1)+i+1. With
+        // pos = n - 1 zero-based, child = m·pos + i = m(n−1)+i, and the
+        // 1-based equivalent is that plus one — the same tree.
+        for m in 1..=5u64 {
+            for n in 1..=50u64 {
+                for i in 1..=m {
+                    let paper = wdoc_core_paper_child(n, i, m);
+                    let ours = tree_child(n - 1, i, m) + 1;
+                    assert_eq!(ours, paper);
+                }
+            }
+        }
+    }
+
+    fn wdoc_core_paper_child(n: u64, i: u64, m: u64) -> u64 {
+        m * (n - 1) + i + 1
+    }
+}

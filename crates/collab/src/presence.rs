@@ -1,0 +1,214 @@
+//! Presence tracking — the Awareness Criterion (§1).
+//!
+//! "Since instructors and students are separated spatially, they are
+//! sometimes hard to 'feel' the existence of each other. A virtual
+//! university supporting environment needs to provide reasonable
+//! communication tools such that awareness is realized."
+//!
+//! [`PresenceBoard`] tracks who is online at which station, fed by
+//! heartbeats; a user with no heartbeat for the configured timeout is
+//! reported offline, and one idle (no *activity*) for the idle window
+//! is reported [`PresenceState::Idle`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wdoc_core::ids::UserId;
+
+/// What a user is currently doing, as far as awareness goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PresenceState {
+    /// Recently active.
+    Active,
+    /// Connected but quiet for a while.
+    Idle,
+    /// No heartbeat within the timeout.
+    Offline,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    station: u32,
+    last_heartbeat: u64,
+    last_activity: u64,
+}
+
+/// The presence board of one course session.
+#[derive(Debug, Clone)]
+pub struct PresenceBoard {
+    entries: BTreeMap<UserId, Entry>,
+    /// Heartbeats older than this mean offline (µs).
+    pub heartbeat_timeout: u64,
+    /// Activity older than this (but heartbeat fresh) means idle (µs).
+    pub idle_after: u64,
+}
+
+impl PresenceBoard {
+    /// A board with the given timeouts.
+    #[must_use]
+    pub fn new(heartbeat_timeout: u64, idle_after: u64) -> Self {
+        PresenceBoard {
+            entries: BTreeMap::new(),
+            heartbeat_timeout,
+            idle_after,
+        }
+    }
+
+    /// Defaults: 30 s heartbeat timeout, 5 min idle window.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(30_000_000, 300_000_000)
+    }
+
+    /// A user joins (or re-joins) from a station.
+    pub fn join(&mut self, user: &UserId, station: u32, now: u64) {
+        self.entries.insert(
+            user.clone(),
+            Entry {
+                station,
+                last_heartbeat: now,
+                last_activity: now,
+            },
+        );
+    }
+
+    /// Liveness ping without activity.
+    pub fn heartbeat(&mut self, user: &UserId, now: u64) {
+        if let Some(e) = self.entries.get_mut(user) {
+            e.last_heartbeat = now;
+        }
+    }
+
+    /// Real activity (page view, annotation, post) — implies a
+    /// heartbeat.
+    pub fn activity(&mut self, user: &UserId, now: u64) {
+        if let Some(e) = self.entries.get_mut(user) {
+            e.last_heartbeat = now;
+            e.last_activity = now;
+        }
+    }
+
+    /// Explicit leave.
+    pub fn leave(&mut self, user: &UserId) {
+        self.entries.remove(user);
+    }
+
+    /// The state of one user at time `now`.
+    #[must_use]
+    pub fn state_of(&self, user: &UserId, now: u64) -> PresenceState {
+        match self.entries.get(user) {
+            None => PresenceState::Offline,
+            Some(e) if now.saturating_sub(e.last_heartbeat) > self.heartbeat_timeout => {
+                PresenceState::Offline
+            }
+            Some(e) if now.saturating_sub(e.last_activity) > self.idle_after => PresenceState::Idle,
+            Some(_) => PresenceState::Active,
+        }
+    }
+
+    /// Station a user was last seen at (even if now offline).
+    #[must_use]
+    pub fn station_of(&self, user: &UserId) -> Option<u32> {
+        self.entries.get(user).map(|e| e.station)
+    }
+
+    /// Everyone not offline at `now`, with their states.
+    #[must_use]
+    pub fn online(&self, now: u64) -> Vec<(UserId, PresenceState)> {
+        self.entries
+            .keys()
+            .map(|u| (u.clone(), self.state_of(u, now)))
+            .filter(|(_, s)| *s != PresenceState::Offline)
+            .collect()
+    }
+
+    /// Count of users in each state at `now` (the classroom "feel").
+    #[must_use]
+    pub fn headcount(&self, now: u64) -> (usize, usize, usize) {
+        let mut active = 0;
+        let mut idle = 0;
+        let mut offline = 0;
+        for u in self.entries.keys() {
+            match self.state_of(u, now) {
+                PresenceState::Active => active += 1,
+                PresenceState::Idle => idle += 1,
+                PresenceState::Offline => offline += 1,
+            }
+        }
+        (active, idle, offline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(s: &str) -> UserId {
+        UserId::new(s)
+    }
+
+    const SEC: u64 = 1_000_000;
+
+    fn board() -> PresenceBoard {
+        PresenceBoard::new(30 * SEC, 300 * SEC)
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut b = board();
+        assert_eq!(b.state_of(&u("ann"), 0), PresenceState::Offline);
+        b.join(&u("ann"), 4, 0);
+        assert_eq!(b.state_of(&u("ann"), 10 * SEC), PresenceState::Active);
+        assert_eq!(b.station_of(&u("ann")), Some(4));
+        b.leave(&u("ann"));
+        assert_eq!(b.state_of(&u("ann"), 10 * SEC), PresenceState::Offline);
+    }
+
+    #[test]
+    fn heartbeat_keeps_alive_activity_keeps_fresh() {
+        let mut b = board();
+        b.join(&u("ann"), 1, 0);
+        // Heartbeats every 20 s keep her online, but without activity
+        // she goes idle after the window.
+        let mut t = 0;
+        while t < 400 * SEC {
+            t += 20 * SEC;
+            b.heartbeat(&u("ann"), t);
+        }
+        assert_eq!(b.state_of(&u("ann"), t), PresenceState::Idle);
+        b.activity(&u("ann"), t);
+        assert_eq!(b.state_of(&u("ann"), t), PresenceState::Active);
+    }
+
+    #[test]
+    fn silence_means_offline() {
+        let mut b = board();
+        b.join(&u("ann"), 1, 0);
+        assert_eq!(b.state_of(&u("ann"), 31 * SEC), PresenceState::Offline);
+        // A late heartbeat revives.
+        b.heartbeat(&u("ann"), 40 * SEC);
+        assert_eq!(b.state_of(&u("ann"), 41 * SEC), PresenceState::Active);
+    }
+
+    #[test]
+    fn headcount_partitions() {
+        let mut b = board();
+        b.join(&u("active"), 1, 0);
+        b.join(&u("idle"), 2, 0);
+        b.join(&u("gone"), 3, 0);
+        let now = 350 * SEC;
+        b.activity(&u("active"), now - SEC);
+        b.heartbeat(&u("idle"), now - SEC);
+        // "gone" had no heartbeat since 0.
+        assert_eq!(b.headcount(now), (1, 1, 1));
+        let online = b.online(now);
+        assert_eq!(online.len(), 2);
+    }
+
+    #[test]
+    fn rejoin_moves_station() {
+        let mut b = board();
+        b.join(&u("ann"), 1, 0);
+        b.join(&u("ann"), 7, 10 * SEC); // moved to the lab
+        assert_eq!(b.station_of(&u("ann")), Some(7));
+    }
+}

@@ -1,0 +1,335 @@
+//! Course complexity estimation (§1).
+//!
+//! "How do we estimate the complexity of a course and how do we perform
+//! a white box or black box testing of a multimedia presentation are
+//! research issues that we have solved partially."
+//!
+//! A Web document is a directed graph of pages connected by links, with
+//! media and control programs hanging off the nodes. [`PageGraph`]
+//! extracts that graph from an implementation's HTML files (by scanning
+//! `href`/`src` attributes — the same fidelity a 1999 link checker
+//! had), and [`ComplexityReport`] summarizes it with software-metrics
+//! analogues: page/link counts, reachable depth, branching factor and a
+//! cyclomatic number, plus the media/program payload the presentation
+//! carries.
+
+use crate::tables::{HtmlFile, ProgramFile};
+use blobstore::BlobMeta;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Extract the values of `attr="..."` occurrences from HTML text.
+/// A deliberately small scanner: courseware HTML of the era was
+/// hand-written and regular; a full parser adds nothing the metrics
+/// need.
+#[must_use]
+pub fn extract_attr(html: &str, attr: &str) -> Vec<String> {
+    let needle = format!("{attr}=\"");
+    let mut out = Vec::new();
+    let mut rest = html;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        if let Some(end) = rest.find('"') {
+            out.push(rest[..end].to_owned());
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// The page/link graph of one implementation.
+#[derive(Debug, Clone, Default)]
+pub struct PageGraph {
+    pages: Vec<String>,
+    index: BTreeMap<String, usize>,
+    /// Adjacency: page → pages it links to (within the implementation).
+    links: Vec<Vec<usize>>,
+    /// Links whose target is not a page of this implementation.
+    /// External (`http…`) links are kept separate from dangling ones.
+    external: Vec<(String, String)>,
+    dangling: Vec<(String, String)>,
+    /// `src` references per page (media/program paths).
+    srcs: Vec<Vec<String>>,
+}
+
+impl PageGraph {
+    /// Build from an implementation's HTML files.
+    #[must_use]
+    pub fn build(html_files: &[HtmlFile]) -> Self {
+        let mut g = PageGraph::default();
+        for f in html_files {
+            g.index.insert(f.path.clone(), g.pages.len());
+            g.pages.push(f.path.clone());
+            g.links.push(Vec::new());
+            g.srcs.push(Vec::new());
+        }
+        for f in html_files {
+            let from = g.index[&f.path];
+            let text = String::from_utf8_lossy(&f.content).into_owned();
+            for href in extract_attr(&text, "href") {
+                if let Some(&to) = g.index.get(&href) {
+                    g.links[from].push(to);
+                } else if href.starts_with("http://") || href.starts_with("https://") {
+                    g.external.push((f.path.clone(), href));
+                } else {
+                    g.dangling.push((f.path.clone(), href));
+                }
+            }
+            for src in extract_attr(&text, "src") {
+                g.srcs[from].push(src);
+            }
+        }
+        g
+    }
+
+    /// Page paths, in file order.
+    #[must_use]
+    pub fn pages(&self) -> &[String] {
+        &self.pages
+    }
+
+    /// Number of intra-document links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.iter().map(Vec::len).sum()
+    }
+
+    /// Links to pages that do not exist in this implementation.
+    #[must_use]
+    pub fn dangling_links(&self) -> &[(String, String)] {
+        &self.dangling
+    }
+
+    /// Links to other sites (out of local testing scope).
+    #[must_use]
+    pub fn external_links(&self) -> &[(String, String)] {
+        &self.external
+    }
+
+    /// All `src` references of one page.
+    #[must_use]
+    pub fn srcs_of(&self, page: &str) -> &[String] {
+        self.index.get(page).map_or(&[], |&i| &self.srcs[i])
+    }
+
+    /// Every `src` reference in the document.
+    #[must_use]
+    pub fn all_srcs(&self) -> Vec<&str> {
+        self.srcs
+            .iter()
+            .flat_map(|v| v.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// Outgoing intra-document links of a page.
+    #[must_use]
+    pub fn links_of(&self, page: &str) -> Vec<&str> {
+        self.index.get(page).map_or_else(Vec::new, |&i| {
+            self.links[i]
+                .iter()
+                .map(|&t| self.pages[t].as_str())
+                .collect()
+        })
+    }
+
+    /// Pages reachable from `start` (inclusive), with their BFS depth.
+    #[must_use]
+    pub fn reachable_from(&self, start: &str) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        let Some(&s) = self.index.get(start) else {
+            return out;
+        };
+        let mut q = VecDeque::new();
+        out.insert(self.pages[s].clone(), 0);
+        q.push_back((s, 0usize));
+        while let Some((node, depth)) = q.pop_front() {
+            for &next in &self.links[node] {
+                if !out.contains_key(&self.pages[next]) {
+                    out.insert(self.pages[next].clone(), depth + 1);
+                    q.push_back((next, depth + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Pages not reachable from `start` — redundant-object candidates.
+    #[must_use]
+    pub fn unreachable_from(&self, start: &str) -> Vec<String> {
+        let reachable: BTreeSet<&String> = {
+            let r = self.reachable_from(start);
+            self.pages.iter().filter(|p| r.contains_key(*p)).collect()
+        };
+        self.pages
+            .iter()
+            .filter(|p| !reachable.contains(p))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Complexity metrics of one Web document implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComplexityReport {
+    /// Pages in the implementation.
+    pub pages: usize,
+    /// Intra-document links.
+    pub links: usize,
+    /// Dangling links (local testing findings).
+    pub dangling_links: usize,
+    /// Media resources attached.
+    pub media_objects: usize,
+    /// Control programs attached.
+    pub programs: usize,
+    /// Maximum BFS depth from the start page.
+    pub max_depth: usize,
+    /// Mean out-degree over pages.
+    pub branching_factor: f64,
+    /// Cyclomatic number `E − N + 2` of the page graph (1 for a tree).
+    pub cyclomatic: i64,
+    /// HTML + program bytes.
+    pub structure_bytes: u64,
+    /// Media bytes (descriptors' sizes).
+    pub media_bytes: u64,
+}
+
+impl ComplexityReport {
+    /// A single scalar comparable across courses: weighted mix of the
+    /// navigational and payload complexity (policy knob; the default
+    /// matches "pages plus link structure plus a media surcharge").
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        self.pages as f64
+            + 0.5 * self.links as f64
+            + self.cyclomatic.max(0) as f64
+            + 0.25 * self.media_objects as f64
+            + self.media_bytes as f64 / 8e6
+    }
+}
+
+/// Estimate the complexity of one implementation.
+#[must_use]
+pub fn estimate(
+    html_files: &[HtmlFile],
+    programs: &[ProgramFile],
+    media: &[BlobMeta],
+    start_page: &str,
+) -> ComplexityReport {
+    let graph = PageGraph::build(html_files);
+    let reach = graph.reachable_from(start_page);
+    let max_depth = reach.values().copied().max().unwrap_or(0);
+    let pages = graph.pages().len();
+    let links = graph.link_count();
+    let structure_bytes = html_files
+        .iter()
+        .map(|h| h.content.len() as u64)
+        .sum::<u64>()
+        + programs.iter().map(|p| p.content.len() as u64).sum::<u64>();
+    ComplexityReport {
+        pages,
+        links,
+        dangling_links: graph.dangling_links().len(),
+        media_objects: media.len(),
+        programs: programs.len(),
+        max_depth,
+        branching_factor: if pages == 0 {
+            0.0
+        } else {
+            links as f64 / pages as f64
+        },
+        cyclomatic: links as i64 - pages as i64 + 2,
+        structure_bytes,
+        media_bytes: media.iter().map(|m| m.size).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::StartUrl;
+    use bytes::Bytes;
+
+    fn page(path: &str, body: &str) -> HtmlFile {
+        HtmlFile {
+            url: StartUrl::new("http://mmu/x/"),
+            path: path.into(),
+            content: Bytes::from(format!("<html><body>{body}</body></html>")),
+        }
+    }
+
+    fn linked_course() -> Vec<HtmlFile> {
+        vec![
+            page(
+                "index.html",
+                r#"<a href="a.html">A</a> <a href="b.html">B</a> <img src="logo.gif">"#,
+            ),
+            page(
+                "a.html",
+                r#"<a href="b.html">B</a> <a href="missing.html">?</a>"#,
+            ),
+            page(
+                "b.html",
+                r#"<a href="index.html">home</a> <a href="http://other.edu/x">ext</a>"#,
+            ),
+            page("orphan.html", "nothing links here"),
+        ]
+    }
+
+    #[test]
+    fn attr_extraction() {
+        let html = r#"<a href="x.html">x</a><img src="pic.gif"><a href="y.html">"#;
+        assert_eq!(extract_attr(html, "href"), vec!["x.html", "y.html"]);
+        assert_eq!(extract_attr(html, "src"), vec!["pic.gif"]);
+        assert!(extract_attr("", "href").is_empty());
+        // Unterminated attribute does not loop or panic.
+        assert!(extract_attr(r#"<a href="broken"#, "href").is_empty());
+    }
+
+    #[test]
+    fn graph_structure() {
+        let g = PageGraph::build(&linked_course());
+        assert_eq!(g.pages().len(), 4);
+        assert_eq!(g.link_count(), 4); // index→a, index→b, a→b, b→index
+        assert_eq!(
+            g.dangling_links(),
+            &[("a.html".into(), "missing.html".into())]
+        );
+        assert_eq!(g.external_links().len(), 1);
+        assert_eq!(g.links_of("index.html"), vec!["a.html", "b.html"]);
+        assert_eq!(g.srcs_of("index.html"), ["logo.gif".to_owned()]);
+    }
+
+    #[test]
+    fn reachability_and_orphans() {
+        let g = PageGraph::build(&linked_course());
+        let reach = g.reachable_from("index.html");
+        assert_eq!(reach.len(), 3);
+        assert_eq!(reach["index.html"], 0);
+        assert_eq!(reach["a.html"], 1);
+        assert_eq!(reach["b.html"], 1);
+        assert_eq!(g.unreachable_from("index.html"), vec!["orphan.html"]);
+        assert!(g.reachable_from("nope.html").is_empty());
+    }
+
+    #[test]
+    fn complexity_report() {
+        let html = linked_course();
+        let r = estimate(&html, &[], &[], "index.html");
+        assert_eq!(r.pages, 4);
+        assert_eq!(r.links, 4);
+        assert_eq!(r.dangling_links, 1);
+        assert_eq!(r.max_depth, 1);
+        assert_eq!(r.cyclomatic, 2); // E − N + 2 = 4 − 4 + 2
+        assert!((r.branching_factor - 1.0).abs() < 1e-9);
+        assert!(r.score() > 0.0);
+    }
+
+    #[test]
+    fn deeper_course_scores_higher() {
+        let shallow = estimate(&[page("index.html", "")], &[], &[], "index.html");
+        let deep = estimate(&linked_course(), &[], &[], "index.html");
+        assert!(deep.score() > shallow.score());
+    }
+}

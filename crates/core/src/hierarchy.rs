@@ -1,0 +1,164 @@
+//! The three-layer database hierarchy (§3).
+//!
+//! "The database has three layers": a database layer (catalog objects),
+//! a document layer (scripts, implementations, test records, bug
+//! reports, annotations and their files) and a BLOB layer (multimedia
+//! sources shared by instances and classes). Links in the hierarchy
+//! carry a reference multiplicity: `+` for one-or-more, `*` for
+//! zero-or-more.
+
+use serde::{Deserialize, Serialize};
+
+/// The layer an object kind lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// Catalog of databases.
+    Database,
+    /// Scripts, implementations, tests, bugs, annotations, files.
+    Document,
+    /// Shared multimedia sources.
+    Blob,
+}
+
+/// Every kind of object in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ObjectKind {
+    /// A Web document database (top-level container).
+    Database,
+    /// A script: the specification of a course document or quiz.
+    Script,
+    /// An implementation of a script (starting URL + files).
+    Implementation,
+    /// A test record over an implementation.
+    TestRecord,
+    /// A bug report attached to a test record.
+    BugReport,
+    /// An instructor annotation over an implementation.
+    Annotation,
+    /// An HTML (or XML) file of an implementation.
+    HtmlFile,
+    /// A control program file (Java applet, ASP).
+    ProgramFile,
+    /// The vector file holding an annotation's strokes.
+    AnnotationFile,
+    /// A multimedia source in the BLOB layer.
+    MultimediaResource,
+}
+
+impl ObjectKind {
+    /// All kinds.
+    pub const ALL: [ObjectKind; 10] = [
+        ObjectKind::Database,
+        ObjectKind::Script,
+        ObjectKind::Implementation,
+        ObjectKind::TestRecord,
+        ObjectKind::BugReport,
+        ObjectKind::Annotation,
+        ObjectKind::HtmlFile,
+        ObjectKind::ProgramFile,
+        ObjectKind::AnnotationFile,
+        ObjectKind::MultimediaResource,
+    ];
+
+    /// Which layer this kind belongs to.
+    #[must_use]
+    pub fn layer(self) -> Layer {
+        match self {
+            ObjectKind::Database => Layer::Database,
+            ObjectKind::MultimediaResource => Layer::Blob,
+            _ => Layer::Document,
+        }
+    }
+
+    /// Short label used in alert messages and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ObjectKind::Database => "database",
+            ObjectKind::Script => "script",
+            ObjectKind::Implementation => "implementation",
+            ObjectKind::TestRecord => "test record",
+            ObjectKind::BugReport => "bug report",
+            ObjectKind::Annotation => "annotation",
+            ObjectKind::HtmlFile => "HTML file",
+            ObjectKind::ProgramFile => "program file",
+            ObjectKind::AnnotationFile => "annotation file",
+            ObjectKind::MultimediaResource => "multimedia resource",
+        }
+    }
+}
+
+/// Reference multiplicity on a hierarchy link (§3: "a `+` sign means the
+/// use of one or more objects; a `*` sign represents the use of zero or
+/// more references").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Multiplicity {
+    /// Exactly one.
+    One,
+    /// One or more (`+`).
+    OneOrMore,
+    /// Zero or more (`*`).
+    ZeroOrMore,
+}
+
+impl Multiplicity {
+    /// Whether `n` actual references satisfy the multiplicity.
+    #[must_use]
+    pub fn admits(self, n: usize) -> bool {
+        match self {
+            Multiplicity::One => n == 1,
+            Multiplicity::OneOrMore => n >= 1,
+            Multiplicity::ZeroOrMore => true,
+        }
+    }
+
+    /// The paper's superscript notation.
+    #[must_use]
+    pub fn sigil(self) -> &'static str {
+        match self {
+            Multiplicity::One => "1",
+            Multiplicity::OneOrMore => "+",
+            Multiplicity::ZeroOrMore => "*",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layers_partition_kinds() {
+        let mut db = 0;
+        let mut doc = 0;
+        let mut blob = 0;
+        for k in ObjectKind::ALL {
+            match k.layer() {
+                Layer::Database => db += 1,
+                Layer::Document => doc += 1,
+                Layer::Blob => blob += 1,
+            }
+        }
+        assert_eq!((db, doc, blob), (1, 8, 1));
+    }
+
+    #[test]
+    fn multiplicity_admits() {
+        assert!(Multiplicity::One.admits(1));
+        assert!(!Multiplicity::One.admits(0));
+        assert!(!Multiplicity::One.admits(2));
+        assert!(Multiplicity::OneOrMore.admits(3));
+        assert!(!Multiplicity::OneOrMore.admits(0));
+        assert!(Multiplicity::ZeroOrMore.admits(0));
+        assert_eq!(Multiplicity::OneOrMore.sigil(), "+");
+        assert_eq!(Multiplicity::ZeroOrMore.sigil(), "*");
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let mut labels: Vec<_> = ObjectKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ObjectKind::ALL.len());
+    }
+}

@@ -1,0 +1,392 @@
+//! Object-lock compatibility over the document containment tree (§3).
+//!
+//! "Due to the locking mechanism used in object-oriented database
+//! systems, we have defined an object locking compatibility table. In
+//! general, if a container has a read lock by a user, its components
+//! (and itself) can have the read access by another user, but not the
+//! write access. However, the parent objects of the container can have
+//! both read and write access by another user. … With the table, the
+//! system can control which instructor is changing a Web document.
+//! Therefore, collaborative work is feasible."
+//!
+//! The rule implemented here: **a lock on a container covers its whole
+//! subtree, and only its subtree** — locks propagate downward.
+//! Another user's access to a node `n` conflicts with a held lock on
+//! `c` iff `n` is in `subtree(c)`, with the usual read/write
+//! compatibility: R∥R allowed, R∦W, W∦W. Proper ancestors of a locked
+//! container stay fully accessible — writing a parent means editing the
+//! parent's *own* record, not the locked subtree — which is exactly the
+//! paper's "the parent objects of the container can have both read and
+//! write access by another user", and is what lets many instructors
+//! edit disjoint parts of one course concurrently (experiment E7).
+
+use crate::ids::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Access mode on a document object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Access {
+    /// Read access.
+    Read,
+    /// Write access.
+    Write,
+}
+
+impl Access {
+    /// The paper's compatibility table for two accesses *on overlapping
+    /// scopes*: only Read/Read is compatible.
+    #[must_use]
+    pub fn compatible(self, other: Access) -> bool {
+        matches!((self, other), (Access::Read, Access::Read))
+    }
+}
+
+/// Node id in the containment tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Why a lock request was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockConflict {
+    /// The user holding the conflicting lock.
+    pub holder: UserId,
+    /// The node the conflicting lock is on.
+    pub node: NodeId,
+    /// The mode the conflicting lock grants.
+    pub mode: Access,
+}
+
+impl fmt::Display for LockConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflicts with {:?} lock held by `{}` on node {:?}",
+            self.mode, self.holder, self.node
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    parent: Option<NodeId>,
+    label: String,
+}
+
+/// The containment tree of a Web document plus its lock table.
+///
+/// Nodes are created with [`DocTree::root`] / [`DocTree::child`]; locks
+/// are taken per user with [`DocTree::try_lock`] and released with
+/// [`DocTree::unlock`] / [`DocTree::unlock_all`].
+#[derive(Debug, Default)]
+pub struct DocTree {
+    nodes: Vec<Node>,
+    /// Held locks: node → (user → mode). One lock per (user, node).
+    locks: BTreeMap<NodeId, BTreeMap<UserId, Access>>,
+}
+
+impl DocTree {
+    /// An empty tree.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a root node (a document or database container).
+    pub fn root(&mut self, label: impl Into<String>) -> NodeId {
+        self.push(None, label.into())
+    }
+
+    /// Add a child under `parent`.
+    pub fn child(&mut self, parent: NodeId, label: impl Into<String>) -> NodeId {
+        assert!(
+            (parent.0 as usize) < self.nodes.len(),
+            "parent node must exist"
+        );
+        self.push(Some(parent), label.into())
+    }
+
+    fn push(&mut self, parent: Option<NodeId>, label: String) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { parent, label });
+        id
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The label of a node.
+    #[must_use]
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.nodes[id.0 as usize].label
+    }
+
+    /// Parent of a node.
+    #[must_use]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.0 as usize].parent
+    }
+
+    /// Whether `anc` is `node` or one of its ancestors.
+    #[must_use]
+    pub fn is_ancestor_or_self(&self, anc: NodeId, node: NodeId) -> bool {
+        let mut cur = Some(node);
+        while let Some(c) = cur {
+            if c == anc {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// Scopes overlap iff one is an ancestor-or-self of the other.
+    #[must_use]
+    pub fn overlaps(&self, a: NodeId, b: NodeId) -> bool {
+        self.is_ancestor_or_self(a, b) || self.is_ancestor_or_self(b, a)
+    }
+
+    /// Would `user` be granted `mode` on `node` right now?
+    /// Returns the first conflict found, if any.
+    #[must_use]
+    pub fn check(&self, user: &UserId, node: NodeId, mode: Access) -> Option<LockConflict> {
+        for (&held_node, holders) in &self.locks {
+            // A held lock covers its subtree only: it conflicts with
+            // requests on itself and its descendants, never on its
+            // proper ancestors or on disjoint subtrees.
+            if !self.is_ancestor_or_self(held_node, node) {
+                continue;
+            }
+            for (holder, &held_mode) in holders {
+                if holder != user && !mode.compatible(held_mode) {
+                    return Some(LockConflict {
+                        holder: holder.clone(),
+                        node: held_node,
+                        mode: held_mode,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Try to take a lock; on success the lock is recorded. Re-locking
+    /// the same node upgrades Read→Write (subject to the same check).
+    pub fn try_lock(
+        &mut self,
+        user: &UserId,
+        node: NodeId,
+        mode: Access,
+    ) -> Result<(), LockConflict> {
+        if let Some(c) = self.check(user, node, mode) {
+            return Err(c);
+        }
+        let slot = self.locks.entry(node).or_default();
+        let entry = slot.entry(user.clone()).or_insert(mode);
+        // Keep the stronger mode on re-lock.
+        if mode == Access::Write {
+            *entry = Access::Write;
+        }
+        Ok(())
+    }
+
+    /// Release `user`'s lock on `node` (no-op if absent).
+    pub fn unlock(&mut self, user: &UserId, node: NodeId) {
+        if let Some(holders) = self.locks.get_mut(&node) {
+            holders.remove(user);
+            if holders.is_empty() {
+                self.locks.remove(&node);
+            }
+        }
+    }
+
+    /// Release every lock `user` holds.
+    pub fn unlock_all(&mut self, user: &UserId) {
+        self.locks.retain(|_, holders| {
+            holders.remove(user);
+            !holders.is_empty()
+        });
+    }
+
+    /// Current number of held locks (diagnostics).
+    #[must_use]
+    pub fn held_locks(&self) -> usize {
+        self.locks.values().map(BTreeMap::len).sum()
+    }
+
+    /// The mode `user` holds on `node`, if any.
+    #[must_use]
+    pub fn held(&self, user: &UserId, node: NodeId) -> Option<Access> {
+        self.locks.get(&node).and_then(|h| h.get(user)).copied()
+    }
+}
+
+/// The paper's compatibility table, spelled out for documentation and
+/// tests: given a held lock on a *container* and another user's
+/// requested access on a *related* node, is the request granted?
+///
+/// `relation` is from the holder's container to the requested node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relation {
+    /// The requested node is the locked container itself.
+    Same,
+    /// The requested node is a component (descendant) of the container.
+    Component,
+    /// The requested node is a proper ancestor (parent chain) of it.
+    Parent,
+    /// The requested node is unrelated (disjoint subtree).
+    Unrelated,
+}
+
+/// Evaluate the paper's table: held lock `held` on a container, another
+/// user requests `req` on a node standing in `rel` to that container.
+#[must_use]
+pub fn table_allows(held: Access, rel: Relation, req: Access) -> bool {
+    match rel {
+        // "the parent objects of the container can have both read and
+        // write access by another user" — likewise disjoint objects.
+        Relation::Parent | Relation::Unrelated => true,
+        // "its components (and itself) can have the read access by
+        // another user, but not the write access" (read-held case); a
+        // write-held container blocks both.
+        Relation::Same | Relation::Component => held.compatible(req),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn course_tree() -> (DocTree, NodeId, NodeId, NodeId, NodeId) {
+        // course ── lecture1 ── page_a
+        //        └─ lecture2
+        let mut t = DocTree::new();
+        let course = t.root("course");
+        let lec1 = t.child(course, "lecture1");
+        let page_a = t.child(lec1, "page_a");
+        let lec2 = t.child(course, "lecture2");
+        (t, course, lec1, page_a, lec2)
+    }
+
+    fn u(s: &str) -> UserId {
+        UserId::new(s)
+    }
+
+    #[test]
+    fn table_matches_paper_text() {
+        use Access::{Read, Write};
+        use Relation::{Component, Parent, Same, Unrelated};
+        // Read-held container:
+        assert!(table_allows(Read, Same, Read));
+        assert!(!table_allows(Read, Same, Write));
+        assert!(table_allows(Read, Component, Read));
+        assert!(!table_allows(Read, Component, Write));
+        assert!(table_allows(Read, Parent, Read));
+        assert!(table_allows(Read, Parent, Write));
+        assert!(table_allows(Read, Unrelated, Write));
+        // Write-held container blocks subtree entirely:
+        assert!(!table_allows(Write, Same, Read));
+        assert!(!table_allows(Write, Component, Read));
+        assert!(table_allows(Write, Parent, Write));
+    }
+
+    #[test]
+    fn read_locked_container_blocks_component_writes() {
+        let (mut t, _course, lec1, page_a, _lec2) = course_tree();
+        t.try_lock(&u("shih"), lec1, Access::Read).unwrap();
+        // Another user can read the component…
+        assert!(t.check(&u("ma"), page_a, Access::Read).is_none());
+        // …but not write it.
+        let c = t.check(&u("ma"), page_a, Access::Write).unwrap();
+        assert_eq!(c.holder, u("shih"));
+        assert_eq!(c.node, lec1);
+    }
+
+    #[test]
+    fn parents_of_locked_container_stay_writable() {
+        // "the parent objects of the container can have both read and
+        // write access by another user."
+        let (mut t, course, lec1, _page_a, _lec2) = course_tree();
+        t.try_lock(&u("shih"), lec1, Access::Write).unwrap();
+        assert!(t.check(&u("ma"), course, Access::Read).is_none());
+        assert!(t.check(&u("ma"), course, Access::Write).is_none());
+        t.try_lock(&u("ma"), course, Access::Write).unwrap();
+        assert_eq!(t.held_locks(), 2);
+        // But once ma holds Write on the course, a third user is locked
+        // out of the entire subtree.
+        assert!(t.try_lock(&u("huang"), lec1, Access::Read).is_err());
+    }
+
+    #[test]
+    fn disjoint_subtrees_are_independent() {
+        let (mut t, _course, lec1, _page_a, lec2) = course_tree();
+        t.try_lock(&u("shih"), lec1, Access::Write).unwrap();
+        t.try_lock(&u("ma"), lec2, Access::Write).unwrap();
+        assert_eq!(t.held_locks(), 2);
+    }
+
+    #[test]
+    fn write_lock_excludes_everything_in_subtree() {
+        let (mut t, course, _lec1, page_a, lec2) = course_tree();
+        t.try_lock(&u("shih"), course, Access::Write).unwrap();
+        assert!(t.try_lock(&u("ma"), page_a, Access::Read).is_err());
+        assert!(t.try_lock(&u("ma"), lec2, Access::Write).is_err());
+        // The holder itself is unaffected.
+        assert!(t.try_lock(&u("shih"), page_a, Access::Write).is_ok());
+    }
+
+    #[test]
+    fn read_read_coexists_on_same_node() {
+        let (mut t, course, ..) = course_tree();
+        t.try_lock(&u("a"), course, Access::Read).unwrap();
+        t.try_lock(&u("b"), course, Access::Read).unwrap();
+        assert_eq!(t.held_locks(), 2);
+        // But a writer is refused.
+        assert!(t.try_lock(&u("c"), course, Access::Write).is_err());
+    }
+
+    #[test]
+    fn relock_upgrades_mode() {
+        let (mut t, course, ..) = course_tree();
+        t.try_lock(&u("a"), course, Access::Read).unwrap();
+        t.try_lock(&u("a"), course, Access::Write).unwrap();
+        assert_eq!(t.held(&u("a"), course), Some(Access::Write));
+        // And the upgrade respects other holders.
+        t.unlock_all(&u("a"));
+        t.try_lock(&u("a"), course, Access::Read).unwrap();
+        t.try_lock(&u("b"), course, Access::Read).unwrap();
+        assert!(t.try_lock(&u("a"), course, Access::Write).is_err());
+    }
+
+    #[test]
+    fn unlock_releases() {
+        let (mut t, _course, lec1, page_a, _lec2) = course_tree();
+        t.try_lock(&u("a"), lec1, Access::Write).unwrap();
+        assert!(t.try_lock(&u("b"), page_a, Access::Write).is_err());
+        t.unlock(&u("a"), lec1);
+        assert!(t.try_lock(&u("b"), page_a, Access::Write).is_ok());
+        t.unlock_all(&u("b"));
+        assert_eq!(t.held_locks(), 0);
+    }
+
+    #[test]
+    fn ancestor_query() {
+        let (t, course, lec1, page_a, lec2) = course_tree();
+        assert!(t.is_ancestor_or_self(course, page_a));
+        assert!(t.is_ancestor_or_self(lec1, page_a));
+        assert!(t.is_ancestor_or_self(page_a, page_a));
+        assert!(!t.is_ancestor_or_self(lec2, page_a));
+        assert!(t.overlaps(course, lec2));
+        assert!(!t.overlaps(lec1, lec2));
+    }
+}

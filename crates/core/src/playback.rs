@@ -1,0 +1,220 @@
+//! Annotation playback (§1).
+//!
+//! "Some underlying sub-systems are transmitted to a student
+//! workstation to allow group discussions, annotation playback, and
+//! virtual course assessment."
+//!
+//! The instructor drew an overlay live; a student replays it later.
+//! [`PlaybackSchedule`] turns an [`AnnotationOverlay`] into a timed
+//! event stream: strokes appear in z-order at a configurable pace, with
+//! per-stroke durations proportional to how long they took to draw
+//! (lines scale with their point count, text with its length). The
+//! schedule is a pure value — a GUI would consume it, and the tests
+//! consume it the same way.
+
+use crate::sci::{AnnotationOverlay, Stroke};
+use serde::{Deserialize, Serialize};
+
+/// One playback event: a stroke becoming visible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaybackEvent {
+    /// When the stroke starts appearing (µs from playback start).
+    pub at: u64,
+    /// How long the reveal animation runs.
+    pub duration: u64,
+    /// Index of the stroke in the overlay.
+    pub stroke: usize,
+}
+
+/// Pacing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pace {
+    /// Base duration of any stroke (µs).
+    pub base_us: u64,
+    /// Extra time per line point (µs).
+    pub per_point_us: u64,
+    /// Extra time per text character (µs).
+    pub per_char_us: u64,
+    /// Gap between strokes (µs).
+    pub gap_us: u64,
+}
+
+impl Default for Pace {
+    /// Natural handwriting-like pacing.
+    fn default() -> Self {
+        Pace {
+            base_us: 300_000,
+            per_point_us: 40_000,
+            per_char_us: 80_000,
+            gap_us: 200_000,
+        }
+    }
+}
+
+impl Pace {
+    /// Duration of one stroke under this pace.
+    #[must_use]
+    pub fn duration_of(&self, stroke: &Stroke) -> u64 {
+        match stroke {
+            Stroke::Line(pts) => self.base_us + self.per_point_us * pts.len() as u64,
+            Stroke::Text { content, .. } => {
+                self.base_us + self.per_char_us * content.chars().count() as u64
+            }
+            Stroke::Rect { .. } | Stroke::Ellipse { .. } => self.base_us,
+        }
+    }
+}
+
+/// A complete, timed playback of one overlay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaybackSchedule {
+    /// Events in playback order.
+    pub events: Vec<PlaybackEvent>,
+    /// Total running time (µs).
+    pub total_us: u64,
+}
+
+impl PlaybackSchedule {
+    /// Build the schedule for an overlay at the given pace.
+    #[must_use]
+    pub fn new(overlay: &AnnotationOverlay, pace: Pace) -> Self {
+        let mut events = Vec::with_capacity(overlay.strokes.len());
+        let mut clock = 0u64;
+        for (i, stroke) in overlay.strokes.iter().enumerate() {
+            let duration = pace.duration_of(stroke);
+            events.push(PlaybackEvent {
+                at: clock,
+                duration,
+                stroke: i,
+            });
+            clock += duration + pace.gap_us;
+        }
+        let total_us = clock.saturating_sub(if overlay.strokes.is_empty() {
+            0
+        } else {
+            pace.gap_us
+        });
+        PlaybackSchedule { events, total_us }
+    }
+
+    /// Strokes fully visible at time `t` (µs from start).
+    #[must_use]
+    pub fn visible_at(&self, t: u64) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter(|e| e.at + e.duration <= t)
+            .map(|e| e.stroke)
+            .collect()
+    }
+
+    /// The stroke currently being revealed at `t`, if any.
+    #[must_use]
+    pub fn revealing_at(&self, t: u64) -> Option<usize> {
+        self.events
+            .iter()
+            .find(|e| e.at <= t && t < e.at + e.duration)
+            .map(|e| e.stroke)
+    }
+
+    /// Rescale to fit a target total duration (seek-bar support).
+    #[must_use]
+    pub fn rescaled_to(&self, target_us: u64) -> PlaybackSchedule {
+        if self.total_us == 0 {
+            return self.clone();
+        }
+        let scale = target_us as f64 / self.total_us as f64;
+        let events = self
+            .events
+            .iter()
+            .map(|e| PlaybackEvent {
+                at: (e.at as f64 * scale) as u64,
+                duration: ((e.duration as f64 * scale) as u64).max(1),
+                stroke: e.stroke,
+            })
+            .collect();
+        PlaybackSchedule {
+            events,
+            total_us: target_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+
+    fn overlay() -> AnnotationOverlay {
+        AnnotationOverlay {
+            author: UserId::new("shih"),
+            page: "index.html".into(),
+            strokes: vec![
+                Stroke::Rect {
+                    origin: (0.0, 0.0),
+                    extent: (1.0, 1.0),
+                },
+                Stroke::Line(vec![(0.0, 0.0); 10]),
+                Stroke::Text {
+                    at: (1.0, 1.0),
+                    content: "remember".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn schedule_is_sequential_and_ordered() {
+        let s = PlaybackSchedule::new(&overlay(), Pace::default());
+        assert_eq!(s.events.len(), 3);
+        for w in s.events.windows(2) {
+            assert!(w[1].at >= w[0].at + w[0].duration, "strokes overlap");
+        }
+        assert_eq!(
+            s.total_us,
+            s.events.last().map(|e| e.at + e.duration).unwrap()
+        );
+    }
+
+    #[test]
+    fn durations_reflect_stroke_content() {
+        let pace = Pace::default();
+        let s = PlaybackSchedule::new(&overlay(), pace);
+        // Rect = base; line = base + 10 points; text = base + 8 chars.
+        assert_eq!(s.events[0].duration, pace.base_us);
+        assert_eq!(s.events[1].duration, pace.base_us + 10 * pace.per_point_us);
+        assert_eq!(s.events[2].duration, pace.base_us + 8 * pace.per_char_us);
+    }
+
+    #[test]
+    fn visibility_progression() {
+        let s = PlaybackSchedule::new(&overlay(), Pace::default());
+        assert!(s.visible_at(0).is_empty());
+        assert_eq!(s.revealing_at(0), Some(0));
+        let end_first = s.events[0].at + s.events[0].duration;
+        assert_eq!(s.visible_at(end_first), vec![0]);
+        assert_eq!(s.visible_at(s.total_us), vec![0, 1, 2]);
+        assert_eq!(s.revealing_at(s.total_us), None);
+    }
+
+    #[test]
+    fn rescale_preserves_order_and_count() {
+        let s = PlaybackSchedule::new(&overlay(), Pace::default());
+        let fast = s.rescaled_to(s.total_us / 10);
+        assert_eq!(fast.events.len(), 3);
+        assert_eq!(fast.total_us, s.total_us / 10);
+        assert_eq!(fast.visible_at(fast.total_us), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_overlay() {
+        let empty = AnnotationOverlay {
+            author: UserId::new("x"),
+            page: "p".into(),
+            strokes: vec![],
+        };
+        let s = PlaybackSchedule::new(&empty, Pace::default());
+        assert_eq!(s.total_us, 0);
+        assert!(s.visible_at(u64::MAX).is_empty());
+        assert_eq!(s.rescaled_to(100).total_us, 0);
+    }
+}

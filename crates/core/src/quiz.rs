@@ -1,0 +1,379 @@
+//! Quizzes — the Assessment Criterion (§1, §3).
+//!
+//! "A script … can describe a course material, **or a quiz**." and
+//! "Assessment is the most important and difficult part of distance
+//! education. Tools to support the evaluation of student learning
+//! should be sophisticated enough…"
+//!
+//! A [`Quiz`] is a multiple-choice assessment attached to a script. In
+//! the 1999 system quizzes shipped to student stations as Java applet
+//! program files; here the quiz serializes to/from a
+//! [`ProgramFile`] payload
+//! ([`Quiz::to_program_file`] / [`Quiz::from_program_file`]), is graded
+//! deterministically, and its percentage feeds the registrar's
+//! transcript.
+
+use crate::error::{CoreError, Result};
+use crate::ids::{ScriptName, StartUrl, UserId};
+use crate::tables::implementation::{ProgramFile, ProgramLang};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// One multiple-choice question.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Question {
+    /// The question text (single line).
+    pub prompt: String,
+    /// Answer choices, in display order.
+    pub choices: Vec<String>,
+    /// Index of the correct choice.
+    pub answer: usize,
+    /// Points awarded for a correct answer.
+    pub points: u32,
+}
+
+/// A quiz attached to a script.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quiz {
+    /// The script this quiz belongs to.
+    pub script: ScriptName,
+    /// Questions, in order.
+    pub questions: Vec<Question>,
+}
+
+/// A student's submitted answers (`None` = left blank).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuizResponse {
+    /// Who sat the quiz.
+    pub student: UserId,
+    /// Chosen choice index per question.
+    pub answers: Vec<Option<usize>>,
+}
+
+/// The graded outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GradedQuiz {
+    /// Who sat the quiz.
+    pub student: UserId,
+    /// Points earned.
+    pub earned: u32,
+    /// Points possible.
+    pub possible: u32,
+    /// Per-question correctness.
+    pub per_question: Vec<bool>,
+}
+
+impl GradedQuiz {
+    /// Score as an integer percentage 0–100 (rounded half up), ready
+    /// for [`crate::tier::Registrar::record_grade`].
+    #[must_use]
+    pub fn percent(&self) -> i64 {
+        if self.possible == 0 {
+            return 0;
+        }
+        ((u64::from(self.earned) * 200 + u64::from(self.possible)) / (2 * u64::from(self.possible)))
+            as i64
+    }
+}
+
+impl Quiz {
+    /// Validate structure: at least one question, each with ≥ 2 choices,
+    /// a valid answer index, positive points, and single-line text.
+    pub fn validate(&self) -> Result<()> {
+        if self.questions.is_empty() {
+            return Err(CoreError::InvalidInput("a quiz needs questions".into()));
+        }
+        for (i, q) in self.questions.iter().enumerate() {
+            if q.choices.len() < 2 {
+                return Err(CoreError::InvalidInput(format!(
+                    "question {i} needs at least two choices"
+                )));
+            }
+            if q.answer >= q.choices.len() {
+                return Err(CoreError::InvalidInput(format!(
+                    "question {i}: answer index {} out of range",
+                    q.answer
+                )));
+            }
+            if q.points == 0 {
+                return Err(CoreError::InvalidInput(format!(
+                    "question {i} must be worth points"
+                )));
+            }
+            if q.prompt.contains('\n') || q.choices.iter().any(|c| c.contains('\n')) {
+                return Err(CoreError::InvalidInput(format!(
+                    "question {i}: text must be single-line"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total points possible.
+    #[must_use]
+    pub fn possible_points(&self) -> u32 {
+        self.questions.iter().map(|q| q.points).sum()
+    }
+
+    /// Grade a response. The answer vector must match the question
+    /// count; blanks score zero.
+    pub fn grade(&self, response: &QuizResponse) -> Result<GradedQuiz> {
+        if response.answers.len() != self.questions.len() {
+            return Err(CoreError::InvalidInput(format!(
+                "expected {} answers, got {}",
+                self.questions.len(),
+                response.answers.len()
+            )));
+        }
+        let mut earned = 0;
+        let mut per_question = Vec::with_capacity(self.questions.len());
+        for (q, a) in self.questions.iter().zip(&response.answers) {
+            let correct = *a == Some(q.answer);
+            if correct {
+                earned += q.points;
+            }
+            per_question.push(correct);
+        }
+        Ok(GradedQuiz {
+            student: response.student.clone(),
+            earned,
+            possible: self.possible_points(),
+            per_question,
+        })
+    }
+
+    /// Serialize into the program-file payload format (line-oriented;
+    /// the 1999 system's applet parameter file).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = format!("quiz {}\n", self.script);
+        for q in &self.questions {
+            out.push_str(&format!("q {} {} {}\n", q.points, q.answer, q.prompt));
+            for c in &q.choices {
+                out.push_str(&format!("c {c}\n"));
+            }
+        }
+        out.into_bytes()
+    }
+
+    /// Parse a payload produced by [`Quiz::encode`].
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Quiz> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut lines = text.lines();
+        let script = ScriptName::new(lines.next()?.strip_prefix("quiz ")?);
+        let mut questions: Vec<Question> = Vec::new();
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("q ") {
+                let mut parts = rest.splitn(3, ' ');
+                let points: u32 = parts.next()?.parse().ok()?;
+                let answer: usize = parts.next()?.parse().ok()?;
+                let prompt = parts.next()?.to_owned();
+                questions.push(Question {
+                    prompt,
+                    choices: Vec::new(),
+                    answer,
+                    points,
+                });
+            } else if let Some(choice) = line.strip_prefix("c ") {
+                questions.last_mut()?.choices.push(choice.to_owned());
+            } else if !line.is_empty() {
+                return None;
+            }
+        }
+        let quiz = Quiz { script, questions };
+        quiz.validate().ok()?;
+        Some(quiz)
+    }
+
+    /// Package as the implementation's quiz applet file.
+    pub fn to_program_file(&self, url: &StartUrl, path: impl Into<String>) -> Result<ProgramFile> {
+        self.validate()?;
+        Ok(ProgramFile {
+            url: url.clone(),
+            path: path.into(),
+            lang: ProgramLang::JavaApplet,
+            content: Bytes::from(self.encode()),
+        })
+    }
+
+    /// Extract a quiz from a program file, if it holds one.
+    #[must_use]
+    pub fn from_program_file(file: &ProgramFile) -> Option<Quiz> {
+        Quiz::decode(&file.content)
+    }
+}
+
+/// Grade a whole class and return `(student, percent)` pairs ready for
+/// the transcript, sorted best first.
+pub fn grade_class(quiz: &Quiz, responses: &[QuizResponse]) -> Result<Vec<(UserId, i64)>> {
+    let mut out = Vec::with_capacity(responses.len());
+    for r in responses {
+        let g = quiz.grade(r)?;
+        out.push((g.student.clone(), g.percent()));
+    }
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiz() -> Quiz {
+        Quiz {
+            script: ScriptName::new("intro-mm-quiz1"),
+            questions: vec![
+                Question {
+                    prompt: "Which m minimizes m*log_m N?".into(),
+                    choices: vec!["2".into(), "3".into(), "8".into()],
+                    answer: 1,
+                    points: 2,
+                },
+                Question {
+                    prompt: "BLOBs are shared between…".into(),
+                    choices: vec!["instances".into(), "stations".into()],
+                    answer: 0,
+                    points: 3,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn grading() {
+        let q = quiz();
+        let g = q
+            .grade(&QuizResponse {
+                student: UserId::new("ann"),
+                answers: vec![Some(1), Some(0)],
+            })
+            .unwrap();
+        assert_eq!(g.earned, 5);
+        assert_eq!(g.possible, 5);
+        assert_eq!(g.percent(), 100);
+        assert_eq!(g.per_question, vec![true, true]);
+
+        let g = q
+            .grade(&QuizResponse {
+                student: UserId::new("bob"),
+                answers: vec![Some(1), None],
+            })
+            .unwrap();
+        assert_eq!(g.earned, 2);
+        assert_eq!(g.percent(), 40);
+        assert_eq!(g.per_question, vec![true, false]);
+    }
+
+    #[test]
+    fn percent_rounds_half_up() {
+        let g = GradedQuiz {
+            student: UserId::new("x"),
+            earned: 1,
+            possible: 3,
+            per_question: vec![],
+        };
+        assert_eq!(g.percent(), 33);
+        let g = GradedQuiz {
+            student: UserId::new("x"),
+            earned: 2,
+            possible: 3,
+            per_question: vec![],
+        };
+        assert_eq!(g.percent(), 67);
+        let g = GradedQuiz {
+            student: UserId::new("x"),
+            earned: 0,
+            possible: 0,
+            per_question: vec![],
+        };
+        assert_eq!(g.percent(), 0);
+    }
+
+    #[test]
+    fn validation_catches_bad_quizzes() {
+        let mut q = quiz();
+        q.questions[0].answer = 9;
+        assert!(q.validate().is_err());
+        let mut q = quiz();
+        q.questions[1].choices.truncate(1);
+        assert!(q.validate().is_err());
+        let mut q = quiz();
+        q.questions[0].points = 0;
+        assert!(q.validate().is_err());
+        let mut q = quiz();
+        q.questions.clear();
+        assert!(q.validate().is_err());
+        let mut q = quiz();
+        q.questions[0].prompt = "line1\nline2".into();
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let q = quiz();
+        let err = q
+            .grade(&QuizResponse {
+                student: UserId::new("ann"),
+                answers: vec![Some(0)],
+            })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let q = quiz();
+        assert_eq!(Quiz::decode(&q.encode()), Some(q.clone()));
+        assert!(Quiz::decode(b"not a quiz").is_none());
+        assert!(Quiz::decode(b"quiz s\nwobble\n").is_none());
+    }
+
+    #[test]
+    fn program_file_roundtrip() {
+        let q = quiz();
+        let url = StartUrl::new("http://mmu/intro-mm/l1/");
+        let pf = q.to_program_file(&url, "quiz1.class").unwrap();
+        assert_eq!(pf.lang, ProgramLang::JavaApplet);
+        assert_eq!(Quiz::from_program_file(&pf), Some(q));
+        // A non-quiz program file yields None.
+        let other = ProgramFile {
+            url,
+            path: "anim.class".into(),
+            lang: ProgramLang::JavaApplet,
+            content: Bytes::from_static(&[0xCA, 0xFE]),
+        };
+        assert_eq!(Quiz::from_program_file(&other), None);
+    }
+
+    #[test]
+    fn class_grading_ranks() {
+        let q = quiz();
+        let graded = grade_class(
+            &q,
+            &[
+                QuizResponse {
+                    student: UserId::new("bob"),
+                    answers: vec![Some(0), Some(0)],
+                },
+                QuizResponse {
+                    student: UserId::new("ann"),
+                    answers: vec![Some(1), Some(0)],
+                },
+                QuizResponse {
+                    student: UserId::new("cyd"),
+                    answers: vec![None, None],
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            graded,
+            vec![
+                (UserId::new("ann"), 100),
+                (UserId::new("bob"), 60),
+                (UserId::new("cyd"), 0),
+            ]
+        );
+    }
+}

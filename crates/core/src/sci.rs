@@ -1,0 +1,354 @@
+//! Software configuration items (SCIs).
+//!
+//! §1 of the paper: "These annotations, as well as virtual courses, are
+//! stored as software configuration items (SCIs) in the virtual course
+//! database management system. A SCI can be a page \[that\] shows a piece
+//! of lecture, an annotation to the piece of lecture, or a compound
+//! object containing the above."
+
+use crate::ids::UserId;
+use blobstore::BlobMeta;
+use serde::{Deserialize, Serialize};
+
+/// A lecture page: one HTML file plus the control programs and media it
+/// embeds. Sizes are tracked explicitly so object-reuse experiments can
+/// account structure bytes separately from BLOB bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Page {
+    /// Page path within its implementation (e.g. `lesson3.html`).
+    pub path: String,
+    /// Size of the HTML text in bytes.
+    pub html_bytes: u64,
+    /// Sizes of embedded control programs (applets, ASP) in bytes.
+    pub program_bytes: Vec<u64>,
+    /// Media referenced by the page (descriptors only).
+    pub media: Vec<BlobMeta>,
+}
+
+/// A stroke of the instructor annotation tool (§1: "draw lines, text,
+/// and simple graphic objects on the top of a Web page").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stroke {
+    /// A polyline through the given points.
+    Line(Vec<(f32, f32)>),
+    /// Text placed at a point.
+    Text {
+        /// Anchor position.
+        at: (f32, f32),
+        /// The annotation text.
+        content: String,
+    },
+    /// An axis-aligned box.
+    Rect {
+        /// Top-left corner.
+        origin: (f32, f32),
+        /// Width and height.
+        extent: (f32, f32),
+    },
+    /// An ellipse inside the given box.
+    Ellipse {
+        /// Top-left corner of the bounding box.
+        origin: (f32, f32),
+        /// Width and height of the bounding box.
+        extent: (f32, f32),
+    },
+}
+
+impl Stroke {
+    /// Serialized size estimate of the stroke in bytes (annotation files
+    /// are small vector files; this powers storage accounting).
+    #[must_use]
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            Stroke::Line(pts) => 8 + pts.len() as u64 * 8,
+            Stroke::Text { content, .. } => 16 + content.len() as u64,
+            Stroke::Rect { .. } | Stroke::Ellipse { .. } => 24,
+        }
+    }
+}
+
+/// An annotation overlay: per-instructor drawings on top of a page.
+/// "Different instructors can use the same virtual course but different
+/// annotations" (§1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnotationOverlay {
+    /// The instructor who drew it.
+    pub author: UserId,
+    /// Page path the overlay applies to.
+    pub page: String,
+    /// The drawing, in z-order.
+    pub strokes: Vec<Stroke>,
+}
+
+impl AnnotationOverlay {
+    /// Size of the annotation file in bytes.
+    #[must_use]
+    pub fn byte_size(&self) -> u64 {
+        32 + self.strokes.iter().map(Stroke::byte_size).sum::<u64>()
+    }
+
+    /// Serialize to the annotation *file* format stored in the database:
+    /// a small line-oriented vector format (Rust float `Display` is
+    /// shortest-roundtrip, so coordinates survive exactly).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = String::new();
+        out.push_str(&format!("author {}\n", self.author));
+        out.push_str(&format!("page {}\n", self.page));
+        for s in &self.strokes {
+            match s {
+                Stroke::Line(pts) => {
+                    out.push_str("line");
+                    for (x, y) in pts {
+                        out.push_str(&format!(" {x},{y}"));
+                    }
+                    out.push('\n');
+                }
+                Stroke::Text { at, content } => {
+                    out.push_str(&format!("text {},{} {content}\n", at.0, at.1));
+                }
+                Stroke::Rect { origin, extent } => {
+                    out.push_str(&format!(
+                        "rect {},{} {},{}\n",
+                        origin.0, origin.1, extent.0, extent.1
+                    ));
+                }
+                Stroke::Ellipse { origin, extent } => {
+                    out.push_str(&format!(
+                        "ellipse {},{} {},{}\n",
+                        origin.0, origin.1, extent.0, extent.1
+                    ));
+                }
+            }
+        }
+        out.into_bytes()
+    }
+
+    /// Parse an annotation file produced by [`AnnotationOverlay::encode`].
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        fn pair(tok: &str) -> Option<(f32, f32)> {
+            let (x, y) = tok.split_once(',')?;
+            Some((x.parse().ok()?, y.parse().ok()?))
+        }
+        let textual = std::str::from_utf8(bytes).ok()?;
+        let mut lines = textual.lines();
+        let author = lines.next()?.strip_prefix("author ")?.to_owned();
+        let page = lines.next()?.strip_prefix("page ")?.to_owned();
+        let mut strokes = Vec::new();
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("line") {
+                let pts: Option<Vec<_>> = rest.split_whitespace().map(pair).collect();
+                strokes.push(Stroke::Line(pts?));
+            } else if let Some(rest) = line.strip_prefix("text ") {
+                let (at_tok, content) = rest.split_once(' ').unwrap_or((rest, ""));
+                strokes.push(Stroke::Text {
+                    at: pair(at_tok)?,
+                    content: content.to_owned(),
+                });
+            } else if let Some(rest) = line.strip_prefix("rect ") {
+                let mut it = rest.split_whitespace();
+                strokes.push(Stroke::Rect {
+                    origin: pair(it.next()?)?,
+                    extent: pair(it.next()?)?,
+                });
+            } else if let Some(rest) = line.strip_prefix("ellipse ") {
+                let mut it = rest.split_whitespace();
+                strokes.push(Stroke::Ellipse {
+                    origin: pair(it.next()?)?,
+                    extent: pair(it.next()?)?,
+                });
+            } else if !line.is_empty() {
+                return None;
+            }
+        }
+        Some(AnnotationOverlay {
+            author: UserId::new(author),
+            page,
+            strokes,
+        })
+    }
+}
+
+/// A software configuration item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Sci {
+    /// A lecture page.
+    Page(Page),
+    /// An annotation overlay on a page.
+    Annotation(AnnotationOverlay),
+    /// A compound object containing other SCIs (a whole lecture, a
+    /// whole course).
+    Compound {
+        /// Name of the compound.
+        name: String,
+        /// Members, in presentation order.
+        members: Vec<Sci>,
+    },
+}
+
+impl Sci {
+    /// Total *structure* bytes: HTML + programs + annotation files, but
+    /// **not** BLOB payloads. The paper's duplication argument rests on
+    /// this split: "the duplication process involves objects of
+    /// relatively smaller sizes, such as HTML files. BLOBs in large
+    /// sizes are shared" (§3).
+    #[must_use]
+    pub fn structure_bytes(&self) -> u64 {
+        match self {
+            Sci::Page(p) => p.html_bytes + p.program_bytes.iter().sum::<u64>(),
+            Sci::Annotation(a) => a.byte_size(),
+            Sci::Compound { members, .. } => members.iter().map(Sci::structure_bytes).sum(),
+        }
+    }
+
+    /// All media descriptors reachable from this SCI (with duplicates,
+    /// in document order).
+    #[must_use]
+    pub fn media(&self) -> Vec<BlobMeta> {
+        let mut out = Vec::new();
+        self.collect_media(&mut out);
+        out
+    }
+
+    fn collect_media(&self, out: &mut Vec<BlobMeta>) {
+        match self {
+            Sci::Page(p) => out.extend(p.media.iter().copied()),
+            Sci::Annotation(_) => {}
+            Sci::Compound { members, .. } => {
+                for m in members {
+                    m.collect_media(out);
+                }
+            }
+        }
+    }
+
+    /// Total BLOB bytes referenced (counting each distinct blob once).
+    #[must_use]
+    pub fn blob_bytes(&self) -> u64 {
+        let mut seen = std::collections::BTreeSet::new();
+        self.media()
+            .into_iter()
+            .filter(|m| seen.insert(m.id))
+            .map(|m| m.size)
+            .sum()
+    }
+
+    /// Number of pages in the SCI.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        match self {
+            Sci::Page(_) => 1,
+            Sci::Annotation(_) => 0,
+            Sci::Compound { members, .. } => members.iter().map(Sci::page_count).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobstore::{BlobId, MediaKind};
+
+    fn meta(fill: &[u8], kind: MediaKind) -> BlobMeta {
+        BlobMeta {
+            id: BlobId::of(fill),
+            kind,
+            size: fill.len() as u64,
+        }
+    }
+
+    fn page(path: &str, html: u64, media: Vec<BlobMeta>) -> Sci {
+        Sci::Page(Page {
+            path: path.into(),
+            html_bytes: html,
+            program_bytes: vec![100, 50],
+            media,
+        })
+    }
+
+    #[test]
+    fn structure_bytes_excludes_blobs() {
+        let m = meta(&[1; 1000], MediaKind::Video);
+        let p = page("a.html", 2000, vec![m]);
+        assert_eq!(p.structure_bytes(), 2150);
+        assert_eq!(p.blob_bytes(), 1000);
+    }
+
+    #[test]
+    fn compound_aggregates() {
+        let m1 = meta(&[1; 500], MediaKind::Audio);
+        let m2 = meta(&[2; 700], MediaKind::StillImage);
+        let c = Sci::Compound {
+            name: "lecture1".into(),
+            members: vec![
+                page("a.html", 100, vec![m1]),
+                page("b.html", 200, vec![m1, m2]),
+            ],
+        };
+        assert_eq!(c.page_count(), 2);
+        assert_eq!(c.structure_bytes(), 100 + 200 + 2 * 150);
+        // m1 appears twice but counts once.
+        assert_eq!(c.blob_bytes(), 1200);
+        assert_eq!(c.media().len(), 3);
+    }
+
+    #[test]
+    fn annotation_file_roundtrip() {
+        let overlay = AnnotationOverlay {
+            author: UserId::new("ma"),
+            page: "lesson3.html".into(),
+            strokes: vec![
+                Stroke::Line(vec![(0.5, 1.25), (2.0, 3.75), (4.0, 4.0)]),
+                Stroke::Text {
+                    at: (10.0, 20.5),
+                    content: "see chapter 4, figure 2".into(),
+                },
+                Stroke::Rect {
+                    origin: (1.0, 1.0),
+                    extent: (5.5, 2.5),
+                },
+                Stroke::Ellipse {
+                    origin: (0.0, 0.0),
+                    extent: (3.0, 3.0),
+                },
+            ],
+        };
+        let bytes = overlay.encode();
+        assert_eq!(AnnotationOverlay::decode(&bytes).unwrap(), overlay);
+    }
+
+    #[test]
+    fn annotation_decode_rejects_garbage() {
+        assert!(AnnotationOverlay::decode(b"nope").is_none());
+        assert!(AnnotationOverlay::decode(b"author x\npage p\nwobble 1,2\n").is_none());
+        assert!(AnnotationOverlay::decode(&[0xFF, 0xFE]).is_none());
+    }
+
+    #[test]
+    fn annotation_size_scales_with_strokes() {
+        let small = AnnotationOverlay {
+            author: UserId::new("shih"),
+            page: "a.html".into(),
+            strokes: vec![Stroke::Rect {
+                origin: (0.0, 0.0),
+                extent: (1.0, 1.0),
+            }],
+        };
+        let big = AnnotationOverlay {
+            author: UserId::new("shih"),
+            page: "a.html".into(),
+            strokes: vec![
+                Stroke::Line(vec![(0.0, 0.0); 100]),
+                Stroke::Text {
+                    at: (1.0, 1.0),
+                    content: "remember this for the exam".into(),
+                },
+            ],
+        };
+        assert!(big.byte_size() > small.byte_size());
+        let sci = Sci::Annotation(big);
+        assert_eq!(sci.page_count(), 0);
+        assert!(sci.media().is_empty());
+    }
+}

@@ -1,0 +1,315 @@
+//! Software configuration management for course components (§1).
+//!
+//! "A software configuration management system allows checking in/out
+//! of course components and maintain versions of a course."
+//!
+//! [`ScmRepo`] keeps a version chain per configuration item. Check-out
+//! is exclusive per item (one instructor edits at a time — the
+//! coarse-grained complement to the finer lock table of
+//! [`crate::locking`]); check-in appends a new immutable version.
+
+use crate::error::{CoreError, Result};
+use crate::ids::UserId;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One immutable version of a configuration item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionEntry {
+    /// Version number, starting at 1.
+    pub version: u32,
+    /// Who checked this version in.
+    pub author: UserId,
+    /// Check-in comment.
+    pub comment: String,
+    /// The item content at this version.
+    pub content: Bytes,
+    /// Check-in time.
+    pub created: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ItemHistory {
+    versions: Vec<VersionEntry>,
+    checked_out: Option<(UserId, u32)>,
+}
+
+/// A working copy produced by check-out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkingCopy {
+    /// Item name.
+    pub item: String,
+    /// The version the copy is based on.
+    pub base_version: u32,
+    /// The content to edit.
+    pub content: Bytes,
+}
+
+/// Version-controlled store of course configuration items.
+#[derive(Debug, Default)]
+pub struct ScmRepo {
+    items: BTreeMap<String, ItemHistory>,
+}
+
+impl ScmRepo {
+    /// An empty repository.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a new item at version 1. Fails if it exists.
+    pub fn add_item(
+        &mut self,
+        name: impl Into<String>,
+        author: &UserId,
+        content: impl Into<Bytes>,
+        comment: impl Into<String>,
+        now: u64,
+    ) -> Result<u32> {
+        let name = name.into();
+        if self.items.contains_key(&name) {
+            return Err(CoreError::InvalidInput(format!(
+                "item `{name}` already exists"
+            )));
+        }
+        self.items.insert(
+            name,
+            ItemHistory {
+                versions: vec![VersionEntry {
+                    version: 1,
+                    author: author.clone(),
+                    comment: comment.into(),
+                    content: content.into(),
+                    created: now,
+                }],
+                checked_out: None,
+            },
+        );
+        Ok(1)
+    }
+
+    fn history(&self, name: &str) -> Result<&ItemHistory> {
+        self.items
+            .get(name)
+            .ok_or_else(|| CoreError::InvalidInput(format!("no configuration item `{name}`")))
+    }
+
+    /// Check out the head version for editing. Exclusive: fails with
+    /// [`CoreError::Locked`] while another user holds the item.
+    pub fn checkout(&mut self, name: &str, user: &UserId) -> Result<WorkingCopy> {
+        let hist = self
+            .items
+            .get_mut(name)
+            .ok_or_else(|| CoreError::InvalidInput(format!("no configuration item `{name}`")))?;
+        if let Some((holder, _)) = &hist.checked_out {
+            if holder != user {
+                return Err(CoreError::Locked(format!(
+                    "`{name}` is checked out by `{holder}`"
+                )));
+            }
+        }
+        let head = hist.versions.last().expect("items have >= 1 version");
+        hist.checked_out = Some((user.clone(), head.version));
+        Ok(WorkingCopy {
+            item: name.to_owned(),
+            base_version: head.version,
+            content: head.content.clone(),
+        })
+    }
+
+    /// Check in new content; the caller must hold the check-out.
+    /// Returns the new version number.
+    pub fn checkin(
+        &mut self,
+        name: &str,
+        user: &UserId,
+        content: impl Into<Bytes>,
+        comment: impl Into<String>,
+        now: u64,
+    ) -> Result<u32> {
+        let hist = self
+            .items
+            .get_mut(name)
+            .ok_or_else(|| CoreError::InvalidInput(format!("no configuration item `{name}`")))?;
+        match &hist.checked_out {
+            Some((holder, _)) if holder == user => {}
+            Some((holder, _)) => {
+                return Err(CoreError::Locked(format!(
+                    "`{name}` is checked out by `{holder}`, not `{user}`"
+                )));
+            }
+            None => {
+                return Err(CoreError::InvalidInput(format!(
+                    "`{user}` has not checked out `{name}`"
+                )));
+            }
+        }
+        let version = hist.versions.last().expect("nonempty").version + 1;
+        hist.versions.push(VersionEntry {
+            version,
+            author: user.clone(),
+            comment: comment.into(),
+            content: content.into(),
+            created: now,
+        });
+        hist.checked_out = None;
+        Ok(version)
+    }
+
+    /// Abandon a check-out without creating a version.
+    pub fn cancel_checkout(&mut self, name: &str, user: &UserId) -> Result<()> {
+        let hist = self
+            .items
+            .get_mut(name)
+            .ok_or_else(|| CoreError::InvalidInput(format!("no configuration item `{name}`")))?;
+        match &hist.checked_out {
+            Some((holder, _)) if holder == user => {
+                hist.checked_out = None;
+                Ok(())
+            }
+            Some((holder, _)) => Err(CoreError::Locked(format!(
+                "`{name}` is checked out by `{holder}`"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// The head version entry of an item.
+    pub fn head(&self, name: &str) -> Result<&VersionEntry> {
+        Ok(self.history(name)?.versions.last().expect("nonempty"))
+    }
+
+    /// A specific version.
+    pub fn version(&self, name: &str, version: u32) -> Result<&VersionEntry> {
+        self.history(name)?
+            .versions
+            .iter()
+            .find(|v| v.version == version)
+            .ok_or_else(|| CoreError::InvalidInput(format!("`{name}` has no version {version}")))
+    }
+
+    /// Full history, oldest first.
+    pub fn log(&self, name: &str) -> Result<&[VersionEntry]> {
+        Ok(&self.history(name)?.versions)
+    }
+
+    /// Who currently holds the item, if anyone.
+    pub fn holder(&self, name: &str) -> Result<Option<&UserId>> {
+        Ok(self.history(name)?.checked_out.as_ref().map(|(u, _)| u))
+    }
+
+    /// Names of all items.
+    #[must_use]
+    pub fn item_names(&self) -> Vec<&str> {
+        self.items.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(s: &str) -> UserId {
+        UserId::new(s)
+    }
+
+    fn repo_with(name: &str) -> ScmRepo {
+        let mut r = ScmRepo::new();
+        r.add_item(name, &u("shih"), Bytes::from_static(b"v1"), "initial", 0)
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn checkout_checkin_cycle() {
+        let mut r = repo_with("lecture1");
+        let wc = r.checkout("lecture1", &u("shih")).unwrap();
+        assert_eq!(wc.base_version, 1);
+        assert_eq!(&wc.content[..], b"v1");
+        let v = r
+            .checkin(
+                "lecture1",
+                &u("shih"),
+                Bytes::from_static(b"v2"),
+                "edit",
+                10,
+            )
+            .unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(&r.head("lecture1").unwrap().content[..], b"v2");
+        assert_eq!(r.log("lecture1").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn exclusive_checkout() {
+        let mut r = repo_with("lec");
+        r.checkout("lec", &u("shih")).unwrap();
+        let err = r.checkout("lec", &u("ma")).unwrap_err();
+        assert!(matches!(err, CoreError::Locked(_)));
+        // Re-checkout by the holder is idempotent.
+        r.checkout("lec", &u("shih")).unwrap();
+    }
+
+    #[test]
+    fn checkin_requires_checkout() {
+        let mut r = repo_with("lec");
+        let err = r
+            .checkin("lec", &u("ma"), Bytes::new(), "sneaky", 1)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidInput(_)));
+        r.checkout("lec", &u("shih")).unwrap();
+        let err = r
+            .checkin("lec", &u("ma"), Bytes::new(), "steal", 2)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Locked(_)));
+    }
+
+    #[test]
+    fn cancel_releases() {
+        let mut r = repo_with("lec");
+        r.checkout("lec", &u("shih")).unwrap();
+        assert_eq!(r.holder("lec").unwrap(), Some(&u("shih")));
+        r.cancel_checkout("lec", &u("shih")).unwrap();
+        assert_eq!(r.holder("lec").unwrap(), None);
+        r.checkout("lec", &u("ma")).unwrap();
+        // Canceling someone else's checkout is refused.
+        assert!(matches!(
+            r.cancel_checkout("lec", &u("shih")),
+            Err(CoreError::Locked(_))
+        ));
+        // Canceling with nothing held is a no-op.
+        let mut r2 = repo_with("x");
+        r2.cancel_checkout("x", &u("shih")).unwrap();
+    }
+
+    #[test]
+    fn versions_are_immutable_history() {
+        let mut r = repo_with("lec");
+        for i in 2u32..=5 {
+            r.checkout("lec", &u("shih")).unwrap();
+            r.checkin(
+                "lec",
+                &u("shih"),
+                Bytes::from(format!("v{i}")),
+                format!("edit {i}"),
+                u64::from(i),
+            )
+            .unwrap();
+        }
+        assert_eq!(&r.version("lec", 1).unwrap().content[..], b"v1");
+        assert_eq!(&r.version("lec", 3).unwrap().content[..], b"v3");
+        assert_eq!(r.head("lec").unwrap().version, 5);
+        assert!(r.version("lec", 9).is_err());
+    }
+
+    #[test]
+    fn duplicate_and_missing_items() {
+        let mut r = repo_with("a");
+        assert!(r.add_item("a", &u("x"), Bytes::new(), "", 0).is_err());
+        assert!(r.checkout("missing", &u("x")).is_err());
+        assert!(r.head("missing").is_err());
+        assert_eq!(r.item_names(), vec!["a"]);
+    }
+}

@@ -1,0 +1,399 @@
+//! The three-tier architecture: roles, permissions and the class
+//! administrator front-end (§1).
+//!
+//! "Types of users include students, instructors, and administrators."
+//! "A class administrator performs book keeping of course registration
+//! and network information, which serves as the front end of the
+//! virtual course DBMS." "Administration tools should be available to
+//! administrators, instructors, and students (e.g., checking transcript
+//! information)."
+//!
+//! [`Role`] × [`ActionKind`] is the static permission matrix;
+//! [`Registrar`] is the administrative tier (registration, transcripts,
+//! station bookkeeping) built on its own `relstore` tables; a
+//! [`Session`] binds a user+role and enforces the matrix.
+
+use crate::error::{CoreError, Result};
+use crate::ids::{CourseId, UserId};
+use relstore::{ColumnType, Database, Predicate, TableSchema, Value};
+use serde::{Deserialize, Serialize};
+
+/// User roles of the virtual university.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Keeps admission records, transcripts, registration.
+    Administrator,
+    /// Designs and demonstrates lectures; owns documents.
+    Instructor,
+    /// Traverses lectures, checks out library items, sits assessments.
+    Student,
+}
+
+/// The kinds of actions the permission matrix governs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// Read/traverse course documents.
+    ReadDocument,
+    /// Create or modify course documents and annotations.
+    AuthorDocument,
+    /// Add or delete document instances in the virtual library
+    /// ("an instructor has a privilege to add or delete document
+    /// instances", §5).
+    ManageLibrary,
+    /// Check library items in and out.
+    CheckOutLibrary,
+    /// Register students, record admissions.
+    ManageRegistration,
+    /// Write transcript entries (grades).
+    RecordGrades,
+    /// Read one's own transcript.
+    ViewOwnTranscript,
+    /// Read any transcript.
+    ViewAnyTranscript,
+    /// Run document tests and file bug reports.
+    RunTests,
+}
+
+impl Role {
+    /// The permission matrix.
+    #[must_use]
+    pub fn allows(self, action: ActionKind) -> bool {
+        use ActionKind as A;
+        use Role as R;
+        match (self, action) {
+            // Everyone reads course material and their own transcript.
+            (_, A::ReadDocument | A::ViewOwnTranscript) => true,
+            // Instructors author, manage the library, test, grade.
+            (
+                R::Instructor,
+                A::AuthorDocument
+                | A::ManageLibrary
+                | A::RunTests
+                | A::RecordGrades
+                | A::CheckOutLibrary,
+            ) => true,
+            // Administrators run registration and see all transcripts.
+            (R::Administrator, A::ManageRegistration | A::ViewAnyTranscript) => true,
+            // Students use the library and sit tests.
+            (R::Student, A::CheckOutLibrary) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A registration/transcript/network-bookkeeping record store.
+pub struct Registrar {
+    db: Database,
+}
+
+/// One transcript line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TranscriptEntry {
+    /// Student.
+    pub student: UserId,
+    /// Course.
+    pub course: CourseId,
+    /// Grade, 0–100.
+    pub grade: i64,
+    /// When recorded.
+    pub recorded: u64,
+}
+
+impl Default for Registrar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registrar {
+    /// Create the administrative tables.
+    #[must_use]
+    pub fn new() -> Self {
+        let db = Database::new();
+        db.create_table(
+            TableSchema::builder("registration")
+                .column("student", ColumnType::Text)
+                .column("course", ColumnType::Text)
+                .column("registered", ColumnType::Timestamp)
+                .primary_key(&["student", "course"])
+                .index("by_course", &["course"], false)
+                .index("by_student", &["student"], false)
+                .build()
+                .expect("static schema"),
+        )
+        .expect("fresh database");
+        db.create_table(
+            TableSchema::builder("transcript")
+                .column("student", ColumnType::Text)
+                .column("course", ColumnType::Text)
+                .column("grade", ColumnType::Int)
+                .column("recorded", ColumnType::Timestamp)
+                .primary_key(&["student", "course"])
+                .index("t_by_student", &["student"], false)
+                .build()
+                .expect("static schema"),
+        )
+        .expect("fresh database");
+        db.create_table(
+            TableSchema::builder("station_info")
+                .column("user", ColumnType::Text)
+                .column("station", ColumnType::Int)
+                .primary_key(&["user"])
+                .index("by_station", &["station"], false)
+                .build()
+                .expect("static schema"),
+        )
+        .expect("fresh database");
+        Registrar { db }
+    }
+
+    /// Register a student in a course.
+    pub fn register(&self, student: &UserId, course: &CourseId, now: u64) -> Result<()> {
+        self.db.with_txn(|t| {
+            t.insert(
+                "registration",
+                vec![
+                    student.as_str().into(),
+                    course.as_str().into(),
+                    Value::Timestamp(now),
+                ],
+            )
+            .map(|_| ())
+        })?;
+        Ok(())
+    }
+
+    /// Courses a student is registered in.
+    pub fn courses_of(&self, student: &UserId) -> Result<Vec<CourseId>> {
+        let rows = self
+            .db
+            .with_txn(|t| t.select("registration", &Predicate::eq("student", student.as_str())))?;
+        Ok(rows
+            .iter()
+            .filter_map(|(_, r)| r[1].as_text().map(CourseId::new))
+            .collect())
+    }
+
+    /// Students registered in a course (the class roll).
+    pub fn roll(&self, course: &CourseId) -> Result<Vec<UserId>> {
+        let rows = self
+            .db
+            .with_txn(|t| t.select("registration", &Predicate::eq("course", course.as_str())))?;
+        Ok(rows
+            .iter()
+            .filter_map(|(_, r)| r[0].as_text().map(UserId::new))
+            .collect())
+    }
+
+    /// Record (or overwrite) a grade.
+    pub fn record_grade(
+        &self,
+        student: &UserId,
+        course: &CourseId,
+        grade: i64,
+        now: u64,
+    ) -> Result<()> {
+        if !(0..=100).contains(&grade) {
+            return Err(CoreError::InvalidInput(format!(
+                "grade {grade} out of range 0–100"
+            )));
+        }
+        self.db.with_txn(|t| {
+            let existing = t.select(
+                "transcript",
+                &Predicate::eq("student", student.as_str())
+                    .and(Predicate::eq("course", course.as_str())),
+            )?;
+            match existing.first() {
+                Some((id, _)) => t.update_cols(
+                    "transcript",
+                    *id,
+                    &[
+                        ("grade", Value::Int(grade)),
+                        ("recorded", Value::Timestamp(now)),
+                    ],
+                ),
+                None => t
+                    .insert(
+                        "transcript",
+                        vec![
+                            student.as_str().into(),
+                            course.as_str().into(),
+                            Value::Int(grade),
+                            Value::Timestamp(now),
+                        ],
+                    )
+                    .map(|_| ()),
+            }
+        })?;
+        Ok(())
+    }
+
+    /// A student's transcript.
+    pub fn transcript(&self, student: &UserId) -> Result<Vec<TranscriptEntry>> {
+        let rows = self
+            .db
+            .with_txn(|t| t.select("transcript", &Predicate::eq("student", student.as_str())))?;
+        Ok(rows
+            .iter()
+            .map(|(_, r)| TranscriptEntry {
+                student: UserId::new(r[0].as_text().unwrap_or_default()),
+                course: CourseId::new(r[1].as_text().unwrap_or_default()),
+                grade: r[2].as_int().unwrap_or_default(),
+                recorded: r[3].as_timestamp().unwrap_or_default(),
+            })
+            .collect())
+    }
+
+    /// Record which station a user works from (network bookkeeping).
+    pub fn set_station(&self, user: &UserId, station: u32) -> Result<()> {
+        self.db.with_txn(|t| {
+            let existing = t.select("station_info", &Predicate::eq("user", user.as_str()))?;
+            match existing.first() {
+                Some((id, _)) => {
+                    t.update_cols("station_info", *id, &[("station", Value::from(station))])
+                }
+                None => t
+                    .insert(
+                        "station_info",
+                        vec![user.as_str().into(), Value::from(station)],
+                    )
+                    .map(|_| ()),
+            }
+        })?;
+        Ok(())
+    }
+
+    /// The station a user last registered from.
+    pub fn station_of(&self, user: &UserId) -> Result<Option<u32>> {
+        let rows = self
+            .db
+            .with_txn(|t| t.select("station_info", &Predicate::eq("user", user.as_str())))?;
+        Ok(rows
+            .first()
+            .and_then(|(_, r)| r[1].as_int())
+            .map(|v| v as u32))
+    }
+}
+
+/// A logged-in user of the three-tier system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// The user.
+    pub user: UserId,
+    /// Their role.
+    pub role: Role,
+}
+
+impl Session {
+    /// Open a session.
+    #[must_use]
+    pub fn new(user: UserId, role: Role) -> Self {
+        Session { user, role }
+    }
+
+    /// Enforce the permission matrix; `Err(Forbidden)` if refused.
+    pub fn authorize(&self, action: ActionKind) -> Result<()> {
+        if self.role.allows(action) {
+            Ok(())
+        } else {
+            Err(CoreError::Forbidden {
+                user: self.user.to_string(),
+                action: format!("{action:?}"),
+            })
+        }
+    }
+
+    /// Transcript access: students see their own, administrators see
+    /// anyone's.
+    pub fn view_transcript(
+        &self,
+        registrar: &Registrar,
+        student: &UserId,
+    ) -> Result<Vec<TranscriptEntry>> {
+        if student == &self.user {
+            self.authorize(ActionKind::ViewOwnTranscript)?;
+        } else {
+            self.authorize(ActionKind::ViewAnyTranscript)?;
+        }
+        registrar.transcript(student)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(s: &str) -> UserId {
+        UserId::new(s)
+    }
+    fn c(s: &str) -> CourseId {
+        CourseId::new(s)
+    }
+
+    #[test]
+    fn permission_matrix() {
+        use ActionKind as A;
+        assert!(Role::Student.allows(A::ReadDocument));
+        assert!(Role::Student.allows(A::CheckOutLibrary));
+        assert!(!Role::Student.allows(A::AuthorDocument));
+        assert!(!Role::Student.allows(A::ManageRegistration));
+        assert!(Role::Instructor.allows(A::AuthorDocument));
+        assert!(Role::Instructor.allows(A::ManageLibrary));
+        assert!(Role::Instructor.allows(A::RecordGrades));
+        assert!(!Role::Instructor.allows(A::ManageRegistration));
+        assert!(Role::Administrator.allows(A::ManageRegistration));
+        assert!(Role::Administrator.allows(A::ViewAnyTranscript));
+        assert!(!Role::Administrator.allows(A::AuthorDocument));
+    }
+
+    #[test]
+    fn registration_and_roll() {
+        let r = Registrar::new();
+        r.register(&u("s1"), &c("intro-ce"), 1).unwrap();
+        r.register(&u("s2"), &c("intro-ce"), 2).unwrap();
+        r.register(&u("s1"), &c("intro-mm"), 3).unwrap();
+        assert_eq!(r.roll(&c("intro-ce")).unwrap().len(), 2);
+        assert_eq!(r.courses_of(&u("s1")).unwrap().len(), 2);
+        // Double registration refused (composite PK).
+        assert!(r.register(&u("s1"), &c("intro-ce"), 4).is_err());
+    }
+
+    #[test]
+    fn grades_and_transcripts() {
+        let r = Registrar::new();
+        r.record_grade(&u("s1"), &c("intro-ce"), 88, 10).unwrap();
+        r.record_grade(&u("s1"), &c("intro-mm"), 75, 11).unwrap();
+        // Overwrite.
+        r.record_grade(&u("s1"), &c("intro-mm"), 80, 12).unwrap();
+        let t = r.transcript(&u("s1")).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().any(|e| e.course == c("intro-mm") && e.grade == 80));
+        assert!(r.record_grade(&u("s1"), &c("x"), 101, 0).is_err());
+    }
+
+    #[test]
+    fn transcript_visibility() {
+        let r = Registrar::new();
+        r.record_grade(&u("s1"), &c("intro-ce"), 90, 1).unwrap();
+        let student = Session::new(u("s1"), Role::Student);
+        let other = Session::new(u("s2"), Role::Student);
+        let admin = Session::new(u("adm"), Role::Administrator);
+        assert_eq!(student.view_transcript(&r, &u("s1")).unwrap().len(), 1);
+        assert!(matches!(
+            other.view_transcript(&r, &u("s1")),
+            Err(CoreError::Forbidden { .. })
+        ));
+        assert_eq!(admin.view_transcript(&r, &u("s1")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn station_bookkeeping() {
+        let r = Registrar::new();
+        assert_eq!(r.station_of(&u("s1")).unwrap(), None);
+        r.set_station(&u("s1"), 7).unwrap();
+        assert_eq!(r.station_of(&u("s1")).unwrap(), Some(7));
+        r.set_station(&u("s1"), 9).unwrap();
+        assert_eq!(r.station_of(&u("s1")).unwrap(), Some(9));
+    }
+}

@@ -1,0 +1,392 @@
+//! Integration tests of the WebDocDb facade: schema wiring, cascades,
+//! BLOB accounting, alert resolution, backup/restore.
+
+use blobstore::MediaKind;
+use bytes::Bytes;
+use wdoc_core::dbms::{DatabaseInfo, WebDocDb};
+use wdoc_core::ids::{AnnotationName, DbName, ScriptName, StartUrl, TestRecordName, UserId};
+use wdoc_core::sci::{AnnotationOverlay, Stroke};
+use wdoc_core::tables::test_record::TraversalMsg;
+use wdoc_core::tables::{
+    Annotation, BugReport, HtmlFile, Implementation, Script, TestRecord, TestScope,
+};
+use wdoc_core::{CoreError, ObjectKind};
+
+fn db_with_course() -> (WebDocDb, ScriptName, StartUrl) {
+    let db = WebDocDb::new();
+    db.create_database(&DatabaseInfo {
+        name: DbName::new("courses"),
+        keywords: vec!["test".into()],
+        author: UserId::new("shih"),
+        version: 1,
+        created: 0,
+    })
+    .unwrap();
+    let script = ScriptName::new("lec1");
+    db.add_script(&Script {
+        name: script.clone(),
+        db: DbName::new("courses"),
+        keywords: vec!["k".into()],
+        author: UserId::new("shih"),
+        version: 1,
+        created: 0,
+        description: "d".into(),
+        expected_completion: Some(99),
+        percent_complete: 50,
+    })
+    .unwrap();
+    let url = StartUrl::new("http://mmu/lec1/");
+    db.add_implementation(
+        &Implementation {
+            url: url.clone(),
+            script: script.clone(),
+            author: UserId::new("shih"),
+            created: 1,
+        },
+        &[HtmlFile {
+            url: url.clone(),
+            path: "index.html".into(),
+            content: Bytes::from_static(b"<html>x</html>"),
+        }],
+        &[],
+    )
+    .unwrap();
+    (db, script, url)
+}
+
+#[test]
+fn implementation_requires_html() {
+    let (db, script, _) = db_with_course();
+    let url2 = StartUrl::new("http://mmu/empty/");
+    let err = db
+        .add_implementation(
+            &Implementation {
+                url: url2,
+                script,
+                author: UserId::new("shih"),
+                created: 2,
+            },
+            &[],
+            &[],
+        )
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidInput(_)));
+}
+
+#[test]
+fn file_rows_must_match_implementation() {
+    let (db, script, _) = db_with_course();
+    let url2 = StartUrl::new("http://mmu/l2/");
+    let err = db
+        .add_implementation(
+            &Implementation {
+                url: url2,
+                script,
+                author: UserId::new("shih"),
+                created: 2,
+            },
+            &[HtmlFile {
+                url: StartUrl::new("http://elsewhere/"),
+                path: "a.html".into(),
+                content: Bytes::new(),
+            }],
+            &[],
+        )
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidInput(_)));
+}
+
+#[test]
+fn script_requires_existing_database() {
+    let db = WebDocDb::new();
+    let err = db
+        .add_script(&Script {
+            name: ScriptName::new("x"),
+            db: DbName::new("ghost"),
+            keywords: vec![],
+            author: UserId::new("a"),
+            version: 1,
+            created: 0,
+            description: String::new(),
+            expected_completion: None,
+            percent_complete: 0,
+        })
+        .unwrap_err();
+    assert!(matches!(err, CoreError::Store(_)));
+}
+
+#[test]
+fn annotations_and_tests_cascade_with_script() {
+    let (db, script, url) = db_with_course();
+    db.add_test_record(&TestRecord {
+        name: TestRecordName::new("tr"),
+        scope: TestScope::Local,
+        messages: vec![TraversalMsg::Navigate("index.html".into())],
+        script: script.clone(),
+        url: Some(url.clone()),
+        created: 2,
+    })
+    .unwrap();
+    db.add_bug_report(&BugReport {
+        name: "bug".into(),
+        qa_engineer: UserId::new("huang"),
+        procedure: "p".into(),
+        description: "d".into(),
+        bad_urls: vec![],
+        missing_objects: vec![],
+        inconsistency: String::new(),
+        redundant_objects: vec![],
+        test_record: TestRecordName::new("tr"),
+        created: 3,
+    })
+    .unwrap();
+    db.add_annotation(&Annotation {
+        name: AnnotationName::new("ann"),
+        author: UserId::new("ma"),
+        version: 1,
+        created: 4,
+        script: script.clone(),
+        url: Some(url.clone()),
+        overlay: AnnotationOverlay {
+            author: UserId::new("ma"),
+            page: "index.html".into(),
+            strokes: vec![Stroke::Rect {
+                origin: (0.0, 0.0),
+                extent: (1.0, 1.0),
+            }],
+        },
+    })
+    .unwrap();
+
+    db.remove_script(&script).unwrap();
+    assert!(db.test_record(&TestRecordName::new("tr")).is_err());
+    assert!(db.annotation(&AnnotationName::new("ann")).is_err());
+    assert!(db
+        .bug_reports_of(&TestRecordName::new("tr"))
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn bug_reports_of_script_joins_through_test_records() {
+    let (db, script, url) = db_with_course();
+    for i in 0..3 {
+        db.add_test_record(&TestRecord {
+            name: TestRecordName::new(format!("tr{i}")),
+            scope: TestScope::Local,
+            messages: vec![],
+            script: script.clone(),
+            url: Some(url.clone()),
+            created: i,
+        })
+        .unwrap();
+        for j in 0..2 {
+            db.add_bug_report(&BugReport {
+                name: format!("bug-{i}-{j}").into(),
+                qa_engineer: UserId::new("huang"),
+                procedure: String::new(),
+                description: String::new(),
+                bad_urls: vec![],
+                missing_objects: vec![],
+                inconsistency: String::new(),
+                redundant_objects: vec![],
+                test_record: TestRecordName::new(format!("tr{i}")),
+                created: 10 * i + j,
+            })
+            .unwrap();
+        }
+    }
+    let bugs = db.bug_reports_of_script(&script).unwrap();
+    assert_eq!(bugs.len(), 6);
+    assert!(bugs.iter().all(|b| b.qa_engineer == UserId::new("huang")));
+    // A different script sees nothing.
+    db.add_script(&Script {
+        name: ScriptName::new("other"),
+        db: DbName::new("courses"),
+        keywords: vec![],
+        author: UserId::new("shih"),
+        version: 1,
+        created: 0,
+        description: String::new(),
+        expected_completion: None,
+        percent_complete: 0,
+    })
+    .unwrap();
+    assert!(db
+        .bug_reports_of_script(&ScriptName::new("other"))
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn deleting_implementation_nulls_test_and_annotation_urls() {
+    let (db, script, url) = db_with_course();
+    db.add_test_record(&TestRecord {
+        name: TestRecordName::new("tr"),
+        scope: TestScope::Global,
+        messages: vec![],
+        script: script.clone(),
+        url: Some(url.clone()),
+        created: 2,
+    })
+    .unwrap();
+    // Delete the implementation row directly through the substrate.
+    let rel = db.relational();
+    rel.with_txn(|t| {
+        let rows = t.select(
+            "implementation",
+            &relstore::Predicate::eq("url", url.as_str()),
+        )?;
+        t.delete("implementation", rows[0].0)
+    })
+    .unwrap();
+    let tr = db.test_record(&TestRecordName::new("tr")).unwrap();
+    assert_eq!(tr.url, None, "SET NULL fired");
+    // The script itself is untouched.
+    assert!(db.script(&script).is_ok());
+}
+
+#[test]
+fn blob_refcounts_shared_across_documents() {
+    let (db, script, url) = db_with_course();
+    let clip = Bytes::from(vec![9u8; 1000]);
+    let m1 = db
+        .attach_script_resource(&script, MediaKind::Audio, clip.clone())
+        .unwrap();
+    let m2 = db
+        .attach_implementation_resource(&url, MediaKind::Audio, clip)
+        .unwrap();
+    assert_eq!(m1.id, m2.id, "content-addressed sharing");
+    assert_eq!(db.blobs().ref_count(m1.id), 2);
+    assert_eq!(db.blobs().stats().physical_bytes, 1000);
+    db.remove_script(&script).unwrap();
+    assert_eq!(db.blobs().stats().physical_bytes, 0, "all refs released");
+}
+
+#[test]
+fn duplicate_resource_attachment_rejected_and_rolled_back() {
+    let (db, script, _) = db_with_course();
+    let clip = Bytes::from(vec![1u8; 64]);
+    db.attach_script_resource(&script, MediaKind::Midi, clip.clone())
+        .unwrap();
+    let before = db.blobs().ref_count(blobstore::BlobId::of(&clip));
+    // Same (owner, blob) pair violates the junction PK; the blob ref
+    // taken for the failed attach must be released.
+    let err = db
+        .attach_script_resource(&script, MediaKind::Midi, clip.clone())
+        .unwrap_err();
+    assert!(matches!(err, CoreError::Store(_)));
+    assert_eq!(db.blobs().ref_count(blobstore::BlobId::of(&clip)), before);
+}
+
+#[test]
+fn alerts_resolve_actual_children() {
+    let (db, script, url) = db_with_course();
+    db.attach_implementation_resource(&url, MediaKind::Video, Bytes::from(vec![3u8; 50]))
+        .unwrap();
+    db.add_annotation(&Annotation {
+        name: AnnotationName::new("ann"),
+        author: UserId::new("ma"),
+        version: 1,
+        created: 4,
+        script: script.clone(),
+        url: Some(url.clone()),
+        overlay: AnnotationOverlay {
+            author: UserId::new("ma"),
+            page: "index.html".into(),
+            strokes: vec![],
+        },
+    })
+    .unwrap();
+    let alerts = db.alerts_for(ObjectKind::Script, script.as_str()).unwrap();
+    let kinds: Vec<ObjectKind> = alerts.iter().map(|a| a.target.kind).collect();
+    assert!(kinds.contains(&ObjectKind::Implementation));
+    assert!(kinds.contains(&ObjectKind::HtmlFile));
+    assert!(kinds.contains(&ObjectKind::MultimediaResource));
+    assert!(kinds.contains(&ObjectKind::Annotation));
+    assert!(kinds.contains(&ObjectKind::AnnotationFile));
+    // Depths follow the diagram.
+    let ann_file = alerts
+        .iter()
+        .find(|a| a.target.kind == ObjectKind::AnnotationFile)
+        .unwrap();
+    assert_eq!(ann_file.depth, 3); // script → impl → annotation → file
+}
+
+#[test]
+fn update_script_rejects_rename() {
+    let (db, script, _) = db_with_course();
+    let err = db
+        .update_script(&script, |s| s.name = ScriptName::new("renamed"))
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidInput(_)));
+}
+
+#[test]
+fn quizzes_attach_and_roundtrip_through_program_files() {
+    use wdoc_core::quiz::{Question, Quiz, QuizResponse};
+    let (db, _script, url) = db_with_course();
+    let quiz = Quiz {
+        script: ScriptName::new("lec1"),
+        questions: vec![Question {
+            prompt: "2+2?".into(),
+            choices: vec!["3".into(), "4".into()],
+            answer: 1,
+            points: 10,
+        }],
+    };
+    let path = db.attach_quiz(&url, &quiz).unwrap();
+    assert_eq!(path, "quiz-0.class");
+    // A second quiz gets the next slot.
+    let path2 = db.attach_quiz(&url, &quiz).unwrap();
+    assert_eq!(path2, "quiz-1.class");
+    let quizzes = db.quizzes_of(&url).unwrap();
+    assert_eq!(quizzes.len(), 2);
+    assert_eq!(quizzes[0], quiz);
+    // The delivered quiz grades as authored.
+    let graded = quizzes[0]
+        .grade(&QuizResponse {
+            student: UserId::new("ann"),
+            answers: vec![Some(1)],
+        })
+        .unwrap();
+    assert_eq!(graded.percent(), 100);
+    // Non-quiz program files are not reported as quizzes.
+    assert_eq!(db.program_files(&url).unwrap().len(), 2);
+}
+
+#[test]
+fn backup_restore_roundtrip() {
+    let (db, script, url) = db_with_course();
+    db.attach_implementation_resource(&url, MediaKind::Video, Bytes::from(vec![4u8; 2000]))
+        .unwrap();
+    let backup = db.backup().unwrap();
+    assert!(backup.relational.row_count() > 0);
+    assert_eq!(backup.blobs.len(), 1);
+
+    let restored = WebDocDb::restore(&backup).unwrap();
+    assert_eq!(restored.script(&script).unwrap().name, script);
+    assert_eq!(restored.html_files(&url).unwrap().len(), 1);
+    assert_eq!(restored.implementation_resources(&url).unwrap().len(), 1);
+    assert_eq!(restored.blobs().stats().physical_bytes, 2000);
+    // The restored instance is live: cascades still work.
+    restored.remove_script(&script).unwrap();
+    assert_eq!(restored.blobs().stats().physical_bytes, 0);
+}
+
+#[test]
+fn storage_breakdown_accounts_layers() {
+    let (db, _, url) = db_with_course();
+    let before = db.storage().unwrap();
+    db.attach_implementation_resource(&url, MediaKind::Video, Bytes::from(vec![5u8; 10_000]))
+        .unwrap();
+    let after = db.storage().unwrap();
+    assert_eq!(
+        after.blob_physical_bytes,
+        before.blob_physical_bytes + 10_000
+    );
+    assert!(
+        after.document_bytes > before.document_bytes,
+        "descriptor row adds bytes"
+    );
+}

@@ -1,0 +1,122 @@
+//! Property tests for the document testers: on arbitrary page graphs,
+//! the black-box findings must partition the pages and account for
+//! every link.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use wdoc_core::complexity::PageGraph;
+use wdoc_core::dbms::{DatabaseInfo, WebDocDb};
+use wdoc_core::ids::{DbName, ScriptName, StartUrl, UserId};
+use wdoc_core::tables::{HtmlFile, Implementation, Script};
+use wdoc_core::testing::black_box_test;
+
+/// Build an implementation with `n` pages whose links are given as
+/// (from, to) indices; `to >= n` encodes a dangling link.
+fn build(db: &WebDocDb, n: usize, links: &[(usize, usize)]) -> StartUrl {
+    db.create_database(&DatabaseInfo {
+        name: DbName::new("d"),
+        keywords: vec![],
+        author: UserId::new("shih"),
+        version: 1,
+        created: 0,
+    })
+    .unwrap();
+    db.add_script(&Script {
+        name: ScriptName::new("s"),
+        db: DbName::new("d"),
+        keywords: vec![],
+        author: UserId::new("shih"),
+        version: 1,
+        created: 0,
+        description: String::new(),
+        expected_completion: None,
+        percent_complete: 0,
+    })
+    .unwrap();
+    let url = StartUrl::new("http://mmu/s/");
+    let html: Vec<HtmlFile> = (0..n)
+        .map(|p| {
+            let body: String = links
+                .iter()
+                .filter(|(from, _)| *from == p)
+                .map(|(_, to)| format!("<a href=\"page{to}.html\">x</a>"))
+                .collect();
+            HtmlFile {
+                url: url.clone(),
+                path: format!("page{p}.html"),
+                content: Bytes::from(format!("<html><body>{body}</body></html>")),
+            }
+        })
+        .collect();
+    db.add_implementation(
+        &Implementation {
+            url: url.clone(),
+            script: ScriptName::new("s"),
+            author: UserId::new("shih"),
+            created: 0,
+        },
+        &html,
+        &[],
+    )
+    .unwrap();
+    url
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any random page graph: reachable + redundant = all pages;
+    /// navigation messages equal the reachable count; dangling findings
+    /// equal the links whose target index is out of range.
+    #[test]
+    fn black_box_partitions_pages(
+        n in 1usize..10,
+        links in proptest::collection::vec((0usize..10, 0usize..14), 0..25),
+    ) {
+        let links: Vec<(usize, usize)> = links
+            .into_iter()
+            .map(|(f, t)| (f % n, t))
+            .collect();
+        let db = WebDocDb::new();
+        let url = build(&db, n, &links);
+        let out = black_box_test(&db, &url, "tr", &UserId::new("qa"), 0).unwrap();
+
+        // Ground truth from an independent traversal.
+        let html = db.html_files(&url).unwrap();
+        let graph = PageGraph::build(&html);
+        let reach = graph.reachable_from("page0.html");
+        prop_assert_eq!(out.record.messages.len(), reach.len());
+        prop_assert_eq!(
+            out.report.redundant_objects.len() + reach.len(),
+            n,
+            "reachable and unreachable pages partition the document"
+        );
+        let expected_dangling = links.iter().filter(|(_, t)| *t >= n).count();
+        prop_assert_eq!(out.report.bad_urls.len(), expected_dangling);
+        // The report is persisted and internally consistent.
+        prop_assert_eq!(
+            out.report.is_clean(),
+            expected_dangling == 0 && reach.len() == n
+        );
+    }
+
+    /// The complexity metric is stable: pages and links counted exactly.
+    #[test]
+    fn complexity_counts_exactly(
+        n in 1usize..10,
+        links in proptest::collection::vec((0usize..10, 0usize..10), 0..20),
+    ) {
+        let links: Vec<(usize, usize)> = links
+            .into_iter()
+            .map(|(f, t)| (f % n, t % n))
+            .collect();
+        let db = WebDocDb::new();
+        let url = build(&db, n, &links);
+        let html = db.html_files(&url).unwrap();
+        let report = wdoc_core::complexity::estimate(&html, &[], &[], "page0.html");
+        prop_assert_eq!(report.pages, n);
+        prop_assert_eq!(report.links, links.len());
+        prop_assert_eq!(report.dangling_links, 0);
+        prop_assert_eq!(report.cyclomatic, links.len() as i64 - n as i64 + 2);
+    }
+}

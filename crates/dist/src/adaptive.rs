@@ -1,0 +1,221 @@
+//! Adaptive fan-out selection (§4).
+//!
+//! "The system maintains the sizes of m's, based on the number of
+//! workstations and the physical network bandwidth for different types
+//! of multimedia data. This design achieve\[s\] one of our project goals:
+//! adaptive to changing network conditions."
+//!
+//! For a full m-ary relay tree of N stations where every relay
+//! serializes its m child-sends over one uplink, the completion time is
+//! approximately
+//!
+//! ```text
+//!     T(m) ≈ m · d · S/B  +  d · L,      d = height of the tree
+//! ```
+//!
+//! (`S` object size, `B` uplink bandwidth, `L` per-hop latency): each
+//! level of the critical path waits for the *last* of its parent's m
+//! sends plus one propagation delay. Minimizing `m·log_m N` alone gives
+//! the classic optimum `m = 3` (nearest integer to *e*); large `L`
+//! relative to `S/B` pushes the optimum upward (shallower trees), which
+//! is exactly why small MIDI files want wide trees and big video files
+//! want narrow ones. [`AdaptiveController`] picks `argmin T(m)` per
+//! media type.
+
+use crate::tree::BroadcastTree;
+use blobstore::MediaKind;
+use netsim::{LinkSpec, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Height of a full m-ary tree with `n` nodes (root depth 0).
+#[must_use]
+pub fn tree_height(n: u64, m: u64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    if m == 1 {
+        return n - 1;
+    }
+    // Positions at depth d span ((m^d - 1)/(m-1), (m^{d+1} - 1)/(m-1)].
+    let mut depth = 0u64;
+    let mut level_end = 1u64; // last position at current depth
+    let mut level_size = 1u64;
+    while level_end < n {
+        level_size = level_size.saturating_mul(m);
+        level_end = level_end.saturating_add(level_size);
+        depth += 1;
+    }
+    depth
+}
+
+/// Predicted completion time of an m-ary relay broadcast on a uniform
+/// network: the exact arrival recurrence
+///
+/// ```text
+///     arrival(1)  = 0
+///     arrival(k)  = arrival(parent(k)) + i(k)·S/B + L
+/// ```
+///
+/// where `i(k)` is k's child index — each relay serializes its m sends,
+/// so the i-th child waits i serialization slots. Completion is the
+/// maximum arrival. O(n) per candidate fan-out, which is cheap enough
+/// for the controller to evaluate exactly rather than through the
+/// closed-form approximation `d·(m·S/B + L)` (that form overestimates
+/// wide trees whose last level is only partially filled).
+#[must_use]
+pub fn predict_completion(n: u64, m: u64, object_bytes: u64, link: LinkSpec) -> SimTime {
+    if n <= 1 {
+        return SimTime::ZERO;
+    }
+    let serial = SimTime::transfer(object_bytes, link.bandwidth).as_micros();
+    let lat = link.latency.as_micros();
+    let mut arrival = vec![0u64; n as usize + 1];
+    let mut worst = 0u64;
+    for k in 2..=n {
+        let parent = crate::tree::parent_position(k, m);
+        let i = crate::tree::child_index(k, m);
+        let at = arrival[parent as usize]
+            .saturating_add(i.saturating_mul(serial))
+            .saturating_add(lat);
+        arrival[k as usize] = at;
+        worst = worst.max(at);
+    }
+    SimTime::from_micros(worst)
+}
+
+/// The fan-out chooser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveController {
+    /// Smallest fan-out considered.
+    pub min_m: u64,
+    /// Largest fan-out considered.
+    pub max_m: u64,
+}
+
+impl Default for AdaptiveController {
+    fn default() -> Self {
+        AdaptiveController {
+            min_m: 1,
+            max_m: 16,
+        }
+    }
+}
+
+impl AdaptiveController {
+    /// Best fan-out for broadcasting `object_bytes` to `n` stations
+    /// over `link`.
+    #[must_use]
+    pub fn best_m(&self, n: u64, object_bytes: u64, link: LinkSpec) -> u64 {
+        (self.min_m..=self.max_m)
+            .min_by_key(|&m| predict_completion(n, m, object_bytes, link).as_micros())
+            .unwrap_or(3)
+    }
+
+    /// Best fan-out for a media kind's typical object size — "the sizes
+    /// of m's … for different types of multimedia data".
+    #[must_use]
+    pub fn m_for_media(&self, n: u64, kind: MediaKind, link: LinkSpec) -> u64 {
+        self.best_m(n, kind.typical_size(), link)
+    }
+
+    /// Build the broadcast tree this controller would use.
+    #[must_use]
+    pub fn plan_tree(
+        &self,
+        stations: Vec<netsim::StationId>,
+        object_bytes: u64,
+        link: LinkSpec,
+    ) -> BroadcastTree {
+        let m = self.best_m(stations.len() as u64, object_bytes, link);
+        BroadcastTree::new(stations, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn height_formula() {
+        assert_eq!(tree_height(1, 3), 0);
+        assert_eq!(tree_height(4, 3), 1); // root + 3 children
+        assert_eq!(tree_height(5, 3), 2);
+        assert_eq!(tree_height(13, 3), 2); // 1 + 3 + 9
+        assert_eq!(tree_height(14, 3), 3);
+        assert_eq!(tree_height(7, 2), 2);
+        assert_eq!(tree_height(8, 2), 3);
+        assert_eq!(tree_height(10, 1), 9);
+    }
+
+    #[test]
+    fn height_matches_broadcast_tree() {
+        use netsim::StationId;
+        for m in 1..=5u64 {
+            for n in 1..=60u64 {
+                let ids: Vec<_> = (0..n as u32).map(StationId).collect();
+                let t = BroadcastTree::new(ids, m);
+                assert_eq!(tree_height(n, m), t.height(), "n={n} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_bound_optimum_is_near_e() {
+        // Negligible latency → minimize m·log_m N → m ∈ {3,4}.
+        let link = LinkSpec::new(1_000_000, SimTime::ZERO);
+        let c = AdaptiveController::default();
+        for n in [50u64, 200, 1000] {
+            let m = c.best_m(n, 8_000_000, link);
+            assert!((2..=4).contains(&m), "n={n} chose m={m}");
+        }
+    }
+
+    #[test]
+    fn latency_bound_optimum_is_wide() {
+        // Tiny object, huge latency → minimize depth → max m.
+        let link = LinkSpec::new(1_000_000, SimTime::from_secs(5));
+        let c = AdaptiveController::default();
+        let m = c.best_m(100, 1_000, link);
+        assert!(m >= 10, "latency-dominated chose m={m}");
+    }
+
+    #[test]
+    fn media_kinds_get_different_fanouts() {
+        // ISDN: video is bandwidth-bound (narrow), MIDI latency-bound
+        // (wider).
+        let link = LinkSpec::isdn();
+        let c = AdaptiveController::default();
+        let m_video = c.m_for_media(64, MediaKind::Video, link);
+        let m_midi = c.m_for_media(64, MediaKind::Midi, link);
+        assert!(
+            m_video <= m_midi,
+            "video m={m_video} should be no wider than midi m={m_midi}"
+        );
+        assert!((2..=4).contains(&m_video));
+    }
+
+    #[test]
+    fn prediction_equals_simulation_on_uniform_networks() {
+        // The recurrence is an exact model of the store-and-forward
+        // relay on uniform links.
+        use crate::broadcast::broadcast_uniform;
+        let link = LinkSpec::new(1_000_000, SimTime::from_millis(10));
+        for n in [2usize, 7, 13, 40, 100] {
+            for m in 1..=8u64 {
+                let predicted = predict_completion(n as u64, m, 2_000_000, link);
+                let measured = broadcast_uniform(n, m, 2_000_000, link).completion;
+                assert_eq!(predicted, measured, "n={n} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_tree_uses_best_m() {
+        use netsim::StationId;
+        let link = LinkSpec::new(1_000_000, SimTime::ZERO);
+        let c = AdaptiveController::default();
+        let ids: Vec<_> = (0..50).map(StationId).collect();
+        let t = c.plan_tree(ids, 8_000_000, link);
+        assert_eq!(t.fanout(), c.best_m(50, 8_000_000, link));
+    }
+}

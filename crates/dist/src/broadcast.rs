@@ -1,0 +1,402 @@
+//! Pre-broadcast of course material down the m-ary tree (§4).
+//!
+//! "In a Web document system which utilizes a distance learning system,
+//! an instructor can broadcast lectures to student workstations.
+//! Essentially, the broadcast process is a multi-casting activity. With
+//! the appropriate selection of m, the propagation of physical data can
+//! be proceeded in an efficient manner, starting from the instructor
+//! station as the root of the m-ary tree."
+//!
+//! [`broadcast`] runs the relay over the network simulator: each
+//! station, on receiving the object, forwards it to its tree children
+//! in broadcast-vector order (repeated unicast — exactly what a 1999
+//! deployment without IP multicast does). [`unicast_star`] is the
+//! baseline where the root sends to every station itself.
+
+use crate::tree::BroadcastTree;
+use netsim::{Network, SimTime, StationId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[cfg(doc)]
+use blobstore::MediaKind;
+
+/// Outcome of one broadcast run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BroadcastReport {
+    /// When the last station finished receiving.
+    pub completion: SimTime,
+    /// Arrival time per station (the root is implicit at t=0).
+    pub arrivals: BTreeMap<u32, SimTime>,
+    /// Total bytes moved across the network.
+    pub total_bytes: u64,
+    /// Bytes sent by the busiest station (the root for a star; any
+    /// relay for a tree).
+    pub max_station_tx: u64,
+    /// Tree height used (0 for a star).
+    pub height: u64,
+}
+
+impl BroadcastReport {
+    /// Mean arrival time across receivers.
+    #[must_use]
+    pub fn mean_arrival(&self) -> SimTime {
+        if self.arrivals.is_empty() {
+            return SimTime::ZERO;
+        }
+        let sum: u64 = self.arrivals.values().map(|t| t.as_micros()).sum();
+        SimTime::from_micros(sum / self.arrivals.len() as u64)
+    }
+}
+
+/// Payload carried by relay messages: the tree position of the
+/// receiving station.
+#[derive(Debug, Clone, Copy)]
+pub struct Relay {
+    /// 1-based position of the receiver in the broadcast tree.
+    pub position: u64,
+}
+
+/// Broadcast `object_bytes` from the tree root to every station by
+/// store-and-forward relay along the tree.
+pub fn broadcast(
+    net: &mut Network<Relay>,
+    tree: &BroadcastTree,
+    object_bytes: u64,
+) -> BroadcastReport {
+    let mut arrivals = BTreeMap::new();
+    // Root "has" the object; kick off sends to its children.
+    send_to_children(net, tree, 1, object_bytes);
+    net.run(|net, msg| {
+        arrivals.insert(msg.dst.0, net.now());
+        send_to_children(net, tree, msg.payload.position, msg.bytes);
+    });
+    finish(net, tree, arrivals)
+}
+
+fn send_to_children(net: &mut Network<Relay>, tree: &BroadcastTree, pos: u64, bytes: u64) {
+    let src = tree.station_at(pos).expect("position exists");
+    for child in tree.children_of(pos) {
+        let dst = tree.station_at(child).expect("child exists");
+        net.send(src, dst, bytes, Relay { position: child });
+    }
+}
+
+/// Baseline: the root unicasts the object to every other station
+/// directly (no relaying).
+pub fn unicast_star(
+    net: &mut Network<Relay>,
+    root: StationId,
+    receivers: &[StationId],
+    object_bytes: u64,
+) -> BroadcastReport {
+    let mut arrivals = BTreeMap::new();
+    for (idx, &dst) in receivers.iter().enumerate() {
+        net.send(
+            root,
+            dst,
+            object_bytes,
+            Relay {
+                position: idx as u64 + 2,
+            },
+        );
+    }
+    net.run(|net, msg| {
+        arrivals.insert(msg.dst.0, net.now());
+    });
+    let max_station_tx = net.station_stats(root).tx_bytes;
+    BroadcastReport {
+        completion: net.last_delivery(),
+        total_bytes: net.total_bytes(),
+        max_station_tx,
+        height: 0,
+        arrivals,
+    }
+}
+
+fn finish(
+    net: &Network<Relay>,
+    tree: &BroadcastTree,
+    arrivals: BTreeMap<u32, SimTime>,
+) -> BroadcastReport {
+    let max_station_tx = tree
+        .broadcast_vector()
+        .iter()
+        .map(|&s| net.station_stats(s).tx_bytes)
+        .max()
+        .unwrap_or(0);
+    BroadcastReport {
+        completion: net.last_delivery(),
+        total_bytes: net.total_bytes(),
+        max_station_tx,
+        height: tree.height(),
+        arrivals,
+    }
+}
+
+/// Convenience: run a tree broadcast on a fresh uniform network.
+#[must_use]
+pub fn broadcast_uniform(
+    n: usize,
+    m: u64,
+    object_bytes: u64,
+    uplink: netsim::LinkSpec,
+) -> BroadcastReport {
+    let (mut net, ids) = Network::uniform(n, uplink);
+    let tree = BroadcastTree::new(ids, m);
+    broadcast(&mut net, &tree, object_bytes)
+}
+
+/// Convenience: run the star baseline on a fresh uniform network.
+#[must_use]
+pub fn star_uniform(n: usize, object_bytes: u64, uplink: netsim::LinkSpec) -> BroadcastReport {
+    let (mut net, ids) = Network::uniform(n, uplink);
+    unicast_star(&mut net, ids[0], &ids[1..], object_bytes)
+}
+
+/// One object of a course pre-broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CourseObject {
+    /// Media kind (selects the fan-out when broadcasting per kind).
+    pub kind: blobstore::MediaKind,
+    /// Size on the wire.
+    pub bytes: u64,
+}
+
+/// Relay payload for a mixed-course broadcast.
+#[derive(Debug, Clone, Copy)]
+pub struct CourseRelay {
+    object: usize,
+    position: u64,
+}
+
+/// Outcome of a whole-course pre-broadcast.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CourseBroadcastReport {
+    /// When the last byte of the last object landed anywhere.
+    pub completion: SimTime,
+    /// Completion per media kind (when that kind was everywhere).
+    pub per_kind: BTreeMap<String, SimTime>,
+    /// Total bytes moved.
+    pub total_bytes: u64,
+}
+
+/// Pre-broadcast a whole course — many objects of different media
+/// kinds — from `stations[0]` to everyone. Each object travels down
+/// the tree whose fan-out `choose_m` returns for its kind ("the system
+/// maintains the sizes of m's … for different types of multimedia
+/// data", §4); pass a constant closure for the single-tree baseline.
+pub fn broadcast_course(
+    net: &mut Network<CourseRelay>,
+    stations: &[StationId],
+    objects: &[CourseObject],
+    mut choose_m: impl FnMut(blobstore::MediaKind) -> u64,
+) -> CourseBroadcastReport {
+    let trees: Vec<BroadcastTree> = objects
+        .iter()
+        .map(|o| BroadcastTree::new(stations.to_vec(), choose_m(o.kind)))
+        .collect();
+    // Kick off every object from the root; the shared root uplink
+    // serializes them in order.
+    for (oi, _) in objects.iter().enumerate() {
+        relay_children(net, &trees[oi], objects, oi, 1);
+    }
+    let mut per_kind: BTreeMap<String, SimTime> = BTreeMap::new();
+    net.run(|net, msg| {
+        let CourseRelay { object, position } = msg.payload;
+        let label = objects[object].kind.label().to_owned();
+        let now = net.now();
+        per_kind
+            .entry(label)
+            .and_modify(|t| *t = (*t).max(now))
+            .or_insert(now);
+        relay_children(net, &trees[object], objects, object, position);
+    });
+    CourseBroadcastReport {
+        completion: net.last_delivery(),
+        per_kind,
+        total_bytes: net.total_bytes(),
+    }
+}
+
+fn relay_children(
+    net: &mut Network<CourseRelay>,
+    tree: &BroadcastTree,
+    objects: &[CourseObject],
+    object: usize,
+    position: u64,
+) {
+    let src = tree.station_at(position).expect("position exists");
+    for child in tree.children_of(position) {
+        let dst = tree.station_at(child).expect("child exists");
+        net.send(
+            src,
+            dst,
+            objects[object].bytes,
+            CourseRelay {
+                object,
+                position: child,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::LinkSpec;
+
+    const MB: u64 = 1_000_000;
+
+    fn lan() -> LinkSpec {
+        LinkSpec::new(MB, SimTime::ZERO) // 1 MB/s, no latency: clean math
+    }
+
+    #[test]
+    fn single_receiver_chain_equals_star() {
+        let t = broadcast_uniform(2, 1, MB, lan());
+        let s = star_uniform(2, MB, lan());
+        assert_eq!(t.completion, s.completion);
+        assert_eq!(t.completion, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn every_station_receives_exactly_once() {
+        for m in [1u64, 2, 3, 4, 8] {
+            let r = broadcast_uniform(50, m, 1000, lan());
+            assert_eq!(r.arrivals.len(), 49, "m={m}");
+            assert_eq!(r.total_bytes, 49 * 1000, "no redundant transfers");
+        }
+    }
+
+    #[test]
+    fn tree_beats_star_at_scale() {
+        let n = 64;
+        let star = star_uniform(n, MB, lan());
+        let tern = broadcast_uniform(n, 3, MB, lan());
+        // Star: root serializes 63 sends = 63 s. Tree: ~m·⌈log_m N⌉ s.
+        assert_eq!(star.completion, SimTime::from_secs(63));
+        assert!(
+            tern.completion.as_secs_f64() < star.completion.as_secs_f64() / 4.0,
+            "ternary {} vs star {}",
+            tern.completion,
+            star.completion
+        );
+    }
+
+    #[test]
+    fn chain_is_the_slowest_tree() {
+        let n = 32;
+        let chain = broadcast_uniform(n, 1, MB, lan());
+        for m in [2u64, 3, 4] {
+            let r = broadcast_uniform(n, m, MB, lan());
+            assert!(r.completion < chain.completion, "m={m}");
+        }
+        // The chain needs N-1 sequential hops.
+        assert_eq!(chain.completion, SimTime::from_secs(31));
+    }
+
+    #[test]
+    fn star_concentrates_load_on_root_tree_spreads_it() {
+        let n = 64;
+        let star = star_uniform(n, MB, lan());
+        let tree = broadcast_uniform(n, 2, MB, lan());
+        assert_eq!(star.max_station_tx, 63 * MB);
+        assert_eq!(tree.max_station_tx, 2 * MB);
+    }
+
+    #[test]
+    fn arrivals_monotone_in_depth() {
+        let (mut net, ids) = Network::uniform(31, lan());
+        let tree = BroadcastTree::new(ids.clone(), 2);
+        let r = broadcast(&mut net, &tree, 1000);
+        for pos in 2..=31u64 {
+            let parent = tree.parent_of(pos).unwrap();
+            if parent == 1 {
+                continue;
+            }
+            let at = r.arrivals[&tree.station_at(pos).unwrap().0];
+            let pat = r.arrivals[&tree.station_at(parent).unwrap().0];
+            assert!(at > pat, "child {pos} arrived before its parent");
+        }
+    }
+
+    #[test]
+    fn latency_accumulates_with_depth() {
+        let spec = LinkSpec::new(MB, SimTime::from_millis(100));
+        let chain = {
+            let (mut net, ids) = Network::uniform(4, spec);
+            let tree = BroadcastTree::new(ids, 1);
+            broadcast(&mut net, &tree, 0) // zero bytes: pure latency
+        };
+        assert_eq!(chain.completion, SimTime::from_millis(300));
+    }
+
+    #[test]
+    fn mean_arrival_reasonable() {
+        let r = broadcast_uniform(8, 2, MB, lan());
+        assert!(r.mean_arrival() <= r.completion);
+        assert!(r.mean_arrival() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn course_broadcast_delivers_everything() {
+        use blobstore::MediaKind;
+        let objects = vec![
+            CourseObject {
+                kind: MediaKind::Video,
+                bytes: MB,
+            },
+            CourseObject {
+                kind: MediaKind::Midi,
+                bytes: 10_000,
+            },
+            CourseObject {
+                kind: MediaKind::StillImage,
+                bytes: 100_000,
+            },
+        ];
+        let (mut net, ids) = Network::uniform(16, lan());
+        let r = broadcast_course(&mut net, &ids, &objects, |_| 3);
+        let total: u64 = objects.iter().map(|o| o.bytes).sum();
+        assert_eq!(r.total_bytes, 15 * total, "every station gets every object");
+        assert_eq!(r.per_kind.len(), 3);
+        assert!(r.per_kind.values().all(|t| *t <= r.completion));
+        assert!(r.per_kind.values().any(|t| *t == r.completion));
+    }
+
+    #[test]
+    fn per_kind_trees_help_small_objects_on_latent_links() {
+        use blobstore::MediaKind;
+        // High-latency links: MIDI wants a wide tree, video a narrow one.
+        let spec = LinkSpec::new(12_500_000, SimTime::from_millis(500));
+        let objects = vec![
+            CourseObject {
+                kind: MediaKind::Video,
+                bytes: 8 * MB,
+            },
+            CourseObject {
+                kind: MediaKind::Midi,
+                bytes: 20_000,
+            },
+        ];
+        let run = |per_kind: bool| {
+            let (mut net, ids) = Network::uniform(64, spec);
+            broadcast_course(&mut net, &ids, &objects, |kind| {
+                if per_kind {
+                    crate::adaptive::AdaptiveController::default().m_for_media(64, kind, spec)
+                } else {
+                    3
+                }
+            })
+        };
+        let adaptive = run(true);
+        let single = run(false);
+        assert!(
+            adaptive.per_kind["midi"] < single.per_kind["midi"],
+            "wide tree must deliver midi sooner: {} vs {}",
+            adaptive.per_kind["midi"],
+            single.per_kind["midi"]
+        );
+    }
+}

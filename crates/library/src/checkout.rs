@@ -1,0 +1,207 @@
+//! Check-in / check-out ledger of the virtual library (§5).
+//!
+//! "We encourage students to 'check out' lecture notes from a virtual
+//! library. … Students can check out and check in these Web pages.
+//! However, in general, there is no limitation of the number of Web
+//! pages to be checked out."
+//!
+//! Unlike a physical library, check-out is *non-exclusive* (pages are
+//! copies); the ledger's purpose is the assessment trail.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wdoc_core::ids::{ScriptName, UserId};
+
+/// One loan: a page of a published document checked out by a student.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Loan {
+    /// The student.
+    pub student: UserId,
+    /// The document (catalog key).
+    pub script: ScriptName,
+    /// The page path.
+    pub page: String,
+    /// Check-out time (µs).
+    pub out_at: u64,
+    /// Check-in time, if returned.
+    pub in_at: Option<u64>,
+}
+
+impl Loan {
+    /// Whether the loan is still open.
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        self.in_at.is_none()
+    }
+
+    /// Borrow duration (µs); open loans measure up to `now`.
+    #[must_use]
+    pub fn duration(&self, now: u64) -> u64 {
+        self.in_at.unwrap_or(now).saturating_sub(self.out_at)
+    }
+}
+
+/// The ledger of all loans, open and closed.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CheckoutLedger {
+    loans: Vec<Loan>,
+    /// Index of open loans: (student, script, page) → loan index.
+    open: BTreeMap<(UserId, ScriptName, String), usize>,
+}
+
+impl CheckoutLedger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check a page out. Re-checking a page the student already holds
+    /// is a no-op returning `false` (they already have the copy).
+    pub fn check_out(
+        &mut self,
+        student: &UserId,
+        script: &ScriptName,
+        page: &str,
+        now: u64,
+    ) -> bool {
+        let key = (student.clone(), script.clone(), page.to_owned());
+        if self.open.contains_key(&key) {
+            return false;
+        }
+        self.loans.push(Loan {
+            student: student.clone(),
+            script: script.clone(),
+            page: page.to_owned(),
+            out_at: now,
+            in_at: None,
+        });
+        self.open.insert(key, self.loans.len() - 1);
+        true
+    }
+
+    /// Check a page back in. Returns `false` if no open loan matches.
+    pub fn check_in(
+        &mut self,
+        student: &UserId,
+        script: &ScriptName,
+        page: &str,
+        now: u64,
+    ) -> bool {
+        let key = (student.clone(), script.clone(), page.to_owned());
+        match self.open.remove(&key) {
+            Some(ix) => {
+                self.loans[ix].in_at = Some(now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All loans of one student, in check-out order.
+    #[must_use]
+    pub fn loans_of(&self, student: &UserId) -> Vec<&Loan> {
+        self.loans
+            .iter()
+            .filter(|l| &l.student == student)
+            .collect()
+    }
+
+    /// Open loan count for one student.
+    #[must_use]
+    pub fn open_count(&self, student: &UserId) -> usize {
+        self.open.keys().filter(|(s, _, _)| s == student).count()
+    }
+
+    /// Every loan ever recorded.
+    #[must_use]
+    pub fn all(&self) -> &[Loan] {
+        &self.loans
+    }
+
+    /// Students appearing in the ledger.
+    #[must_use]
+    pub fn students(&self) -> Vec<UserId> {
+        let mut out: Vec<UserId> = self.loans.iter().map(|l| l.student.clone()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: &str) -> UserId {
+        UserId::new(n)
+    }
+    fn doc(n: &str) -> ScriptName {
+        ScriptName::new(n)
+    }
+
+    #[test]
+    fn out_in_cycle() {
+        let mut l = CheckoutLedger::new();
+        assert!(l.check_out(&s("ann"), &doc("mm-1"), "l1.html", 100));
+        assert_eq!(l.open_count(&s("ann")), 1);
+        assert!(l.check_in(&s("ann"), &doc("mm-1"), "l1.html", 500));
+        assert_eq!(l.open_count(&s("ann")), 0);
+        let loans = l.loans_of(&s("ann"));
+        assert_eq!(loans.len(), 1);
+        assert_eq!(loans[0].duration(9_999), 400);
+        assert!(!loans[0].is_open());
+    }
+
+    #[test]
+    fn double_checkout_is_noop() {
+        let mut l = CheckoutLedger::new();
+        assert!(l.check_out(&s("ann"), &doc("d"), "p", 1));
+        assert!(!l.check_out(&s("ann"), &doc("d"), "p", 2));
+        assert_eq!(l.all().len(), 1);
+        // But a different student may hold the same page concurrently.
+        assert!(l.check_out(&s("bob"), &doc("d"), "p", 3));
+    }
+
+    #[test]
+    fn checkin_without_loan_fails() {
+        let mut l = CheckoutLedger::new();
+        assert!(!l.check_in(&s("ann"), &doc("d"), "p", 1));
+    }
+
+    #[test]
+    fn no_limit_on_open_loans() {
+        let mut l = CheckoutLedger::new();
+        for i in 0..500 {
+            assert!(l.check_out(&s("ann"), &doc("d"), &format!("p{i}"), i));
+        }
+        assert_eq!(l.open_count(&s("ann")), 500);
+    }
+
+    #[test]
+    fn recheckout_after_return_opens_new_loan() {
+        let mut l = CheckoutLedger::new();
+        l.check_out(&s("ann"), &doc("d"), "p", 1);
+        l.check_in(&s("ann"), &doc("d"), "p", 2);
+        assert!(l.check_out(&s("ann"), &doc("d"), "p", 3));
+        assert_eq!(l.loans_of(&s("ann")).len(), 2);
+    }
+
+    #[test]
+    fn students_deduped() {
+        let mut l = CheckoutLedger::new();
+        l.check_out(&s("b"), &doc("d"), "p1", 1);
+        l.check_out(&s("a"), &doc("d"), "p1", 1);
+        l.check_out(&s("b"), &doc("d"), "p2", 2);
+        assert_eq!(l.students(), vec![s("a"), s("b")]);
+    }
+
+    #[test]
+    fn open_loan_duration_uses_now() {
+        let mut l = CheckoutLedger::new();
+        l.check_out(&s("a"), &doc("d"), "p", 100);
+        let loan = &l.loans_of(&s("a"))[0];
+        assert!(loan.is_open());
+        assert_eq!(loan.duration(350), 250);
+    }
+}

@@ -1,0 +1,169 @@
+//! Inverted keyword index for the Web-savvy virtual library (§5).
+//!
+//! "We provide a browsing interface which allows students to retrieve
+//! course materials according to matching keywords, instructor names,
+//! and course numbers/titles."
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Normalize text into lowercase alphanumeric tokens.
+#[must_use]
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+/// A token → document-key inverted index.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    postings: BTreeMap<String, BTreeSet<String>>,
+    doc_count: usize,
+}
+
+impl InvertedIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index a document's text under `key`.
+    pub fn add(&mut self, key: impl Into<String>, text: &str) {
+        let key = key.into();
+        let mut fresh = false;
+        for tok in tokenize(text) {
+            fresh |= self.postings.entry(tok).or_default().insert(key.clone());
+        }
+        if fresh {
+            self.doc_count += 1;
+        }
+    }
+
+    /// Remove every posting of `key` (on item deletion).
+    pub fn remove(&mut self, key: &str) {
+        let mut removed = false;
+        self.postings.retain(|_, keys| {
+            removed |= keys.remove(key);
+            !keys.is_empty()
+        });
+        if removed {
+            self.doc_count = self.doc_count.saturating_sub(1);
+        }
+    }
+
+    /// Keys containing *all* query tokens (AND semantics).
+    #[must_use]
+    pub fn search(&self, query: &str) -> Vec<String> {
+        let toks = tokenize(query);
+        if toks.is_empty() {
+            return Vec::new();
+        }
+        let mut sets: Vec<&BTreeSet<String>> = Vec::with_capacity(toks.len());
+        for t in &toks {
+            match self.postings.get(t) {
+                Some(s) => sets.push(s),
+                None => return Vec::new(),
+            }
+        }
+        // Intersect starting from the smallest posting list.
+        sets.sort_by_key(|s| s.len());
+        let (first, rest) = sets.split_first().expect("nonempty");
+        first
+            .iter()
+            .filter(|k| rest.iter().all(|s| s.contains(*k)))
+            .cloned()
+            .collect()
+    }
+
+    /// Keys containing *any* query token (OR semantics).
+    #[must_use]
+    pub fn search_any(&self, query: &str) -> Vec<String> {
+        let mut out = BTreeSet::new();
+        for t in tokenize(query) {
+            if let Some(s) = self.postings.get(&t) {
+                out.extend(s.iter().cloned());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Number of distinct tokens indexed.
+    #[must_use]
+    pub fn token_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of documents with at least one posting.
+    #[must_use]
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenization() {
+        assert_eq!(
+            tokenize("Intro to Multimedia-Computing (1999)!"),
+            vec!["intro", "to", "multimedia", "computing", "1999"]
+        );
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn and_search_intersects() {
+        let mut ix = InvertedIndex::new();
+        ix.add("c1", "introduction to computer engineering");
+        ix.add("c2", "introduction to multimedia computing");
+        ix.add("c3", "engineering drawing");
+        assert_eq!(ix.search("introduction"), vec!["c1", "c2"]);
+        assert_eq!(ix.search("introduction engineering"), vec!["c1"]);
+        assert_eq!(ix.search("multimedia computing"), vec!["c2"]);
+        assert!(ix.search("quantum").is_empty());
+        assert!(ix.search("").is_empty());
+    }
+
+    #[test]
+    fn or_search_unions() {
+        let mut ix = InvertedIndex::new();
+        ix.add("c1", "computer engineering");
+        ix.add("c2", "multimedia computing");
+        let r = ix.search_any("engineering multimedia");
+        assert_eq!(r, vec!["c1", "c2"]);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let mut ix = InvertedIndex::new();
+        ix.add("c1", "Multimedia");
+        assert_eq!(ix.search("MULTIMEDIA"), vec!["c1"]);
+    }
+
+    #[test]
+    fn remove_erases_postings() {
+        let mut ix = InvertedIndex::new();
+        ix.add("c1", "multimedia");
+        ix.add("c2", "multimedia computing");
+        assert_eq!(ix.doc_count(), 2);
+        ix.remove("c1");
+        assert_eq!(ix.search("multimedia"), vec!["c2"]);
+        assert_eq!(ix.doc_count(), 1);
+        ix.remove("c1"); // idempotent
+        assert_eq!(ix.doc_count(), 1);
+    }
+
+    #[test]
+    fn counts() {
+        let mut ix = InvertedIndex::new();
+        ix.add("c1", "a b c");
+        ix.add("c2", "b c d");
+        assert_eq!(ix.token_count(), 4);
+        assert_eq!(ix.doc_count(), 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! # wdoc-library — the Web document virtual library
+//!
+//! Implements §5 of the paper: a Web-savvy virtual library in which
+//! instructors publish document instances and students search, browse
+//! and check out lecture notes.
+//!
+//! * [`index`] — an inverted keyword index (plus a linear-scan baseline
+//!   for experiment E9);
+//! * [`search`] — the catalog with the paper's three search axes:
+//!   matching keywords, instructor names, and course numbers/titles;
+//! * [`checkout`] — the check-in/check-out ledger (non-exclusive,
+//!   unlimited loans, per the paper);
+//! * [`assessment`] — study-performance reports derived from the
+//!   ledger, "an assessment criteria to the study performance of a
+//!   student".
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod assessment;
+pub mod checkout;
+pub mod index;
+pub mod search;
+
+pub use assessment::{assess, rank, StudyReport};
+pub use checkout::{CheckoutLedger, Loan};
+pub use index::{tokenize, InvertedIndex};
+pub use search::{Catalog, CatalogEntry};

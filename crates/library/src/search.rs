@@ -1,0 +1,258 @@
+//! The virtual-library catalog and its three search axes (§5).
+//!
+//! "Students can retrieve course materials according to matching
+//! keywords, instructor names, and course numbers/titles. This virtual
+//! library is Web-savvy … The library is updated as needed."
+
+use crate::index::{tokenize, InvertedIndex};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wdoc_core::ids::{CourseId, ScriptName, UserId};
+
+/// One catalog entry: a document instance published to the library.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// The course this material belongs to.
+    pub course: CourseId,
+    /// Course/document title.
+    pub title: String,
+    /// The instructor who published it.
+    pub instructor: UserId,
+    /// Keywords.
+    pub keywords: Vec<String>,
+    /// The underlying script in the Web document database.
+    pub script: ScriptName,
+    /// Page paths students can check out.
+    pub pages: Vec<String>,
+}
+
+impl CatalogEntry {
+    fn searchable_text(&self) -> String {
+        let mut t = String::new();
+        t.push_str(self.course.as_str());
+        t.push(' ');
+        t.push_str(&self.title);
+        t.push(' ');
+        t.push_str(&self.keywords.join(" "));
+        t
+    }
+}
+
+/// The library catalog with keyword / instructor / course indexes.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    entries: BTreeMap<String, CatalogEntry>,
+    keywords: InvertedIndex,
+    by_instructor: BTreeMap<UserId, Vec<String>>,
+    by_course: BTreeMap<CourseId, Vec<String>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish an entry ("an instructor has a privilege to add or
+    /// delete document instances"). The script name is the catalog key.
+    pub fn publish(&mut self, entry: CatalogEntry) {
+        let key = entry.script.to_string();
+        self.withdraw(&entry.script.clone());
+        self.keywords.add(key.clone(), &entry.searchable_text());
+        self.by_instructor
+            .entry(entry.instructor.clone())
+            .or_default()
+            .push(key.clone());
+        self.by_course
+            .entry(entry.course.clone())
+            .or_default()
+            .push(key.clone());
+        self.entries.insert(key, entry);
+    }
+
+    /// Remove an entry; true if it was present.
+    pub fn withdraw(&mut self, script: &ScriptName) -> bool {
+        let key = script.as_str();
+        let Some(old) = self.entries.remove(key) else {
+            return false;
+        };
+        self.keywords.remove(key);
+        if let Some(v) = self.by_instructor.get_mut(&old.instructor) {
+            v.retain(|k| k != key);
+        }
+        if let Some(v) = self.by_course.get_mut(&old.course) {
+            v.retain(|k| k != key);
+        }
+        true
+    }
+
+    /// Look up one entry by script name.
+    #[must_use]
+    pub fn entry(&self, script: &ScriptName) -> Option<&CatalogEntry> {
+        self.entries.get(script.as_str())
+    }
+
+    /// Number of published entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Keyword search (AND over tokens) via the inverted index.
+    #[must_use]
+    pub fn search_keywords(&self, query: &str) -> Vec<&CatalogEntry> {
+        self.keywords
+            .search(query)
+            .into_iter()
+            .filter_map(|k| self.entries.get(&k))
+            .collect()
+    }
+
+    /// Everything one instructor published.
+    #[must_use]
+    pub fn search_instructor(&self, instructor: &UserId) -> Vec<&CatalogEntry> {
+        self.by_instructor
+            .get(instructor)
+            .map(|keys| keys.iter().filter_map(|k| self.entries.get(k)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Everything published under a course number/title.
+    #[must_use]
+    pub fn search_course(&self, course: &CourseId) -> Vec<&CatalogEntry> {
+        self.by_course
+            .get(course)
+            .map(|keys| keys.iter().filter_map(|k| self.entries.get(k)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Baseline for experiment E9: keyword search by scanning every
+    /// entry (what the system would do without the inverted index).
+    #[must_use]
+    pub fn search_keywords_linear(&self, query: &str) -> Vec<&CatalogEntry> {
+        let toks = tokenize(query);
+        if toks.is_empty() {
+            return Vec::new();
+        }
+        self.entries
+            .values()
+            .filter(|e| {
+                let hay = tokenize(&e.searchable_text());
+                toks.iter().all(|t| hay.contains(t))
+            })
+            .collect()
+    }
+
+    /// All entries, in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &CatalogEntry> + '_ {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(script: &str, course: &str, title: &str, instructor: &str) -> CatalogEntry {
+        CatalogEntry {
+            course: CourseId::new(course),
+            title: title.into(),
+            instructor: UserId::new(instructor),
+            keywords: vec!["lecture".into()],
+            script: ScriptName::new(script),
+            pages: vec!["index.html".into()],
+        }
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        // The paper's three pilot courses.
+        c.publish(entry(
+            "ce-1",
+            "CE101",
+            "Introduction to Computer Engineering",
+            "shih",
+        ));
+        c.publish(entry(
+            "mm-1",
+            "MM201",
+            "Introduction to Multimedia Computing",
+            "shih",
+        ));
+        c.publish(entry(
+            "ed-1",
+            "ED110",
+            "Introduction to Engineering Drawing",
+            "ma",
+        ));
+        c
+    }
+
+    #[test]
+    fn keyword_search() {
+        let c = catalog();
+        assert_eq!(c.search_keywords("multimedia").len(), 1);
+        assert_eq!(c.search_keywords("introduction").len(), 3);
+        assert_eq!(c.search_keywords("introduction engineering").len(), 2);
+        assert!(c.search_keywords("calculus").is_empty());
+    }
+
+    #[test]
+    fn instructor_and_course_search() {
+        let c = catalog();
+        assert_eq!(c.search_instructor(&UserId::new("shih")).len(), 2);
+        assert_eq!(c.search_instructor(&UserId::new("ma")).len(), 1);
+        assert!(c.search_instructor(&UserId::new("nobody")).is_empty());
+        assert_eq!(c.search_course(&CourseId::new("MM201")).len(), 1);
+        assert!(c.search_course(&CourseId::new("XX999")).is_empty());
+    }
+
+    #[test]
+    fn linear_scan_agrees_with_index() {
+        let c = catalog();
+        for q in ["introduction", "multimedia computing", "engineering", "zzz"] {
+            let a: Vec<_> = c
+                .search_keywords(q)
+                .iter()
+                .map(|e| e.script.clone())
+                .collect();
+            let b: Vec<_> = c
+                .search_keywords_linear(q)
+                .iter()
+                .map(|e| e.script.clone())
+                .collect();
+            assert_eq!(a, b, "query `{q}`");
+        }
+    }
+
+    #[test]
+    fn withdraw_updates_all_indexes() {
+        let mut c = catalog();
+        assert!(c.withdraw(&ScriptName::new("mm-1")));
+        assert!(!c.withdraw(&ScriptName::new("mm-1")));
+        assert_eq!(c.len(), 2);
+        assert!(c.search_keywords("multimedia").is_empty());
+        assert_eq!(c.search_instructor(&UserId::new("shih")).len(), 1);
+        assert!(c.search_course(&CourseId::new("MM201")).is_empty());
+    }
+
+    #[test]
+    fn republish_replaces() {
+        let mut c = catalog();
+        let mut e = entry("mm-1", "MM201", "Advanced Multimedia Systems", "huang");
+        e.keywords = vec!["advanced".into()];
+        c.publish(e);
+        assert_eq!(c.len(), 3);
+        assert!(c.search_keywords("advanced").len() == 1);
+        assert_eq!(c.search_instructor(&UserId::new("huang")).len(), 1);
+        // Old instructor no longer lists it.
+        assert_eq!(c.search_instructor(&UserId::new("shih")).len(), 1);
+    }
+}

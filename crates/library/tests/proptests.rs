@@ -1,0 +1,135 @@
+//! Property tests for the virtual library: the inverted index must be
+//! exactly equivalent to the linear scan, and the ledger must be a
+//! faithful journal.
+
+use proptest::prelude::*;
+use wdoc_core::ids::{CourseId, ScriptName, UserId};
+use wdoc_library::{assess, Catalog, CatalogEntry, CheckoutLedger, InvertedIndex};
+
+fn entry(i: usize, title: String, kw: Vec<String>) -> CatalogEntry {
+    CatalogEntry {
+        course: CourseId::new(format!("C{}", i % 7)),
+        title,
+        instructor: UserId::new(format!("prof{}", i % 3)),
+        keywords: kw,
+        script: ScriptName::new(format!("doc-{i}")),
+        pages: vec!["index.html".into()],
+    }
+}
+
+proptest! {
+    /// Index search ≡ linear scan for arbitrary corpora and queries.
+    #[test]
+    fn index_equals_linear(
+        docs in proptest::collection::vec(
+            ("[a-d]{1,3} [a-d]{1,3}", proptest::collection::vec("[a-d]{1,3}", 0..3)),
+            0..40,
+        ),
+        query in "[a-d]{1,3}( [a-d]{1,3})?",
+    ) {
+        let mut catalog = Catalog::new();
+        for (i, (title, kw)) in docs.into_iter().enumerate() {
+            catalog.publish(entry(i, title, kw));
+        }
+        let via_index: Vec<_> = catalog
+            .search_keywords(&query)
+            .iter()
+            .map(|e| e.script.clone())
+            .collect();
+        let via_scan: Vec<_> = catalog
+            .search_keywords_linear(&query)
+            .iter()
+            .map(|e| e.script.clone())
+            .collect();
+        prop_assert_eq!(via_index, via_scan);
+    }
+
+    /// AND search results ⊆ OR search results; both within the corpus.
+    #[test]
+    fn and_subset_of_or(
+        docs in proptest::collection::vec("[a-c]{1,2} [a-c]{1,2}", 1..30),
+        query in "[a-c]{1,2} [a-c]{1,2}",
+    ) {
+        let mut ix = InvertedIndex::new();
+        for (i, text) in docs.iter().enumerate() {
+            ix.add(format!("d{i}"), text);
+        }
+        let and: std::collections::BTreeSet<_> = ix.search(&query).into_iter().collect();
+        let or: std::collections::BTreeSet<_> = ix.search_any(&query).into_iter().collect();
+        prop_assert!(and.is_subset(&or));
+        prop_assert!(or.len() <= docs.len());
+    }
+
+    /// Publish/withdraw keeps all three search axes consistent with the
+    /// set of live entries.
+    #[test]
+    fn catalog_axes_stay_consistent(
+        ops in proptest::collection::vec((0usize..15, any::<bool>()), 1..50),
+    ) {
+        let mut catalog = Catalog::new();
+        let mut live = std::collections::BTreeSet::new();
+        for (i, publish) in ops {
+            if publish {
+                catalog.publish(entry(i, format!("title {i}"), vec!["kw".into()]));
+                live.insert(i);
+            } else {
+                catalog.withdraw(&ScriptName::new(format!("doc-{i}")));
+                live.remove(&i);
+            }
+            prop_assert_eq!(catalog.len(), live.len());
+            // Instructor axis partitions the live set.
+            let by_prof: usize = (0..3)
+                .map(|p| catalog.search_instructor(&UserId::new(format!("prof{p}"))).len())
+                .sum();
+            prop_assert_eq!(by_prof, live.len());
+            // Course axis partitions it too.
+            let by_course: usize = (0..7)
+                .map(|c| catalog.search_course(&CourseId::new(format!("C{c}"))).len())
+                .sum();
+            prop_assert_eq!(by_course, live.len());
+        }
+    }
+
+    /// Ledger: open loans = checkouts − checkins (per student), and
+    /// assessment counts match the journal.
+    #[test]
+    fn ledger_accounting(
+        ops in proptest::collection::vec((0u8..2, 0usize..3, 0usize..4, 0usize..3), 1..60),
+    ) {
+        let students: Vec<UserId> = (0..3).map(|i| UserId::new(format!("s{i}"))).collect();
+        let mut ledger = CheckoutLedger::new();
+        let mut model_open = std::collections::BTreeSet::new();
+        let mut model_total = [0u64; 3];
+        let mut now = 0u64;
+        for (op, st, doc, page) in ops {
+            now += 10;
+            let student = &students[st];
+            let script = ScriptName::new(format!("d{doc}"));
+            let pg = format!("p{page}");
+            let key = (st, doc, page);
+            if op == 0 {
+                let ok = ledger.check_out(student, &script, &pg, now);
+                prop_assert_eq!(ok, !model_open.contains(&key));
+                if ok {
+                    model_open.insert(key);
+                    model_total[st] += 1;
+                }
+            } else {
+                let ok = ledger.check_in(student, &script, &pg, now);
+                prop_assert_eq!(ok, model_open.remove(&key));
+            }
+        }
+        for (st, student) in students.iter().enumerate() {
+            let open = model_open.iter().filter(|(s, _, _)| *s == st).count();
+            prop_assert_eq!(ledger.open_count(student), open);
+            prop_assert_eq!(ledger.loans_of(student).len() as u64, model_total[st]);
+        }
+        // Assessment never counts open loans as engagement.
+        for report in assess(&ledger, now + 1) {
+            let idx = students.iter().position(|s| *s == report.student).unwrap();
+            prop_assert_eq!(report.checkouts, model_total[idx]);
+            let open = model_open.iter().filter(|(s, _, _)| *s == idx).count();
+            prop_assert_eq!(report.open_loans, open);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The simulator core: store-and-forward message delivery.
+//!
+//! ## Transfer model
+//!
+//! Sending `bytes` from `src` to `dst` at time `t`:
+//!
+//! 1. the message queues on `src`'s uplink, which serializes sends
+//!    one after another (repeated-unicast multicast, as the paper's
+//!    broadcast-vector implementation does);
+//! 2. serialization takes `bytes / path.bandwidth`;
+//! 3. delivery happens one `path.latency` after serialization finishes.
+//!
+//! Receive-side contention is not modelled: the 1999 bottleneck this
+//! reproduction cares about is the sender's uplink (a lecture server
+//! pushing one video to many students), and the paper's own analysis
+//! reasons only about that. Store-and-forward is at whole-object
+//! granularity — a relay must finish receiving an object before it can
+//! forward it — matching a station that spools a file to disk before
+//! re-serving it.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+use crate::topology::{LinkSpec, StationId, StationStats, Topology};
+
+/// A message in flight (or delivered). `P` is user payload.
+#[derive(Debug, Clone)]
+pub struct Message<P> {
+    /// Sender.
+    pub src: StationId,
+    /// Receiver.
+    pub dst: StationId,
+    /// Size on the wire in bytes.
+    pub bytes: u64,
+    /// User payload describing what this message means.
+    pub payload: P,
+}
+
+/// The discrete-event network simulator.
+pub struct Network<P> {
+    topo: Topology,
+    queue: EventQueue<Message<P>>,
+    now: SimTime,
+    total_bytes: u64,
+    total_msgs: u64,
+    last_delivery: SimTime,
+}
+
+impl<P> Network<P> {
+    /// Wrap a topology into a simulator at time zero.
+    #[must_use]
+    pub fn new(topo: Topology) -> Self {
+        Network {
+            topo,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            total_bytes: 0,
+            total_msgs: 0,
+            last_delivery: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The underlying topology (to add links mid-run, inspect paths).
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable topology access.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// Send `bytes` from `src` to `dst`; the payload is delivered to the
+    /// run handler at the computed arrival time. Returns that time.
+    pub fn send(&mut self, src: StationId, dst: StationId, bytes: u64, payload: P) -> SimTime {
+        let path = self.topo.path(src, dst);
+        let s = &mut self.topo.stations[src.0 as usize];
+        let start = s.uplink_free.max(self.now);
+        let done = start + SimTime::transfer(bytes, path.bandwidth);
+        s.uplink_free = done;
+        s.tx_bytes += bytes;
+        s.tx_msgs += 1;
+        let arrival = done + path.latency;
+        self.queue.push(
+            arrival,
+            Message {
+                src,
+                dst,
+                bytes,
+                payload,
+            },
+        );
+        arrival
+    }
+
+    /// Schedule a local event on `station` at absolute time `at` without
+    /// consuming any network capacity (timers, lecture start/end).
+    pub fn schedule(&mut self, station: StationId, at: SimTime, payload: P) {
+        let at = at.max(self.now);
+        self.queue.push(
+            at,
+            Message {
+                src: station,
+                dst: station,
+                bytes: 0,
+                payload,
+            },
+        );
+    }
+
+    /// Run until the event queue drains, calling `handler` for every
+    /// delivered message. The handler can send further messages.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Network<P>, Message<P>)) {
+        while let Some((at, msg)) = self.queue.pop() {
+            self.now = at;
+            let d = &mut self.topo.stations[msg.dst.0 as usize];
+            d.rx_bytes += msg.bytes;
+            d.rx_msgs += 1;
+            self.total_bytes += msg.bytes;
+            self.total_msgs += 1;
+            self.last_delivery = at;
+            handler(self, msg);
+        }
+    }
+
+    /// Run until `deadline`, leaving later events queued. Returns true
+    /// if events remain.
+    pub fn run_until(
+        &mut self,
+        deadline: SimTime,
+        mut handler: impl FnMut(&mut Network<P>, Message<P>),
+    ) -> bool {
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                self.now = self.now.max(deadline);
+                return true;
+            }
+            let (at, msg) = self.queue.pop().expect("peeked");
+            self.now = at;
+            let d = &mut self.topo.stations[msg.dst.0 as usize];
+            d.rx_bytes += msg.bytes;
+            d.rx_msgs += 1;
+            self.total_bytes += msg.bytes;
+            self.total_msgs += 1;
+            self.last_delivery = at;
+            handler(self, msg);
+        }
+        self.now = self.now.max(deadline);
+        false
+    }
+
+    /// Total bytes delivered so far.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total messages delivered so far.
+    #[must_use]
+    pub fn total_msgs(&self) -> u64 {
+        self.total_msgs
+    }
+
+    /// Time of the most recent delivery.
+    #[must_use]
+    pub fn last_delivery(&self) -> SimTime {
+        self.last_delivery
+    }
+
+    /// Per-station counters.
+    #[must_use]
+    pub fn station_stats(&self, id: StationId) -> StationStats {
+        let s = &self.topo.stations[id.0 as usize];
+        StationStats {
+            tx_bytes: s.tx_bytes,
+            rx_bytes: s.rx_bytes,
+            tx_msgs: s.tx_msgs,
+            rx_msgs: s.rx_msgs,
+        }
+    }
+
+    /// Convenience: build a uniform network of `n` stations.
+    #[must_use]
+    pub fn uniform(n: usize, uplink: LinkSpec) -> (Self, Vec<StationId>) {
+        let mut topo = Topology::new();
+        let ids = topo.add_stations(n, uplink);
+        (Network::new(topo), ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(m: u64) -> u64 {
+        m * 1_000_000 / 8
+    }
+
+    #[test]
+    fn single_send_timing() {
+        // 1 MB at 1 MB/s with 10 ms latency → arrives at 1.01 s.
+        let (mut net, ids) =
+            Network::uniform(2, LinkSpec::new(1_000_000, SimTime::from_millis(10)));
+        net.send(ids[0], ids[1], 1_000_000, "doc");
+        let mut arrived = Vec::new();
+        net.run(|n, m| arrived.push((n.now(), m.payload)));
+        assert_eq!(arrived, vec![(SimTime::from_micros(1_010_000), "doc")]);
+    }
+
+    #[test]
+    fn uplink_serializes_sends() {
+        // Two 1 MB sends from the same source: second waits for the first.
+        let (mut net, ids) = Network::uniform(3, LinkSpec::new(1_000_000, SimTime::ZERO));
+        net.send(ids[0], ids[1], 1_000_000, 1);
+        net.send(ids[0], ids[2], 1_000_000, 2);
+        let mut times = Vec::new();
+        net.run(|n, m| times.push((m.payload, n.now().as_micros())));
+        assert_eq!(times, vec![(1, 1_000_000), (2, 2_000_000)]);
+    }
+
+    #[test]
+    fn distinct_sources_send_in_parallel() {
+        let (mut net, ids) = Network::uniform(4, LinkSpec::new(1_000_000, SimTime::ZERO));
+        net.send(ids[0], ids[2], 1_000_000, 1);
+        net.send(ids[1], ids[3], 1_000_000, 2);
+        let mut times = Vec::new();
+        net.run(|n, m| times.push((m.payload, n.now().as_micros())));
+        assert_eq!(times.len(), 2);
+        assert!(times.iter().all(|&(_, t)| t == 1_000_000));
+    }
+
+    #[test]
+    fn handler_can_relay() {
+        // 0 → 1 → 2, store-and-forward: total = 2 transfers + 2 latencies.
+        let spec = LinkSpec::new(1_000_000, SimTime::from_millis(5));
+        let (mut net, ids) = Network::uniform(3, spec);
+        net.send(ids[0], ids[1], 500_000, ());
+        let mut deliveries = Vec::new();
+        net.run(|n, m| {
+            deliveries.push((m.dst, n.now().as_micros()));
+            if m.dst == StationId(1) {
+                n.send(StationId(1), StationId(2), m.bytes, ());
+            }
+        });
+        assert_eq!(
+            deliveries,
+            vec![(StationId(1), 505_000), (StationId(2), 1_010_000)]
+        );
+    }
+
+    #[test]
+    fn per_pair_override_changes_timing() {
+        let (mut net, ids) = Network::uniform(2, LinkSpec::new(mbps(100), SimTime::ZERO));
+        net.topology_mut()
+            .set_link(ids[0], ids[1], LinkSpec::new(1_000, SimTime::ZERO));
+        net.send(ids[0], ids[1], 1_000, ());
+        let mut at = SimTime::ZERO;
+        net.run(|n, _| at = n.now());
+        assert_eq!(at, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn schedule_is_free_of_bandwidth() {
+        let (mut net, ids) = Network::uniform(1, LinkSpec::modem());
+        net.schedule(ids[0], SimTime::from_secs(5), "timer");
+        let mut fired = Vec::new();
+        net.run(|n, m| fired.push((n.now(), m.payload, m.bytes)));
+        assert_eq!(fired, vec![(SimTime::from_secs(5), "timer", 0)]);
+        assert_eq!(net.station_stats(ids[0]).tx_bytes, 0);
+    }
+
+    #[test]
+    fn stats_account_bytes() {
+        let (mut net, ids) = Network::uniform(2, LinkSpec::lan());
+        net.send(ids[0], ids[1], 1234, ());
+        net.run(|_, _| {});
+        assert_eq!(net.total_bytes(), 1234);
+        assert_eq!(net.station_stats(ids[0]).tx_bytes, 1234);
+        assert_eq!(net.station_stats(ids[1]).rx_bytes, 1234);
+        assert_eq!(net.station_stats(ids[1]).rx_msgs, 1);
+    }
+
+    #[test]
+    fn run_until_pauses() {
+        let (mut net, ids) = Network::uniform(1, LinkSpec::lan());
+        net.schedule(ids[0], SimTime::from_secs(1), 1);
+        net.schedule(ids[0], SimTime::from_secs(10), 2);
+        let mut seen = Vec::new();
+        let remaining = net.run_until(SimTime::from_secs(5), |_, m| seen.push(m.payload));
+        assert!(remaining);
+        assert_eq!(seen, vec![1]);
+        assert_eq!(net.now(), SimTime::from_secs(5));
+        net.run(|_, m| seen.push(m.payload));
+        assert_eq!(seen, vec![1, 2]);
+    }
+}

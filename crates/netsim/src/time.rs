@@ -1,0 +1,135 @@
+//! Simulation time: microsecond ticks, no wall clock anywhere.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in microseconds from simulation start.
+///
+/// Also used for durations; the arithmetic is saturating on subtraction
+/// so experiment code cannot underflow.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From whole seconds.
+    #[must_use]
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// From milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// From microseconds.
+    #[must_use]
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// As fractional seconds (for reports).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As microseconds.
+    #[must_use]
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The later of two times.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Duration of transferring `bytes` at `bytes_per_sec`, rounded up
+    /// to the next microsecond (zero-bandwidth is treated as infinitely
+    /// fast only for zero bytes; otherwise it saturates, surfacing the
+    /// misconfiguration in any completion-time report).
+    #[must_use]
+    pub fn transfer(bytes: u64, bytes_per_sec: u64) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        if bytes_per_sec == 0 {
+            return SimTime(u64::MAX / 4);
+        }
+        let us = (u128::from(bytes) * 1_000_000).div_ceil(u128::from(bytes_per_sec));
+        SimTime(us.min(u128::from(u64::MAX / 4)) as u64)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime(1_000_000));
+        assert_eq!(SimTime::from_millis(2), SimTime(2_000));
+        assert_eq!(SimTime::from_micros(3), SimTime(3));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_millis(500);
+        assert_eq!((a + b).as_micros(), 1_500_000);
+        assert_eq!((b - a), SimTime::ZERO); // saturating
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 1 byte at 1 MB/s = 1 µs exactly.
+        assert_eq!(SimTime::transfer(1, 1_000_000), SimTime(1));
+        // 3 bytes at 2 MB/s = 1.5 µs → 2 µs.
+        assert_eq!(SimTime::transfer(3, 2_000_000), SimTime(2));
+        assert_eq!(SimTime::transfer(0, 0), SimTime::ZERO);
+        // Zero bandwidth with nonzero bytes saturates (visible in reports).
+        assert!(SimTime::transfer(1, 0).as_micros() > u64::MAX / 8);
+    }
+
+    #[test]
+    fn transfer_large_values_no_overflow() {
+        let t = SimTime::transfer(u64::MAX / 2, 1);
+        assert!(t.as_micros() > 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the network simulator's transfer model.
+
+use netsim::{LinkSpec, Network, SimTime, StationId, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    /// Uplink serialization: k back-to-back sends from one source
+    /// complete exactly at Σ transfer times; each arrival adds one
+    /// latency on top of its serialization finish.
+    #[test]
+    fn uplink_serializes_exactly(
+        sizes in proptest::collection::vec(1u64..1_000_000, 1..20),
+        bw in 1_000u64..10_000_000,
+        lat_ms in 0u64..500,
+    ) {
+        let spec = LinkSpec::new(bw, SimTime::from_millis(lat_ms));
+        let (mut net, ids) = Network::uniform(2, spec);
+        for (i, &s) in sizes.iter().enumerate() {
+            net.send(ids[0], ids[1], s, i);
+        }
+        let mut arrivals = Vec::new();
+        net.run(|n, m| arrivals.push((m.payload, n.now())));
+        prop_assert_eq!(arrivals.len(), sizes.len());
+        let mut serial_done = SimTime::ZERO;
+        for (i, &s) in sizes.iter().enumerate() {
+            serial_done += SimTime::transfer(s, bw);
+            let expected = serial_done + spec.latency;
+            prop_assert_eq!(arrivals[i], (i, expected), "send {}", i);
+        }
+    }
+
+    /// Messages from independent sources never delay each other.
+    #[test]
+    fn independent_sources_are_parallel(
+        n in 2usize..20,
+        size in 1u64..500_000,
+        bw in 10_000u64..5_000_000,
+    ) {
+        let spec = LinkSpec::new(bw, SimTime::from_millis(5));
+        let mut topo = Topology::new();
+        let senders: Vec<StationId> = (0..n).map(|_| topo.add_station(spec)).collect();
+        let sink = topo.add_station(spec);
+        let mut net = Network::new(topo);
+        for &s in &senders {
+            net.send(s, sink, size, ());
+        }
+        let mut count = 0;
+        let mut last = SimTime::ZERO;
+        net.run(|netw, _| {
+            count += 1;
+            last = netw.now();
+        });
+        prop_assert_eq!(count, n);
+        // All arrive at the single-transfer time, not n times it.
+        prop_assert_eq!(last, SimTime::transfer(size, bw) + spec.latency);
+    }
+
+    /// Byte accounting: total delivered equals the sum of sent sizes,
+    /// tx and rx tallies agree.
+    #[test]
+    fn conservation_of_bytes(
+        sends in proptest::collection::vec((0u32..5, 0u32..5, 1u64..100_000), 1..40),
+    ) {
+        let (mut net, ids) = Network::uniform(5, LinkSpec::lan());
+        let mut expected = 0u64;
+        for (src, dst, bytes) in &sends {
+            net.send(ids[*src as usize], ids[*dst as usize], *bytes, ());
+            expected += bytes;
+        }
+        net.run(|_, _| {});
+        prop_assert_eq!(net.total_bytes(), expected);
+        let tx: u64 = (0..5).map(|i| net.station_stats(ids[i]).tx_bytes).sum();
+        let rx: u64 = (0..5).map(|i| net.station_stats(ids[i]).rx_bytes).sum();
+        prop_assert_eq!(tx, expected);
+        prop_assert_eq!(rx, expected);
+    }
+
+    /// Determinism: the same send sequence yields the same delivery
+    /// sequence, independent of anything but inputs.
+    #[test]
+    fn runs_are_reproducible(
+        sends in proptest::collection::vec((0u32..4, 0u32..4, 1u64..50_000), 1..30),
+    ) {
+        let run = || {
+            let (mut net, ids) = Network::uniform(4, LinkSpec::t1());
+            for (i, (src, dst, bytes)) in sends.iter().enumerate() {
+                net.send(ids[*src as usize], ids[*dst as usize], *bytes, i);
+            }
+            let mut log = Vec::new();
+            net.run(|n, m| log.push((n.now(), m.payload, m.dst)));
+            log
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Timers fire exactly on schedule and consume no bandwidth.
+    #[test]
+    fn timers_are_free_and_punctual(times in proptest::collection::vec(0u64..1_000_000, 1..20)) {
+        let (mut net, ids) = Network::uniform(1, LinkSpec::modem());
+        for (i, &t) in times.iter().enumerate() {
+            net.schedule(ids[0], SimTime::from_micros(t), i);
+        }
+        let mut fired = Vec::new();
+        net.run(|n, m| fired.push((m.payload, n.now().as_micros())));
+        prop_assert_eq!(fired.len(), times.len());
+        for (i, at) in &fired {
+            prop_assert_eq!(*at, times[*i]);
+        }
+        prop_assert_eq!(net.total_bytes(), 0);
+        prop_assert_eq!(net.station_stats(ids[0]).tx_bytes, 0);
+    }
+}

@@ -1,0 +1,793 @@
+//! The database: catalog, transactions, and cross-table constraints.
+//!
+//! [`Database`] owns a catalog of tables plus one [`LockManager`]. All
+//! data access happens through a [`Txn`], which provides strict
+//! two-phase locking (locks accumulate until commit/abort) and a
+//! write-ahead undo log for rollback. Foreign keys are enforced here —
+//! forward references on insert/update, reverse references (RESTRICT /
+//! CASCADE / SET NULL) on delete.
+//!
+//! Isolation level: serializable at mixed granularity. Scans take a
+//! table-shared lock (blocking writers and preventing phantoms); point
+//! operations take intent locks on the table and row locks beneath.
+
+use crate::error::{Error, Result};
+use crate::lock::{LockManager, LockMode, Resource, TxnId};
+use crate::query::Predicate;
+use crate::schema::{FkAction, ForeignKey, TableSchema, PRIMARY_INDEX};
+use crate::table::{Row, RowId, Table};
+use crate::value::{Key, Value};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct TableEntry {
+    id: u32,
+    data: Arc<RwLock<Table>>,
+}
+
+struct DbInner {
+    catalog: RwLock<BTreeMap<String, TableEntry>>,
+    /// Reverse FK map: referenced table → (referencing table, fk).
+    referrers: RwLock<BTreeMap<String, Vec<(String, ForeignKey)>>>,
+    locks: LockManager,
+    next_txn: AtomicU64,
+    next_table: AtomicU64,
+}
+
+/// A shared, thread-safe relational database.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Create an empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        Database {
+            inner: Arc::new(DbInner {
+                catalog: RwLock::new(BTreeMap::new()),
+                referrers: RwLock::new(BTreeMap::new()),
+                locks: LockManager::new(),
+                next_txn: AtomicU64::new(1),
+                next_table: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Create a table. Foreign keys must reference existing tables on
+    /// columns backed by a unique index there.
+    pub fn create_table(&self, schema: TableSchema) -> Result<()> {
+        schema.validate()?;
+        let mut catalog = self.inner.catalog.write();
+        if catalog.contains_key(&schema.name) {
+            return Err(Error::TableExists(schema.name));
+        }
+        for fk in &schema.foreign_keys {
+            let target = if fk.ref_table == schema.name {
+                // Self-referencing FK: validate against the new schema.
+                None
+            } else {
+                Some(
+                    catalog
+                        .get(&fk.ref_table)
+                        .ok_or_else(|| Error::NoSuchTable(fk.ref_table.clone()))?,
+                )
+            };
+            let ok = match target {
+                Some(entry) => unique_key_exists(entry.data.read().schema(), &fk.ref_columns),
+                None => unique_key_exists(&schema, &fk.ref_columns),
+            };
+            if !ok {
+                return Err(Error::BadSchema(format!(
+                    "foreign key on `{}` references `{}({:?})` which is not a unique key",
+                    schema.name, fk.ref_table, fk.ref_columns
+                )));
+            }
+        }
+        let id = self.inner.next_table.fetch_add(1, Ordering::Relaxed) as u32;
+        let name = schema.name.clone();
+        let fks = schema.foreign_keys.clone();
+        let table = Table::new(schema)?;
+        catalog.insert(
+            name.clone(),
+            TableEntry {
+                id,
+                data: Arc::new(RwLock::new(table)),
+            },
+        );
+        let mut referrers = self.inner.referrers.write();
+        for fk in fks {
+            referrers
+                .entry(fk.ref_table.clone())
+                .or_default()
+                .push((name.clone(), fk));
+        }
+        Ok(())
+    }
+
+    /// Table names in the catalog.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.catalog.read().keys().cloned().collect()
+    }
+
+    /// Number of rows in `table`.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        Ok(self.entry(table)?.1.read().len())
+    }
+
+    /// Approximate payload bytes stored in `table`.
+    pub fn heap_bytes(&self, table: &str) -> Result<usize> {
+        Ok(self.entry(table)?.1.read().heap_bytes())
+    }
+
+    /// Begin a new transaction.
+    #[must_use]
+    pub fn begin(&self) -> Txn {
+        let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
+        Txn::new(Arc::clone(&self.inner), id)
+    }
+
+    /// Run `f` in a transaction, committing on success. If the
+    /// transaction dies to the wait-die rule it is retried *with the
+    /// same transaction id*, so it ages relative to newcomers and is
+    /// guaranteed to eventually win (no livelock).
+    pub fn with_txn<T>(&self, f: impl Fn(&Txn) -> Result<T>) -> Result<T> {
+        let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let txn = Txn::new(Arc::clone(&self.inner), id);
+            match f(&txn) {
+                Ok(v) => {
+                    txn.commit()?;
+                    return Ok(v);
+                }
+                Err(Error::TxnAborted { .. }) => {
+                    drop(txn); // rolls back
+                    std::thread::yield_now();
+                }
+                Err(e) => {
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn entry(&self, table: &str) -> Result<(u32, Arc<RwLock<Table>>)> {
+        let catalog = self.inner.catalog.read();
+        let e = catalog
+            .get(table)
+            .ok_or_else(|| Error::NoSuchTable(table.to_owned()))?;
+        Ok((e.id, Arc::clone(&e.data)))
+    }
+
+    /// Lock-manager diagnostics: currently locked resource count.
+    #[must_use]
+    pub fn locked_resources(&self) -> usize {
+        self.inner.locks.locked_resources()
+    }
+
+    /// The schema of a table (a clone; schemas are immutable once
+    /// created).
+    pub fn schema_of(&self, table: &str) -> Result<TableSchema> {
+        Ok(self.entry(table)?.1.read().schema().clone())
+    }
+
+    /// Load rows with explicit ids, bypassing transaction machinery and
+    /// foreign-key checks (snapshot restore only — the caller verifies
+    /// integrity afterwards). Local constraints (types, uniqueness)
+    /// still apply.
+    pub(crate) fn bulk_load(&self, table: &str, rows: &[(RowId, Row)]) -> Result<()> {
+        let (_, data) = self.entry(table)?;
+        let mut t = data.write();
+        for (id, row) in rows {
+            t.check_row(row)?;
+            for ix in t.indexes() {
+                let key = ix.key_of(row);
+                if ix.is_unique() && !key.has_null() && !ix.get(&key).is_empty() {
+                    return Err(Error::UniqueViolation {
+                        table: table.to_owned(),
+                        index: ix.name().to_owned(),
+                    });
+                }
+            }
+            t.restore(*id, row.clone());
+        }
+        t.sync_next_row();
+        Ok(())
+    }
+}
+
+fn unique_key_exists(schema: &TableSchema, cols: &[String]) -> bool {
+    let mut want: Vec<&str> = cols.iter().map(String::as_str).collect();
+    want.sort_unstable();
+    let mut pk: Vec<&str> = schema.primary_key.iter().map(String::as_str).collect();
+    pk.sort_unstable();
+    if pk == want {
+        return true;
+    }
+    schema.indexes.iter().any(|ix| {
+        if !ix.unique {
+            return false;
+        }
+        let mut have: Vec<&str> = ix.columns.iter().map(String::as_str).collect();
+        have.sort_unstable();
+        have == want
+    })
+}
+
+#[derive(Debug)]
+enum UndoOp {
+    Insert { table: String, id: RowId },
+    Update { table: String, id: RowId, old: Row },
+    Delete { table: String, id: RowId, old: Row },
+}
+
+#[derive(Debug, Default)]
+struct TxnState {
+    undo: Vec<UndoOp>,
+    closed: bool,
+}
+
+/// A transaction handle. Dropping an uncommitted transaction rolls it
+/// back.
+pub struct Txn {
+    db: Arc<DbInner>,
+    id: TxnId,
+    state: Mutex<TxnState>,
+}
+
+impl Txn {
+    fn new(db: Arc<DbInner>, id: TxnId) -> Self {
+        Txn {
+            db,
+            id,
+            state: Mutex::new(TxnState::default()),
+        }
+    }
+
+    /// This transaction's id (its wait-die age).
+    #[must_use]
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    fn check_open(&self) -> Result<()> {
+        if self.state.lock().closed {
+            Err(Error::TxnClosed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn entry(&self, table: &str) -> Result<(u32, Arc<RwLock<Table>>)> {
+        let catalog = self.db.catalog.read();
+        let e = catalog
+            .get(table)
+            .ok_or_else(|| Error::NoSuchTable(table.to_owned()))?;
+        Ok((e.id, Arc::clone(&e.data)))
+    }
+
+    fn lock(&self, res: Resource, mode: LockMode) -> Result<()> {
+        self.db.locks.acquire(self.id, res, mode)
+    }
+
+    /// Insert a row; returns its new id.
+    pub fn insert(&self, table: &str, row: Row) -> Result<RowId> {
+        self.check_open()?;
+        let (tid, data) = self.entry(table)?;
+        self.lock(Resource::Table(tid), LockMode::IntentExclusive)?;
+        // Validate types early (cheap, no locks needed beyond IX).
+        data.read().check_row(&row)?;
+        // Forward FK checks: referenced rows must exist; S-lock them so
+        // they cannot vanish before we commit.
+        let fks = data.read().schema().foreign_keys.clone();
+        self.check_forward_fks(table, &fks, &row)?;
+        let id = {
+            let mut t = data.write();
+            t.insert(row)?
+        };
+        self.lock(Resource::Row(tid, id), LockMode::Exclusive)?;
+        self.state.lock().undo.push(UndoOp::Insert {
+            table: table.to_owned(),
+            id,
+        });
+        Ok(id)
+    }
+
+    /// Fetch a copy of the row at `id` (shared-locks it).
+    pub fn get(&self, table: &str, id: RowId) -> Result<Row> {
+        self.check_open()?;
+        let (tid, data) = self.entry(table)?;
+        self.lock(Resource::Table(tid), LockMode::IntentShared)?;
+        self.lock(Resource::Row(tid, id), LockMode::Shared)?;
+        let row = data.read().get(id)?.clone();
+        Ok(row)
+    }
+
+    /// Replace the entire row at `id`.
+    pub fn update(&self, table: &str, id: RowId, new_row: Row) -> Result<()> {
+        self.check_open()?;
+        let (tid, data) = self.entry(table)?;
+        self.lock(Resource::Table(tid), LockMode::IntentExclusive)?;
+        self.lock(Resource::Row(tid, id), LockMode::Exclusive)?;
+        data.read().check_row(&new_row)?;
+        let (old, schema_fks) = {
+            let t = data.read();
+            (t.get(id)?.clone(), t.schema().foreign_keys.clone())
+        };
+        // Forward FKs: only re-check constraints whose columns changed.
+        let schema = data.read().schema().clone();
+        let changed: Vec<usize> = (0..old.len()).filter(|&i| old[i] != new_row[i]).collect();
+        let changed_names: Vec<&str> = changed
+            .iter()
+            .map(|&i| schema.columns[i].name.as_str())
+            .collect();
+        let affected_fks: Vec<ForeignKey> = schema_fks
+            .into_iter()
+            .filter(|fk| {
+                fk.columns
+                    .iter()
+                    .any(|c| changed_names.contains(&c.as_str()))
+            })
+            .collect();
+        self.check_forward_fks(table, &affected_fks, &new_row)?;
+        // Reverse FKs: refuse changing a referenced key while referencing
+        // rows exist (ON UPDATE actions are not supported).
+        self.check_reverse_on_key_change(table, &schema, &old, &new_row, &changed_names)?;
+        {
+            let mut t = data.write();
+            t.update(id, new_row)?;
+        }
+        self.state.lock().undo.push(UndoOp::Update {
+            table: table.to_owned(),
+            id,
+            old,
+        });
+        Ok(())
+    }
+
+    /// Update only the named columns of the row at `id`.
+    pub fn update_cols(&self, table: &str, id: RowId, cols: &[(&str, Value)]) -> Result<()> {
+        self.check_open()?;
+        let (tid, data) = self.entry(table)?;
+        // Take the write locks *before* reading the base row, so the
+        // unchanged columns cannot be clobbered with stale values read
+        // concurrently with another writer (lost update).
+        self.lock(Resource::Table(tid), LockMode::IntentExclusive)?;
+        self.lock(Resource::Row(tid, id), LockMode::Exclusive)?;
+        let row = {
+            let t = data.read();
+            let mut row = t.get(id)?.clone();
+            for (name, value) in cols {
+                let ix = t.schema().require_column(name)?;
+                row[ix] = value.clone();
+            }
+            row
+        };
+        // `update` re-acquires the same locks (re-entrant joins).
+        self.update(table, id, row)
+    }
+
+    /// Delete the row at `id`, honouring reverse foreign keys
+    /// (RESTRICT refuses, CASCADE recurses, SET NULL nulls out).
+    pub fn delete(&self, table: &str, id: RowId) -> Result<()> {
+        self.check_open()?;
+        let (tid, data) = self.entry(table)?;
+        self.lock(Resource::Table(tid), LockMode::IntentExclusive)?;
+        self.lock(Resource::Row(tid, id), LockMode::Exclusive)?;
+        let old = {
+            let t = data.read();
+            t.get(id)?.clone()
+        };
+        // Handle rows referencing this one.
+        let schema = data.read().schema().clone();
+        let referrers: Vec<(String, ForeignKey)> = self
+            .db
+            .referrers
+            .read()
+            .get(table)
+            .cloned()
+            .unwrap_or_default();
+        for (rtable, fk) in referrers {
+            let ref_cols = schema.resolve_columns(&fk.ref_columns)?;
+            let key = Key::from_row(&old, &ref_cols);
+            if key.has_null() {
+                continue;
+            }
+            let hits = self.find_referencing(&rtable, &fk, &key)?;
+            if hits.is_empty() {
+                continue;
+            }
+            match fk.on_delete {
+                FkAction::Restrict => {
+                    return Err(Error::RestrictViolation {
+                        table: table.to_owned(),
+                        referenced_by: rtable,
+                    });
+                }
+                FkAction::Cascade => {
+                    for hit in hits {
+                        // The referencing row may already be gone if a
+                        // previous cascade in this very delete removed it.
+                        match self.delete(&rtable, hit) {
+                            Ok(()) | Err(Error::NoSuchRow { .. }) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                FkAction::SetNull => {
+                    let nulls: Vec<(&str, Value)> = fk
+                        .columns
+                        .iter()
+                        .map(|c| (c.as_str(), Value::Null))
+                        .collect();
+                    for hit in hits {
+                        self.update_cols(&rtable, hit, &nulls)?;
+                    }
+                }
+            }
+        }
+        {
+            let mut t = data.write();
+            t.delete(id)?;
+        }
+        self.state.lock().undo.push(UndoOp::Delete {
+            table: table.to_owned(),
+            id,
+            old,
+        });
+        Ok(())
+    }
+
+    /// All rows matching `pred` (copies). Takes a table-shared lock, so
+    /// results are phantom-stable for the life of the transaction. Uses
+    /// an index when every column of some index is bound by equality in
+    /// the predicate's top-level AND chain.
+    pub fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
+        self.check_open()?;
+        let (tid, data) = self.entry(table)?;
+        self.lock(Resource::Table(tid), LockMode::Shared)?;
+        let t = data.read();
+        let compiled = pred.compile(t.schema())?;
+        let bindings = pred.eq_bindings();
+        // Index selection: an index is usable if all its columns are
+        // bound by equality.
+        let candidates: Option<Vec<RowId>> = t.indexes().iter().find_map(|ix| {
+            let names: Vec<&str> = ix
+                .columns()
+                .iter()
+                .map(|&c| t.schema().columns[c].name.as_str())
+                .collect();
+            if names.iter().all(|n| bindings.contains_key(n)) {
+                let key = Key(names.iter().map(|n| (*bindings[n]).clone()).collect());
+                Some(ix.get(&key))
+            } else {
+                None
+            }
+        });
+        let mut out = Vec::new();
+        match candidates {
+            Some(ids) => {
+                for id in ids {
+                    if let Some(row) = t.try_get(id) {
+                        if compiled.eval(row) {
+                            out.push((id, row.clone()));
+                        }
+                    }
+                }
+                out.sort_by_key(|(id, _)| *id);
+            }
+            None => {
+                for (id, row) in t.iter() {
+                    if compiled.eval(row) {
+                        out.push((id, row.clone()));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Like [`Txn::select`], but sorted by `order_col` (ascending or
+    /// descending, NULLs first) and truncated to `limit` rows.
+    pub fn select_ordered(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        order_col: &str,
+        descending: bool,
+        limit: Option<usize>,
+    ) -> Result<Vec<(RowId, Row)>> {
+        let (_, data) = self.entry(table)?;
+        let col = data.read().schema().require_column(order_col)?;
+        let mut rows = self.select(table, pred)?;
+        rows.sort_by(|(_, a), (_, b)| {
+            let ord = a[col].cmp(&b[col]);
+            if descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        if let Some(n) = limit {
+            rows.truncate(n);
+        }
+        Ok(rows)
+    }
+
+    /// Equi-join: pairs of rows from `left` and `right` where
+    /// `left.left_col = right.right_col`, each side pre-filtered by its
+    /// predicate. NULL keys never join (SQL semantics). Implemented as
+    /// a hash join over the filtered sides; takes table-shared locks on
+    /// both (phantom-stable).
+    pub fn join(
+        &self,
+        left: &str,
+        left_col: &str,
+        left_pred: &Predicate,
+        right: &str,
+        right_col: &str,
+        right_pred: &Predicate,
+    ) -> Result<Vec<(Row, Row)>> {
+        let (_, ldata) = self.entry(left)?;
+        let (_, rdata) = self.entry(right)?;
+        let lcol = ldata.read().schema().require_column(left_col)?;
+        let rcol = rdata.read().schema().require_column(right_col)?;
+        let lrows = self.select(left, left_pred)?;
+        let rrows = self.select(right, right_pred)?;
+        // Build a lookup on the right side (Value is Ord, not Hash —
+        // floats use total order — so a BTreeMap serves as the join
+        // table).
+        let mut table: std::collections::BTreeMap<Value, Vec<&Row>> =
+            std::collections::BTreeMap::new();
+        for (_, row) in &rrows {
+            let key = &row[rcol];
+            if !key.is_null() {
+                table.entry(key.clone()).or_default().push(row);
+            }
+        }
+        let mut out = Vec::new();
+        for (_, lrow) in &lrows {
+            let key = &lrow[lcol];
+            if key.is_null() {
+                continue;
+            }
+            if let Some(matches) = table.get(key) {
+                for rrow in matches {
+                    out.push((lrow.clone(), (*rrow).clone()));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum an integer column over matching rows (NULLs contribute 0).
+    pub fn sum_int(&self, table: &str, pred: &Predicate, col: &str) -> Result<i64> {
+        let (tid, data) = self.entry(table)?;
+        self.lock(Resource::Table(tid), LockMode::Shared)?;
+        let t = data.read();
+        let ci = t.schema().require_column(col)?;
+        let compiled = pred.compile(t.schema())?;
+        Ok(t.iter()
+            .filter(|(_, row)| compiled.eval(row))
+            .map(|(_, row)| row[ci].as_int().unwrap_or(0))
+            .sum())
+    }
+
+    /// Count rows matching `pred` without copying them.
+    pub fn count(&self, table: &str, pred: &Predicate) -> Result<usize> {
+        self.check_open()?;
+        let (tid, data) = self.entry(table)?;
+        self.lock(Resource::Table(tid), LockMode::Shared)?;
+        let t = data.read();
+        let compiled = pred.compile(t.schema())?;
+        Ok(t.iter().filter(|(_, row)| compiled.eval(row)).count())
+    }
+
+    /// Commit: release all locks, discard the undo log.
+    pub fn commit(self) -> Result<()> {
+        {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(Error::TxnClosed);
+            }
+            st.closed = true;
+            st.undo.clear();
+        }
+        self.db.locks.release_all(self.id);
+        Ok(())
+    }
+
+    /// Roll back explicitly (dropping the handle does the same).
+    pub fn rollback(self) {
+        self.rollback_inner();
+    }
+
+    fn rollback_inner(&self) {
+        let undo = {
+            let mut st = self.state.lock();
+            if st.closed {
+                return;
+            }
+            st.closed = true;
+            std::mem::take(&mut st.undo)
+        };
+        let catalog = self.db.catalog.read();
+        for op in undo.into_iter().rev() {
+            match op {
+                UndoOp::Insert { table, id } => {
+                    if let Some(e) = catalog.get(&table) {
+                        let _ = e.data.write().delete(id);
+                    }
+                }
+                UndoOp::Update { table, id, old } => {
+                    if let Some(e) = catalog.get(&table) {
+                        let _ = e.data.write().update(id, old);
+                    }
+                }
+                UndoOp::Delete { table, id, old } => {
+                    if let Some(e) = catalog.get(&table) {
+                        e.data.write().restore(id, old);
+                    }
+                }
+            }
+        }
+        drop(catalog);
+        self.db.locks.release_all(self.id);
+    }
+
+    fn check_forward_fks(&self, table: &str, fks: &[ForeignKey], row: &[Value]) -> Result<()> {
+        for fk in fks {
+            let (tid, data) = self.entry(table)?;
+            let cols = data.read().schema().resolve_columns(&fk.columns)?;
+            let key = Key::from_row(row, &cols);
+            if key.has_null() {
+                continue; // NULL FKs reference nothing
+            }
+            let (rtid, rdata) = self.entry(&fk.ref_table)?;
+            // For self-referencing FKs the table lock is already held.
+            let _ = tid;
+            self.lock(Resource::Table(rtid), LockMode::IntentShared)?;
+            let hits = {
+                let rt = rdata.read();
+                let ix_name = find_unique_index(&rt, &fk.ref_columns)?;
+                let ix = rt.index(&ix_name)?;
+                // The unique index may list the same columns in a
+                // different order than the FK declaration; build the key
+                // in *index* order.
+                let lookup = reorder_key(&rt, ix.columns(), &fk.ref_columns, &key)?;
+                ix.get(&lookup)
+            };
+            match hits.first() {
+                None => {
+                    return Err(Error::ForeignKeyViolation {
+                        table: table.to_owned(),
+                        references: fk.ref_table.clone(),
+                    });
+                }
+                Some(&hit) => {
+                    // Pin the referenced row until commit.
+                    self.lock(Resource::Row(rtid, hit), LockMode::Shared)?;
+                    // Re-check it still exists post-lock.
+                    if rdata.read().try_get(hit).is_none() {
+                        return Err(Error::ForeignKeyViolation {
+                            table: table.to_owned(),
+                            references: fk.ref_table.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_reverse_on_key_change(
+        &self,
+        table: &str,
+        schema: &TableSchema,
+        old: &[Value],
+        _new: &[Value],
+        changed: &[&str],
+    ) -> Result<()> {
+        let referrers: Vec<(String, ForeignKey)> = self
+            .db
+            .referrers
+            .read()
+            .get(table)
+            .cloned()
+            .unwrap_or_default();
+        for (rtable, fk) in referrers {
+            if !fk.ref_columns.iter().any(|c| changed.contains(&c.as_str())) {
+                continue;
+            }
+            let ref_cols = schema.resolve_columns(&fk.ref_columns)?;
+            let key = Key::from_row(old, &ref_cols);
+            if key.has_null() {
+                continue;
+            }
+            if !self.find_referencing(&rtable, &fk, &key)?.is_empty() {
+                return Err(Error::RestrictViolation {
+                    table: table.to_owned(),
+                    referenced_by: rtable,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Rows of `rtable` whose `fk.columns` equal `key`. Uses an index on
+    /// those columns when one exists, else scans.
+    fn find_referencing(&self, rtable: &str, fk: &ForeignKey, key: &Key) -> Result<Vec<RowId>> {
+        let (rtid, rdata) = self.entry(rtable)?;
+        self.lock(Resource::Table(rtid), LockMode::IntentShared)?;
+        let rt = rdata.read();
+        let cols = rt.schema().resolve_columns(&fk.columns)?;
+        // Exact-column index?
+        for ix in rt.indexes() {
+            if ix.columns() == cols.as_slice() {
+                return Ok(ix.get(key));
+            }
+        }
+        // Fall back to a scan (requires a stronger table lock for
+        // stability).
+        drop(rt);
+        self.lock(Resource::Table(rtid), LockMode::Shared)?;
+        let rt = rdata.read();
+        Ok(rt
+            .iter()
+            .filter(|(_, row)| &Key::from_row(row, &cols) == key)
+            .map(|(id, _)| id)
+            .collect())
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        self.rollback_inner();
+    }
+}
+
+/// Find a unique index of `table` covering exactly the column *set*
+/// `cols` (order-insensitive; the caller reorders keys to match).
+fn find_unique_index(table: &Table, cols: &[String]) -> Result<String> {
+    let mut want = table.schema().resolve_columns(cols)?;
+    want.sort_unstable();
+    for ix in table.indexes() {
+        let mut have = ix.columns().to_vec();
+        have.sort_unstable();
+        if ix.is_unique() && have == want {
+            return Ok(ix.name().to_owned());
+        }
+    }
+    Err(Error::NoSuchIndex {
+        table: table.schema().name.clone(),
+        index: PRIMARY_INDEX.to_owned(),
+    })
+}
+
+/// Rebuild `key` (whose components follow `declared` column-name order)
+/// into the order of `index_cols` (column positions in `table`).
+fn reorder_key(table: &Table, index_cols: &[usize], declared: &[String], key: &Key) -> Result<Key> {
+    let mut out = Vec::with_capacity(index_cols.len());
+    for &ci in index_cols {
+        let name = &table.schema().columns[ci].name;
+        let pos = declared
+            .iter()
+            .position(|d| d == name)
+            .ok_or_else(|| Error::NoSuchColumn {
+                table: table.schema().name.clone(),
+                column: name.clone(),
+            })?;
+        out.push(key.0[pos].clone());
+    }
+    Ok(Key(out))
+}

@@ -1,0 +1,163 @@
+//! Error types for the relational store.
+
+use std::fmt;
+
+/// All errors surfaced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// No table with this name exists in the catalog.
+    NoSuchTable(String),
+    /// No column with this name exists in the table.
+    NoSuchColumn {
+        /// Table that was searched.
+        table: String,
+        /// Column that was not found.
+        column: String,
+    },
+    /// No index with this name exists on the table.
+    NoSuchIndex {
+        /// Table that was searched.
+        table: String,
+        /// Index that was not found.
+        index: String,
+    },
+    /// A value did not match the declared column type.
+    TypeMismatch {
+        /// Table being written.
+        table: String,
+        /// Column being written.
+        column: String,
+        /// Declared type of the column.
+        expected: crate::value::ColumnType,
+        /// Short description of the offending value.
+        got: String,
+    },
+    /// A NULL was written to a non-nullable column.
+    NullViolation {
+        /// Table being written.
+        table: String,
+        /// The non-nullable column.
+        column: String,
+    },
+    /// Row arity did not match the schema.
+    ArityMismatch {
+        /// Table being written.
+        table: String,
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A unique or primary-key constraint was violated.
+    UniqueViolation {
+        /// Table being written.
+        table: String,
+        /// Name of the violated index.
+        index: String,
+    },
+    /// A foreign-key constraint was violated on insert/update
+    /// (the referenced row does not exist).
+    ForeignKeyViolation {
+        /// Table being written.
+        table: String,
+        /// Table the foreign key points at.
+        references: String,
+    },
+    /// A delete/update would orphan referencing rows and the
+    /// constraint action is `Restrict`.
+    RestrictViolation {
+        /// Table holding the row being removed.
+        table: String,
+        /// Table holding the rows that still reference it.
+        referenced_by: String,
+    },
+    /// The row id does not exist (or was deleted).
+    NoSuchRow {
+        /// Table that was searched.
+        table: String,
+        /// Row id that was not found.
+        row: crate::table::RowId,
+    },
+    /// The transaction was aborted by the wait-die deadlock avoider;
+    /// the caller should retry with a fresh transaction.
+    TxnAborted {
+        /// Human-readable reason (e.g. which lock was refused).
+        reason: String,
+    },
+    /// Operation on a transaction that already committed or aborted.
+    TxnClosed,
+    /// An index declaration referenced an unindexable column type.
+    Unindexable {
+        /// Table the index was declared on.
+        table: String,
+        /// The offending column.
+        column: String,
+    },
+    /// Malformed schema declaration (duplicate column, empty key, ...).
+    BadSchema(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TableExists(t) => write!(f, "table `{t}` already exists"),
+            Error::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            Error::NoSuchColumn { table, column } => {
+                write!(f, "no column `{column}` in table `{table}`")
+            }
+            Error::NoSuchIndex { table, index } => {
+                write!(f, "no index `{index}` on table `{table}`")
+            }
+            Error::TypeMismatch {
+                table,
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch in `{table}.{column}`: expected {expected:?}, got {got}"
+            ),
+            Error::NullViolation { table, column } => {
+                write!(f, "NULL written to non-nullable `{table}.{column}`")
+            }
+            Error::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "row arity mismatch for `{table}`: schema has {expected} columns, row has {got}"
+            ),
+            Error::UniqueViolation { table, index } => {
+                write!(f, "unique constraint `{index}` violated on `{table}`")
+            }
+            Error::ForeignKeyViolation { table, references } => write!(
+                f,
+                "foreign key violated: `{table}` row references missing row in `{references}`"
+            ),
+            Error::RestrictViolation {
+                table,
+                referenced_by,
+            } => write!(
+                f,
+                "cannot remove row from `{table}`: still referenced by `{referenced_by}`"
+            ),
+            Error::NoSuchRow { table, row } => {
+                write!(f, "no row {row:?} in table `{table}`")
+            }
+            Error::TxnAborted { reason } => write!(f, "transaction aborted: {reason}"),
+            Error::TxnClosed => write!(f, "transaction already committed or aborted"),
+            Error::Unindexable { table, column } => {
+                write!(f, "column `{table}.{column}` has an unindexable type")
+            }
+            Error::BadSchema(msg) => write!(f, "bad schema: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,343 @@
+//! Multi-granularity lock manager with wait-die deadlock avoidance.
+//!
+//! Transactions lock at two granularities: whole tables and individual
+//! rows, using the classical intent-mode hierarchy (IS/IX/S/SIX/X). A
+//! transaction that wants to read a row takes `IS` on the table then `S`
+//! on the row; a writer takes `IX` then `X`; a full scan takes `S` on the
+//! table, which blocks concurrent writers and thereby prevents phantoms
+//! at table granularity.
+//!
+//! Deadlocks are avoided with the *wait-die* scheme: transaction ids are
+//! assigned from a monotone counter, so a smaller id means an older
+//! transaction. An older requester waits for conflicting holders; a
+//! younger requester is killed immediately ([`Error::TxnAborted`]) and is
+//! expected to retry from the top. This guarantees both deadlock freedom
+//! and livelock freedom (a transaction keeps its birth timestamp across
+//! retries in [`crate::database::Database::with_txn`]).
+
+use crate::error::{Error, Result};
+use crate::table::RowId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+
+/// Lock modes, ordered by "strength" for upgrade purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Intent to take shared locks on descendants.
+    IntentShared,
+    /// Intent to take exclusive locks on descendants.
+    IntentExclusive,
+    /// Shared access to the whole resource.
+    Shared,
+    /// Shared access plus intent to write descendants.
+    SharedIntentExclusive,
+    /// Exclusive access to the whole resource.
+    Exclusive,
+}
+
+use LockMode::*;
+
+impl LockMode {
+    /// The classical compatibility matrix.
+    #[must_use]
+    pub fn compatible(self, other: LockMode) -> bool {
+        match (self, other) {
+            (IntentShared, Exclusive) | (Exclusive, IntentShared) => false,
+            (IntentShared, _) | (_, IntentShared) => true,
+            (IntentExclusive, IntentExclusive) => true,
+            (IntentExclusive, _) | (_, IntentExclusive) => false,
+            (Shared, Shared) => true,
+            (Shared, _) | (_, Shared) => false,
+            _ => false, // SIX-SIX, SIX-X, X-anything
+        }
+    }
+
+    /// Least upper bound of two held modes (for lock upgrades): the
+    /// weakest single mode that grants both sets of rights.
+    #[must_use]
+    pub fn join(self, other: LockMode) -> LockMode {
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (Exclusive, _) | (_, Exclusive) => Exclusive,
+            (SharedIntentExclusive, _) | (_, SharedIntentExclusive) => SharedIntentExclusive,
+            (Shared, IntentExclusive) | (IntentExclusive, Shared) => SharedIntentExclusive,
+            (Shared, _) | (_, Shared) => Shared,
+            (IntentExclusive, _) | (_, IntentExclusive) => IntentExclusive,
+            _ => IntentShared,
+        }
+    }
+}
+
+/// A lockable resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// A whole table (by catalog id).
+    Table(u32),
+    /// A single row.
+    Row(u32, RowId),
+}
+
+/// Monotone transaction id; smaller is older (wait-die priority).
+pub type TxnId = u64;
+
+#[derive(Default)]
+struct LockTable {
+    /// Granted locks per resource. Absent entry == unlocked.
+    granted: HashMap<Resource, HashMap<TxnId, LockMode>>,
+    /// All resources each transaction holds, for O(held) release.
+    by_txn: HashMap<TxnId, Vec<Resource>>,
+}
+
+/// The lock manager shared by all transactions of a database.
+pub struct LockManager {
+    state: Mutex<LockTable>,
+    released: Condvar,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockManager {
+    /// Create an empty lock manager.
+    #[must_use]
+    pub fn new() -> Self {
+        LockManager {
+            state: Mutex::new(LockTable::default()),
+            released: Condvar::new(),
+        }
+    }
+
+    /// Acquire `mode` on `res` for transaction `txn`, blocking if the
+    /// wait-die rule says this (older) transaction may wait, or failing
+    /// with [`Error::TxnAborted`] if it must die.
+    pub fn acquire(&self, txn: TxnId, res: Resource, mode: LockMode) -> Result<()> {
+        let mut st = self.state.lock();
+        loop {
+            let holders = st.granted.entry(res).or_default();
+            let held = holders.get(&txn).copied();
+            let want = held.map_or(mode, |h| h.join(mode));
+            if held == Some(want) {
+                return Ok(()); // already strong enough
+            }
+            let conflict = holders
+                .iter()
+                .filter(|(id, _)| **id != txn)
+                .find(|(_, m)| !want.compatible(**m));
+            match conflict {
+                None => {
+                    let newly = holders.insert(txn, want).is_none();
+                    if newly {
+                        st.by_txn.entry(txn).or_default().push(res);
+                    }
+                    return Ok(());
+                }
+                Some((&holder, _)) => {
+                    if txn < holder {
+                        // Older: wait for a release, then re-examine.
+                        self.released.wait(&mut st);
+                    } else {
+                        return Err(Error::TxnAborted {
+                            reason: format!(
+                                "wait-die: txn {txn} is younger than lock holder {holder} on {res:?}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Try to acquire without ever blocking; `Ok(false)` means a
+    /// conflicting holder exists.
+    pub fn try_acquire(&self, txn: TxnId, res: Resource, mode: LockMode) -> Result<bool> {
+        let mut st = self.state.lock();
+        let holders = st.granted.entry(res).or_default();
+        let held = holders.get(&txn).copied();
+        let want = held.map_or(mode, |h| h.join(mode));
+        if held == Some(want) {
+            return Ok(true);
+        }
+        let ok = holders
+            .iter()
+            .filter(|(id, _)| **id != txn)
+            .all(|(_, m)| want.compatible(*m));
+        if ok {
+            let newly = holders.insert(txn, want).is_none();
+            if newly {
+                st.by_txn.entry(txn).or_default().push(res);
+            }
+        }
+        Ok(ok)
+    }
+
+    /// Release every lock held by `txn` (commit or abort).
+    pub fn release_all(&self, txn: TxnId) {
+        let mut st = self.state.lock();
+        if let Some(resources) = st.by_txn.remove(&txn) {
+            for res in resources {
+                if let Some(holders) = st.granted.get_mut(&res) {
+                    holders.remove(&txn);
+                    if holders.is_empty() {
+                        st.granted.remove(&res);
+                    }
+                }
+            }
+            drop(st);
+            self.released.notify_all();
+        }
+    }
+
+    /// Number of resources currently locked (diagnostics / tests).
+    #[must_use]
+    pub fn locked_resources(&self) -> usize {
+        self.state.lock().granted.len()
+    }
+
+    /// The modes `txn` currently holds on `res`, if any (tests).
+    #[must_use]
+    pub fn held(&self, txn: TxnId, res: Resource) -> Option<LockMode> {
+        self.state
+            .lock()
+            .granted
+            .get(&res)
+            .and_then(|h| h.get(&txn))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const T: Resource = Resource::Table(1);
+
+    #[test]
+    fn compatibility_matrix() {
+        let modes = [
+            IntentShared,
+            IntentExclusive,
+            Shared,
+            SharedIntentExclusive,
+            Exclusive,
+        ];
+        // Spot-check the canonical matrix row by row.
+        let expect = [
+            [true, true, true, true, false],     // IS
+            [true, true, false, false, false],   // IX
+            [true, false, true, false, false],   // S
+            [true, false, false, false, false],  // SIX
+            [false, false, false, false, false], // X
+        ];
+        for (i, a) in modes.iter().enumerate() {
+            for (j, b) in modes.iter().enumerate() {
+                assert_eq!(a.compatible(*b), expect[i][j], "{a:?} vs {b:?}");
+                // Matrix is symmetric.
+                assert_eq!(a.compatible(*b), b.compatible(*a));
+            }
+        }
+    }
+
+    #[test]
+    fn join_lattice() {
+        assert_eq!(Shared.join(IntentExclusive), SharedIntentExclusive);
+        assert_eq!(IntentShared.join(Exclusive), Exclusive);
+        assert_eq!(IntentShared.join(IntentExclusive), IntentExclusive);
+        assert_eq!(Shared.join(Shared), Shared);
+        assert_eq!(SharedIntentExclusive.join(Shared), SharedIntentExclusive);
+        // Join is commutative and idempotent over the whole lattice.
+        let modes = [
+            IntentShared,
+            IntentExclusive,
+            Shared,
+            SharedIntentExclusive,
+            Exclusive,
+        ];
+        for a in modes {
+            assert_eq!(a.join(a), a);
+            for b in modes {
+                assert_eq!(a.join(b), b.join(a));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new();
+        lm.acquire(1, T, Shared).unwrap();
+        lm.acquire(2, T, Shared).unwrap();
+        assert_eq!(lm.held(1, T), Some(Shared));
+        assert_eq!(lm.held(2, T), Some(Shared));
+    }
+
+    #[test]
+    fn younger_dies_on_conflict() {
+        let lm = LockManager::new();
+        lm.acquire(1, T, Exclusive).unwrap();
+        let err = lm.acquire(2, T, Shared).unwrap_err();
+        assert!(matches!(err, Error::TxnAborted { .. }));
+    }
+
+    #[test]
+    fn try_acquire_reports_conflict_without_blocking() {
+        let lm = LockManager::new();
+        lm.acquire(5, T, Exclusive).unwrap();
+        assert!(!lm.try_acquire(1, T, Shared).unwrap());
+        lm.release_all(5);
+        assert!(lm.try_acquire(1, T, Shared).unwrap());
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder() {
+        let lm = LockManager::new();
+        lm.acquire(1, T, Shared).unwrap();
+        lm.acquire(1, T, IntentExclusive).unwrap();
+        assert_eq!(lm.held(1, T), Some(SharedIntentExclusive));
+    }
+
+    #[test]
+    fn release_unblocks_older_waiter() {
+        let lm = Arc::new(LockManager::new());
+        // Younger txn 9 holds X; older txn 1 will wait for it.
+        lm.acquire(9, T, Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = std::thread::spawn(move || lm2.acquire(1, T, Exclusive));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        lm.release_all(9);
+        h.join().unwrap().unwrap();
+        assert_eq!(lm.held(1, T), Some(Exclusive));
+    }
+
+    #[test]
+    fn release_all_clears_every_resource() {
+        let lm = LockManager::new();
+        lm.acquire(1, Resource::Table(1), IntentExclusive).unwrap();
+        lm.acquire(1, Resource::Row(1, RowId(7)), Exclusive)
+            .unwrap();
+        assert_eq!(lm.locked_resources(), 2);
+        lm.release_all(1);
+        assert_eq!(lm.locked_resources(), 0);
+    }
+
+    #[test]
+    fn intent_locks_coexist_rows_conflict() {
+        let lm = LockManager::new();
+        lm.acquire(1, Resource::Table(1), IntentExclusive).unwrap();
+        lm.acquire(2, Resource::Table(1), IntentExclusive).unwrap();
+        lm.acquire(1, Resource::Row(1, RowId(1)), Exclusive)
+            .unwrap();
+        // Different row: fine.
+        lm.acquire(2, Resource::Row(1, RowId(2)), Exclusive)
+            .unwrap();
+        // Same row: younger dies.
+        let err = lm
+            .acquire(3, Resource::Row(1, RowId(1)), Shared)
+            .unwrap_err();
+        assert!(matches!(err, Error::TxnAborted { .. }));
+    }
+}

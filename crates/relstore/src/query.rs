@@ -1,0 +1,263 @@
+//! Predicate trees and simple planning helpers.
+//!
+//! Queries in this engine are programmatic: a [`Predicate`] is compiled
+//! against a table schema into column positions, then evaluated per row.
+//! [`Predicate::eq_bindings`] extracts the equality conjuncts so
+//! [`crate::database::Txn::select`] can satisfy them from an index
+//! instead of a full scan when one matches.
+
+use crate::error::Result;
+use crate::schema::TableSchema;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A boolean predicate over a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (full scan).
+    True,
+    /// `column = value`.
+    Eq(String, Value),
+    /// `column <> value` (NULL-safe: NULL <> x is true only if x not NULL).
+    Ne(String, Value),
+    /// `column < value`.
+    Lt(String, Value),
+    /// `column <= value`.
+    Le(String, Value),
+    /// `column > value`.
+    Gt(String, Value),
+    /// `column >= value`.
+    Ge(String, Value),
+    /// Text column contains the given substring.
+    Contains(String, String),
+    /// `column IS NULL`.
+    IsNull(String),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `a AND b` convenience.
+    #[must_use]
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `a OR b` convenience.
+    #[must_use]
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `column = value` convenience.
+    pub fn eq(col: impl Into<String>, val: impl Into<Value>) -> Predicate {
+        Predicate::Eq(col.into(), val.into())
+    }
+
+    /// Compile against a schema, resolving column names to positions.
+    pub fn compile(&self, schema: &TableSchema) -> Result<Compiled> {
+        Ok(Compiled {
+            node: self.compile_node(schema)?,
+        })
+    }
+
+    fn compile_node(&self, schema: &TableSchema) -> Result<Node> {
+        use Predicate as P;
+        Ok(match self {
+            P::True => Node::True,
+            P::Eq(c, v) => Node::Cmp(schema.require_column(c)?, CmpOp::Eq, v.clone()),
+            P::Ne(c, v) => Node::Cmp(schema.require_column(c)?, CmpOp::Ne, v.clone()),
+            P::Lt(c, v) => Node::Cmp(schema.require_column(c)?, CmpOp::Lt, v.clone()),
+            P::Le(c, v) => Node::Cmp(schema.require_column(c)?, CmpOp::Le, v.clone()),
+            P::Gt(c, v) => Node::Cmp(schema.require_column(c)?, CmpOp::Gt, v.clone()),
+            P::Ge(c, v) => Node::Cmp(schema.require_column(c)?, CmpOp::Ge, v.clone()),
+            P::Contains(c, s) => Node::Contains(schema.require_column(c)?, s.clone()),
+            P::IsNull(c) => Node::IsNull(schema.require_column(c)?),
+            P::And(a, b) => Node::And(
+                Box::new(a.compile_node(schema)?),
+                Box::new(b.compile_node(schema)?),
+            ),
+            P::Or(a, b) => Node::Or(
+                Box::new(a.compile_node(schema)?),
+                Box::new(b.compile_node(schema)?),
+            ),
+            P::Not(a) => Node::Not(Box::new(a.compile_node(schema)?)),
+        })
+    }
+
+    /// Column→value pairs that must hold by equality for the whole
+    /// predicate to hold (the top-level AND-chain of `Eq` leaves).
+    /// Used for index selection.
+    #[must_use]
+    pub fn eq_bindings(&self) -> BTreeMap<&str, &Value> {
+        let mut out = BTreeMap::new();
+        self.collect_eq(&mut out);
+        out
+    }
+
+    fn collect_eq<'a>(&'a self, out: &mut BTreeMap<&'a str, &'a Value>) {
+        match self {
+            Predicate::Eq(c, v) => {
+                out.insert(c.as_str(), v);
+            }
+            Predicate::And(a, b) => {
+                a.collect_eq(out);
+                b.collect_eq(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    True,
+    Cmp(usize, CmpOp, Value),
+    Contains(usize, String),
+    IsNull(usize),
+    And(Box<Node>, Box<Node>),
+    Or(Box<Node>, Box<Node>),
+    Not(Box<Node>),
+}
+
+/// A predicate compiled against one table's schema.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    node: Node,
+}
+
+impl Compiled {
+    /// Evaluate against a row. NULL comparisons follow SQL-ish semantics:
+    /// any comparison with NULL is false, except `IsNull`.
+    #[must_use]
+    pub fn eval(&self, row: &[Value]) -> bool {
+        Self::eval_node(&self.node, row)
+    }
+
+    fn eval_node(node: &Node, row: &[Value]) -> bool {
+        match node {
+            Node::True => true,
+            Node::Cmp(col, op, v) => {
+                let cell = &row[*col];
+                if cell.is_null() || v.is_null() {
+                    return false;
+                }
+                match op {
+                    CmpOp::Eq => cell == v,
+                    CmpOp::Ne => cell != v,
+                    CmpOp::Lt => cell < v,
+                    CmpOp::Le => cell <= v,
+                    CmpOp::Gt => cell > v,
+                    CmpOp::Ge => cell >= v,
+                }
+            }
+            Node::Contains(col, s) => row[*col].as_text().is_some_and(|t| t.contains(s.as_str())),
+            Node::IsNull(col) => row[*col].is_null(),
+            Node::And(a, b) => Self::eval_node(a, row) && Self::eval_node(b, row),
+            Node::Or(a, b) => Self::eval_node(a, row) || Self::eval_node(b, row),
+            Node::Not(a) => !Self::eval_node(a, row),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use crate::value::ColumnType;
+
+    fn schema() -> TableSchema {
+        TableSchema::builder("t")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .nullable_column("score", ColumnType::Int)
+            .primary_key(&["id"])
+            .build()
+            .unwrap()
+    }
+
+    fn row(id: i64, name: &str, score: Option<i64>) -> Vec<Value> {
+        vec![Value::Int(id), Value::from(name), Value::from(score)]
+    }
+
+    #[test]
+    fn eq_and_range() {
+        let s = schema();
+        let p = Predicate::eq("id", 3i64).compile(&s).unwrap();
+        assert!(p.eval(&row(3, "x", None)));
+        assert!(!p.eval(&row(4, "x", None)));
+
+        let p = Predicate::Ge("id".into(), Value::Int(3))
+            .and(Predicate::Lt("id".into(), Value::Int(5)))
+            .compile(&s)
+            .unwrap();
+        assert!(p.eval(&row(3, "x", None)));
+        assert!(p.eval(&row(4, "x", None)));
+        assert!(!p.eval(&row(5, "x", None)));
+    }
+
+    #[test]
+    fn contains_and_or_not() {
+        let s = schema();
+        let p = Predicate::Contains("name".into(), "web".into())
+            .or(Predicate::eq("id", 1i64))
+            .compile(&s)
+            .unwrap();
+        assert!(p.eval(&row(9, "my web doc", None)));
+        assert!(p.eval(&row(1, "zzz", None)));
+        assert!(!p.eval(&row(2, "zzz", None)));
+
+        let p = Predicate::Not(Box::new(Predicate::eq("id", 1i64)))
+            .compile(&s)
+            .unwrap();
+        assert!(p.eval(&row(2, "x", None)));
+        assert!(!p.eval(&row(1, "x", None)));
+    }
+
+    #[test]
+    fn null_semantics() {
+        let s = schema();
+        let p = Predicate::eq("score", 5i64).compile(&s).unwrap();
+        assert!(!p.eval(&row(1, "x", None))); // NULL = 5 is false
+        let p = Predicate::Ne("score".into(), Value::Int(5))
+            .compile(&s)
+            .unwrap();
+        assert!(!p.eval(&row(1, "x", None))); // NULL <> 5 is false too
+        let p = Predicate::IsNull("score".into()).compile(&s).unwrap();
+        assert!(p.eval(&row(1, "x", None)));
+        assert!(!p.eval(&row(1, "x", Some(5))));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = schema();
+        assert!(Predicate::eq("nope", 1i64).compile(&s).is_err());
+    }
+
+    #[test]
+    fn eq_bindings_from_and_chain() {
+        let p = Predicate::eq("a", 1i64)
+            .and(Predicate::eq("b", "x").and(Predicate::Gt("c".into(), Value::Int(0))));
+        let b = p.eq_bindings();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b["a"], &Value::Int(1));
+        assert_eq!(b["b"], &Value::from("x"));
+        // Or-branches contribute nothing.
+        let p = Predicate::eq("a", 1i64).or(Predicate::eq("b", 2i64));
+        assert!(p.eq_bindings().is_empty());
+    }
+}

@@ -1,0 +1,494 @@
+//! In-memory table heap with index maintenance.
+//!
+//! A [`Table`] stores rows in a `BTreeMap` keyed by [`RowId`] (so scans
+//! are deterministic), keeps the implicit primary-key index plus any
+//! declared secondary indexes, and enforces *local* constraints: arity,
+//! types, NULLs, and uniqueness. Cross-table (foreign-key) constraints
+//! are enforced one level up, in [`crate::database::Database`].
+
+use crate::error::{Error, Result};
+use crate::schema::{IndexDef, TableSchema, PRIMARY_INDEX};
+use crate::value::{Key, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Stable identifier of a row within its table. Never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RowId(pub u64);
+
+/// A row is a vector of values, positionally matching the schema.
+pub type Row = Vec<Value>;
+
+/// One B-tree index over a table.
+#[derive(Debug, Clone)]
+pub struct Index {
+    def: IndexDef,
+    cols: Vec<usize>,
+    map: BTreeMap<Key, BTreeSet<RowId>>,
+}
+
+impl Index {
+    fn new(def: IndexDef, schema: &TableSchema) -> Result<Self> {
+        let cols = schema.resolve_columns(&def.columns)?;
+        Ok(Index {
+            def,
+            cols,
+            map: BTreeMap::new(),
+        })
+    }
+
+    /// Key of `row` under this index.
+    #[must_use]
+    pub fn key_of(&self, row: &[Value]) -> Key {
+        Key::from_row(row, &self.cols)
+    }
+
+    /// Row ids with exactly this key.
+    #[must_use]
+    pub fn get(&self, key: &Key) -> Vec<RowId> {
+        self.map
+            .get(key)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Row ids whose key lies in `[lo, hi]` (inclusive), in key order.
+    #[must_use]
+    pub fn range(&self, lo: &Key, hi: &Key) -> Vec<RowId> {
+        self.map
+            .range(lo.clone()..=hi.clone())
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect()
+    }
+
+    /// True if inserting `key` would violate uniqueness (ignoring rows in
+    /// `except`). NULL-containing keys are exempt, as in SQL.
+    fn would_violate(&self, key: &Key, except: Option<RowId>) -> bool {
+        if !self.def.unique || key.has_null() {
+            return false;
+        }
+        self.map
+            .get(key)
+            .is_some_and(|ids| ids.iter().any(|id| Some(*id) != except))
+    }
+
+    fn insert(&mut self, key: Key, id: RowId) {
+        self.map.entry(key).or_default().insert(id);
+    }
+
+    fn remove(&mut self, key: &Key, id: RowId) {
+        if let Some(ids) = self.map.get_mut(key) {
+            ids.remove(&id);
+            if ids.is_empty() {
+                self.map.remove(key);
+            }
+        }
+    }
+
+    /// Name of this index.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.def.name
+    }
+
+    /// Indexed column positions.
+    #[must_use]
+    pub fn columns(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Whether this index enforces uniqueness.
+    #[must_use]
+    pub fn is_unique(&self) -> bool {
+        self.def.unique
+    }
+
+    /// Number of distinct keys (diagnostics).
+    #[must_use]
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// An in-memory table: schema + heap + indexes.
+#[derive(Debug)]
+pub struct Table {
+    schema: TableSchema,
+    rows: BTreeMap<RowId, Row>,
+    next_row: u64,
+    /// `indexes[0]` is always the implicit primary index.
+    indexes: Vec<Index>,
+    /// Approximate payload bytes currently stored (Text + Bytes values).
+    heap_bytes: usize,
+}
+
+impl Table {
+    /// Create an empty table from a validated schema.
+    pub fn new(schema: TableSchema) -> Result<Self> {
+        schema.validate()?;
+        let mut indexes = Vec::with_capacity(1 + schema.indexes.len());
+        indexes.push(Index::new(
+            IndexDef {
+                name: PRIMARY_INDEX.to_owned(),
+                columns: schema.primary_key.clone(),
+                unique: true,
+            },
+            &schema,
+        )?);
+        for def in &schema.indexes {
+            indexes.push(Index::new(def.clone(), &schema)?);
+        }
+        Ok(Table {
+            schema,
+            rows: BTreeMap::new(),
+            next_row: 1,
+            indexes,
+            heap_bytes: 0,
+        })
+    }
+
+    /// The table's schema.
+    #[must_use]
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate payload bytes stored (Text and Bytes values).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.heap_bytes
+    }
+
+    /// Validate a row against the schema (arity, types, NULLs).
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.schema.columns.len() {
+            return Err(Error::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (col, val) in self.schema.columns.iter().zip(row) {
+            match val.column_type() {
+                None => {
+                    if !col.nullable {
+                        return Err(Error::NullViolation {
+                            table: self.schema.name.clone(),
+                            column: col.name.clone(),
+                        });
+                    }
+                }
+                Some(ty) if ty != col.ty => {
+                    return Err(Error::TypeMismatch {
+                        table: self.schema.name.clone(),
+                        column: col.name.clone(),
+                        expected: col.ty,
+                        got: format!("{val}"),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a validated row, enforcing uniqueness; returns the new id.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        self.check_row(&row)?;
+        for ix in &self.indexes {
+            let key = ix.key_of(&row);
+            if ix.would_violate(&key, None) {
+                return Err(Error::UniqueViolation {
+                    table: self.schema.name.clone(),
+                    index: ix.name().to_owned(),
+                });
+            }
+        }
+        let id = RowId(self.next_row);
+        self.next_row += 1;
+        for ix in &mut self.indexes {
+            let key = ix.key_of(&row);
+            ix.insert(key, id);
+        }
+        self.heap_bytes += row.iter().map(Value::heap_size).sum::<usize>();
+        self.rows.insert(id, row);
+        Ok(id)
+    }
+
+    /// Advance the id allocator past every existing row (bulk load).
+    pub(crate) fn sync_next_row(&mut self) {
+        if let Some((max, _)) = self.rows.iter().next_back() {
+            self.next_row = self.next_row.max(max.0 + 1);
+        }
+    }
+
+    /// Re-insert a row under a specific id (transaction undo and
+    /// snapshot restore).
+    pub(crate) fn restore(&mut self, id: RowId, row: Row) {
+        for ix in &mut self.indexes {
+            let key = ix.key_of(&row);
+            ix.insert(key, id);
+        }
+        self.heap_bytes += row.iter().map(Value::heap_size).sum::<usize>();
+        self.rows.insert(id, row);
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, id: RowId) -> Result<&Row> {
+        self.rows.get(&id).ok_or_else(|| Error::NoSuchRow {
+            table: self.schema.name.clone(),
+            row: id,
+        })
+    }
+
+    /// Fetch a row by id if it exists.
+    #[must_use]
+    pub fn try_get(&self, id: RowId) -> Option<&Row> {
+        self.rows.get(&id)
+    }
+
+    /// Replace the whole row at `id`; returns the previous row.
+    pub fn update(&mut self, id: RowId, new_row: Row) -> Result<Row> {
+        self.check_row(&new_row)?;
+        let old = self.get(id)?.clone();
+        for ix in &self.indexes {
+            let key = ix.key_of(&new_row);
+            if ix.would_violate(&key, Some(id)) {
+                return Err(Error::UniqueViolation {
+                    table: self.schema.name.clone(),
+                    index: ix.name().to_owned(),
+                });
+            }
+        }
+        for ix in &mut self.indexes {
+            let old_key = ix.key_of(&old);
+            let new_key = ix.key_of(&new_row);
+            if old_key != new_key {
+                ix.remove(&old_key, id);
+                ix.insert(new_key, id);
+            }
+        }
+        self.heap_bytes -= old.iter().map(Value::heap_size).sum::<usize>();
+        self.heap_bytes += new_row.iter().map(Value::heap_size).sum::<usize>();
+        self.rows.insert(id, new_row);
+        Ok(old)
+    }
+
+    /// Delete the row at `id`; returns it.
+    pub fn delete(&mut self, id: RowId) -> Result<Row> {
+        let row = self.rows.remove(&id).ok_or_else(|| Error::NoSuchRow {
+            table: self.schema.name.clone(),
+            row: id,
+        })?;
+        for ix in &mut self.indexes {
+            let key = ix.key_of(&row);
+            ix.remove(&key, id);
+        }
+        self.heap_bytes -= row.iter().map(Value::heap_size).sum::<usize>();
+        Ok(row)
+    }
+
+    /// All (id, row) pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.rows.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// The index named `name` (`__primary` for the PK index).
+    pub fn index(&self, name: &str) -> Result<&Index> {
+        self.indexes
+            .iter()
+            .find(|i| i.name() == name)
+            .ok_or_else(|| Error::NoSuchIndex {
+                table: self.schema.name.clone(),
+                index: name.to_owned(),
+            })
+    }
+
+    /// All indexes, primary first.
+    #[must_use]
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Row ids matching `key` on the primary index.
+    #[must_use]
+    pub fn lookup_primary(&self, key: &Key) -> Vec<RowId> {
+        self.indexes[0].get(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use crate::value::ColumnType;
+
+    fn people() -> Table {
+        Table::new(
+            TableSchema::builder("people")
+                .column("id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .nullable_column("email", ColumnType::Text)
+                .primary_key(&["id"])
+                .index("by_name", &["name"], false)
+                .index("by_email", &["email"], true)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn row(id: i64, name: &str, email: Option<&str>) -> Row {
+        vec![Value::Int(id), Value::from(name), Value::from(email)]
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = people();
+        let id = t.insert(row(1, "ada", Some("a@x"))).unwrap();
+        assert_eq!(t.get(id).unwrap()[1], Value::from("ada"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = people();
+        let err = t.insert(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, Error::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn types_checked() {
+        let mut t = people();
+        let err = t
+            .insert(vec![Value::from("one"), Value::from("ada"), Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, Error::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn null_in_non_nullable_rejected() {
+        let mut t = people();
+        let err = t
+            .insert(vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, Error::NullViolation { .. }));
+    }
+
+    #[test]
+    fn primary_key_unique() {
+        let mut t = people();
+        t.insert(row(1, "ada", None)).unwrap();
+        let err = t.insert(row(1, "bob", None)).unwrap_err();
+        assert!(matches!(err, Error::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn unique_index_allows_nulls() {
+        let mut t = people();
+        t.insert(row(1, "ada", None)).unwrap();
+        t.insert(row(2, "bob", None)).unwrap(); // two NULL emails OK
+        let err = {
+            t.insert(row(3, "cyd", Some("a@x"))).unwrap();
+            t.insert(row(4, "dee", Some("a@x"))).unwrap_err()
+        };
+        assert!(matches!(err, Error::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn secondary_index_lookup() {
+        let mut t = people();
+        let a = t.insert(row(1, "ada", None)).unwrap();
+        let b = t.insert(row(2, "ada", None)).unwrap();
+        t.insert(row(3, "bob", None)).unwrap();
+        let ix = t.index("by_name").unwrap();
+        let mut ids = ix.get(&Key::from(Value::from("ada")));
+        ids.sort_unstable();
+        assert_eq!(ids, vec![a, b]);
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let mut t = people();
+        let id = t.insert(row(1, "ada", None)).unwrap();
+        t.update(id, row(1, "ada lovelace", None)).unwrap();
+        assert!(t
+            .index("by_name")
+            .unwrap()
+            .get(&Key::from(Value::from("ada")))
+            .is_empty());
+        assert_eq!(
+            t.index("by_name")
+                .unwrap()
+                .get(&Key::from(Value::from("ada lovelace"))),
+            vec![id]
+        );
+    }
+
+    #[test]
+    fn update_uniqueness_excludes_self() {
+        let mut t = people();
+        let id = t.insert(row(1, "ada", Some("a@x"))).unwrap();
+        // Re-writing the same unique email on the same row is fine.
+        t.update(id, row(1, "ada2", Some("a@x"))).unwrap();
+        let _other = t.insert(row(2, "bob", Some("b@x"))).unwrap();
+        let err = t.update(id, row(1, "ada3", Some("b@x"))).unwrap_err();
+        assert!(matches!(err, Error::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn delete_removes_from_indexes() {
+        let mut t = people();
+        let id = t.insert(row(1, "ada", Some("a@x"))).unwrap();
+        t.delete(id).unwrap();
+        assert!(t.is_empty());
+        assert!(t
+            .index("by_email")
+            .unwrap()
+            .get(&Key::from(Value::from("a@x")))
+            .is_empty());
+        assert!(matches!(t.get(id), Err(Error::NoSuchRow { .. })));
+        // Row ids are never reused.
+        let id2 = t.insert(row(1, "ada", Some("a@x"))).unwrap();
+        assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn range_scan_in_key_order() {
+        let mut t = people();
+        for i in 1..=9 {
+            t.insert(row(i, &format!("p{i}"), None)).unwrap();
+        }
+        let ix = t.index(PRIMARY_INDEX).unwrap();
+        let ids = ix.range(&Key::from(Value::Int(3)), &Key::from(Value::Int(6)));
+        let keys: Vec<i64> = ids
+            .iter()
+            .map(|id| t.get(*id).unwrap()[0].as_int().unwrap())
+            .collect();
+        assert_eq!(keys, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn heap_bytes_tracks_payload() {
+        let mut t = people();
+        assert_eq!(t.heap_bytes(), 0);
+        let id = t.insert(row(1, "abcd", Some("xy"))).unwrap();
+        assert_eq!(t.heap_bytes(), 6);
+        t.update(id, row(1, "ab", None)).unwrap();
+        assert_eq!(t.heap_bytes(), 2);
+        t.delete(id).unwrap();
+        assert_eq!(t.heap_bytes(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the storage engine's core invariants.
+
+use proptest::prelude::*;
+use relstore::{ColumnType, Database, Key, Predicate, TableSchema, Value};
+use std::collections::HashMap;
+
+/// Model-based test: a sequence of random ops applied both to the engine
+/// and to a plain HashMap model must agree at every step.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: i64, payload: String },
+    Update { key: i64, payload: String },
+    Delete { key: i64 },
+    Lookup { key: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..50, "[a-z]{0,8}").prop_map(|(key, payload)| Op::Insert { key, payload }),
+        (0i64..50, "[a-z]{0,8}").prop_map(|(key, payload)| Op::Update { key, payload }),
+        (0i64..50).prop_map(|key| Op::Delete { key }),
+        (0i64..50).prop_map(|key| Op::Lookup { key }),
+    ]
+}
+
+fn fresh_table(db: &Database) {
+    db.create_table(
+        TableSchema::builder("t")
+            .column("k", ColumnType::Int)
+            .column("v", ColumnType::Text)
+            .primary_key(&["k"])
+            .index("by_v", &["v"], false)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let db = Database::new();
+        fresh_table(&db);
+        let mut model: HashMap<i64, String> = HashMap::new();
+        let mut ids: HashMap<i64, relstore::RowId> = HashMap::new();
+
+        for op in ops {
+            let txn = db.begin();
+            match op {
+                Op::Insert { key, payload } => {
+                    let res = txn.insert("t", vec![Value::Int(key), Value::from(payload.clone())]);
+                    if let std::collections::hash_map::Entry::Vacant(slot) = model.entry(key) {
+                        let id = res.unwrap();
+                        slot.insert(payload);
+                        ids.insert(key, id);
+                    } else {
+                        prop_assert!(res.is_err(), "duplicate PK accepted");
+                    }
+                }
+                Op::Update { key, payload } => {
+                    if let Some(&id) = ids.get(&key) {
+                        txn.update_cols("t", id, &[("v", Value::from(payload.clone()))]).unwrap();
+                        model.insert(key, payload);
+                    }
+                }
+                Op::Delete { key } => {
+                    if let Some(id) = ids.remove(&key) {
+                        txn.delete("t", id).unwrap();
+                        model.remove(&key);
+                    }
+                }
+                Op::Lookup { key } => {
+                    let rows = txn.select("t", &Predicate::eq("k", key)).unwrap();
+                    match model.get(&key) {
+                        None => prop_assert!(rows.is_empty()),
+                        Some(v) => {
+                            prop_assert_eq!(rows.len(), 1);
+                            prop_assert_eq!(rows[0].1[1].as_text().unwrap(), v.as_str());
+                        }
+                    }
+                }
+            }
+            txn.commit().unwrap();
+        }
+
+        // Final state agrees in full.
+        let txn = db.begin();
+        let all = txn.select("t", &Predicate::True).unwrap();
+        prop_assert_eq!(all.len(), model.len());
+        for (_, row) in &all {
+            let k = row[0].as_int().unwrap();
+            prop_assert_eq!(row[1].as_text().unwrap(), model[&k].as_str());
+        }
+    }
+
+    /// Index lookups always agree with a full scan, for any data set.
+    #[test]
+    fn index_matches_scan(
+        entries in proptest::collection::btree_map(0i64..200, "[a-c]{1,2}", 0..60),
+        probe in "[a-c]{1,2}",
+    ) {
+        let db = Database::new();
+        fresh_table(&db);
+        let txn = db.begin();
+        for (k, v) in &entries {
+            txn.insert("t", vec![Value::Int(*k), Value::from(v.clone())]).unwrap();
+        }
+        let indexed = txn.select("t", &Predicate::eq("v", probe.clone())).unwrap();
+        let expected = entries.values().filter(|v| **v == probe).count();
+        prop_assert_eq!(indexed.len(), expected);
+        txn.commit().unwrap();
+    }
+
+    /// Rollback is a perfect inverse of any batch of mutations.
+    #[test]
+    fn rollback_is_identity(
+        seed in proptest::collection::vec((0i64..30, "[a-z]{1,4}"), 1..20),
+        muts in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let db = Database::new();
+        fresh_table(&db);
+        let mut ids = HashMap::new();
+        {
+            let txn = db.begin();
+            for (k, v) in &seed {
+                if let Ok(id) = txn.insert("t", vec![Value::Int(*k), Value::from(v.clone())]) {
+                    ids.insert(*k, id);
+                }
+            }
+            txn.commit().unwrap();
+        }
+        let before = {
+            let txn = db.begin();
+            txn.select("t", &Predicate::True).unwrap()
+        };
+        {
+            let txn = db.begin();
+            for op in &muts {
+                match op {
+                    Op::Insert { key, payload } => {
+                        let _ = txn.insert("t", vec![Value::Int(*key), Value::from(payload.clone())]);
+                    }
+                    Op::Update { key, payload } => {
+                        if let Some(id) = ids.get(key) {
+                            let _ = txn.update_cols("t", *id, &[("v", Value::from(payload.clone()))]);
+                        }
+                    }
+                    Op::Delete { key } => {
+                        if let Some(id) = ids.get(key) {
+                            let _ = txn.delete("t", *id);
+                        }
+                    }
+                    Op::Lookup { .. } => {}
+                }
+            }
+            txn.rollback();
+        }
+        let after = {
+            let txn = db.begin();
+            txn.select("t", &Predicate::True).unwrap()
+        };
+        prop_assert_eq!(before, after);
+    }
+
+    /// Composite keys compare lexicographically.
+    #[test]
+    fn key_order_is_lexicographic(a in any::<(i64, i64)>(), b in any::<(i64, i64)>()) {
+        let ka = Key(vec![Value::Int(a.0), Value::Int(a.1)]);
+        let kb = Key(vec![Value::Int(b.0), Value::Int(b.1)]);
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+    }
+}

@@ -1,0 +1,159 @@
+//! Student access traces: Zipfian document popularity, uniform station
+//! spread, Poisson-ish arrivals.
+//!
+//! Course access is famously skewed — most requests hit the lectures of
+//! the current week — so the watermark experiments (E5) replay Zipfian
+//! traces.
+
+use netsim::SimTime;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wdoc_dist::AccessEvent;
+
+/// A Zipf(s) sampler over ranks `1..=n` using a precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` items with exponent `s` (s = 0 is
+    /// uniform; s ≈ 1 is the classic web skew).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a 0-based rank (0 = most popular).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (n ≥ 1 by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Parameters for a synthetic access trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Number of accesses to generate.
+    pub accesses: usize,
+    /// Station positions 2..=stations+1 issue requests (position 1 is
+    /// the instructor root and never requests).
+    pub stations: u64,
+    /// Number of documents.
+    pub docs: usize,
+    /// Zipf exponent over documents.
+    pub zipf_s: f64,
+    /// Mean think time between consecutive accesses (µs).
+    pub mean_gap_us: u64,
+}
+
+/// Generate a time-sorted access trace.
+pub fn generate_trace(rng: &mut impl Rng, spec: &TraceSpec) -> Vec<AccessEvent> {
+    let zipf = Zipf::new(spec.docs, spec.zipf_s);
+    let mut at = 0u64;
+    (0..spec.accesses)
+        .map(|_| {
+            // Exponential-ish gap via inverse transform on a uniform.
+            let u: f64 = rng.gen_range(1e-9..1.0f64);
+            let gap = (-u.ln() * spec.mean_gap_us as f64) as u64;
+            at += gap.max(1);
+            AccessEvent {
+                at: SimTime::from_micros(at),
+                position: rng.gen_range(2..=spec.stations + 1),
+                doc: zipf.sample(rng),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 20];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5] && counts[5] > counts[19]);
+        // Rank 0 should get roughly 1/H(20) ≈ 28% of traffic.
+        assert!(counts[0] > 4000);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((3500..6500).contains(&c), "count {c} not near 5000");
+        }
+    }
+
+    #[test]
+    fn trace_is_time_sorted_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = TraceSpec {
+            accesses: 500,
+            stations: 15,
+            docs: 8,
+            zipf_s: 0.9,
+            mean_gap_us: 1000,
+        };
+        let trace = generate_trace(&mut rng, &spec);
+        assert_eq!(trace.len(), 500);
+        for w in trace.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(trace.iter().all(|e| (2..=16).contains(&e.position)));
+        assert!(trace.iter().all(|e| e.doc < 8));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let spec = TraceSpec {
+            accesses: 50,
+            stations: 4,
+            docs: 3,
+            zipf_s: 1.0,
+            mean_gap_us: 100,
+        };
+        let a = generate_trace(&mut StdRng::seed_from_u64(9), &spec);
+        let b = generate_trace(&mut StdRng::seed_from_u64(9), &spec);
+        assert_eq!(a, b);
+    }
+}

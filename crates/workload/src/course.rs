@@ -1,0 +1,349 @@
+//! Synthetic course generation: populate a [`WebDocDb`] with databases,
+//! scripts, implementations, files, resources, tests, bug reports and
+//! annotations that look like the paper's three pilot courses.
+
+use crate::media::{payload, sample_size, MediaMix};
+use bytes::Bytes;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wdoc_core::dbms::{DatabaseInfo, WebDocDb};
+use wdoc_core::ids::{DbName, ScriptName, StartUrl, UserId};
+use wdoc_core::sci::{Page, Sci};
+use wdoc_core::tables::implementation::ProgramLang;
+use wdoc_core::tables::test_record::TraversalMsg;
+use wdoc_core::tables::{
+    Annotation, BugReport, HtmlFile, Implementation, ProgramFile, Script, TestRecord, TestScope,
+};
+
+/// Shape of a generated course.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CourseSpec {
+    /// Course identifier prefix (also the database name).
+    pub name: String,
+    /// The owning instructor.
+    pub instructor: String,
+    /// Number of lecture scripts.
+    pub lectures: usize,
+    /// HTML pages per implementation.
+    pub pages_per_lecture: usize,
+    /// Media objects per lecture.
+    pub media_per_lecture: usize,
+    /// Java/ASP programs per lecture.
+    pub programs_per_lecture: usize,
+    /// Media size divisor (1 = realistic MB-scale, 1024 = KB-scale for
+    /// tests that materialize payloads).
+    pub media_scale: u64,
+    /// Fraction (0–100) of lectures that get a test record + bug report.
+    pub tested_percent: u32,
+    /// Fraction (0–100) of pages carrying an injected dangling link —
+    /// defects for the white/black-box testers to find.
+    pub broken_link_percent: u32,
+}
+
+impl CourseSpec {
+    /// A small course suitable for unit/integration tests.
+    #[must_use]
+    pub fn small(name: &str) -> Self {
+        CourseSpec {
+            name: name.to_owned(),
+            instructor: "shih".to_owned(),
+            lectures: 4,
+            pages_per_lecture: 3,
+            media_per_lecture: 2,
+            programs_per_lecture: 1,
+            media_scale: 1024,
+            tested_percent: 50,
+            broken_link_percent: 0,
+        }
+    }
+}
+
+/// Handles to everything a generated course created.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratedCourse {
+    /// The course database.
+    pub db: DbName,
+    /// Script per lecture.
+    pub scripts: Vec<ScriptName>,
+    /// Implementation per lecture.
+    pub urls: Vec<StartUrl>,
+}
+
+/// Generate one course into `db`. Deterministic under the RNG seed.
+pub fn generate_course(
+    db: &WebDocDb,
+    rng: &mut impl Rng,
+    spec: &CourseSpec,
+    mix: &MediaMix,
+) -> wdoc_core::Result<GeneratedCourse> {
+    let db_name = DbName::new(spec.name.clone());
+    let instructor = UserId::new(spec.instructor.clone());
+    db.create_database(&DatabaseInfo {
+        name: db_name.clone(),
+        keywords: vec!["course".into(), spec.name.clone()],
+        author: instructor.clone(),
+        version: 1,
+        created: 0,
+    })?;
+
+    let mut scripts = Vec::with_capacity(spec.lectures);
+    let mut urls = Vec::with_capacity(spec.lectures);
+    let mut blob_seed = rng.gen::<u64>();
+
+    for lec in 0..spec.lectures {
+        let sname = ScriptName::new(format!("{}-l{lec}", spec.name));
+        db.add_script(&Script {
+            name: sname.clone(),
+            db: db_name.clone(),
+            keywords: vec![spec.name.clone(), format!("lecture{lec}")],
+            author: instructor.clone(),
+            version: 1,
+            created: lec as u64,
+            description: format!("Lecture {lec} of {}", spec.name),
+            expected_completion: None,
+            percent_complete: 100,
+        })?;
+
+        let url = StartUrl::new(format!("http://mmu/{}/l{lec}/", spec.name));
+        // Media payloads come first so their content ids can be
+        // embedded as `src` references in the pages.
+        let media_payloads: Vec<(blobstore::MediaKind, Bytes)> = (0..spec.media_per_lecture)
+            .map(|_| {
+                let kind = mix.sample(rng);
+                let size = sample_size(rng, kind, spec.media_scale);
+                blob_seed = blob_seed.wrapping_add(1);
+                (kind, payload(blob_seed, size))
+            })
+            .collect();
+        let media_ids: Vec<String> = media_payloads
+            .iter()
+            .map(|(_, data)| blobstore::BlobId::of(data).to_string())
+            .collect();
+
+        let html: Vec<HtmlFile> = (0..spec.pages_per_lecture)
+            .map(|p| {
+                let mut body = String::new();
+                // Navigation: a next-link chain plus a home link, so the
+                // whole lecture is reachable from page 0.
+                if p + 1 < spec.pages_per_lecture {
+                    body.push_str(&format!("<a href=\"page{}.html\">next</a>\n", p + 1));
+                }
+                if p > 0 {
+                    body.push_str("<a href=\"page0.html\">home</a>\n");
+                }
+                // Media and control-program embeds, round-robin across
+                // pages so every stored object is referenced somewhere.
+                for (mi, id) in media_ids.iter().enumerate() {
+                    if mi % spec.pages_per_lecture == p {
+                        body.push_str(&format!("<img src=\"{id}\">\n"));
+                    }
+                }
+                for pi in 0..spec.programs_per_lecture {
+                    if pi % spec.pages_per_lecture == p {
+                        body.push_str(&format!("<embed src=\"quiz{pi}.class\">\n"));
+                    }
+                }
+                // Cross-document navigation: the last page of each
+                // lecture links to the next lecture's starting URL
+                // (checked by the *global* testing scope).
+                if p + 1 == spec.pages_per_lecture && lec + 1 < spec.lectures {
+                    body.push_str(&format!(
+                        "<a href=\"http://mmu/{}/l{}/\">next lecture</a>\n",
+                        spec.name,
+                        lec + 1
+                    ));
+                }
+                // Injected defects: a local dangling link, and (on last
+                // pages) a dangling cross-document link.
+                if rng.gen_range(0..100) < spec.broken_link_percent {
+                    body.push_str(&format!(
+                        "<a href=\"missing-{}.html\">dead</a>\n",
+                        rng.gen::<u32>()
+                    ));
+                    if p + 1 == spec.pages_per_lecture {
+                        body.push_str(&format!(
+                            "<a href=\"http://mmu/{}/l{}/\">dead course link</a>\n",
+                            spec.name,
+                            spec.lectures + 5
+                        ));
+                    }
+                }
+                body.push_str(&"lorem ipsum dolor sit amet ".repeat(rng.gen_range(5..40)));
+                HtmlFile {
+                    url: url.clone(),
+                    path: format!("page{p}.html"),
+                    content: Bytes::from(format!(
+                        "<html><head><title>{} L{lec} P{p}</title></head><body>{body}</body></html>",
+                        spec.name,
+                    )),
+                }
+            })
+            .collect();
+        let programs: Vec<ProgramFile> = (0..spec.programs_per_lecture)
+            .map(|p| ProgramFile {
+                url: url.clone(),
+                path: format!("quiz{p}.class"),
+                lang: if p % 2 == 0 {
+                    ProgramLang::JavaApplet
+                } else {
+                    ProgramLang::Asp
+                },
+                content: payload(blob_seed.wrapping_add(1000 + p as u64), 2048),
+            })
+            .collect();
+        db.add_implementation(
+            &Implementation {
+                url: url.clone(),
+                script: sname.clone(),
+                author: instructor.clone(),
+                created: lec as u64,
+            },
+            &html,
+            &programs,
+        )?;
+
+        for (kind, data) in media_payloads {
+            db.attach_implementation_resource(&url, kind, data)?;
+        }
+
+        if rng.gen_range(0..100) < spec.tested_percent {
+            let tr_name = format!("tr-{}-l{lec}", spec.name);
+            db.add_test_record(&TestRecord {
+                name: tr_name.clone().into(),
+                scope: if lec % 3 == 0 {
+                    TestScope::Global
+                } else {
+                    TestScope::Local
+                },
+                messages: vec![
+                    TraversalMsg::Navigate("page0.html".into()),
+                    TraversalMsg::FollowLink(1),
+                    TraversalMsg::Back,
+                ],
+                script: sname.clone(),
+                url: Some(url.clone()),
+                created: lec as u64,
+            })?;
+            if rng.gen_bool(0.6) {
+                db.add_bug_report(&BugReport {
+                    name: format!("bug-{}-l{lec}", spec.name).into(),
+                    qa_engineer: UserId::new("huang"),
+                    procedure: "scripted traversal".into(),
+                    description: "dead link found".into(),
+                    bad_urls: vec![format!("http://mmu/{}/missing", spec.name)],
+                    missing_objects: vec![],
+                    inconsistency: String::new(),
+                    redundant_objects: vec![],
+                    test_record: tr_name.into(),
+                    created: lec as u64,
+                })?;
+            }
+        }
+
+        if rng.gen_bool(0.5) {
+            db.add_annotation(&Annotation {
+                name: format!("ann-{}-l{lec}", spec.name).into(),
+                author: instructor.clone(),
+                version: 1,
+                created: lec as u64,
+                script: sname.clone(),
+                url: Some(url.clone()),
+                overlay: wdoc_core::sci::AnnotationOverlay {
+                    author: instructor.clone(),
+                    page: "page0.html".into(),
+                    strokes: vec![wdoc_core::sci::Stroke::Text {
+                        at: (10.0, 10.0),
+                        content: format!("remember this in lecture {lec}"),
+                    }],
+                },
+            })?;
+        }
+
+        scripts.push(sname);
+        urls.push(url);
+    }
+
+    Ok(GeneratedCourse {
+        db: db_name,
+        scripts,
+        urls,
+    })
+}
+
+/// Generate an in-memory [`Sci`] document structure (for object-model
+/// experiments that bypass the relational layer).
+pub fn generate_sci(rng: &mut impl Rng, spec: &CourseSpec, mix: &MediaMix) -> Sci {
+    let members = (0..spec.pages_per_lecture)
+        .map(|p| {
+            let media = (0..spec.media_per_lecture)
+                .map(|_| {
+                    let kind = mix.sample(rng);
+                    let size = sample_size(rng, kind, spec.media_scale);
+                    blobstore::BlobMeta {
+                        id: blobstore::BlobId::of(&rng.gen::<u64>().to_le_bytes()),
+                        kind,
+                        size,
+                    }
+                })
+                .collect();
+            Sci::Page(Page {
+                path: format!("page{p}.html"),
+                html_bytes: rng.gen_range(1_000..20_000),
+                program_bytes: vec![2048; spec.programs_per_lecture],
+                media,
+            })
+        })
+        .collect();
+    Sci::Compound {
+        name: spec.name.clone(),
+        members,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_a_consistent_course() {
+        let db = WebDocDb::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let spec = CourseSpec::small("intro-mm");
+        let course = generate_course(&db, &mut rng, &spec, &MediaMix::courseware()).unwrap();
+        assert_eq!(course.scripts.len(), 4);
+        assert_eq!(course.urls.len(), 4);
+        for (s, u) in course.scripts.iter().zip(&course.urls) {
+            assert_eq!(db.script(s).unwrap().name, *s);
+            assert_eq!(db.html_files(u).unwrap().len(), 3);
+            assert_eq!(db.program_files(u).unwrap().len(), 1);
+            assert_eq!(db.implementation_resources(u).unwrap().len(), 2);
+        }
+        // BLOB layer got the payloads.
+        assert!(db.blobs().stats().physical_bytes > 0);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let spec = CourseSpec::small("c");
+        let gen = |seed| {
+            let db = WebDocDb::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            generate_course(&db, &mut rng, &spec, &MediaMix::courseware()).unwrap();
+            db.storage().unwrap()
+        };
+        assert_eq!(gen(7), gen(7));
+    }
+
+    #[test]
+    fn sci_generation_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = CourseSpec::small("x");
+        let sci = generate_sci(&mut rng, &spec, &MediaMix::courseware());
+        assert_eq!(sci.page_count(), 3);
+        assert!(sci.structure_bytes() > 0);
+        assert!(sci.blob_bytes() > 0);
+        assert_eq!(sci.media().len(), 6);
+    }
+}

@@ -1,0 +1,30 @@
+//! # wdoc-workload — synthetic courseware workload generators
+//!
+//! The paper evaluated on three real undergraduate Web courses and a
+//! real campus/Internet network; neither is available, so the
+//! experiment suite drives the system with synthetic equivalents whose
+//! key statistics match the originals (see DESIGN.md "Substitutions"):
+//!
+//! * [`media`] — media payloads with the paper's five kinds and
+//!   late-90s size ratios (video ≫ audio/animation ≫ image ≫ MIDI);
+//! * [`course`] — whole courses (scripts, implementations, files,
+//!   resources, tests, bugs, annotations) generated into a
+//!   [`wdoc_core::WebDocDb`];
+//! * [`access`] — Zipf-skewed student access traces;
+//! * [`population`] — station populations with heterogeneous 1999 link
+//!   speeds (LAN / T1 / ISDN / modem).
+//!
+//! Everything is deterministic under an explicit RNG seed.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod access;
+pub mod course;
+pub mod media;
+pub mod population;
+
+pub use access::{generate_trace, TraceSpec, Zipf};
+pub use course::{generate_course, generate_sci, CourseSpec, GeneratedCourse};
+pub use media::{payload, sample_size, MediaMix};
+pub use population::{build_population, build_population_with, LinkMix};

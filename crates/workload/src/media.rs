@@ -1,0 +1,141 @@
+//! Synthetic media payloads matched to late-1990s courseware.
+//!
+//! Sizes are drawn around each [`MediaKind`]'s typical size with ±50%
+//! uniform jitter, optionally scaled down (experiments that materialize
+//! real payload bytes use KB-scale objects with the same *ratios*, so
+//! every sharing/transfer result carries over).
+
+use blobstore::MediaKind;
+use bytes::Bytes;
+use rand::Rng;
+
+/// Draw a size (bytes) for one object of `kind`, scaled by `1/scale`.
+pub fn sample_size(rng: &mut impl Rng, kind: MediaKind, scale: u64) -> u64 {
+    let typical = kind.typical_size() / scale.max(1);
+    let lo = (typical / 2).max(1);
+    let hi = typical + typical / 2;
+    rng.gen_range(lo..=hi)
+}
+
+/// Generate a unique payload of `size` bytes. Content is a cheap
+/// keyed pattern: distinct `seed`s give distinct bytes (so the
+/// content-addressed store does not spuriously deduplicate), identical
+/// seeds give identical bytes (so intentional sharing works).
+#[must_use]
+pub fn payload(seed: u64, size: u64) -> Bytes {
+    let mut out = Vec::with_capacity(size as usize);
+    let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for i in 0..size {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407 ^ i);
+        out.push((x >> 33) as u8);
+    }
+    Bytes::from(out)
+}
+
+/// A mix of media kinds with integer weights.
+#[derive(Debug, Clone)]
+pub struct MediaMix {
+    weights: Vec<(MediaKind, u32)>,
+    total: u32,
+}
+
+impl MediaMix {
+    /// Build from (kind, weight) pairs; zero-weight kinds are dropped.
+    ///
+    /// # Panics
+    /// Panics if all weights are zero.
+    #[must_use]
+    pub fn new(weights: &[(MediaKind, u32)]) -> Self {
+        let weights: Vec<_> = weights.iter().copied().filter(|(_, w)| *w > 0).collect();
+        let total = weights.iter().map(|(_, w)| w).sum();
+        assert!(total > 0, "a media mix needs at least one positive weight");
+        MediaMix { weights, total }
+    }
+
+    /// The paper's courseware mix: image-heavy pages with occasional
+    /// audio/video and rare MIDI.
+    #[must_use]
+    pub fn courseware() -> Self {
+        MediaMix::new(&[
+            (MediaKind::StillImage, 50),
+            (MediaKind::Audio, 20),
+            (MediaKind::Animation, 15),
+            (MediaKind::Video, 10),
+            (MediaKind::Midi, 5),
+        ])
+    }
+
+    /// A video-lecture-heavy mix.
+    #[must_use]
+    pub fn video_heavy() -> Self {
+        MediaMix::new(&[(MediaKind::Video, 70), (MediaKind::StillImage, 30)])
+    }
+
+    /// Draw one kind.
+    pub fn sample(&self, rng: &mut impl Rng) -> MediaKind {
+        let mut roll = rng.gen_range(0..self.total);
+        for (kind, w) in &self.weights {
+            if roll < *w {
+                return *kind;
+            }
+            roll -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_in_band() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in MediaKind::ALL {
+            for _ in 0..50 {
+                let s = sample_size(&mut rng, kind, 1);
+                assert!(s >= kind.typical_size() / 2);
+                assert!(s <= kind.typical_size() + kind.typical_size() / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_proportionally() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = sample_size(&mut rng, MediaKind::Video, 1024);
+        assert!(s <= (MediaKind::Video.typical_size() / 1024) * 3 / 2);
+        assert!(s >= 1);
+    }
+
+    #[test]
+    fn payload_determinism_and_uniqueness() {
+        assert_eq!(payload(7, 100), payload(7, 100));
+        assert_ne!(payload(7, 100), payload(8, 100));
+        assert_eq!(payload(7, 100).len(), 100);
+    }
+
+    #[test]
+    fn mix_sampling_respects_support() {
+        let mix = MediaMix::new(&[(MediaKind::Video, 1), (MediaKind::Midi, 0)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            assert_eq!(mix.sample(&mut rng), MediaKind::Video);
+        }
+    }
+
+    #[test]
+    fn courseware_mix_covers_all_kinds_eventually() {
+        let mix = MediaMix::courseware();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..2000 {
+            seen.insert(mix.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+}

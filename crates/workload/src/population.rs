@@ -1,0 +1,147 @@
+//! Station populations: joining orders and link-speed mixes.
+//!
+//! The paper's deployment spans a campus LAN (Tamkang), a trans-Pacific
+//! hop (Aizu) and students on dial-up; populations here reproduce that
+//! heterogeneity for the distribution experiments.
+
+use netsim::{LinkSpec, Network, StationId, Topology};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fractions (percent) of stations on each link class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkMix {
+    /// Percent on campus LAN.
+    pub lan: u32,
+    /// Percent on T1.
+    pub t1: u32,
+    /// Percent on ISDN.
+    pub isdn: u32,
+    /// Percent on modem.
+    pub modem: u32,
+}
+
+impl LinkMix {
+    /// All stations on the campus LAN.
+    #[must_use]
+    pub fn all_lan() -> Self {
+        LinkMix {
+            lan: 100,
+            t1: 0,
+            isdn: 0,
+            modem: 0,
+        }
+    }
+
+    /// A 1999 distance-learning cohort: mostly slow home links.
+    #[must_use]
+    pub fn distance_cohort() -> Self {
+        LinkMix {
+            lan: 20,
+            t1: 20,
+            isdn: 30,
+            modem: 30,
+        }
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> LinkSpec {
+        let total = self.lan + self.t1 + self.isdn + self.modem;
+        assert!(total > 0, "link mix must have positive weight");
+        let mut roll = rng.gen_range(0..total);
+        for (w, spec) in [
+            (self.lan, LinkSpec::lan()),
+            (self.t1, LinkSpec::t1()),
+            (self.isdn, LinkSpec::isdn()),
+            (self.modem, LinkSpec::modem()),
+        ] {
+            if roll < w {
+                return spec;
+            }
+            roll -= w;
+        }
+        unreachable!("roll bounded by total")
+    }
+}
+
+/// Build a network of `n` stations: station 0 is the instructor (always
+/// LAN-attached — the lecture server sits on campus), the rest drawn
+/// from `mix` in joining order.
+pub fn build_population(
+    rng: &mut impl Rng,
+    n: usize,
+    mix: LinkMix,
+) -> (Network<()>, Vec<StationId>) {
+    build_population_with(rng, n, mix)
+}
+
+/// Same as [`build_population`] but generic in the message payload.
+pub fn build_population_with<P>(
+    rng: &mut impl Rng,
+    n: usize,
+    mix: LinkMix,
+) -> (Network<P>, Vec<StationId>) {
+    assert!(n >= 1);
+    let mut topo = Topology::new();
+    let mut ids = Vec::with_capacity(n);
+    ids.push(topo.add_station(LinkSpec::lan()));
+    for _ in 1..n {
+        ids.push(topo.add_station(mix.sample(rng)));
+    }
+    (Network::new(topo), ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn instructor_is_always_lan() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (net, ids) = build_population(&mut rng, 10, LinkMix::distance_cohort());
+        assert_eq!(ids.len(), 10);
+        assert_eq!(
+            net.topology().path(ids[0], ids[1]).bandwidth,
+            LinkSpec::lan().bandwidth
+        );
+    }
+
+    #[test]
+    fn all_lan_mix_is_homogeneous() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (net, ids) = build_population(&mut rng, 5, LinkMix::all_lan());
+        for &a in &ids {
+            for &b in &ids {
+                if a != b {
+                    assert_eq!(net.topology().path(a, b), LinkSpec::lan());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cohort_mix_is_heterogeneous() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (net, ids) = build_population(&mut rng, 100, LinkMix::distance_cohort());
+        let mut bandwidths: Vec<u64> = ids[1..]
+            .iter()
+            .map(|&s| net.topology().path(s, ids[0]).bandwidth)
+            .collect();
+        bandwidths.sort_unstable();
+        bandwidths.dedup();
+        assert!(bandwidths.len() >= 3, "expected several link classes");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let build = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (net, ids) = build_population(&mut rng, 30, LinkMix::distance_cohort());
+            ids.iter()
+                .map(|&s| net.topology().path(s, ids[0]).bandwidth)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(9), build(9));
+    }
+}

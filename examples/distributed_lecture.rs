@@ -1,0 +1,112 @@
+//! Distributed lecture delivery end to end: adaptive fan-out planning,
+//! m-ary pre-broadcast, watermark demand duplication, and post-lecture
+//! migration — §4 of the paper in one run.
+//!
+//! ```sh
+//! cargo run --example distributed_lecture
+//! ```
+
+use mmu_wdoc::dist::{
+    broadcast, AccessEvent, AdaptiveController, BroadcastTree, DemandSim, DocSpec, LectureDoc,
+    LectureSession, MigrationSim,
+};
+use mmu_wdoc::netsim::{LinkSpec, Network, SimTime};
+
+const STATIONS: usize = 28; // 1 instructor + 27 students
+const LECTURE_BYTES: u64 = 6_000_000;
+
+fn main() {
+    let link = LinkSpec::new(2_000_000, SimTime::from_millis(15));
+
+    // --- 1. The controller picks the fan-out for tonight's lecture ---
+    let controller = AdaptiveController::default();
+    let m = controller.best_m(STATIONS as u64, LECTURE_BYTES, link);
+    println!("adaptive controller chose m = {m} for {STATIONS} stations");
+
+    // --- 2. Pre-broadcast the lecture down the tree -------------------
+    let (mut net, ids) = Network::uniform(STATIONS, link);
+    let tree = BroadcastTree::new(ids.clone(), m);
+    let report = broadcast(&mut net, &tree, LECTURE_BYTES);
+    println!(
+        "pre-broadcast: all {} stations ready in {} (mean {}), {} MB moved",
+        report.arrivals.len(),
+        report.completion,
+        report.mean_arrival(),
+        report.total_bytes / 1_000_000,
+    );
+
+    // Compare with the naive star for context.
+    let star = mmu_wdoc::dist::star_uniform(STATIONS, LECTURE_BYTES, link);
+    println!(
+        "unicast-star baseline would need {} ({:.1}x slower)",
+        star.completion,
+        star.completion.as_secs_f64() / report.completion.as_secs_f64()
+    );
+
+    // --- 3. On-demand review with a watermark ------------------------
+    let docs = vec![DocSpec {
+        name: "review-notes".into(),
+        view_bytes: 40_000,
+        full_bytes: 1_500_000,
+    }];
+    let (mut net2, ids2) = Network::uniform(STATIONS, link);
+    let tree2 = BroadcastTree::new(ids2, m);
+    let mut demand = DemandSim::new(tree2, docs, 2);
+    // Station 5 reviews the notes five times; station 9 peeks once.
+    let mut trace: Vec<AccessEvent> = (0..5)
+        .map(|i| AccessEvent {
+            at: SimTime::from_secs(10 + i * 20),
+            position: 5,
+            doc: 0,
+        })
+        .collect();
+    trace.push(AccessEvent {
+        at: SimTime::from_secs(35),
+        position: 9,
+        doc: 0,
+    });
+    trace.sort_by_key(|e| e.at);
+    let dr = demand.run(&mut net2, &trace);
+    println!(
+        "demand phase: {} accesses, {} remote, {} duplication(s), {:.1} ms mean latency",
+        dr.accesses,
+        dr.remote_fetches,
+        dr.duplications,
+        dr.mean_latency_us / 1e3
+    );
+    assert!(
+        demand.stations()[&5].has_instance("review-notes"),
+        "station 5 crossed the watermark and got its own copy"
+    );
+    assert!(
+        !demand.stations()[&9].has_instance("review-notes"),
+        "station 9 keeps a reference only"
+    );
+
+    // --- 4. Lecture sessions + migration ------------------------------
+    let (mut net3, ids3) = Network::uniform(STATIONS, link);
+    let tree3 = BroadcastTree::new(ids3, m);
+    let mut migration = MigrationSim::new(
+        tree3,
+        vec![LectureDoc {
+            name: "lecture".into(),
+            bytes: LECTURE_BYTES,
+        }],
+        true,
+    );
+    let sessions: Vec<LectureSession> = (2..=6u64)
+        .map(|pos| LectureSession {
+            position: pos,
+            doc: 0,
+            start: SimTime::from_secs(pos * 60),
+            end: SimTime::from_secs(pos * 60 + 1800),
+        })
+        .collect();
+    let mr = migration.run(&mut net3, &sessions);
+    println!(
+        "migration: peak student disk {} MB, steady state {} MB (buffer space only)",
+        mr.peak_bytes / 1_000_000,
+        mr.steady_bytes / 1_000_000
+    );
+    assert_eq!(mr.steady_bytes, 0);
+}

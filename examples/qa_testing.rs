@@ -1,0 +1,93 @@
+//! Quality assurance of Web documents: complexity estimation plus
+//! white-box and black-box testing with persisted test records and bug
+//! reports (§1, §3).
+//!
+//! ```sh
+//! cargo run --example qa_testing
+//! ```
+
+use mmu_wdoc::core::complexity::{estimate, PageGraph};
+use mmu_wdoc::core::ids::UserId;
+use mmu_wdoc::core::testing::{black_box_test, white_box_test};
+use mmu_wdoc::core::WebDocDb;
+use mmu_wdoc::workload::{generate_course, CourseSpec, MediaMix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Generate a course with deliberately injected dead links.
+    let db = WebDocDb::new();
+    let mut rng = StdRng::seed_from_u64(404);
+    let spec = CourseSpec {
+        name: "intro-ce".into(),
+        instructor: "shih".into(),
+        lectures: 3,
+        pages_per_lecture: 5,
+        media_per_lecture: 3,
+        programs_per_lecture: 2,
+        media_scale: 2048,
+        tested_percent: 0,
+        broken_link_percent: 40,
+    };
+    let course =
+        generate_course(&db, &mut rng, &spec, &MediaMix::courseware()).expect("course generated");
+
+    let qa = UserId::new("huang");
+    for (i, url) in course.urls.iter().enumerate() {
+        let html = db.html_files(url).expect("files");
+        let programs = db.program_files(url).expect("programs");
+        let media = db.implementation_resources(url).expect("media");
+
+        // --- Complexity ("how do we estimate the complexity of a course") ---
+        let report = estimate(&html, &programs, &media, "page0.html");
+        println!(
+            "lecture {i}: {} pages, {} links (cyclomatic {}), depth {}, {:.1} KB media — complexity {:.1}",
+            report.pages,
+            report.links,
+            report.cyclomatic,
+            report.max_depth,
+            report.media_bytes as f64 / 1e3,
+            report.score()
+        );
+
+        // --- Black box: what a browsing student experiences -------------
+        let bb = black_box_test(&db, url, &format!("bb-l{i}"), &qa, 10).expect("black box");
+        println!(
+            "  black box: {} navigation step(s), {} dead link(s), {} unreachable page(s)",
+            bb.record.messages.len(),
+            bb.report.bad_urls.len(),
+            bb.report.redundant_objects.len()
+        );
+
+        // --- White box: full edge coverage + inventory check ------------
+        let wb = white_box_test(&db, url, &format!("wb-l{i}"), &qa, 20).expect("white box");
+        println!(
+            "  white box: {} traversal message(s), findings: {} bad / {} missing / {} redundant",
+            wb.record.messages.len(),
+            wb.report.bad_urls.len(),
+            wb.report.missing_objects.len(),
+            wb.report.redundant_objects.len()
+        );
+        if !wb.report.bad_urls.is_empty() {
+            println!("    e.g. {}", wb.report.bad_urls[0]);
+        }
+
+        // The graph API is available directly too.
+        let graph = PageGraph::build(&html);
+        assert_eq!(graph.pages().len(), report.pages);
+    }
+
+    // Both testers filed their artifacts in the document database.
+    let records = db.test_records_of(&course.scripts[0]).expect("records");
+    println!(
+        "\nlecture 0 now has {} persisted test record(s); the first holds {} replayable message(s)",
+        records.len(),
+        records[0].messages.len()
+    );
+    let bugs = db.bug_reports_of(&records[0].name).expect("bugs");
+    println!(
+        "and {} bug report(s) filed by {}",
+        bugs.len(),
+        bugs[0].qa_engineer
+    );
+}

@@ -1,0 +1,96 @@
+//! Quickstart: create a course database, author a lecture, query it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use bytes::Bytes;
+use mmu_wdoc::core::dbms::{DatabaseInfo, WebDocDb};
+use mmu_wdoc::core::ids::{DbName, ScriptName, StartUrl, UserId};
+use mmu_wdoc::core::tables::{HtmlFile, Implementation, Script};
+use mmu_wdoc::core::ObjectKind;
+
+fn main() {
+    // 1. A fresh Web document DBMS (full paper schema installed).
+    let db = WebDocDb::new();
+
+    // 2. Register a course database (database layer).
+    let course_db = DbName::new("mmu-courses");
+    db.create_database(&DatabaseInfo {
+        name: course_db.clone(),
+        keywords: vec!["virtual-university".into(), "multimedia".into()],
+        author: UserId::new("shih"),
+        version: 1,
+        created: 0,
+    })
+    .expect("database created");
+
+    // 3. A script — the specification of one lecture.
+    let script = ScriptName::new("intro-mm-l1");
+    db.add_script(&Script {
+        name: script.clone(),
+        db: course_db.clone(),
+        keywords: vec!["multimedia".into(), "introduction".into()],
+        author: UserId::new("shih"),
+        version: 1,
+        created: 0,
+        description: "Lecture 1: what is a multimedia system?".into(),
+        expected_completion: None,
+        percent_complete: 100,
+    })
+    .expect("script added");
+
+    // 4. An implementation try with one HTML page and a narration clip.
+    let url = StartUrl::new("http://mmu/intro-mm/l1/");
+    db.add_implementation(
+        &Implementation {
+            url: url.clone(),
+            script: script.clone(),
+            author: UserId::new("shih"),
+            created: 1,
+        },
+        &[HtmlFile {
+            url: url.clone(),
+            path: "index.html".into(),
+            content: Bytes::from_static(b"<html><body><h1>Lecture 1</h1></body></html>"),
+        }],
+        &[],
+    )
+    .expect("implementation added");
+    let clip = db
+        .attach_implementation_resource(
+            &url,
+            mmu_wdoc::blobstore::MediaKind::Audio,
+            Bytes::from(vec![0u8; 48_000]),
+        )
+        .expect("narration stored in the BLOB layer");
+
+    // 5. Query it back.
+    let found = db.scripts_by_author(&UserId::new("shih")).expect("query");
+    println!("scripts by shih: {}", found.len());
+    let impls = db.implementations_of(&script).expect("query");
+    println!("implementations of {script}: {}", impls.len());
+    println!("narration blob: {} ({} bytes)", clip.id, clip.size);
+
+    // 6. Updating the script triggers referential-integrity alerts.
+    let alerts = db
+        .update_script(&script, |s| {
+            s.version += 1;
+            s.description.push_str(" (revised)");
+        })
+        .expect("update");
+    println!("update triggered {} alerts:", alerts.len());
+    for a in &alerts {
+        println!("  [depth {}] {}", a.depth, a.message);
+    }
+    assert!(alerts
+        .iter()
+        .any(|a| a.target.kind == ObjectKind::Implementation));
+
+    // 7. Storage accounting across the layers.
+    let storage = db.storage().expect("accounting");
+    println!(
+        "document layer: {} B, BLOB layer: {} B physical",
+        storage.document_bytes, storage.blob_physical_bytes
+    );
+}

@@ -1,0 +1,37 @@
+//! # mmu-wdoc — a distributed Web document database
+//!
+//! Umbrella crate of the reproduction of *"The Design and
+//! Implementation of a Distributed Web Document Database"* (Timothy K.
+//! Shih, Jianhua Ma, Runhe Huang — ICPP Workshops 1999), the
+//! virtual-course database of the Multimedia Micro-University project.
+//!
+//! Everything is re-exported from the member crates:
+//!
+//! * [`relstore`] — the relational storage engine substrate (the role
+//!   MS SQL Server played in 1999);
+//! * [`blobstore`] — the BLOB layer (content-addressed, reference
+//!   counted);
+//! * [`netsim`] — the deterministic network simulator standing in for
+//!   the physical campus/Internet;
+//! * [`core`] — the Web document DBMS: three-layer hierarchy, five
+//!   document tables, referential integrity alerts, hierarchical
+//!   locking, class/instance/reference objects, SCM, quizzes,
+//!   white/black/global-box testing, three-tier roles;
+//! * [`dist`] — m-ary tree pre-broadcast, watermark demand
+//!   duplication, instance migration, adaptive fan-out;
+//! * [`library`] — the virtual library: search, check-in/out,
+//!   assessment;
+//! * [`collab`] — awareness: presence, discussion, conferencing;
+//! * [`workload`] — synthetic courseware generators.
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench` for the
+//! E1–E10 experiment suite documented in EXPERIMENTS.md.
+
+pub use blobstore;
+pub use netsim;
+pub use relstore;
+pub use wdoc_collab as collab;
+pub use wdoc_core as core;
+pub use wdoc_dist as dist;
+pub use wdoc_library as library;
+pub use wdoc_workload as workload;

@@ -1,0 +1,165 @@
+//! End-to-end integration: administration → authoring → distribution →
+//! library → assessment, spanning every crate.
+
+use mmu_wdoc::core::ids::{CourseId, UserId};
+use mmu_wdoc::core::tier::{ActionKind, Registrar, Role, Session};
+use mmu_wdoc::core::{ObjectKind, WebDocDb};
+use mmu_wdoc::dist::{AccessEvent, BroadcastTree, DemandSim, DocSpec};
+use mmu_wdoc::library::{assess, Catalog, CatalogEntry, CheckoutLedger};
+use mmu_wdoc::netsim::{LinkSpec, Network, SimTime};
+use mmu_wdoc::workload::{generate_course, CourseSpec, MediaMix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn full_virtual_university_pipeline() {
+    // --- Administration tier ---
+    let registrar = Registrar::new();
+    let admin = Session::new(UserId::new("adm"), Role::Administrator);
+    admin.authorize(ActionKind::ManageRegistration).unwrap();
+    let course_id = CourseId::new("MM201");
+    for s in 0..10 {
+        registrar
+            .register(&UserId::new(format!("s{s}")), &course_id, 0)
+            .unwrap();
+    }
+    assert_eq!(registrar.roll(&course_id).unwrap().len(), 10);
+
+    // --- Authoring tier ---
+    let db = WebDocDb::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let spec = CourseSpec::small("mm201");
+    let course = generate_course(&db, &mut rng, &spec, &MediaMix::courseware()).unwrap();
+    assert_eq!(course.scripts.len(), spec.lectures);
+
+    // Integrity alerts reflect the real object graph.
+    let alerts = db
+        .update_script(&course.scripts[0], |s| s.version += 1)
+        .unwrap();
+    let impls = db.implementations_of(&course.scripts[0]).unwrap();
+    let html = db.html_files(&course.urls[0]).unwrap();
+    assert!(alerts.len() >= impls.len() + html.len());
+    assert!(alerts.iter().all(|a| a.depth >= 1));
+
+    // --- Library tier ---
+    let mut catalog = Catalog::new();
+    for (i, script) in course.scripts.iter().enumerate() {
+        catalog.publish(CatalogEntry {
+            course: course_id.clone(),
+            title: format!("mm201 lecture {i}"),
+            instructor: UserId::new(&spec.instructor),
+            keywords: vec!["multimedia".into()],
+            script: script.clone(),
+            pages: db
+                .html_files(&course.urls[i])
+                .unwrap()
+                .into_iter()
+                .map(|h| h.path)
+                .collect(),
+        });
+    }
+    assert_eq!(catalog.search_keywords("multimedia").len(), spec.lectures);
+    assert_eq!(
+        catalog.search_course(&course_id).len(),
+        spec.lectures,
+        "course search covers everything published"
+    );
+
+    // --- Distribution tier ---
+    let docs: Vec<DocSpec> = course
+        .urls
+        .iter()
+        .enumerate()
+        .map(|(i, url)| {
+            let html: u64 = db
+                .html_files(url)
+                .unwrap()
+                .iter()
+                .map(|h| h.content.len() as u64)
+                .sum();
+            let media: u64 = db
+                .implementation_resources(url)
+                .unwrap()
+                .iter()
+                .map(|m| m.size)
+                .sum();
+            DocSpec {
+                name: format!("lec{i}"),
+                view_bytes: html.max(1),
+                full_bytes: (html + media).max(1),
+            }
+        })
+        .collect();
+    let (mut net, ids) = Network::uniform(11, LinkSpec::lan());
+    let tree = BroadcastTree::new(ids, 3);
+    let mut sim = DemandSim::new(tree, docs, 1);
+    // Student at station 4 reviews lecture 0 four times.
+    let trace: Vec<AccessEvent> = (0..4)
+        .map(|i| AccessEvent {
+            at: SimTime::from_secs(i * 30),
+            position: 4,
+            doc: 0,
+        })
+        .collect();
+    let report = sim.run(&mut net, &trace);
+    assert_eq!(report.accesses, 4);
+    assert!(report.duplications == 1, "one watermark crossing");
+    assert!(report.local_hits >= 1, "post-duplication access is local");
+    assert!(sim.stations()[&4].has_instance("lec0"));
+
+    // --- Assessment ---
+    let mut ledger = CheckoutLedger::new();
+    let ann = UserId::new("s0");
+    ledger.check_out(&ann, &course.scripts[0], "page0.html", 0);
+    ledger.check_in(&ann, &course.scripts[0], "page0.html", 3_600_000_000);
+    let reports = assess(&ledger, 7_200_000_000);
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].distinct_documents, 1);
+    assert!(reports[0].score() > 0.0);
+
+    // Teardown honours cascades and BLOB refcounts.
+    let before = db.blobs().stats().physical_bytes;
+    assert!(before > 0);
+    for script in &course.scripts {
+        db.remove_script(script).unwrap();
+    }
+    assert_eq!(
+        db.blobs().stats().physical_bytes,
+        0,
+        "removing every script releases every BLOB reference"
+    );
+    assert_eq!(db.implementations_of(&course.scripts[0]).unwrap().len(), 0);
+    let err = db.script(&course.scripts[0]).unwrap_err();
+    assert!(matches!(
+        err,
+        mmu_wdoc::core::CoreError::NotFound {
+            kind: ObjectKind::Script,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn permission_matrix_guards_every_tier() {
+    let student = Session::new(UserId::new("s"), Role::Student);
+    let instructor = Session::new(UserId::new("i"), Role::Instructor);
+    let admin = Session::new(UserId::new("a"), Role::Administrator);
+
+    // Students read and borrow, nothing else.
+    student.authorize(ActionKind::ReadDocument).unwrap();
+    student.authorize(ActionKind::CheckOutLibrary).unwrap();
+    assert!(student.authorize(ActionKind::AuthorDocument).is_err());
+    assert!(student.authorize(ActionKind::RecordGrades).is_err());
+
+    // Instructors author and grade but do not run registration.
+    instructor.authorize(ActionKind::AuthorDocument).unwrap();
+    instructor.authorize(ActionKind::ManageLibrary).unwrap();
+    assert!(instructor
+        .authorize(ActionKind::ManageRegistration)
+        .is_err());
+
+    // Administrators run the registry but do not author courses.
+    admin.authorize(ActionKind::ManageRegistration).unwrap();
+    admin.authorize(ActionKind::ViewAnyTranscript).unwrap();
+    assert!(admin.authorize(ActionKind::AuthorDocument).is_err());
+}

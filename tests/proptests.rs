@@ -1,0 +1,157 @@
+//! Repo-level property tests: invariants that span crates.
+
+use mmu_wdoc::dist::{
+    broadcast, child_index, child_position, parent_position, predict_completion, BroadcastTree,
+};
+use mmu_wdoc::netsim::{LinkSpec, Network, SimTime, StationId};
+use mmu_wdoc::workload::Zipf;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// The paper's two formulas are mutual inverses for every (k, m).
+    #[test]
+    fn child_and_parent_are_inverse(k in 2u64..1_000_000, m in 1u64..=64) {
+        let p = parent_position(k, m);
+        let i = child_index(k, m);
+        prop_assert!(p >= 1);
+        prop_assert!((1..=m).contains(&i));
+        prop_assert_eq!(child_position(p, i, m), k);
+    }
+
+    /// Every child position maps back to its parent.
+    #[test]
+    fn parent_of_child_is_self(n in 1u64..100_000, m in 1u64..=32, i in 1u64..=32) {
+        prop_assume!(i <= m);
+        let c = child_position(n, i, m);
+        prop_assert_eq!(parent_position(c, m), n);
+        prop_assert_eq!(child_index(c, m), i);
+    }
+
+    /// Depth is monotone along the joining order (BFS property).
+    #[test]
+    fn bfs_depth_monotone(n in 2usize..300, m in 1u64..=8) {
+        let ids: Vec<StationId> = (0..n as u32).map(StationId).collect();
+        let t = BroadcastTree::new(ids, m);
+        let mut prev = 0;
+        for pos in 1..=n as u64 {
+            let d = t.depth_of(pos);
+            prop_assert!(d >= prev, "depth dropped at pos {pos}");
+            prop_assert!(d <= prev + 1, "depth jumped at pos {pos}");
+            prev = d;
+        }
+    }
+
+    /// The analytic completion predictor matches the event-driven
+    /// simulator exactly on uniform networks — for any size, fan-out,
+    /// object size, bandwidth and latency.
+    #[test]
+    fn predictor_matches_simulator(
+        n in 2usize..120,
+        m in 1u64..=9,
+        object in 1u64..4_000_000,
+        bw in 10_000u64..20_000_000,
+        latency_ms in 0u64..200,
+    ) {
+        let link = LinkSpec::new(bw, SimTime::from_millis(latency_ms));
+        let (mut net, ids) = Network::uniform(n, link);
+        let tree = BroadcastTree::new(ids, m);
+        let measured = broadcast(&mut net, &tree, object).completion;
+        let predicted = predict_completion(n as u64, m, object, link);
+        prop_assert_eq!(predicted, measured);
+    }
+
+    /// Broadcast conservation: every non-root station receives the
+    /// object exactly once regardless of topology parameters.
+    #[test]
+    fn broadcast_conservation(n in 2usize..200, m in 1u64..=10, object in 1u64..1_000_000) {
+        let (mut net, ids) = Network::uniform(n, LinkSpec::lan());
+        let tree = BroadcastTree::new(ids, m);
+        let report = broadcast(&mut net, &tree, object);
+        prop_assert_eq!(report.arrivals.len(), n - 1);
+        prop_assert_eq!(report.total_bytes, (n as u64 - 1) * object);
+    }
+
+    /// Zipf sampling respects its support and is rank-monotone in the
+    /// aggregate.
+    #[test]
+    fn zipf_support_and_skew(n in 2usize..50, seed in 0u64..1_000) {
+        let z = Zipf::new(n, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u32; n];
+        for _ in 0..2_000 {
+            let r = z.sample(&mut rng);
+            prop_assert!(r < n);
+            counts[r] += 1;
+        }
+        // Head vs tail: rank 0 must dominate the last rank (with a
+        // margin that holds at 2k samples for n ≥ 2).
+        prop_assert!(counts[0] + 30 >= counts[n - 1]);
+    }
+
+    /// SimTime transfer arithmetic never panics and is monotone in the
+    /// byte count.
+    #[test]
+    fn transfer_monotone(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2, bw in 1u64..u64::MAX / 2) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(SimTime::transfer(lo, bw) <= SimTime::transfer(hi, bw));
+    }
+
+    /// Demand-simulation accounting invariants hold on arbitrary traces:
+    /// every access is either local or remote; duplications are
+    /// exactly-once per (station, doc); replica bytes equal the resident
+    /// instances' sizes.
+    #[test]
+    fn demand_sim_accounting(
+        n_stations in 2u64..12,
+        n_docs in 1usize..5,
+        watermark in 0u64..6,
+        raw_trace in proptest::collection::vec((0u64..12, 0usize..5, 1u64..50_000), 1..60),
+    ) {
+        use mmu_wdoc::dist::{DemandSim, DocSpec};
+        use mmu_wdoc::netsim::{LinkSpec, Network};
+        use mmu_wdoc::dist::AccessEvent;
+
+        let docs: Vec<DocSpec> = (0..n_docs)
+            .map(|i| DocSpec {
+                name: format!("d{i}"),
+                view_bytes: 1_000,
+                full_bytes: 100_000,
+            })
+            .collect();
+        let mut at = 0u64;
+        let trace: Vec<AccessEvent> = raw_trace
+            .iter()
+            .map(|(pos, doc, gap)| {
+                at += gap;
+                AccessEvent {
+                    at: SimTime::from_micros(at),
+                    position: pos % (n_stations - 1) + 2,
+                    doc: doc % n_docs,
+                }
+            })
+            .collect();
+        let (mut net, ids) = Network::uniform(n_stations as usize, LinkSpec::lan());
+        let tree = BroadcastTree::new(ids, 2);
+        let mut sim = DemandSim::new(tree, docs.clone(), watermark);
+        let report = sim.run(&mut net, &trace);
+
+        prop_assert_eq!(report.accesses, trace.len() as u64);
+        prop_assert_eq!(report.local_hits + report.remote_fetches, report.accesses);
+        // Exactly-once duplication per (station, doc) pair.
+        let pairs: std::collections::BTreeSet<_> =
+            trace.iter().map(|e| (e.position, e.doc)).collect();
+        prop_assert!(report.duplications <= pairs.len() as u64);
+        prop_assert_eq!(report.duplicated_bytes, report.duplications * 100_000);
+        // Replica accounting agrees with the per-station tables.
+        let resident: u64 = sim
+            .stations()
+            .iter()
+            .filter(|(pos, _)| **pos != 1)
+            .map(|(_, sd)| sd.disk_bytes())
+            .sum();
+        prop_assert_eq!(report.replica_bytes, resident);
+        prop_assert_eq!(resident, report.duplications * 100_000);
+    }
+}
