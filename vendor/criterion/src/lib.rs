@@ -1,0 +1,237 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench-definition surface (`criterion_group!`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter`, ...) but
+//! replaces the statistics engine with a tiny fixed-sample timer, so
+//! `cargo bench` still produces comparable median timings and
+//! `cargo test` (which also runs `harness = false` bench binaries)
+//! finishes in milliseconds by executing each routine once.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle. Only `sample_size` affects this stand-in;
+/// the warm-up/measurement durations are accepted and ignored.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // real criterion responds by running each routine once.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in has no warm-up.
+    #[must_use]
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; sample count drives measurement.
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a top-level benchmark (sugar for a single-entry group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, label: &str, mut f: F) {
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        let mut best = Duration::MAX;
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iters: if self.test_mode { 1 } else { 3 },
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per_iter = b.elapsed / b.iters.max(1) as u32;
+            best = best.min(per_iter);
+        }
+        if self.test_mode {
+            println!("bench {label}: ok");
+        } else {
+            println!("bench {label}: {best:?}/iter (best of {samples})");
+        }
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    fn label(&self, id: &str) -> String {
+        if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        }
+    }
+
+    /// Benchmark a routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let label = self.label(id);
+        self.criterion.run_one(&label, f);
+    }
+
+    /// Benchmark a routine against a shared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = self.label(&id.0);
+        self.criterion.run_one(&label, |b| f(b, input));
+    }
+
+    /// End the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`, as real criterion renders it.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", name.into()))
+    }
+}
+
+/// Passed to each routine; times the closures it is given.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive until after the clock
+    /// stops so returns aren't optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine` only, with a fresh un-timed `setup` value per
+    /// iteration.
+    pub fn iter_with_setup<S, O, SF: FnMut() -> S, R: FnMut(S) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut routine: R,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Define a group of benchmark functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_routines() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let mut hits = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("f", |b| b.iter(|| hits += 1));
+            g.bench_with_input(BenchmarkId::new("with", 3), &5u32, |b, &x| {
+                b.iter(|| black_box(x * 2));
+            });
+            g.finish();
+        }
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn iter_with_setup_times_only_routine() {
+        let mut b = Bencher {
+            iters: 4,
+            elapsed: Duration::ZERO,
+        };
+        let mut builds = 0u32;
+        let mut runs = 0u32;
+        b.iter_with_setup(
+            || {
+                builds += 1;
+                vec![0u8; 16]
+            },
+            |v| {
+                runs += 1;
+                v.len()
+            },
+        );
+        assert_eq!(builds, 4);
+        assert_eq!(runs, 4);
+    }
+}

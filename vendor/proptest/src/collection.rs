@@ -1,0 +1,149 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Element-count specification: an exact count or a half-open range
+/// (mirrors proptest's `SizeRange` conversions the workspace uses).
+#[derive(Debug, Clone)]
+pub struct SizeRange(Range<usize>);
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(!self.0.is_empty(), "empty size range {:?}", self.0);
+        if self.0.end - self.0.start == 1 {
+            self.0.start
+        } else {
+            rng.gen_range(self.0.clone())
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange(n..n + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange(r)
+    }
+}
+
+/// `Vec` strategy with element strategy `element` and size in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `BTreeMap` strategy. Key collisions may make the map smaller than
+/// the drawn size (same caveat as real proptest).
+pub fn btree_map<K, V>(
+    keys: K,
+    values: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        keys,
+        values,
+        size: size.into(),
+    }
+}
+
+/// Output of [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = self.size.pick(rng);
+        let mut map = BTreeMap::new();
+        // A few extra draws to absorb key collisions.
+        for _ in 0..target.saturating_mul(2) {
+            if map.len() >= target {
+                break;
+            }
+            map.insert(self.keys.generate(rng), self.values.generate(rng));
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_sizes() {
+        let mut rng = TestRng::seed_from_u64(21);
+        for _ in 0..200 {
+            let v = vec(0u32..5, 1..20).generate(&mut rng);
+            assert!((1..20).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+            let exact = vec(any::<u8>(), 7usize).generate(&mut rng);
+            assert_eq!(exact.len(), 7);
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_tuples() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let v = vec((vec(any::<u8>(), 0..64), 1u64..5), 1..10).generate(&mut rng);
+        assert!((1..10).contains(&v.len()));
+        for (bytes, n) in &v {
+            assert!(bytes.len() < 64);
+            assert!((1..5).contains(n));
+        }
+    }
+
+    #[test]
+    fn btree_map_sizes_and_bounds() {
+        let mut rng = TestRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let m = btree_map(0i64..200, "[a-c]{1,2}", 0..60).generate(&mut rng);
+            assert!(m.len() < 60);
+            for (k, val) in &m {
+                assert!((0..200).contains(k));
+                assert!((1..=2).contains(&val.len()));
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses:
+//! the `proptest!` macro (with `#![proptest_config(..)]`), strategies
+//! for numeric ranges / tuples / `&str` regex patterns / `any::<T>()`,
+//! `prop_map`, `prop_oneof!`, `collection::{vec, btree_map}`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//! * no shrinking — a failing case reports its seed instead;
+//! * case generation is seeded from the test name, so runs are fully
+//!   deterministic without a regression file (`.proptest-regressions`
+//!   files are ignored);
+//! * the regex strategy supports the literal/class/repeat/group subset
+//!   actually found in test patterns, not full regex.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::ProptestConfig;
+
+/// Define deterministic property tests.
+///
+/// Accepts the same surface syntax as real proptest:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..10, s in "[a-z]{1,4}") { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal: expand each `fn name(pat in strategy, ...) { body }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(&($cfg), stringify!($name), |__rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Uniformly choose one of several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Assert inside a property (aborts only the failing case's unwind).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Discard the current case (it is regenerated, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            ::std::panic::panic_any($crate::test_runner::AssumeRejected);
+        }
+    };
+}

@@ -1,0 +1,248 @@
+//! Generator for the regex subset used as string strategies.
+//!
+//! Supported syntax: literal characters, escaped literals (`\.`),
+//! character classes with ranges (`[a-z0-9._ -~]`), repeat counts
+//! (`{n}` / `{n,m}`), groups (`(...)`), and the `?`, `*`, `+`
+//! quantifiers (`*` and `+` capped at 8 repeats). Anything else —
+//! alternation, anchors, negated classes — panics with a clear message
+//! so an unsupported pattern fails loudly at test time.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::iter::Peekable;
+use std::str::Chars;
+
+enum Atom {
+    Lit(char),
+    Class(Vec<char>),
+    Group(Vec<Term>),
+}
+
+struct Term {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generate one string matching `pattern`.
+///
+/// # Panics
+/// Panics on syntax outside the supported subset.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let terms = parse_seq(&mut chars, false, pattern);
+    assert!(
+        chars.next().is_none(),
+        "unbalanced `)` in string pattern {pattern:?}"
+    );
+    let mut out = String::new();
+    emit_seq(&terms, rng, &mut out);
+    out
+}
+
+fn parse_seq(chars: &mut Peekable<Chars>, in_group: bool, pattern: &str) -> Vec<Term> {
+    let mut terms = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            assert!(in_group, "unbalanced `)` in string pattern {pattern:?}");
+            chars.next();
+            return terms;
+        }
+        chars.next();
+        let atom = match c {
+            '[' => Atom::Class(parse_class(chars, pattern)),
+            '(' => Atom::Group(parse_seq(chars, true, pattern)),
+            '\\' => Atom::Lit(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling `\\` in pattern {pattern:?}")),
+            ),
+            '.' => Atom::Class((' '..='~').collect()),
+            '|' | '^' | '$' => {
+                panic!("unsupported regex syntax `{c}` in pattern {pattern:?}")
+            }
+            c => Atom::Lit(c),
+        };
+        let (min, max) = parse_repeat(chars, pattern);
+        terms.push(Term { atom, min, max });
+    }
+    assert!(!in_group, "unclosed `(` in string pattern {pattern:?}");
+    terms
+}
+
+fn parse_class(chars: &mut Peekable<Chars>, pattern: &str) -> Vec<char> {
+    let mut choices = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '^' if choices.is_empty() => {
+                panic!("negated classes unsupported in pattern {pattern:?}")
+            }
+            '\\' => choices.push(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling `\\` in pattern {pattern:?}")),
+            ),
+            lo => {
+                // `a-z` range, unless the `-` is the closing literal.
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    match ahead.peek() {
+                        Some(&hi) if hi != ']' => {
+                            chars.next();
+                            chars.next();
+                            assert!(
+                                lo <= hi,
+                                "inverted class range in pattern {pattern:?}"
+                            );
+                            choices.extend(lo..=hi);
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                choices.push(lo);
+            }
+        }
+    }
+    assert!(!choices.is_empty(), "empty class in pattern {pattern:?}");
+    choices
+}
+
+fn parse_repeat(chars: &mut Peekable<Chars>, pattern: &str) -> (u32, u32) {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('{') => {
+            chars.next();
+            let mut min_txt = String::new();
+            let mut max_txt = None;
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(',') => max_txt = Some(String::new()),
+                    Some(d) if d.is_ascii_digit() => match &mut max_txt {
+                        Some(t) => t.push(d),
+                        None => min_txt.push(d),
+                    },
+                    _ => panic!("bad repeat count in pattern {pattern:?}"),
+                }
+            }
+            let min: u32 = min_txt
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repeat count in pattern {pattern:?}"));
+            let max = match max_txt {
+                None => min,
+                Some(t) => t
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repeat count in pattern {pattern:?}")),
+            };
+            assert!(min <= max, "inverted repeat range in pattern {pattern:?}");
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn emit_seq(terms: &[Term], rng: &mut TestRng, out: &mut String) {
+    for term in terms {
+        let n = if term.min == term.max {
+            term.min
+        } else {
+            rng.gen_range(term.min..=term.max)
+        };
+        for _ in 0..n {
+            match &term.atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(choices) => {
+                    out.push(choices[rng.gen_range(0..choices.len())]);
+                }
+                Atom::Group(inner) => emit_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn check(pattern: &str, f: impl Fn(&str) -> bool) {
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..300 {
+            let s = generate(pattern, &mut rng);
+            assert!(f(&s), "pattern {pattern:?} produced {s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_counts() {
+        check("[a-z]{0,8}", |s| {
+            s.len() <= 8 && s.chars().all(|c| c.is_ascii_lowercase())
+        });
+        check("[a-z]{1,4}", |s| {
+            (1..=4).contains(&s.len()) && s.chars().all(|c| c.is_ascii_lowercase())
+        });
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        check("[ -~]{0,20}", |s| {
+            s.len() <= 20 && s.chars().all(|c| (' '..='~').contains(&c))
+        });
+    }
+
+    #[test]
+    fn mixed_class_and_literal_space() {
+        check("[a-d]{1,3} [a-d]{1,3}", |s| {
+            let parts: Vec<&str> = s.split(' ').collect();
+            parts.len() == 2
+                && parts.iter().all(|p| {
+                    (1..=3).contains(&p.len())
+                        && p.chars().all(|c| ('a'..='d').contains(&c))
+                })
+        });
+        check("[a-z0-9.]{1,12}", |s| {
+            (1..=12).contains(&s.len())
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.')
+        });
+    }
+
+    #[test]
+    fn optional_group() {
+        check("[a-d]{1,3}( [a-d]{1,3})?", |s| {
+            let parts: Vec<&str> = s.split(' ').collect();
+            (1..=2).contains(&parts.len())
+                && parts.iter().all(|p| (1..=3).contains(&p.len()))
+        });
+    }
+
+    #[test]
+    fn exact_count_and_escape() {
+        check("[ab]{3}", |s| s.len() == 3);
+        check("x\\.y", |s| s == "x.y");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn alternation_rejected() {
+        let mut rng = TestRng::seed_from_u64(1);
+        generate("a|b", &mut rng);
+    }
+}

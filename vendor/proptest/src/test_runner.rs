@@ -1,0 +1,145 @@
+//! The case loop: deterministic seeding, `prop_assume!` rejection
+//! handling, and failure reporting (seed instead of shrinking).
+
+use rand::SeedableRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// The RNG handed to strategies (the vendored deterministic `StdRng`).
+pub type TestRng = rand::StdRng;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Panic payload used by `prop_assume!` to discard the current case.
+pub struct AssumeRejected;
+
+/// Suppress panic-hook output for [`AssumeRejected`] unwinds so
+/// discarded cases don't spam stderr; real failures still print.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<AssumeRejected>() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: run `cfg.cases` successful cases, regenerating
+/// on `prop_assume!` rejection, and re-raise the first real failure
+/// with its seed so it can be reproduced.
+pub fn run<F: FnMut(&mut TestRng)>(cfg: &ProptestConfig, name: &str, mut f: F) {
+    install_quiet_hook();
+    let base = fnv1a(name);
+    let max_rejects = cfg.cases.saturating_mul(256).max(4096);
+    let mut rejects = 0u32;
+    let mut passed = 0u32;
+    let mut stream = 0u64;
+    while passed < cfg.cases {
+        let seed = base ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        stream += 1;
+        let mut rng = TestRng::seed_from_u64(seed);
+        match catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            Ok(()) => passed += 1,
+            Err(payload) if payload.is::<AssumeRejected>() => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "property `{name}`: too many prop_assume! rejections \
+                     ({rejects} while seeking {} cases)",
+                    cfg.cases
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "property `{name}` failed at case {passed} (seed {seed:#018x})"
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut count = 0u32;
+        run(&ProptestConfig::with_cases(10), "counting", |_| count += 1);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_name() {
+        use rand::RngCore;
+        let mut a = Vec::new();
+        run(&ProptestConfig::with_cases(5), "same-name", |rng| {
+            a.push(rng.next_u64());
+        });
+        let mut b = Vec::new();
+        run(&ProptestConfig::with_cases(5), "same-name", |rng| {
+            b.push(rng.next_u64());
+        });
+        assert_eq!(a, b);
+        let mut c = Vec::new();
+        run(&ProptestConfig::with_cases(5), "other-name", |rng| {
+            c.push(rng.next_u64());
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn assume_rejections_do_not_count_as_cases() {
+        let mut attempts = 0u32;
+        let mut passes = 0u32;
+        run(&ProptestConfig::with_cases(8), "rejecting", |_| {
+            attempts += 1;
+            if attempts % 2 == 1 {
+                std::panic::panic_any(AssumeRejected);
+            }
+            passes += 1;
+        });
+        assert_eq!(passes, 8);
+        assert_eq!(attempts, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn real_failures_propagate() {
+        run(&ProptestConfig::with_cases(4), "failing", |_| {
+            panic!("boom");
+        });
+    }
+}

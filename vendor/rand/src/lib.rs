@@ -1,0 +1,269 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! The workspace only ever uses explicitly-seeded generators
+//! (`StdRng::seed_from_u64`) — never OS entropy — so this stand-in
+//! ships a single deterministic generator (xoshiro256++ seeded via
+//! SplitMix64) behind the `Rng`/`RngCore`/`SeedableRng` trait shapes of
+//! rand 0.8. Streams are stable across platforms and releases, which
+//! the resumable-experiment and replay tests rely on; they are NOT the
+//! same streams as the real `rand` crate.
+
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// Low-level generator interface: a source of random `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (high word of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing extension methods, blanket-implemented for every
+/// [`RngCore`] (mirrors rand 0.8's `Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::random(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding interface (only the `seed_from_u64` entry point the
+/// workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, expanding it with
+    /// SplitMix64 as rand does.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types with a natural uniform distribution over all values
+/// (rand's `Standard` distribution, flattened into a trait).
+pub trait Standard: Sized {
+    /// Sample a uniform value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+macro_rules! impl_standard_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Standard),+> Standard for ($($name,)+) {
+            fn random<RR: RngCore + ?Sized>(rng: &mut RR) -> Self {
+                ($($name::random(rng),)+)
+            }
+        }
+    };
+}
+impl_standard_tuple!(A);
+impl_standard_tuple!(A, B);
+impl_standard_tuple!(A, B, C);
+impl_standard_tuple!(A, B, C, D);
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can be sampled from (rand's `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types with a uniform range sampler (rand's `SampleUniform`).
+///
+/// `SampleRange` is implemented once, generically, over this trait —
+/// matching rand's impl structure so type inference treats e.g.
+/// `rng.gen_range(0..100) < some_u32` the way callers expect.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `[lo, hi)` (`inclusive == false`) or
+    /// `[lo, hi]` (`inclusive == true`).
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                assert!(if inclusive { lo <= hi } else { lo < hi }, "empty range");
+                let span = (hi as $wide - lo as $wide) as u128
+                    + u128::from(inclusive);
+                let off = (u128::from(rng.next_u64()) % span) as $wide;
+                (lo as $wide + off) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, usize => u128,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                assert!(if inclusive { lo <= hi } else { lo < hi }, "empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let z: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&z));
+            let u: usize = rng.gen_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "hits={hits}");
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn uniformity_rough_check() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[rng.gen_range(0..10usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((8_000..12_000).contains(&b), "bucket={b}");
+        }
+    }
+
+    #[test]
+    fn works_through_mut_ref_and_impl_rng() {
+        fn takes_impl(rng: &mut impl Rng) -> u64 {
+            rng.gen_range(0..100)
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = takes_impl(&mut rng);
+        let r = &mut rng;
+        let _ = takes_impl(r);
+        let _: u32 = rng.gen();
+        let _: (u8, bool) = rng.gen();
+    }
+}

@@ -1,0 +1,308 @@
+//! Deserialization half: the [`Deserialize`] / [`Deserializer`] traits,
+//! std impls, and the map-access helper the derive macro targets.
+
+use crate::{Error, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::Display;
+use std::hash::Hash;
+
+/// Errors a deserializer can produce (mirrors serde's `de::Error`).
+pub trait DeError: Sized {
+    /// Build an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+impl DeError for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// A data format (or value source) producing the [`Value`] model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: DeError;
+
+    /// Yield the complete value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error>;
+
+    /// Deserialize directly from a value tree (the workhorse; the
+    /// generic entry point defaults to this).
+    fn from_value(v: Value) -> Result<Self, Error>;
+}
+
+/// Owned deserialization (what the helpers actually need).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+macro_rules! forward_deserialize {
+    () => {
+        fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+            let v = d.take_value()?;
+            Self::from_value(v).map_err(__D::Error::custom)
+        }
+    };
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!("expected {expected}, got {got:?}")))
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            forward_deserialize!();
+            fn from_value(v: Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(x) => <$t>::try_from(x)
+                        .map_err(|_| Error::custom(format!("{x} out of range for {}", stringify!($t)))),
+                    Value::I64(x) => <$t>::try_from(x)
+                        .map_err(|_| Error::custom(format!("{x} out of range for {}", stringify!($t)))),
+                    other => type_err(stringify!($t), &other),
+                }
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(x),
+            Value::U64(x) => Ok(x as f64),
+            Value::I64(x) => Ok(x as f64),
+            other => type_err("f64", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(b),
+            other => type_err("bool", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s),
+            other => type_err("string", &other),
+        }
+    }
+}
+
+/// Enough of serde's borrowed-str support for derives on structs with
+/// `&'static str` fields to compile. Actually materialising one leaks
+/// the string — acceptable for the small test-snapshot payloads that
+/// are this workspace's only deserialization inputs.
+impl<'de> Deserialize<'de> for &'static str {
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.into_boxed_str())),
+            other => type_err("string", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => type_err("null", &other),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.into_iter().map(T::from_value).collect(),
+            other => type_err("array", &other),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($n:expr; $($name:ident),+) => {
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            forward_deserialize!();
+            fn from_value(v: Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == $n => {
+                        let mut it = items.into_iter();
+                        Ok(($($name::from_value(it.next().expect("length checked"))?,)+))
+                    }
+                    other => type_err(concat!($n, "-tuple"), &other),
+                }
+            }
+        }
+    };
+}
+impl_de_tuple!(1; A);
+impl_de_tuple!(2; A, B);
+impl_de_tuple!(3; A, B, C);
+impl_de_tuple!(4; A, B, C, D);
+impl_de_tuple!(5; A, B, C, D, E);
+
+/// Recover a typed key from a JSON-object key string: integer keys were
+/// stringified at serialization time, so try those readings first (a
+/// `String` key rejects the numeric `Value`s and falls through).
+fn key_from_str<K: DeserializeOwned>(s: String) -> Result<K, Error> {
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::from_value(Value::U64(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(Value::I64(i)) {
+            return Ok(k);
+        }
+    }
+    K::from_value(Value::Str(s))
+}
+
+/// Decode either map encoding (see `ser::entries_to_value`): a JSON
+/// object for scalar keys, or an array of `[key, value]` pairs.
+fn map_entries<K: DeserializeOwned, V: DeserializeOwned>(
+    v: Value,
+) -> Result<Vec<(K, V)>, Error> {
+    match v {
+        Value::Map(entries) => entries
+            .into_iter()
+            .map(|(k, v)| Ok((key_from_str::<K>(k)?, V::from_value(v)?)))
+            .collect(),
+        Value::Array(items) => items
+            .into_iter()
+            .map(|item| match item {
+                Value::Array(pair) if pair.len() == 2 => {
+                    let mut it = pair.into_iter();
+                    let k = K::from_value(it.next().expect("len 2"))?;
+                    let v = V::from_value(it.next().expect("len 2"))?;
+                    Ok((k, v))
+                }
+                other => type_err("[key, value] pair", &other),
+            })
+            .collect(),
+        other => type_err("map", &other),
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: DeserializeOwned + Ord,
+    V: DeserializeOwned,
+{
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        map_entries(v).map(|kvs| kvs.into_iter().collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: DeserializeOwned + Eq + Hash,
+    V: DeserializeOwned,
+{
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        map_entries(v).map(|kvs| kvs.into_iter().collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    forward_deserialize!();
+    fn from_value(v: Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(|v| v.into_iter().collect())
+    }
+}
+
+/// Ordered-map access helper targeted by the derive macro's struct
+/// deserialization.
+pub struct MapAccess {
+    entries: Vec<(String, Option<Value>)>,
+}
+
+impl MapAccess {
+    /// Interpret a value as a map.
+    pub fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => Ok(MapAccess {
+                entries: entries.into_iter().map(|(k, v)| (k, Some(v))).collect(),
+            }),
+            other => type_err("map", &other),
+        }
+    }
+
+    /// Remove and return the raw value for `name`.
+    pub fn take_raw(&mut self, name: &str) -> Result<Value, Error> {
+        self.entries
+            .iter_mut()
+            .find(|(k, v)| k == name && v.is_some())
+            .and_then(|(_, v)| v.take())
+            .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+    }
+
+    /// Remove and deserialize the value for `name`.
+    pub fn take<T: DeserializeOwned>(&mut self, name: &str) -> Result<T, Error> {
+        T::from_value(self.take_raw(name)?)
+    }
+}

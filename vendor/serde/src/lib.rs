@@ -1,0 +1,86 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a small serde-shaped serialization framework. Instead of
+//! serde's visitor architecture, everything funnels through one
+//! in-memory data model, [`Value`]; `Serializer`/`Deserializer` are
+//! kept as traits so code written against real serde (generic bounds,
+//! `#[serde(with = …)]` modules) compiles unchanged.
+//!
+//! Field order is preserved ([`Value::Map`] is an ordered list), so
+//! serialized output is deterministic — a property the experiment
+//! pipeline's diffable JSON reports rely on.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The universal data model every serializer and deserializer in this
+/// stand-in speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unit / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (only produced for negative numbers).
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// IEEE double.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Sequence.
+    Array(Vec<Value>),
+    /// Ordered map (field order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization / deserialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize any value into the [`Value`] data model. Infallible for
+/// the tree-building serializer.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.serialize(value::ValueSerializer)
+        .expect("value serialization cannot fail")
+}
+
+/// Run a `#[serde(with = …)]`-style serialize function against the
+/// tree-building serializer.
+pub fn to_value_with<F>(f: F) -> Value
+where
+    F: FnOnce(value::ValueSerializer) -> Result<Value, Error>,
+{
+    f(value::ValueSerializer).expect("value serialization cannot fail")
+}
+
+/// Deserialize a [`Value`] into any `Deserialize` type.
+pub fn from_value<T: DeserializeOwned>(v: Value) -> Result<T, Error> {
+    T::deserialize(value::ValueDeserializer::new(v))
+}

@@ -1,0 +1,224 @@
+//! Serialization half: the [`Serialize`] / [`Serializer`] traits and
+//! impls for std types.
+
+use crate::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A data format (or value sink) that can consume the [`Value`] model.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Consume a fully-built value tree.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize a byte string (defaults to an array of numbers, which
+    /// is also what real serde_json does).
+    fn serialize_bytes(self, b: &[u8]) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Array(
+            b.iter().map(|&x| Value::U64(u64::from(x))).collect(),
+        ))
+    }
+}
+
+/// Types that can be serialized.
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    s.serialize_value(Value::U64(v as u64))
+                } else {
+                    s.serialize_value(Value::I64(v))
+                }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Null)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Array(self.iter().map(crate::to_value).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Array(vec![$(crate::to_value(&self.$idx)),+]))
+            }
+        }
+    };
+}
+impl_ser_tuple!(A.0);
+impl_ser_tuple!(A.0, B.1);
+impl_ser_tuple!(A.0, B.1, C.2);
+impl_ser_tuple!(A.0, B.1, C.2, D.3);
+impl_ser_tuple!(A.0, B.1, C.2, D.3, E.4);
+
+/// Render a serialized key as a JSON-object key, if it is a scalar
+/// (serde_json stringifies integer keys the same way).
+pub(crate) fn scalar_key(v: &Value) -> Option<String> {
+    match v {
+        Value::Str(s) => Some(s.clone()),
+        Value::U64(x) => Some(x.to_string()),
+        Value::I64(x) => Some(x.to_string()),
+        _ => None,
+    }
+}
+
+/// Encode map entries: scalar keys become a JSON object; any other key
+/// type (tuples, structs) falls back to an array of `[key, value]`
+/// pairs, which real serde_json would reject but this closed world
+/// round-trips.
+fn entries_to_value(entries: Vec<(Value, Value)>) -> Value {
+    if entries.iter().all(|(k, _)| scalar_key(k).is_some()) {
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (scalar_key(&k).expect("checked scalar"), v))
+                .collect(),
+        )
+    } else {
+        Value::Array(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(entries_to_value(
+            self.iter()
+                .map(|(k, v)| (crate::to_value(k), crate::to_value(v)))
+                .collect(),
+        ))
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Sort for deterministic output (HashMap iteration order isn't).
+        let mut items: Vec<(&K, &V)> = self.iter().collect();
+        items.sort_by(|a, b| a.0.cmp(b.0));
+        s.serialize_value(entries_to_value(
+            items
+                .into_iter()
+                .map(|(k, v)| (crate::to_value(k), crate::to_value(v)))
+                .collect(),
+        ))
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Array(self.iter().map(crate::to_value).collect()))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for HashSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        s.serialize_value(Value::Array(items.into_iter().map(crate::to_value).collect()))
+    }
+}

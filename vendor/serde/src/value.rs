@@ -1,0 +1,37 @@
+//! The tree-building serializer / tree-reading deserializer — the only
+//! concrete data format in this stand-in (serde_json reuses it).
+
+use crate::de::Deserializer;
+use crate::ser::Serializer;
+use crate::{Error, Value};
+
+/// Serializer that just hands back the built [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_value(self, v: Value) -> Result<Value, Error> {
+        Ok(v)
+    }
+}
+
+/// Deserializer over an in-memory [`Value`].
+pub struct ValueDeserializer(Value);
+
+impl ValueDeserializer {
+    /// Wrap a value.
+    #[must_use]
+    pub fn new(v: Value) -> Self {
+        ValueDeserializer(v)
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn take_value(self) -> Result<Value, Error> {
+        Ok(self.0)
+    }
+}

@@ -1,0 +1,493 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's value-tree model, parsing the item with
+//! `proc_macro` alone (no `syn`/`quote` available offline).
+//!
+//! Supported shapes — everything this workspace derives on:
+//! named structs, tuple structs, unit structs, and enums with unit,
+//! tuple, and struct variants. The only field attribute honored is
+//! `#[serde(with = "module")]`, matching real serde's contract of
+//! calling `module::serialize` / `module::deserialize`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------- model
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------- parse
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = ident_at(&tokens, i);
+    i += 1;
+    let name = ident_at(&tokens, i);
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (deriving on `{name}`)");
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("enum `{name}` has no body"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive serde impls for item kind `{other}`"),
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Skip leading attributes and a visibility qualifier; collect nothing.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Extract `with = "path"` from a `#[serde(...)]` attribute body.
+fn serde_with_from_attr(tokens: &[TokenTree], i: usize) -> Option<String> {
+    // tokens[i] == '#', tokens[i+1] == [serde(...)]
+    let TokenTree::Group(outer) = tokens.get(i + 1)? else {
+        return None;
+    };
+    let inner: Vec<TokenTree> = outer.stream().into_iter().collect();
+    let first = inner.first()?;
+    if !matches!(first, TokenTree::Ident(id) if id.to_string() == "serde") {
+        return None;
+    }
+    let TokenTree::Group(args) = inner.get(1)? else {
+        return None;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        if matches!(&args[j], TokenTree::Ident(id) if id.to_string() == "with") {
+            if let Some(TokenTree::Literal(lit)) = args.get(j + 2) {
+                let s = lit.to_string();
+                return Some(s.trim_matches('"').to_string());
+            }
+        }
+        j += 1;
+    }
+    panic!("vendored serde_derive supports only #[serde(with = \"...\")], got #[serde({})]",
+        args.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" "));
+}
+
+/// Skip a type (or expression) until a top-level comma, tracking both
+/// group nesting (automatic via TokenTree) and angle-bracket depth.
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes (capture serde-with).
+        let mut with = None;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(w) = serde_with_from_attr(&tokens, i) {
+                        with = Some(w);
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = ident_at(&tokens, i);
+        i += 1; // name
+        i += 1; // ':'
+        skip_to_top_level_comma(&tokens, &mut i);
+        i += 1; // ','
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < tokens.len() {
+        skip_to_top_level_comma(&tokens, &mut i);
+        n += 1;
+        i += 1; // ','
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes / doc comments.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i);
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(
+                    parse_named_fields(g.stream())
+                        .into_iter()
+                        .map(|f| f.name)
+                        .collect(),
+                )
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        skip_to_top_level_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// -------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let mut s = String::from(
+                        "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                    );
+                    for f in fs {
+                        let expr = match &f.with {
+                            None => format!("::serde::to_value(&self.{})", f.name),
+                            Some(path) => format!(
+                                "::serde::to_value_with(|__vs| {path}::serialize(&self.{}, __vs))",
+                                f.name
+                            ),
+                        };
+                        s.push_str(&format!(
+                            "__m.push((::std::string::String::from(\"{}\"), {expr}));\n",
+                            f.name
+                        ));
+                    }
+                    s.push_str("__s.serialize_value(::serde::Value::Map(__m))");
+                    s
+                }
+                Fields::Tuple(1) => {
+                    "__s.serialize_value(::serde::to_value(&self.0))".to_string()
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> =
+                        (0..*n).map(|i| format!("::serde::to_value(&self.{i})")).collect();
+                    format!(
+                        "__s.serialize_value(::serde::Value::Array(vec![{}]))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => "__s.serialize_value(::serde::Value::Null)".to_string(),
+            };
+            wrap_serialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantFields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::to_value(__f0))]),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> =
+                            binds.iter().map(|b| format!("::serde::to_value({b})")).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Map(vec![{}]))]),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "let __val = match self {{\n{arms}}};\n__s.serialize_value(__val)"
+            );
+            wrap_serialize(name, &body)
+        }
+    }
+}
+
+fn wrap_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let mut inits = String::new();
+                    for f in fs {
+                        let expr = match &f.with {
+                            None => format!("__m.take(\"{}\")?", f.name),
+                            Some(path) => format!(
+                                "{path}::deserialize(::serde::value::ValueDeserializer::new(__m.take_raw(\"{}\")?))?",
+                                f.name
+                            ),
+                        };
+                        inits.push_str(&format!("{}: {expr},\n", f.name));
+                    }
+                    format!(
+                        "let mut __m = ::serde::de::MapAccess::from_value(__v)?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let gets: Vec<String> = (0..*n)
+                        .map(|_| {
+                            "::serde::from_value(__it.next().ok_or_else(|| ::serde::Error::custom(\"tuple too short\"))?)?".to_string()
+                        })
+                        .collect();
+                    format!(
+                        "match __v {{\n\
+                             ::serde::Value::Array(__items) => {{\n\
+                                 let mut __it = __items.into_iter();\n\
+                                 ::std::result::Result::Ok({name}({}))\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"expected array for tuple struct {name}, got {{:?}}\", __other))),\n\
+                         }}",
+                        gets.join(", ")
+                    )
+                }
+                Fields::Unit => {
+                    format!("{{ let _ = __v; ::std::result::Result::Ok({name}) }}")
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantFields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::from_value(__inner)?)),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|_| {
+                                "::serde::from_value(__it.next().ok_or_else(|| ::serde::Error::custom(\"variant tuple too short\"))?)?".to_string()
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{\n\
+                                 ::serde::Value::Array(__items) => {{\n\
+                                     let mut __it = __items.into_iter();\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"expected array for variant {vn}, got {{:?}}\", __other))),\n\
+                             }},\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fs) => {
+                        let inits: Vec<String> =
+                            fs.iter().map(|f| format!("{f}: __m.take(\"{f}\")?")).collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let mut __m = ::serde::de::MapAccess::from_value(__inner)?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                             }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(mut __entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = __entries.pop().expect(\"length checked\");\n\
+                         #[allow(unused_variables)] let __inner = __inner;\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"expected enum {name}, got {{:?}}\", __other))),\n\
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 let __v = __d.take_value()?;\n\
+                 <Self as ::serde::Deserialize>::from_value(__v)\
+                     .map_err(|__e| <__D::Error as ::serde::de::DeError>::custom(__e))\n\
+             }}\n\
+             fn from_value(__v: ::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
