@@ -1,0 +1,193 @@
+//! E13 — broadcast resilience under station failures (§4).
+//!
+//! Claim under test: the distribution design is "adaptive to changing
+//! network conditions". The paper's broadcast analysis assumes a
+//! healthy broadcast vector; this experiment measures what the
+//! self-healing tree pays — and what it saves — when stations crash
+//! mid-pre-broadcast.
+//!
+//! Sweep: crash probability p ∈ {0, 0.05, 0.15, 0.3} × fan-out
+//! m ∈ {1, 2, 3, 4, 6, 8}, N = 32 stations, 2 MB object. Each non-root
+//! station independently crashes with probability p at a seeded-uniform
+//! time inside the healthy-case completion window, so every cell is a
+//! deterministic function of (p, m, seed).
+//!
+//! Expected shape: delivery ratio stays at 1.0 for survivors at every
+//! p (the root serves any alive station within two attempts); retries
+//! and re-parenting grow with p; deep trees (m = 1) expose the most
+//! in-flight hops to cuts, wide trees concentrate repair on the root.
+//!
+//! E13b re-checks the adaptive controller against *measured* (degraded)
+//! link conditions via [`AdaptiveController::replan`].
+
+use netsim::{Fault, FaultSchedule, LinkSpec, Network, SimTime, StationId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use wdoc_bench::emit;
+use wdoc_dist::{
+    predict_completion, resilient_broadcast, AdaptiveController, BroadcastTree, RetryPolicy,
+};
+
+const N: usize = 32;
+const OBJECT: u64 = 2_000_000;
+
+#[derive(Serialize)]
+struct Row {
+    crash_p: f64,
+    m: u64,
+    crashed: usize,
+    delivery_ratio: f64,
+    survivors_delivered: bool,
+    completion_s: f64,
+    retries: u64,
+    reparented: usize,
+    unreachable: usize,
+    duplicates: u64,
+    dropped_msgs: u64,
+    control_bytes: u64,
+}
+
+/// One deterministic cell of the sweep.
+fn run_cell(p: f64, m: u64, link: LinkSpec, seed: u64) -> Row {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let horizon = predict_completion(N as u64, m, OBJECT, link).as_micros();
+    let mut schedule = FaultSchedule::new();
+    let mut crashed = Vec::new();
+    for sid in 1..N as u32 {
+        if rng.gen_bool(p) {
+            let at = SimTime::from_micros(rng.gen_range(0..=horizon));
+            schedule.push(at, Fault::Crash { station: StationId(sid) });
+            crashed.push(sid);
+        }
+    }
+    let (mut net, ids) = Network::uniform(N, link);
+    net.set_faults(schedule);
+    let tree = BroadcastTree::new(ids, m);
+    let r = resilient_broadcast(&mut net, &tree, OBJECT, RetryPolicy::default());
+    let survivors_delivered = (1..N as u32)
+        .filter(|s| !crashed.contains(s))
+        .all(|s| r.report.arrivals.contains_key(&s));
+    Row {
+        crash_p: p,
+        m,
+        crashed: crashed.len(),
+        delivery_ratio: r.delivery_ratio(N as u64),
+        survivors_delivered,
+        completion_s: r.report.completion.as_secs_f64(),
+        retries: r.retries,
+        reparented: r.reparented.len(),
+        unreachable: r.unreachable.len(),
+        duplicates: r.duplicates,
+        dropped_msgs: r.dropped_msgs,
+        control_bytes: r.control_bytes,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let link = LinkSpec::new(1_000_000, SimTime::from_millis(10));
+    let (ps, ms): (&[f64], &[u64]) = if smoke {
+        (&[0.0, 0.15], &[2, 4])
+    } else {
+        (&[0.0, 0.05, 0.15, 0.3], &[1, 2, 3, 4, 6, 8])
+    };
+
+    println!("E13: failure sweep, N = {N}, {} MB object, 1 MB/s + 10 ms links", OBJECT / 1_000_000);
+    println!(
+        "{:>6} {:>3} {:>7} {:>9} {:>9} {:>11} {:>7} {:>8} {:>11} {:>5} {:>7}",
+        "p", "m", "crashed", "deliv%", "surv-ok", "complete s", "retries", "reparent", "unreachable", "dups", "dropped"
+    );
+    for &p in ps {
+        for &m in ms {
+            // Seed mixes the cell coordinates so every cell replays on
+            // its own stream.
+            let seed = 1999 + (p * 1000.0) as u64 * 37 + m;
+            let row = run_cell(p, m, link, seed);
+            println!(
+                "{:>6.2} {:>3} {:>7} {:>9.1} {:>9} {:>11.2} {:>7} {:>8} {:>11} {:>5} {:>7}",
+                row.crash_p,
+                row.m,
+                row.crashed,
+                row.delivery_ratio * 100.0,
+                row.survivors_delivered,
+                row.completion_s,
+                row.retries,
+                row.reparented,
+                row.unreachable,
+                row.duplicates,
+                row.dropped_msgs
+            );
+            assert!(
+                row.survivors_delivered,
+                "invariant: every survivor is delivered (p={p}, m={m})"
+            );
+            emit("e13", &row);
+        }
+        println!();
+    }
+
+    // E13b: re-picking m when the measured link has degraded mid-run —
+    // the controller's replan hook against a fault-layer overlay.
+    println!("E13b: adaptive replan after link degradation, N = {N}");
+    let controller = AdaptiveController::default();
+    let healthy = LinkSpec::new(1_000_000, SimTime::from_millis(1));
+    let small_object = 20_000; // a still image: latency-sensitive
+    let m0 = controller.best_m(N as u64, small_object, healthy);
+
+    // Degrade every path out of the root (the instructor's access link
+    // turned congested): bandwidth intact, latency blown up 2000× —
+    // the regime where shallow wide trees win.
+    let mut schedule = FaultSchedule::new();
+    for sid in 1..N as u32 {
+        schedule.push(
+            SimTime::ZERO,
+            Fault::Degrade {
+                src: StationId(0),
+                dst: StationId(sid),
+                bandwidth_factor: 1.0,
+                latency_factor: 2000.0,
+            },
+        );
+    }
+    let (mut probe, ids) = Network::<()>::uniform(N, healthy);
+    probe.set_faults(schedule);
+    probe.run_until(SimTime::from_micros(1), |_, _| {});
+    let measured = probe
+        .effective_path(ids[0], ids[1])
+        .expect("degraded, not cut");
+    let m1 = controller.replan(N as u64, small_object, measured, m0);
+
+    #[derive(Serialize)]
+    struct ReplanRow {
+        phase: String,
+        m: u64,
+        measured_bw: u64,
+        measured_lat_ms: u64,
+        completion_s: f64,
+    }
+    for (phase, m) in [("stale", m0), ("replanned", m1.unwrap_or(m0))] {
+        // The next broadcast wave runs under the degraded conditions
+        // whichever tree is used.
+        let (mut net, wave_ids) = Network::uniform(N, measured);
+        let tree = BroadcastTree::new(wave_ids, m);
+        let r = resilient_broadcast(&mut net, &tree, small_object, RetryPolicy::default());
+        let row = ReplanRow {
+            phase: phase.into(),
+            m,
+            measured_bw: measured.bandwidth,
+            measured_lat_ms: measured.latency.as_micros() / 1000,
+            completion_s: r.report.completion.as_secs_f64(),
+        };
+        println!(
+            "  {:>9}: m = {:>2}, wave completes in {:.2}s (measured link {} B/s, {} ms)",
+            row.phase, row.m, row.completion_s, row.measured_bw, row.measured_lat_ms
+        );
+        emit("e13b", &row);
+    }
+    if let Some(m1) = m1 {
+        println!("  controller replanned m: {m0} → {m1}");
+    } else {
+        println!("  controller kept m = {m0}");
+    }
+}

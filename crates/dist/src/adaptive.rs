@@ -118,6 +118,23 @@ impl AdaptiveController {
         self.best_m(n, kind.typical_size(), link)
     }
 
+    /// Re-evaluate the fan-out against a *measured* link spec mid-run
+    /// (e.g. [`netsim::Network::effective_path`] after a degradation
+    /// fault) — "adaptive to changing network conditions". Returns the
+    /// new fan-out only when it differs from `current_m`, so callers
+    /// can keep the running tree unless a change actually pays.
+    #[must_use]
+    pub fn replan(
+        &self,
+        n: u64,
+        object_bytes: u64,
+        measured: LinkSpec,
+        current_m: u64,
+    ) -> Option<u64> {
+        let best = self.best_m(n, object_bytes, measured);
+        (best != current_m).then_some(best)
+    }
+
     /// Build the broadcast tree this controller would use.
     #[must_use]
     pub fn plan_tree(
@@ -207,6 +224,22 @@ mod tests {
                 assert_eq!(predicted, measured, "n={n} m={m}");
             }
         }
+    }
+
+    #[test]
+    fn replan_fires_only_on_change() {
+        let c = AdaptiveController::default();
+        let healthy = LinkSpec::new(1_000_000, SimTime::from_millis(1));
+        let m0 = c.best_m(100, 8_000_000, healthy);
+        // Same conditions → keep the current tree.
+        assert_eq!(c.replan(100, 8_000_000, healthy, m0), None);
+        // Latency blown up 5000× (a degradation fault): shallower trees
+        // win, so the controller proposes a wider fan-out.
+        let degraded = healthy.scaled(1.0, 5000.0);
+        let m1 = c.replan(100, 1_000, degraded, m0);
+        assert!(m1.is_some_and(|m| m > m0), "{m0} → {m1:?}");
+        // And the proposal is a fixpoint.
+        assert_eq!(c.replan(100, 1_000, degraded, m1.unwrap()), None);
     }
 
     #[test]

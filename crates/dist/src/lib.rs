@@ -12,7 +12,11 @@
 //! * **instance → reference migration** after a lecture ends, so
 //!   student stations use buffer space only — [`migrate`];
 //! * the **adaptive fan-out controller** choosing m per population,
-//!   bandwidth and media type — [`adaptive`].
+//!   bandwidth and media type — [`adaptive`];
+//! * the **self-healing broadcast** — the same m-ary relay supervised
+//!   by root-side ACK timers, with bounded retries, deterministic
+//!   exponential backoff and formula-driven subtree re-parenting when
+//!   stations crash or links fail mid-run — [`resilient`].
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -21,6 +25,7 @@ pub mod adaptive;
 pub mod broadcast;
 pub mod demand;
 pub mod migrate;
+pub mod resilient;
 pub mod station;
 pub mod tree;
 
@@ -30,6 +35,7 @@ pub use broadcast::{
     CourseBroadcastReport, CourseObject,
 };
 pub use demand::{AccessEvent, DemandReport, DemandSim, DocSpec};
+pub use resilient::{repair_parent, resilient_broadcast, Packet, ResilientReport, RetryPolicy};
 pub use migrate::{LectureDoc, LectureSession, MigrationReport, MigrationSim};
 pub use station::{DiskSample, Replica, StationDocs};
 pub use tree::{child_index, child_position, parent_position, BroadcastTree};

@@ -1,0 +1,134 @@
+//! Property tests for tree repair under fault injection.
+//!
+//! Three families of invariants:
+//!
+//! 1. pure formula properties — the paper's child/parent position
+//!    formulas stay mutual inverses, and the [`repair_parent`] walk
+//!    always lands on a viable position (or the root) no matter which
+//!    positions are declared dead;
+//! 2. survivor delivery — for arbitrary crash schedules that never
+//!    touch the root, every station that is never crashed is confirmed
+//!    delivered, and `unreachable` never names a survivor;
+//! 3. no double delivery — without recoveries a station accepts the
+//!    object at most once, so `accepted` is bounded by the population.
+
+use netsim::{Fault, FaultSchedule, LinkSpec, Network, SimTime, StationId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use wdoc_dist::tree::{child_index, child_position, parent_position};
+use wdoc_dist::{repair_parent, resilient_broadcast, BroadcastTree, RetryPolicy};
+
+fn policy() -> RetryPolicy {
+    RetryPolicy::default()
+}
+
+/// Run a resilient broadcast over `n` uniform stations with stations in
+/// `crashed` (never the root) crashed at the given times.
+fn run_with_crashes(
+    n: u32,
+    m: u64,
+    object: u64,
+    crashes: &[(u32, u64)],
+) -> (wdoc_dist::ResilientReport, BTreeSet<u32>) {
+    let (mut net, ids) = Network::uniform(n as usize, LinkSpec::new(1_000_000, SimTime::ZERO));
+    let mut schedule = FaultSchedule::new();
+    let mut crashed = BTreeSet::new();
+    for &(sid, at_ms) in crashes {
+        let sid = 1 + sid % (n - 1); // never the root
+        schedule.push(
+            SimTime::from_millis(at_ms),
+            Fault::Crash {
+                station: StationId(sid),
+            },
+        );
+        crashed.insert(sid);
+    }
+    net.set_faults(schedule);
+    let tree = BroadcastTree::new(ids, m);
+    (resilient_broadcast(&mut net, &tree, object, policy()), crashed)
+}
+
+proptest! {
+    /// The paper's formulas are mutual inverses for any m ≥ 1, so
+    /// repair can navigate the tree from any position.
+    #[test]
+    fn formulas_are_mutual_inverses(n in 1u64..10_000, i_seed in 0u64..64, m in 1u64..64) {
+        let i = 1 + i_seed % m;
+        let k = child_position(n, i, m);
+        prop_assert_eq!(parent_position(k, m), n);
+        prop_assert_eq!(child_index(k, m), i);
+    }
+
+    /// The repair walk terminates at a viable ancestor or the root,
+    /// regardless of which positions are dead.
+    #[test]
+    fn repair_walk_always_lands_viable(
+        n in 2u32..300,
+        m in 1u64..8,
+        dead in proptest::collection::vec(2u64..300, 0..40),
+        pos_seed in 0u64..300,
+    ) {
+        let ids: Vec<_> = (0..n).map(StationId).collect();
+        let tree = BroadcastTree::new(ids, m);
+        let dead: BTreeSet<u64> = dead.into_iter().filter(|&d| d <= n as u64).collect();
+        let pos = 2 + pos_seed % (n as u64 - 1);
+        let viable = |p: u64| p != 1 && !dead.contains(&p);
+        let repaired = repair_parent(&tree, pos, viable);
+        // Lands on the root or a live ancestor…
+        prop_assert!(repaired == 1 || viable(repaired));
+        // …that really is an ancestor by the parent formula.
+        if repaired != 1 {
+            prop_assert!(tree.ancestors_of(pos).contains(&repaired));
+        }
+        // And after re-parenting the two formulas still locate every
+        // other station: the repair bypasses links, it never rewrites
+        // the position arithmetic.
+        for k in 2..=n as u64 {
+            let p = parent_position(k, m);
+            prop_assert!(tree.children_of(p).contains(&k));
+        }
+    }
+
+    /// Every never-crashed station ends up confirmed delivered, and no
+    /// survivor is ever declared unreachable.
+    #[test]
+    fn survivors_are_always_delivered(
+        n in 2u32..40,
+        m in 1u64..6,
+        crashes in proptest::collection::vec((0u32..40, 0u64..4_000), 0..6),
+    ) {
+        let (r, crashed) = run_with_crashes(n, m, 500_000, &crashes);
+        for sid in 1..n {
+            if !crashed.contains(&sid) {
+                prop_assert!(
+                    r.report.arrivals.contains_key(&sid),
+                    "survivor {} not delivered (crashed: {:?})", sid, crashed
+                );
+            }
+        }
+        for &u in &r.unreachable {
+            prop_assert!(crashed.contains(&u), "survivor {} declared unreachable", u);
+        }
+        // Unreachable and delivered partition the non-root stations.
+        prop_assert_eq!(r.unreachable.len() + r.report.arrivals.len(), n as usize - 1);
+    }
+
+    /// Without recoveries a station never accepts the object twice:
+    /// accepted stays within the population and every redundant
+    /// delivery is counted as a duplicate instead.
+    #[test]
+    fn no_double_delivery_without_recovery(
+        n in 2u32..40,
+        m in 1u64..6,
+        crashes in proptest::collection::vec((0u32..40, 0u64..4_000), 0..6),
+    ) {
+        let (r, _) = run_with_crashes(n, m, 500_000, &crashes);
+        prop_assert!(r.accepted < n as u64, "accepted {} > n-1", r.accepted);
+        prop_assert_eq!(r.accepted, r.report.arrivals.len() as u64);
+        // Fault-free runs have no duplicates at all.
+        if crashes.is_empty() {
+            prop_assert_eq!(r.duplicates, 0);
+            prop_assert_eq!(r.retries, 0);
+        }
+    }
+}

@@ -33,11 +33,13 @@
 #![warn(clippy::all)]
 
 pub mod event;
+pub mod fault;
 pub mod sim;
 pub mod time;
 pub mod topology;
 
 pub use event::EventQueue;
+pub use fault::{Fault, FaultSchedule, SendError};
 pub use sim::{Message, Network};
 pub use time::SimTime;
 pub use topology::{LinkSpec, StationId, StationStats, Topology};

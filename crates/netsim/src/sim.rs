@@ -17,8 +17,16 @@
 //! granularity — a relay must finish receiving an object before it can
 //! forward it — matching a station that spools a file to disk before
 //! re-serving it.
+//!
+//! ## Faults
+//!
+//! An optional [`FaultSchedule`] injects deterministic link and station
+//! failures (see [`crate::fault`] for the exact semantics). Without a
+//! schedule every fault check short-circuits, so a fault-free run is
+//! bit-identical to the pre-fault-layer simulator.
 
 use crate::event::EventQueue;
+use crate::fault::{FaultSchedule, FaultState, SendError};
 use crate::time::SimTime;
 use crate::topology::{LinkSpec, StationId, StationStats, Topology};
 
@@ -35,14 +43,27 @@ pub struct Message<P> {
     pub payload: P,
 }
 
+/// Internal queue entry: the message plus what the fault layer needs to
+/// decide, at delivery time, whether the transfer survived.
+struct Envelope<P> {
+    msg: Message<P>,
+    /// When the send was issued (fault cut clocks compare against it).
+    sent_at: SimTime,
+    /// The path was already cut (or the receiver down) at send time.
+    doomed: bool,
+}
+
 /// The discrete-event network simulator.
 pub struct Network<P> {
     topo: Topology,
-    queue: EventQueue<Message<P>>,
+    queue: EventQueue<Envelope<P>>,
     now: SimTime,
     total_bytes: u64,
     total_msgs: u64,
     last_delivery: SimTime,
+    faults: Option<FaultState>,
+    dropped_msgs: u64,
+    dropped_bytes: u64,
 }
 
 impl<P> Network<P> {
@@ -56,6 +77,9 @@ impl<P> Network<P> {
             total_bytes: 0,
             total_msgs: 0,
             last_delivery: SimTime::ZERO,
+            faults: None,
+            dropped_msgs: 0,
+            dropped_bytes: 0,
         }
     }
 
@@ -76,10 +100,107 @@ impl<P> Network<P> {
         &mut self.topo
     }
 
+    /// Inject a fault schedule. Events apply as simulated time reaches
+    /// them; events at or before the current time apply on the next
+    /// send/schedule/run step. Replaces any earlier schedule (overlays
+    /// and cut history from it are discarded).
+    pub fn set_faults(&mut self, schedule: FaultSchedule) {
+        self.faults = Some(FaultState::new(schedule));
+    }
+
+    /// True if `id` is currently crashed (fault events applied so far).
+    #[must_use]
+    pub fn is_down(&self, id: StationId) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.is_down(id))
+    }
+
+    /// Time of `id`'s most recent crash, if it ever crashed. This is
+    /// the epoch that invalidated its pre-crash state; station logic
+    /// can compare it against its own timestamps to model volatile
+    /// state lost in the crash.
+    #[must_use]
+    pub fn last_crash(&self, id: StationId) -> Option<SimTime> {
+        self.faults.as_ref().and_then(|f| f.last_crash(id))
+    }
+
+    /// The spec a send `src → dst` would use right now: the static
+    /// topology path with any degradation overlay applied, or `None`
+    /// when the path is partitioned or either endpoint is down.
+    #[must_use]
+    pub fn effective_path(&self, src: StationId, dst: StationId) -> Option<LinkSpec> {
+        let spec = self.topo.path(src, dst);
+        match &self.faults {
+            None => Some(spec),
+            Some(f) => {
+                if f.is_down(src) || f.dooms(src, dst) {
+                    None
+                } else {
+                    Some(f.apply(src, dst, spec))
+                }
+            }
+        }
+    }
+
+    /// Messages dropped by fault injection so far (in-flight kills,
+    /// doomed sends, and sends refused because the sender was down).
+    #[must_use]
+    pub fn dropped_msgs(&self) -> u64 {
+        self.dropped_msgs
+    }
+
+    /// Bytes dropped by fault injection so far.
+    #[must_use]
+    pub fn dropped_bytes(&self) -> u64 {
+        self.dropped_bytes
+    }
+
+    fn advance_faults(&mut self, now: SimTime) {
+        if let Some(f) = &mut self.faults {
+            f.advance(now);
+        }
+    }
+
     /// Send `bytes` from `src` to `dst`; the payload is delivered to the
     /// run handler at the computed arrival time. Returns that time.
+    ///
+    /// If the sender is currently crashed the send is silently dropped
+    /// (counted in [`Network::dropped_msgs`]) and the current time is
+    /// returned — use [`Network::try_send`] to observe the error.
     pub fn send(&mut self, src: StationId, dst: StationId, bytes: u64, payload: P) -> SimTime {
-        let path = self.topo.path(src, dst);
+        match self.try_send(src, dst, bytes, payload) {
+            Ok(at) => at,
+            Err(SendError::SenderDown(_)) => {
+                self.dropped_msgs += 1;
+                self.dropped_bytes += bytes;
+                self.now
+            }
+        }
+    }
+
+    /// Like [`Network::send`], but errs when the sender is crashed.
+    ///
+    /// # Errors
+    /// [`SendError::SenderDown`] if `src` is down at the current time.
+    pub fn try_send(
+        &mut self,
+        src: StationId,
+        dst: StationId,
+        bytes: u64,
+        payload: P,
+    ) -> Result<SimTime, SendError> {
+        self.advance_faults(self.now);
+        let (path, doomed) = match &self.faults {
+            None => (self.topo.path(src, dst), false),
+            Some(f) => {
+                if f.is_down(src) {
+                    return Err(SendError::SenderDown(src));
+                }
+                (
+                    f.apply(src, dst, self.topo.path(src, dst)),
+                    f.dooms(src, dst),
+                )
+            }
+        };
         let s = &mut self.topo.stations[src.0 as usize];
         let start = s.uplink_free.max(self.now);
         let done = start + SimTime::transfer(bytes, path.bandwidth);
@@ -89,42 +210,73 @@ impl<P> Network<P> {
         let arrival = done + path.latency;
         self.queue.push(
             arrival,
-            Message {
-                src,
-                dst,
-                bytes,
-                payload,
+            Envelope {
+                msg: Message {
+                    src,
+                    dst,
+                    bytes,
+                    payload,
+                },
+                sent_at: self.now,
+                doomed,
             },
         );
-        arrival
+        Ok(arrival)
     }
 
     /// Schedule a local event on `station` at absolute time `at` without
     /// consuming any network capacity (timers, lecture start/end).
+    ///
+    /// A timer scheduled on a crashed station — or outlived by a later
+    /// crash of it — never fires, even after recovery: crashes wipe
+    /// volatile state.
     pub fn schedule(&mut self, station: StationId, at: SimTime, payload: P) {
+        self.advance_faults(self.now);
+        let doomed = self.faults.as_ref().is_some_and(|f| f.is_down(station));
         let at = at.max(self.now);
         self.queue.push(
             at,
-            Message {
-                src: station,
-                dst: station,
-                bytes: 0,
-                payload,
+            Envelope {
+                msg: Message {
+                    src: station,
+                    dst: station,
+                    bytes: 0,
+                    payload,
+                },
+                sent_at: self.now,
+                doomed,
             },
         );
+    }
+
+    /// Pop the next queue entry, advance time and the fault state to
+    /// it, and return it if it survives the fault checks.
+    fn next_delivery(&mut self) -> Option<Message<P>> {
+        while let Some((at, env)) = self.queue.pop() {
+            self.now = at;
+            if let Some(f) = &mut self.faults {
+                f.advance(at);
+                if env.doomed || f.cut_since(env.msg.src, env.msg.dst, env.sent_at) {
+                    self.dropped_msgs += 1;
+                    self.dropped_bytes += env.msg.bytes;
+                    continue;
+                }
+            }
+            let d = &mut self.topo.stations[env.msg.dst.0 as usize];
+            d.rx_bytes += env.msg.bytes;
+            d.rx_msgs += 1;
+            self.total_bytes += env.msg.bytes;
+            self.total_msgs += 1;
+            self.last_delivery = at;
+            return Some(env.msg);
+        }
+        None
     }
 
     /// Run until the event queue drains, calling `handler` for every
     /// delivered message. The handler can send further messages.
     pub fn run(&mut self, mut handler: impl FnMut(&mut Network<P>, Message<P>)) {
-        while let Some((at, msg)) = self.queue.pop() {
-            self.now = at;
-            let d = &mut self.topo.stations[msg.dst.0 as usize];
-            d.rx_bytes += msg.bytes;
-            d.rx_msgs += 1;
-            self.total_bytes += msg.bytes;
-            self.total_msgs += 1;
-            self.last_delivery = at;
+        while let Some(msg) = self.next_delivery() {
             handler(self, msg);
         }
     }
@@ -136,23 +288,25 @@ impl<P> Network<P> {
         deadline: SimTime,
         mut handler: impl FnMut(&mut Network<P>, Message<P>),
     ) -> bool {
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                self.now = self.now.max(deadline);
-                return true;
+        loop {
+            match self.queue.peek_time() {
+                Some(at) if at > deadline => {
+                    self.now = self.now.max(deadline);
+                    self.advance_faults(deadline);
+                    return true;
+                }
+                Some(_) => {
+                    if let Some(msg) = self.next_delivery() {
+                        handler(self, msg);
+                    }
+                }
+                None => {
+                    self.now = self.now.max(deadline);
+                    self.advance_faults(deadline);
+                    return false;
+                }
             }
-            let (at, msg) = self.queue.pop().expect("peeked");
-            self.now = at;
-            let d = &mut self.topo.stations[msg.dst.0 as usize];
-            d.rx_bytes += msg.bytes;
-            d.rx_msgs += 1;
-            self.total_bytes += msg.bytes;
-            self.total_msgs += 1;
-            self.last_delivery = at;
-            handler(self, msg);
         }
-        self.now = self.now.max(deadline);
-        false
     }
 
     /// Total bytes delivered so far.
@@ -197,6 +351,7 @@ impl<P> Network<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::Fault;
 
     fn mbps(m: u64) -> u64 {
         m * 1_000_000 / 8
@@ -298,5 +453,138 @@ mod tests {
         assert_eq!(net.now(), SimTime::from_secs(5));
         net.run(|_, m| seen.push(m.payload));
         assert_eq!(seen, vec![1, 2]);
+    }
+
+    // ------------------------------------------------------ fault layer
+
+    #[test]
+    fn crash_drops_in_flight_message() {
+        // 1 MB at 1 MB/s arrives at 1 s; receiver crashes at 0.5 s.
+        let (mut net, ids) = Network::uniform(2, LinkSpec::new(1_000_000, SimTime::ZERO));
+        net.set_faults(
+            FaultSchedule::new().at(SimTime::from_millis(500), Fault::Crash { station: ids[1] }),
+        );
+        net.send(ids[0], ids[1], 1_000_000, ());
+        let mut delivered = 0;
+        net.run(|_, _| delivered += 1);
+        assert_eq!(delivered, 0);
+        assert_eq!(net.dropped_msgs(), 1);
+        assert_eq!(net.dropped_bytes(), 1_000_000);
+        // The sender still burned its uplink; the receiver got nothing.
+        assert_eq!(net.station_stats(ids[0]).tx_bytes, 1_000_000);
+        assert_eq!(net.station_stats(ids[1]).rx_bytes, 0);
+        assert_eq!(net.total_bytes(), 0);
+    }
+
+    #[test]
+    fn send_from_crashed_station_errors_out() {
+        let (mut net, ids) = Network::uniform(2, LinkSpec::lan());
+        net.set_faults(FaultSchedule::new().at(SimTime::ZERO, Fault::Crash { station: ids[0] }));
+        assert_eq!(
+            net.try_send(ids[0], ids[1], 100, ()),
+            Err(SendError::SenderDown(ids[0]))
+        );
+        // send() degrades to a counted drop.
+        net.send(ids[0], ids[1], 100, ());
+        assert_eq!(net.dropped_msgs(), 1);
+        let mut delivered = 0;
+        net.run(|_, _| delivered += 1);
+        assert_eq!(delivered, 0);
+    }
+
+    #[test]
+    fn recovery_allows_later_sends_only() {
+        let spec = LinkSpec::new(1_000_000, SimTime::ZERO);
+        let (mut net, ids) = Network::uniform(2, spec);
+        net.set_faults(
+            FaultSchedule::new()
+                .at(SimTime::ZERO, Fault::Crash { station: ids[1] })
+                .at(SimTime::from_secs(2), Fault::Recover { station: ids[1] }),
+        );
+        // Sent while down: doomed even though it would arrive after
+        // recovery (the receiver missed the start of the transfer).
+        net.send(ids[0], ids[1], 3_000_000, 1);
+        let mut got = Vec::new();
+        net.run(|n, m| got.push((m.payload, n.now())));
+        assert!(got.is_empty());
+        // A fresh send after recovery gets through.
+        net.send(ids[0], ids[1], 1_000_000, 2);
+        net.run(|n, m| got.push((m.payload, n.now())));
+        assert_eq!(got, vec![(2, SimTime::from_secs(4))]);
+        assert_eq!(net.last_crash(ids[1]), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn partition_dooms_and_heals() {
+        let spec = LinkSpec::new(1_000_000, SimTime::ZERO);
+        let (mut net, ids) = Network::uniform(2, spec);
+        net.set_faults(
+            FaultSchedule::new()
+                .at(SimTime::ZERO, Fault::Partition { src: ids[0], dst: ids[1] })
+                .at(SimTime::from_secs(5), Fault::Heal { src: ids[0], dst: ids[1] }),
+        );
+        net.send(ids[0], ids[1], 1_000_000, 1);
+        let mut got = Vec::new();
+        net.run(|n, m| got.push((m.payload, n.now())));
+        assert!(got.is_empty());
+        assert_eq!(net.effective_path(ids[0], ids[1]), None);
+        // After the heal (run() drained at 1 s; advance via run_until).
+        net.run_until(SimTime::from_secs(5), |_, _| {});
+        assert_eq!(net.effective_path(ids[0], ids[1]), Some(spec));
+        net.send(ids[0], ids[1], 1_000_000, 2);
+        net.run(|n, m| got.push((m.payload, n.now())));
+        assert_eq!(got, vec![(2, SimTime::from_secs(6))]);
+    }
+
+    #[test]
+    fn degrade_slows_subsequent_sends() {
+        let spec = LinkSpec::new(1_000_000, SimTime::ZERO);
+        let (mut net, ids) = Network::uniform(2, spec);
+        net.set_faults(FaultSchedule::new().at(
+            SimTime::from_secs(1),
+            Fault::Degrade {
+                src: ids[0],
+                dst: ids[1],
+                bandwidth_factor: 0.5,
+                latency_factor: 1.0,
+            },
+        ));
+        // Sent before the degrade: unaffected (arrives at 1 s).
+        net.send(ids[0], ids[1], 1_000_000, 1);
+        let mut got = Vec::new();
+        net.run(|n, m| {
+            got.push((m.payload, n.now()));
+            if m.payload == 1 {
+                // Sent at 1 s under the overlay: 2 s transfer.
+                n.send(m.dst, m.src, 0, 0); // keep handler simple
+                n.send(ids[0], ids[1], 1_000_000, 2);
+            }
+        });
+        assert!(got.contains(&(1, SimTime::from_secs(1))));
+        assert!(got.contains(&(2, SimTime::from_secs(3))));
+        assert_eq!(
+            net.effective_path(ids[0], ids[1]),
+            Some(LinkSpec::new(500_000, SimTime::ZERO))
+        );
+    }
+
+    #[test]
+    fn crash_kills_pending_timers_even_after_recovery() {
+        let (mut net, ids) = Network::uniform(1, LinkSpec::lan());
+        net.set_faults(
+            FaultSchedule::new()
+                .at(SimTime::from_secs(1), Fault::Crash { station: ids[0] })
+                .at(SimTime::from_secs(2), Fault::Recover { station: ids[0] }),
+        );
+        net.schedule(ids[0], SimTime::from_millis(500), "before-crash");
+        net.schedule(ids[0], SimTime::from_secs(5), "stale-after-recovery");
+        let mut fired = Vec::new();
+        net.run(|_, m| fired.push(m.payload));
+        // Pre-crash timer fires; the one outlived by the crash does not.
+        assert_eq!(fired, vec!["before-crash"]);
+        // A timer set after recovery fires normally.
+        net.schedule(ids[0], SimTime::from_secs(6), "fresh");
+        net.run(|_, m| fired.push(m.payload));
+        assert_eq!(fired, vec!["before-crash", "fresh"]);
     }
 }

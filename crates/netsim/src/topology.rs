@@ -54,6 +54,20 @@ impl LinkSpec {
     pub fn modem() -> Self {
         LinkSpec::new(4_200, SimTime::from_millis(120))
     }
+
+    /// This spec with bandwidth and latency scaled by the given
+    /// factors (used by fault-injection degradation overlays; rounding
+    /// is to the nearest byte/s and microsecond, so the result is a
+    /// pure function of the inputs).
+    #[must_use]
+    pub fn scaled(self, bandwidth_factor: f64, latency_factor: f64) -> LinkSpec {
+        LinkSpec {
+            bandwidth: (self.bandwidth as f64 * bandwidth_factor).round() as u64,
+            latency: SimTime::from_micros(
+                (self.latency.as_micros() as f64 * latency_factor).round() as u64,
+            ),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -163,6 +177,18 @@ mod tests {
         assert_eq!(t.path(a, b), LinkSpec::modem());
         // Reverse direction unaffected.
         assert_eq!(t.path(b, a), LinkSpec::lan());
+    }
+
+    #[test]
+    fn scaled_spec_rounds_deterministically() {
+        let s = LinkSpec::new(1_000_000, SimTime::from_millis(10));
+        assert_eq!(
+            s.scaled(0.5, 2.0),
+            LinkSpec::new(500_000, SimTime::from_millis(20))
+        );
+        assert_eq!(s.scaled(1.0, 1.0), s);
+        // Factor 0 saturates transfers visibly (see SimTime::transfer).
+        assert_eq!(s.scaled(0.0, 1.0).bandwidth, 0);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Deterministic-replay regression tests for fault injection.
+//!
+//! A simulation run is a pure function of (topology, send script, fault
+//! schedule): replaying the same inputs must reproduce the identical
+//! delivery trace, drop counters and per-station stats — and an *empty*
+//! schedule must be observationally identical to never installing one.
+
+use netsim::{Fault, FaultSchedule, LinkSpec, Network, SimTime, StationId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Full observable outcome of a run, for exact comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Trace {
+    deliveries: Vec<(u64, StationId, StationId, u64, usize)>,
+    dropped_msgs: u64,
+    dropped_bytes: u64,
+    total_bytes: u64,
+    total_msgs: u64,
+    final_now: SimTime,
+    stats: Vec<(u64, u64, u64, u64)>,
+}
+
+/// Drive a seeded random send script over a 6-station network with the
+/// given schedule, relaying every delivery once to spread activity
+/// across the fault window.
+fn run_seeded(seed: u64, schedule: Option<FaultSchedule>) -> Trace {
+    let n = 6u32;
+    let (mut net, ids) = Network::uniform(n as usize, LinkSpec::new(500_000, SimTime::from_millis(7)));
+    if let Some(s) = schedule {
+        net.set_faults(s);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..40usize {
+        let src = ids[rng.gen_range(0..n) as usize];
+        let dst = ids[rng.gen_range(0..n) as usize];
+        let bytes = rng.gen_range(1u64..400_000);
+        net.send(src, dst, bytes, i);
+    }
+    let mut deliveries = Vec::new();
+    net.run(|net, m| {
+        deliveries.push((net.now().as_micros(), m.src, m.dst, m.bytes, m.payload));
+        // One bounce keeps traffic flowing while faults fire.
+        if m.payload < 40 && m.bytes > 1 {
+            net.send(m.dst, m.src, m.bytes / 2, m.payload + 100);
+        }
+    });
+    Trace {
+        deliveries,
+        dropped_msgs: net.dropped_msgs(),
+        dropped_bytes: net.dropped_bytes(),
+        total_bytes: net.total_bytes(),
+        total_msgs: net.total_msgs(),
+        final_now: net.now(),
+        stats: (0..n)
+            .map(|i| {
+                let s = net.station_stats(StationId(i));
+                (s.tx_bytes, s.rx_bytes, s.tx_msgs, s.rx_msgs)
+            })
+            .collect(),
+    }
+}
+
+/// A schedule exercising every fault kind within the busy window.
+fn eventful_schedule() -> FaultSchedule {
+    FaultSchedule::new()
+        .at(
+            SimTime::from_millis(200),
+            Fault::Degrade {
+                src: StationId(0),
+                dst: StationId(1),
+                bandwidth_factor: 0.25,
+                latency_factor: 3.0,
+            },
+        )
+        .at(SimTime::from_millis(400), Fault::Crash { station: StationId(2) })
+        .at(
+            SimTime::from_millis(600),
+            Fault::Partition {
+                src: StationId(3),
+                dst: StationId(4),
+            },
+        )
+        .at(SimTime::from_secs(2), Fault::Recover { station: StationId(2) })
+        .at(
+            SimTime::from_secs(3),
+            Fault::Heal {
+                src: StationId(3),
+                dst: StationId(4),
+            },
+        )
+}
+
+#[test]
+fn identical_inputs_replay_identically() {
+    for seed in [1u64, 7, 42, 1999] {
+        let a = run_seeded(seed, Some(eventful_schedule()));
+        let b = run_seeded(seed, Some(eventful_schedule()));
+        assert_eq!(a, b, "seed {seed}");
+        // The schedule actually bit: something must have been dropped.
+        assert!(a.dropped_msgs > 0, "seed {seed}: schedule never fired");
+    }
+}
+
+#[test]
+fn different_schedules_diverge() {
+    // Sanity check that the trace is sensitive to the schedule at all
+    // (otherwise the replay test above proves nothing).
+    let a = run_seeded(42, Some(eventful_schedule()));
+    let b = run_seeded(42, None);
+    assert_ne!(a.deliveries, b.deliveries);
+    assert_eq!(b.dropped_msgs, 0);
+}
+
+#[test]
+fn empty_schedule_is_observationally_absent() {
+    // Acceptance criterion: installing an empty schedule changes
+    // nothing — same deliveries, same stats, same clock, bit for bit.
+    for seed in [3u64, 99, 2024] {
+        let bare = run_seeded(seed, None);
+        let empty = run_seeded(seed, Some(FaultSchedule::new()));
+        assert_eq!(bare, empty, "seed {seed}");
+    }
+}
+
+#[test]
+fn late_events_apply_even_after_queue_drains() {
+    // run_until advances the fault cursor to its deadline so state
+    // queries (is_down, effective_path) reflect the schedule even when
+    // no message crossed the event times.
+    let (mut net, ids) = Network::<()>::uniform(2, LinkSpec::lan());
+    net.set_faults(
+        FaultSchedule::new()
+            .at(SimTime::from_secs(1), Fault::Crash { station: ids[1] })
+            .at(
+                SimTime::from_secs(2),
+                Fault::Degrade {
+                    src: ids[0],
+                    dst: ids[1],
+                    bandwidth_factor: 0.5,
+                    latency_factor: 1.0,
+                },
+            ),
+    );
+    assert!(!net.is_down(ids[1]));
+    net.run_until(SimTime::from_millis(1500), |_, _| {});
+    assert!(net.is_down(ids[1]));
+    assert_eq!(net.effective_path(ids[0], ids[1]), None, "receiver down");
+    net.run_until(SimTime::from_secs(3), |_, _| {});
+    // Still down (no Recover); degradation recorded underneath.
+    assert!(net.is_down(ids[1]));
+    assert_eq!(net.last_crash(ids[1]), Some(SimTime::from_secs(1)));
+}
