@@ -57,7 +57,12 @@ fn run_cell(p: f64, m: u64, link: LinkSpec, seed: u64) -> Row {
     for sid in 1..N as u32 {
         if rng.gen_bool(p) {
             let at = SimTime::from_micros(rng.gen_range(0..=horizon));
-            schedule.push(at, Fault::Crash { station: StationId(sid) });
+            schedule.push(
+                at,
+                Fault::Crash {
+                    station: StationId(sid),
+                },
+            );
             crashed.push(sid);
         }
     }
@@ -93,10 +98,23 @@ fn main() {
         (&[0.0, 0.05, 0.15, 0.3], &[1, 2, 3, 4, 6, 8])
     };
 
-    println!("E13: failure sweep, N = {N}, {} MB object, 1 MB/s + 10 ms links", OBJECT / 1_000_000);
+    println!(
+        "E13: failure sweep, N = {N}, {} MB object, 1 MB/s + 10 ms links",
+        OBJECT / 1_000_000
+    );
     println!(
         "{:>6} {:>3} {:>7} {:>9} {:>9} {:>11} {:>7} {:>8} {:>11} {:>5} {:>7}",
-        "p", "m", "crashed", "deliv%", "surv-ok", "complete s", "retries", "reparent", "unreachable", "dups", "dropped"
+        "p",
+        "m",
+        "crashed",
+        "deliv%",
+        "surv-ok",
+        "complete s",
+        "retries",
+        "reparent",
+        "unreachable",
+        "dups",
+        "dropped"
     );
     for &p in ps {
         for &m in ms {

@@ -62,6 +62,13 @@ pub struct WebDocDb {
     rel: Database,
     blobs: BlobStore,
     diagram: IntegrityDiagram,
+    durable: Option<Durable>,
+}
+
+/// The on-disk attachments of a durably opened station.
+struct Durable {
+    wal: std::sync::Arc<wal::Wal>,
+    blobs_path: std::path::PathBuf,
 }
 
 impl Default for WebDocDb {
@@ -75,8 +82,20 @@ impl WebDocDb {
     #[must_use]
     pub fn new() -> Self {
         let rel = Database::new();
-        // Creation order respects foreign-key dependencies.
-        for schema in [
+        for schema in Self::station_schemas() {
+            rel.create_table(schema).expect("static schemas install");
+        }
+        WebDocDb {
+            rel,
+            blobs: BlobStore::new(),
+            diagram: IntegrityDiagram::paper_default(),
+            durable: None,
+        }
+    }
+
+    /// The paper's full schema, in foreign-key dependency order.
+    fn station_schemas() -> [relstore::TableSchema; 10] {
+        [
             tables::database_schema(),
             Script::schema(),
             Implementation::schema(),
@@ -87,14 +106,85 @@ impl WebDocDb {
             ProgramFile::schema(),
             tables::resource_schema(Script::RESOURCES, Script::TABLE, "name"),
             tables::resource_schema(Implementation::RESOURCES, Implementation::TABLE, "url"),
-        ] {
-            rel.create_table(schema).expect("static schemas install");
+        ]
+    }
+
+    /// Open (or create) a **durable** station database rooted at `dir`.
+    ///
+    /// The relational layer is write-ahead logged to `dir/wal.log`:
+    /// opening runs crash recovery over whatever survived the last
+    /// session, installs the paper's schema on a fresh log (so the DDL
+    /// itself is logged), and attaches the log so every subsequent
+    /// transaction is durable. The BLOB layer is persisted to
+    /// `dir/blobs.json` **at checkpoints only** — BLOBs are bulky,
+    /// immutable media whose loss is repairable by re-replication,
+    /// so they ride [`WebDocDb::checkpoint`] rather than the log.
+    pub fn open_durable(
+        dir: &std::path::Path,
+        opts: wal::WalOptions,
+    ) -> Result<(WebDocDb, wal::RecoveryReport)> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CoreError::Durability(format!("create {}: {e}", dir.display())))?;
+        let log_path = dir.join("wal.log");
+        let blobs_path = dir.join("blobs.json");
+        let (rel, wal, report) = wal::open_durable(&log_path, opts)?;
+        if report.records_scanned == 0 {
+            // Fresh log: install the schema through the attached sink
+            // so recovery replays it next time.
+            for schema in Self::station_schemas() {
+                rel.create_table(schema)?;
+            }
         }
-        WebDocDb {
-            rel,
-            blobs: BlobStore::new(),
-            diagram: IntegrityDiagram::paper_default(),
+        let blobs = BlobStore::new();
+        match std::fs::read_to_string(&blobs_path) {
+            Ok(text) => {
+                let exports: Vec<BlobExport> = serde_json::from_str(&text)
+                    .map_err(|e| CoreError::Durability(format!("blobs.json corrupt: {e}")))?;
+                blobs.import(exports);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(CoreError::Durability(format!("read blobs.json: {e}")));
+            }
         }
+        Ok((
+            WebDocDb {
+                rel,
+                blobs,
+                diagram: IntegrityDiagram::paper_default(),
+                durable: Some(Durable { wal, blobs_path }),
+            },
+            report,
+        ))
+    }
+
+    /// Checkpoint a durable station: embed a transaction-consistent
+    /// snapshot in the log (bounding future recovery time) and persist
+    /// the BLOB layer beside it. Returns the checkpoint's LSN.
+    ///
+    /// Errors with [`CoreError::InvalidInput`] on a non-durable
+    /// (in-memory) station.
+    pub fn checkpoint(&self) -> Result<wal::Lsn> {
+        let Some(d) = &self.durable else {
+            return Err(CoreError::InvalidInput(
+                "checkpoint on a non-durable station".into(),
+            ));
+        };
+        let lsn = d.wal.checkpoint(&self.rel)?;
+        let text = serde_json::to_string(&self.blobs.export())
+            .map_err(|e| CoreError::Durability(format!("serialize blobs: {e}")))?;
+        let tmp = d.blobs_path.with_extension("json.tmp");
+        std::fs::write(&tmp, text)
+            .map_err(|e| CoreError::Durability(format!("write blobs: {e}")))?;
+        std::fs::rename(&tmp, &d.blobs_path)
+            .map_err(|e| CoreError::Durability(format!("publish blobs: {e}")))?;
+        Ok(lsn)
+    }
+
+    /// The write-ahead log handle, when opened durably.
+    #[must_use]
+    pub fn wal(&self) -> Option<&std::sync::Arc<wal::Wal>> {
+        self.durable.as_ref().map(|d| &d.wal)
     }
 
     /// The relational substrate (escape hatch for tools and tests).
@@ -665,6 +755,7 @@ impl WebDocDb {
             rel,
             blobs,
             diagram: IntegrityDiagram::paper_default(),
+            durable: None,
         })
     }
 

@@ -26,6 +26,8 @@ pub enum CoreError {
         /// What they attempted.
         action: String,
     },
+    /// The durability layer failed: log I/O, corruption, or recovery.
+    Durability(String),
 }
 
 impl fmt::Display for CoreError {
@@ -40,6 +42,7 @@ impl fmt::Display for CoreError {
             CoreError::Forbidden { user, action } => {
                 write!(f, "`{user}` is not permitted to {action}")
             }
+            CoreError::Durability(msg) => write!(f, "durability: {msg}"),
         }
     }
 }
@@ -56,6 +59,12 @@ impl std::error::Error for CoreError {
 impl From<relstore::Error> for CoreError {
     fn from(e: relstore::Error) -> Self {
         CoreError::Store(e)
+    }
+}
+
+impl From<wal::WalError> for CoreError {
+    fn from(e: wal::WalError) -> Self {
+        CoreError::Durability(e.to_string())
     }
 }
 

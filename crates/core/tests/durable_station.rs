@@ -1,0 +1,111 @@
+//! Durable station lifecycle: open → author → checkpoint → crash →
+//! reopen, through the typed `WebDocDb` API.
+
+use blobstore::MediaKind;
+use std::path::PathBuf;
+use wdoc_core::dbms::{DatabaseInfo, WebDocDb};
+use wdoc_core::ids::{DbName, ScriptName, UserId};
+use wdoc_core::tables::Script;
+use wdoc_core::CoreError;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wdoc-durable-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn course_db() -> DatabaseInfo {
+    DatabaseInfo {
+        name: DbName::new("mm-course"),
+        keywords: vec!["multimedia".into()],
+        author: UserId::new("prof-shih"),
+        version: 1,
+        created: 42,
+    }
+}
+
+fn script(name: &str) -> Script {
+    Script {
+        name: ScriptName::new(name),
+        db: DbName::new("mm-course"),
+        keywords: vec!["lecture".into()],
+        author: UserId::new("prof-shih"),
+        version: 1,
+        created: 43,
+        description: "week one".into(),
+        expected_completion: None,
+        percent_complete: 10,
+    }
+}
+
+#[test]
+fn committed_state_survives_crash_and_reopen() {
+    let dir = temp_dir("survive");
+
+    {
+        let (db, report) = WebDocDb::open_durable(&dir, wal::WalOptions::default()).unwrap();
+        assert!(report.winners.is_empty(), "fresh log has no transactions");
+        db.create_database(&course_db()).unwrap();
+        db.add_script(&script("s1")).unwrap();
+        db.add_script(&script("s2")).unwrap();
+        // Dropping without checkpoint = crash; the log alone must carry
+        // the relational state.
+    }
+
+    let (db, report) = WebDocDb::open_durable(&dir, wal::WalOptions::default()).unwrap();
+    assert!(report.losers.is_empty());
+    assert_eq!(db.databases().unwrap().len(), 1);
+    assert_eq!(db.scripts_in(&DbName::new("mm-course")).unwrap().len(), 2);
+    assert_eq!(
+        db.script(&ScriptName::new("s1")).unwrap().description,
+        "week one"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn blobs_ride_checkpoints() {
+    let dir = temp_dir("blobs");
+    let payload = vec![7u8; 4096];
+
+    {
+        let (db, _) = WebDocDb::open_durable(&dir, wal::WalOptions::default()).unwrap();
+        db.create_database(&course_db()).unwrap();
+        db.add_script(&script("s1")).unwrap();
+        db.attach_script_resource(
+            &ScriptName::new("s1"),
+            MediaKind::StillImage,
+            payload.clone(),
+        )
+        .unwrap();
+        let lsn = db.checkpoint().unwrap();
+        assert!(lsn > 0);
+        // More relational work after the checkpoint still recovers from
+        // the log tail.
+        db.add_script(&script("s2")).unwrap();
+    }
+
+    let (db, report) = WebDocDb::open_durable(&dir, wal::WalOptions::default()).unwrap();
+    assert!(
+        report.checkpoint_lsn.is_some(),
+        "recovery restored the checkpoint"
+    );
+    assert_eq!(db.scripts_in(&DbName::new("mm-course")).unwrap().len(), 2);
+    let resources = db.script_resources(&ScriptName::new("s1")).unwrap();
+    assert_eq!(resources.len(), 1);
+    // The BLOB bytes themselves came back from blobs.json.
+    let blob = db.blobs().get(resources[0].id).unwrap();
+    assert_eq!(blob.as_ref(), payload.as_slice());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_requires_durable_station() {
+    let db = WebDocDb::new();
+    match db.checkpoint() {
+        Err(CoreError::InvalidInput(_)) => {}
+        other => panic!("expected InvalidInput, got {other:?}"),
+    }
+}

@@ -35,7 +35,7 @@ pub use broadcast::{
     CourseBroadcastReport, CourseObject,
 };
 pub use demand::{AccessEvent, DemandReport, DemandSim, DocSpec};
-pub use resilient::{repair_parent, resilient_broadcast, Packet, ResilientReport, RetryPolicy};
 pub use migrate::{LectureDoc, LectureSession, MigrationReport, MigrationSim};
+pub use resilient::{repair_parent, resilient_broadcast, Packet, ResilientReport, RetryPolicy};
 pub use station::{DiskSample, Replica, StationDocs};
 pub use tree::{child_index, child_position, parent_position, BroadcastTree};

@@ -158,7 +158,12 @@ fn leg(spec: LinkSpec, bytes: u64) -> SimTime {
 /// serializes its ACK first, then its child sends in order. Degraded or
 /// failed paths make the real ACK later than predicted — which is
 /// exactly what trips the timer.
-fn predict_etas(topo: &Topology, tree: &BroadcastTree, object_bytes: u64, ack_bytes: u64) -> Vec<SimTime> {
+fn predict_etas(
+    topo: &Topology,
+    tree: &BroadcastTree,
+    object_bytes: u64,
+    ack_bytes: u64,
+) -> Vec<SimTime> {
     let n = tree.len() as u64;
     let root = tree.root();
     let mut arrival = vec![SimTime::ZERO; n as usize + 1];
@@ -460,7 +465,8 @@ mod tests {
         assert_eq!(r.report.arrivals[&2], plain.arrivals[&2]); // pos 3
         let ack_slot = SimTime::transfer(64, MB).as_micros();
         for sid in 3..=6u32 {
-            let depth_delay = r.report.arrivals[&sid].as_micros() - plain.arrivals[&sid].as_micros();
+            let depth_delay =
+                r.report.arrivals[&sid].as_micros() - plain.arrivals[&sid].as_micros();
             assert_eq!(depth_delay, ack_slot, "station {sid}");
         }
     }
@@ -475,8 +481,12 @@ mod tests {
     /// re-parented to the root.
     #[test]
     fn single_relay_crash_hand_computed_trace() {
-        let schedule =
-            FaultSchedule::new().at(SimTime::ZERO, Fault::Crash { station: StationId(1) });
+        let schedule = FaultSchedule::new().at(
+            SimTime::ZERO,
+            Fault::Crash {
+                station: StationId(1),
+            },
+        );
         let (r, net) = run(7, 2, Some(schedule));
 
         assert_eq!(r.retries, 6, "4 for pos 2, 1 each for pos 4 and 5");
@@ -489,11 +499,11 @@ mod tests {
 
         let secs = SimTime::from_secs;
         let expected: BTreeMap<u32, SimTime> = [
-            (2, secs(2)),                          // pos 3, initial relay
-            (3, secs(4)),                          // pos 4, root retry
-            (4, secs(5)),                          // pos 5, root retry
-            (5, SimTime::from_micros(3_000_064)),  // pos 6, via pos 3
-            (6, SimTime::from_micros(4_000_064)),  // pos 7, via pos 3
+            (2, secs(2)),                         // pos 3, initial relay
+            (3, secs(4)),                         // pos 4, root retry
+            (4, secs(5)),                         // pos 5, root retry
+            (5, SimTime::from_micros(3_000_064)), // pos 6, via pos 3
+            (6, SimTime::from_micros(4_000_064)), // pos 7, via pos 3
         ]
         .into();
         assert_eq!(r.report.arrivals, expected);

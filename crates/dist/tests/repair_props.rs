@@ -45,7 +45,10 @@ fn run_with_crashes(
     }
     net.set_faults(schedule);
     let tree = BroadcastTree::new(ids, m);
-    (resilient_broadcast(&mut net, &tree, object, policy()), crashed)
+    (
+        resilient_broadcast(&mut net, &tree, object, policy()),
+        crashed,
+    )
 }
 
 proptest! {

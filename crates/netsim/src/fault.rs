@@ -259,27 +259,61 @@ mod tests {
     #[test]
     fn schedule_sorts_stably() {
         let s = FaultSchedule::new()
-            .at(SimTime::from_secs(5), Fault::Crash { station: StationId(1) })
-            .at(SimTime::from_secs(1), Fault::Crash { station: StationId(2) })
             .at(
                 SimTime::from_secs(5),
-                Fault::Recover { station: StationId(3) },
+                Fault::Crash {
+                    station: StationId(1),
+                },
+            )
+            .at(
+                SimTime::from_secs(1),
+                Fault::Crash {
+                    station: StationId(2),
+                },
+            )
+            .at(
+                SimTime::from_secs(5),
+                Fault::Recover {
+                    station: StationId(3),
+                },
             );
         assert_eq!(s.len(), 3);
         let sorted = s.into_sorted();
-        assert_eq!(sorted[0].1, Fault::Crash { station: StationId(2) });
+        assert_eq!(
+            sorted[0].1,
+            Fault::Crash {
+                station: StationId(2)
+            }
+        );
         // Ties keep insertion order: crash(1) before recover(3).
-        assert_eq!(sorted[1].1, Fault::Crash { station: StationId(1) });
-        assert_eq!(sorted[2].1, Fault::Recover { station: StationId(3) });
+        assert_eq!(
+            sorted[1].1,
+            Fault::Crash {
+                station: StationId(1)
+            }
+        );
+        assert_eq!(
+            sorted[2].1,
+            Fault::Recover {
+                station: StationId(3)
+            }
+        );
     }
 
     #[test]
     fn advance_applies_up_to_now() {
         let s = FaultSchedule::new()
-            .at(SimTime::from_secs(1), Fault::Crash { station: StationId(0) })
+            .at(
+                SimTime::from_secs(1),
+                Fault::Crash {
+                    station: StationId(0),
+                },
+            )
             .at(
                 SimTime::from_secs(2),
-                Fault::Recover { station: StationId(0) },
+                Fault::Recover {
+                    station: StationId(0),
+                },
             );
         let mut f = FaultState::new(s);
         f.advance(SimTime::ZERO);
@@ -327,8 +361,20 @@ mod tests {
                     latency_factor: 2.0,
                 },
             )
-            .at(SimTime::from_secs(1), Fault::Partition { src: pair.0, dst: pair.1 })
-            .at(SimTime::from_secs(2), Fault::Heal { src: pair.0, dst: pair.1 });
+            .at(
+                SimTime::from_secs(1),
+                Fault::Partition {
+                    src: pair.0,
+                    dst: pair.1,
+                },
+            )
+            .at(
+                SimTime::from_secs(2),
+                Fault::Heal {
+                    src: pair.0,
+                    dst: pair.1,
+                },
+            );
         let mut f = FaultState::new(s);
         f.advance(SimTime::from_secs(1));
         let spec = LinkSpec::new(1_000_000, SimTime::from_millis(10));

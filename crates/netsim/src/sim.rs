@@ -520,8 +520,20 @@ mod tests {
         let (mut net, ids) = Network::uniform(2, spec);
         net.set_faults(
             FaultSchedule::new()
-                .at(SimTime::ZERO, Fault::Partition { src: ids[0], dst: ids[1] })
-                .at(SimTime::from_secs(5), Fault::Heal { src: ids[0], dst: ids[1] }),
+                .at(
+                    SimTime::ZERO,
+                    Fault::Partition {
+                        src: ids[0],
+                        dst: ids[1],
+                    },
+                )
+                .at(
+                    SimTime::from_secs(5),
+                    Fault::Heal {
+                        src: ids[0],
+                        dst: ids[1],
+                    },
+                ),
         );
         net.send(ids[0], ids[1], 1_000_000, 1);
         let mut got = Vec::new();

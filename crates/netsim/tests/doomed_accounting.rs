@@ -1,0 +1,99 @@
+//! Regression pins for doomed-send byte accounting.
+//!
+//! A send to a crashed or partitioned destination still serializes the
+//! object onto the **sender's** uplink (tx bytes and uplink occupancy
+//! are real costs), but the receiver must never be credited rx bytes
+//! for a copy it did not get — those bytes land in the dropped
+//! counters instead. These exact-value tests pin that split so an
+//! accounting regression shows up as a diff, not a skewed experiment.
+
+use netsim::{Fault, FaultSchedule, LinkSpec, Network, SendError, SimTime, StationId};
+
+const MB: u64 = 1_000_000;
+
+fn network(n: usize, schedule: FaultSchedule) -> Network<u32> {
+    let (mut net, _) = Network::<u32>::uniform(n, LinkSpec::new(MB, SimTime::ZERO));
+    net.set_faults(schedule);
+    net
+}
+
+#[test]
+fn send_to_crashed_station_burns_uplink_but_credits_no_rx() {
+    let schedule = FaultSchedule::new().at(
+        SimTime::ZERO,
+        Fault::Crash {
+            station: StationId(1),
+        },
+    );
+    let mut net = network(2, schedule);
+
+    net.send(StationId(0), StationId(1), 3 * MB, 7);
+    net.run(|_, _| panic!("nothing may be delivered to a crashed station"));
+
+    let sender = net.station_stats(StationId(0));
+    let receiver = net.station_stats(StationId(1));
+    // Sender paid in full: the bytes went onto its uplink.
+    assert_eq!(sender.tx_bytes, 3 * MB);
+    assert_eq!(sender.tx_msgs, 1);
+    // Receiver got nothing — and is *recorded* as having got nothing.
+    assert_eq!(receiver.rx_bytes, 0);
+    assert_eq!(receiver.rx_msgs, 0);
+    // The loss is visible in the dropped counters, not silently eaten.
+    assert_eq!(net.dropped_bytes(), 3 * MB);
+    assert_eq!(net.dropped_msgs(), 1);
+    // Global delivered-traffic counters exclude the doomed copy.
+    assert_eq!(net.total_bytes(), 0);
+    assert_eq!(net.total_msgs(), 0);
+}
+
+#[test]
+fn send_across_partition_is_accounted_identically() {
+    let schedule = FaultSchedule::new().at(
+        SimTime::ZERO,
+        Fault::Partition {
+            src: StationId(0),
+            dst: StationId(1),
+        },
+    );
+    let mut net = network(3, schedule);
+
+    net.send(StationId(0), StationId(1), 2 * MB, 1); // doomed
+    net.send(StationId(0), StationId(2), MB, 2); // healthy control
+    let mut delivered = Vec::new();
+    net.run(|_, m| delivered.push((m.dst, m.bytes)));
+
+    assert_eq!(delivered, vec![(StationId(2), MB)]);
+    let sender = net.station_stats(StationId(0));
+    // Both copies crossed the sender's uplink back-to-back.
+    assert_eq!(sender.tx_bytes, 3 * MB);
+    assert_eq!(sender.tx_msgs, 2);
+    assert_eq!(net.station_stats(StationId(1)).rx_bytes, 0);
+    assert_eq!(net.station_stats(StationId(2)).rx_bytes, MB);
+    assert_eq!(net.dropped_bytes(), 2 * MB);
+    assert_eq!(net.total_bytes(), MB);
+}
+
+#[test]
+fn crashed_sender_pays_nothing() {
+    let schedule = FaultSchedule::new().at(
+        SimTime::ZERO,
+        Fault::Crash {
+            station: StationId(0),
+        },
+    );
+    let mut net = network(2, schedule);
+
+    // try_send observes the error; the silent path counts a drop.
+    assert_eq!(
+        net.try_send(StationId(0), StationId(1), MB, 9),
+        Err(SendError::SenderDown(StationId(0)))
+    );
+    net.send(StationId(0), StationId(1), MB, 9);
+    net.run(|_, _| panic!("no deliveries"));
+
+    // A dead sender serializes nothing onto its uplink.
+    assert_eq!(net.station_stats(StationId(0)).tx_bytes, 0);
+    assert_eq!(net.station_stats(StationId(0)).tx_msgs, 0);
+    assert_eq!(net.dropped_msgs(), 1);
+    assert_eq!(net.dropped_bytes(), MB);
+}

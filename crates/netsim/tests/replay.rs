@@ -25,7 +25,8 @@ struct Trace {
 /// across the fault window.
 fn run_seeded(seed: u64, schedule: Option<FaultSchedule>) -> Trace {
     let n = 6u32;
-    let (mut net, ids) = Network::uniform(n as usize, LinkSpec::new(500_000, SimTime::from_millis(7)));
+    let (mut net, ids) =
+        Network::uniform(n as usize, LinkSpec::new(500_000, SimTime::from_millis(7)));
     if let Some(s) = schedule {
         net.set_faults(s);
     }
@@ -72,7 +73,12 @@ fn eventful_schedule() -> FaultSchedule {
                 latency_factor: 3.0,
             },
         )
-        .at(SimTime::from_millis(400), Fault::Crash { station: StationId(2) })
+        .at(
+            SimTime::from_millis(400),
+            Fault::Crash {
+                station: StationId(2),
+            },
+        )
         .at(
             SimTime::from_millis(600),
             Fault::Partition {
@@ -80,7 +86,12 @@ fn eventful_schedule() -> FaultSchedule {
                 dst: StationId(4),
             },
         )
-        .at(SimTime::from_secs(2), Fault::Recover { station: StationId(2) })
+        .at(
+            SimTime::from_secs(2),
+            Fault::Recover {
+                station: StationId(2),
+            },
+        )
         .at(
             SimTime::from_secs(3),
             Fault::Heal {

@@ -17,6 +17,7 @@ use crate::query::Predicate;
 use crate::schema::{FkAction, ForeignKey, TableSchema, PRIMARY_INDEX};
 use crate::table::{Row, RowId, Table};
 use crate::value::{Key, Value};
+use crate::wal::{RowOp, WalSink};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +35,14 @@ struct DbInner {
     locks: LockManager,
     next_txn: AtomicU64,
     next_table: AtomicU64,
+    /// Optional write-ahead-log sink (see [`crate::wal`]).
+    wal: RwLock<Option<Arc<dyn WalSink>>>,
+}
+
+impl DbInner {
+    fn sink(&self) -> Option<Arc<dyn WalSink>> {
+        self.wal.read().clone()
+    }
 }
 
 /// A shared, thread-safe relational database.
@@ -59,8 +68,24 @@ impl Database {
                 locks: LockManager::new(),
                 next_txn: AtomicU64::new(1),
                 next_table: AtomicU64::new(1),
+                wal: RwLock::new(None),
             }),
         }
+    }
+
+    /// Install (or remove) a write-ahead-log sink. From this point on
+    /// every mutation, commit and abort is reported to the sink under
+    /// the contract documented in [`crate::wal`]. Installation is not
+    /// retroactive: rows already in the database are the sink's problem
+    /// to capture (typically via a checkpoint).
+    pub fn set_wal_sink(&self, sink: Option<Arc<dyn WalSink>>) {
+        *self.inner.wal.write() = sink;
+    }
+
+    /// The currently installed WAL sink, if any.
+    #[must_use]
+    pub fn wal_sink(&self) -> Option<Arc<dyn WalSink>> {
+        self.inner.sink()
     }
 
     /// Create a table. Foreign keys must reference existing tables on
@@ -96,7 +121,15 @@ impl Database {
         let id = self.inner.next_table.fetch_add(1, Ordering::Relaxed) as u32;
         let name = schema.name.clone();
         let fks = schema.foreign_keys.clone();
+        // DDL is auto-committed: make it durable *before* the table
+        // becomes visible, so a recovered log never lacks a table that
+        // rows later refer to.
+        let sink = self.inner.sink();
+        let logged_schema = sink.as_ref().map(|_| schema.clone());
         let table = Table::new(schema)?;
+        if let (Some(sink), Some(s)) = (&sink, &logged_schema) {
+            sink.on_create_table(s)?;
+        }
         catalog.insert(
             name.clone(),
             TableEntry {
@@ -128,6 +161,23 @@ impl Database {
     /// Approximate payload bytes stored in `table`.
     pub fn heap_bytes(&self, table: &str) -> Result<usize> {
         Ok(self.entry(table)?.1.read().heap_bytes())
+    }
+
+    /// The next transaction id this engine will hand out.
+    #[must_use]
+    pub fn next_txn_id(&self) -> TxnId {
+        self.inner.next_txn.load(Ordering::Relaxed)
+    }
+
+    /// Ensure future transactions are numbered `next` or higher.
+    ///
+    /// Recovery calls this with one past the highest id found in the
+    /// log: transaction ids name transactions *in the log*, so a fresh
+    /// engine reattached to an old log must never reissue an id — a
+    /// reused id's commit record would retroactively commit the dead
+    /// transaction's surviving records on the next recovery.
+    pub fn resume_txn_ids(&self, next: TxnId) {
+        self.inner.next_txn.fetch_max(next, Ordering::Relaxed);
     }
 
     /// Begin a new transaction.
@@ -204,6 +254,40 @@ impl Database {
         t.sync_next_row();
         Ok(())
     }
+
+    // ------------------------------------------------------------------
+    // Recovery primitives (log replay only)
+    // ------------------------------------------------------------------
+    //
+    // These bypass transactions, locks and foreign-key checks: replay
+    // repeats history exactly as the engine executed it, so every
+    // constraint held when the operation first ran. They are public so
+    // the `wal` crate's recovery routine can drive them; applications
+    // should never call them on a live database.
+
+    /// Re-apply a logged insert: place `row` at exactly `id`,
+    /// maintaining indexes and the id allocator.
+    pub fn redo_insert(&self, table: &str, id: RowId, row: Row) -> Result<()> {
+        let (_, data) = self.entry(table)?;
+        let mut t = data.write();
+        t.restore(id, row);
+        t.sync_next_row();
+        Ok(())
+    }
+
+    /// Re-apply a logged update: replace the row at `id` with `row`.
+    pub fn redo_update(&self, table: &str, id: RowId, row: Row) -> Result<()> {
+        let (_, data) = self.entry(table)?;
+        data.write().update(id, row)?;
+        Ok(())
+    }
+
+    /// Re-apply a logged delete: remove the row at `id`.
+    pub fn redo_delete(&self, table: &str, id: RowId) -> Result<()> {
+        let (_, data) = self.entry(table)?;
+        data.write().delete(id)?;
+        Ok(())
+    }
 }
 
 fn unique_key_exists(schema: &TableSchema, cols: &[String]) -> bool {
@@ -235,6 +319,10 @@ enum UndoOp {
 struct TxnState {
     undo: Vec<UndoOp>,
     closed: bool,
+    /// Whether any mutation of this transaction reached the WAL sink
+    /// (commit/abort notifications are skipped for read-only
+    /// transactions, so snapshots and scans stay log-silent).
+    logged: bool,
 }
 
 /// A transaction handle. Dropping an uncommitted transaction rolls it
@@ -280,6 +368,14 @@ impl Txn {
         self.db.locks.acquire(self.id, res, mode)
     }
 
+    /// Report a mutation to the WAL sink (no-op when none installed)
+    /// and remember that this transaction has log records.
+    fn log_op(&self, sink: &Arc<dyn WalSink>, op: RowOp<'_>) -> Result<()> {
+        sink.on_op(self.id, op)?;
+        self.state.lock().logged = true;
+        Ok(())
+    }
+
     /// Insert a row; returns its new id.
     pub fn insert(&self, table: &str, row: Row) -> Result<RowId> {
         self.check_open()?;
@@ -300,6 +396,11 @@ impl Txn {
             table: table.to_owned(),
             id,
         });
+        if let Some(sink) = self.db.sink() {
+            let t = data.read();
+            let after = t.get(id)?;
+            self.log_op(&sink, RowOp::Insert { table, id, after })?;
+        }
         Ok(id)
     }
 
@@ -343,6 +444,8 @@ impl Txn {
         // Reverse FKs: refuse changing a referenced key while referencing
         // rows exist (ON UPDATE actions are not supported).
         self.check_reverse_on_key_change(table, &schema, &old, &new_row, &changed_names)?;
+        let sink = self.db.sink();
+        let before = sink.as_ref().map(|_| old.clone());
         {
             let mut t = data.write();
             t.update(id, new_row)?;
@@ -352,6 +455,19 @@ impl Txn {
             id,
             old,
         });
+        if let (Some(sink), Some(before)) = (sink, before) {
+            let t = data.read();
+            let after = t.get(id)?;
+            self.log_op(
+                &sink,
+                RowOp::Update {
+                    table,
+                    id,
+                    before: &before,
+                    after,
+                },
+            )?;
+        }
         Ok(())
     }
 
@@ -436,6 +552,8 @@ impl Txn {
                 }
             }
         }
+        let sink = self.db.sink();
+        let before = sink.as_ref().map(|_| old.clone());
         {
             let mut t = data.write();
             t.delete(id)?;
@@ -445,6 +563,16 @@ impl Txn {
             id,
             old,
         });
+        if let (Some(sink), Some(before)) = (sink, before) {
+            self.log_op(
+                &sink,
+                RowOp::Delete {
+                    table,
+                    id,
+                    before: &before,
+                },
+            )?;
+        }
         Ok(())
     }
 
@@ -593,13 +721,27 @@ impl Txn {
         Ok(t.iter().filter(|(_, row)| compiled.eval(row)).count())
     }
 
-    /// Commit: release all locks, discard the undo log.
+    /// Commit: force the WAL (write-ahead rule: records durable before
+    /// any lock is released), then release all locks and discard the
+    /// undo log. A WAL flush failure turns the commit into a rollback.
     pub fn commit(self) -> Result<()> {
-        {
-            let mut st = self.state.lock();
+        let logged = {
+            let st = self.state.lock();
             if st.closed {
                 return Err(Error::TxnClosed);
             }
+            st.logged
+        };
+        if logged {
+            if let Some(sink) = self.db.sink() {
+                if let Err(e) = sink.on_commit(self.id) {
+                    self.rollback_inner();
+                    return Err(e);
+                }
+            }
+        }
+        {
+            let mut st = self.state.lock();
             st.closed = true;
             st.undo.clear();
         }
@@ -613,13 +755,13 @@ impl Txn {
     }
 
     fn rollback_inner(&self) {
-        let undo = {
+        let (undo, logged) = {
             let mut st = self.state.lock();
             if st.closed {
                 return;
             }
             st.closed = true;
-            std::mem::take(&mut st.undo)
+            (std::mem::take(&mut st.undo), st.logged)
         };
         let catalog = self.db.catalog.read();
         for op in undo.into_iter().rev() {
@@ -642,6 +784,11 @@ impl Txn {
             }
         }
         drop(catalog);
+        if logged {
+            if let Some(sink) = self.db.sink() {
+                sink.on_abort(self.id);
+            }
+        }
         self.db.locks.release_all(self.id);
     }
 

@@ -97,6 +97,10 @@ pub enum Error {
     },
     /// Malformed schema declaration (duplicate column, empty key, ...).
     BadSchema(String),
+    /// The write-ahead-log sink failed (I/O error, corrupt log, ...).
+    /// Carried as a message so the error stays `Clone`/`Eq`; the `wal`
+    /// crate keeps the structured cause.
+    Wal(String),
 }
 
 impl fmt::Display for Error {
@@ -153,6 +157,7 @@ impl fmt::Display for Error {
                 write!(f, "column `{table}.{column}` has an unindexable type")
             }
             Error::BadSchema(msg) => write!(f, "bad schema: {msg}"),
+            Error::Wal(msg) => write!(f, "write-ahead log: {msg}"),
         }
     }
 }

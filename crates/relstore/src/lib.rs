@@ -19,9 +19,13 @@
 //!   granularities (table intent locks + row locks; see [`lock`]), with
 //!   *wait-die* deadlock avoidance: younger transactions abort with
 //!   [`Error::TxnAborted`] and should retry.
-//! * Durability is out of scope: the 1999 system delegated it to the
-//!   commercial RDBMS, and the reproduction's experiments are all
-//!   in-memory.
+//! * Durability is pluggable: the engine itself is in-memory (the 1999
+//!   system delegated persistence to the commercial RDBMS), but a
+//!   [`wal::WalSink`] installed via [`Database::set_wal_sink`] observes
+//!   every mutation with before/after images at the undo-log sites —
+//!   the workspace's `wal` crate builds an ARIES-lite durable log,
+//!   checkpoints and crash recovery on top of this hook plus the
+//!   [`snapshot`] machinery and the `redo_*` replay primitives.
 //!
 //! ## Example
 //!
@@ -58,6 +62,7 @@ pub mod schema;
 pub mod snapshot;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use database::{Database, Txn};
 pub use error::{Error, Result};
@@ -67,3 +72,4 @@ pub use schema::{ColumnDef, FkAction, ForeignKey, IndexDef, TableSchema};
 pub use snapshot::{Snapshot, TableSnapshot};
 pub use table::{Row, RowId, Table};
 pub use value::{ColumnType, Key, Value};
+pub use wal::{RowOp, WalSink};

@@ -1,0 +1,45 @@
+//! Deterministic crash-point injection.
+//!
+//! A crash is modeled as the log file being cut at an arbitrary byte
+//! offset: everything before the cut reached the disk, everything after
+//! it did not, and the final frame may be torn in half. These helpers
+//! make it trivial to sweep *every* cut point of a generated log and
+//! check recovery against a committed-prefix oracle, which is exactly
+//! what `tests/recovery_props.rs` does.
+
+use crate::record::{scan, WalRecord};
+use crate::Lsn;
+
+/// The log as it would survive a crash at `offset`: a simple prefix.
+#[must_use]
+pub fn cut_at(bytes: &[u8], offset: u64) -> Vec<u8> {
+    let n = usize::try_from(offset)
+        .unwrap_or(bytes.len())
+        .min(bytes.len());
+    bytes[..n].to_vec()
+}
+
+/// Flip one bit of one byte — the corruption model the per-record CRC
+/// must catch.
+pub fn flip_bit(bytes: &mut [u8], offset: u64, bit: u8) {
+    let i = usize::try_from(offset).expect("offset fits") % bytes.len().max(1);
+    bytes[i] ^= 1 << (bit % 8);
+}
+
+/// Frame boundaries of a fully valid log: `(lsn, end_offset, record)`
+/// for every record. Panics on an invalid log — this is a test aid for
+/// logs the caller just generated.
+#[must_use]
+pub fn frames(bytes: &[u8]) -> Vec<(Lsn, u64, WalRecord)> {
+    let scanned = scan(bytes).expect("generated log is valid");
+    let mut out = Vec::with_capacity(scanned.records.len());
+    for i in 0..scanned.records.len() {
+        let (lsn, ref rec) = scanned.records[i];
+        let end = scanned
+            .records
+            .get(i + 1)
+            .map_or(scanned.durable_len, |(next, _)| *next);
+        out.push((lsn, end, rec.clone()));
+    }
+    out
+}

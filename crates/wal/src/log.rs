@@ -1,0 +1,410 @@
+//! The append-only log writer: buffered appends, group commit, and
+//! fuzzy checkpoints.
+//!
+//! ## Group commit
+//!
+//! Records are appended to an in-memory buffer under the state mutex;
+//! nothing touches the disk until a commit (or an explicit flush)
+//! forces durability. The first committer to find no flush in progress
+//! becomes the *flusher*: it takes the whole pending buffer — its own
+//! records plus those of every transaction that appended meanwhile —
+//! writes it, syncs once, and wakes all waiters whose commit LSN is now
+//! durable. Committers arriving mid-flush append to the next batch and
+//! wait; N concurrent writers therefore share one fsync per batch
+//! instead of paying one each. Setting
+//! [`WalOptions::group_commit`]`= false` disables the sharing: every
+//! commit then performs (and waits for) its own write + sync, which is
+//! the classic per-commit-flush baseline the `e14_recovery` experiment
+//! measures against.
+//!
+//! ## Checkpoints
+//!
+//! [`Wal::checkpoint`] captures a transaction-consistent snapshot using
+//! the engine's own table-shared locks (readers keep running; writers
+//! drain), appends it as a [`WalRecord::Checkpoint`] *while still
+//! holding those locks and the append mutex*, and then flushes. The
+//! lock/append ordering guarantees that every transaction whose commit
+//! record precedes the checkpoint in the log is fully contained in the
+//! snapshot, and every later committer appears wholly after it — so
+//! recovery may restore the snapshot and replay only the tail.
+
+use crate::record::{encode_frame, WalRecord, MAGIC};
+use crate::{Lsn, WalError};
+use parking_lot::{Condvar, Mutex};
+use relstore::lock::TxnId;
+use relstore::wal::{RowOp, WalSink};
+use relstore::{Database, Predicate, Snapshot, TableSchema, TableSnapshot};
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs for the log writer.
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// Share one flush among concurrent committers (default). When
+    /// `false`, every commit performs its own serialized write + sync.
+    pub group_commit: bool,
+    /// Call `File::sync_data` on every flush (default). Disable only
+    /// for tests that do not care about real durability.
+    pub sync_data: bool,
+    /// Model a slower storage device by sleeping this long per flush
+    /// (on top of the real sync). The experiment suite uses it to give
+    /// fsync a 1999-spinning-disk cost profile on modern hardware;
+    /// `None` (default) adds nothing.
+    pub simulated_disk_latency: Option<Duration>,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            group_commit: true,
+            sync_data: true,
+            simulated_disk_latency: None,
+        }
+    }
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (any kind).
+    pub records: u64,
+    /// Commit records appended.
+    pub commits: u64,
+    /// Physical flushes (write + sync) performed.
+    pub flushes: u64,
+    /// Bytes written to the file, excluding the magic header.
+    pub bytes_written: u64,
+    /// Checkpoint records appended.
+    pub checkpoints: u64,
+}
+
+struct LogState {
+    /// Pending bytes not yet handed to a flusher.
+    buf: Vec<u8>,
+    /// Everything at offsets `< durable_lsn` is on disk and synced.
+    durable_lsn: Lsn,
+    /// `durable_lsn` + bytes currently being flushed + `buf.len()`.
+    end_lsn: Lsn,
+    /// A flusher is between "took the buffer" and "synced it".
+    flushing: bool,
+    /// Transactions that have a `Begin` record appended.
+    active: HashSet<TxnId>,
+    /// Set after an I/O failure: the file contents are suspect, so all
+    /// further appends and commits are refused.
+    poisoned: bool,
+    stats: WalStats,
+}
+
+/// A durable write-ahead log bound to one file.
+///
+/// Implements [`WalSink`], so an `Arc<Wal>` can be installed on a
+/// [`Database`] via [`Database::set_wal_sink`]; use
+/// [`open_durable`](crate::open_durable) for the combined
+/// open-recover-attach flow.
+pub struct Wal {
+    path: PathBuf,
+    opts: WalOptions,
+    state: Mutex<LogState>,
+    file: Mutex<File>,
+    durable: Condvar,
+}
+
+impl Wal {
+    /// Open (creating if missing) the log at `path`, truncated to
+    /// `durable_len` — the valid-prefix length a prior
+    /// [`scan`](crate::record::scan) reported. A `durable_len` of 0
+    /// (re)writes the magic header.
+    pub fn open_at(path: &Path, opts: WalOptions, durable_len: u64) -> Result<Arc<Wal>, WalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let durable_lsn = if durable_len < MAGIC.len() as u64 {
+            file.set_len(0)?;
+            file.write_all(MAGIC)?;
+            file.sync_data()?;
+            MAGIC.len() as u64
+        } else {
+            // Drop any torn tail so new frames append onto a clean
+            // boundary.
+            file.set_len(durable_len)?;
+            file.sync_data()?;
+            durable_len
+        };
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(Arc::new(Wal {
+            path: path.to_owned(),
+            opts,
+            state: Mutex::new(LogState {
+                buf: Vec::new(),
+                durable_lsn,
+                end_lsn: durable_lsn,
+                flushing: false,
+                active: HashSet::new(),
+                poisoned: false,
+                stats: WalStats::default(),
+            }),
+            file: Mutex::new(file),
+            durable: Condvar::new(),
+        }))
+    }
+
+    /// The log file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> WalStats {
+        self.state.lock().stats
+    }
+
+    /// Offset one past the last appended byte (durable or pending).
+    #[must_use]
+    pub fn end_lsn(&self) -> Lsn {
+        self.state.lock().end_lsn
+    }
+
+    /// Offset up to which the file is written *and synced*.
+    #[must_use]
+    pub fn durable_lsn(&self) -> Lsn {
+        self.state.lock().durable_lsn
+    }
+
+    /// Append `record` to the pending buffer (no durability yet).
+    /// Returns the record's LSN.
+    fn append(&self, state: &mut LogState, record: &WalRecord) -> Result<Lsn, WalError> {
+        if state.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        let frame = encode_frame(record)?;
+        let lsn = state.end_lsn;
+        state.buf.extend_from_slice(&frame);
+        state.end_lsn += frame.len() as u64;
+        state.stats.records += 1;
+        Ok(lsn)
+    }
+
+    /// Append under the state lock (the common entry).
+    fn append_record(&self, record: &WalRecord) -> Result<Lsn, WalError> {
+        let mut st = self.state.lock();
+        self.append(&mut st, record)
+    }
+
+    /// Perform one physical flush of `chunk`; returns bytes written.
+    fn write_chunk(&self, chunk: &[u8]) -> Result<(), WalError> {
+        let mut file = self.file.lock();
+        file.write_all(chunk)?;
+        if self.opts.sync_data {
+            file.sync_data()?;
+        }
+        if let Some(d) = self.opts.simulated_disk_latency {
+            std::thread::sleep(d);
+        }
+        Ok(())
+    }
+
+    /// Block until everything at offsets `< target` is durable,
+    /// participating in (or waiting on) the shared group flush.
+    fn wait_durable(&self, target: Lsn) -> Result<(), WalError> {
+        let mut st = self.state.lock();
+        loop {
+            if st.poisoned {
+                return Err(WalError::Poisoned);
+            }
+            if st.durable_lsn >= target {
+                return Ok(());
+            }
+            if !st.flushing {
+                st.flushing = true;
+                let chunk = std::mem::take(&mut st.buf);
+                drop(st);
+                let res = self.write_chunk(&chunk);
+                st = self.state.lock();
+                st.flushing = false;
+                match res {
+                    Ok(()) => {
+                        st.durable_lsn += chunk.len() as u64;
+                        st.stats.flushes += 1;
+                        st.stats.bytes_written += chunk.len() as u64;
+                    }
+                    Err(e) => {
+                        // The tail of the file is now unknown: refuse
+                        // all further work on this handle.
+                        st.poisoned = true;
+                        self.durable.notify_all();
+                        return Err(e);
+                    }
+                }
+                self.durable.notify_all();
+            } else {
+                self.durable.wait(&mut st);
+            }
+        }
+    }
+
+    /// Force every pending byte to disk (one flush, shared).
+    pub fn flush(&self) -> Result<(), WalError> {
+        let target = self.state.lock().end_lsn;
+        self.wait_durable(target)
+    }
+
+    /// Per-commit-flush baseline: serialize entirely, write whatever is
+    /// pending, and sync — one sync *per caller*, never shared.
+    fn flush_per_commit(&self) -> Result<(), WalError> {
+        let mut st = self.state.lock();
+        if st.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        let chunk = std::mem::take(&mut st.buf);
+        // Hold the state lock across the I/O: this is the point — no
+        // other committer can overlap, every commit pays a full sync.
+        match self.write_chunk(&chunk) {
+            Ok(()) => {
+                st.durable_lsn += chunk.len() as u64;
+                st.stats.flushes += 1;
+                st.stats.bytes_written += chunk.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                st.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Write a checkpoint: a consistent snapshot of `db` plus bounded
+    /// log-tail semantics (see module docs). Returns the checkpoint's
+    /// LSN. Retries internally if the snapshot transaction loses
+    /// wait-die races with concurrent writers.
+    pub fn checkpoint(&self, db: &Database) -> Result<Lsn, WalError> {
+        loop {
+            let txn = db.begin();
+            let mut tables = std::collections::BTreeMap::new();
+            let mut failed = None;
+            for name in db.table_names() {
+                // Table-shared locks: writers drain, readers continue.
+                match txn.select(&name, &Predicate::True) {
+                    Ok(rows) => {
+                        let schema = db.schema_of(&name).map_err(WalError::Store)?;
+                        tables.insert(name, TableSnapshot { schema, rows });
+                    }
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            match failed {
+                Some(relstore::Error::TxnAborted { .. }) => {
+                    drop(txn); // release, back off, retry the snapshot
+                    std::thread::yield_now();
+                    continue;
+                }
+                Some(e) => return Err(WalError::Store(e)),
+                None => {}
+            }
+            let snapshot = Snapshot { tables };
+            let lsn = {
+                // Append while *both* the table locks and the append
+                // mutex are held: no commit record can slip between the
+                // snapshot's serialization point and the checkpoint
+                // record.
+                let mut st = self.state.lock();
+                let lsn = self.append(
+                    &mut st,
+                    &WalRecord::Checkpoint {
+                        snapshot,
+                        next_txn: db.next_txn_id(),
+                    },
+                )?;
+                st.stats.checkpoints += 1;
+                txn.commit().map_err(WalError::Store)?;
+                lsn
+            };
+            self.flush()?;
+            return Ok(lsn);
+        }
+    }
+}
+
+impl WalSink for Wal {
+    fn on_op(&self, txn: TxnId, op: RowOp<'_>) -> relstore::Result<()> {
+        let mut st = self.state.lock();
+        if st.active.insert(txn) {
+            self.append(&mut st, &WalRecord::Begin { txn })?;
+        }
+        let record = match op {
+            RowOp::Insert { table, id, after } => WalRecord::Insert {
+                txn,
+                table: table.to_owned(),
+                row: id,
+                after: after.clone(),
+            },
+            RowOp::Update {
+                table,
+                id,
+                before,
+                after,
+            } => WalRecord::Update {
+                txn,
+                table: table.to_owned(),
+                row: id,
+                before: before.clone(),
+                after: after.clone(),
+            },
+            RowOp::Delete { table, id, before } => WalRecord::Delete {
+                txn,
+                table: table.to_owned(),
+                row: id,
+                before: before.clone(),
+            },
+        };
+        self.append(&mut st, &record)?;
+        Ok(())
+    }
+
+    fn on_commit(&self, txn: TxnId) -> relstore::Result<()> {
+        let target = {
+            let mut st = self.state.lock();
+            st.active.remove(&txn);
+            self.append(&mut st, &WalRecord::Commit { txn })?;
+            st.stats.commits += 1;
+            st.end_lsn
+        };
+        if self.opts.group_commit {
+            self.wait_durable(target)?;
+        } else {
+            self.flush_per_commit()?;
+        }
+        Ok(())
+    }
+
+    fn on_abort(&self, txn: TxnId) {
+        let mut st = self.state.lock();
+        if st.active.remove(&txn) {
+            // Advisory only: in-memory rollback already ran, and
+            // recovery treats any commit-less transaction as a loser
+            // whether or not the abort record survived.
+            let _ = self.append(&mut st, &WalRecord::Abort { txn });
+        }
+    }
+
+    fn on_create_table(&self, schema: &TableSchema) -> relstore::Result<()> {
+        self.append_record(&WalRecord::CreateTable {
+            schema: schema.clone(),
+        })?;
+        // DDL is auto-committed: make it durable immediately.
+        self.flush()?;
+        Ok(())
+    }
+}

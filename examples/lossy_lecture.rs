@@ -7,9 +7,7 @@
 //! cargo run --example lossy_lecture
 //! ```
 
-use mmu_wdoc::dist::{
-    resilient_broadcast, AdaptiveController, BroadcastTree, RetryPolicy,
-};
+use mmu_wdoc::dist::{resilient_broadcast, AdaptiveController, BroadcastTree, RetryPolicy};
 use mmu_wdoc::netsim::{Fault, FaultSchedule, LinkSpec, Network, SimTime, StationId};
 
 const STATIONS: usize = 28; // 1 instructor + 27 students
@@ -25,7 +23,12 @@ fn main() {
     // Station 1 is the first relay; it will have ACKed and forwarded
     // part of its subtree before dying at t = 5 s, orphaning the rest.
     let schedule = FaultSchedule::new()
-        .at(SimTime::from_secs(5), Fault::Crash { station: StationId(1) })
+        .at(
+            SimTime::from_secs(5),
+            Fault::Crash {
+                station: StationId(1),
+            },
+        )
         // …and while repairing, the instructor's uplink turns sour.
         .at(
             SimTime::from_secs(8),
@@ -52,9 +55,7 @@ fn main() {
     );
     println!(
         "wave 1: {} duplicate deliveries absorbed, {} messages dropped by faults, {} control bytes",
-        r.duplicates,
-        r.dropped_msgs,
-        r.control_bytes,
+        r.duplicates, r.dropped_msgs, r.control_bytes,
     );
     for sid in &r.reparented {
         println!("  station {sid} was re-parented around the dead relay");

@@ -9,6 +9,9 @@
 //!
 //! * [`relstore`] — the relational storage engine substrate (the role
 //!   MS SQL Server played in 1999);
+//! * [`wal`] — write-ahead logging, group commit, checkpoints and
+//!   crash recovery for `relstore` (the durability the 1999 system
+//!   delegated to the commercial RDBMS);
 //! * [`blobstore`] — the BLOB layer (content-addressed, reference
 //!   counted);
 //! * [`netsim`] — the deterministic network simulator standing in for
@@ -30,6 +33,7 @@
 pub use blobstore;
 pub use netsim;
 pub use relstore;
+pub use wal;
 pub use wdoc_collab as collab;
 pub use wdoc_core as core;
 pub use wdoc_dist as dist;

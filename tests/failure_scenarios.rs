@@ -8,21 +8,27 @@
 //! as an exact-value diff, not a flaky threshold.
 
 use mmu_wdoc::dist::{resilient_broadcast, BroadcastTree, ResilientReport, RetryPolicy};
-use mmu_wdoc::netsim::{
-    Fault, FaultSchedule, LinkSpec, Network, SimTime, StationId,
-};
+use mmu_wdoc::netsim::{Fault, FaultSchedule, LinkSpec, Network, SimTime, StationId};
 
 const MB: u64 = 1_000_000;
 
 /// Uniform 1 MB/s zero-latency stations: every transfer is a round
 /// number of microseconds (1 µs per byte).
-fn build(n: usize, m: u64, schedule: FaultSchedule) -> (Network<mmu_wdoc::dist::Packet>, BroadcastTree) {
+fn build(
+    n: usize,
+    m: u64,
+    schedule: FaultSchedule,
+) -> (Network<mmu_wdoc::dist::Packet>, BroadcastTree) {
     let (mut net, ids) = Network::uniform(n, LinkSpec::new(MB, SimTime::ZERO));
     net.set_faults(schedule);
     (net, BroadcastTree::new(ids, m))
 }
 
-fn run(n: usize, m: u64, schedule: FaultSchedule) -> (ResilientReport, Network<mmu_wdoc::dist::Packet>) {
+fn run(
+    n: usize,
+    m: u64,
+    schedule: FaultSchedule,
+) -> (ResilientReport, Network<mmu_wdoc::dist::Packet>) {
     let (mut net, tree) = build(n, m, schedule);
     let r = resilient_broadcast(&mut net, &tree, MB, RetryPolicy::default());
     (r, net)
@@ -42,7 +48,9 @@ fn run(n: usize, m: u64, schedule: FaultSchedule) -> (ResilientReport, Network<m
 fn relay_crash_mid_broadcast_delivers_orphaned_subtree() {
     let schedule = FaultSchedule::new().at(
         SimTime::from_micros(2_200_000),
-        Fault::Crash { station: StationId(1) },
+        Fault::Crash {
+            station: StationId(1),
+        },
     );
     let (r, _net) = run(15, 2, schedule);
 
@@ -83,8 +91,20 @@ fn relay_crash_mid_broadcast_delivers_orphaned_subtree() {
 #[test]
 fn root_partition_exhausts_retries_without_hanging() {
     let schedule = FaultSchedule::new()
-        .at(SimTime::ZERO, Fault::Partition { src: StationId(0), dst: StationId(1) })
-        .at(SimTime::ZERO, Fault::Partition { src: StationId(1), dst: StationId(0) });
+        .at(
+            SimTime::ZERO,
+            Fault::Partition {
+                src: StationId(0),
+                dst: StationId(1),
+            },
+        )
+        .at(
+            SimTime::ZERO,
+            Fault::Partition {
+                src: StationId(1),
+                dst: StationId(0),
+            },
+        );
     let (r, net) = run(4, 3, schedule);
 
     assert_eq!(r.unreachable, vec![1]);
@@ -103,8 +123,18 @@ fn root_partition_exhausts_retries_without_hanging() {
 #[test]
 fn recovery_mid_run_lets_a_retry_succeed() {
     let schedule = FaultSchedule::new()
-        .at(SimTime::ZERO, Fault::Crash { station: StationId(1) })
-        .at(SimTime::from_secs(2), Fault::Recover { station: StationId(1) });
+        .at(
+            SimTime::ZERO,
+            Fault::Crash {
+                station: StationId(1),
+            },
+        )
+        .at(
+            SimTime::from_secs(2),
+            Fault::Recover {
+                station: StationId(1),
+            },
+        );
     let (r, _net) = run(2, 1, schedule);
 
     assert!(r.unreachable.is_empty());
@@ -137,12 +167,19 @@ fn recovery_mid_run_lets_a_retry_succeed() {
 /// with grace = 50 ms. The final clock is the give-up timer.
 #[test]
 fn timeout_backoff_ladder_is_exact() {
-    let schedule =
-        FaultSchedule::new().at(SimTime::ZERO, Fault::Crash { station: StationId(1) });
+    let schedule = FaultSchedule::new().at(
+        SimTime::ZERO,
+        Fault::Crash {
+            station: StationId(1),
+        },
+    );
     let (r, net) = run(2, 1, schedule);
 
     assert_eq!(r.retries, 4);
-    assert_eq!(r.dropped_msgs, 5, "initial + 4 retries, all to a dead station");
+    assert_eq!(
+        r.dropped_msgs, 5,
+        "initial + 4 retries, all to a dead station"
+    );
     assert_eq!(r.unreachable, vec![1]);
     assert!(r.report.arrivals.is_empty());
     assert_eq!(r.report.completion, SimTime::ZERO);
@@ -154,12 +191,110 @@ fn timeout_backoff_ladder_is_exact() {
     assert_eq!(net.dropped_bytes(), 5 * MB);
 }
 
+/// (e) A station with a **durable** document database crashes mid-
+/// transaction, recovers its state from the write-ahead log, and
+/// rejoins the broadcast: the same crash/recover fault schedule as (c)
+/// on the network side, with the database side asserting that committed
+/// work survived the crash and the in-flight transaction did not.
+#[test]
+fn crashed_station_recovers_db_from_wal_and_rejoins_delivery() {
+    use mmu_wdoc::core::dbms::DatabaseInfo;
+    use mmu_wdoc::core::ids::{DbName, UserId};
+    use mmu_wdoc::core::WebDocDb;
+    use mmu_wdoc::relstore::Value;
+
+    let dir = std::env::temp_dir().join(format!("wdoc-scenario-e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // -- Before the crash: station 1 authors durably. ------------------
+    {
+        let (db, _) = WebDocDb::open_durable(&dir, mmu_wdoc::wal::WalOptions::default()).unwrap();
+        db.create_database(&DatabaseInfo {
+            name: DbName::new("mm-course"),
+            keywords: vec!["multimedia".into()],
+            author: UserId::new("prof-shih"),
+            version: 1,
+            created: 42,
+        })
+        .unwrap();
+        // A second registration is mid-flight when the power goes out:
+        // its records reach the log, its commit never does.
+        let txn = db.relational().begin();
+        txn.insert(
+            "wdoc_database",
+            vec![
+                "half-course".into(),
+                String::new().into(),
+                "prof-shih".into(),
+                Value::Int(1),
+                Value::Timestamp(43),
+            ],
+        )
+        .unwrap();
+        db.wal().unwrap().flush().unwrap();
+        std::mem::forget(txn); // crash: no commit, no rollback
+    }
+
+    // -- The network sees the same crash, then the recovery. -----------
+    let schedule = FaultSchedule::new()
+        .at(
+            SimTime::ZERO,
+            Fault::Crash {
+                station: StationId(1),
+            },
+        )
+        .at(
+            SimTime::from_secs(2),
+            Fault::Recover {
+                station: StationId(1),
+            },
+        );
+    let (r, _net) = run(2, 1, schedule);
+
+    // -- After netsim recovery: reopen from the log. -------------------
+    let (db, report) = WebDocDb::open_durable(&dir, mmu_wdoc::wal::WalOptions::default()).unwrap();
+    assert_eq!(report.losers.len(), 1, "the in-flight registration");
+    let names: Vec<String> = db
+        .databases()
+        .unwrap()
+        .into_iter()
+        .map(|d| d.name.to_string())
+        .collect();
+    assert_eq!(
+        names,
+        vec!["mm-course"],
+        "committed rows survive, loser is gone"
+    );
+
+    // -- And the recovered station is back in the delivery set. --------
+    assert!(r.unreachable.is_empty());
+    assert_eq!(
+        r.report.arrivals[&1],
+        SimTime::from_micros(3_150_128),
+        "the post-recovery retry lands exactly as in scenario (c)"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Delivery ratio arithmetic on the report.
 #[test]
 fn delivery_ratio_reflects_unreachable_fraction() {
     let schedule = FaultSchedule::new()
-        .at(SimTime::ZERO, Fault::Partition { src: StationId(0), dst: StationId(1) })
-        .at(SimTime::ZERO, Fault::Partition { src: StationId(1), dst: StationId(0) });
+        .at(
+            SimTime::ZERO,
+            Fault::Partition {
+                src: StationId(0),
+                dst: StationId(1),
+            },
+        )
+        .at(
+            SimTime::ZERO,
+            Fault::Partition {
+                src: StationId(1),
+                dst: StationId(0),
+            },
+        );
     let (r, _net) = run(4, 3, schedule);
     let ratio = r.delivery_ratio(4);
     assert!((ratio - 2.0 / 3.0).abs() < 1e-12);

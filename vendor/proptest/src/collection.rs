@@ -59,11 +59,7 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 
 /// `BTreeMap` strategy. Key collisions may make the map smaller than
 /// the drawn size (same caveat as real proptest).
-pub fn btree_map<K, V>(
-    keys: K,
-    values: V,
-    size: impl Into<SizeRange>,
-) -> BTreeMapStrategy<K, V>
+pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
 where
     K: Strategy,
     K::Value: Ord,

@@ -2,6 +2,4 @@
 
 pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
 pub use crate::test_runner::ProptestConfig;
-pub use crate::{
-    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};

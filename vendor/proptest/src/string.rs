@@ -95,10 +95,7 @@ fn parse_class(chars: &mut Peekable<Chars>, pattern: &str) -> Vec<char> {
                         Some(&hi) if hi != ']' => {
                             chars.next();
                             chars.next();
-                            assert!(
-                                lo <= hi,
-                                "inverted class range in pattern {pattern:?}"
-                            );
+                            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
                             choices.extend(lo..=hi);
                             continue;
                         }
@@ -213,8 +210,7 @@ mod tests {
             let parts: Vec<&str> = s.split(' ').collect();
             parts.len() == 2
                 && parts.iter().all(|p| {
-                    (1..=3).contains(&p.len())
-                        && p.chars().all(|c| ('a'..='d').contains(&c))
+                    (1..=3).contains(&p.len()) && p.chars().all(|c| ('a'..='d').contains(&c))
                 })
         });
         check("[a-z0-9.]{1,12}", |s| {
@@ -228,8 +224,7 @@ mod tests {
     fn optional_group() {
         check("[a-d]{1,3}( [a-d]{1,3})?", |s| {
             let parts: Vec<&str> = s.split(' ').collect();
-            (1..=2).contains(&parts.len())
-                && parts.iter().all(|p| (1..=3).contains(&p.len()))
+            (1..=2).contains(&parts.len()) && parts.iter().all(|p| (1..=3).contains(&p.len()))
         });
     }
 

@@ -81,9 +81,7 @@ pub fn run<F: FnMut(&mut TestRng)>(cfg: &ProptestConfig, name: &str, mut f: F) {
                 );
             }
             Err(payload) => {
-                eprintln!(
-                    "property `{name}` failed at case {passed} (seed {seed:#018x})"
-                );
+                eprintln!("property `{name}` failed at case {passed} (seed {seed:#018x})");
                 resume_unwind(payload);
             }
         }

@@ -215,9 +215,7 @@ fn key_from_str<K: DeserializeOwned>(s: String) -> Result<K, Error> {
 
 /// Decode either map encoding (see `ser::entries_to_value`): a JSON
 /// object for scalar keys, or an array of `[key, value]` pairs.
-fn map_entries<K: DeserializeOwned, V: DeserializeOwned>(
-    v: Value,
-) -> Result<Vec<(K, V)>, Error> {
+fn map_entries<K: DeserializeOwned, V: DeserializeOwned>(v: Value) -> Result<Vec<(K, V)>, Error> {
     match v {
         Value::Map(entries) => entries
             .into_iter()

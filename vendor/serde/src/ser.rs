@@ -219,6 +219,8 @@ impl<T: Serialize + Ord> Serialize for HashSet<T> {
     fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
         let mut items: Vec<&T> = self.iter().collect();
         items.sort();
-        s.serialize_value(Value::Array(items.into_iter().map(crate::to_value).collect()))
+        s.serialize_value(Value::Array(
+            items.into_iter().map(crate::to_value).collect(),
+        ))
     }
 }

@@ -23,7 +23,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
 }
 
 // ---------------------------------------------------------------- model
@@ -51,8 +53,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 // ---------------------------------------------------------------- parse
@@ -150,8 +158,13 @@ fn serde_with_from_attr(tokens: &[TokenTree], i: usize) -> Option<String> {
         }
         j += 1;
     }
-    panic!("vendored serde_derive supports only #[serde(with = \"...\")], got #[serde({})]",
-        args.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" "));
+    panic!(
+        "vendored serde_derive supports only #[serde(with = \"...\")], got #[serde({})]",
+        args.iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
 }
 
 /// Skip a type (or expression) until a top-level comma, tracking both
@@ -289,12 +302,11 @@ fn gen_serialize(item: &Item) -> String {
                     s.push_str("__s.serialize_value(::serde::Value::Map(__m))");
                     s
                 }
-                Fields::Tuple(1) => {
-                    "__s.serialize_value(::serde::to_value(&self.0))".to_string()
-                }
+                Fields::Tuple(1) => "__s.serialize_value(::serde::to_value(&self.0))".to_string(),
                 Fields::Tuple(n) => {
-                    let items: Vec<String> =
-                        (0..*n).map(|i| format!("::serde::to_value(&self.{i})")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::to_value(&self.{i})"))
+                        .collect();
                     format!(
                         "__s.serialize_value(::serde::Value::Array(vec![{}]))",
                         items.join(", ")
@@ -342,9 +354,7 @@ fn gen_serialize(item: &Item) -> String {
                     }
                 }
             }
-            let body = format!(
-                "let __val = match self {{\n{arms}}};\n__s.serialize_value(__val)"
-            );
+            let body = format!("let __val = match self {{\n{arms}}};\n__s.serialize_value(__val)");
             wrap_serialize(name, &body)
         }
     }
@@ -383,9 +393,9 @@ fn gen_deserialize(item: &Item) -> String {
                          ::std::result::Result::Ok({name} {{\n{inits}}})"
                     )
                 }
-                Fields::Tuple(1) => format!(
-                    "::std::result::Result::Ok({name}(::serde::from_value(__v)?))"
-                ),
+                Fields::Tuple(1) => {
+                    format!("::std::result::Result::Ok({name}(::serde::from_value(__v)?))")
+                }
                 Fields::Tuple(n) => {
                     let gets: Vec<String> = (0..*n)
                         .map(|_| {

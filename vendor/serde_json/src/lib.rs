@@ -292,15 +292,12 @@ impl<'a> Parser<'a> {
                             {
                                 self.pos += 2;
                                 let lo = self.hex4()?;
-                                let combined =
-                                    0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(combined)
                             } else {
                                 char::from_u32(cp)
                             };
-                            s.push(c.ok_or_else(|| {
-                                Error::at("invalid unicode escape", start)
-                            })?);
+                            s.push(c.ok_or_else(|| Error::at("invalid unicode escape", start))?);
                             continue; // pos already past the escape
                         }
                         _ => return Err(Error::at("invalid escape", self.pos)),
