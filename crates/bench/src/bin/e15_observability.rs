@@ -1,0 +1,274 @@
+//! E15 — the observability layer re-derives the experiment suite.
+//!
+//! Claim under test: the `obs` metrics registry is a *faithful* and
+//! *cheap* witness of the simulated system. Faithful: the headline
+//! numbers of E2 (broadcast completion / delivered bytes) and E13
+//! (delivery ratio, retries, drops) fall out of the `netsim.*` and
+//! `dist.*` metrics alone, with exact equality for every counter —
+//! no access to the reports the experiments normally read. Cheap:
+//! running with a live registry instead of a disabled one changes
+//! wall-clock time by less than 5%.
+//!
+//! * **E15a** replays the E2 sweep cells and checks, per cell, that
+//!   completion time equals the `netsim.deliver.last_us` gauge and
+//!   total bytes equal the `netsim.deliver.bytes` counter.
+//! * **E15b** replays E13 failure-sweep cells and re-computes delivery
+//!   ratio, retries, re-parents and drops from `dist.broadcast.*` /
+//!   `netsim.drop.*` counters, asserting exact equality with the
+//!   [`ResilientReport`].
+//! * **E15c** times a fixed batch of faulty resilient broadcasts with
+//!   the registry enabled vs [`obs::Registry::disabled`] (min of
+//!   several trials each) and asserts the overhead stays under 5% —
+//!   the CI smoke gate.
+
+use netsim::{Fault, FaultSchedule, LinkSpec, Network, SimTime, StationId};
+use obs::Registry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+use wdoc_bench::{emit, emit_metrics, print_metrics};
+use wdoc_dist::{
+    broadcast, predict_completion, resilient_broadcast, BroadcastTree, ResilientReport, RetryPolicy,
+};
+
+const N13: usize = 32;
+const OBJECT13: u64 = 2_000_000;
+
+/// Build the same seeded crash schedule as an E13 sweep cell (over `n`
+/// stations).
+fn e13_schedule(n: usize, p: f64, m: u64, link: LinkSpec, seed: u64) -> FaultSchedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let horizon = predict_completion(n as u64, m, OBJECT13, link).as_micros();
+    let mut schedule = FaultSchedule::new();
+    for sid in 1..n as u32 {
+        if rng.gen_bool(p) {
+            let at = SimTime::from_micros(rng.gen_range(0..=horizon));
+            schedule.push(
+                at,
+                Fault::Crash {
+                    station: StationId(sid),
+                },
+            );
+        }
+    }
+    schedule
+}
+
+/// Run one E13-style cell and return the report plus the network's
+/// metrics snapshot (`resilient_broadcast` flushes on completion).
+fn e13_cell(p: f64, m: u64, link: LinkSpec, seed: u64) -> (ResilientReport, obs::Snapshot) {
+    let (mut net, ids) = Network::uniform(N13, link);
+    net.set_faults(e13_schedule(N13, p, m, link, seed));
+    let tree = BroadcastTree::new(ids, m);
+    let r = resilient_broadcast(&mut net, &tree, OBJECT13, RetryPolicy::default());
+    (r, net.metrics().snapshot())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // --- E15a: E2 headline numbers from metrics alone -----------------
+    const OBJECT2: u64 = 8_000_000;
+    let link2 = LinkSpec::new(1_000_000, SimTime::from_millis(20));
+    let ns: &[usize] = if smoke {
+        &[8, 32]
+    } else {
+        &[8, 16, 32, 64, 128]
+    };
+
+    #[derive(Serialize)]
+    struct RederiveRow {
+        n: usize,
+        m: u64,
+        completion_s_report: f64,
+        completion_s_metrics: f64,
+        total_bytes_report: u64,
+        total_bytes_metrics: u64,
+        exact: bool,
+    }
+
+    println!("E15a: E2 re-derived from netsim.* metrics (8 MB lecture, 1 MB/s, 20 ms)");
+    println!(
+        "{:>5} {:>3} {:>12} {:>12} {:>12} {:>12}",
+        "N", "m", "report(s)", "metrics(s)", "report B", "metrics B"
+    );
+    for &n in ns {
+        for m in [2u64, 4] {
+            let (mut net, ids) = Network::uniform(n, link2);
+            let tree = BroadcastTree::new(ids, m);
+            let r = broadcast(&mut net, &tree, OBJECT2);
+            let snap = net.metrics().snapshot();
+            // Plain broadcast: the last delivery IS the completion, and
+            // every delivered byte is object payload.
+            let completion_us = snap.gauge("netsim.deliver.last_us").unwrap_or(0) as u64;
+            let total_bytes = snap.counter("netsim.deliver.bytes");
+            let row = RederiveRow {
+                n,
+                m,
+                completion_s_report: r.completion.as_secs_f64(),
+                completion_s_metrics: completion_us as f64 / 1e6,
+                total_bytes_report: r.total_bytes,
+                total_bytes_metrics: total_bytes,
+                exact: completion_us == r.completion.as_micros() && total_bytes == r.total_bytes,
+            };
+            println!(
+                "{:>5} {:>3} {:>12.2} {:>12.2} {:>12} {:>12}",
+                row.n,
+                row.m,
+                row.completion_s_report,
+                row.completion_s_metrics,
+                row.total_bytes_report,
+                row.total_bytes_metrics
+            );
+            assert!(
+                row.exact,
+                "E15a: metrics must equal the report exactly (n={n}, m={m})"
+            );
+            assert_eq!(
+                snap.counter("netsim.deliver.msgs"),
+                r.arrivals.len() as u64,
+                "one delivery per arrival"
+            );
+            emit("e15a", &row);
+        }
+    }
+    println!();
+
+    // --- E15b: E13 headline numbers from metrics alone ----------------
+    let link13 = LinkSpec::new(1_000_000, SimTime::from_millis(10));
+    let cells: &[(f64, u64)] = if smoke {
+        &[(0.15, 2)]
+    } else {
+        &[(0.0, 2), (0.05, 4), (0.15, 2), (0.3, 4)]
+    };
+
+    #[derive(Serialize)]
+    struct E13Row {
+        crash_p: f64,
+        m: u64,
+        delivery_ratio_report: f64,
+        delivery_ratio_metrics: f64,
+        retries: u64,
+        reparented: u64,
+        dropped_msgs: u64,
+        exact: bool,
+    }
+
+    println!("E15b: E13 re-derived from dist.broadcast.* counters, N = {N13}");
+    println!(
+        "{:>6} {:>3} {:>9} {:>9} {:>7} {:>8} {:>7}",
+        "p", "m", "deliv%", "metric%", "retries", "reparent", "dropped"
+    );
+    let mut last_snapshot = None;
+    for &(p, m) in cells {
+        let seed = 1999 + (p * 1000.0) as u64 * 37 + m;
+        let (r, snap) = e13_cell(p, m, link13, seed);
+        let acked = snap.counter("dist.broadcast.acked");
+        let ratio_metrics = acked as f64 / (N13 as u64 - 1) as f64;
+        let exact = acked == r.report.arrivals.len() as u64
+            && snap.counter("dist.broadcast.retries") == r.retries
+            && snap.counter("dist.broadcast.reparented") == r.reparented.len() as u64
+            && snap.counter("dist.broadcast.unreachable") == r.unreachable.len() as u64
+            && snap.counter("dist.broadcast.duplicates") == r.duplicates
+            && snap.counter("dist.broadcast.control_bytes") == r.control_bytes
+            && snap.counter("netsim.drop.msgs") == r.dropped_msgs
+            && snap.gauge("dist.broadcast.completion_us")
+                == Some(r.report.completion.as_micros() as i64);
+        let row = E13Row {
+            crash_p: p,
+            m,
+            delivery_ratio_report: r.delivery_ratio(N13 as u64),
+            delivery_ratio_metrics: ratio_metrics,
+            retries: snap.counter("dist.broadcast.retries"),
+            reparented: snap.counter("dist.broadcast.reparented"),
+            dropped_msgs: snap.counter("netsim.drop.msgs"),
+            exact,
+        };
+        println!(
+            "{:>6.2} {:>3} {:>9.1} {:>9.1} {:>7} {:>8} {:>7}",
+            row.crash_p,
+            row.m,
+            row.delivery_ratio_report * 100.0,
+            row.delivery_ratio_metrics * 100.0,
+            row.retries,
+            row.reparented,
+            row.dropped_msgs
+        );
+        assert!(
+            row.exact,
+            "E15b: every counter must equal its report twin (p={p}, m={m})"
+        );
+        emit("e15b", &row);
+        last_snapshot = Some(snap);
+    }
+    if let Some(snap) = &last_snapshot {
+        print_metrics("E15b: metrics snapshot of the last cell:", snap);
+        emit_metrics("e15b_snapshot", snap);
+    }
+    println!();
+
+    // --- E15c: instrumentation overhead -------------------------------
+    // Time a batch of faulty resilient broadcasts (lecture-hall scale:
+    // 256 stations, 5% crash probability) with a live registry vs a
+    // disabled one. Min-of-trials removes scheduler noise; the batch is
+    // sized so 5% is well above timer resolution.
+    const NC: usize = 256;
+    const CRASH_P: f64 = 0.05;
+    let trials = if smoke { 25 } else { 31 };
+    let reps = if smoke { 6 } else { 10 };
+    // One long-lived registry for the whole enabled batch — the
+    // deployment shape (an experiment shares one registry across runs),
+    // and steady-state: warm keys, a full trace ring, no allocation.
+    let shared = Registry::new();
+    let batch = |registry_on: bool| -> f64 {
+        let t0 = Instant::now();
+        for rep in 0..reps {
+            let seed = 7 + rep as u64;
+            let (mut net, ids) = Network::uniform(NC, link13);
+            net.set_metrics(if registry_on {
+                shared.clone()
+            } else {
+                Registry::disabled()
+            });
+            net.set_faults(e13_schedule(NC, CRASH_P, 2, link13, seed));
+            let tree = BroadcastTree::new(ids, 2);
+            let r = resilient_broadcast(&mut net, &tree, OBJECT13, RetryPolicy::default());
+            std::hint::black_box(r);
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    // Warm up both paths, then interleave the timed trials so clock
+    // frequency / cache drift hits both sides alike; keep the best
+    // (least-disturbed) trial of each.
+    std::hint::black_box((batch(true), batch(false)));
+    let mut enabled_s = f64::INFINITY;
+    let mut disabled_s = f64::INFINITY;
+    for _ in 0..trials {
+        enabled_s = enabled_s.min(batch(true));
+        disabled_s = disabled_s.min(batch(false));
+    }
+    let overhead_pct = (enabled_s / disabled_s - 1.0) * 100.0;
+
+    #[derive(Serialize)]
+    struct OverheadRow {
+        enabled_ms: f64,
+        disabled_ms: f64,
+        overhead_pct: f64,
+    }
+    let row = OverheadRow {
+        enabled_ms: enabled_s * 1e3,
+        disabled_ms: disabled_s * 1e3,
+        overhead_pct,
+    };
+    println!(
+        "E15c: instrumentation overhead — enabled {:.2} ms vs disabled {:.2} ms ({:+.2}%)",
+        row.enabled_ms, row.disabled_ms, row.overhead_pct
+    );
+    emit("e15c", &row);
+    assert!(
+        overhead_pct < 5.0,
+        "E15c: instrumentation overhead {overhead_pct:.2}% exceeds the 5% budget"
+    );
+    println!("E15: all re-derivations exact; overhead within budget.");
+}

@@ -8,4 +8,4 @@
 
 pub mod report;
 
-pub use report::{emit, Series};
+pub use report::{emit, emit_metrics, print_metrics, Series};

@@ -2,6 +2,7 @@
 //! human-readable table and one JSON object per row (machine-readable,
 //! so EXPERIMENTS.md numbers can be regenerated and diffed).
 
+use obs::Snapshot;
 use serde::Serialize;
 
 /// Print one experiment row as JSON on stdout, prefixed so tables and
@@ -9,6 +10,23 @@ use serde::Serialize;
 pub fn emit<T: Serialize>(experiment: &str, row: &T) {
     let json = serde_json::to_string(row).expect("row serializes");
     println!("JSON {experiment} {json}");
+}
+
+/// Print an [`obs`] metrics snapshot as one JSON line, using the same
+/// `JSON <experiment> <object>` framing as [`emit`]. The snapshot's own
+/// deterministic encoder is used (sorted keys, integers only), so
+/// same-seed runs emit byte-identical lines.
+pub fn emit_metrics(experiment: &str, snapshot: &Snapshot) {
+    println!("JSON {experiment} {}", snapshot.to_json());
+}
+
+/// Print an [`obs`] metrics snapshot as an indented human-readable
+/// table under the given heading.
+pub fn print_metrics(heading: &str, snapshot: &Snapshot) {
+    println!("{heading}");
+    for line in snapshot.to_text().lines() {
+        println!("  {line}");
+    }
 }
 
 /// A labelled numeric series for quick textual plots.

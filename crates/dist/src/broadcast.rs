@@ -119,6 +119,7 @@ fn finish(
     tree: &BroadcastTree,
     arrivals: BTreeMap<u32, SimTime>,
 ) -> BroadcastReport {
+    net.flush_metrics();
     let max_station_tx = tree
         .broadcast_vector()
         .iter()

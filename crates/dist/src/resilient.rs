@@ -30,6 +30,23 @@
 //!
 //! Everything is keyed off [`SimTime`]; a run is a pure function of the
 //! topology, tree, policy and fault schedule.
+//!
+//! ## Metrics
+//!
+//! A run mirrors its counters onto the network's [`obs::Registry`]
+//! under `dist.broadcast.*` — every [`ResilientReport`] field with a
+//! counter shape has a registry twin of the same value, plus
+//! per-arrival and backoff histograms and a `reparent` trace event per
+//! adopted subtree (retries are high-volume under heavy faults, so they
+//! are counted and histogrammed, not traced — same policy as per-drop
+//! events in [`netsim`]). Counters and histograms accumulate in the
+//! run's own locals (which also feed the report) and are written to the
+//! registry once, after the run, alongside a [`Network::flush_metrics`]
+//! call — so supervising a broadcast costs the registry nothing per
+//! event except the rare re-parent trace. The report stays the source of
+//! truth (it works even with a [`obs::Registry::disabled`] registry);
+//! the registry copies exist so experiments can re-derive headline
+//! numbers from metrics alone.
 
 use crate::broadcast::BroadcastReport;
 use crate::tree::BroadcastTree;
@@ -214,6 +231,9 @@ pub fn resilient_broadcast(
     let n = tree.len() as u64;
     let root = tree.root();
     let etas = predict_etas(net.topology(), tree, object_bytes, policy.ack_bytes);
+    // Clone the handle so the run closure (which borrows `net` mutably)
+    // can record without fighting the borrow checker.
+    let m = net.metrics().clone();
 
     // Root-side supervision state (indexed by position).
     let mut acked = vec![false; n as usize + 1];
@@ -226,6 +246,8 @@ pub fn resilient_broadcast(
     let mut accepted = 0u64;
     let mut duplicates = 0u64;
     let mut control_bytes = 0u64;
+    let mut arrival_h = obs::Histogram::new(obs::buckets::TIME_US);
+    let mut backoff_h = obs::Histogram::new(obs::buckets::TIME_US);
 
     // Kick off: root relays to its children and arms one timer per
     // supervised position.
@@ -302,8 +324,16 @@ pub fn resilient_broadcast(
                 acked[position as usize] = true;
                 let sid = tree.station_at(position).expect("position exists");
                 arrivals.insert(sid.0, arrived);
+                arrival_h.record(arrived.as_micros());
                 if tree.parent_of(position) != Some(via) {
                     reparented.insert(sid.0);
+                    // "station sid now relayed via tree position via"
+                    m.trace_pair(
+                        net.now().as_micros(),
+                        "dist.broadcast.reparent",
+                        sid.0.into(),
+                        via,
+                    );
                 }
             }
         }
@@ -373,6 +403,7 @@ pub fn resilient_broadcast(
                     .as_micros()
                     .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX)),
             );
+            backoff_h.record(backoff.as_micros());
             net.schedule(
                 root,
                 deadline_base + ack_leg + backoff,
@@ -389,6 +420,23 @@ pub fn resilient_broadcast(
         .map(|p| tree.station_at(p).expect("position exists").0)
         .collect();
     let completion = arrivals.values().copied().max().unwrap_or(SimTime::ZERO);
+
+    // One registry write per metric for the whole run; `add`/`merge`
+    // semantics so several runs sharing one registry accumulate.
+    m.add("dist.broadcast.accepted", accepted);
+    m.add("dist.broadcast.duplicates", duplicates);
+    m.add("dist.broadcast.acked", arrivals.len() as u64);
+    m.add("dist.broadcast.retries", retries);
+    m.add("dist.broadcast.reparented", reparented.len() as u64);
+    m.add("dist.broadcast.unreachable", unreachable.len() as u64);
+    m.add("dist.broadcast.control_bytes", control_bytes);
+    m.merge_histogram("dist.broadcast.arrival_us", &arrival_h);
+    m.merge_histogram("dist.broadcast.backoff_us", &backoff_h);
+    m.gauge_set(
+        "dist.broadcast.completion_us",
+        completion.as_micros() as i64,
+    );
+    net.flush_metrics();
     let max_station_tx = tree
         .broadcast_vector()
         .iter()
@@ -549,6 +597,49 @@ mod tests {
         assert_eq!(r.control_bytes, 6 * 64 + 32, "six ACKs + one SendData");
         // The root never re-sent the object: 2 initial children only.
         assert_eq!(net.station_stats(StationId(0)).tx_bytes, 2 * MB + 32);
+    }
+
+    /// Satellite of the observability layer: every counter-shaped
+    /// [`ResilientReport`] field has a registry twin of equal value —
+    /// in a healthy run and in the hand-computed crash scenario.
+    #[test]
+    fn registry_counters_match_report_fields() {
+        let schedule = FaultSchedule::new().at(
+            SimTime::ZERO,
+            Fault::Crash {
+                station: StationId(1),
+            },
+        );
+        for sched in [None, Some(schedule)] {
+            let (r, net) = run(7, 2, sched);
+            let snap = net.metrics().snapshot();
+            assert_eq!(snap.counter("dist.broadcast.accepted"), r.accepted);
+            assert_eq!(snap.counter("dist.broadcast.duplicates"), r.duplicates);
+            assert_eq!(snap.counter("dist.broadcast.retries"), r.retries);
+            assert_eq!(
+                snap.counter("dist.broadcast.reparented"),
+                r.reparented.len() as u64
+            );
+            assert_eq!(
+                snap.counter("dist.broadcast.unreachable"),
+                r.unreachable.len() as u64
+            );
+            assert_eq!(
+                snap.counter("dist.broadcast.control_bytes"),
+                r.control_bytes
+            );
+            assert_eq!(
+                snap.counter("dist.broadcast.acked"),
+                r.report.arrivals.len() as u64
+            );
+            assert_eq!(snap.counter("netsim.drop.msgs"), r.dropped_msgs);
+            assert_eq!(
+                snap.gauge("dist.broadcast.completion_us"),
+                Some(r.report.completion.as_micros() as i64)
+            );
+            let arrivals = snap.histogram("dist.broadcast.arrival_us").unwrap();
+            assert_eq!(arrivals.count(), r.report.arrivals.len() as u64);
+        }
     }
 
     #[test]

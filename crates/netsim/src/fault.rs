@@ -40,6 +40,7 @@
 
 use crate::time::SimTime;
 use crate::topology::{LinkSpec, StationId};
+use obs::Registry;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -184,8 +185,9 @@ impl FaultState {
         }
     }
 
-    /// Apply every scheduled event with time ≤ `now`.
-    pub(crate) fn advance(&mut self, now: SimTime) {
+    /// Apply every scheduled event with time ≤ `now`, counting each
+    /// applied event (`netsim.fault.*`) and tracing it on `metrics`.
+    pub(crate) fn advance(&mut self, now: SimTime, metrics: &Registry) {
         while let Some(&(at, fault)) = self.schedule.get(self.cursor) {
             if at > now {
                 break;
@@ -198,22 +200,47 @@ impl FaultState {
                     bandwidth_factor,
                     latency_factor,
                 } => {
+                    metrics.inc("netsim.fault.degrade");
+                    metrics.trace(at.as_micros(), "netsim.fault.degrade", || {
+                        format!(
+                            "{}->{} bw*{bandwidth_factor} lat*{latency_factor}",
+                            src.0, dst.0
+                        )
+                    });
                     self.degraded
                         .insert((src, dst), (bandwidth_factor, latency_factor));
                 }
                 Fault::Partition { src, dst } => {
+                    metrics.inc("netsim.fault.partition");
+                    metrics.trace_pair(
+                        at.as_micros(),
+                        "netsim.fault.partition",
+                        src.0.into(),
+                        dst.0.into(),
+                    );
                     self.partitioned.insert((src, dst));
                     self.pair_cut.insert((src, dst), at);
                 }
                 Fault::Heal { src, dst } => {
+                    metrics.inc("netsim.fault.heal");
+                    metrics.trace_pair(
+                        at.as_micros(),
+                        "netsim.fault.heal",
+                        src.0.into(),
+                        dst.0.into(),
+                    );
                     self.partitioned.remove(&(src, dst));
                     self.degraded.remove(&(src, dst));
                 }
                 Fault::Crash { station } => {
+                    metrics.inc("netsim.fault.crash");
+                    metrics.trace_num(at.as_micros(), "netsim.fault.crash", station.0.into());
                     self.down.insert(station);
                     self.crashed_at.insert(station, at);
                 }
                 Fault::Recover { station } => {
+                    metrics.inc("netsim.fault.recover");
+                    metrics.trace_num(at.as_micros(), "netsim.fault.recover", station.0.into());
                     self.down.remove(&station);
                 }
             }
@@ -255,6 +282,10 @@ impl FaultState {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn reg() -> Registry {
+        Registry::new()
+    }
 
     #[test]
     fn schedule_sorts_stably() {
@@ -316,12 +347,12 @@ mod tests {
                 },
             );
         let mut f = FaultState::new(s);
-        f.advance(SimTime::ZERO);
+        f.advance(SimTime::ZERO, &reg());
         assert!(!f.is_down(StationId(0)));
-        f.advance(SimTime::from_secs(1));
+        f.advance(SimTime::from_secs(1), &reg());
         assert!(f.is_down(StationId(0)));
         assert_eq!(f.last_crash(StationId(0)), Some(SimTime::from_secs(1)));
-        f.advance(SimTime::from_secs(3));
+        f.advance(SimTime::from_secs(3), &reg());
         assert!(!f.is_down(StationId(0)));
         // The crash epoch survives recovery.
         assert_eq!(f.last_crash(StationId(0)), Some(SimTime::from_secs(1)));
@@ -337,7 +368,7 @@ mod tests {
             },
         );
         let mut f = FaultState::new(s);
-        f.advance(SimTime::from_secs(2));
+        f.advance(SimTime::from_secs(2), &reg());
         // Sent before the cut: killed. Sent at/after the cut: the doom
         // check at send time is responsible instead.
         assert!(f.cut_since(StationId(0), StationId(1), SimTime::from_secs(1)));
@@ -376,14 +407,14 @@ mod tests {
                 },
             );
         let mut f = FaultState::new(s);
-        f.advance(SimTime::from_secs(1));
+        f.advance(SimTime::from_secs(1), &reg());
         let spec = LinkSpec::new(1_000_000, SimTime::from_millis(10));
         assert_eq!(
             f.apply(pair.0, pair.1, spec),
             LinkSpec::new(500_000, SimTime::from_millis(20))
         );
         assert!(f.dooms(pair.0, pair.1));
-        f.advance(SimTime::from_secs(2));
+        f.advance(SimTime::from_secs(2), &reg());
         assert_eq!(f.apply(pair.0, pair.1, spec), spec);
         assert!(!f.dooms(pair.0, pair.1));
     }

@@ -24,11 +24,28 @@
 //! failures (see [`crate::fault`] for the exact semantics). Without a
 //! schedule every fault check short-circuits, so a fault-free run is
 //! bit-identical to the pre-fault-layer simulator.
+//!
+//! ## Metrics
+//!
+//! Every network carries an [`obs::Registry`] (shareable across
+//! networks via [`Network::set_metrics`]) exposing `netsim.*` counters
+//! for sends, deliveries, fault drops and fault events, a
+//! delivery-latency histogram and per-uplink utilization. The hot path
+//! never touches the registry: per-event totals accumulate in plain
+//! fields exactly like the pre-existing [`StationStats`] counters, and
+//! [`Network::flush_metrics`] exports them with the registry's
+//! idempotent `*_set` primitives (so flushing after every protocol run
+//! *and* again before a snapshot is harmless). Only rare fault events
+//! write (and trace) directly as they are applied. All values derive
+//! from [`SimTime`] and event counts, so the whole `netsim.*`
+//! namespace is byte-for-byte reproducible under a fixed seed (the
+//! `obs` crate documents the determinism contract).
 
 use crate::event::EventQueue;
 use crate::fault::{FaultSchedule, FaultState, SendError};
 use crate::time::SimTime;
 use crate::topology::{LinkSpec, StationId, StationStats, Topology};
+use obs::{Histogram, Registry};
 
 /// A message in flight (or delivered). `P` is user payload.
 #[derive(Debug, Clone)]
@@ -53,6 +70,32 @@ struct Envelope<P> {
     doomed: bool,
 }
 
+/// Always-on metric accumulators that exist only for the observability
+/// layer (everything else is derived from the simulator's own counters
+/// at flush time). Plain fields: updating one costs what updating
+/// `total_bytes` costs.
+struct MetricAccum {
+    send_doomed: u64,
+    drop_in_flight: u64,
+    drop_sender_down: u64,
+    timers: u64,
+    queue_peak: usize,
+    latency: Histogram,
+}
+
+impl MetricAccum {
+    fn new() -> Self {
+        MetricAccum {
+            send_doomed: 0,
+            drop_in_flight: 0,
+            drop_sender_down: 0,
+            timers: 0,
+            queue_peak: 0,
+            latency: Histogram::new(obs::buckets::TIME_US),
+        }
+    }
+}
+
 /// The discrete-event network simulator.
 pub struct Network<P> {
     topo: Topology,
@@ -64,6 +107,8 @@ pub struct Network<P> {
     faults: Option<FaultState>,
     dropped_msgs: u64,
     dropped_bytes: u64,
+    metrics: Registry,
+    accum: MetricAccum,
 }
 
 impl<P> Network<P> {
@@ -80,7 +125,23 @@ impl<P> Network<P> {
             faults: None,
             dropped_msgs: 0,
             dropped_bytes: 0,
+            metrics: Registry::new(),
+            accum: MetricAccum::new(),
         }
+    }
+
+    /// The metrics registry this network records into.
+    #[must_use]
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Replace the registry — typically with a clone shared across
+    /// several networks (or with [`Registry::disabled`] to measure
+    /// instrumentation overhead). Counters already recorded stay with
+    /// the old registry.
+    pub fn set_metrics(&mut self, metrics: Registry) {
+        self.metrics = metrics;
     }
 
     /// Current simulated time.
@@ -156,7 +217,7 @@ impl<P> Network<P> {
 
     fn advance_faults(&mut self, now: SimTime) {
         if let Some(f) = &mut self.faults {
-            f.advance(now);
+            f.advance(now, &self.metrics);
         }
     }
 
@@ -172,6 +233,7 @@ impl<P> Network<P> {
             Err(SendError::SenderDown(_)) => {
                 self.dropped_msgs += 1;
                 self.dropped_bytes += bytes;
+                self.accum.drop_sender_down += 1;
                 self.now
             }
         }
@@ -203,11 +265,16 @@ impl<P> Network<P> {
         };
         let s = &mut self.topo.stations[src.0 as usize];
         let start = s.uplink_free.max(self.now);
-        let done = start + SimTime::transfer(bytes, path.bandwidth);
+        let serialize = SimTime::transfer(bytes, path.bandwidth);
+        let done = start + serialize;
         s.uplink_free = done;
+        s.busy += serialize;
         s.tx_bytes += bytes;
         s.tx_msgs += 1;
         let arrival = done + path.latency;
+        if doomed {
+            self.accum.send_doomed += 1;
+        }
         self.queue.push(
             arrival,
             Envelope {
@@ -221,6 +288,7 @@ impl<P> Network<P> {
                 doomed,
             },
         );
+        self.accum.queue_peak = self.accum.queue_peak.max(self.queue.len());
         Ok(arrival)
     }
 
@@ -234,6 +302,7 @@ impl<P> Network<P> {
         self.advance_faults(self.now);
         let doomed = self.faults.as_ref().is_some_and(|f| f.is_down(station));
         let at = at.max(self.now);
+        self.accum.timers += 1;
         self.queue.push(
             at,
             Envelope {
@@ -255,10 +324,11 @@ impl<P> Network<P> {
         while let Some((at, env)) = self.queue.pop() {
             self.now = at;
             if let Some(f) = &mut self.faults {
-                f.advance(at);
+                f.advance(at, &self.metrics);
                 if env.doomed || f.cut_since(env.msg.src, env.msg.dst, env.sent_at) {
                     self.dropped_msgs += 1;
                     self.dropped_bytes += env.msg.bytes;
+                    self.accum.drop_in_flight += 1;
                     continue;
                 }
             }
@@ -268,6 +338,7 @@ impl<P> Network<P> {
             self.total_bytes += env.msg.bytes;
             self.total_msgs += 1;
             self.last_delivery = at;
+            self.accum.latency.record((at - env.sent_at).as_micros());
             return Some(env.msg);
         }
         None
@@ -336,6 +407,57 @@ impl<P> Network<P> {
             rx_bytes: s.rx_bytes,
             tx_msgs: s.tx_msgs,
             rx_msgs: s.rx_msgs,
+        }
+    }
+
+    /// Export every accumulated `netsim.*` metric into the registry:
+    /// send/deliver/drop/timer totals, the delivery-latency histogram,
+    /// the queue high-watermark, and a per-uplink
+    /// `netsim.uplink.utilization_pct` histogram (each station's
+    /// cumulative serialization time over the elapsed simulated time).
+    ///
+    /// Everything is written with the registry's `*_set` primitives, so
+    /// the flush is **idempotent**: protocol runs flush on completion
+    /// and callers may flush again before snapshotting without double
+    /// counting. Only the rare `netsim.fault.*` counters and trace
+    /// events are written as faults are applied, not here.
+    pub fn flush_metrics(&self) {
+        let m = &self.metrics;
+        if !m.is_enabled() {
+            return;
+        }
+        let elapsed = self.now.as_micros();
+        let mut tx_msgs = 0u64;
+        let mut tx_bytes = 0u64;
+        let mut busy_us = 0u64;
+        let mut util = Histogram::new(obs::buckets::PCT);
+        for s in &self.topo.stations {
+            tx_msgs += s.tx_msgs;
+            tx_bytes += s.tx_bytes;
+            busy_us += s.busy.as_micros();
+            if let Some(pct) = (s.busy.as_micros() * 100).checked_div(elapsed) {
+                util.record(pct);
+            }
+        }
+        m.counter_set("netsim.send.msgs", tx_msgs);
+        m.counter_set("netsim.send.bytes", tx_bytes);
+        m.counter_set("netsim.send.doomed", self.accum.send_doomed);
+        m.counter_set("netsim.uplink.busy_us", busy_us);
+        m.counter_set("netsim.deliver.msgs", self.total_msgs);
+        m.counter_set("netsim.deliver.bytes", self.total_bytes);
+        m.counter_set("netsim.drop.msgs", self.dropped_msgs);
+        m.counter_set("netsim.drop.bytes", self.dropped_bytes);
+        m.counter_set("netsim.drop.in_flight", self.accum.drop_in_flight);
+        m.counter_set("netsim.drop.sender_down", self.accum.drop_sender_down);
+        m.counter_set("netsim.timer.scheduled", self.accum.timers);
+        m.gauge_set("netsim.queue.peak", self.accum.queue_peak as i64);
+        m.gauge_set(
+            "netsim.deliver.last_us",
+            self.last_delivery.as_micros() as i64,
+        );
+        m.histogram_set("netsim.deliver.latency_us", &self.accum.latency);
+        if elapsed > 0 {
+            m.histogram_set("netsim.uplink.utilization_pct", &util);
         }
     }
 
@@ -578,6 +700,48 @@ mod tests {
             net.effective_path(ids[0], ids[1]),
             Some(LinkSpec::new(500_000, SimTime::ZERO))
         );
+    }
+
+    #[test]
+    fn metrics_mirror_counters_and_faults() {
+        let (mut net, ids) = Network::uniform(2, LinkSpec::new(1_000_000, SimTime::ZERO));
+        net.set_faults(
+            FaultSchedule::new().at(SimTime::from_millis(500), Fault::Crash { station: ids[1] }),
+        );
+        net.send(ids[0], ids[1], 1_000_000, 1); // killed in flight at 0.5 s
+        net.run(|_, _| {});
+        net.flush_metrics();
+        let snap = net.metrics().snapshot();
+        assert_eq!(snap.counter("netsim.send.msgs"), 1);
+        assert_eq!(snap.counter("netsim.send.bytes"), 1_000_000);
+        assert_eq!(snap.counter("netsim.deliver.msgs"), 0);
+        assert_eq!(snap.counter("netsim.drop.msgs"), net.dropped_msgs());
+        assert_eq!(snap.counter("netsim.drop.bytes"), net.dropped_bytes());
+        assert_eq!(snap.counter("netsim.drop.in_flight"), 1);
+        assert_eq!(snap.counter("netsim.fault.crash"), 1);
+        // The sender serialized for the full second: busy time recorded.
+        assert_eq!(snap.counter("netsim.uplink.busy_us"), 1_000_000);
+        let util = snap.histogram("netsim.uplink.utilization_pct").unwrap();
+        assert_eq!(util.count(), 2); // one sample per station
+                                     // Fault application left a trace event.
+        assert!(snap.events.iter().any(|e| e.name == "netsim.fault.crash"));
+        // Flushing is idempotent: a second flush changes nothing.
+        net.flush_metrics();
+        assert_eq!(net.metrics().snapshot().to_json(), snap.to_json());
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let (mut net, ids) = Network::uniform(2, LinkSpec::lan());
+        net.set_metrics(Registry::disabled());
+        net.send(ids[0], ids[1], 1234, ());
+        net.run(|_, _| {});
+        net.flush_metrics();
+        let snap = net.metrics().snapshot();
+        assert_eq!(snap.counter("netsim.send.msgs"), 0);
+        assert!(snap.counters.is_empty());
+        // The simulation itself is unaffected.
+        assert_eq!(net.total_bytes(), 1234);
     }
 
     #[test]

@@ -75,6 +75,9 @@ pub(crate) struct StationState {
     pub uplink: LinkSpec,
     /// Time at which the uplink finishes its queued sends.
     pub uplink_free: SimTime,
+    /// Cumulative serialization time spent on this uplink (for
+    /// utilization metrics: busy / elapsed).
+    pub busy: SimTime,
     pub tx_bytes: u64,
     pub rx_bytes: u64,
     pub tx_msgs: u64,
@@ -101,6 +104,7 @@ impl Topology {
         self.stations.push(StationState {
             uplink,
             uplink_free: SimTime::ZERO,
+            busy: SimTime::ZERO,
             tx_bytes: 0,
             rx_bytes: 0,
             tx_msgs: 0,

@@ -6,6 +6,12 @@
 //! for a copy it did not get — those bytes land in the dropped
 //! counters instead. These exact-value tests pin that split so an
 //! accounting regression shows up as a diff, not a skewed experiment.
+//!
+//! The assertions read the `netsim.*` metrics registry (after
+//! [`Network::flush_metrics`]) rather than the raw accessors — the
+//! registry is what experiments and operators consume, so the *export*
+//! is the surface to pin. The first test keeps the raw accessors as
+//! cross-checks, tying the two views together.
 
 use netsim::{Fault, FaultSchedule, LinkSpec, Network, SendError, SimTime, StationId};
 
@@ -29,21 +35,33 @@ fn send_to_crashed_station_burns_uplink_but_credits_no_rx() {
 
     net.send(StationId(0), StationId(1), 3 * MB, 7);
     net.run(|_, _| panic!("nothing may be delivered to a crashed station"));
+    net.flush_metrics();
+    let snap = net.metrics().snapshot();
 
+    // Sender paid in full: the bytes went onto its uplink, and the
+    // copy was already doomed when it left.
+    assert_eq!(snap.counter("netsim.send.bytes"), 3 * MB);
+    assert_eq!(snap.counter("netsim.send.msgs"), 1);
+    assert_eq!(snap.counter("netsim.send.doomed"), 1);
+    // Receiver got nothing — and is *recorded* as having got nothing.
+    assert_eq!(snap.counter("netsim.deliver.bytes"), 0);
+    assert_eq!(snap.counter("netsim.deliver.msgs"), 0);
+    // The loss is visible in the dropped counters, not silently eaten.
+    assert_eq!(snap.counter("netsim.drop.bytes"), 3 * MB);
+    assert_eq!(snap.counter("netsim.drop.msgs"), 1);
+
+    // Cross-check: the registry export and the raw accessors are two
+    // views of the same ledger.
     let sender = net.station_stats(StationId(0));
     let receiver = net.station_stats(StationId(1));
-    // Sender paid in full: the bytes went onto its uplink.
-    assert_eq!(sender.tx_bytes, 3 * MB);
+    assert_eq!(sender.tx_bytes, snap.counter("netsim.send.bytes"));
     assert_eq!(sender.tx_msgs, 1);
-    // Receiver got nothing — and is *recorded* as having got nothing.
     assert_eq!(receiver.rx_bytes, 0);
     assert_eq!(receiver.rx_msgs, 0);
-    // The loss is visible in the dropped counters, not silently eaten.
-    assert_eq!(net.dropped_bytes(), 3 * MB);
-    assert_eq!(net.dropped_msgs(), 1);
-    // Global delivered-traffic counters exclude the doomed copy.
-    assert_eq!(net.total_bytes(), 0);
-    assert_eq!(net.total_msgs(), 0);
+    assert_eq!(net.dropped_bytes(), snap.counter("netsim.drop.bytes"));
+    assert_eq!(net.dropped_msgs(), snap.counter("netsim.drop.msgs"));
+    assert_eq!(net.total_bytes(), snap.counter("netsim.deliver.bytes"));
+    assert_eq!(net.total_msgs(), snap.counter("netsim.deliver.msgs"));
 }
 
 #[test]
@@ -61,16 +79,20 @@ fn send_across_partition_is_accounted_identically() {
     net.send(StationId(0), StationId(2), MB, 2); // healthy control
     let mut delivered = Vec::new();
     net.run(|_, m| delivered.push((m.dst, m.bytes)));
+    net.flush_metrics();
+    let snap = net.metrics().snapshot();
 
     assert_eq!(delivered, vec![(StationId(2), MB)]);
-    let sender = net.station_stats(StationId(0));
-    // Both copies crossed the sender's uplink back-to-back.
-    assert_eq!(sender.tx_bytes, 3 * MB);
-    assert_eq!(sender.tx_msgs, 2);
+    // Both copies crossed the sender's uplink back-to-back; exactly one
+    // was doomed at send time.
+    assert_eq!(snap.counter("netsim.send.bytes"), 3 * MB);
+    assert_eq!(snap.counter("netsim.send.msgs"), 2);
+    assert_eq!(snap.counter("netsim.send.doomed"), 1);
     assert_eq!(net.station_stats(StationId(1)).rx_bytes, 0);
     assert_eq!(net.station_stats(StationId(2)).rx_bytes, MB);
-    assert_eq!(net.dropped_bytes(), 2 * MB);
-    assert_eq!(net.total_bytes(), MB);
+    assert_eq!(snap.counter("netsim.drop.bytes"), 2 * MB);
+    assert_eq!(snap.counter("netsim.deliver.bytes"), MB);
+    assert_eq!(snap.counter("netsim.deliver.msgs"), 1);
 }
 
 #[test]
@@ -90,10 +112,15 @@ fn crashed_sender_pays_nothing() {
     );
     net.send(StationId(0), StationId(1), MB, 9);
     net.run(|_, _| panic!("no deliveries"));
+    net.flush_metrics();
+    let snap = net.metrics().snapshot();
 
-    // A dead sender serializes nothing onto its uplink.
-    assert_eq!(net.station_stats(StationId(0)).tx_bytes, 0);
-    assert_eq!(net.station_stats(StationId(0)).tx_msgs, 0);
-    assert_eq!(net.dropped_msgs(), 1);
-    assert_eq!(net.dropped_bytes(), MB);
+    // A dead sender serializes nothing onto its uplink — the silent
+    // send is a sender-down drop, not a doomed transmission.
+    assert_eq!(snap.counter("netsim.send.bytes"), 0);
+    assert_eq!(snap.counter("netsim.send.msgs"), 0);
+    assert_eq!(snap.counter("netsim.send.doomed"), 0);
+    assert_eq!(snap.counter("netsim.drop.sender_down"), 1);
+    assert_eq!(snap.counter("netsim.drop.msgs"), 1);
+    assert_eq!(snap.counter("netsim.drop.bytes"), MB);
 }

@@ -1,0 +1,40 @@
+//! Canonical bucket boundary sets, so the same quantity is always
+//! bucketed the same way across crates (histograms with equal bounds
+//! can be [`merged`](crate::Histogram::merge)).
+
+/// Time in microseconds: 1 µs … 100 s, one decade per bucket.
+pub const TIME_US: &[u64] = &[
+    1,
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+];
+
+/// Sizes in bytes: 64 B … 16 MB, roughly ×4 per bucket.
+pub const BYTES: &[u64] = &[
+    64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216,
+];
+
+/// Small cardinalities (batch sizes, retry counts): powers of two.
+pub const COUNT: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Percentages 0–100 (utilization ratios).
+pub const PCT: &[u64] = &[1, 2, 5, 10, 25, 50, 75, 90, 95, 100];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_bucket_sets_strictly_increase() {
+        for set in [TIME_US, BYTES, COUNT, PCT] {
+            assert!(set.windows(2).all(|w| w[0] < w[1]));
+            assert!(!set.is_empty());
+        }
+    }
+}

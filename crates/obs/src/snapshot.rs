@@ -1,0 +1,211 @@
+//! Point-in-time snapshots and their text / JSON exports.
+//!
+//! The JSON writer is hand-rolled on purpose: it emits only integers
+//! and escaped strings over sorted maps, so two snapshots with equal
+//! contents serialize to **byte-identical** output on every platform —
+//! the property the determinism-replay suite asserts. No float ever
+//! reaches the wire (means and ratios are for the text report only).
+
+use crate::hist::Histogram;
+use crate::trace::Event;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A consistent copy of a [`Registry`](crate::Registry)'s contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Retained trace events, oldest first.
+    pub events: Vec<Event>,
+    /// Trace events evicted from the ring before this snapshot.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Counter value (0 if absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram by name, if any samples were recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Deterministic JSON export: sorted keys, integer-only values.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, k);
+            out.push_str(":{\"bounds\":");
+            write_json_u64s(&mut out, h.bounds());
+            out.push_str(",\"counts\":");
+            write_json_u64s(&mut out, h.counts());
+            let _ = write!(out, ",\"count\":{},\"sum\":{}}}", h.count(), h.sum());
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"at_us\":{},\"name\":", e.at_us);
+            write_json_string(&mut out, e.name);
+            out.push_str(",\"detail\":");
+            write_json_string(&mut out, &e.detail.to_string());
+            out.push('}');
+        }
+        let _ = write!(out, "],\"events_dropped\":{}}}", self.events_dropped);
+        out
+    }
+
+    /// Human-readable table: one line per metric, histograms with
+    /// count/mean, then a trace tail. For experiment stdout.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k:<44} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "{k:<44} {v} (gauge)");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{k:<44} count={} mean={:.1} sum={}",
+                h.count(),
+                h.mean(),
+                h.sum()
+            );
+        }
+        if !self.events.is_empty() || self.events_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "trace: {} events retained, {} dropped",
+                self.events.len(),
+                self.events_dropped
+            );
+        }
+        out
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes + escapes).
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json_u64s(out: &mut String, xs: &[u64]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn json_is_deterministic_and_wellformed() {
+        let r = Registry::new();
+        r.add("b.count", 2);
+        r.inc("a.count");
+        r.gauge_set("g", -5);
+        r.observe_with("h", &[10, 100], 7);
+        r.trace(3, "ev", || "k=\"v\"\n".to_string());
+        let a = r.snapshot().to_json();
+        let b = r.snapshot().to_json();
+        assert_eq!(a, b, "same contents, same bytes");
+        assert_eq!(
+            a,
+            "{\"counters\":{\"a.count\":1,\"b.count\":2},\
+             \"gauges\":{\"g\":-5},\
+             \"histograms\":{\"h\":{\"bounds\":[10,100],\"counts\":[1,0,0],\"count\":1,\"sum\":7}},\
+             \"events\":[{\"at_us\":3,\"name\":\"ev\",\"detail\":\"k=\\\"v\\\"\\n\"}],\
+             \"events_dropped\":0}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_exports() {
+        let s = Snapshot::default();
+        assert_eq!(
+            s.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"events\":[],\"events_dropped\":0}"
+        );
+        assert!(s.to_text().is_empty());
+    }
+
+    #[test]
+    fn text_mentions_every_metric() {
+        let r = Registry::new();
+        r.inc("c.x");
+        r.gauge_set("g.y", 4);
+        r.observe("h.z", 100);
+        let t = r.snapshot().to_text();
+        assert!(t.contains("c.x"));
+        assert!(t.contains("g.y"));
+        assert!(t.contains("h.z"));
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\u{1}b");
+        assert_eq!(out, "\"a\\u0001b\"");
+    }
+}

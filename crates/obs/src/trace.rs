@@ -1,0 +1,189 @@
+//! The bounded event-trace ring.
+//!
+//! A trace is a sequence of `(timestamp, name, detail)` triples in
+//! append order. The ring keeps the most recent `capacity` events and
+//! counts what it had to shed, so a snapshot always reports whether the
+//! trace is complete. Timestamps are caller-supplied microsecond ticks
+//! — in the simulated domain that is `SimTime::as_micros()`, which is
+//! what makes a trace byte-for-byte replayable under a fixed seed.
+//!
+//! Tracing sits on hot paths, so an [`Event`] is built without
+//! formatting: names are `&'static str` and numeric details are stored
+//! as a [`Detail`] and rendered only when a snapshot is exported.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Event payload, kept numeric on the hot path and formatted lazily at
+/// export time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Detail {
+    /// No payload.
+    None,
+    /// A single id or value, rendered as `3`.
+    Num(u64),
+    /// A directed pair (source, destination / value), rendered `0->3`.
+    Pair(u64, u64),
+    /// Pre-formatted text — for cold paths that want prose.
+    Text(String),
+}
+
+impl fmt::Display for Detail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Detail::None => Ok(()),
+            Detail::Num(n) => write!(f, "{n}"),
+            Detail::Pair(a, b) => write!(f, "{a}->{b}"),
+            Detail::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Timestamp in microseconds (simulated time where available).
+    pub at_us: u64,
+    /// Short event name, e.g. `fault.crash` or `reparent`. Static by
+    /// design: the hot path never allocates for a name.
+    pub name: &'static str,
+    /// Event payload, e.g. `Detail::Num(3)` for "station 3".
+    pub detail: Detail,
+}
+
+/// Default ring capacity.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// A bounded ring of [`Event`]s, oldest evicted first.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceRing {
+    /// An empty ring holding at most `capacity` events (0 disables
+    /// tracing entirely: every push is counted as dropped).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            capacity,
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: Event) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Resize the ring; shrinking evicts oldest events (counted).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.events.len() > capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// How many events were evicted (or refused) so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drop all events and reset the dropped counter.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64) -> Event {
+        Event {
+            at_us: at,
+            name: "e",
+            detail: Detail::None,
+        }
+    }
+
+    #[test]
+    fn detail_renders_lazily() {
+        assert_eq!(Detail::None.to_string(), "");
+        assert_eq!(Detail::Num(3).to_string(), "3");
+        assert_eq!(Detail::Pair(0, 3).to_string(), "0->3");
+        assert_eq!(Detail::Text("x y".into()).to_string(), "x y");
+    }
+
+    #[test]
+    fn keeps_most_recent_and_counts_drops() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ats: Vec<u64> = r.events().map(|e| e.at_us).collect();
+        assert_eq!(ats, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_refuses_everything() {
+        let mut r = TraceRing::new(0);
+        r.push(ev(1));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn shrink_evicts_oldest() {
+        let mut r = TraceRing::new(4);
+        for i in 0..4 {
+            r.push(ev(i));
+        }
+        r.set_capacity(2);
+        let ats: Vec<u64> = r.events().map(|e| e.at_us).collect();
+        assert_eq!(ats, vec![2, 3]);
+        assert_eq!(r.dropped(), 2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for histogram merge: `merge(a, b)` must behave like
+//! concatenating the underlying sample sets — associative, commutative,
+//! and exactly preserving total count and sum.
+
+use obs::{buckets, Histogram};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64], bounds: &[u64]) -> Histogram {
+    let mut h = Histogram::new(bounds);
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in vec(any::<u64>(), 0..40),
+        b in vec(any::<u64>(), 0..40),
+    ) {
+        let ha = hist_of(&a, buckets::TIME_US);
+        let hb = hist_of(&b, buckets::TIME_US);
+        prop_assert_eq!(ha.merge(&hb), hb.merge(&ha));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in vec(any::<u64>(), 0..30),
+        b in vec(any::<u64>(), 0..30),
+        c in vec(any::<u64>(), 0..30),
+    ) {
+        let ha = hist_of(&a, buckets::COUNT);
+        let hb = hist_of(&b, buckets::COUNT);
+        let hc = hist_of(&c, buckets::COUNT);
+        prop_assert_eq!(
+            ha.merge(&hb).merge(&hc),
+            ha.merge(&hb.merge(&hc))
+        );
+    }
+
+    #[test]
+    fn merge_preserves_count_and_sum(
+        a in vec(any::<u64>(), 0..50),
+        b in vec(any::<u64>(), 0..50),
+    ) {
+        let m = hist_of(&a, buckets::BYTES).merge(&hist_of(&b, buckets::BYTES));
+        prop_assert_eq!(m.count(), (a.len() + b.len()) as u64);
+        let expect: u128 = a.iter().chain(&b).map(|&v| u128::from(v)).sum();
+        prop_assert_eq!(m.sum(), expect);
+        // Bucket counts add up to the total, too.
+        prop_assert_eq!(m.counts().iter().sum::<u64>(), m.count());
+    }
+
+    #[test]
+    fn merge_equals_single_histogram_of_concatenation(
+        a in vec(any::<u64>(), 0..40),
+        b in vec(any::<u64>(), 0..40),
+    ) {
+        let merged = hist_of(&a, buckets::PCT).merge(&hist_of(&b, buckets::PCT));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_of(&both, buckets::PCT));
+    }
+
+    #[test]
+    fn empty_histogram_is_merge_identity(samples in vec(any::<u64>(), 0..40)) {
+        let h = hist_of(&samples, buckets::TIME_US);
+        let empty = Histogram::new(buckets::TIME_US);
+        prop_assert_eq!(h.merge(&empty), h.clone());
+        prop_assert_eq!(empty.merge(&h), h);
+    }
+}

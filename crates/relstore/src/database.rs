@@ -18,10 +18,12 @@ use crate::schema::{FkAction, ForeignKey, TableSchema, PRIMARY_INDEX};
 use crate::table::{Row, RowId, Table};
 use crate::value::{Key, Value};
 use crate::wal::{RowOp, WalSink};
+use obs::Registry;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 struct TableEntry {
     id: u32,
@@ -37,6 +39,10 @@ struct DbInner {
     next_table: AtomicU64,
     /// Optional write-ahead-log sink (see [`crate::wal`]).
     wal: RwLock<Option<Arc<dyn WalSink>>>,
+    /// `relstore.*` metrics, shared with the lock manager. Latency
+    /// histograms here are wall-clock (outside the obs determinism
+    /// contract); counters are exact.
+    metrics: Registry,
 }
 
 impl DbInner {
@@ -61,16 +67,25 @@ impl Database {
     /// Create an empty database.
     #[must_use]
     pub fn new() -> Self {
+        let metrics = Registry::new();
         Database {
             inner: Arc::new(DbInner {
                 catalog: RwLock::new(BTreeMap::new()),
                 referrers: RwLock::new(BTreeMap::new()),
-                locks: LockManager::new(),
+                locks: LockManager::with_metrics(metrics.clone()),
                 next_txn: AtomicU64::new(1),
                 next_table: AtomicU64::new(1),
                 wal: RwLock::new(None),
+                metrics,
             }),
         }
+    }
+
+    /// The `relstore.*` metrics registry of this database (shared with
+    /// its lock manager).
+    #[must_use]
+    pub fn metrics(&self) -> &Registry {
+        &self.inner.metrics
     }
 
     /// Install (or remove) a write-ahead-log sink. From this point on
@@ -201,6 +216,7 @@ impl Database {
                     return Ok(v);
                 }
                 Err(Error::TxnAborted { .. }) => {
+                    self.inner.metrics.inc("relstore.txn.retries");
                     drop(txn); // rolls back
                     std::thread::yield_now();
                 }
@@ -331,6 +347,8 @@ pub struct Txn {
     db: Arc<DbInner>,
     id: TxnId,
     state: Mutex<TxnState>,
+    /// Wall-clock birth, for commit/abort latency histograms.
+    born: Instant,
 }
 
 impl Txn {
@@ -339,6 +357,7 @@ impl Txn {
             db,
             id,
             state: Mutex::new(TxnState::default()),
+            born: Instant::now(),
         }
     }
 
@@ -746,6 +765,11 @@ impl Txn {
             st.undo.clear();
         }
         self.db.locks.release_all(self.id);
+        self.db.metrics.inc("relstore.txn.commits");
+        self.db.metrics.observe(
+            "relstore.txn.commit_us",
+            self.born.elapsed().as_micros() as u64,
+        );
         Ok(())
     }
 
@@ -790,6 +814,11 @@ impl Txn {
             }
         }
         self.db.locks.release_all(self.id);
+        self.db.metrics.inc("relstore.txn.aborts");
+        self.db.metrics.observe(
+            "relstore.txn.abort_us",
+            self.born.elapsed().as_micros() as u64,
+        );
     }
 
     fn check_forward_fks(&self, table: &str, fks: &[ForeignKey], row: &[Value]) -> Result<()> {

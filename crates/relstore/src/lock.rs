@@ -17,8 +17,10 @@
 
 use crate::error::{Error, Result};
 use crate::table::RowId;
+use obs::Registry;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Lock modes, ordered by "strength" for upgrade purposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,9 +93,14 @@ struct LockTable {
 }
 
 /// The lock manager shared by all transactions of a database.
+///
+/// Records `relstore.lock.*` metrics on its [`Registry`]: conflict
+/// waits, wall-clock wait time (excluded from the obs determinism
+/// contract — counts are exact, durations are not), and wait-die kills.
 pub struct LockManager {
     state: Mutex<LockTable>,
     released: Condvar,
+    metrics: Registry,
 }
 
 impl Default for LockManager {
@@ -103,12 +110,20 @@ impl Default for LockManager {
 }
 
 impl LockManager {
-    /// Create an empty lock manager.
+    /// Create an empty lock manager with its own registry.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_metrics(Registry::new())
+    }
+
+    /// Create an empty lock manager recording into `metrics` (shared
+    /// with the owning database).
+    #[must_use]
+    pub fn with_metrics(metrics: Registry) -> Self {
         LockManager {
             state: Mutex::new(LockTable::default()),
             released: Condvar::new(),
+            metrics,
         }
     }
 
@@ -139,8 +154,13 @@ impl LockManager {
                 Some((&holder, _)) => {
                     if txn < holder {
                         // Older: wait for a release, then re-examine.
+                        self.metrics.inc("relstore.lock.waits");
+                        let waited = Instant::now();
                         self.released.wait(&mut st);
+                        self.metrics
+                            .observe("relstore.lock.wait_us", waited.elapsed().as_micros() as u64);
                     } else {
+                        self.metrics.inc("relstore.lock.wait_die_aborts");
                         return Err(Error::TxnAborted {
                             reason: format!(
                                 "wait-die: txn {txn} is younger than lock holder {holder} on {res:?}"

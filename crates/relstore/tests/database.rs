@@ -597,3 +597,30 @@ fn closed_txn_refuses_work() {
     // Both consumed — compile-time safety. Double-commit caught at runtime
     // through with_txn's interior checks is covered in unit tests.
 }
+
+#[test]
+fn metrics_count_commits_aborts_and_wait_die() {
+    let db = courses_db();
+    let t = db.begin();
+    t.insert("script", script("s1", "shih")).unwrap();
+    t.commit().unwrap();
+    let t = db.begin();
+    t.insert("script", script("s2", "ma")).unwrap();
+    t.rollback();
+    // Wait-die kill: older txn holds X on a row, younger reads it and dies.
+    let older = db.begin();
+    let rid = older.insert("script", script("s3", "huang")).unwrap();
+    let younger = db.begin();
+    let err = younger.get("script", rid).unwrap_err();
+    assert!(matches!(err, Error::TxnAborted { .. }));
+    drop(younger);
+    older.commit().unwrap();
+
+    let snap = db.metrics().snapshot();
+    assert_eq!(snap.counter("relstore.txn.commits"), 2);
+    // Explicit rollback + the dying younger txn.
+    assert_eq!(snap.counter("relstore.txn.aborts"), 2);
+    assert_eq!(snap.counter("relstore.lock.wait_die_aborts"), 1);
+    let commit_lat = snap.histogram("relstore.txn.commit_us").unwrap();
+    assert_eq!(commit_lat.count(), 2);
+}

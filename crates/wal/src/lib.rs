@@ -63,7 +63,7 @@ mod crc;
 
 pub use crate::log::{Wal, WalOptions, WalStats};
 pub use crate::record::{scan, Scan, Tail, WalRecord};
-pub use crate::recover::{recover_bytes, RecoveryReport};
+pub use crate::recover::{recover_bytes, recover_bytes_with, RecoveryReport};
 pub use crc::crc32;
 
 use relstore::Database;
@@ -145,7 +145,7 @@ pub fn open_durable(
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(WalError::Io(e)),
     };
-    let (db, report) = recover_bytes(&bytes)?;
+    let (db, report) = recover_bytes_with(&bytes, &opts.metrics)?;
     let wal = Wal::open_at(path, opts, report.durable_len)?;
     db.set_wal_sink(Some(wal.clone()));
     Ok((db, wal, report))

@@ -30,6 +30,7 @@
 
 use crate::record::{encode_frame, WalRecord, MAGIC};
 use crate::{Lsn, WalError};
+use obs::Registry;
 use parking_lot::{Condvar, Mutex};
 use relstore::lock::TxnId;
 use relstore::wal::{RowOp, WalSink};
@@ -55,6 +56,11 @@ pub struct WalOptions {
     /// fsync a 1999-spinning-disk cost profile on modern hardware;
     /// `None` (default) adds nothing.
     pub simulated_disk_latency: Option<Duration>,
+    /// Registry the log (and recovery, via
+    /// [`open_durable`](crate::open_durable)) records `wal.*` metrics
+    /// into. Defaults to a fresh enabled registry; share one across
+    /// components by cloning it in here.
+    pub metrics: Registry,
 }
 
 impl Default for WalOptions {
@@ -63,6 +69,7 @@ impl Default for WalOptions {
             group_commit: true,
             sync_data: true,
             simulated_disk_latency: None,
+            metrics: Registry::new(),
         }
     }
 }
@@ -96,6 +103,9 @@ struct LogState {
     /// Set after an I/O failure: the file contents are suspect, so all
     /// further appends and commits are refused.
     poisoned: bool,
+    /// Commit records appended since the last flush took the buffer —
+    /// the group-commit batch size the next flush will amortize.
+    pending_commits: u64,
     stats: WalStats,
 }
 
@@ -149,6 +159,7 @@ impl Wal {
                 flushing: false,
                 active: HashSet::new(),
                 poisoned: false,
+                pending_commits: 0,
                 stats: WalStats::default(),
             }),
             file: Mutex::new(file),
@@ -206,11 +217,30 @@ impl Wal {
         file.write_all(chunk)?;
         if self.opts.sync_data {
             file.sync_data()?;
+            self.opts.metrics.inc("wal.fsyncs");
         }
         if let Some(d) = self.opts.simulated_disk_latency {
             std::thread::sleep(d);
         }
         Ok(())
+    }
+
+    /// Record the metrics of one completed flush: the flush itself, its
+    /// size, and the group-commit batch it made durable (batch size 0 —
+    /// a checkpoint or explicit flush with no commits aboard — is not a
+    /// batch and is skipped).
+    fn record_flush(&self, bytes: u64, batch_commits: u64) {
+        self.opts.metrics.inc("wal.flushes");
+        self.opts
+            .metrics
+            .observe_with("wal.flush.bytes", obs::buckets::BYTES, bytes);
+        if batch_commits > 0 {
+            self.opts.metrics.observe_with(
+                "wal.commit.batch_commits",
+                obs::buckets::COUNT,
+                batch_commits,
+            );
+        }
     }
 
     /// Block until everything at offsets `< target` is durable,
@@ -227,6 +257,7 @@ impl Wal {
             if !st.flushing {
                 st.flushing = true;
                 let chunk = std::mem::take(&mut st.buf);
+                let batch_commits = std::mem::take(&mut st.pending_commits);
                 drop(st);
                 let res = self.write_chunk(&chunk);
                 st = self.state.lock();
@@ -236,6 +267,7 @@ impl Wal {
                         st.durable_lsn += chunk.len() as u64;
                         st.stats.flushes += 1;
                         st.stats.bytes_written += chunk.len() as u64;
+                        self.record_flush(chunk.len() as u64, batch_commits);
                     }
                     Err(e) => {
                         // The tail of the file is now unknown: refuse
@@ -266,6 +298,7 @@ impl Wal {
             return Err(WalError::Poisoned);
         }
         let chunk = std::mem::take(&mut st.buf);
+        let batch_commits = std::mem::take(&mut st.pending_commits);
         // Hold the state lock across the I/O: this is the point — no
         // other committer can overlap, every commit pays a full sync.
         match self.write_chunk(&chunk) {
@@ -273,6 +306,7 @@ impl Wal {
                 st.durable_lsn += chunk.len() as u64;
                 st.stats.flushes += 1;
                 st.stats.bytes_written += chunk.len() as u64;
+                self.record_flush(chunk.len() as u64, batch_commits);
                 Ok(())
             }
             Err(e) => {
@@ -328,6 +362,10 @@ impl Wal {
                     },
                 )?;
                 st.stats.checkpoints += 1;
+                self.opts.metrics.inc("wal.checkpoints");
+                self.opts
+                    .metrics
+                    .add("wal.checkpoint.bytes", st.end_lsn - lsn);
                 txn.commit().map_err(WalError::Store)?;
                 lsn
             };
@@ -379,6 +417,8 @@ impl WalSink for Wal {
             st.active.remove(&txn);
             self.append(&mut st, &WalRecord::Commit { txn })?;
             st.stats.commits += 1;
+            st.pending_commits += 1;
+            self.opts.metrics.inc("wal.commits");
             st.end_lsn
         };
         if self.opts.group_commit {

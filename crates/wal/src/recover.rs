@@ -30,9 +30,11 @@
 
 use crate::record::{decode, scan_raw, Tail, WalRecord};
 use crate::{Lsn, WalError};
+use obs::Registry;
 use relstore::lock::TxnId;
 use relstore::Database;
 use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
 
 /// What recovery found and did — reported for logging, tests and the
 /// E14 experiment.
@@ -72,6 +74,18 @@ pub struct RecoveryReport {
 /// want to keep writing durably attach one afterwards (which
 /// [`open_durable`](crate::open_durable) does).
 pub fn recover_bytes(bytes: &[u8]) -> Result<(Database, RecoveryReport), WalError> {
+    recover_bytes_with(bytes, &Registry::disabled())
+}
+
+/// Like [`recover_bytes`], recording `wal.recover.*` metrics into
+/// `metrics`: per-phase wall-clock durations (gauges, outside the obs
+/// determinism contract) and exact counters mirroring the
+/// [`RecoveryReport`].
+pub fn recover_bytes_with(
+    bytes: &[u8],
+    metrics: &Registry,
+) -> Result<(Database, RecoveryReport), WalError> {
+    let phase_start = Instant::now();
     let scanned = scan_raw(bytes)?;
     let mut report = RecoveryReport {
         records_scanned: scanned.frames.len(),
@@ -131,6 +145,10 @@ pub fn recover_bytes(bytes: &[u8]) -> Result<(Database, RecoveryReport), WalErro
         .filter(|t| !aborted.contains(t))
         .copied()
         .collect();
+    metrics.gauge_set(
+        "wal.recover.analysis_us",
+        phase_start.elapsed().as_micros() as i64,
+    );
 
     // --- Redo ---------------------------------------------------------
     // Start from the checkpoint image (schemas included) or from
@@ -205,6 +223,11 @@ pub fn recover_bytes(bytes: &[u8]) -> Result<(Database, RecoveryReport), WalErro
             WalRecord::Begin { .. } | WalRecord::Commit { .. } | WalRecord::Checkpoint { .. } => {}
         }
     }
+    let redo_done = Instant::now();
+    metrics.gauge_set(
+        "wal.recover.redo_us",
+        (redo_done - phase_start).as_micros() as i64,
+    );
 
     // --- Undo ---------------------------------------------------------
     // Strict two-phase locking means no two in-flight transactions ever
@@ -216,6 +239,16 @@ pub fn recover_bytes(bytes: &[u8]) -> Result<(Database, RecoveryReport), WalErro
         };
         report.undone_ops += undo_txn(&db, ops)?;
     }
+    metrics.gauge_set(
+        "wal.recover.undo_us",
+        redo_done.elapsed().as_micros() as i64,
+    );
+    metrics.add("wal.recover.records_scanned", report.records_scanned as u64);
+    metrics.add("wal.recover.redone_ops", report.redone_ops as u64);
+    metrics.add("wal.recover.undone_ops", report.undone_ops as u64);
+    metrics.add("wal.recover.winners", report.winners.len() as u64);
+    metrics.add("wal.recover.losers", report.losers.len() as u64);
+    metrics.add("wal.recover.aborted", report.aborted.len() as u64);
 
     Ok((db, report))
 }

@@ -16,6 +16,9 @@
 //!   counted);
 //! * [`netsim`] — the deterministic network simulator standing in for
 //!   the physical campus/Internet;
+//! * [`obs`] — deterministic observability: metrics registry and
+//!   bounded event tracing, timestamped in simulated time so traces
+//!   replay byte-for-byte under a fixed seed;
 //! * [`core`] — the Web document DBMS: three-layer hierarchy, five
 //!   document tables, referential integrity alerts, hierarchical
 //!   locking, class/instance/reference objects, SCM, quizzes,
@@ -32,6 +35,7 @@
 
 pub use blobstore;
 pub use netsim;
+pub use obs;
 pub use relstore;
 pub use wal;
 pub use wdoc_collab as collab;

@@ -6,6 +6,13 @@
 //! simulated clock. Everything here is a pure function of its inputs;
 //! a behavior change in the fault layer or the retry protocol shows up
 //! as an exact-value diff, not a flaky threshold.
+//!
+//! Counter-shaped outcomes are asserted through the `dist.broadcast.*`
+//! / `netsim.*` metrics registry — the export surface E15 re-derives
+//! experiments from — while timing- and set-shaped outcomes (arrival
+//! maps, exact clocks) stay on the [`ResilientReport`]. Scenario (a)
+//! additionally keeps the report-field asserts as cross-checks, pinning
+//! the registry and the report to each other.
 
 use mmu_wdoc::dist::{resilient_broadcast, BroadcastTree, ResilientReport, RetryPolicy};
 use mmu_wdoc::netsim::{Fault, FaultSchedule, LinkSpec, Network, SimTime, StationId};
@@ -52,31 +59,41 @@ fn relay_crash_mid_broadcast_delivers_orphaned_subtree() {
             station: StationId(1),
         },
     );
-    let (r, _net) = run(15, 2, schedule);
+    let (r, net) = run(15, 2, schedule);
+    let snap = net.metrics().snapshot();
 
     // Every survivor is delivered — including the crashed relay's
     // entire subtree.
-    assert_eq!(r.report.arrivals.len(), 14, "all stations confirmed");
+    assert_eq!(snap.counter("dist.broadcast.acked"), 14, "all confirmed");
     // The relay itself ACKed at 1.000064 s, before dying: delivery was
     // real, so it is *not* unreachable. Supervision tracks delivery,
     // not liveness.
-    assert!(r.unreachable.is_empty());
+    assert_eq!(snap.counter("dist.broadcast.unreachable"), 0);
     assert!(r.report.arrivals.contains_key(&1));
     // Position 5 (station 4) was re-parented to the root. Its children
     // (positions 10 and 11) raced their own supervision timers while
     // the subtree was being repaired, but their *first* accepted copy
     // came from station 4 — the formula parent — so only station 4 is
     // re-parented.
-    assert_eq!(r.reparented, vec![4]);
+    assert_eq!(snap.counter("dist.broadcast.reparented"), 1);
     // Six retries, two per orphaned position: each first delegates to
     // position 2 (it ACKed before dying, so it looks viable), then the
     // root serves the object itself.
-    assert_eq!(r.retries, 6);
+    assert_eq!(snap.counter("dist.broadcast.retries"), 6);
     // The root's late copies to positions 10/11 lose the race against
     // the repaired relay and are absorbed as duplicates.
-    assert_eq!(r.duplicates, 2);
+    assert_eq!(snap.counter("dist.broadcast.duplicates"), 2);
     // Dropped: the in-flight copy to position 5 + the three SendData
     // control messages delegated to the dead relay.
+    assert_eq!(snap.counter("netsim.drop.msgs"), 4);
+
+    // Cross-checks: the report — the protocol's own ledger — must agree
+    // with every registry value above.
+    assert_eq!(r.report.arrivals.len(), 14);
+    assert!(r.unreachable.is_empty());
+    assert_eq!(r.reparented, vec![4]);
+    assert_eq!(r.retries, 6);
+    assert_eq!(r.duplicates, 2);
     assert_eq!(r.dropped_msgs, 4);
     // Exact repair timing: position 5's station receives the root's
     // second-attempt copy at 5.150224 s; the last of its children
@@ -106,12 +123,26 @@ fn root_partition_exhausts_retries_without_hanging() {
             },
         );
     let (r, net) = run(4, 3, schedule);
+    let snap = net.metrics().snapshot();
 
     assert_eq!(r.unreachable, vec![1]);
-    assert_eq!(r.report.arrivals.len(), 2, "stations 2 and 3 delivered");
-    assert_eq!(r.retries, 4, "full budget spent on the cut station");
-    assert_eq!(r.dropped_msgs, 5, "initial send + 4 retries");
-    assert!(r.reparented.is_empty());
+    assert_eq!(snap.counter("dist.broadcast.unreachable"), 1);
+    assert_eq!(
+        snap.counter("dist.broadcast.acked"),
+        2,
+        "stations 2 and 3 delivered"
+    );
+    assert_eq!(
+        snap.counter("dist.broadcast.retries"),
+        4,
+        "full budget spent on the cut station"
+    );
+    assert_eq!(
+        snap.counter("netsim.drop.msgs"),
+        5,
+        "initial send + 4 retries"
+    );
+    assert_eq!(snap.counter("dist.broadcast.reparented"), 0);
     // Termination with a drained queue at a finite clock — the give-up
     // timer after the 4th retry.
     assert_eq!(net.now(), SimTime::from_micros(8_500_256));
@@ -135,20 +166,26 @@ fn recovery_mid_run_lets_a_retry_succeed() {
                 station: StationId(1),
             },
         );
-    let (r, _net) = run(2, 1, schedule);
+    let (r, net) = run(2, 1, schedule);
+    let snap = net.metrics().snapshot();
 
-    assert!(r.unreachable.is_empty());
-    assert_eq!(r.retries, 2, "one wasted on the down window, one lands");
+    assert_eq!(snap.counter("dist.broadcast.unreachable"), 0);
+    assert_eq!(
+        snap.counter("dist.broadcast.retries"),
+        2,
+        "one wasted on the down window, one lands"
+    );
     // Initial send at 0 and retry sent at 1.050064 s were both doomed
     // (receiver down at send time); the 2.150128 s retry arrives at
     // 3.150128 s.
-    assert_eq!(r.dropped_msgs, 2);
+    assert_eq!(snap.counter("netsim.drop.msgs"), 2);
+    assert_eq!(snap.counter("netsim.send.doomed"), 2);
     assert_eq!(
         r.report.arrivals[&1],
         SimTime::from_micros(3_150_128),
         "exact arrival of the successful retry"
     );
-    assert_eq!(r.duplicates, 0);
+    assert_eq!(snap.counter("dist.broadcast.duplicates"), 0);
 }
 
 /// (d) The exact timeout/backoff ladder, hand-computed. N=2, m=1, the
@@ -174,21 +211,24 @@ fn timeout_backoff_ladder_is_exact() {
         },
     );
     let (r, net) = run(2, 1, schedule);
+    let snap = net.metrics().snapshot();
 
-    assert_eq!(r.retries, 4);
+    assert_eq!(snap.counter("dist.broadcast.retries"), 4);
     assert_eq!(
-        r.dropped_msgs, 5,
+        snap.counter("netsim.drop.msgs"),
+        5,
         "initial + 4 retries, all to a dead station"
     );
     assert_eq!(r.unreachable, vec![1]);
     assert!(r.report.arrivals.is_empty());
-    assert_eq!(r.report.completion, SimTime::ZERO);
-    assert_eq!(r.accepted, 0);
+    assert_eq!(snap.counter("dist.broadcast.accepted"), 0);
+    assert_eq!(snap.gauge("dist.broadcast.completion_us"), Some(0));
     assert_eq!(net.now(), SimTime::from_micros(6_550_320));
     // 5 object copies were serialized onto the root's uplink even
     // though none was delivered — failure is not free for the sender.
+    assert_eq!(snap.counter("netsim.send.bytes"), 5 * MB);
+    assert_eq!(snap.counter("netsim.drop.bytes"), 5 * MB);
     assert_eq!(net.station_stats(StationId(0)).tx_bytes, 5 * MB);
-    assert_eq!(net.dropped_bytes(), 5 * MB);
 }
 
 /// (e) A station with a **durable** document database crashes mid-
