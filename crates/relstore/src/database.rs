@@ -13,6 +13,7 @@
 
 use crate::error::{Error, Result};
 use crate::lock::{LockManager, LockMode, Resource, TxnId};
+use crate::pagestore::{BufferPool, FlushGate, PoolConfig};
 use crate::query::Predicate;
 use crate::schema::{FkAction, ForeignKey, TableSchema, PRIMARY_INDEX};
 use crate::table::{Row, RowId, Table};
@@ -39,6 +40,9 @@ struct DbInner {
     next_table: AtomicU64,
     /// Optional write-ahead-log sink (see [`crate::wal`]).
     wal: RwLock<Option<Arc<dyn WalSink>>>,
+    /// Buffer pool shared by every table's row heap (see
+    /// [`crate::pagestore`]).
+    pool: Arc<BufferPool>,
     /// `relstore.*` metrics, shared with the lock manager. Latency
     /// histograms here are wall-clock (outside the obs determinism
     /// contract); counters are exact.
@@ -64,11 +68,20 @@ impl Default for Database {
 }
 
 impl Database {
-    /// Create an empty database.
+    /// Create an empty database with the default unbounded in-memory
+    /// pool (identical behavior to the pre-paged engine).
     #[must_use]
     pub fn new() -> Self {
+        Self::with_pool(&PoolConfig::default()).expect("in-memory pool cannot fail")
+    }
+
+    /// Create an empty database whose tables share one buffer pool
+    /// built from `cfg` — bound `max_pages` and pick the file backend
+    /// to cap resident memory and spill cold pages to disk.
+    pub fn with_pool(cfg: &PoolConfig) -> Result<Self> {
         let metrics = Registry::new();
-        Database {
+        let pool = BufferPool::new(cfg, metrics.clone())?;
+        Ok(Database {
             inner: Arc::new(DbInner {
                 catalog: RwLock::new(BTreeMap::new()),
                 referrers: RwLock::new(BTreeMap::new()),
@@ -76,9 +89,10 @@ impl Database {
                 next_txn: AtomicU64::new(1),
                 next_table: AtomicU64::new(1),
                 wal: RwLock::new(None),
+                pool,
                 metrics,
             }),
-        }
+        })
     }
 
     /// The `relstore.*` metrics registry of this database (shared with
@@ -86,6 +100,27 @@ impl Database {
     #[must_use]
     pub fn metrics(&self) -> &Registry {
         &self.inner.metrics
+    }
+
+    /// The buffer pool shared by this database's tables.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.inner.pool
+    }
+
+    /// Install (or remove) the WAL flush gate on the buffer pool, so
+    /// dirty pages are never written back ahead of the log (the ARIES
+    /// rule `page.rec_lsn <= wal.flushed_lsn`). `wal::open_durable`
+    /// does this automatically.
+    pub fn set_flush_gate(&self, gate: Option<Arc<dyn FlushGate>>) {
+        self.inner.pool.set_gate(gate);
+    }
+
+    /// The dirty-page table: `(page id, rec_lsn)` of every dirty
+    /// resident page, for fuzzy checkpoints.
+    #[must_use]
+    pub fn dirty_page_table(&self) -> Vec<(u64, u64)> {
+        self.inner.pool.dirty_page_table()
     }
 
     /// Install (or remove) a write-ahead-log sink. From this point on
@@ -141,7 +176,7 @@ impl Database {
         // rows later refer to.
         let sink = self.inner.sink();
         let logged_schema = sink.as_ref().map(|_| schema.clone());
-        let table = Table::new(schema)?;
+        let table = Table::with_pool(schema, Arc::clone(&self.inner.pool))?;
         if let (Some(sink), Some(s)) = (&sink, &logged_schema) {
             sink.on_create_table(s)?;
         }
@@ -387,12 +422,14 @@ impl Txn {
         self.db.locks.acquire(self.id, res, mode)
     }
 
-    /// Report a mutation to the WAL sink (no-op when none installed)
-    /// and remember that this transaction has log records.
-    fn log_op(&self, sink: &Arc<dyn WalSink>, op: RowOp<'_>) -> Result<()> {
-        sink.on_op(self.id, op)?;
+    /// Report a mutation to the WAL sink and remember that this
+    /// transaction has log records. Returns the end LSN of the appended
+    /// record, which the caller stamps onto the dirtied page(s) so the
+    /// buffer pool honours the flush rule at writeback.
+    fn log_op(&self, sink: &Arc<dyn WalSink>, op: RowOp<'_>) -> Result<u64> {
+        let lsn = sink.on_op(self.id, op)?;
         self.state.lock().logged = true;
-        Ok(())
+        Ok(lsn)
     }
 
     /// Insert a row; returns its new id.
@@ -418,7 +455,17 @@ impl Txn {
         if let Some(sink) = self.db.sink() {
             let t = data.read();
             let after = t.get(id)?;
-            self.log_op(&sink, RowOp::Insert { table, id, after })?;
+            let lsn = self.log_op(
+                &sink,
+                RowOp::Insert {
+                    table,
+                    id,
+                    after: &after,
+                },
+            )?;
+            if let Some(page) = t.page_of(id) {
+                t.stamp_page_lsn(page, lsn);
+            }
         }
         Ok(id)
     }
@@ -429,7 +476,7 @@ impl Txn {
         let (tid, data) = self.entry(table)?;
         self.lock(Resource::Table(tid), LockMode::IntentShared)?;
         self.lock(Resource::Row(tid, id), LockMode::Shared)?;
-        let row = data.read().get(id)?.clone();
+        let row = data.read().get(id)?;
         Ok(row)
     }
 
@@ -440,9 +487,9 @@ impl Txn {
         self.lock(Resource::Table(tid), LockMode::IntentExclusive)?;
         self.lock(Resource::Row(tid, id), LockMode::Exclusive)?;
         data.read().check_row(&new_row)?;
-        let (old, schema_fks) = {
+        let (old, old_page, schema_fks) = {
             let t = data.read();
-            (t.get(id)?.clone(), t.schema().foreign_keys.clone())
+            (t.get(id)?, t.page_of(id), t.schema().foreign_keys.clone())
         };
         // Forward FKs: only re-check constraints whose columns changed.
         let schema = data.read().schema().clone();
@@ -477,15 +524,20 @@ impl Txn {
         if let (Some(sink), Some(before)) = (sink, before) {
             let t = data.read();
             let after = t.get(id)?;
-            self.log_op(
+            let lsn = self.log_op(
                 &sink,
                 RowOp::Update {
                     table,
                     id,
                     before: &before,
-                    after,
+                    after: &after,
                 },
             )?;
+            // The update may have moved the row: stamp both the page it
+            // left and the page it landed on.
+            for page in [old_page, t.page_of(id)].into_iter().flatten() {
+                t.stamp_page_lsn(page, lsn);
+            }
         }
         Ok(())
     }
@@ -501,7 +553,7 @@ impl Txn {
         self.lock(Resource::Row(tid, id), LockMode::Exclusive)?;
         let row = {
             let t = data.read();
-            let mut row = t.get(id)?.clone();
+            let mut row = t.get(id)?;
             for (name, value) in cols {
                 let ix = t.schema().require_column(name)?;
                 row[ix] = value.clone();
@@ -519,9 +571,9 @@ impl Txn {
         let (tid, data) = self.entry(table)?;
         self.lock(Resource::Table(tid), LockMode::IntentExclusive)?;
         self.lock(Resource::Row(tid, id), LockMode::Exclusive)?;
-        let old = {
+        let (old, old_page) = {
             let t = data.read();
-            t.get(id)?.clone()
+            (t.get(id)?, t.page_of(id))
         };
         // Handle rows referencing this one.
         let schema = data.read().schema().clone();
@@ -583,7 +635,7 @@ impl Txn {
             old,
         });
         if let (Some(sink), Some(before)) = (sink, before) {
-            self.log_op(
+            let lsn = self.log_op(
                 &sink,
                 RowOp::Delete {
                     table,
@@ -591,6 +643,11 @@ impl Txn {
                     before: &before,
                 },
             )?;
+            // The row is gone; stamp the page it was removed from (if
+            // the page itself survived losing the row).
+            if let Some(page) = old_page {
+                data.read().stamp_page_lsn(page, lsn);
+            }
         }
         Ok(())
     }
@@ -598,7 +655,9 @@ impl Txn {
     /// All rows matching `pred` (copies). Takes a table-shared lock, so
     /// results are phantom-stable for the life of the transaction. Uses
     /// an index when every column of some index is bound by equality in
-    /// the predicate's top-level AND chain.
+    /// the predicate's top-level AND chain, or — failing that — a
+    /// bounded index range scan when the first column of some index has
+    /// a `<`/`<=`/`>`/`>=`/`=` bound there.
     pub fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
         self.check_open()?;
         let (tid, data) = self.entry(table)?;
@@ -621,26 +680,48 @@ impl Txn {
                 None
             }
         });
+        // Range fallback: an index whose *first* column has an
+        // inclusive-hull range bound gives a bounded scan; the compiled
+        // predicate still re-filters for strictness and the other
+        // conjuncts.
+        let candidates = candidates.or_else(|| {
+            let ranges = pred.range_bindings();
+            if ranges.is_empty() {
+                return None;
+            }
+            t.indexes().iter().find_map(|ix| {
+                let first = ix.columns().first()?;
+                let name = t.schema().columns[*first].name.as_str();
+                let r = ranges.get(name)?;
+                Some(ix.scan_first_column(r.lo, r.hi))
+            })
+        });
         let mut out = Vec::new();
+        let examined;
         match candidates {
             Some(ids) => {
+                examined = ids.len();
                 for id in ids {
                     if let Some(row) = t.try_get(id) {
-                        if compiled.eval(row) {
-                            out.push((id, row.clone()));
+                        if compiled.eval(&row) {
+                            out.push((id, row));
                         }
                     }
                 }
                 out.sort_by_key(|(id, _)| *id);
             }
             None => {
+                examined = t.len();
                 for (id, row) in t.iter() {
-                    if compiled.eval(row) {
-                        out.push((id, row.clone()));
+                    if compiled.eval(&row) {
+                        out.push((id, row));
                     }
                 }
             }
         }
+        self.db
+            .metrics
+            .add("relstore.select.rows_examined", examined as u64);
         Ok(out)
     }
 

@@ -101,6 +101,10 @@ pub enum Error {
     /// Carried as a message so the error stays `Clone`/`Eq`; the `wal`
     /// crate keeps the structured cause.
     Wal(String),
+    /// The page store failed (backend I/O error, missing page, or a
+    /// row image that did not decode). Carried as a message for the
+    /// same `Clone`/`Eq` reason as [`Error::Wal`].
+    Page(String),
 }
 
 impl fmt::Display for Error {
@@ -158,6 +162,7 @@ impl fmt::Display for Error {
             }
             Error::BadSchema(msg) => write!(f, "bad schema: {msg}"),
             Error::Wal(msg) => write!(f, "write-ahead log: {msg}"),
+            Error::Page(msg) => write!(f, "page store: {msg}"),
         }
     }
 }

@@ -57,6 +57,7 @@
 pub mod database;
 pub mod error;
 pub mod lock;
+pub mod pagestore;
 pub mod query;
 pub mod schema;
 pub mod snapshot;
@@ -67,7 +68,10 @@ pub mod wal;
 pub use database::{Database, Txn};
 pub use error::{Error, Result};
 pub use lock::{LockManager, LockMode, Resource};
-pub use query::Predicate;
+pub use pagestore::{
+    BufferPool, FlushGate, PageId, PoolBackend, PoolConfig, PoolStats, WritebackObserver,
+};
+pub use query::{ColRange, Predicate};
 pub use schema::{ColumnDef, FkAction, ForeignKey, IndexDef, TableSchema};
 pub use snapshot::{Snapshot, TableSnapshot};
 pub use table::{Row, RowId, Table};

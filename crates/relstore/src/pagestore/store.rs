@@ -1,0 +1,278 @@
+//! Page-store backends: where evicted pages go.
+//!
+//! The store under the buffer pool is a *cache spill*, not a recovery
+//! authority — durability lives entirely in the write-ahead log, which
+//! re-materializes pages from the last checkpoint snapshot plus redo.
+//! That is why [`FileStore`] never syncs: a torn or stale page file is
+//! discarded wholesale on recovery. The WAL flush rule (no dirty page
+//! writes back until its first-dirtying record is durable; see
+//! [`super::pool`]) is still enforced so the on-disk state never runs
+//! ahead of the log, which the crash-point suite asserts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::error::{Error, Result};
+
+/// Identifies one page within a [`PageStore`]. Allocated densely by the
+/// buffer pool, never reused within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Backing storage for pages evicted from the buffer pool.
+///
+/// Pages are variable-size (`>=` the configured page size; oversized
+/// rows get a dedicated page sized to fit), so backends address by
+/// [`PageId`], not by offset arithmetic.
+pub trait PageStore: Send + Sync + fmt::Debug {
+    /// Read back a page previously [`save`](PageStore::save)d.
+    fn load(&self, id: PageId) -> Result<Vec<u8>>;
+    /// Persist a page image (overwrites any previous image).
+    fn save(&self, id: PageId, bytes: &[u8]) -> Result<()>;
+    /// Drop a page image, if present.
+    fn free(&self, id: PageId);
+    /// Pages currently held by the store.
+    fn page_count(&self) -> usize;
+    /// Bytes currently held by the store.
+    fn bytes_stored(&self) -> u64;
+    /// Cumulative bytes ever written to the store (writeback volume).
+    fn bytes_written(&self) -> u64;
+}
+
+/// In-memory backend: the default, preserving the pre-pagestore
+/// behavior where every row lives on the heap. With an unbounded pool
+/// nothing is ever evicted into it, so it usually stays empty.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    inner: Mutex<MemInner>,
+}
+
+#[derive(Debug, Default)]
+struct MemInner {
+    pages: BTreeMap<PageId, Vec<u8>>,
+    bytes_stored: u64,
+    bytes_written: u64,
+}
+
+impl PageStore for MemStore {
+    fn load(&self, id: PageId) -> Result<Vec<u8>> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .pages
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::Page(format!("{id} missing from memory store")))
+    }
+
+    fn save(&self, id: PageId, bytes: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(old) = inner.pages.insert(id, bytes.to_vec()) {
+            inner.bytes_stored -= old.len() as u64;
+        }
+        inner.bytes_stored += bytes.len() as u64;
+        inner.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn free(&self, id: PageId) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(old) = inner.pages.remove(&id) {
+            inner.bytes_stored -= old.len() as u64;
+        }
+    }
+
+    fn page_count(&self) -> usize {
+        self.inner.lock().unwrap().pages.len()
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        self.inner.lock().unwrap().bytes_stored
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.lock().unwrap().bytes_written
+    }
+}
+
+/// File backend: one append-mostly spill file plus an in-memory page
+/// table mapping [`PageId`] to `(offset, len)`. A rewrite that still
+/// fits its old extent goes in place; a grown page is appended and the
+/// old extent becomes dead space (reclaimed only by deleting the file —
+/// acceptable for a cache spill that recovery discards anyway).
+pub struct FileStore {
+    path: PathBuf,
+    inner: Mutex<FileInner>,
+}
+
+struct FileInner {
+    file: File,
+    /// PageId -> (offset, allocated extent len, live len).
+    table: BTreeMap<PageId, (u64, u32, u32)>,
+    end: u64,
+    bytes_stored: u64,
+    bytes_written: u64,
+}
+
+impl fmt::Debug for FileStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileStore")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl FileStore {
+    /// Create (truncating) the spill file at `path`.
+    pub fn create(path: &Path) -> Result<FileStore> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| Error::Page(format!("open {}: {e}", path.display())))?;
+        Ok(FileStore {
+            path: path.to_path_buf(),
+            inner: Mutex::new(FileInner {
+                file,
+                table: BTreeMap::new(),
+                end: 0,
+                bytes_stored: 0,
+                bytes_written: 0,
+            }),
+        })
+    }
+
+    /// The spill file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn io_err(&self, what: &str, e: std::io::Error) -> Error {
+        Error::Page(format!("{what} {}: {e}", self.path.display()))
+    }
+}
+
+impl PageStore for FileStore {
+    fn load(&self, id: PageId) -> Result<Vec<u8>> {
+        let mut inner = self.inner.lock().unwrap();
+        let (off, _, live) = *inner
+            .table
+            .get(&id)
+            .ok_or_else(|| Error::Page(format!("{id} missing from file store")))?;
+        let mut buf = vec![0u8; live as usize];
+        inner
+            .file
+            .seek(SeekFrom::Start(off))
+            .map_err(|e| self.io_err("seek", e))?;
+        inner
+            .file
+            .read_exact(&mut buf)
+            .map_err(|e| self.io_err("read", e))?;
+        Ok(buf)
+    }
+
+    fn save(&self, id: PageId, bytes: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let off = match inner.table.get(&id).copied() {
+            Some((off, extent, live)) if bytes.len() <= extent as usize => {
+                inner.bytes_stored -= u64::from(live);
+                inner.table.insert(id, (off, extent, bytes.len() as u32));
+                off
+            }
+            prior => {
+                if let Some((_, _, live)) = prior {
+                    inner.bytes_stored -= u64::from(live);
+                }
+                let off = inner.end;
+                inner.end += bytes.len() as u64;
+                inner
+                    .table
+                    .insert(id, (off, bytes.len() as u32, bytes.len() as u32));
+                off
+            }
+        };
+        inner
+            .file
+            .seek(SeekFrom::Start(off))
+            .map_err(|e| self.io_err("seek", e))?;
+        inner
+            .file
+            .write_all(bytes)
+            .map_err(|e| self.io_err("write", e))?;
+        inner.bytes_stored += bytes.len() as u64;
+        inner.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn free(&self, id: PageId) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, _, live)) = inner.table.remove(&id) {
+            inner.bytes_stored -= u64::from(live);
+        }
+    }
+
+    fn page_count(&self) -> usize {
+        self.inner.lock().unwrap().table.len()
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        self.inner.lock().unwrap().bytes_stored
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.lock().unwrap().bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn PageStore) {
+        let a = PageId(1);
+        let b = PageId(2);
+        store.save(a, b"aaaa").unwrap();
+        store.save(b, b"bbbbbbbb").unwrap();
+        assert_eq!(store.load(a).unwrap(), b"aaaa");
+        assert_eq!(store.load(b).unwrap(), b"bbbbbbbb");
+        assert_eq!(store.page_count(), 2);
+        assert_eq!(store.bytes_stored(), 12);
+        // Shrink in place, then grow.
+        store.save(a, b"aa").unwrap();
+        assert_eq!(store.load(a).unwrap(), b"aa");
+        store.save(a, b"aaaaaaaaaaaaaaaa").unwrap();
+        assert_eq!(store.load(a).unwrap(), b"aaaaaaaaaaaaaaaa");
+        assert_eq!(store.bytes_stored(), 24);
+        assert_eq!(store.bytes_written(), 4 + 8 + 2 + 16);
+        store.free(a);
+        assert!(store.load(a).is_err());
+        assert_eq!(store.page_count(), 1);
+        assert_eq!(store.bytes_stored(), 8);
+    }
+
+    #[test]
+    fn mem_store_round_trips() {
+        exercise(&MemStore::default());
+    }
+
+    #[test]
+    fn file_store_round_trips() {
+        let dir = std::env::temp_dir().join(format!("relstore-fs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.bin");
+        exercise(&FileStore::create(&path).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -111,6 +111,53 @@ impl Predicate {
             _ => {}
         }
     }
+
+    /// The inclusive-hull range each column is bound to by the
+    /// `<`/`<=`/`>`/`>=`/`=` conjuncts of the top-level AND chain.
+    /// Strictness is deliberately dropped (an index range scan over
+    /// the hull is a superset; evaluation re-filters), and repeated
+    /// bounds on one column tighten the hull. NULL comparands are
+    /// skipped — SQL comparison with NULL never matches, so they bound
+    /// nothing an index could use.
+    #[must_use]
+    pub fn range_bindings(&self) -> BTreeMap<&str, ColRange<'_>> {
+        let mut out = BTreeMap::new();
+        self.collect_ranges(&mut out);
+        out
+    }
+
+    fn collect_ranges<'a>(&'a self, out: &mut BTreeMap<&'a str, ColRange<'a>>) {
+        let mut bound = |col: &'a str, lo: Option<&'a Value>, hi: Option<&'a Value>| {
+            let r = out.entry(col).or_default();
+            if let Some(lo) = lo {
+                r.lo = Some(r.lo.map_or(lo, |cur| if lo > cur { lo } else { cur }));
+            }
+            if let Some(hi) = hi {
+                r.hi = Some(r.hi.map_or(hi, |cur| if hi < cur { hi } else { cur }));
+            }
+        };
+        match self {
+            Predicate::Eq(c, v) if !v.is_null() => bound(c, Some(v), Some(v)),
+            Predicate::Lt(c, v) | Predicate::Le(c, v) if !v.is_null() => bound(c, None, Some(v)),
+            Predicate::Gt(c, v) | Predicate::Ge(c, v) if !v.is_null() => bound(c, Some(v), None),
+            Predicate::And(a, b) => {
+                a.collect_ranges(out);
+                b.collect_ranges(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Inclusive hull of the values a column may take under a predicate's
+/// top-level AND chain: `lo <= column <= hi`, either side optionally
+/// unbounded. Produced by [`Predicate::range_bindings`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ColRange<'a> {
+    /// Inclusive lower bound, if any.
+    pub lo: Option<&'a Value>,
+    /// Inclusive upper bound, if any.
+    pub hi: Option<&'a Value>,
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -92,9 +92,19 @@ impl Database {
         Ok(Snapshot { tables })
     }
 
-    /// Rebuild a database from a snapshot.
+    /// Rebuild a database from a snapshot (default in-memory pool).
     pub fn restore(snapshot: &Snapshot) -> Result<Database> {
-        let db = Database::new();
+        Self::restore_with(snapshot, &crate::pagestore::PoolConfig::default())
+    }
+
+    /// Rebuild a database from a snapshot onto a buffer pool built
+    /// from `cfg` — used by WAL recovery so a bounded, file-backed
+    /// database comes back bounded and file-backed.
+    pub fn restore_with(
+        snapshot: &Snapshot,
+        cfg: &crate::pagestore::PoolConfig,
+    ) -> Result<Database> {
+        let db = Database::with_pool(cfg)?;
         for name in fk_order(&snapshot.tables)? {
             let snap = &snapshot.tables[name];
             db.create_table(snap.schema.clone())?;

@@ -1,16 +1,27 @@
-//! In-memory table heap with index maintenance.
+//! Paged table heap with index maintenance.
 //!
-//! A [`Table`] stores rows in a `BTreeMap` keyed by [`RowId`] (so scans
-//! are deterministic), keeps the implicit primary-key index plus any
-//! declared secondary indexes, and enforces *local* constraints: arity,
-//! types, NULLs, and uniqueness. Cross-table (foreign-key) constraints
-//! are enforced one level up, in [`crate::database::Database`].
+//! A [`Table`] stores rows as encoded images on slotted pages owned by
+//! a [`BufferPool`] (see [`crate::pagestore`]), with a row directory
+//! mapping stable [`RowId`]s to `(page, slot)` addresses — so scans
+//! stay deterministic (id order) while residency is bounded by the
+//! pool. It keeps the implicit primary-key index plus any declared
+//! secondary indexes, and enforces *local* constraints: arity, types,
+//! NULLs, and uniqueness. Cross-table (foreign-key) constraints are
+//! enforced one level up, in [`crate::database::Database`].
+//!
+//! Indexes are keyed by logical [`RowId`], not by page address: ids are
+//! baked into the WAL record format and the public API, and keeping
+//! them stable means a row migrating between pages (update, page
+//! compaction) never touches an index entry.
 
 use crate::error::{Error, Result};
+use crate::pagestore::{page, BufferPool, PageId, PoolConfig};
 use crate::schema::{IndexDef, TableSchema, PRIMARY_INDEX};
 use crate::value::{Key, Value};
+use obs::Registry;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Stable identifier of a row within its table. Never reused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -57,6 +68,29 @@ impl Index {
     pub fn range(&self, lo: &Key, hi: &Key) -> Vec<RowId> {
         self.map
             .range(lo.clone()..=hi.clone())
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect()
+    }
+
+    /// Row ids whose key's *first* component lies in the inclusive
+    /// hull `[lo, hi]` (either side optionally unbounded), in key
+    /// order. Works for composite indexes because keys compare
+    /// lexicographically: `Key([v])` sorts at the front of every key
+    /// starting with `v`. Backs the planner's bounded range scans for
+    /// `<`/`<=`/`>`/`>=` conjuncts.
+    #[must_use]
+    pub fn scan_first_column(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<RowId> {
+        use std::ops::Bound;
+        let start = match lo {
+            Some(v) => Bound::Included(Key(vec![v.clone()])),
+            None => Bound::Unbounded,
+        };
+        self.map
+            .range((start, Bound::Unbounded))
+            .take_while(|(key, _)| match hi {
+                Some(h) => key.0.first().is_some_and(|first| first <= h),
+                None => true,
+            })
             .flat_map(|(_, ids)| ids.iter().copied())
             .collect()
     }
@@ -110,21 +144,186 @@ impl Index {
     }
 }
 
-/// An in-memory table: schema + heap + indexes.
+/// Physical address of a row image: which page, which slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RowAddr {
+    page: PageId,
+    slot: u32,
+}
+
+/// Per-page bookkeeping for the heap's placement decisions.
+#[derive(Debug, Clone, Copy)]
+struct PageInfo {
+    live: usize,
+    /// Reclaimable free bytes after the last operation on the page
+    /// (contiguous gap + removed-row holes; see [`page::total_free`]).
+    free: usize,
+}
+
+/// The paged row heap of one table: a row directory over buffer-pool
+/// pages. Placement is first-fit in page-id order (deterministic);
+/// oversized rows get a dedicated page sized to fit; pages are freed
+/// as soon as their last row dies.
 #[derive(Debug)]
-pub struct Table {
-    schema: TableSchema,
-    rows: BTreeMap<RowId, Row>,
-    next_row: u64,
-    /// `indexes[0]` is always the implicit primary index.
-    indexes: Vec<Index>,
-    /// Approximate payload bytes currently stored (Text + Bytes values).
+struct RowHeap {
+    pool: Arc<BufferPool>,
+    dir: BTreeMap<RowId, RowAddr>,
+    pages: BTreeMap<PageId, PageInfo>,
+    /// Exact payload bytes (Text + Bytes values) of all live rows,
+    /// maintained incrementally. This is *logical* size — the resident
+    /// footprint is the pool's business.
     heap_bytes: usize,
 }
 
+impl RowHeap {
+    fn new(pool: Arc<BufferPool>) -> Self {
+        RowHeap {
+            pool,
+            dir: BTreeMap::new(),
+            pages: BTreeMap::new(),
+            heap_bytes: 0,
+        }
+    }
+
+    fn payload(row: &[Value]) -> usize {
+        row.iter().map(Value::heap_size).sum()
+    }
+
+    /// Place an encoded row, preferring the lowest-id owned page with
+    /// room, else allocating. Returns the address.
+    fn place(&mut self, bytes: &[u8]) -> Result<RowAddr> {
+        let need = bytes.len() + page::SLOT;
+        let candidates: Vec<PageId> = self
+            .pages
+            .iter()
+            .filter(|(_, info)| info.free >= need)
+            .map(|(id, _)| *id)
+            .collect();
+        for pid in candidates {
+            let guard = self.pool.pin(pid)?;
+            let (slot, free) = guard.with_mut(|buf| {
+                let slot = page::insert(buf, bytes);
+                (slot, page::total_free(buf))
+            });
+            let info = self.pages.get_mut(&pid).expect("owned page");
+            info.free = free;
+            if let Some(slot) = slot {
+                info.live += 1;
+                return Ok(RowAddr { page: pid, slot });
+            }
+        }
+        let pid = self.pool.alloc(page::capacity_needed(bytes.len()))?;
+        let guard = self.pool.pin(pid)?;
+        let (slot, free) = guard.with_mut(|buf| {
+            let slot = page::insert(buf, bytes).expect("fresh page fits its row");
+            (slot, page::total_free(buf))
+        });
+        self.pages.insert(pid, PageInfo { live: 1, free });
+        Ok(RowAddr { page: pid, slot })
+    }
+
+    /// Store `row` under `id` (which must be unused).
+    fn insert(&mut self, id: RowId, row: &[Value]) -> Result<()> {
+        debug_assert!(!self.dir.contains_key(&id), "row id reuse");
+        let addr = self.place(&page::encode_row(row))?;
+        self.dir.insert(id, addr);
+        self.heap_bytes += Self::payload(row);
+        Ok(())
+    }
+
+    /// Decode the row at `id`, or `None` if it does not exist.
+    fn read(&self, id: RowId) -> Result<Option<Row>> {
+        let Some(addr) = self.dir.get(&id) else {
+            return Ok(None);
+        };
+        let guard = self.pool.pin(addr.page)?;
+        guard.with(|buf| {
+            let bytes = page::get(buf, addr.slot)
+                .ok_or_else(|| Error::Page(format!("row {id:?} missing from {}", addr.page)))?;
+            page::decode_row(bytes).map(Some)
+        })
+    }
+
+    /// Remove and return the row at `id`, freeing its page if that was
+    /// the last row on it.
+    fn remove(&mut self, id: RowId) -> Result<Option<Row>> {
+        let Some(addr) = self.dir.remove(&id) else {
+            return Ok(None);
+        };
+        let guard = self.pool.pin(addr.page)?;
+        let (row, free) = guard.with_mut(|buf| -> Result<(Row, usize)> {
+            let bytes = page::get(buf, addr.slot)
+                .ok_or_else(|| Error::Page(format!("row {id:?} missing from {}", addr.page)))?
+                .to_vec();
+            page::remove(buf, addr.slot);
+            Ok((page::decode_row(&bytes)?, page::total_free(buf)))
+        })?;
+        drop(guard);
+        let info = self.pages.get_mut(&addr.page).expect("owned page");
+        info.live -= 1;
+        info.free = free;
+        if info.live == 0 {
+            self.pages.remove(&addr.page);
+            self.pool.free(addr.page);
+        }
+        self.heap_bytes -= Self::payload(&row);
+        Ok(Some(row))
+    }
+
+    fn len(&self) -> usize {
+        self.dir.len()
+    }
+
+    fn max_id(&self) -> Option<RowId> {
+        self.dir.keys().next_back().copied()
+    }
+
+    fn page_of(&self, id: RowId) -> Option<PageId> {
+        self.dir.get(&id).map(|a| a.page)
+    }
+
+    /// All rows in id order, decoding lazily (one page pinned at a
+    /// time, so a scan never needs more than one resident page beyond
+    /// the pool's working set).
+    ///
+    /// # Panics
+    /// If the spill backend fails or a row image does not decode — both
+    /// mean the storage below the pool is gone or corrupt, which the
+    /// infallible iterator contract (inherited from the pre-paged
+    /// engine) cannot report.
+    fn iter(&self) -> impl Iterator<Item = (RowId, Row)> + '_ {
+        self.dir.keys().map(|id| {
+            let row = self
+                .read(*id)
+                .expect("page store healthy")
+                .expect("directory row present");
+            (*id, row)
+        })
+    }
+}
+
+/// A table: schema + paged row heap + indexes.
+#[derive(Debug)]
+pub struct Table {
+    schema: TableSchema,
+    heap: RowHeap,
+    next_row: u64,
+    /// `indexes[0]` is always the implicit primary index.
+    indexes: Vec<Index>,
+}
+
 impl Table {
-    /// Create an empty table from a validated schema.
+    /// Create an empty table with its own private unbounded in-memory
+    /// pool — behaviorally identical to the pre-paged engine. Tables
+    /// inside a [`Database`](crate::Database) share the database's pool
+    /// instead (see [`Table::with_pool`]).
     pub fn new(schema: TableSchema) -> Result<Self> {
+        let pool = BufferPool::new(&PoolConfig::default(), Registry::disabled())?;
+        Self::with_pool(schema, pool)
+    }
+
+    /// Create an empty table whose rows live on pages of `pool`.
+    pub fn with_pool(schema: TableSchema, pool: Arc<BufferPool>) -> Result<Self> {
         schema.validate()?;
         let mut indexes = Vec::with_capacity(1 + schema.indexes.len());
         indexes.push(Index::new(
@@ -140,10 +339,9 @@ impl Table {
         }
         Ok(Table {
             schema,
-            rows: BTreeMap::new(),
+            heap: RowHeap::new(pool),
             next_row: 1,
             indexes,
-            heap_bytes: 0,
         })
     }
 
@@ -156,19 +354,28 @@ impl Table {
     /// Number of live rows.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.heap.len()
     }
 
     /// True if the table has no rows.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.heap.len() == 0
     }
 
-    /// Approximate payload bytes stored (Text and Bytes values).
+    /// Exact payload bytes stored (Text and Bytes values). This is the
+    /// *logical* data size, independent of pool residency — the byte
+    /// count a caller's rows account for, matching the pre-paged
+    /// engine. Resident memory is reported by the buffer pool.
     #[must_use]
     pub fn heap_bytes(&self) -> usize {
-        self.heap_bytes
+        self.heap.heap_bytes
+    }
+
+    /// Pages currently owned by this table's heap.
+    #[must_use]
+    pub fn heap_pages(&self) -> usize {
+        self.heap.pages.len()
     }
 
     /// Validate a row against the schema (arity, types, NULLs).
@@ -222,14 +429,13 @@ impl Table {
             let key = ix.key_of(&row);
             ix.insert(key, id);
         }
-        self.heap_bytes += row.iter().map(Value::heap_size).sum::<usize>();
-        self.rows.insert(id, row);
+        self.heap.insert(id, &row)?;
         Ok(id)
     }
 
     /// Advance the id allocator past every existing row (bulk load).
     pub(crate) fn sync_next_row(&mut self) {
-        if let Some((max, _)) = self.rows.iter().next_back() {
+        if let Some(max) = self.heap.max_id() {
             self.next_row = self.next_row.max(max.0 + 1);
         }
     }
@@ -241,13 +447,14 @@ impl Table {
             let key = ix.key_of(&row);
             ix.insert(key, id);
         }
-        self.heap_bytes += row.iter().map(Value::heap_size).sum::<usize>();
-        self.rows.insert(id, row);
+        self.heap
+            .insert(id, &row)
+            .expect("page store healthy during restore");
     }
 
-    /// Fetch a row by id.
-    pub fn get(&self, id: RowId) -> Result<&Row> {
-        self.rows.get(&id).ok_or_else(|| Error::NoSuchRow {
+    /// Fetch a row by id (decoded from its page).
+    pub fn get(&self, id: RowId) -> Result<Row> {
+        self.heap.read(id)?.ok_or_else(|| Error::NoSuchRow {
             table: self.schema.name.clone(),
             row: id,
         })
@@ -255,14 +462,28 @@ impl Table {
 
     /// Fetch a row by id if it exists.
     #[must_use]
-    pub fn try_get(&self, id: RowId) -> Option<&Row> {
-        self.rows.get(&id)
+    pub fn try_get(&self, id: RowId) -> Option<Row> {
+        self.heap.read(id).ok().flatten()
+    }
+
+    /// The page currently holding row `id` (LSN stamping; see
+    /// [`Table::stamp_page_lsn`]).
+    #[must_use]
+    pub fn page_of(&self, id: RowId) -> Option<PageId> {
+        self.heap.page_of(id)
+    }
+
+    /// Record that the WAL record ending at `lsn` covers the latest
+    /// change to `page`, so the buffer pool flushes the log that far
+    /// before writing the page back.
+    pub fn stamp_page_lsn(&self, page: PageId, lsn: u64) {
+        self.heap.pool.stamp_lsn(page, lsn);
     }
 
     /// Replace the whole row at `id`; returns the previous row.
     pub fn update(&mut self, id: RowId, new_row: Row) -> Result<Row> {
         self.check_row(&new_row)?;
-        let old = self.get(id)?.clone();
+        let old = self.get(id)?;
         for ix in &self.indexes {
             let key = ix.key_of(&new_row);
             if ix.would_violate(&key, Some(id)) {
@@ -280,15 +501,14 @@ impl Table {
                 ix.insert(new_key, id);
             }
         }
-        self.heap_bytes -= old.iter().map(Value::heap_size).sum::<usize>();
-        self.heap_bytes += new_row.iter().map(Value::heap_size).sum::<usize>();
-        self.rows.insert(id, new_row);
+        self.heap.remove(id)?;
+        self.heap.insert(id, &new_row)?;
         Ok(old)
     }
 
     /// Delete the row at `id`; returns it.
     pub fn delete(&mut self, id: RowId) -> Result<Row> {
-        let row = self.rows.remove(&id).ok_or_else(|| Error::NoSuchRow {
+        let row = self.heap.remove(id)?.ok_or_else(|| Error::NoSuchRow {
             table: self.schema.name.clone(),
             row: id,
         })?;
@@ -296,13 +516,19 @@ impl Table {
             let key = ix.key_of(&row);
             ix.remove(&key, id);
         }
-        self.heap_bytes -= row.iter().map(Value::heap_size).sum::<usize>();
         Ok(row)
     }
 
-    /// All (id, row) pairs in id order.
-    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
-        self.rows.iter().map(|(id, r)| (*id, r))
+    /// All (id, row) pairs in id order, decoded from their pages as the
+    /// iterator advances (at most one transient pin at a time).
+    ///
+    /// # Panics
+    /// If the page-store backend fails or a row image does not decode
+    /// mid-scan — both mean the storage below the pool is gone or
+    /// corrupt, which this infallible iterator (matching the pre-paged
+    /// engine's contract) cannot report.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, Row)> + '_ {
+        self.heap.iter()
     }
 
     /// The index named `name` (`__primary` for the PK index).

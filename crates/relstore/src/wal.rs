@@ -91,8 +91,14 @@ impl RowOp<'_> {
 /// Receiver for the engine's logical mutation stream (see module docs
 /// for the exact calling contract).
 pub trait WalSink: Send + Sync {
-    /// A mutation was applied in memory by transaction `txn`.
-    fn on_op(&self, txn: TxnId, op: RowOp<'_>) -> crate::error::Result<()>;
+    /// A mutation was applied in memory by transaction `txn`. Returns
+    /// the *exclusive end offset* (LSN) of the appended log record —
+    /// the engine stamps it onto the dirtied pages so the buffer pool
+    /// can flush the log exactly that far before writing a page back
+    /// (the ARIES flush rule). Sinks without positions (test doubles)
+    /// may return any monotonically non-decreasing value; `0` disables
+    /// gating for the op.
+    fn on_op(&self, txn: TxnId, op: RowOp<'_>) -> crate::error::Result<u64>;
 
     /// Transaction `txn` wants to commit; make its records durable
     /// before returning (group commit may batch several callers into

@@ -1,0 +1,131 @@
+//! Backend equivalence: a database on a tiny file-backed buffer pool
+//! must be observationally identical to one on the default unbounded
+//! in-memory pool, for any workload. Eviction, reload, page compaction
+//! and spill-file round-trips are implementation detail — never
+//! behavior.
+
+use proptest::prelude::*;
+use relstore::{ColumnType, Database, PoolBackend, PoolConfig, Predicate, TableSchema, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: i64, payload: String },
+    Update { key: i64, payload: String },
+    Delete { key: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..40, "[a-z]{0,24}").prop_map(|(key, payload)| Op::Insert { key, payload }),
+        (0i64..40, "[a-z]{0,24}").prop_map(|(key, payload)| Op::Update { key, payload }),
+        (0i64..40).prop_map(|key| Op::Delete { key }),
+    ]
+}
+
+fn make_table(db: &Database) {
+    db.create_table(
+        TableSchema::builder("t")
+            .column("k", ColumnType::Int)
+            .column("v", ColumnType::Text)
+            .primary_key(&["k"])
+            .index("by_v", &["v"], false)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+}
+
+/// Unique spill path per proptest case (cases run in one process).
+fn spill_path() -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "relstore-paged-equiv-{}-{n}.pages",
+        std::process::id()
+    ))
+}
+
+fn apply(db: &Database, ops: &[Op], ids: &mut HashMap<i64, relstore::RowId>) {
+    for op in ops {
+        let txn = db.begin();
+        match op {
+            Op::Insert { key, payload } => {
+                if let Ok(id) =
+                    txn.insert("t", vec![Value::Int(*key), Value::from(payload.clone())])
+                {
+                    ids.insert(*key, id);
+                }
+            }
+            Op::Update { key, payload } => {
+                if let Some(id) = ids.get(key) {
+                    let _ = txn.update_cols("t", *id, &[("v", Value::from(payload.clone()))]);
+                }
+            }
+            Op::Delete { key } => {
+                if let Some(id) = ids.remove(key) {
+                    txn.delete("t", id).unwrap();
+                }
+            }
+        }
+        txn.commit().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same ops against (a) the default unbounded in-memory pool and
+    /// (b) a 4-page file-backed pool with 256-byte pages — small enough
+    /// that nearly every access evicts and reloads through the spill
+    /// file. Selects and full snapshots must agree byte for byte.
+    #[test]
+    fn file_backed_tiny_pool_equals_in_memory(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        probe in "[a-z]{0,3}",
+    ) {
+        let mem = Database::new();
+        make_table(&mem);
+
+        let path = spill_path();
+        let cfg = PoolConfig {
+            backend: PoolBackend::File(path.clone()),
+            max_pages: Some(4),
+            page_size: 256,
+        };
+        let paged = Database::with_pool(&cfg).unwrap();
+        make_table(&paged);
+
+        let mut mem_ids = HashMap::new();
+        let mut paged_ids = HashMap::new();
+        apply(&mem, &ops, &mut mem_ids);
+        apply(&paged, &ops, &mut paged_ids);
+        prop_assert_eq!(&mem_ids, &paged_ids, "row-id allocation diverged");
+
+        // Point/index selects agree.
+        {
+            let tm = mem.begin();
+            let tp = paged.begin();
+            prop_assert_eq!(
+                tm.select("t", &Predicate::eq("v", probe.clone())).unwrap(),
+                tp.select("t", &Predicate::eq("v", probe.clone())).unwrap()
+            );
+            prop_assert_eq!(
+                tm.select("t", &Predicate::True).unwrap(),
+                tp.select("t", &Predicate::True).unwrap()
+            );
+        }
+
+        // Whole-database snapshots agree byte for byte.
+        let a = serde_json::to_string(&mem.snapshot().unwrap()).unwrap();
+        let b = serde_json::to_string(&paged.snapshot().unwrap()).unwrap();
+        prop_assert_eq!(a, b, "snapshot JSON diverged between backends");
+
+        // Logical accounting is backend-independent.
+        prop_assert_eq!(mem.heap_bytes("t").unwrap(), paged.heap_bytes("t").unwrap());
+
+        drop(paged);
+        let _ = std::fs::remove_file(&path);
+    }
+}

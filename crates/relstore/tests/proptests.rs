@@ -236,3 +236,72 @@ proptest! {
         txn.commit().unwrap();
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The incrementally maintained `heap_bytes` counter always equals
+    /// a from-scratch recomputation over the live rows — across any
+    /// interleaving of inserts, updates, deletes and rollbacks. Guards
+    /// the paged heap's accounting: rows move between pages, pages are
+    /// allocated and freed, but logical payload bytes must track
+    /// exactly.
+    #[test]
+    fn heap_bytes_matches_recomputation(
+        batches in proptest::collection::vec(
+            (proptest::collection::vec(op_strategy(), 1..12), any::<bool>()),
+            1..8,
+        ),
+    ) {
+        let db = Database::new();
+        fresh_table(&db);
+        let mut ids = HashMap::new();
+        for (ops, commit) in &batches {
+            let txn = db.begin();
+            let mut added: Vec<i64> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Insert { key, payload } => {
+                        if let Ok(id) = txn.insert("t", vec![Value::Int(*key), Value::from(payload.clone())]) {
+                            ids.insert(*key, id);
+                            added.push(*key);
+                        }
+                    }
+                    Op::Update { key, payload } => {
+                        if let Some(id) = ids.get(key) {
+                            let _ = txn.update_cols("t", *id, &[("v", Value::from(payload.clone()))]);
+                        }
+                    }
+                    Op::Delete { key } => {
+                        if let Some(id) = ids.get(key) {
+                            let _ = txn.delete("t", *id);
+                            ids.remove(key);
+                        }
+                    }
+                    Op::Lookup { .. } => {}
+                }
+            }
+            if *commit {
+                txn.commit().unwrap();
+            } else {
+                txn.rollback();
+                for k in added {
+                    ids.remove(&k);
+                }
+            }
+
+            let recomputed: usize = {
+                let txn = db.begin();
+                let rows = txn.select("t", &Predicate::True).unwrap();
+                rows.iter()
+                    .map(|(_, row)| row.iter().map(Value::heap_size).sum::<usize>())
+                    .sum()
+            };
+            prop_assert_eq!(
+                db.heap_bytes("t").unwrap(),
+                recomputed,
+                "incremental heap_bytes drifted from recomputation"
+            );
+        }
+    }
+}

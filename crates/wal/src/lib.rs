@@ -63,7 +63,7 @@ mod crc;
 
 pub use crate::log::{Wal, WalOptions, WalStats};
 pub use crate::record::{scan, Scan, Tail, WalRecord};
-pub use crate::recover::{recover_bytes, recover_bytes_with, RecoveryReport};
+pub use crate::recover::{recover_bytes, recover_bytes_pooled, recover_bytes_with, RecoveryReport};
 pub use crc::crc32;
 
 use relstore::Database;
@@ -134,6 +134,14 @@ impl From<WalError> for relstore::Error {
 /// any torn tail, and attach the log as the database's WAL sink so
 /// every further transaction is logged.
 ///
+/// The recovered database sits on a buffer pool built from
+/// [`WalOptions::pool`]; the log is installed as that pool's flush
+/// gate, so a dirty page can only be written back to the page store
+/// once the log is durable past everything that dirtied it (the
+/// write-ahead rule, enforced at the eviction path rather than on
+/// trust). Recovery itself runs ungated — every record it replays is
+/// already durable by definition.
+///
 /// Returns the recovered [`Database`], the live [`Wal`] handle (for
 /// checkpoints, flushes and stats) and the [`RecoveryReport`].
 pub fn open_durable(
@@ -145,8 +153,9 @@ pub fn open_durable(
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(WalError::Io(e)),
     };
-    let (db, report) = recover_bytes_with(&bytes, &opts.metrics)?;
+    let (db, report) = recover_bytes_pooled(&bytes, &opts.metrics, &opts.pool)?;
     let wal = Wal::open_at(path, opts, report.durable_len)?;
     db.set_wal_sink(Some(wal.clone()));
+    db.set_flush_gate(Some(wal.clone()));
     Ok((db, wal, report))
 }

@@ -34,7 +34,7 @@ use obs::Registry;
 use parking_lot::{Condvar, Mutex};
 use relstore::lock::TxnId;
 use relstore::wal::{RowOp, WalSink};
-use relstore::{Database, Predicate, Snapshot, TableSchema, TableSnapshot};
+use relstore::{Database, FlushGate, PoolConfig, Predicate, Snapshot, TableSchema, TableSnapshot};
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -61,6 +61,11 @@ pub struct WalOptions {
     /// into. Defaults to a fresh enabled registry; share one across
     /// components by cloning it in here.
     pub metrics: Registry,
+    /// Buffer-pool configuration for the database
+    /// [`open_durable`](crate::open_durable) recovers: backend (memory
+    /// or spill file), resident-page budget, page size. The default is
+    /// an unbounded in-memory pool — the pre-paging behavior.
+    pub pool: PoolConfig,
 }
 
 impl Default for WalOptions {
@@ -70,6 +75,7 @@ impl Default for WalOptions {
             sync_data: true,
             simulated_disk_latency: None,
             metrics: Registry::new(),
+            pool: PoolConfig::default(),
         }
     }
 }
@@ -359,6 +365,12 @@ impl Wal {
                     &WalRecord::Checkpoint {
                         snapshot,
                         next_txn: db.next_txn_id(),
+                        // Fuzzy-checkpoint bookkeeping: which pages are
+                        // dirty in the pool right now, with the LSN
+                        // that first dirtied each. Recovery does not
+                        // need it (the snapshot is complete), but it
+                        // makes the buffer/WAL coupling observable.
+                        dirty_pages: db.dirty_page_table(),
                     },
                 )?;
                 st.stats.checkpoints += 1;
@@ -376,7 +388,7 @@ impl Wal {
 }
 
 impl WalSink for Wal {
-    fn on_op(&self, txn: TxnId, op: RowOp<'_>) -> relstore::Result<()> {
+    fn on_op(&self, txn: TxnId, op: RowOp<'_>) -> relstore::Result<u64> {
         let mut st = self.state.lock();
         if st.active.insert(txn) {
             self.append(&mut st, &WalRecord::Begin { txn })?;
@@ -408,7 +420,11 @@ impl WalSink for Wal {
             },
         };
         self.append(&mut st, &record)?;
-        Ok(())
+        // The record's exclusive end offset: the engine stamps it as
+        // the dirtied page's `page_lsn`, so the pool's flush rule
+        // ("flush the log through page_lsn before writeback") covers
+        // this whole record.
+        Ok(st.end_lsn)
     }
 
     fn on_commit(&self, txn: TxnId) -> relstore::Result<()> {
@@ -446,5 +462,24 @@ impl WalSink for Wal {
         // DDL is auto-committed: make it durable immediately.
         self.flush()?;
         Ok(())
+    }
+}
+
+/// The WAL as the buffer pool's flush gate: before a dirty page may be
+/// written back to the page store, the log must be durable through that
+/// page's `page_lsn`. Because `page_lsn >= rec_lsn` by construction,
+/// honoring this gate enforces the classic ARIES rule
+/// `rec_lsn <= flushed_lsn` at every writeback.
+impl FlushGate for Wal {
+    fn log_end_lsn(&self) -> u64 {
+        self.end_lsn()
+    }
+
+    fn flushed_lsn(&self) -> u64 {
+        self.durable_lsn()
+    }
+
+    fn ensure_flushed(&self, lsn: u64) -> relstore::Result<()> {
+        self.wait_durable(lsn).map_err(relstore::Error::from)
     }
 }

@@ -108,6 +108,14 @@ pub enum WalRecord {
         /// invisible to recovery — this field keeps the recovered
         /// engine from ever reissuing one.
         next_txn: TxnId,
+        /// The buffer pool's dirty-page table at checkpoint time:
+        /// `(page id, rec_lsn)` for every resident dirty page, where
+        /// `rec_lsn` is the LSN that first dirtied the page since its
+        /// last writeback. ARIES would use this to bound redo; here the
+        /// snapshot already carries full state, so the table is
+        /// informational — it records how far the pool lagged the log,
+        /// which the recovery report and E16 experiment surface.
+        dirty_pages: Vec<(u64, u64)>,
     },
 }
 
@@ -356,6 +364,7 @@ mod tests {
         let ckpt = WalRecord::Checkpoint {
             snapshot: relstore::Database::new().snapshot().unwrap(),
             next_txn: 1,
+            dirty_pages: vec![(3, 42)],
         };
         let payload = serde_json::to_string(&ckpt).unwrap();
         assert!(payload.as_bytes().starts_with(CHECKPOINT_PREFIX));

@@ -32,7 +32,7 @@ use crate::record::{decode, scan_raw, Tail, WalRecord};
 use crate::{Lsn, WalError};
 use obs::Registry;
 use relstore::lock::TxnId;
-use relstore::Database;
+use relstore::{Database, PoolConfig};
 use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 
@@ -61,6 +61,11 @@ pub struct RecoveryReport {
     /// resume allocation at, so a post-recovery commit record can
     /// never alias a dead transaction from an earlier life of the log.
     pub next_txn: TxnId,
+    /// Number of dirty pages the restored checkpoint recorded in its
+    /// dirty-page table — how far the buffer pool lagged the log at
+    /// checkpoint time. Zero when there was no checkpoint (or the pool
+    /// was clean).
+    pub checkpoint_dirty_pages: usize,
     /// Offset of the torn final frame, when the crash tore one.
     pub torn_tail: Option<Lsn>,
     /// Length of the valid prefix; the log should be truncated here
@@ -80,10 +85,25 @@ pub fn recover_bytes(bytes: &[u8]) -> Result<(Database, RecoveryReport), WalErro
 /// Like [`recover_bytes`], recording `wal.recover.*` metrics into
 /// `metrics`: per-phase wall-clock durations (gauges, outside the obs
 /// determinism contract) and exact counters mirroring the
-/// [`RecoveryReport`].
+/// [`RecoveryReport`]. Recovers onto the default unbounded in-memory
+/// buffer pool.
 pub fn recover_bytes_with(
     bytes: &[u8],
     metrics: &Registry,
+) -> Result<(Database, RecoveryReport), WalError> {
+    recover_bytes_pooled(bytes, metrics, &PoolConfig::default())
+}
+
+/// Like [`recover_bytes_with`], but the recovered database is built on
+/// a buffer pool configured by `cfg` — a bounded, file-backed database
+/// comes back bounded and file-backed. Recovery itself runs ungated
+/// (no flush rule applies: every record being replayed is, by
+/// definition, already durable); [`open_durable`](crate::open_durable)
+/// installs the live log as the pool's flush gate afterwards.
+pub fn recover_bytes_pooled(
+    bytes: &[u8],
+    metrics: &Registry,
+    cfg: &PoolConfig,
 ) -> Result<(Database, RecoveryReport), WalError> {
     let phase_start = Instant::now();
     let scanned = scan_raw(bytes)?;
@@ -155,16 +175,21 @@ pub fn recover_bytes_with(
     // nothing, then repeat history.
     let db = if checkpoint_idx.is_some() {
         match &decoded[0].1 {
-            WalRecord::Checkpoint { snapshot, next_txn } => {
+            WalRecord::Checkpoint {
+                snapshot,
+                next_txn,
+                dirty_pages,
+            } => {
                 // Ids issued before the checkpoint are invisible to
                 // replay; the checkpoint carries the counter for them.
                 report.next_txn = report.next_txn.max(*next_txn);
-                Database::restore(snapshot).map_err(WalError::Store)?
+                report.checkpoint_dirty_pages = dirty_pages.len();
+                Database::restore_with(snapshot, cfg).map_err(WalError::Store)?
             }
             _ => unreachable!("prefix test identified a checkpoint"),
         }
     } else {
-        Database::new()
+        Database::with_pool(cfg).map_err(WalError::Store)?
     };
     db.resume_txn_ids(report.next_txn);
     // Per-loser undo stacks, filled while redoing.

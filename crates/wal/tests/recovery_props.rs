@@ -390,3 +390,152 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// File-backed buffer pool: the same crash guarantees, plus the flush
+// rule observed at every dirty-page writeback
+// ---------------------------------------------------------------------
+
+/// Collects every writeback the pool performs and any violation of the
+/// write-ahead rule (`rec_lsn <= flushed_lsn` — and the stronger
+/// `page_lsn <= flushed_lsn` the gate actually enforces).
+#[derive(Debug, Default)]
+struct FlushRuleAudit {
+    writebacks: std::sync::atomic::AtomicU64,
+    violations: std::sync::Mutex<Vec<String>>,
+}
+
+impl relstore::WritebackObserver for FlushRuleAudit {
+    fn on_writeback(&self, id: relstore::PageId, rec_lsn: u64, page_lsn: u64, flushed_lsn: u64) {
+        self.writebacks.fetch_add(1, Ordering::Relaxed);
+        if rec_lsn > flushed_lsn || page_lsn > flushed_lsn {
+            self.violations.lock().unwrap().push(format!(
+                "{id}: rec_lsn={rec_lsn} page_lsn={page_lsn} flushed={flushed_lsn}"
+            ));
+        }
+    }
+}
+
+/// The scripted crash-point sweep, re-run on a one-page file-backed
+/// buffer pool: nearly every row access evicts a dirty page through
+/// the WAL's flush gate, a [`relstore::WritebackObserver`] audits the
+/// write-ahead rule at each writeback, and recovery at every cut —
+/// itself onto a bounded file-backed pool — still equals the
+/// committed-prefix oracle.
+#[test]
+fn file_backed_pool_recovery_sweep_upholds_flush_rule() {
+    let path = temp_log("filepool");
+    let spill = std::env::temp_dir().join(format!(
+        "wal-recovery-filepool-spill-{}.pages",
+        std::process::id()
+    ));
+    let units = scripted_units();
+    let tail = [Op::InsPar(5, "e"), Op::InsChild(14, 4)];
+
+    // Durable run on the tiny pool, flush rule audited throughout.
+    let _ = std::fs::remove_file(&path);
+    let audit = std::sync::Arc::new(FlushRuleAudit::default());
+    let opts = WalOptions {
+        sync_data: false, // in-process durability semantics are identical
+        pool: relstore::PoolConfig {
+            backend: relstore::PoolBackend::File(spill.clone()),
+            max_pages: Some(1),
+            page_size: 256,
+        },
+        ..WalOptions::default()
+    };
+    let (bytes, marks) = {
+        let (db, wal, _) = open_durable(&path, opts).unwrap();
+        db.pool().set_observer(Some(audit.clone()));
+        let mut marks = Vec::new();
+        for (i, unit) in units.iter().enumerate() {
+            match unit {
+                Unit::Ddl(schema) => {
+                    db.create_table(schema.clone()).unwrap();
+                    marks.push((i, wal.durable_lsn()));
+                }
+                Unit::Commit(ops) => {
+                    let txn = db.begin();
+                    for &op in ops {
+                        apply(&txn, op);
+                    }
+                    txn.commit().unwrap();
+                    marks.push((i, wal.durable_lsn()));
+                }
+                Unit::Rollback(ops) => {
+                    let txn = db.begin();
+                    for &op in ops {
+                        apply(&txn, op);
+                    }
+                    txn.rollback();
+                }
+                Unit::Checkpoint => {
+                    wal.checkpoint(&db).unwrap();
+                }
+            }
+        }
+        let txn = db.begin();
+        for &op in &tail {
+            apply(&txn, op);
+        }
+        wal.flush().unwrap();
+        std::mem::forget(txn); // crash: records on disk, no commit
+        (std::fs::read(&path).unwrap(), marks)
+    };
+    std::fs::remove_file(&path).unwrap();
+
+    assert!(
+        audit.writebacks.load(Ordering::Relaxed) > 0,
+        "a one-page pool must actually write dirty pages back, or the \
+         flush-rule audit is vacuous"
+    );
+    assert_eq!(
+        *audit.violations.lock().unwrap(),
+        Vec::<String>::new(),
+        "no dirty page may reach the page store before the log covers it"
+    );
+
+    // The last checkpoint of the scripted run was taken mid-workload on
+    // a one-page pool: its dirty-page table should be non-trivial for
+    // at least one checkpoint (the log records how far the pool lagged).
+    let scan = wal::scan(&bytes).unwrap();
+    let dirty_counts: Vec<usize> = scan
+        .records
+        .iter()
+        .filter_map(|(_, r)| match r {
+            wal::WalRecord::Checkpoint { dirty_pages, .. } => Some(dirty_pages.len()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(dirty_counts.len(), 2, "both checkpoints survived");
+
+    // Crash-point sweep: recover every cut onto a bounded file-backed
+    // pool; logical state must equal the in-memory oracle at each.
+    let recover_spill = std::env::temp_dir().join(format!(
+        "wal-recovery-filepool-recover-{}.pages",
+        std::process::id()
+    ));
+    let cfg = relstore::PoolConfig {
+        backend: relstore::PoolBackend::File(recover_spill.clone()),
+        max_pages: Some(4),
+        page_size: 256,
+    };
+    let mut oracle_cache: std::collections::HashMap<Option<usize>, String> =
+        std::collections::HashMap::new();
+    for cut in 0..=bytes.len() as u64 {
+        let prefix = crash::cut_at(&bytes, cut);
+        let (db, _) = wal::recover_bytes_pooled(&prefix, &obs::Registry::disabled(), &cfg)
+            .unwrap_or_else(|e| panic!("cut {cut}: pooled recovery must succeed, got {e}"));
+        let key = marks.iter().rev().find(|(_, m)| *m <= cut).map(|(i, _)| *i);
+        let expected = oracle_cache
+            .entry(key)
+            .or_insert_with(|| oracle_snapshot_json(&units, &marks, cut));
+        let got = serde_json::to_string(&db.snapshot().unwrap()).unwrap();
+        assert_eq!(
+            &got, expected,
+            "cut {cut}: file-backed recovery diverges from oracle"
+        );
+    }
+    let _ = std::fs::remove_file(&spill);
+    let _ = std::fs::remove_file(&recover_spill);
+}
