@@ -702,7 +702,7 @@ impl Txn {
             Some(ids) => {
                 examined = ids.len();
                 for id in ids {
-                    if let Some(row) = t.try_get(id) {
+                    if let Some(row) = t.try_get(id)? {
                         if compiled.eval(&row) {
                             out.push((id, row));
                         }
@@ -935,7 +935,7 @@ impl Txn {
                     // Pin the referenced row until commit.
                     self.lock(Resource::Row(rtid, hit), LockMode::Shared)?;
                     // Re-check it still exists post-lock.
-                    if rdata.read().try_get(hit).is_none() {
+                    if rdata.read().try_get(hit)?.is_none() {
                         return Err(Error::ForeignKeyViolation {
                             table: table.to_owned(),
                             references: fk.ref_table.clone(),

@@ -412,9 +412,13 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Write one dirty frame back: flush the log through `page_lsn`
-    /// first (the ARIES rule, implying `rec_lsn <= flushed_lsn`), then
-    /// hand the image to the backend and mark the frame clean.
+    /// Write one dirty frame back: flush the log through
+    /// `max(page_lsn, rec_lsn)` first, then hand the image to the
+    /// backend and mark the frame clean. `page_lsn` is the ARIES rule;
+    /// `rec_lsn` additionally covers a page dirtied *before* its record
+    /// was appended and stamped (the engine logs after mutating, so an
+    /// eviction can race the stamp) — its conservative end-of-log hint
+    /// keeps `rec_lsn <= flushed_lsn` an invariant either way.
     fn writeback(&self, st: &mut PoolState, id: PageId) -> Result<()> {
         let (page_lsn, rec_lsn, buf) = {
             let frame = &st.frames[&id];
@@ -422,7 +426,7 @@ impl BufferPool {
         };
         let gate = self.gate.read().unwrap().clone();
         let flushed = if let Some(gate) = gate {
-            gate.ensure_flushed(page_lsn)?;
+            gate.ensure_flushed(page_lsn.max(rec_lsn))?;
             gate.flushed_lsn()
         } else {
             u64::MAX
@@ -596,6 +600,66 @@ mod tests {
         p.stamp_lsn(a, 123);
         p.alloc(0).unwrap(); // evicts `a`, must flush through 123
         assert_eq!(gate.asked.lock().unwrap().as_slice(), &[123]);
+    }
+
+    #[test]
+    fn eviction_racing_the_stamp_flushes_through_rec_lsn() {
+        // A page dirtied *before* its record is appended carries only
+        // the conservative end-of-log hint in `rec_lsn`; its `page_lsn`
+        // is the stale stamp of the previous record. Writeback must
+        // flush through the hint too — flushing `page_lsn` alone would
+        // leave `rec_lsn > flushed_lsn` (and panic the debug assert).
+        struct Gate {
+            end: Mutex<u64>,
+            flushed: Mutex<u64>,
+        }
+        impl FlushGate for Gate {
+            fn log_end_lsn(&self) -> u64 {
+                *self.end.lock().unwrap()
+            }
+            fn flushed_lsn(&self) -> u64 {
+                *self.flushed.lock().unwrap()
+            }
+            fn ensure_flushed(&self, lsn: u64) -> Result<()> {
+                // Flush exactly to the requested offset — a minimal
+                // gate (the real WAL may flush further, which would
+                // mask an under-asking pool).
+                let mut f = self.flushed.lock().unwrap();
+                *f = (*f).max(lsn);
+                Ok(())
+            }
+        }
+        struct Check;
+        impl WritebackObserver for Check {
+            fn on_writeback(&self, id: PageId, rec_lsn: u64, _page_lsn: u64, flushed: u64) {
+                assert!(rec_lsn <= flushed, "flush rule broken for {id}");
+            }
+        }
+        let p = pool(Some(2));
+        let gate = Arc::new(Gate {
+            end: Mutex::new(10),
+            flushed: Mutex::new(10),
+        });
+        p.set_gate(Some(gate.clone()));
+        p.set_observer(Some(Arc::new(Check)));
+        let a = p.alloc(0).unwrap();
+        fill(&p, a, b"first");
+        p.stamp_lsn(a, 10);
+        p.flush_all().unwrap(); // `a` clean, page_lsn = 10
+                                // The log grows past the durable horizon (records of other
+                                // transactions, appended but unflushed), then `a` is dirtied
+                                // again — before its own record exists, so only the hint
+                                // covers the change.
+        *gate.end.lock().unwrap() = 50;
+        fill(&p, a, b"second"); // rec_lsn = 50, page_lsn still 10
+        let _b = p.alloc(0).unwrap();
+        let _c = p.alloc(0).unwrap(); // evicts `a`
+        assert!(p.stats().evictions >= 1, "victim a must be evicted");
+        assert_eq!(
+            gate.flushed_lsn(),
+            50,
+            "writeback must flush through the rec_lsn hint, not the stale stamp"
+        );
     }
 
     #[test]

@@ -244,19 +244,19 @@ impl RowHeap {
         })
     }
 
-    /// Remove and return the row at `id`, freeing its page if that was
-    /// the last row on it.
-    fn remove(&mut self, id: RowId) -> Result<Option<Row>> {
-        let Some(addr) = self.dir.remove(&id) else {
-            return Ok(None);
-        };
+    /// Drop the slot at `addr` (which must be live): decode its prior
+    /// image, remove it from its page, and free the page if that was
+    /// its last row. Touches neither the directory nor `heap_bytes` —
+    /// callers own those — and leaves the slot intact on any error.
+    fn erase(&mut self, id: RowId, addr: RowAddr) -> Result<Row> {
         let guard = self.pool.pin(addr.page)?;
         let (row, free) = guard.with_mut(|buf| -> Result<(Row, usize)> {
             let bytes = page::get(buf, addr.slot)
                 .ok_or_else(|| Error::Page(format!("row {id:?} missing from {}", addr.page)))?
                 .to_vec();
+            let row = page::decode_row(&bytes)?;
             page::remove(buf, addr.slot);
-            Ok((page::decode_row(&bytes)?, page::total_free(buf)))
+            Ok((row, page::total_free(buf)))
         })?;
         drop(guard);
         let info = self.pages.get_mut(&addr.page).expect("owned page");
@@ -266,8 +266,46 @@ impl RowHeap {
             self.pages.remove(&addr.page);
             self.pool.free(addr.page);
         }
+        Ok(row)
+    }
+
+    /// Remove and return the row at `id`, freeing its page if that was
+    /// the last row on it. A pool/backend failure leaves the row (and
+    /// all accounting) untouched.
+    fn remove(&mut self, id: RowId) -> Result<Option<Row>> {
+        let Some(&addr) = self.dir.get(&id) else {
+            return Ok(None);
+        };
+        let row = self.erase(id, addr)?;
+        self.dir.remove(&id);
         self.heap_bytes -= Self::payload(&row);
         Ok(Some(row))
+    }
+
+    /// Replace the row at `id` with `row`, returning the old image.
+    /// The new image is placed *before* the old slot is dropped, so a
+    /// pool/backend failure at any point leaves the previous image —
+    /// and every index entry pointing at `id` — valid.
+    fn replace(&mut self, id: RowId, row: &[Value]) -> Result<Row> {
+        let Some(&old_addr) = self.dir.get(&id) else {
+            return Err(Error::Page(format!("replace of missing row {id:?}")));
+        };
+        let new_addr = self.place(&page::encode_row(row))?;
+        match self.erase(id, old_addr) {
+            Ok(old) => {
+                self.dir.insert(id, new_addr);
+                self.heap_bytes += Self::payload(row);
+                self.heap_bytes -= Self::payload(&old);
+                Ok(old)
+            }
+            Err(e) => {
+                // The old slot is untouched; drop the freshly placed
+                // copy (best effort) so the heap returns to exactly the
+                // pre-call state.
+                let _ = self.erase(id, new_addr);
+                Err(e)
+            }
+        }
     }
 
     fn len(&self) -> usize {
@@ -460,10 +498,11 @@ impl Table {
         })
     }
 
-    /// Fetch a row by id if it exists.
-    #[must_use]
-    pub fn try_get(&self, id: RowId) -> Option<Row> {
-        self.heap.read(id).ok().flatten()
+    /// Fetch a row by id if it exists. `Ok(None)` means the row is
+    /// genuinely absent; a page-store I/O or decode failure is an
+    /// error, never a silent miss.
+    pub fn try_get(&self, id: RowId) -> Result<Option<Row>> {
+        self.heap.read(id)
     }
 
     /// The page currently holding row `id` (LSN stamping; see
@@ -493,6 +532,11 @@ impl Table {
                 });
             }
         }
+        // Heap first, indexes after: `replace` writes the new image
+        // before dropping the old one, so a pool/backend failure here
+        // returns with the row, the indexes, and the byte accounting
+        // exactly as they were. The index rewrite below is infallible.
+        self.heap.replace(id, &new_row)?;
         for ix in &mut self.indexes {
             let old_key = ix.key_of(&old);
             let new_key = ix.key_of(&new_row);
@@ -501,8 +545,6 @@ impl Table {
                 ix.insert(new_key, id);
             }
         }
-        self.heap.remove(id)?;
-        self.heap.insert(id, &new_row)?;
         Ok(old)
     }
 

@@ -354,6 +354,18 @@ impl Wal {
                 None => {}
             }
             let snapshot = Snapshot { tables };
+            // Fuzzy-checkpoint bookkeeping: which pages are dirty in
+            // the pool right now, with the LSN that first dirtied each.
+            // Recovery does not need it (the snapshot is complete), but
+            // it makes the buffer/WAL coupling observable.
+            //
+            // Snapshot it *before* taking the WAL state lock: reading
+            // the dirty-page table takes the pool state mutex, and
+            // dirty-page writeback holds that mutex while the flush
+            // gate waits on the WAL state lock. Taking pool-after-WAL
+            // here would invert that order and deadlock against a
+            // concurrent eviction.
+            let dirty_pages = db.dirty_page_table();
             let lsn = {
                 // Append while *both* the table locks and the append
                 // mutex are held: no commit record can slip between the
@@ -364,13 +376,10 @@ impl Wal {
                     &mut st,
                     &WalRecord::Checkpoint {
                         snapshot,
+                        // Lock-free atomic load: safe under the state
+                        // lock, and exact at the append point.
                         next_txn: db.next_txn_id(),
-                        // Fuzzy-checkpoint bookkeeping: which pages are
-                        // dirty in the pool right now, with the LSN
-                        // that first dirtied each. Recovery does not
-                        // need it (the snapshot is complete), but it
-                        // makes the buffer/WAL coupling observable.
-                        dirty_pages: db.dirty_page_table(),
+                        dirty_pages,
                     },
                 )?;
                 st.stats.checkpoints += 1;

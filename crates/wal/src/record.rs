@@ -115,6 +115,11 @@ pub enum WalRecord {
         /// snapshot already carries full state, so the table is
         /// informational — it records how far the pool lagged the log,
         /// which the recovery report and E16 experiment surface.
+        ///
+        /// `default` so checkpoint records written before this field
+        /// existed still decode (as an empty table) — the WAL frame
+        /// format itself is unchanged.
+        #[serde(default)]
         dirty_pages: Vec<(u64, u64)>,
     },
 }
@@ -370,6 +375,33 @@ mod tests {
         assert!(payload.as_bytes().starts_with(CHECKPOINT_PREFIX));
         let other = serde_json::to_string(&WalRecord::Begin { txn: 1 }).unwrap();
         assert!(!other.as_bytes().starts_with(CHECKPOINT_PREFIX));
+    }
+
+    #[test]
+    fn checkpoint_without_dirty_page_table_still_decodes() {
+        // Logs written before the buffer pool existed have checkpoint
+        // records with no `dirty_pages` key; they must keep decoding
+        // (as an empty table) so old WALs stay recoverable.
+        let ckpt = WalRecord::Checkpoint {
+            snapshot: relstore::Database::new().snapshot().unwrap(),
+            next_txn: 9,
+            dirty_pages: vec![(3, 42)],
+        };
+        let old_format = serde_json::to_string(&ckpt)
+            .unwrap()
+            .replace(",\"dirty_pages\":[[3,42]]", "");
+        assert!(!old_format.contains("dirty_pages"), "field really removed");
+        match serde_json::from_str::<WalRecord>(&old_format).unwrap() {
+            WalRecord::Checkpoint {
+                next_txn,
+                dirty_pages,
+                ..
+            } => {
+                assert_eq!(next_txn, 9);
+                assert!(dirty_pages.is_empty());
+            }
+            other => panic!("expected checkpoint, got {other:?}"),
+        }
     }
 
     #[test]

@@ -539,3 +539,76 @@ fn file_backed_pool_recovery_sweep_upholds_flush_rule() {
     let _ = std::fs::remove_file(&spill);
     let _ = std::fs::remove_file(&recover_spill);
 }
+
+/// Regression: a checkpoint concurrent with dirty-page eviction must
+/// not deadlock. Checkpointing used to read the pool's dirty-page
+/// table while holding the WAL state lock, while eviction holds the
+/// pool state lock and waits on the WAL through the flush gate — a
+/// lock-order inversion. A writer thread churns a one-page pool
+/// against a checkpointer thread; a watchdog turns a regression into
+/// a loud failure instead of a hung suite.
+#[test]
+fn checkpoint_concurrent_with_eviction_does_not_deadlock() {
+    let path = temp_log("ckpt-evict");
+    let spill = std::env::temp_dir().join(format!(
+        "wal-ckpt-evict-spill-{}-{}.pages",
+        std::process::id(),
+        NEXT_FILE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&spill);
+    let opts = WalOptions {
+        sync_data: false,
+        pool: relstore::PoolConfig {
+            backend: relstore::PoolBackend::File(spill.clone()),
+            max_pages: Some(1),
+            page_size: 256,
+        },
+        ..WalOptions::default()
+    };
+    let (db, wal, _) = open_durable(&path, opts).unwrap();
+    db.create_table(parent_schema()).unwrap();
+
+    let writer = {
+        let db = db.clone();
+        std::thread::spawn(move || {
+            let mut committed = 0i64;
+            while committed < 300 {
+                let txn = db.begin();
+                // Wait-die may abort either side of the race; only a
+                // committed insert advances the id.
+                let ok = txn
+                    .insert("parent", vec![Value::Int(committed), Value::from("row")])
+                    .is_ok()
+                    && txn.commit().is_ok();
+                if ok {
+                    committed += 1;
+                }
+            }
+        })
+    };
+    let checkpointer = {
+        let db = db.clone();
+        let wal = wal.clone();
+        std::thread::spawn(move || {
+            for _ in 0..60 {
+                wal.checkpoint(&db).unwrap();
+            }
+        })
+    };
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let waiter = std::thread::spawn(move || {
+        writer.join().unwrap();
+        checkpointer.join().unwrap();
+        let _ = done_tx.send(());
+    });
+    match done_rx.recv_timeout(std::time::Duration::from_secs(120)) {
+        Ok(()) => waiter.join().unwrap(),
+        Err(_) => panic!(
+            "checkpoint deadlocked against dirty-page eviction \
+             (pool-lock / WAL-lock order inversion)"
+        ),
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&spill);
+}

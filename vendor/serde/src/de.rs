@@ -303,4 +303,23 @@ impl MapAccess {
     pub fn take<T: DeserializeOwned>(&mut self, name: &str) -> Result<T, Error> {
         T::from_value(self.take_raw(name)?)
     }
+
+    /// Remove and deserialize the value for `name`, falling back to
+    /// `T::default()` when the map has no such key (the semantics of
+    /// `#[serde(default)]` — lets a format grow fields without
+    /// breaking decoding of data written before they existed).
+    pub fn take_or_default<T: DeserializeOwned + Default>(
+        &mut self,
+        name: &str,
+    ) -> Result<T, Error> {
+        match self
+            .entries
+            .iter_mut()
+            .find(|(k, v)| k == name && v.is_some())
+            .and_then(|(_, v)| v.take())
+        {
+            Some(v) => T::from_value(v),
+            None => Ok(T::default()),
+        }
+    }
 }

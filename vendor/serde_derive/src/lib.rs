@@ -6,9 +6,11 @@
 //!
 //! Supported shapes — everything this workspace derives on:
 //! named structs, tuple structs, unit structs, and enums with unit,
-//! tuple, and struct variants. The only field attribute honored is
-//! `#[serde(with = "module")]`, matching real serde's contract of
-//! calling `module::serialize` / `module::deserialize`.
+//! tuple, and struct variants. The field attributes honored are
+//! `#[serde(with = "module")]` (matching real serde's contract of
+//! calling `module::serialize` / `module::deserialize`) and
+//! `#[serde(default)]` (a missing key deserializes to
+//! `Default::default()`, so formats can grow fields).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -33,6 +35,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     with: Option<String>,
+    default: bool,
 }
 
 enum Fields {
@@ -44,7 +47,7 @@ enum Fields {
 enum VariantFields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Variant {
@@ -133,8 +136,16 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Extract `with = "path"` from a `#[serde(...)]` attribute body.
-fn serde_with_from_attr(tokens: &[TokenTree], i: usize) -> Option<String> {
+/// Recognized `#[serde(...)]` field arguments.
+#[derive(Default)]
+struct SerdeAttr {
+    with: Option<String>,
+    default: bool,
+}
+
+/// Parse a `#[serde(...)]` attribute body at `tokens[i]` (`None` for
+/// any other attribute, e.g. doc comments).
+fn serde_attr_at(tokens: &[TokenTree], i: usize) -> Option<SerdeAttr> {
     // tokens[i] == '#', tokens[i+1] == [serde(...)]
     let TokenTree::Group(outer) = tokens.get(i + 1)? else {
         return None;
@@ -148,23 +159,38 @@ fn serde_with_from_attr(tokens: &[TokenTree], i: usize) -> Option<String> {
         return None;
     };
     let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut attr = SerdeAttr::default();
     let mut j = 0;
     while j < args.len() {
-        if matches!(&args[j], TokenTree::Ident(id) if id.to_string() == "with") {
-            if let Some(TokenTree::Literal(lit)) = args.get(j + 2) {
-                let s = lit.to_string();
-                return Some(s.trim_matches('"').to_string());
+        match &args[j] {
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                if let Some(TokenTree::Literal(lit)) = args.get(j + 2) {
+                    let s = lit.to_string();
+                    attr.with = Some(s.trim_matches('"').to_string());
+                    j += 3;
+                    continue;
+                }
             }
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                attr.default = true;
+                j += 1;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                j += 1;
+                continue;
+            }
+            _ => {}
         }
-        j += 1;
+        panic!(
+            "vendored serde_derive supports only #[serde(with = \"...\")] and #[serde(default)], got #[serde({})]",
+            args.iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
     }
-    panic!(
-        "vendored serde_derive supports only #[serde(with = \"...\")], got #[serde({})]",
-        args.iter()
-            .map(|t| t.to_string())
-            .collect::<Vec<_>>()
-            .join(" ")
-    );
+    Some(attr)
 }
 
 /// Skip a type (or expression) until a top-level comma, tracking both
@@ -189,13 +215,17 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        // Attributes (capture serde-with).
+        // Attributes (capture serde args).
         let mut with = None;
+        let mut default = false;
         loop {
             match tokens.get(i) {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
-                    if let Some(w) = serde_with_from_attr(&tokens, i) {
-                        with = Some(w);
+                    if let Some(attr) = serde_attr_at(&tokens, i) {
+                        if attr.with.is_some() {
+                            with = attr.with;
+                        }
+                        default |= attr.default;
                     }
                     i += 2;
                 }
@@ -218,7 +248,11 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
         i += 1; // ':'
         skip_to_top_level_comma(&tokens, &mut i);
         i += 1; // ','
-        fields.push(Field { name, with });
+        fields.push(Field {
+            name,
+            with,
+            default,
+        });
     }
     fields
 }
@@ -259,12 +293,7 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 i += 1;
-                VariantFields::Named(
-                    parse_named_fields(g.stream())
-                        .into_iter()
-                        .map(|f| f.name)
-                        .collect(),
-                )
+                VariantFields::Named(parse_named_fields(g.stream()))
             }
             _ => VariantFields::Unit,
         };
@@ -338,13 +367,22 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantFields::Named(fs) => {
-                        let binds = fs.join(", ");
+                        let binds = fs
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let items: Vec<String> = fs
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "(::std::string::String::from(\"{f}\"), ::serde::to_value({f}))"
-                                )
+                                let name = &f.name;
+                                let expr = match &f.with {
+                                    None => format!("::serde::to_value({name})"),
+                                    Some(path) => format!(
+                                        "::serde::to_value_with(|__vs| {path}::serialize({name}, __vs))"
+                                    ),
+                                };
+                                format!("(::std::string::String::from(\"{name}\"), {expr})")
                             })
                             .collect();
                         arms.push_str(&format!(
@@ -372,6 +410,22 @@ fn wrap_serialize(name: &str, body: &str) -> String {
     )
 }
 
+/// The expression pulling one named field out of `__m` (a `MapAccess`).
+fn field_take_expr(f: &Field) -> String {
+    match (&f.with, f.default) {
+        (None, false) => format!("__m.take(\"{}\")?", f.name),
+        (None, true) => format!("__m.take_or_default(\"{}\")?", f.name),
+        (Some(path), false) => format!(
+            "{path}::deserialize(::serde::value::ValueDeserializer::new(__m.take_raw(\"{}\")?))?",
+            f.name
+        ),
+        (Some(_), true) => panic!(
+            "vendored serde_derive does not support combining #[serde(with)] and #[serde(default)] (field `{}`)",
+            f.name
+        ),
+    }
+}
+
 fn gen_deserialize(item: &Item) -> String {
     let (name, body) = match item {
         Item::Struct { name, fields } => {
@@ -379,13 +433,7 @@ fn gen_deserialize(item: &Item) -> String {
                 Fields::Named(fs) => {
                     let mut inits = String::new();
                     for f in fs {
-                        let expr = match &f.with {
-                            None => format!("__m.take(\"{}\")?", f.name),
-                            Some(path) => format!(
-                                "{path}::deserialize(::serde::value::ValueDeserializer::new(__m.take_raw(\"{}\")?))?",
-                                f.name
-                            ),
-                        };
+                        let expr = field_take_expr(f);
                         inits.push_str(&format!("{}: {expr},\n", f.name));
                     }
                     format!(
@@ -451,8 +499,10 @@ fn gen_deserialize(item: &Item) -> String {
                         ));
                     }
                     VariantFields::Named(fs) => {
-                        let inits: Vec<String> =
-                            fs.iter().map(|f| format!("{f}: __m.take(\"{f}\")?")).collect();
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| format!("{}: {}", f.name, field_take_expr(f)))
+                            .collect();
                         data_arms.push_str(&format!(
                             "\"{vn}\" => {{\n\
                                  let mut __m = ::serde::de::MapAccess::from_value(__inner)?;\n\
