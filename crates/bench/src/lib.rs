@@ -8,4 +8,6 @@
 
 pub mod report;
 
-pub use report::{emit, emit_metrics, print_metrics, Series};
+pub use report::{
+    emit, emit_metrics, print_metrics, wall_clock, write_json_file, Series, WallClock,
+};

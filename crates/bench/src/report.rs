@@ -1,9 +1,18 @@
 //! Tiny reporting helpers: every experiment binary prints both a
 //! human-readable table and one JSON object per row (machine-readable,
 //! so EXPERIMENTS.md numbers can be regenerated and diffed).
+//!
+//! Throughput experiments (E17) additionally need *wall-clock* numbers
+//! — the one place in this codebase where real time is allowed to
+//! matter. [`wall_clock`] runs a closure repeatedly, discards warmup
+//! iterations, and reports the median so a single scheduler hiccup
+//! cannot fake (or hide) a speedup; [`write_json_file`] lands the
+//! collected document where CI and EXPERIMENTS.md expect it.
 
 use obs::Snapshot;
 use serde::Serialize;
+use std::path::Path;
+use std::time::Instant;
 
 /// Print one experiment row as JSON on stdout, prefixed so tables and
 /// JSON can be separated with grep.
@@ -27,6 +36,125 @@ pub fn print_metrics(heading: &str, snapshot: &Snapshot) {
     for line in snapshot.to_text().lines() {
         println!("  {line}");
     }
+}
+
+/// The wall-clock summary of one measured workload: the median of
+/// `runs` timed executions after `warmup` discarded ones, plus the
+/// spread. Produced by [`wall_clock`].
+#[derive(Debug, Clone, Serialize)]
+pub struct WallClock {
+    /// Discarded warmup executions before timing started.
+    pub warmup: u32,
+    /// Timed executions the summary is drawn from.
+    pub runs: u32,
+    /// Median timed duration, nanoseconds.
+    pub median_ns: u64,
+    /// Fastest timed duration, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest timed duration, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl WallClock {
+    /// Median duration in seconds.
+    #[must_use]
+    pub fn median_secs(&self) -> f64 {
+        self.median_ns as f64 / 1e9
+    }
+
+    /// Items per second at the median duration.
+    #[must_use]
+    pub fn throughput(&self, items: u64) -> f64 {
+        items as f64 / self.median_secs().max(1e-12)
+    }
+}
+
+/// Time `f` `warmup + runs` times and summarize the timed runs
+/// (median/min/max). The default experiment shape is `wall_clock(1, 5,
+/// ..)`: one warmup to fill caches and touch lazily-allocated state,
+/// then median-of-5 so outliers from the host machine do not land in
+/// the report.
+pub fn wall_clock(warmup: u32, runs: u32, mut f: impl FnMut()) -> WallClock {
+    assert!(runs > 0, "need at least one timed run");
+    let mut samples = Vec::with_capacity(runs as usize);
+    for i in 0..warmup + runs {
+        let t0 = Instant::now();
+        f();
+        let dt = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if i >= warmup {
+            samples.push(dt);
+        }
+    }
+    samples.sort_unstable();
+    WallClock {
+        warmup,
+        runs,
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        max_ns: *samples.last().expect("runs > 0"),
+    }
+}
+
+/// Write `doc` to `path` as pretty-printed JSON with a trailing
+/// newline. Panics on I/O failure — an experiment that cannot land its
+/// report must not exit 0.
+pub fn write_json_file<T: Serialize>(path: &Path, doc: &T) {
+    let compact = serde_json::to_string(doc).expect("document serializes");
+    let mut json = pretty(&compact);
+    json.push('\n');
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+/// Re-indent a compact JSON string (two-space indent). The vendored
+/// `serde_json` only emits compact output; benchmark reports are meant
+/// to be read and diffed, so they get line structure here.
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let indent = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    for ch in compact.chars() {
+        if in_str {
+            out.push(ch);
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                in_str = true;
+                out.push(ch);
+            }
+            '{' | '[' => {
+                out.push(ch);
+                depth += 1;
+                indent(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                indent(&mut out, depth);
+                out.push(ch);
+            }
+            ',' => {
+                out.push(ch);
+                indent(&mut out, depth);
+            }
+            ':' => out.push_str(": "),
+            _ => out.push(ch),
+        }
+    }
+    out
 }
 
 /// A labelled numeric series for quick textual plots.
@@ -102,6 +230,36 @@ mod tests {
         flat.push(0.0, 5.0);
         flat.push(1.0, 5.0);
         assert_eq!(flat.sparkline().chars().count(), 2);
+    }
+
+    #[test]
+    fn pretty_preserves_json_and_strings() {
+        let compact = r#"{"a":[1,2],"s":"br{ace,s} and \"quo:tes\"","n":null}"#;
+        let p = pretty(compact);
+        // Stripping the added whitespace outside strings must give
+        // back the compact form: the formatter may not touch content.
+        let mut stripped = String::new();
+        let (mut in_str, mut escaped) = (false, false);
+        for ch in p.chars() {
+            if in_str {
+                stripped.push(ch);
+                if escaped {
+                    escaped = false;
+                } else if ch == '\\' {
+                    escaped = true;
+                } else if ch == '"' {
+                    in_str = false;
+                }
+            } else if !ch.is_whitespace() {
+                if ch == '"' {
+                    in_str = true;
+                }
+                stripped.push(ch);
+            }
+        }
+        assert_eq!(stripped, compact);
+        assert!(p.contains("\n  \"a\": [\n"));
+        assert!(p.contains(r#"br{ace,s} and \"quo:tes\""#));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! baseline where the root sends to every station itself.
 
 use crate::tree::BroadcastTree;
+use bytes::Bytes;
 use netsim::{Network, SimTime, StationId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -79,6 +80,51 @@ fn send_to_children(net: &mut Network<Relay>, tree: &BroadcastTree, pos: u64, by
     for child in tree.children_of(pos) {
         let dst = tree.station_at(child).expect("child exists");
         net.send(src, dst, bytes, Relay { position: child });
+    }
+}
+
+/// Broadcast an actual object *body* (not just a byte count) down the
+/// tree. Timing, byte accounting and the report are identical to
+/// [`broadcast`] for `object_bytes == body.len()`; what changes is
+/// memory traffic: every relay hop forwards the one refcounted buffer
+/// ([`netsim::Message::body`]), so an m-ary fan-out to N stations
+/// performs zero payload copies.
+///
+/// `deep_copy` is the E17 baseline toggle: when set, each child send
+/// materializes a fresh copy of the body — the behavior of a relay
+/// that clones payload bodies per send.
+pub fn broadcast_object(
+    net: &mut Network<Relay>,
+    tree: &BroadcastTree,
+    body: &Bytes,
+    deep_copy: bool,
+) -> BroadcastReport {
+    let mut arrivals = BTreeMap::new();
+    send_body_to_children(net, tree, 1, body, deep_copy);
+    net.run(|net, msg| {
+        arrivals.insert(msg.dst.0, net.now());
+        let body = msg.body.expect("object broadcast always carries a body");
+        send_body_to_children(net, tree, msg.payload.position, &body, deep_copy);
+    });
+    finish(net, tree, arrivals)
+}
+
+fn send_body_to_children(
+    net: &mut Network<Relay>,
+    tree: &BroadcastTree,
+    pos: u64,
+    body: &Bytes,
+    deep_copy: bool,
+) {
+    let src = tree.station_at(pos).expect("position exists");
+    for child in tree.children_of(pos) {
+        let dst = tree.station_at(child).expect("child exists");
+        let b = if deep_copy {
+            Bytes::copy_from_slice(body)
+        } else {
+            body.clone()
+        };
+        net.send_body(src, dst, Relay { position: child }, b);
     }
 }
 
@@ -338,6 +384,41 @@ mod tests {
         let r = broadcast_uniform(8, 2, MB, lan());
         assert!(r.mean_arrival() <= r.completion);
         assert!(r.mean_arrival() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn object_broadcast_matches_byte_count_broadcast() {
+        // Same tree, same size: carrying a real body must not change
+        // timing, accounting or arrival order — shared or deep-copied.
+        let n = 32;
+        let by_count = broadcast_uniform(n, 3, MB, lan());
+        for deep in [false, true] {
+            let (mut net, ids) = Network::uniform(n, lan());
+            let tree = BroadcastTree::new(ids, 3);
+            let body = Bytes::from(vec![0xAB; MB as usize]);
+            let r = broadcast_object(&mut net, &tree, &body, deep);
+            assert_eq!(r, by_count, "deep_copy={deep}");
+        }
+    }
+
+    #[test]
+    fn shared_object_broadcast_never_copies() {
+        let (mut net, ids) = Network::uniform(16, lan());
+        let tree = BroadcastTree::new(ids.clone(), 4);
+        let body = Bytes::from(vec![1u8; 10_000]);
+        let origin = body.as_ref().as_ptr();
+        broadcast_object(&mut net, &tree, &body, false);
+        // Re-run observing delivered bodies: every station's copy is
+        // the original allocation.
+        let (mut net2, ids2) = Network::uniform(16, lan());
+        let tree2 = BroadcastTree::new(ids2, 4);
+        send_body_to_children(&mut net2, &tree2, 1, &body, false);
+        net2.run(|net, msg| {
+            let b = msg.body.expect("body");
+            assert!(std::ptr::eq(b.as_ref().as_ptr(), origin));
+            send_body_to_children(net, &tree2, msg.payload.position, &b, false);
+        });
+        assert_eq!(net2.total_bytes(), net.total_bytes());
     }
 
     #[test]

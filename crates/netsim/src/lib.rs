@@ -38,7 +38,8 @@ pub mod sim;
 pub mod time;
 pub mod topology;
 
-pub use event::EventQueue;
+pub use bytes::Bytes;
+pub use event::{EventQueue, QueueKind};
 pub use fault::{Fault, FaultSchedule, SendError};
 pub use sim::{Message, Network};
 pub use time::SimTime;

@@ -41,10 +41,11 @@
 //! namespace is byte-for-byte reproducible under a fixed seed (the
 //! `obs` crate documents the determinism contract).
 
-use crate::event::EventQueue;
+use crate::event::{EventQueue, QueueKind};
 use crate::fault::{FaultSchedule, FaultState, SendError};
 use crate::time::SimTime;
 use crate::topology::{LinkSpec, StationId, StationStats, Topology};
+use bytes::Bytes;
 use obs::{Histogram, Registry};
 
 /// A message in flight (or delivered). `P` is user payload.
@@ -58,6 +59,11 @@ pub struct Message<P> {
     pub bytes: u64,
     /// User payload describing what this message means.
     pub payload: P,
+    /// Optional object body ([`Network::send_body`]). `Bytes` is
+    /// reference-counted, so relaying a body to N children shares one
+    /// buffer instead of deep-copying N times; cloning the `Message`
+    /// only bumps a refcount. `None` for plain sends and timers.
+    pub body: Option<Bytes>,
 }
 
 /// Internal queue entry: the message plus what the fault layer needs to
@@ -115,9 +121,18 @@ impl<P> Network<P> {
     /// Wrap a topology into a simulator at time zero.
     #[must_use]
     pub fn new(topo: Topology) -> Self {
+        Self::with_queue(topo, QueueKind::default())
+    }
+
+    /// Like [`Network::new`] with an explicit event-queue
+    /// implementation. Both kinds replay identically under a fixed
+    /// seed; `QueueKind::Heap` is the pre-overhaul baseline the E17
+    /// benchmark (and the determinism guard) compares against.
+    #[must_use]
+    pub fn with_queue(topo: Topology, kind: QueueKind) -> Self {
         Network {
             topo,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_kind(kind),
             now: SimTime::ZERO,
             total_bytes: 0,
             total_msgs: 0,
@@ -228,7 +243,30 @@ impl<P> Network<P> {
     /// (counted in [`Network::dropped_msgs`]) and the current time is
     /// returned — use [`Network::try_send`] to observe the error.
     pub fn send(&mut self, src: StationId, dst: StationId, bytes: u64, payload: P) -> SimTime {
-        match self.try_send(src, dst, bytes, payload) {
+        match self.try_send_inner(src, dst, bytes, payload, None) {
+            Ok(at) => at,
+            Err(SendError::SenderDown(_)) => {
+                self.dropped_msgs += 1;
+                self.dropped_bytes += bytes;
+                self.accum.drop_sender_down += 1;
+                self.now
+            }
+        }
+    }
+
+    /// Send an object body from `src` to `dst`: the wire size is
+    /// `body.len()` and the delivered [`Message::body`] shares the
+    /// buffer (refcounted, never copied). Sender-down degrades to a
+    /// counted drop exactly like [`Network::send`].
+    pub fn send_body(
+        &mut self,
+        src: StationId,
+        dst: StationId,
+        payload: P,
+        body: Bytes,
+    ) -> SimTime {
+        let bytes = body.len() as u64;
+        match self.try_send_inner(src, dst, bytes, payload, Some(body)) {
             Ok(at) => at,
             Err(SendError::SenderDown(_)) => {
                 self.dropped_msgs += 1;
@@ -249,6 +287,17 @@ impl<P> Network<P> {
         dst: StationId,
         bytes: u64,
         payload: P,
+    ) -> Result<SimTime, SendError> {
+        self.try_send_inner(src, dst, bytes, payload, None)
+    }
+
+    fn try_send_inner(
+        &mut self,
+        src: StationId,
+        dst: StationId,
+        bytes: u64,
+        payload: P,
+        body: Option<Bytes>,
     ) -> Result<SimTime, SendError> {
         self.advance_faults(self.now);
         let (path, doomed) = match &self.faults {
@@ -275,7 +324,11 @@ impl<P> Network<P> {
         if doomed {
             self.accum.send_doomed += 1;
         }
-        self.queue.push(
+        // The sender's uplink serializes transfers, so per-source
+        // arrivals are (almost always) nondecreasing: route the event
+        // through the uplink's queue lane.
+        self.queue.push_lane(
+            src.0 as usize,
             arrival,
             Envelope {
                 msg: Message {
@@ -283,6 +336,7 @@ impl<P> Network<P> {
                     dst,
                     bytes,
                     payload,
+                    body,
                 },
                 sent_at: self.now,
                 doomed,
@@ -311,6 +365,7 @@ impl<P> Network<P> {
                     dst: station,
                     bytes: 0,
                     payload,
+                    body: None,
                 },
                 sent_at: self.now,
                 doomed,
@@ -464,9 +519,19 @@ impl<P> Network<P> {
     /// Convenience: build a uniform network of `n` stations.
     #[must_use]
     pub fn uniform(n: usize, uplink: LinkSpec) -> (Self, Vec<StationId>) {
+        Self::uniform_with_queue(n, uplink, QueueKind::default())
+    }
+
+    /// [`Network::uniform`] with an explicit event-queue kind.
+    #[must_use]
+    pub fn uniform_with_queue(
+        n: usize,
+        uplink: LinkSpec,
+        kind: QueueKind,
+    ) -> (Self, Vec<StationId>) {
         let mut topo = Topology::new();
         let ids = topo.add_stations(n, uplink);
-        (Network::new(topo), ids)
+        (Network::with_queue(topo, kind), ids)
     }
 }
 
@@ -742,6 +807,49 @@ mod tests {
         assert!(snap.counters.is_empty());
         // The simulation itself is unaffected.
         assert_eq!(net.total_bytes(), 1234);
+    }
+
+    #[test]
+    fn body_sends_share_one_buffer() {
+        // A relayed body is the same allocation end to end: wire size
+        // and byte accounting come from the body length, and no copy
+        // happens at any hop.
+        let (mut net, ids) = Network::uniform(3, LinkSpec::new(1_000_000, SimTime::ZERO));
+        let body = Bytes::from(vec![7u8; 500_000]);
+        let origin = body.as_ref().as_ptr();
+        net.send_body(ids[0], ids[1], "relay", body);
+        let mut seen = Vec::new();
+        net.run(|n, m| {
+            let b = m.body.clone().expect("body travels with the message");
+            assert_eq!(b.as_ref().as_ptr(), origin, "body must not be copied");
+            assert_eq!(m.bytes, 500_000);
+            seen.push((m.dst, n.now().as_micros()));
+            if m.dst == StationId(1) {
+                n.send_body(StationId(1), StationId(2), m.payload, b);
+            }
+        });
+        assert_eq!(
+            seen,
+            vec![(StationId(1), 500_000), (StationId(2), 1_000_000)]
+        );
+        assert_eq!(net.total_bytes(), 1_000_000);
+    }
+
+    #[test]
+    fn queue_kinds_replay_identically() {
+        let run = |kind: QueueKind| {
+            let (mut net, ids) =
+                Network::uniform_with_queue(4, LinkSpec::new(1_000_000, SimTime::ZERO), kind);
+            for (i, &dst) in ids.iter().enumerate().skip(1) {
+                net.send(ids[0], dst, 100_000 * i as u64, i);
+            }
+            net.schedule(ids[0], SimTime::from_millis(50), 99);
+            let mut log = Vec::new();
+            net.run(|n, m| log.push((n.now().as_micros(), m.payload)));
+            net.flush_metrics();
+            (log, net.metrics().snapshot().to_json())
+        };
+        assert_eq!(run(QueueKind::Wheel), run(QueueKind::Heap));
     }
 
     #[test]

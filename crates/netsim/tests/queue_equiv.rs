@@ -1,0 +1,89 @@
+//! Property: the timing wheel and the binary heap are observationally
+//! identical event queues.
+//!
+//! The heap is the pre-overhaul implementation and serves as the
+//! oracle: both queues replay the same random interleaving of `push`,
+//! `push_lane`, and `pop`, and must agree on every popped `(time,
+//! item)` pair, every `peek_time`, and every `len` — i.e. exact
+//! `(time, seq)` FIFO-within-tick order. The time distribution
+//! deliberately stresses the wheel's corner cases: duplicate
+//! timestamps (FIFO tie-break), times beyond the 2^36 µs wheel
+//! horizon (overflow heap), and small times pushed after larger ones
+//! were popped (behind the advanced wheel base).
+
+use netsim::{EventQueue, QueueKind, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64),
+    PushLane(usize, u64),
+    Pop,
+}
+
+/// Event times. Repeated arms stand in for weights (the vendored
+/// `prop_oneof!` draws uniformly).
+fn times() -> BoxedStrategy<u64> {
+    prop_oneof![
+        0u64..5_000,
+        0u64..5_000,
+        0u64..5_000,
+        Just(1_234u64), // exact duplicates: FIFO tie-break
+        Just(1_234u64),
+        0u64..64, // behind the base once pops advanced it
+        0u64..64,
+        (1u64 << 36)..(1u64 << 40), // beyond the wheel horizon: overflow heap
+        0u64..(1u64 << 22),         // upper wheel levels
+    ]
+    .boxed()
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    // A few lanes, reused often enough that chains actually form;
+    // times are *not* forced monotonic per lane, so the out-of-order
+    // fallback path is exercised too.
+    let op = prop_oneof![
+        times().prop_map(Op::Push),
+        times().prop_map(Op::Push),
+        (0usize..6, times()).prop_map(|(l, t)| Op::PushLane(l, t)),
+        (0usize..6, times()).prop_map(|(l, t)| Op::PushLane(l, t)),
+        Just(Op::Pop),
+        Just(Op::Pop),
+        Just(Op::Pop),
+    ];
+    proptest::collection::vec(op, 1..400)
+}
+
+proptest! {
+    #[test]
+    fn wheel_matches_heap(ops in ops()) {
+        let mut wheel = EventQueue::with_kind(QueueKind::Wheel);
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        let mut item = 0u64;
+        for op in ops {
+            match op {
+                Op::Push(t) => {
+                    wheel.push(SimTime::from_micros(t), item);
+                    heap.push(SimTime::from_micros(t), item);
+                    item += 1;
+                }
+                Op::PushLane(l, t) => {
+                    wheel.push_lane(l, SimTime::from_micros(t), item);
+                    heap.push_lane(l, SimTime::from_micros(t), item);
+                    item += 1;
+                }
+                Op::Pop => {
+                    prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                    prop_assert_eq!(wheel.pop(), heap.pop());
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.is_empty(), heap.is_empty());
+        }
+        // Drain both: the full remaining order must agree.
+        while let Some(e) = heap.pop() {
+            prop_assert_eq!(wheel.pop(), Some(e));
+        }
+        prop_assert_eq!(wheel.pop(), None);
+    }
+}

@@ -13,6 +13,7 @@
 
 use crate::error::{Error, Result};
 use crate::lock::{LockManager, LockMode, Resource, TxnId};
+use crate::pagestore::page::{self, RowScratch, TAG_INT};
 use crate::pagestore::{BufferPool, FlushGate, PoolConfig};
 use crate::query::Predicate;
 use crate::schema::{FkAction, ForeignKey, TableSchema, PRIMARY_INDEX};
@@ -663,7 +664,7 @@ impl Txn {
         let (tid, data) = self.entry(table)?;
         self.lock(Resource::Table(tid), LockMode::Shared)?;
         let t = data.read();
-        let compiled = pred.compile(t.schema())?;
+        let mut compiled = pred.compile(t.schema())?;
         let bindings = pred.eq_bindings();
         // Index selection: an index is usable if all its columns are
         // bound by equality.
@@ -683,40 +684,55 @@ impl Txn {
         // Range fallback: an index whose *first* column has an
         // inclusive-hull range bound gives a bounded scan; the compiled
         // predicate still re-filters for strictness and the other
-        // conjuncts.
+        // conjuncts — minus the ones the scan bounds provably satisfy,
+        // which are pruned before the candidate loop.
         let candidates = candidates.or_else(|| {
             let ranges = pred.range_bindings();
             if ranges.is_empty() {
                 return None;
             }
             t.indexes().iter().find_map(|ix| {
-                let first = ix.columns().first()?;
-                let name = t.schema().columns[*first].name.as_str();
+                let first = *ix.columns().first()?;
+                let name = t.schema().columns[first].name.as_str();
                 let r = ranges.get(name)?;
-                Some(ix.scan_first_column(r.lo, r.hi))
+                let ids = ix.scan_first_column(r.lo, r.hi);
+                let pruned = compiled.prune_covered(first, r.lo, r.hi);
+                if pruned > 0 {
+                    self.db
+                        .metrics
+                        .add("relstore.select.conjuncts_pruned", pruned as u64);
+                }
+                Some(ids)
             })
         });
         let mut out = Vec::new();
         let examined;
+        let mut scratch = RowScratch::default();
         match candidates {
             Some(ids) => {
                 examined = ids.len();
                 for id in ids {
-                    if let Some(row) = t.try_get(id)? {
-                        if compiled.eval(&row) {
-                            out.push((id, row));
+                    let hit = t.with_encoded(id, |bytes| {
+                        if compiled.matches_raw(bytes, &mut scratch)? {
+                            page::decode_row(bytes).map(Some)
+                        } else {
+                            Ok(None)
                         }
+                    })?;
+                    if let Some(Some(row)) = hit {
+                        out.push((id, row));
                     }
                 }
                 out.sort_by_key(|(id, _)| *id);
             }
             None => {
                 examined = t.len();
-                for (id, row) in t.iter() {
-                    if compiled.eval(&row) {
-                        out.push((id, row));
+                t.scan_encoded(|id, bytes| {
+                    if compiled.matches_raw(bytes, &mut scratch)? {
+                        out.push((id, page::decode_row(bytes)?));
                     }
-                }
+                    Ok(())
+                })?;
             }
         }
         self.db
@@ -804,11 +820,22 @@ impl Txn {
         self.lock(Resource::Table(tid), LockMode::Shared)?;
         let t = data.read();
         let ci = t.schema().require_column(col)?;
-        let compiled = pred.compile(t.schema())?;
-        Ok(t.iter()
-            .filter(|(_, row)| compiled.eval(row))
-            .map(|(_, row)| row[ci].as_int().unwrap_or(0))
-            .sum())
+        let mut compiled = pred.compile(t.schema())?;
+        // Widen the raw walk to cover the summed column so its field is
+        // already in the scratch when a row matches.
+        compiled.widen(ci + 1);
+        let mut scratch = RowScratch::default();
+        let mut sum = 0i64;
+        t.scan_encoded(|_, bytes| {
+            if compiled.matches_raw(bytes, &mut scratch)? {
+                let f = scratch.field(ci);
+                if f.tag == TAG_INT {
+                    sum += i64::from_le_bytes(bytes[f.start..f.end].try_into().expect("8-byte"));
+                }
+            }
+            Ok(())
+        })?;
+        Ok(sum)
     }
 
     /// Count rows matching `pred` without copying them.
@@ -818,7 +845,15 @@ impl Txn {
         self.lock(Resource::Table(tid), LockMode::Shared)?;
         let t = data.read();
         let compiled = pred.compile(t.schema())?;
-        Ok(t.iter().filter(|(_, row)| compiled.eval(row)).count())
+        let mut scratch = RowScratch::default();
+        let mut n = 0usize;
+        t.scan_encoded(|_, bytes| {
+            if compiled.matches_raw(bytes, &mut scratch)? {
+                n += 1;
+            }
+            Ok(())
+        })?;
+        Ok(n)
     }
 
     /// Commit: force the WAL (write-ahead rule: records durable before

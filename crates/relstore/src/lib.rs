@@ -71,7 +71,7 @@ pub use lock::{LockManager, LockMode, Resource};
 pub use pagestore::{
     BufferPool, FlushGate, PageId, PoolBackend, PoolConfig, PoolStats, WritebackObserver,
 };
-pub use query::{ColRange, Predicate};
+pub use query::{ColRange, Compiled, Predicate};
 pub use schema::{ColumnDef, FkAction, ForeignKey, IndexDef, TableSchema};
 pub use snapshot::{Snapshot, TableSnapshot};
 pub use table::{Row, RowId, Table};

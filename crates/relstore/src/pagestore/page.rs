@@ -196,13 +196,13 @@ pub fn remove(buf: &mut [u8], slot: u32) -> bool {
 // Row codec
 // ---------------------------------------------------------------------
 
-const TAG_NULL: u8 = 0;
-const TAG_BOOL: u8 = 1;
-const TAG_INT: u8 = 2;
-const TAG_FLOAT: u8 = 3;
-const TAG_TEXT: u8 = 4;
-const TAG_BYTES: u8 = 5;
-const TAG_TIMESTAMP: u8 = 6;
+pub(crate) const TAG_NULL: u8 = 0;
+pub(crate) const TAG_BOOL: u8 = 1;
+pub(crate) const TAG_INT: u8 = 2;
+pub(crate) const TAG_FLOAT: u8 = 3;
+pub(crate) const TAG_TEXT: u8 = 4;
+pub(crate) const TAG_BYTES: u8 = 5;
+pub(crate) const TAG_TIMESTAMP: u8 = 6;
 
 /// Encode a row: `u32` arity then each value as tag byte + payload.
 #[must_use]
@@ -305,6 +305,105 @@ pub fn decode_row(bytes: &[u8]) -> Result<Row> {
         return Err(Error::Page("trailing bytes after row image".into()));
     }
     Ok(row)
+}
+
+/// Borrowed handle on one encoded field of a row image: the value's tag
+/// byte plus the byte bounds of its payload within the image. Length
+/// prefixes are already consumed — for `Text`/`Bytes` values,
+/// `start..end` is the payload itself.
+///
+/// Tag bytes double as the cross-type rank used by [`Value`]'s total
+/// order (NULL = 0 first, then `Bool < Int < Float < Text < Bytes <
+/// Timestamp`), so comparisons between differently-tagged fields can be
+/// decided from the tags alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldRef {
+    /// The value's tag byte.
+    pub tag: u8,
+    /// Payload start offset within the row image.
+    pub start: usize,
+    /// Payload end offset within the row image.
+    pub end: usize,
+}
+
+/// Reusable scratch for raw (non-decoding) row access.
+///
+/// [`RowScratch::load`] walks the leading fields of an [`encode_row`]
+/// image into a table of [`FieldRef`]s without constructing a single
+/// [`Value`], so hot scan loops can evaluate predicates against the
+/// encoded bytes directly. One instance serves a whole scan: the field
+/// table's allocation is reused across rows.
+#[derive(Debug, Default)]
+pub struct RowScratch {
+    fields: Vec<FieldRef>,
+}
+
+impl RowScratch {
+    /// Walk the first `upto` fields of `bytes`. Errors on truncated or
+    /// garbage images and on rows with fewer than `upto` fields (which
+    /// would mean the image does not belong to the schema the caller
+    /// compiled against).
+    pub fn load(&mut self, bytes: &[u8], upto: usize) -> Result<()> {
+        self.fields.clear();
+        let mut c = Cursor { buf: bytes, at: 0 };
+        let arity = c.u32()? as usize;
+        if arity < upto {
+            return Err(Error::Page(format!(
+                "row image has {arity} fields, caller needs {upto}"
+            )));
+        }
+        for _ in 0..upto {
+            let tag = c.u8()?;
+            let (start, end) = match tag {
+                TAG_NULL => (c.at, c.at),
+                TAG_BOOL => {
+                    c.take(1)?;
+                    (c.at - 1, c.at)
+                }
+                TAG_INT | TAG_FLOAT | TAG_TIMESTAMP => {
+                    c.take(8)?;
+                    (c.at - 8, c.at)
+                }
+                TAG_TEXT | TAG_BYTES => {
+                    let len = c.u32()? as usize;
+                    c.take(len)?;
+                    (c.at - len, c.at)
+                }
+                tag => return Err(Error::Page(format!("unknown value tag {tag}"))),
+            };
+            self.fields.push(FieldRef { tag, start, end });
+        }
+        Ok(())
+    }
+
+    /// The `i`th field walked by the last [`RowScratch::load`].
+    ///
+    /// # Panics
+    /// If `i >= upto` of that load.
+    #[must_use]
+    pub fn field(&self, i: usize) -> FieldRef {
+        self.fields[i]
+    }
+}
+
+/// Decode the single field `fr` (obtained from [`RowScratch::load`]
+/// over the same `bytes`) into an owned [`Value`].
+pub fn decode_field(bytes: &[u8], fr: FieldRef) -> Result<Value> {
+    let payload = &bytes[fr.start..fr.end];
+    Ok(match fr.tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL => Value::Bool(payload[0] != 0),
+        TAG_INT => Value::Int(i64::from_le_bytes(payload.try_into().unwrap())),
+        TAG_FLOAT => Value::Float(f64::from_le_bytes(payload.try_into().unwrap())),
+        TAG_TEXT => Value::Text(
+            std::str::from_utf8(payload)
+                .map_err(|_| Error::Page("row image holds invalid UTF-8".into()))?
+                .to_owned(),
+        ),
+        TAG_BYTES => Value::Bytes(payload.to_vec()),
+        TAG_TIMESTAMP => Value::Timestamp(u64::from_le_bytes(payload.try_into().unwrap())),
+        tag => return Err(Error::Page(format!("unknown value tag {tag}"))),
+    })
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! the log covering a page's changes is durable before the page image
 //! can reach the backend.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex, RwLock};
 
 use obs::Registry;
@@ -57,10 +57,17 @@ struct Frame {
 #[derive(Default)]
 struct PoolState {
     frames: BTreeMap<PageId, Frame>,
+    /// Unpinned resident frames ordered by `(used, id)` — the eviction
+    /// policy's victim order, maintained incrementally so picking a
+    /// victim is a `first()` instead of a full frame-table scan.
+    evictable: BTreeSet<(u64, PageId)>,
     tick: u64,
     next_page: u64,
     resident_bytes: u64,
     resident_peak: u64,
+    /// Frames with `pin > 0`, maintained incrementally on every pin
+    /// transition so the hot pin path never walks the frame table.
+    pinned: u64,
     pinned_peak: u64,
     hits: u64,
     misses: u64,
@@ -186,6 +193,7 @@ impl BufferPool {
                 used: 0,
             },
         );
+        st.evictable.insert((0, id));
         self.note_usage(&mut st, id);
         self.note_resident(&mut st);
         Ok(id)
@@ -197,9 +205,16 @@ impl BufferPool {
         let mut st = self.state.lock().unwrap();
         let buf = if let Some(frame) = st.frames.get_mut(&id) {
             frame.pin += 1;
+            let newly_pinned = frame.pin == 1;
+            let used = frame.used;
+            let buf = frame.buf.clone();
+            if newly_pinned {
+                st.pinned += 1;
+                st.evictable.remove(&(used, id));
+            }
             st.hits += 1;
             self.metrics.inc("relstore.pool.hits");
-            st.frames[&id].buf.clone()
+            buf
         } else {
             st.misses += 1;
             self.metrics.inc("relstore.pool.misses");
@@ -218,15 +233,15 @@ impl BufferPool {
                     used: 0,
                 },
             );
+            st.pinned += 1;
             self.note_resident(&mut st);
             buf
         };
         self.note_usage(&mut st, id);
-        let pinned = st.frames.values().filter(|f| f.pin > 0).count() as u64;
-        if pinned > st.pinned_peak {
-            st.pinned_peak = pinned;
+        if st.pinned > st.pinned_peak {
+            st.pinned_peak = st.pinned;
             self.metrics
-                .gauge_max("relstore.pool.pinned_peak", pinned as i64);
+                .gauge_max("relstore.pool.pinned_peak", st.pinned_peak as i64);
         }
         drop(st);
         Ok(PageRef {
@@ -241,6 +256,11 @@ impl BufferPool {
         if let Some(frame) = st.frames.get_mut(&id) {
             debug_assert!(frame.pin > 0, "unpin of unpinned {id}");
             frame.pin = frame.pin.saturating_sub(1);
+            let (now_unpinned, used) = (frame.pin == 0, frame.used);
+            if now_unpinned {
+                st.pinned = st.pinned.saturating_sub(1);
+                st.evictable.insert((used, id));
+            }
         }
         // If pins forced the pool over budget, shrink back now that one
         // is released. Writeback errors cannot surface from a guard
@@ -271,6 +291,10 @@ impl BufferPool {
         let mut st = self.state.lock().unwrap();
         if let Some(frame) = st.frames.remove(&id) {
             debug_assert!(frame.pin == 0, "free of pinned {id}");
+            if frame.pin > 0 {
+                st.pinned = st.pinned.saturating_sub(1);
+            }
+            st.evictable.remove(&(frame.used, id));
             st.resident_bytes -= frame.buf.lock().unwrap().len() as u64;
         }
         drop(st);
@@ -354,7 +378,12 @@ impl BufferPool {
         st.tick += 1;
         let tick = st.tick;
         if let Some(frame) = st.frames.get_mut(&id) {
+            let (old, pin) = (frame.used, frame.pin);
             frame.used = tick;
+            if pin == 0 {
+                st.evictable.remove(&(old, id));
+                st.evictable.insert((tick, id));
+            }
         }
     }
 
@@ -391,20 +420,20 @@ impl BufferPool {
     /// frame with the lowest `(used, PageId)` — deterministic by
     /// construction under a single-threaded access sequence.
     fn evict_down_to(&self, st: &mut PoolState, target: usize) -> Result<()> {
+        debug_assert_eq!(
+            st.evictable.len() as u64 + st.pinned,
+            st.frames.len() as u64,
+            "evictable index out of sync with frame table"
+        );
         while st.frames.len() > target {
-            let victim = st
-                .frames
-                .iter()
-                .filter(|(_, f)| f.pin == 0)
-                .min_by_key(|(id, f)| (f.used, **id))
-                .map(|(id, _)| *id);
-            let Some(victim) = victim else {
+            let Some(&(used, victim)) = st.evictable.first() else {
                 return Ok(());
             };
             if st.frames[&victim].dirty {
                 self.writeback(st, victim)?;
             }
             let frame = st.frames.remove(&victim).expect("victim resident");
+            st.evictable.remove(&(used, victim));
             st.resident_bytes -= frame.buf.lock().unwrap().len() as u64;
             st.evictions += 1;
             self.metrics.inc("relstore.pool.evictions");

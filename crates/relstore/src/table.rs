@@ -169,6 +169,12 @@ struct RowHeap {
     pool: Arc<BufferPool>,
     dir: BTreeMap<RowId, RowAddr>,
     pages: BTreeMap<PageId, PageInfo>,
+    /// Owned pages grouped by their last-known reclaimable free bytes —
+    /// the same facts as `pages`, inverted. First-fit placement queries
+    /// `range(need..)` here instead of scanning every owned page, so an
+    /// insert costs O(log pages + candidates) rather than O(pages)
+    /// (which made bulk loads quadratic in table size).
+    by_free: BTreeMap<usize, BTreeSet<PageId>>,
     /// Exact payload bytes (Text + Bytes values) of all live rows,
     /// maintained incrementally. This is *logical* size — the resident
     /// footprint is the pool's business.
@@ -181,6 +187,7 @@ impl RowHeap {
             pool,
             dir: BTreeMap::new(),
             pages: BTreeMap::new(),
+            by_free: BTreeMap::new(),
             heap_bytes: 0,
         }
     }
@@ -189,16 +196,34 @@ impl RowHeap {
         row.iter().map(Value::heap_size).sum()
     }
 
+    /// Keep `by_free` mirroring a page's free-class move. `None` means
+    /// the page is not (or no longer) owned.
+    fn track_free(&mut self, pid: PageId, old: Option<usize>, new: Option<usize>) {
+        if old == new {
+            return;
+        }
+        if let Some(o) = old {
+            let set = self.by_free.get_mut(&o).expect("page in its free class");
+            set.remove(&pid);
+            if set.is_empty() {
+                self.by_free.remove(&o);
+            }
+        }
+        if let Some(n) = new {
+            self.by_free.entry(n).or_default().insert(pid);
+        }
+    }
+
     /// Place an encoded row, preferring the lowest-id owned page with
     /// room, else allocating. Returns the address.
     fn place(&mut self, bytes: &[u8]) -> Result<RowAddr> {
         let need = bytes.len() + page::SLOT;
-        let candidates: Vec<PageId> = self
-            .pages
-            .iter()
-            .filter(|(_, info)| info.free >= need)
-            .map(|(id, _)| *id)
+        let mut candidates: Vec<PageId> = self
+            .by_free
+            .range(need..)
+            .flat_map(|(_, pids)| pids.iter().copied())
             .collect();
+        candidates.sort_unstable();
         for pid in candidates {
             let guard = self.pool.pin(pid)?;
             let (slot, free) = guard.with_mut(|buf| {
@@ -206,9 +231,13 @@ impl RowHeap {
                 (slot, page::total_free(buf))
             });
             let info = self.pages.get_mut(&pid).expect("owned page");
+            let old_free = info.free;
             info.free = free;
-            if let Some(slot) = slot {
+            if slot.is_some() {
                 info.live += 1;
+            }
+            self.track_free(pid, Some(old_free), Some(free));
+            if let Some(slot) = slot {
                 return Ok(RowAddr { page: pid, slot });
             }
         }
@@ -219,6 +248,7 @@ impl RowHeap {
             (slot, page::total_free(buf))
         });
         self.pages.insert(pid, PageInfo { live: 1, free });
+        self.track_free(pid, None, Some(free));
         Ok(RowAddr { page: pid, slot })
     }
 
@@ -261,10 +291,14 @@ impl RowHeap {
         drop(guard);
         let info = self.pages.get_mut(&addr.page).expect("owned page");
         info.live -= 1;
+        let old_free = info.free;
         info.free = free;
         if info.live == 0 {
             self.pages.remove(&addr.page);
+            self.track_free(addr.page, Some(old_free), None);
             self.pool.free(addr.page);
+        } else {
+            self.track_free(addr.page, Some(old_free), Some(free));
         }
         Ok(row)
     }
@@ -306,6 +340,52 @@ impl RowHeap {
                 Err(e)
             }
         }
+    }
+
+    /// Run `f` over the encoded image of row `id` under the page pin,
+    /// or return `Ok(None)` if the row does not exist.
+    fn with_encoded<R>(&self, id: RowId, f: impl FnOnce(&[u8]) -> Result<R>) -> Result<Option<R>> {
+        let Some(addr) = self.dir.get(&id) else {
+            return Ok(None);
+        };
+        let guard = self.pool.pin(addr.page)?;
+        guard.with(|buf| {
+            let bytes = page::get(buf, addr.slot)
+                .ok_or_else(|| Error::Page(format!("row {id:?} missing from {}", addr.page)))?;
+            f(bytes).map(Some)
+        })
+    }
+
+    /// Visit every live row's encoded image in id order without
+    /// decoding. Consecutive directory entries that live on the same
+    /// page are served under a single pin — rows are placed first-fit
+    /// in insertion order, so append-heavy tables scan with one pin per
+    /// *page* rather than one per row.
+    fn scan_encoded(&self, mut f: impl FnMut(RowId, &[u8]) -> Result<()>) -> Result<()> {
+        let mut it = self.dir.iter().peekable();
+        let mut run: Vec<(RowId, u32)> = Vec::new();
+        while let Some((&id, addr)) = it.next() {
+            let pid = addr.page;
+            run.clear();
+            run.push((id, addr.slot));
+            while let Some((_, next)) = it.peek() {
+                if next.page != pid {
+                    break;
+                }
+                let (&nid, naddr) = it.next().expect("just peeked");
+                run.push((nid, naddr.slot));
+            }
+            let guard = self.pool.pin(pid)?;
+            guard.with(|buf| {
+                for &(rid, slot) in &run {
+                    let bytes = page::get(buf, slot)
+                        .ok_or_else(|| Error::Page(format!("row {rid:?} missing from {pid}")))?;
+                    f(rid, bytes)?;
+                }
+                Ok(())
+            })?;
+        }
+        Ok(())
     }
 
     fn len(&self) -> usize {
@@ -571,6 +651,29 @@ impl Table {
     /// engine's contract) cannot report.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, Row)> + '_ {
         self.heap.iter()
+    }
+
+    /// Visit every live row's *encoded* image in id order without
+    /// decoding it, pinning each page once per run of consecutive rows
+    /// stored on it (one pin per page for append-heavy tables, versus
+    /// one pin **and** one full decode per row for [`Table::iter`]).
+    /// This is the hot full-scan path: evaluate predicates against the
+    /// image via [`crate::query::Compiled::matches_raw`] and decode
+    /// (via [`page::decode_row`]) only the matches.
+    pub fn scan_encoded(&self, f: impl FnMut(RowId, &[u8]) -> Result<()>) -> Result<()> {
+        self.heap.scan_encoded(f)
+    }
+
+    /// Run `f` over the encoded image of row `id` under its page pin,
+    /// or return `Ok(None)` if no such row exists. The point-lookup
+    /// analogue of [`Table::scan_encoded`]: index candidates can be
+    /// tested raw and decoded only on match, all under one pin.
+    pub fn with_encoded<R>(
+        &self,
+        id: RowId,
+        f: impl FnOnce(&[u8]) -> Result<R>,
+    ) -> Result<Option<R>> {
+        self.heap.with_encoded(id, f)
     }
 
     /// The index named `name` (`__primary` for the PK index).

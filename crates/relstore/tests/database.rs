@@ -701,3 +701,75 @@ fn range_predicates_use_index_scans() {
     assert_eq!(full, 1000, "unindexed predicate must examine every row");
     t.commit().unwrap();
 }
+
+/// An index range scan no longer re-checks the inclusive range
+/// conjuncts its own bounds already satisfy: the
+/// `relstore.select.conjuncts_pruned` counter ticks once per covered
+/// conjunct, results stay exactly what unpruned evaluation produces
+/// (including NULL rows swept up by a one-sided scan), and
+/// `rows_examined` still reflects the bounded candidate set.
+#[test]
+fn range_scans_prune_covered_conjuncts() {
+    let db = Database::new();
+    db.create_table(
+        TableSchema::builder("grades")
+            .column("id", ColumnType::Int)
+            .nullable_column("score", ColumnType::Int)
+            .primary_key(&["id"])
+            .index("by_score", &["score"], false)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let t = db.begin();
+    for i in 0..100i64 {
+        // Every fifth row has a NULL score; the rest score 0..=98.
+        let score = if i % 5 == 0 {
+            Value::Null
+        } else {
+            Value::Int(i - 1)
+        };
+        t.insert("grades", vec![Value::Int(i), score]).unwrap();
+    }
+    t.commit().unwrap();
+    let snap = |name: &str| db.metrics().snapshot().counter(name);
+
+    // Both inclusive bounds are covered by the scan hull [10, 20].
+    let t = db.begin();
+    let before = snap("relstore.select.conjuncts_pruned");
+    let pred = Predicate::Ge("score".into(), Value::Int(10))
+        .and(Predicate::Le("score".into(), Value::Int(20)));
+    let rows = t.select("grades", &pred).unwrap();
+    assert_eq!(snap("relstore.select.conjuncts_pruned") - before, 2);
+    let ids: Vec<i64> = rows.iter().map(|(_, r)| r[0].as_int().unwrap()).collect();
+    let expect: Vec<i64> = (0..100i64)
+        .filter(|i| i % 5 != 0 && (10..=20).contains(&(i - 1)))
+        .collect();
+    assert_eq!(ids, expect);
+
+    // A one-sided upper bound leaves the scan start unbounded, so NULL
+    // keys enter the candidate set; the pruned conjunct's NULL-check
+    // residue must still reject them.
+    let before_pruned = snap("relstore.select.conjuncts_pruned");
+    let before_examined = snap("relstore.select.rows_examined");
+    let rows = t
+        .select("grades", &Predicate::Le("score".into(), Value::Int(4)))
+        .unwrap();
+    assert_eq!(snap("relstore.select.conjuncts_pruned") - before_pruned, 1);
+    assert!(rows.iter().all(|(_, r)| !r[1].is_null()));
+    assert_eq!(rows.len(), 4); // scores 0, 1, 2, 3 (4 would be row 5, which is NULL)
+    let examined = snap("relstore.select.rows_examined") - before_examined;
+    assert_eq!(
+        examined, 24,
+        "candidate set = 20 NULL keys + 4 scored rows, got {examined}"
+    );
+
+    // Strict bounds are never pruned (the hull over-approximates them).
+    let before = snap("relstore.select.conjuncts_pruned");
+    let rows = t
+        .select("grades", &Predicate::Gt("score".into(), Value::Int(95)))
+        .unwrap();
+    assert_eq!(snap("relstore.select.conjuncts_pruned") - before, 0);
+    assert_eq!(rows.len(), 3); // scores 96, 97, 98
+    t.commit().unwrap();
+}

@@ -15,7 +15,7 @@
 //! of exact.
 
 use mmu_wdoc::dist::{resilient_broadcast, BroadcastTree, RetryPolicy};
-use mmu_wdoc::netsim::{Fault, FaultSchedule, LinkSpec, Network, SimTime, StationId};
+use mmu_wdoc::netsim::{Fault, FaultSchedule, LinkSpec, Network, QueueKind, SimTime, StationId};
 use mmu_wdoc::obs::Registry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,13 +46,19 @@ fn crash_schedule(n: usize, p: f64, horizon_us: u64, seed: u64) -> FaultSchedule
 /// Run the full E13-style sweep (four fault/fan-out cells) against one
 /// shared registry and export it — the exact artifact E15b consumes.
 fn sweep_snapshot_json(seed: u64) -> String {
+    sweep_snapshot_json_with(seed, QueueKind::default())
+}
+
+/// [`sweep_snapshot_json`] with an explicit event-queue implementation,
+/// so the snapshot can be proven independent of the queue kind.
+fn sweep_snapshot_json_with(seed: u64, kind: QueueKind) -> String {
     let link = LinkSpec::new(1_000_000, SimTime::from_millis(10));
     let registry = Registry::new();
     for (i, &(p, m)) in [(0.0f64, 2u64), (0.05, 4), (0.15, 2), (0.3, 4)]
         .iter()
         .enumerate()
     {
-        let (mut net, ids) = Network::uniform(N, link);
+        let (mut net, ids) = Network::uniform_with_queue(N, link, kind);
         net.set_metrics(registry.clone());
         let horizon = mmu_wdoc::dist::predict_completion(N as u64, m, OBJECT, link).as_micros();
         net.set_faults(crash_schedule(
@@ -88,6 +94,26 @@ fn same_seed_replays_to_byte_identical_snapshots() {
         "netsim counters present"
     );
     assert!(a.contains("netsim.fault.crash"), "fault traces present");
+}
+
+/// PR 5 swapped the simulator's event queue for a timing wheel. The
+/// queue is pure mechanism: the E13-style sweep must export the exact
+/// same bytes whichever implementation schedules its events — the
+/// obs stream cannot depend on how the simulator orders its heap.
+#[test]
+fn queue_kinds_export_identical_snapshots() {
+    let wheel = sweep_snapshot_json_with(1999, QueueKind::Wheel);
+    let heap = sweep_snapshot_json_with(1999, QueueKind::Heap);
+    assert!(
+        wheel == heap,
+        "snapshot must not depend on the event-queue implementation; \
+         first divergence at byte {}",
+        wheel
+            .bytes()
+            .zip(heap.bytes())
+            .position(|(x, y)| x != y)
+            .unwrap_or(wheel.len().min(heap.len()))
+    );
 }
 
 #[test]
