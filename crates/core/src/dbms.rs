@@ -16,7 +16,7 @@ use crate::tables::{
 };
 use blobstore::{BlobExport, BlobMeta, BlobStore, MediaKind};
 use bytes::Bytes;
-use relstore::{Database, Predicate, Value};
+use relstore::{AnyEngine, EngineKind, Predicate, Value};
 use serde::{Deserialize, Serialize};
 
 /// A full station backup: the relational state plus the BLOB layer.
@@ -59,7 +59,7 @@ pub struct StorageBreakdown {
 
 /// The Web document database of one workstation.
 pub struct WebDocDb {
-    rel: Database,
+    rel: AnyEngine,
     blobs: BlobStore,
     diagram: IntegrityDiagram,
     durable: Option<Durable>,
@@ -78,10 +78,20 @@ impl Default for WebDocDb {
 }
 
 impl WebDocDb {
-    /// Create a fresh DBMS with the paper's full schema installed.
+    /// Create a fresh DBMS with the paper's full schema installed, on
+    /// the default (strict-2PL) storage engine.
     #[must_use]
     pub fn new() -> Self {
-        let rel = Database::new();
+        Self::with_engine(EngineKind::TwoPl)
+    }
+
+    /// Create a fresh DBMS on the given storage engine. Every facade
+    /// operation goes through the engine-neutral transaction surface,
+    /// so the whole document/database layer runs unchanged on either
+    /// engine.
+    #[must_use]
+    pub fn with_engine(kind: EngineKind) -> Self {
+        let rel = AnyEngine::new(kind);
         for schema in Self::station_schemas() {
             rel.create_table(schema).expect("static schemas install");
         }
@@ -119,6 +129,10 @@ impl WebDocDb {
     /// `dir/blobs.json` **at checkpoints only** — BLOBs are bulky,
     /// immutable media whose loss is repairable by re-replication,
     /// so they ride [`WebDocDb::checkpoint`] rather than the log.
+    ///
+    /// The storage engine is selected by [`wal::WalOptions::engine`];
+    /// the log format is engine-agnostic, so an existing station can be
+    /// reopened under either engine.
     pub fn open_durable(
         dir: &std::path::Path,
         opts: wal::WalOptions,
@@ -127,7 +141,7 @@ impl WebDocDb {
             .map_err(|e| CoreError::Durability(format!("create {}: {e}", dir.display())))?;
         let log_path = dir.join("wal.log");
         let blobs_path = dir.join("blobs.json");
-        let (rel, wal, report) = wal::open_durable(&log_path, opts)?;
+        let (rel, wal, report) = wal::open_durable_any(&log_path, opts)?;
         if report.records_scanned == 0 {
             // Fresh log: install the schema through the attached sink
             // so recovery replays it next time.
@@ -170,7 +184,7 @@ impl WebDocDb {
                 "checkpoint on a non-durable station".into(),
             ));
         };
-        let lsn = d.wal.checkpoint(&self.rel)?;
+        let lsn = d.wal.checkpoint_any(&self.rel)?;
         let text = serde_json::to_string(&self.blobs.export())
             .map_err(|e| CoreError::Durability(format!("serialize blobs: {e}")))?;
         let tmp = d.blobs_path.with_extension("json.tmp");
@@ -189,8 +203,14 @@ impl WebDocDb {
 
     /// The relational substrate (escape hatch for tools and tests).
     #[must_use]
-    pub fn relational(&self) -> &Database {
+    pub fn relational(&self) -> &AnyEngine {
         &self.rel
+    }
+
+    /// Which storage engine backs the relational layer.
+    #[must_use]
+    pub fn engine_kind(&self) -> EngineKind {
+        self.rel.kind()
     }
 
     /// This workstation's BLOB store.
@@ -746,9 +766,15 @@ impl WebDocDb {
         })
     }
 
-    /// Rebuild a workstation from a backup.
+    /// Rebuild a workstation from a backup (on the default 2PL engine;
+    /// use [`WebDocDb::restore_on`] to pick).
     pub fn restore(backup: &StationBackup) -> Result<WebDocDb> {
-        let rel = Database::restore(&backup.relational)?;
+        Self::restore_on(backup, EngineKind::TwoPl)
+    }
+
+    /// Rebuild a workstation from a backup on the given engine.
+    pub fn restore_on(backup: &StationBackup, kind: EngineKind) -> Result<WebDocDb> {
+        let rel = AnyEngine::restore(kind, &backup.relational)?;
         let blobs = BlobStore::new();
         blobs.import(backup.blobs.iter().cloned());
         Ok(WebDocDb {

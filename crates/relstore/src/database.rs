@@ -234,7 +234,21 @@ impl Database {
     /// Begin a new transaction.
     #[must_use]
     pub fn begin(&self) -> Txn {
-        let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
+        let id = self.alloc_txn_id();
+        self.begin_with_id(id)
+    }
+
+    /// Allocate a fresh transaction id without starting a transaction.
+    /// Paired with [`Database::begin_with_id`] so engine-polymorphic
+    /// retry loops can re-run a died transaction under its original id
+    /// (the wait-die aging guarantee).
+    pub(crate) fn alloc_txn_id(&self) -> TxnId {
+        self.inner.next_txn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Begin a transaction under a caller-supplied id (one previously
+    /// returned by [`Database::alloc_txn_id`]).
+    pub(crate) fn begin_with_id(&self, id: TxnId) -> Txn {
         Txn::new(Arc::clone(&self.inner), id)
     }
 
@@ -342,7 +356,7 @@ impl Database {
     }
 }
 
-fn unique_key_exists(schema: &TableSchema, cols: &[String]) -> bool {
+pub(crate) fn unique_key_exists(schema: &TableSchema, cols: &[String]) -> bool {
     let mut want: Vec<&str> = cols.iter().map(String::as_str).collect();
     want.sort_unstable();
     let mut pk: Vec<&str> = schema.primary_key.iter().map(String::as_str).collect();

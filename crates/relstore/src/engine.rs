@@ -1,0 +1,752 @@
+//! The storage-engine abstraction: one catalog/transaction contract,
+//! two concurrency-control implementations.
+//!
+//! PR 6 extracts what [`Database`]/[`Txn`] (strict 2PL, wait-die) and
+//! [`MvccDb`]/[`MvccTxn`] (snapshot isolation, first-committer-wins)
+//! have in common into two object-safe traits:
+//!
+//! * [`Catalog`] — engine lifecycle: DDL, catalog introspection,
+//!   transaction begin, whole-state snapshots, the WAL
+//!   [`WalSink`]/[`FlushGate`] hookup, and the `redo_*` replay
+//!   primitives crash recovery drives.
+//! * [`Transaction`] — the data plane: insert/get/update/delete,
+//!   select/scan/join/aggregate, commit/rollback.
+//!
+//! The concrete enums [`AnyEngine`]/[`AnyTxn`] wrap both engines behind
+//! the *inherent* method surface of `Database`/`Txn`, so code written
+//! against the 2PL engine (`WebDocDb`, the `wal` crate, tests) switches
+//! engines by changing one constructor argument — an [`EngineKind`] —
+//! rather than every call site. The traits are what the differential
+//! test harness ([`crate::testkit`]) drives: every behavioral claim
+//! about the MVCC engine is checked by running the same operation
+//! script through `&dyn Catalog` against both engines.
+
+use crate::database::{Database, Txn};
+use crate::error::{Error, Result};
+use crate::lock::TxnId;
+use crate::mvcc::{MvccDb, MvccTxn};
+use crate::pagestore::{FlushGate, PoolConfig};
+use crate::query::Predicate;
+use crate::schema::TableSchema;
+use crate::snapshot::Snapshot;
+use crate::table::{Row, RowId};
+use crate::value::Value;
+use crate::wal::WalSink;
+use obs::Registry;
+use std::sync::Arc;
+
+/// Which concurrency-control engine backs a database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Strict two-phase locking with wait-die deadlock avoidance — the
+    /// original engine. Serializable; readers block writers.
+    #[default]
+    TwoPl,
+    /// Multi-version concurrency control — snapshot-isolation reads
+    /// over begin/end-timestamped version chains, never taking locks;
+    /// buffered writes with first-committer-wins conflict detection.
+    Mvcc,
+}
+
+impl EngineKind {
+    /// Stable lowercase name, for metrics/bench labels and CLI flags.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::TwoPl => "2pl",
+            EngineKind::Mvcc => "mvcc",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Engine-level contract: catalog, lifecycle, durability hookup, and
+/// the replay primitives recovery needs. Object-safe — the differential
+/// test harness and the `wal` crate drive engines through
+/// `&dyn Catalog`.
+pub trait Catalog: Send + Sync {
+    /// Which engine this is.
+    fn kind(&self) -> EngineKind;
+    /// The engine's `relstore.*` metrics registry.
+    fn metrics(&self) -> &Registry;
+    /// Create a table (auto-committed DDL; reported to the WAL sink).
+    fn create_table(&self, schema: TableSchema) -> Result<()>;
+    /// Table names in the catalog.
+    fn table_names(&self) -> Vec<String>;
+    /// The schema of a table.
+    fn schema_of(&self, table: &str) -> Result<TableSchema>;
+    /// Number of live rows in `table`.
+    fn row_count(&self, table: &str) -> Result<usize>;
+    /// Approximate payload bytes of the live rows of `table`.
+    fn heap_bytes(&self, table: &str) -> Result<usize>;
+    /// The next transaction id this engine will hand out.
+    fn next_txn_id(&self) -> TxnId;
+    /// Ensure future transactions are numbered `next` or higher (see
+    /// [`Database::resume_txn_ids`]).
+    fn resume_txn_ids(&self, next: TxnId);
+    /// Begin a transaction, boxed for object safety. Concrete callers
+    /// prefer the engines' inherent `begin`.
+    fn begin_txn(&self) -> Box<dyn Transaction>;
+    /// Install (or remove) a write-ahead-log sink.
+    fn set_wal_sink(&self, sink: Option<Arc<dyn WalSink>>);
+    /// The currently installed WAL sink, if any.
+    fn wal_sink(&self) -> Option<Arc<dyn WalSink>>;
+    /// Install (or remove) the WAL flush gate. A no-op on engines with
+    /// no page store to gate (MVCC keeps every version in memory; its
+    /// only durable artifact is the log itself).
+    fn set_flush_gate(&self, gate: Option<Arc<dyn FlushGate>>);
+    /// The dirty-page table for fuzzy checkpoints; empty on engines
+    /// without a buffer pool.
+    fn dirty_page_table(&self) -> Vec<(u64, u64)>;
+    /// Capture the committed state as a [`Snapshot`].
+    fn snapshot(&self) -> Result<Snapshot>;
+    /// Re-apply a logged insert (recovery only; see
+    /// [`Database::redo_insert`]).
+    fn redo_insert(&self, table: &str, id: RowId, row: Row) -> Result<()>;
+    /// Re-apply a logged update (recovery only).
+    fn redo_update(&self, table: &str, id: RowId, row: Row) -> Result<()>;
+    /// Re-apply a logged delete (recovery only).
+    fn redo_delete(&self, table: &str, id: RowId) -> Result<()>;
+    /// Reclaim storage dead to every current and future reader. Returns
+    /// the number of row versions reclaimed; 0 on engines that update
+    /// in place.
+    fn gc(&self) -> usize {
+        0
+    }
+}
+
+/// Transaction-level contract: reads, writes, scans, aggregates, and
+/// the commit/abort protocol. Object-safe.
+pub trait Transaction: Send {
+    /// This transaction's id.
+    fn id(&self) -> TxnId;
+    /// Insert a row; returns its new id.
+    fn insert(&self, table: &str, row: Row) -> Result<RowId>;
+    /// Fetch a copy of the row at `id`.
+    fn get(&self, table: &str, id: RowId) -> Result<Row>;
+    /// Replace the entire row at `id`.
+    fn update(&self, table: &str, id: RowId, row: Row) -> Result<()>;
+    /// Update only the named columns of the row at `id`.
+    fn update_cols(&self, table: &str, id: RowId, cols: &[(&str, Value)]) -> Result<()>;
+    /// Delete the row at `id`, honouring reverse foreign keys.
+    fn delete(&self, table: &str, id: RowId) -> Result<()>;
+    /// All rows matching `pred` (copies), ordered by row id.
+    fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>>;
+    /// Like `select`, sorted by `order_col` and truncated to `limit`.
+    fn select_ordered(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        order_col: &str,
+        descending: bool,
+        limit: Option<usize>,
+    ) -> Result<Vec<(RowId, Row)>>;
+    /// Equi-join of two pre-filtered tables (see [`Txn::join`]).
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        &self,
+        left: &str,
+        left_col: &str,
+        left_pred: &Predicate,
+        right: &str,
+        right_col: &str,
+        right_pred: &Predicate,
+    ) -> Result<Vec<(Row, Row)>>;
+    /// Sum an integer column over matching rows (NULLs contribute 0).
+    fn sum_int(&self, table: &str, pred: &Predicate, col: &str) -> Result<i64>;
+    /// Count rows matching `pred` without copying them.
+    fn count(&self, table: &str, pred: &Predicate) -> Result<usize>;
+    /// Commit (consuming the box). Named to leave the engines' inherent
+    /// by-value `commit` untouched.
+    fn commit_boxed(self: Box<Self>) -> Result<()>;
+    /// Roll back explicitly (dropping the box does the same).
+    fn rollback_boxed(self: Box<Self>);
+}
+
+// ---------------------------------------------------------------------
+// Trait impls for the 2PL engine
+// ---------------------------------------------------------------------
+
+impl Catalog for Database {
+    fn kind(&self) -> EngineKind {
+        EngineKind::TwoPl
+    }
+    fn metrics(&self) -> &Registry {
+        Database::metrics(self)
+    }
+    fn create_table(&self, schema: TableSchema) -> Result<()> {
+        Database::create_table(self, schema)
+    }
+    fn table_names(&self) -> Vec<String> {
+        Database::table_names(self)
+    }
+    fn schema_of(&self, table: &str) -> Result<TableSchema> {
+        Database::schema_of(self, table)
+    }
+    fn row_count(&self, table: &str) -> Result<usize> {
+        Database::row_count(self, table)
+    }
+    fn heap_bytes(&self, table: &str) -> Result<usize> {
+        Database::heap_bytes(self, table)
+    }
+    fn next_txn_id(&self) -> TxnId {
+        Database::next_txn_id(self)
+    }
+    fn resume_txn_ids(&self, next: TxnId) {
+        Database::resume_txn_ids(self, next);
+    }
+    fn begin_txn(&self) -> Box<dyn Transaction> {
+        Box::new(Database::begin(self))
+    }
+    fn set_wal_sink(&self, sink: Option<Arc<dyn WalSink>>) {
+        Database::set_wal_sink(self, sink);
+    }
+    fn wal_sink(&self) -> Option<Arc<dyn WalSink>> {
+        Database::wal_sink(self)
+    }
+    fn set_flush_gate(&self, gate: Option<Arc<dyn FlushGate>>) {
+        Database::set_flush_gate(self, gate);
+    }
+    fn dirty_page_table(&self) -> Vec<(u64, u64)> {
+        Database::dirty_page_table(self)
+    }
+    fn snapshot(&self) -> Result<Snapshot> {
+        Database::snapshot(self)
+    }
+    fn redo_insert(&self, table: &str, id: RowId, row: Row) -> Result<()> {
+        Database::redo_insert(self, table, id, row)
+    }
+    fn redo_update(&self, table: &str, id: RowId, row: Row) -> Result<()> {
+        Database::redo_update(self, table, id, row)
+    }
+    fn redo_delete(&self, table: &str, id: RowId) -> Result<()> {
+        Database::redo_delete(self, table, id)
+    }
+}
+
+impl Transaction for Txn {
+    fn id(&self) -> TxnId {
+        Txn::id(self)
+    }
+    fn insert(&self, table: &str, row: Row) -> Result<RowId> {
+        Txn::insert(self, table, row)
+    }
+    fn get(&self, table: &str, id: RowId) -> Result<Row> {
+        Txn::get(self, table, id)
+    }
+    fn update(&self, table: &str, id: RowId, row: Row) -> Result<()> {
+        Txn::update(self, table, id, row)
+    }
+    fn update_cols(&self, table: &str, id: RowId, cols: &[(&str, Value)]) -> Result<()> {
+        Txn::update_cols(self, table, id, cols)
+    }
+    fn delete(&self, table: &str, id: RowId) -> Result<()> {
+        Txn::delete(self, table, id)
+    }
+    fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
+        Txn::select(self, table, pred)
+    }
+    fn select_ordered(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        order_col: &str,
+        descending: bool,
+        limit: Option<usize>,
+    ) -> Result<Vec<(RowId, Row)>> {
+        Txn::select_ordered(self, table, pred, order_col, descending, limit)
+    }
+    fn join(
+        &self,
+        left: &str,
+        left_col: &str,
+        left_pred: &Predicate,
+        right: &str,
+        right_col: &str,
+        right_pred: &Predicate,
+    ) -> Result<Vec<(Row, Row)>> {
+        Txn::join(
+            self, left, left_col, left_pred, right, right_col, right_pred,
+        )
+    }
+    fn sum_int(&self, table: &str, pred: &Predicate, col: &str) -> Result<i64> {
+        Txn::sum_int(self, table, pred, col)
+    }
+    fn count(&self, table: &str, pred: &Predicate) -> Result<usize> {
+        Txn::count(self, table, pred)
+    }
+    fn commit_boxed(self: Box<Self>) -> Result<()> {
+        (*self).commit()
+    }
+    fn rollback_boxed(self: Box<Self>) {
+        (*self).rollback();
+    }
+}
+
+// ---------------------------------------------------------------------
+// AnyEngine / AnyTxn — the concrete engine-polymorphic front
+// ---------------------------------------------------------------------
+
+/// A database backed by either engine. Mirrors the inherent method
+/// surface of [`Database`], so callers switch engines by constructor
+/// argument instead of by call-site rewrite. Cloning shares the
+/// underlying engine (both engines are `Arc`-backed handles).
+#[derive(Clone)]
+pub enum AnyEngine {
+    /// The strict-2PL engine.
+    TwoPl(Database),
+    /// The MVCC engine.
+    Mvcc(MvccDb),
+}
+
+/// A transaction on either engine, with [`Txn`]'s inherent surface.
+pub enum AnyTxn {
+    /// A 2PL transaction.
+    TwoPl(Txn),
+    /// An MVCC transaction.
+    Mvcc(MvccTxn),
+}
+
+/// Forward a method through both arms of [`AnyEngine`]/[`AnyTxn`].
+macro_rules! both {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            Self::TwoPl($inner) => $body,
+            Self::Mvcc($inner) => $body,
+        }
+    };
+}
+
+impl From<Database> for AnyEngine {
+    fn from(db: Database) -> Self {
+        AnyEngine::TwoPl(db)
+    }
+}
+
+impl From<MvccDb> for AnyEngine {
+    fn from(db: MvccDb) -> Self {
+        AnyEngine::Mvcc(db)
+    }
+}
+
+impl AnyEngine {
+    /// Create an empty database on the given engine (default pool for
+    /// 2PL; MVCC keeps versions in plain memory).
+    #[must_use]
+    pub fn new(kind: EngineKind) -> Self {
+        match kind {
+            EngineKind::TwoPl => AnyEngine::TwoPl(Database::new()),
+            EngineKind::Mvcc => AnyEngine::Mvcc(MvccDb::new()),
+        }
+    }
+
+    /// Create an empty database; the 2PL engine's tables share a buffer
+    /// pool built from `cfg` (MVCC has no pool and ignores it).
+    pub fn with_pool(kind: EngineKind, cfg: &PoolConfig) -> Result<Self> {
+        Ok(match kind {
+            EngineKind::TwoPl => AnyEngine::TwoPl(Database::with_pool(cfg)?),
+            EngineKind::Mvcc => AnyEngine::Mvcc(MvccDb::new()),
+        })
+    }
+
+    /// Rebuild a database of the given engine from a snapshot.
+    pub fn restore(kind: EngineKind, snapshot: &Snapshot) -> Result<Self> {
+        Self::restore_with(kind, snapshot, &PoolConfig::default())
+    }
+
+    /// [`AnyEngine::restore`] with an explicit pool configuration for
+    /// the 2PL engine (MVCC ignores it).
+    pub fn restore_with(kind: EngineKind, snapshot: &Snapshot, cfg: &PoolConfig) -> Result<Self> {
+        Ok(match kind {
+            EngineKind::TwoPl => AnyEngine::TwoPl(Database::restore_with(snapshot, cfg)?),
+            EngineKind::Mvcc => AnyEngine::Mvcc(MvccDb::restore(snapshot)?),
+        })
+    }
+
+    /// Which engine backs this database.
+    #[must_use]
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            AnyEngine::TwoPl(_) => EngineKind::TwoPl,
+            AnyEngine::Mvcc(_) => EngineKind::Mvcc,
+        }
+    }
+
+    /// The 2PL engine, when that is what backs this database.
+    #[must_use]
+    pub fn as_two_pl(&self) -> Option<&Database> {
+        match self {
+            AnyEngine::TwoPl(db) => Some(db),
+            AnyEngine::Mvcc(_) => None,
+        }
+    }
+
+    /// The MVCC engine, when that is what backs this database.
+    #[must_use]
+    pub fn as_mvcc(&self) -> Option<&MvccDb> {
+        match self {
+            AnyEngine::Mvcc(db) => Some(db),
+            AnyEngine::TwoPl(_) => None,
+        }
+    }
+
+    /// The engine's metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> &Registry {
+        both!(self, db => db.metrics())
+    }
+
+    /// Begin a new transaction.
+    #[must_use]
+    pub fn begin(&self) -> AnyTxn {
+        match self {
+            AnyEngine::TwoPl(db) => AnyTxn::TwoPl(db.begin()),
+            AnyEngine::Mvcc(db) => AnyTxn::Mvcc(db.begin()),
+        }
+    }
+
+    fn begin_with_id(&self, id: TxnId) -> AnyTxn {
+        match self {
+            AnyEngine::TwoPl(db) => AnyTxn::TwoPl(db.begin_with_id(id)),
+            AnyEngine::Mvcc(db) => AnyTxn::Mvcc(db.begin_with_id(id)),
+        }
+    }
+
+    /// Run `f` in a transaction, committing on success. Retries —
+    /// keeping the same transaction id, so the transaction ages and
+    /// eventually wins — on the engines' transient aborts: wait-die
+    /// ([`Error::TxnAborted`]) on 2PL, first-committer-wins
+    /// ([`Error::WriteConflict`]) on MVCC (where the retry re-runs `f`
+    /// against a fresh snapshot).
+    pub fn with_txn<T>(&self, f: impl Fn(&AnyTxn) -> Result<T>) -> Result<T> {
+        let id = both!(self, db => db.alloc_txn_id());
+        loop {
+            let txn = self.begin_with_id(id);
+            match f(&txn).and_then(|v| txn.commit().map(|()| v)) {
+                Ok(v) => return Ok(v),
+                Err(Error::TxnAborted { .. } | Error::WriteConflict { .. }) => {
+                    self.metrics().inc("relstore.txn.retries");
+                    std::thread::yield_now();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Create a table (auto-committed DDL).
+    pub fn create_table(&self, schema: TableSchema) -> Result<()> {
+        both!(self, db => db.create_table(schema))
+    }
+
+    /// Table names in the catalog.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<String> {
+        both!(self, db => db.table_names())
+    }
+
+    /// The schema of a table.
+    pub fn schema_of(&self, table: &str) -> Result<TableSchema> {
+        both!(self, db => db.schema_of(table))
+    }
+
+    /// Number of live rows in `table`.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        both!(self, db => db.row_count(table))
+    }
+
+    /// Approximate payload bytes of the live rows of `table`.
+    pub fn heap_bytes(&self, table: &str) -> Result<usize> {
+        both!(self, db => db.heap_bytes(table))
+    }
+
+    /// The next transaction id this engine will hand out.
+    #[must_use]
+    pub fn next_txn_id(&self) -> TxnId {
+        both!(self, db => db.next_txn_id())
+    }
+
+    /// Ensure future transactions are numbered `next` or higher.
+    pub fn resume_txn_ids(&self, next: TxnId) {
+        both!(self, db => db.resume_txn_ids(next));
+    }
+
+    /// Install (or remove) a write-ahead-log sink.
+    pub fn set_wal_sink(&self, sink: Option<Arc<dyn WalSink>>) {
+        both!(self, db => db.set_wal_sink(sink));
+    }
+
+    /// The currently installed WAL sink, if any.
+    #[must_use]
+    pub fn wal_sink(&self) -> Option<Arc<dyn WalSink>> {
+        both!(self, db => db.wal_sink())
+    }
+
+    /// Install (or remove) the WAL flush gate (no-op on MVCC, which has
+    /// no page store to gate).
+    pub fn set_flush_gate(&self, gate: Option<Arc<dyn FlushGate>>) {
+        match self {
+            AnyEngine::TwoPl(db) => db.set_flush_gate(gate),
+            AnyEngine::Mvcc(_) => {}
+        }
+    }
+
+    /// The dirty-page table for fuzzy checkpoints (empty on MVCC).
+    #[must_use]
+    pub fn dirty_page_table(&self) -> Vec<(u64, u64)> {
+        match self {
+            AnyEngine::TwoPl(db) => db.dirty_page_table(),
+            AnyEngine::Mvcc(_) => Vec::new(),
+        }
+    }
+
+    /// Capture the committed state as a [`Snapshot`].
+    pub fn snapshot(&self) -> Result<Snapshot> {
+        both!(self, db => db.snapshot())
+    }
+
+    /// Re-apply a logged insert (recovery only).
+    pub fn redo_insert(&self, table: &str, id: RowId, row: Row) -> Result<()> {
+        both!(self, db => db.redo_insert(table, id, row))
+    }
+
+    /// Re-apply a logged update (recovery only).
+    pub fn redo_update(&self, table: &str, id: RowId, row: Row) -> Result<()> {
+        both!(self, db => db.redo_update(table, id, row))
+    }
+
+    /// Re-apply a logged delete (recovery only).
+    pub fn redo_delete(&self, table: &str, id: RowId) -> Result<()> {
+        both!(self, db => db.redo_delete(table, id))
+    }
+
+    /// Reclaim dead versions (MVCC; 0 on 2PL).
+    pub fn gc(&self) -> usize {
+        match self {
+            AnyEngine::TwoPl(_) => 0,
+            AnyEngine::Mvcc(db) => db.gc(),
+        }
+    }
+
+    /// Lock-manager diagnostics: currently locked resources (0 on
+    /// MVCC, which takes no locks).
+    #[must_use]
+    pub fn locked_resources(&self) -> usize {
+        match self {
+            AnyEngine::TwoPl(db) => db.locked_resources(),
+            AnyEngine::Mvcc(_) => 0,
+        }
+    }
+}
+
+impl Catalog for AnyEngine {
+    fn kind(&self) -> EngineKind {
+        AnyEngine::kind(self)
+    }
+    fn metrics(&self) -> &Registry {
+        AnyEngine::metrics(self)
+    }
+    fn create_table(&self, schema: TableSchema) -> Result<()> {
+        AnyEngine::create_table(self, schema)
+    }
+    fn table_names(&self) -> Vec<String> {
+        AnyEngine::table_names(self)
+    }
+    fn schema_of(&self, table: &str) -> Result<TableSchema> {
+        AnyEngine::schema_of(self, table)
+    }
+    fn row_count(&self, table: &str) -> Result<usize> {
+        AnyEngine::row_count(self, table)
+    }
+    fn heap_bytes(&self, table: &str) -> Result<usize> {
+        AnyEngine::heap_bytes(self, table)
+    }
+    fn next_txn_id(&self) -> TxnId {
+        AnyEngine::next_txn_id(self)
+    }
+    fn resume_txn_ids(&self, next: TxnId) {
+        AnyEngine::resume_txn_ids(self, next);
+    }
+    fn begin_txn(&self) -> Box<dyn Transaction> {
+        Box::new(AnyEngine::begin(self))
+    }
+    fn set_wal_sink(&self, sink: Option<Arc<dyn WalSink>>) {
+        AnyEngine::set_wal_sink(self, sink);
+    }
+    fn wal_sink(&self) -> Option<Arc<dyn WalSink>> {
+        AnyEngine::wal_sink(self)
+    }
+    fn set_flush_gate(&self, gate: Option<Arc<dyn FlushGate>>) {
+        AnyEngine::set_flush_gate(self, gate);
+    }
+    fn dirty_page_table(&self) -> Vec<(u64, u64)> {
+        AnyEngine::dirty_page_table(self)
+    }
+    fn snapshot(&self) -> Result<Snapshot> {
+        AnyEngine::snapshot(self)
+    }
+    fn redo_insert(&self, table: &str, id: RowId, row: Row) -> Result<()> {
+        AnyEngine::redo_insert(self, table, id, row)
+    }
+    fn redo_update(&self, table: &str, id: RowId, row: Row) -> Result<()> {
+        AnyEngine::redo_update(self, table, id, row)
+    }
+    fn redo_delete(&self, table: &str, id: RowId) -> Result<()> {
+        AnyEngine::redo_delete(self, table, id)
+    }
+    fn gc(&self) -> usize {
+        AnyEngine::gc(self)
+    }
+}
+
+impl AnyTxn {
+    /// This transaction's id.
+    #[must_use]
+    pub fn id(&self) -> TxnId {
+        both!(self, t => t.id())
+    }
+
+    /// Insert a row; returns its new id.
+    pub fn insert(&self, table: &str, row: Row) -> Result<RowId> {
+        both!(self, t => t.insert(table, row))
+    }
+
+    /// Fetch a copy of the row at `id`.
+    pub fn get(&self, table: &str, id: RowId) -> Result<Row> {
+        both!(self, t => t.get(table, id))
+    }
+
+    /// Replace the entire row at `id`.
+    pub fn update(&self, table: &str, id: RowId, row: Row) -> Result<()> {
+        both!(self, t => t.update(table, id, row))
+    }
+
+    /// Update only the named columns of the row at `id`.
+    pub fn update_cols(&self, table: &str, id: RowId, cols: &[(&str, Value)]) -> Result<()> {
+        both!(self, t => t.update_cols(table, id, cols))
+    }
+
+    /// Delete the row at `id`, honouring reverse foreign keys.
+    pub fn delete(&self, table: &str, id: RowId) -> Result<()> {
+        both!(self, t => t.delete(table, id))
+    }
+
+    /// All rows matching `pred` (copies), ordered by row id.
+    pub fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
+        both!(self, t => t.select(table, pred))
+    }
+
+    /// Like [`AnyTxn::select`], sorted by `order_col` and truncated.
+    pub fn select_ordered(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        order_col: &str,
+        descending: bool,
+        limit: Option<usize>,
+    ) -> Result<Vec<(RowId, Row)>> {
+        both!(self, t => t.select_ordered(table, pred, order_col, descending, limit))
+    }
+
+    /// Equi-join of two pre-filtered tables.
+    pub fn join(
+        &self,
+        left: &str,
+        left_col: &str,
+        left_pred: &Predicate,
+        right: &str,
+        right_col: &str,
+        right_pred: &Predicate,
+    ) -> Result<Vec<(Row, Row)>> {
+        both!(self, t => t.join(left, left_col, left_pred, right, right_col, right_pred))
+    }
+
+    /// Sum an integer column over matching rows (NULLs contribute 0).
+    pub fn sum_int(&self, table: &str, pred: &Predicate, col: &str) -> Result<i64> {
+        both!(self, t => t.sum_int(table, pred, col))
+    }
+
+    /// Count rows matching `pred` without copying them.
+    pub fn count(&self, table: &str, pred: &Predicate) -> Result<usize> {
+        both!(self, t => t.count(table, pred))
+    }
+
+    /// Commit the transaction.
+    pub fn commit(self) -> Result<()> {
+        match self {
+            AnyTxn::TwoPl(t) => t.commit(),
+            AnyTxn::Mvcc(t) => t.commit(),
+        }
+    }
+
+    /// Roll back explicitly (dropping the handle does the same).
+    pub fn rollback(self) {
+        match self {
+            AnyTxn::TwoPl(t) => t.rollback(),
+            AnyTxn::Mvcc(t) => t.rollback(),
+        }
+    }
+}
+
+impl Transaction for AnyTxn {
+    fn id(&self) -> TxnId {
+        AnyTxn::id(self)
+    }
+    fn insert(&self, table: &str, row: Row) -> Result<RowId> {
+        AnyTxn::insert(self, table, row)
+    }
+    fn get(&self, table: &str, id: RowId) -> Result<Row> {
+        AnyTxn::get(self, table, id)
+    }
+    fn update(&self, table: &str, id: RowId, row: Row) -> Result<()> {
+        AnyTxn::update(self, table, id, row)
+    }
+    fn update_cols(&self, table: &str, id: RowId, cols: &[(&str, Value)]) -> Result<()> {
+        AnyTxn::update_cols(self, table, id, cols)
+    }
+    fn delete(&self, table: &str, id: RowId) -> Result<()> {
+        AnyTxn::delete(self, table, id)
+    }
+    fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
+        AnyTxn::select(self, table, pred)
+    }
+    fn select_ordered(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        order_col: &str,
+        descending: bool,
+        limit: Option<usize>,
+    ) -> Result<Vec<(RowId, Row)>> {
+        AnyTxn::select_ordered(self, table, pred, order_col, descending, limit)
+    }
+    fn join(
+        &self,
+        left: &str,
+        left_col: &str,
+        left_pred: &Predicate,
+        right: &str,
+        right_col: &str,
+        right_pred: &Predicate,
+    ) -> Result<Vec<(Row, Row)>> {
+        AnyTxn::join(
+            self, left, left_col, left_pred, right, right_col, right_pred,
+        )
+    }
+    fn sum_int(&self, table: &str, pred: &Predicate, col: &str) -> Result<i64> {
+        AnyTxn::sum_int(self, table, pred, col)
+    }
+    fn count(&self, table: &str, pred: &Predicate) -> Result<usize> {
+        AnyTxn::count(self, table, pred)
+    }
+    fn commit_boxed(self: Box<Self>) -> Result<()> {
+        (*self).commit()
+    }
+    fn rollback_boxed(self: Box<Self>) {
+        (*self).rollback();
+    }
+}

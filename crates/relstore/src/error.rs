@@ -88,6 +88,16 @@ pub enum Error {
     },
     /// Operation on a transaction that already committed or aborted.
     TxnClosed,
+    /// An optimistic (MVCC) transaction lost a first-committer-wins
+    /// race: another transaction committed a write to the same row
+    /// after this transaction took its snapshot. Retryable with a fresh
+    /// snapshot, exactly like [`Error::TxnAborted`] under wait-die.
+    WriteConflict {
+        /// Table holding the contended row.
+        table: String,
+        /// The contended row.
+        row: crate::table::RowId,
+    },
     /// An index declaration referenced an unindexable column type.
     Unindexable {
         /// Table the index was declared on.
@@ -157,6 +167,10 @@ impl fmt::Display for Error {
             }
             Error::TxnAborted { reason } => write!(f, "transaction aborted: {reason}"),
             Error::TxnClosed => write!(f, "transaction already committed or aborted"),
+            Error::WriteConflict { table, row } => write!(
+                f,
+                "write conflict on `{table}` row {row:?}: another transaction committed first"
+            ),
             Error::Unindexable { table, column } => {
                 write!(f, "column `{table}.{column}` has an unindexable type")
             }

@@ -55,19 +55,24 @@
 #![warn(clippy::all)]
 
 pub mod database;
+pub mod engine;
 pub mod error;
 pub mod lock;
+pub mod mvcc;
 pub mod pagestore;
 pub mod query;
 pub mod schema;
 pub mod snapshot;
 pub mod table;
+pub mod testkit;
 pub mod value;
 pub mod wal;
 
 pub use database::{Database, Txn};
+pub use engine::{AnyEngine, AnyTxn, Catalog, EngineKind, Transaction};
 pub use error::{Error, Result};
 pub use lock::{LockManager, LockMode, Resource};
+pub use mvcc::{MvccDb, MvccTxn};
 pub use pagestore::{
     BufferPool, FlushGate, PageId, PoolBackend, PoolConfig, PoolStats, WritebackObserver,
 };

@@ -1,0 +1,1648 @@
+//! The MVCC storage engine: snapshot-isolation reads over versioned
+//! rows, first-committer-wins writes.
+//!
+//! [`MvccDb`] is the second implementation of the engine contract in
+//! [`crate::engine`]. Where the 2PL engine serializes every hot-row
+//! read behind writer locks, this engine keeps each row as a *version
+//! chain* — every version stamped with the commit timestamps
+//! `[begin, end)` of its validity interval — and gives each transaction
+//! a frozen snapshot timestamp at begin. Reads never take locks:
+//! a reader sees exactly the versions whose interval covers its
+//! snapshot, no matter what writers do concurrently.
+//!
+//! Writes are buffered privately in the transaction and published
+//! atomically at commit under a single commit fence, where the engine
+//! enforces **first-committer-wins**: if any row in the write set was
+//! committed by someone else after this transaction's snapshot, commit
+//! fails with [`Error::WriteConflict`] and the caller retries with a
+//! fresh snapshot (exactly how [`Error::TxnAborted`] is retried under
+//! wait-die).
+//!
+//! ## WAL at commit time
+//!
+//! Unlike the 2PL engine — which reports each mutation to the
+//! [`WalSink`] at op time, while holding exclusive locks that keep each
+//! transaction's same-row ops ordered in the log — this engine appends
+//! its buffered ops *at commit*, under the commit fence. Op-time
+//! logging would break repeat-history redo here: two concurrent
+//! transactions may write the same row in an order that differs from
+//! their commit order, and replaying that interleaving would end at the
+//! wrong row image. Commit-time logging keeps each committed
+//! transaction's ops contiguous and in commit order; aborted
+//! transactions never reach the log at all.
+//!
+//! ## Garbage collection
+//!
+//! A version is dead once its `end` timestamp is at or below the
+//! *watermark* — the oldest snapshot any live transaction holds (or the
+//! current clock when none is active). [`MvccDb::gc`] reclaims dead
+//! versions and runs automatically every few commits; reclaimed
+//! versions can never resurrect because recovery replays the log, not
+//! the version store.
+//!
+//! ## Instrumentation
+//!
+//! `relstore.mvcc.versions_live` (gauge), `.snapshot_reads`,
+//! `.write_conflicts` and `.gc_reclaimed` (counters), alongside the
+//! engine-neutral `relstore.txn.*` counters the 2PL engine maintains.
+
+use crate::error::{Error, Result};
+use crate::lock::TxnId;
+use crate::pagestore::page::{self, RowScratch, TAG_INT};
+use crate::query::Predicate;
+use crate::schema::{FkAction, ForeignKey, IndexDef, TableSchema, PRIMARY_INDEX};
+use crate::snapshot::{Snapshot, TableSnapshot};
+use crate::table::{Row, RowId};
+use crate::value::{Key, Value};
+use crate::wal::{RowOp, WalSink};
+use obs::Registry;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// `end` timestamp of a version still visible to new snapshots.
+const LIVE: u64 = u64::MAX;
+
+/// Run GC automatically once per this many commits.
+const GC_EVERY: u64 = 64;
+
+/// One immutable version of a row, valid for snapshots in
+/// `[begin, end)`. The row image is kept *encoded* (see
+/// [`page::encode_row`]) so scans evaluate compiled predicates raw,
+/// exactly like the 2PL engine's paged heap.
+#[derive(Debug)]
+struct Version {
+    begin: u64,
+    end: u64,
+    bytes: Vec<u8>,
+    /// Payload bytes (Text + Bytes values) of the decoded row, for
+    /// `heap_bytes` accounting.
+    payload: usize,
+}
+
+/// The version chain of one row id, newest version last.
+#[derive(Debug, Default)]
+struct Chain {
+    versions: Vec<Version>,
+    /// Commit timestamp of the last committed write (including the
+    /// delete that may have ended the row) — the fact first-committer-
+    /// wins validation checks against a transaction's snapshot.
+    last_write: u64,
+}
+
+impl Chain {
+    fn visible(&self, snap: u64) -> Option<&Version> {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.begin <= snap && snap < v.end)
+    }
+
+    fn live(&self) -> Option<&Version> {
+        self.versions.iter().rev().find(|v| v.end == LIVE)
+    }
+
+    fn live_mut(&mut self) -> Option<&mut Version> {
+        self.versions.iter_mut().rev().find(|v| v.end == LIVE)
+    }
+}
+
+/// One index over the *latest-committed* live rows. Only unique indexes
+/// maintain their key map (it backs uniqueness checks and FK lookups);
+/// non-unique indexes are kept for name/order parity with the 2PL
+/// engine's error reporting.
+#[derive(Debug)]
+struct MvccIndex {
+    def: IndexDef,
+    cols: Vec<usize>,
+    map: BTreeMap<Key, BTreeSet<RowId>>,
+}
+
+impl MvccIndex {
+    fn new(def: IndexDef, schema: &TableSchema) -> Result<Self> {
+        let cols = schema.resolve_columns(&def.columns)?;
+        Ok(MvccIndex {
+            def,
+            cols,
+            map: BTreeMap::new(),
+        })
+    }
+
+    fn key_of(&self, row: &[Value]) -> Key {
+        Key::from_row(row, &self.cols)
+    }
+
+    /// True iff `row`'s key columns equal `key`, without allocating a
+    /// [`Key`] — the uniqueness check runs this against every buffered
+    /// write on every insert/update, so the allocation matters.
+    fn row_holds(&self, row: &[Value], key: &Key) -> bool {
+        self.cols.len() == key.0.len() && self.cols.iter().zip(&key.0).all(|(&c, v)| &row[c] == v)
+    }
+
+    fn add(&mut self, key: Key, id: RowId) {
+        if self.def.unique {
+            self.map.entry(key).or_default().insert(id);
+        }
+    }
+
+    fn remove(&mut self, key: &Key, id: RowId) {
+        if let Some(ids) = self.map.get_mut(key) {
+            ids.remove(&id);
+            if ids.is_empty() {
+                self.map.remove(key);
+            }
+        }
+    }
+}
+
+/// One table of the MVCC engine: schema, version chains, and unique-key
+/// maps over the latest-committed state.
+#[derive(Debug)]
+struct MvccTable {
+    schema: TableSchema,
+    chains: BTreeMap<RowId, Chain>,
+    next_row: u64,
+    /// `indexes[0]` is always the implicit primary index — same order
+    /// (and therefore same violated-index error reporting) as the 2PL
+    /// engine.
+    indexes: Vec<MvccIndex>,
+    /// Rows live in the latest-committed state.
+    live_rows: usize,
+    /// Payload bytes of the latest-committed live rows.
+    committed_bytes: usize,
+}
+
+impl MvccTable {
+    fn new(schema: TableSchema) -> Result<Self> {
+        schema.validate()?;
+        let mut indexes = Vec::with_capacity(1 + schema.indexes.len());
+        indexes.push(MvccIndex::new(
+            IndexDef {
+                name: PRIMARY_INDEX.to_owned(),
+                columns: schema.primary_key.clone(),
+                unique: true,
+            },
+            &schema,
+        )?);
+        for def in &schema.indexes {
+            indexes.push(MvccIndex::new(def.clone(), &schema)?);
+        }
+        Ok(MvccTable {
+            schema,
+            chains: BTreeMap::new(),
+            next_row: 1,
+            indexes,
+            live_rows: 0,
+            committed_bytes: 0,
+        })
+    }
+
+    /// Validate a row against the schema (arity, types, NULLs) —
+    /// byte-for-byte the 2PL engine's check, so the engines agree on
+    /// every rejection.
+    fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.schema.columns.len() {
+            return Err(Error::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (col, val) in self.schema.columns.iter().zip(row) {
+            match val.column_type() {
+                None => {
+                    if !col.nullable {
+                        return Err(Error::NullViolation {
+                            table: self.schema.name.clone(),
+                            column: col.name.clone(),
+                        });
+                    }
+                }
+                Some(ty) if ty != col.ty => {
+                    return Err(Error::TypeMismatch {
+                        table: self.schema.name.clone(),
+                        column: col.name.clone(),
+                        expected: col.ty,
+                        got: format!("{val}"),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn alloc_row_id(&mut self) -> RowId {
+        let id = RowId(self.next_row);
+        self.next_row += 1;
+        id
+    }
+
+    fn sync_next_row(&mut self) {
+        if let Some(max) = self.chains.keys().next_back() {
+            self.next_row = self.next_row.max(max.0 + 1);
+        }
+    }
+
+    fn payload(row: &[Value]) -> usize {
+        row.iter().map(Value::heap_size).sum()
+    }
+
+    /// Install `row` as a new live version of a fresh row id at commit
+    /// timestamp `ts`.
+    fn apply_insert(&mut self, id: RowId, row: &Row, ts: u64) {
+        let bytes = page::encode_row(row);
+        let payload = Self::payload(row);
+        let chain = self.chains.entry(id).or_default();
+        chain.versions.push(Version {
+            begin: ts,
+            end: LIVE,
+            bytes,
+            payload,
+        });
+        chain.last_write = ts;
+        for ix in &mut self.indexes {
+            let key = ix.key_of(row);
+            ix.add(key, id);
+        }
+        self.live_rows += 1;
+        self.committed_bytes += payload;
+    }
+
+    /// End the live version of `id` at `ts` and install `row` as the
+    /// new one.
+    fn apply_update(&mut self, id: RowId, row: &Row, ts: u64) -> Result<()> {
+        let old = self.close_live(id, ts)?;
+        let payload = Self::payload(row);
+        for ix in &mut self.indexes {
+            let old_key = ix.key_of(&old);
+            let new_key = ix.key_of(row);
+            if old_key != new_key {
+                ix.remove(&old_key, id);
+                ix.add(new_key, id);
+            }
+        }
+        let chain = self.chains.get_mut(&id).expect("chain closed above");
+        chain.versions.push(Version {
+            begin: ts,
+            end: LIVE,
+            bytes: page::encode_row(row),
+            payload,
+        });
+        chain.last_write = ts;
+        self.committed_bytes += payload;
+        Ok(())
+    }
+
+    /// End the live version of `id` at `ts` (the row stops existing for
+    /// snapshots at or after `ts`).
+    fn apply_delete(&mut self, id: RowId, ts: u64) -> Result<()> {
+        let old = self.close_live(id, ts)?;
+        for ix in &mut self.indexes {
+            let key = ix.key_of(&old);
+            ix.remove(&key, id);
+        }
+        let chain = self.chains.get_mut(&id).expect("chain closed above");
+        chain.last_write = ts;
+        self.live_rows -= 1;
+        Ok(())
+    }
+
+    /// Close the live version of `id` at `ts`, returning its decoded
+    /// image; adjusts `committed_bytes` for the version leaving the
+    /// live set.
+    fn close_live(&mut self, id: RowId, ts: u64) -> Result<Row> {
+        let chain = self.chains.get_mut(&id).ok_or_else(|| Error::NoSuchRow {
+            table: self.schema.name.clone(),
+            row: id,
+        })?;
+        let v = chain.live_mut().ok_or_else(|| Error::NoSuchRow {
+            table: self.schema.name.clone(),
+            row: id,
+        })?;
+        v.end = ts;
+        let payload = v.payload;
+        let row = page::decode_row(&v.bytes)?;
+        self.committed_bytes -= payload;
+        Ok(row)
+    }
+}
+
+/// A transaction's private image of one row.
+#[derive(Debug, Clone)]
+enum LocalRow {
+    /// The row exists with this image in the transaction's view
+    /// (inserted or updated by it).
+    Put(Row),
+    /// The row is deleted in the transaction's view.
+    Deleted,
+}
+
+/// One buffered mutation, with the before/after images the WAL needs.
+/// Captured at op time (relative to the transaction's own effective
+/// view), appended to the log at commit time.
+#[derive(Debug)]
+enum LoggedOp {
+    Insert {
+        table: String,
+        id: RowId,
+        after: Row,
+    },
+    Update {
+        table: String,
+        id: RowId,
+        before: Row,
+        after: Row,
+    },
+    Delete {
+        table: String,
+        id: RowId,
+        before: Row,
+    },
+}
+
+struct MvccInner {
+    catalog: RwLock<BTreeMap<String, Arc<RwLock<MvccTable>>>>,
+    /// Reverse FK map: referenced table → (referencing table, fk).
+    referrers: RwLock<BTreeMap<String, Vec<(String, ForeignKey)>>>,
+    next_txn: AtomicU64,
+    /// The commit clock. Snapshots read it at begin; committers bump it
+    /// under the commit fence. Starts at 1 so restored rows (loaded at
+    /// timestamp 1) are visible to the very first snapshot.
+    clock: AtomicU64,
+    /// Snapshot timestamps of live transactions (timestamp → count).
+    /// The minimum key is the GC watermark.
+    active: Mutex<BTreeMap<u64, usize>>,
+    /// The commit fence: serializes validate → log → apply, and fences
+    /// checkpoints (see [`MvccDb::fenced_snapshot`]).
+    commit_lock: Mutex<()>,
+    commits: AtomicU64,
+    /// Total versions currently held across all tables (live + dead but
+    /// unreclaimed). Mirrored to the `relstore.mvcc.versions_live`
+    /// gauge.
+    versions: AtomicU64,
+    wal: RwLock<Option<Arc<dyn WalSink>>>,
+    metrics: Registry,
+}
+
+impl MvccInner {
+    fn sink(&self) -> Option<Arc<dyn WalSink>> {
+        self.wal.read().clone()
+    }
+
+    fn entry(&self, table: &str) -> Result<Arc<RwLock<MvccTable>>> {
+        self.catalog
+            .read()
+            .get(table)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchTable(table.to_owned()))
+    }
+
+    fn release_snapshot(&self, snap: u64) {
+        let mut active = self.active.lock();
+        if let Some(n) = active.get_mut(&snap) {
+            *n -= 1;
+            if *n == 0 {
+                active.remove(&snap);
+            }
+        }
+    }
+
+    /// The oldest snapshot any live transaction holds, or the current
+    /// clock when none is active. Versions ended at or below this are
+    /// invisible to every current and future reader.
+    fn watermark(&self) -> u64 {
+        self.active
+            .lock()
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.clock.load(Ordering::SeqCst))
+    }
+
+    fn publish_versions_gauge(&self) {
+        self.metrics.gauge_set(
+            "relstore.mvcc.versions_live",
+            self.versions.load(Ordering::Relaxed) as i64,
+        );
+    }
+
+    /// Reclaim dead versions; returns the count reclaimed.
+    fn gc(&self) -> usize {
+        let watermark = self.watermark();
+        let mut reclaimed = 0usize;
+        let catalog = self.catalog.read();
+        for data in catalog.values() {
+            let mut t = data.write();
+            t.chains.retain(|_, chain| {
+                let before = chain.versions.len();
+                chain.versions.retain(|v| v.end > watermark);
+                reclaimed += before - chain.versions.len();
+                // An empty chain is safe to drop: every version ended at
+                // or below the watermark, so no live transaction can have
+                // the row in its read or write set, and row ids are never
+                // reused (`next_row` only grows).
+                !chain.versions.is_empty()
+            });
+        }
+        drop(catalog);
+        if reclaimed > 0 {
+            self.versions.fetch_sub(reclaimed as u64, Ordering::Relaxed);
+            self.metrics
+                .add("relstore.mvcc.gc_reclaimed", reclaimed as u64);
+        }
+        self.publish_versions_gauge();
+        reclaimed
+    }
+}
+
+/// A shared, thread-safe MVCC database. See the module docs for the
+/// concurrency model; the API mirrors [`crate::Database`] so the two
+/// engines are interchangeable behind [`crate::engine::AnyEngine`].
+#[derive(Clone)]
+pub struct MvccDb {
+    inner: Arc<MvccInner>,
+}
+
+impl Default for MvccDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MvccDb {
+    /// Create an empty MVCC database.
+    #[must_use]
+    pub fn new() -> Self {
+        MvccDb {
+            inner: Arc::new(MvccInner {
+                catalog: RwLock::new(BTreeMap::new()),
+                referrers: RwLock::new(BTreeMap::new()),
+                next_txn: AtomicU64::new(1),
+                clock: AtomicU64::new(1),
+                active: Mutex::new(BTreeMap::new()),
+                commit_lock: Mutex::new(()),
+                commits: AtomicU64::new(0),
+                versions: AtomicU64::new(0),
+                wal: RwLock::new(None),
+                metrics: Registry::new(),
+            }),
+        }
+    }
+
+    /// The `relstore.*` metrics registry of this database.
+    #[must_use]
+    pub fn metrics(&self) -> &Registry {
+        &self.inner.metrics
+    }
+
+    /// Install (or remove) a write-ahead-log sink. The sink sees each
+    /// committed transaction's ops contiguously at commit time (see the
+    /// module docs), plus auto-committed DDL.
+    pub fn set_wal_sink(&self, sink: Option<Arc<dyn WalSink>>) {
+        *self.inner.wal.write() = sink;
+    }
+
+    /// The currently installed WAL sink, if any.
+    #[must_use]
+    pub fn wal_sink(&self) -> Option<Arc<dyn WalSink>> {
+        self.inner.sink()
+    }
+
+    /// Create a table. Foreign keys must reference existing tables on
+    /// columns backed by a unique index there — the same catalog rules
+    /// as the 2PL engine.
+    pub fn create_table(&self, schema: TableSchema) -> Result<()> {
+        schema.validate()?;
+        let mut catalog = self.inner.catalog.write();
+        if catalog.contains_key(&schema.name) {
+            return Err(Error::TableExists(schema.name));
+        }
+        for fk in &schema.foreign_keys {
+            let ok = if fk.ref_table == schema.name {
+                crate::database::unique_key_exists(&schema, &fk.ref_columns)
+            } else {
+                let target = catalog
+                    .get(&fk.ref_table)
+                    .ok_or_else(|| Error::NoSuchTable(fk.ref_table.clone()))?;
+                crate::database::unique_key_exists(&target.read().schema, &fk.ref_columns)
+            };
+            if !ok {
+                return Err(Error::BadSchema(format!(
+                    "foreign key on `{}` references `{}({:?})` which is not a unique key",
+                    schema.name, fk.ref_table, fk.ref_columns
+                )));
+            }
+        }
+        let name = schema.name.clone();
+        let fks = schema.foreign_keys.clone();
+        // DDL is auto-committed: durable before the table is visible,
+        // matching the 2PL engine.
+        let sink = self.inner.sink();
+        let logged_schema = sink.as_ref().map(|_| schema.clone());
+        let table = MvccTable::new(schema)?;
+        if let (Some(sink), Some(s)) = (&sink, &logged_schema) {
+            sink.on_create_table(s)?;
+        }
+        catalog.insert(name.clone(), Arc::new(RwLock::new(table)));
+        let mut referrers = self.inner.referrers.write();
+        for fk in fks {
+            referrers
+                .entry(fk.ref_table.clone())
+                .or_default()
+                .push((name.clone(), fk));
+        }
+        Ok(())
+    }
+
+    /// Table names in the catalog.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.catalog.read().keys().cloned().collect()
+    }
+
+    /// The schema of a table.
+    pub fn schema_of(&self, table: &str) -> Result<TableSchema> {
+        Ok(self.inner.entry(table)?.read().schema.clone())
+    }
+
+    /// Number of rows live in the latest-committed state of `table`.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        Ok(self.inner.entry(table)?.read().live_rows)
+    }
+
+    /// Payload bytes of the latest-committed live rows of `table` —
+    /// the same logical-size definition as the 2PL engine, excluding
+    /// dead versions awaiting GC.
+    pub fn heap_bytes(&self, table: &str) -> Result<usize> {
+        Ok(self.inner.entry(table)?.read().committed_bytes)
+    }
+
+    /// The next transaction id this engine will hand out.
+    #[must_use]
+    pub fn next_txn_id(&self) -> TxnId {
+        self.inner.next_txn.load(Ordering::Relaxed)
+    }
+
+    /// Ensure future transactions are numbered `next` or higher (same
+    /// recovery contract as [`crate::Database::resume_txn_ids`]).
+    pub fn resume_txn_ids(&self, next: TxnId) {
+        self.inner.next_txn.fetch_max(next, Ordering::Relaxed);
+    }
+
+    /// Begin a new transaction: its snapshot is frozen at the current
+    /// commit clock.
+    #[must_use]
+    pub fn begin(&self) -> MvccTxn {
+        let id = self.alloc_txn_id();
+        self.begin_with_id(id)
+    }
+
+    pub(crate) fn alloc_txn_id(&self) -> TxnId {
+        self.inner.next_txn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn begin_with_id(&self, id: TxnId) -> MvccTxn {
+        let snap = self.inner.clock.load(Ordering::SeqCst);
+        *self.inner.active.lock().entry(snap).or_insert(0) += 1;
+        MvccTxn {
+            db: Arc::clone(&self.inner),
+            id,
+            snap,
+            state: Mutex::new(MvccTxnState::default()),
+            born: Instant::now(),
+        }
+    }
+
+    /// Run `f` in a transaction, committing on success. Retried with
+    /// the same transaction id on [`Error::WriteConflict`] (each retry
+    /// re-runs `f` against a fresh snapshot) and on
+    /// [`Error::TxnAborted`] for drop-in parity with the 2PL engine.
+    pub fn with_txn<T>(&self, f: impl Fn(&MvccTxn) -> Result<T>) -> Result<T> {
+        let id = self.alloc_txn_id();
+        loop {
+            let txn = self.begin_with_id(id);
+            match f(&txn).and_then(|v| txn.commit().map(|()| v)) {
+                Ok(v) => return Ok(v),
+                Err(Error::TxnAborted { .. } | Error::WriteConflict { .. }) => {
+                    self.inner.metrics.inc("relstore.txn.retries");
+                    std::thread::yield_now();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reclaim versions dead to every current and future reader;
+    /// returns the number reclaimed. Runs automatically every few
+    /// commits.
+    pub fn gc(&self) -> usize {
+        self.inner.gc()
+    }
+
+    /// Capture the latest-committed state as a [`Snapshot`]. Taken
+    /// under the commit fence, so no transaction is mid-publish.
+    pub fn snapshot(&self) -> Result<Snapshot> {
+        let _fence = self.inner.commit_lock.lock();
+        self.snapshot_locked()
+    }
+
+    /// Build a snapshot and hand it to `f` together with the next
+    /// transaction id, all under the commit fence — so no commit can
+    /// slip between the snapshot capture and whatever `f` persists
+    /// (the WAL crate's checkpoint uses this to anchor its log
+    /// truncation point).
+    pub fn fenced_snapshot<R>(&self, f: impl FnOnce(Snapshot, TxnId) -> R) -> Result<R> {
+        let _fence = self.inner.commit_lock.lock();
+        let snap = self.snapshot_locked()?;
+        Ok(f(snap, self.next_txn_id()))
+    }
+
+    fn snapshot_locked(&self) -> Result<Snapshot> {
+        let mut tables = BTreeMap::new();
+        let catalog = self.inner.catalog.read();
+        for (name, data) in catalog.iter() {
+            let t = data.read();
+            let mut rows = Vec::with_capacity(t.live_rows);
+            for (id, chain) in &t.chains {
+                if let Some(v) = chain.live() {
+                    rows.push((*id, page::decode_row(&v.bytes)?));
+                }
+            }
+            tables.insert(
+                name.clone(),
+                TableSnapshot {
+                    schema: t.schema.clone(),
+                    rows,
+                },
+            );
+        }
+        Ok(Snapshot { tables })
+    }
+
+    /// Rebuild an MVCC database from a snapshot: tables in foreign-key
+    /// order, rows loaded as committed versions at timestamp 1, then a
+    /// full referential-integrity verification (a corrupted snapshot
+    /// fails loudly, same contract as the 2PL engine's restore).
+    pub fn restore(snapshot: &Snapshot) -> Result<MvccDb> {
+        let db = MvccDb::new();
+        for name in crate::snapshot::fk_order(&snapshot.tables)? {
+            let snap = &snapshot.tables[name];
+            db.create_table(snap.schema.clone())?;
+            let data = db.inner.entry(name)?;
+            let mut t = data.write();
+            let mut loaded = 0u64;
+            for (id, row) in &snap.rows {
+                t.check_row(row)?;
+                for ix in &t.indexes {
+                    let key = ix.key_of(row);
+                    if ix.def.unique && !key.has_null() && ix.map.contains_key(&key) {
+                        return Err(Error::UniqueViolation {
+                            table: name.to_owned(),
+                            index: ix.def.name.clone(),
+                        });
+                    }
+                }
+                t.apply_insert(*id, row, 1);
+                loaded += 1;
+            }
+            t.sync_next_row();
+            db.inner.versions.fetch_add(loaded, Ordering::Relaxed);
+        }
+        // Verify every foreign key of every row.
+        let txn = db.begin();
+        for (name, snap) in &snapshot.tables {
+            for fk in &snap.schema.foreign_keys {
+                let cols = snap.schema.resolve_columns(&fk.columns)?;
+                for (_, row) in &snap.rows {
+                    let key = Key::from_row(row, &cols);
+                    if key.has_null() {
+                        continue;
+                    }
+                    let mut pred = Predicate::True;
+                    for (col_name, value) in fk.ref_columns.iter().zip(&key.0) {
+                        pred = pred.and(Predicate::Eq(col_name.clone(), value.clone()));
+                    }
+                    if txn.count(&fk.ref_table, &pred)? == 0 {
+                        return Err(Error::ForeignKeyViolation {
+                            table: name.clone(),
+                            references: fk.ref_table.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        txn.commit()?;
+        db.inner.publish_versions_gauge();
+        Ok(db)
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery primitives (log replay only)
+    // ------------------------------------------------------------------
+
+    /// Re-apply a logged insert as a committed version (recovery only;
+    /// same contract as [`crate::Database::redo_insert`]).
+    pub fn redo_insert(&self, table: &str, id: RowId, row: Row) -> Result<()> {
+        let data = self.inner.entry(table)?;
+        let ts = self.inner.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut t = data.write();
+        t.apply_insert(id, &row, ts);
+        t.sync_next_row();
+        self.inner.versions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Re-apply a logged update (recovery only).
+    pub fn redo_update(&self, table: &str, id: RowId, row: Row) -> Result<()> {
+        let data = self.inner.entry(table)?;
+        let ts = self.inner.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        data.write().apply_update(id, &row, ts)?;
+        self.inner.versions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Re-apply a logged delete (recovery only).
+    pub fn redo_delete(&self, table: &str, id: RowId) -> Result<()> {
+        let data = self.inner.entry(table)?;
+        let ts = self.inner.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let res = data.write().apply_delete(id, ts);
+        res
+    }
+}
+
+#[derive(Debug, Default)]
+struct MvccTxnState {
+    closed: bool,
+    /// The transaction's private write set: (table, row) → its image in
+    /// this transaction's view. Overlays the snapshot on every read.
+    local: BTreeMap<(String, RowId), LocalRow>,
+    /// Buffered mutations in execution order, appended to the WAL and
+    /// applied to the version store at commit.
+    log: Vec<LoggedOp>,
+}
+
+/// An MVCC transaction: lock-free snapshot reads, buffered writes,
+/// first-committer-wins commit. Dropping an uncommitted transaction
+/// discards its buffered writes.
+pub struct MvccTxn {
+    db: Arc<MvccInner>,
+    id: TxnId,
+    /// The frozen snapshot timestamp: this transaction sees exactly the
+    /// versions whose `[begin, end)` covers it.
+    snap: u64,
+    state: Mutex<MvccTxnState>,
+    /// Wall-clock birth, for commit/abort latency histograms.
+    born: Instant,
+}
+
+impl MvccTxn {
+    /// This transaction's id.
+    #[must_use]
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The snapshot timestamp this transaction reads at.
+    #[must_use]
+    pub fn snapshot_ts(&self) -> u64 {
+        self.snap
+    }
+
+    fn check_open(&self) -> Result<()> {
+        if self.state.lock().closed {
+            Err(Error::TxnClosed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn entry(&self, table: &str) -> Result<Arc<RwLock<MvccTable>>> {
+        self.db.entry(table)
+    }
+
+    /// The transaction's view of row `id`: local overlay first, then
+    /// the version visible at the snapshot.
+    fn effective_get(
+        &self,
+        table: &str,
+        data: &RwLock<MvccTable>,
+        id: RowId,
+    ) -> Result<Option<Row>> {
+        if let Some(local) = self.state.lock().local.get(&(table.to_owned(), id)) {
+            return Ok(match local {
+                LocalRow::Put(row) => Some(row.clone()),
+                LocalRow::Deleted => None,
+            });
+        }
+        let t = data.read();
+        match t.chains.get(&id).and_then(|c| c.visible(self.snap)) {
+            Some(v) => Ok(Some(page::decode_row(&v.bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// This transaction's local overrides for `table`, cloned out so no
+    /// state lock is held while table locks are taken.
+    fn local_for(&self, table: &str) -> BTreeMap<RowId, LocalRow> {
+        self.state
+            .lock()
+            .local
+            .range((table.to_owned(), RowId(0))..=(table.to_owned(), RowId(u64::MAX)))
+            .map(|((_, id), lr)| (*id, lr.clone()))
+            .collect()
+    }
+
+    /// Uniqueness check against the *latest-committed* state overlaid
+    /// with this transaction's writes — the same facts the 2PL engine
+    /// checks under locks, so sequential workloads reject identically.
+    /// Concurrent collisions that slip past this check are caught again
+    /// at commit, under the fence.
+    fn check_unique(
+        &self,
+        table: &str,
+        data: &RwLock<MvccTable>,
+        row: &[Value],
+        except: Option<RowId>,
+    ) -> Result<()> {
+        let t = data.read();
+        // Iterated in place under the txn-state mutex rather than via
+        // `local_for`: that mutex is private to this transaction (no
+        // other thread can hold it while waiting on a table lock), and
+        // cloning the whole write buffer here made batch writes
+        // quadratic in batch size — this check runs on every
+        // insert/update.
+        let st = self.state.lock();
+        let span = (table.to_owned(), RowId(0))..=(table.to_owned(), RowId(u64::MAX));
+        for ix in &t.indexes {
+            if !ix.def.unique {
+                continue;
+            }
+            let key = ix.key_of(row);
+            if key.has_null() {
+                continue;
+            }
+            let committed_hit = ix.map.get(&key).is_some_and(|ids| {
+                ids.iter().any(|cid| {
+                    if Some(*cid) == except {
+                        return false;
+                    }
+                    match st.local.get(&(table.to_owned(), *cid)) {
+                        // Locally deleted or re-keyed: no longer holds the key.
+                        Some(LocalRow::Deleted) => false,
+                        Some(LocalRow::Put(r)) => ix.row_holds(r, &key),
+                        None => true,
+                    }
+                })
+            });
+            // Any local Put holding the key counts: fresh inserts, but
+            // also committed rows this transaction re-keyed *into* the
+            // key (the committed map still files those under the old
+            // key, so `committed_hit` cannot see them).
+            let local_hit = st.local.range(span.clone()).any(|((_, id), lr)| {
+                Some(*id) != except && matches!(lr, LocalRow::Put(r) if ix.row_holds(r, &key))
+            });
+            if committed_hit || local_hit {
+                return Err(Error::UniqueViolation {
+                    table: table.to_owned(),
+                    index: ix.def.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward FK check: every non-NULL foreign key of `row` must hit a
+    /// row in the referenced table's effective view.
+    fn check_forward_fks(&self, table: &str, fks: &[ForeignKey], row: &[Value]) -> Result<()> {
+        for fk in fks {
+            let data = self.entry(table)?;
+            let cols = data.read().schema.resolve_columns(&fk.columns)?;
+            let key = Key::from_row(row, &cols);
+            if key.has_null() {
+                continue; // NULL FKs reference nothing
+            }
+            let rdata = self.entry(&fk.ref_table)?;
+            let rt = rdata.read();
+            let ix = find_unique_index(&rt, &fk.ref_columns)?;
+            let lookup = reorder_key(&rt, &rt.indexes[ix].cols, &fk.ref_columns, &key)?;
+            // In place under the txn-state mutex, as in `check_unique`.
+            let st = self.state.lock();
+            let span = (fk.ref_table.clone(), RowId(0))..=(fk.ref_table.clone(), RowId(u64::MAX));
+            let committed_hit = rt.indexes[ix].map.get(&lookup).is_some_and(|ids| {
+                ids.iter()
+                    .any(|cid| match st.local.get(&(fk.ref_table.clone(), *cid)) {
+                        Some(LocalRow::Deleted) => false,
+                        Some(LocalRow::Put(r)) => rt.indexes[ix].row_holds(r, &lookup),
+                        None => true,
+                    })
+            });
+            // As in `check_unique`: local Puts cover both fresh inserts
+            // and committed rows re-keyed into the looked-up key.
+            let local_hit = st.local.range(span).any(
+                |(_, lr)| matches!(lr, LocalRow::Put(r) if rt.indexes[ix].row_holds(r, &lookup)),
+            );
+            drop(st);
+            if !committed_hit && !local_hit {
+                return Err(Error::ForeignKeyViolation {
+                    table: table.to_owned(),
+                    references: fk.ref_table.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Rows of `rtable` whose `fk.columns` equal `key`, in the
+    /// transaction's effective view, in id order.
+    fn find_referencing(&self, rtable: &str, fk: &ForeignKey, key: &Key) -> Result<Vec<RowId>> {
+        let rdata = self.entry(rtable)?;
+        let rt = rdata.read();
+        let cols = rt.schema.resolve_columns(&fk.columns)?;
+        let local = self.local_for(rtable);
+        let mut hits = BTreeSet::new();
+        for (id, chain) in &rt.chains {
+            let row = match local.get(id) {
+                Some(LocalRow::Deleted) => continue,
+                Some(LocalRow::Put(r)) => r.clone(),
+                None => match chain.visible(self.snap) {
+                    Some(v) => page::decode_row(&v.bytes)?,
+                    None => continue,
+                },
+            };
+            if &Key::from_row(&row, &cols) == key {
+                hits.insert(*id);
+            }
+        }
+        for (id, lr) in &local {
+            if rt.chains.contains_key(id) {
+                continue;
+            }
+            if let LocalRow::Put(r) = lr {
+                if &Key::from_row(r, &cols) == key {
+                    hits.insert(*id);
+                }
+            }
+        }
+        Ok(hits.into_iter().collect())
+    }
+
+    /// Insert a row; returns its new id. The row is invisible to other
+    /// transactions until commit.
+    pub fn insert(&self, table: &str, row: Row) -> Result<RowId> {
+        self.check_open()?;
+        let data = self.entry(table)?;
+        data.read().check_row(&row)?;
+        let fks = data.read().schema.foreign_keys.clone();
+        self.check_forward_fks(table, &fks, &row)?;
+        self.check_unique(table, &data, &row, None)?;
+        let id = data.write().alloc_row_id();
+        let mut st = self.state.lock();
+        st.local
+            .insert((table.to_owned(), id), LocalRow::Put(row.clone()));
+        st.log.push(LoggedOp::Insert {
+            table: table.to_owned(),
+            id,
+            after: row,
+        });
+        Ok(id)
+    }
+
+    /// Fetch a copy of the row at `id` from the snapshot (no locks).
+    pub fn get(&self, table: &str, id: RowId) -> Result<Row> {
+        self.check_open()?;
+        let data = self.entry(table)?;
+        self.db.metrics.inc("relstore.mvcc.snapshot_reads");
+        self.effective_get(table, &data, id)?
+            .ok_or_else(|| Error::NoSuchRow {
+                table: table.to_owned(),
+                row: id,
+            })
+    }
+
+    /// Replace the entire row at `id`.
+    pub fn update(&self, table: &str, id: RowId, new_row: Row) -> Result<()> {
+        self.check_open()?;
+        let data = self.entry(table)?;
+        data.read().check_row(&new_row)?;
+        let old = self
+            .effective_get(table, &data, id)?
+            .ok_or_else(|| Error::NoSuchRow {
+                table: table.to_owned(),
+                row: id,
+            })?;
+        let schema = data.read().schema.clone();
+        let changed: Vec<usize> = (0..old.len()).filter(|&i| old[i] != new_row[i]).collect();
+        let changed_names: Vec<&str> = changed
+            .iter()
+            .map(|&i| schema.columns[i].name.as_str())
+            .collect();
+        let affected_fks: Vec<ForeignKey> = schema
+            .foreign_keys
+            .iter()
+            .filter(|fk| {
+                fk.columns
+                    .iter()
+                    .any(|c| changed_names.contains(&c.as_str()))
+            })
+            .cloned()
+            .collect();
+        self.check_forward_fks(table, &affected_fks, &new_row)?;
+        // Reverse FKs: refuse changing a referenced key while
+        // referencing rows exist (ON UPDATE actions are not supported).
+        let referrers: Vec<(String, ForeignKey)> = self
+            .db
+            .referrers
+            .read()
+            .get(table)
+            .cloned()
+            .unwrap_or_default();
+        for (rtable, fk) in referrers {
+            if !fk
+                .ref_columns
+                .iter()
+                .any(|c| changed_names.contains(&c.as_str()))
+            {
+                continue;
+            }
+            let ref_cols = schema.resolve_columns(&fk.ref_columns)?;
+            let key = Key::from_row(&old, &ref_cols);
+            if key.has_null() {
+                continue;
+            }
+            if !self.find_referencing(&rtable, &fk, &key)?.is_empty() {
+                return Err(Error::RestrictViolation {
+                    table: table.to_owned(),
+                    referenced_by: rtable,
+                });
+            }
+        }
+        self.check_unique(table, &data, &new_row, Some(id))?;
+        let mut st = self.state.lock();
+        st.local
+            .insert((table.to_owned(), id), LocalRow::Put(new_row.clone()));
+        st.log.push(LoggedOp::Update {
+            table: table.to_owned(),
+            id,
+            before: old,
+            after: new_row,
+        });
+        Ok(())
+    }
+
+    /// Update only the named columns of the row at `id`.
+    pub fn update_cols(&self, table: &str, id: RowId, cols: &[(&str, Value)]) -> Result<()> {
+        self.check_open()?;
+        let data = self.entry(table)?;
+        let mut row = self
+            .effective_get(table, &data, id)?
+            .ok_or_else(|| Error::NoSuchRow {
+                table: table.to_owned(),
+                row: id,
+            })?;
+        {
+            let t = data.read();
+            for (name, value) in cols {
+                let ix = t.schema.require_column(name)?;
+                row[ix] = value.clone();
+            }
+        }
+        self.update(table, id, row)
+    }
+
+    /// Delete the row at `id`, honouring reverse foreign keys
+    /// (RESTRICT refuses, CASCADE recurses, SET NULL nulls out).
+    pub fn delete(&self, table: &str, id: RowId) -> Result<()> {
+        self.check_open()?;
+        let data = self.entry(table)?;
+        let old = self
+            .effective_get(table, &data, id)?
+            .ok_or_else(|| Error::NoSuchRow {
+                table: table.to_owned(),
+                row: id,
+            })?;
+        let schema = data.read().schema.clone();
+        let referrers: Vec<(String, ForeignKey)> = self
+            .db
+            .referrers
+            .read()
+            .get(table)
+            .cloned()
+            .unwrap_or_default();
+        for (rtable, fk) in referrers {
+            let ref_cols = schema.resolve_columns(&fk.ref_columns)?;
+            let key = Key::from_row(&old, &ref_cols);
+            if key.has_null() {
+                continue;
+            }
+            let hits = self.find_referencing(&rtable, &fk, &key)?;
+            if hits.is_empty() {
+                continue;
+            }
+            match fk.on_delete {
+                FkAction::Restrict => {
+                    return Err(Error::RestrictViolation {
+                        table: table.to_owned(),
+                        referenced_by: rtable,
+                    });
+                }
+                FkAction::Cascade => {
+                    for hit in hits {
+                        // The referencing row may already be gone if a
+                        // previous cascade in this very delete removed it.
+                        match self.delete(&rtable, hit) {
+                            Ok(()) | Err(Error::NoSuchRow { .. }) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                FkAction::SetNull => {
+                    let nulls: Vec<(&str, Value)> = fk
+                        .columns
+                        .iter()
+                        .map(|c| (c.as_str(), Value::Null))
+                        .collect();
+                    for hit in hits {
+                        self.update_cols(&rtable, hit, &nulls)?;
+                    }
+                }
+            }
+        }
+        let mut st = self.state.lock();
+        st.local.insert((table.to_owned(), id), LocalRow::Deleted);
+        st.log.push(LoggedOp::Delete {
+            table: table.to_owned(),
+            id,
+            before: old,
+        });
+        Ok(())
+    }
+
+    /// All rows matching `pred` (copies), in row-id order. A pure
+    /// snapshot scan: committed versions are tested *raw* through the
+    /// compiled predicate (same hot path as the 2PL engine's paged
+    /// heap); this transaction's own buffered rows are overlaid.
+    pub fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
+        self.check_open()?;
+        let data = self.entry(table)?;
+        self.db.metrics.inc("relstore.mvcc.snapshot_reads");
+        let t = data.read();
+        let compiled = pred.compile(&t.schema)?;
+        let local = self.local_for(table);
+        let mut scratch = RowScratch::default();
+        let mut out = Vec::new();
+        let mut examined = 0usize;
+        for (id, chain) in &t.chains {
+            match local.get(id) {
+                Some(LocalRow::Deleted) => continue,
+                Some(LocalRow::Put(r)) => {
+                    examined += 1;
+                    if compiled.eval(r) {
+                        out.push((*id, r.clone()));
+                    }
+                }
+                None => {
+                    if let Some(v) = chain.visible(self.snap) {
+                        examined += 1;
+                        if compiled.matches_raw(&v.bytes, &mut scratch)? {
+                            out.push((*id, page::decode_row(&v.bytes)?));
+                        }
+                    }
+                }
+            }
+        }
+        for (id, lr) in &local {
+            if t.chains.contains_key(id) {
+                continue;
+            }
+            if let LocalRow::Put(r) = lr {
+                examined += 1;
+                if compiled.eval(r) {
+                    out.push((*id, r.clone()));
+                }
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        self.db
+            .metrics
+            .add("relstore.select.rows_examined", examined as u64);
+        Ok(out)
+    }
+
+    /// Like [`MvccTxn::select`], but sorted by `order_col` (ascending
+    /// or descending, NULLs first) and truncated to `limit` rows.
+    pub fn select_ordered(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        order_col: &str,
+        descending: bool,
+        limit: Option<usize>,
+    ) -> Result<Vec<(RowId, Row)>> {
+        let data = self.entry(table)?;
+        let col = data.read().schema.require_column(order_col)?;
+        let mut rows = self.select(table, pred)?;
+        rows.sort_by(|(_, a), (_, b)| {
+            let ord = a[col].cmp(&b[col]);
+            if descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        if let Some(n) = limit {
+            rows.truncate(n);
+        }
+        Ok(rows)
+    }
+
+    /// Equi-join of two pre-filtered tables; NULL keys never join.
+    /// Identical plan to the 2PL engine (hash join over the filtered
+    /// sides) minus the table locks.
+    pub fn join(
+        &self,
+        left: &str,
+        left_col: &str,
+        left_pred: &Predicate,
+        right: &str,
+        right_col: &str,
+        right_pred: &Predicate,
+    ) -> Result<Vec<(Row, Row)>> {
+        let ldata = self.entry(left)?;
+        let rdata = self.entry(right)?;
+        let lcol = ldata.read().schema.require_column(left_col)?;
+        let rcol = rdata.read().schema.require_column(right_col)?;
+        let lrows = self.select(left, left_pred)?;
+        let rrows = self.select(right, right_pred)?;
+        let mut table: BTreeMap<Value, Vec<&Row>> = BTreeMap::new();
+        for (_, row) in &rrows {
+            let key = &row[rcol];
+            if !key.is_null() {
+                table.entry(key.clone()).or_default().push(row);
+            }
+        }
+        let mut out = Vec::new();
+        for (_, lrow) in &lrows {
+            let key = &lrow[lcol];
+            if key.is_null() {
+                continue;
+            }
+            if let Some(matches) = table.get(key) {
+                for rrow in matches {
+                    out.push((lrow.clone(), (*rrow).clone()));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum an integer column over matching rows (NULLs contribute 0),
+    /// reading committed versions raw through the widened compiled
+    /// predicate.
+    pub fn sum_int(&self, table: &str, pred: &Predicate, col: &str) -> Result<i64> {
+        let data = self.entry(table)?;
+        self.db.metrics.inc("relstore.mvcc.snapshot_reads");
+        let t = data.read();
+        let ci = t.schema.require_column(col)?;
+        let mut compiled = pred.compile(&t.schema)?;
+        compiled.widen(ci + 1);
+        let local = self.local_for(table);
+        let mut scratch = RowScratch::default();
+        let mut sum = 0i64;
+        for (id, chain) in &t.chains {
+            match local.get(id) {
+                Some(LocalRow::Deleted) => continue,
+                Some(LocalRow::Put(r)) => {
+                    if compiled.eval(r) {
+                        sum += r[ci].as_int().unwrap_or(0);
+                    }
+                }
+                None => {
+                    if let Some(v) = chain.visible(self.snap) {
+                        if compiled.matches_raw(&v.bytes, &mut scratch)? {
+                            let f = scratch.field(ci);
+                            if f.tag == TAG_INT {
+                                sum += i64::from_le_bytes(
+                                    v.bytes[f.start..f.end].try_into().expect("8-byte"),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (id, lr) in &local {
+            if t.chains.contains_key(id) {
+                continue;
+            }
+            if let LocalRow::Put(r) = lr {
+                if compiled.eval(r) {
+                    sum += r[ci].as_int().unwrap_or(0);
+                }
+            }
+        }
+        Ok(sum)
+    }
+
+    /// Count rows matching `pred` without copying them.
+    pub fn count(&self, table: &str, pred: &Predicate) -> Result<usize> {
+        self.check_open()?;
+        let data = self.entry(table)?;
+        self.db.metrics.inc("relstore.mvcc.snapshot_reads");
+        let t = data.read();
+        let compiled = pred.compile(&t.schema)?;
+        let local = self.local_for(table);
+        let mut scratch = RowScratch::default();
+        let mut n = 0usize;
+        for (id, chain) in &t.chains {
+            match local.get(id) {
+                Some(LocalRow::Deleted) => continue,
+                Some(LocalRow::Put(r)) => {
+                    if compiled.eval(r) {
+                        n += 1;
+                    }
+                }
+                None => {
+                    if let Some(v) = chain.visible(self.snap) {
+                        if compiled.matches_raw(&v.bytes, &mut scratch)? {
+                            n += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for (id, lr) in &local {
+            if t.chains.contains_key(id) {
+                continue;
+            }
+            if let LocalRow::Put(r) = lr {
+                if compiled.eval(r) {
+                    n += 1;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Commit: validate first-committer-wins under the commit fence,
+    /// append the buffered ops + commit record to the WAL (write-ahead
+    /// rule: durable before the versions publish), then install the new
+    /// versions at a fresh commit timestamp. Read-only transactions
+    /// commit without touching the fence, the clock, or the log.
+    pub fn commit(self) -> Result<()> {
+        let has_writes = {
+            let st = self.state.lock();
+            if st.closed {
+                return Err(Error::TxnClosed);
+            }
+            !st.log.is_empty()
+        };
+        if !has_writes {
+            self.close_and_release();
+            self.db.metrics.inc("relstore.txn.commits");
+            self.db.metrics.observe(
+                "relstore.txn.commit_us",
+                self.born.elapsed().as_micros() as u64,
+            );
+            return Ok(());
+        }
+        let fence = self.db.commit_lock.lock();
+        if let Err(e) = self.validate() {
+            drop(fence);
+            self.db.metrics.inc("relstore.mvcc.write_conflicts");
+            self.rollback_inner();
+            return Err(e);
+        }
+        if let Some(sink) = self.db.sink() {
+            if let Err(e) = self.append_to_wal(&sink) {
+                drop(fence);
+                self.rollback_inner();
+                return Err(e);
+            }
+        }
+        let ts = self.db.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let added = {
+            let st = self.state.lock();
+            let mut added = 0u64;
+            for op in &st.log {
+                let data = self.db.entry(op.table()).expect("table existed at op time");
+                let mut t = data.write();
+                match op {
+                    LoggedOp::Insert { id, after, .. } => t.apply_insert(*id, after, ts),
+                    LoggedOp::Update { id, after, .. } => t
+                        .apply_update(*id, after, ts)
+                        .expect("validated write set present"),
+                    LoggedOp::Delete { id, .. } => {
+                        t.apply_delete(*id, ts)
+                            .expect("validated write set present");
+                    }
+                }
+                if !matches!(op, LoggedOp::Delete { .. }) {
+                    added += 1;
+                }
+            }
+            added
+        };
+        self.db.versions.fetch_add(added, Ordering::Relaxed);
+        {
+            let mut st = self.state.lock();
+            st.closed = true;
+            st.local.clear();
+            st.log.clear();
+        }
+        self.db.release_snapshot(self.snap);
+        drop(fence);
+        self.db.metrics.inc("relstore.txn.commits");
+        self.db.metrics.observe(
+            "relstore.txn.commit_us",
+            self.born.elapsed().as_micros() as u64,
+        );
+        self.db.publish_versions_gauge();
+        if (self.db.commits.fetch_add(1, Ordering::Relaxed) + 1) % GC_EVERY == 0 {
+            self.db.gc();
+        }
+        Ok(())
+    }
+
+    /// First-committer-wins validation, under the commit fence:
+    /// 1. every pre-existing row in the write set must not have been
+    ///    committed to after this transaction's snapshot;
+    /// 2. every unique key this transaction publishes must still be
+    ///    free in the latest-committed state (a concurrent committer
+    ///    may have claimed it after the op-time check passed).
+    fn validate(&self) -> Result<()> {
+        let st = self.state.lock();
+        for op in &st.log {
+            let (table, id) = match op {
+                LoggedOp::Insert { .. } => continue,
+                LoggedOp::Update { table, id, .. } | LoggedOp::Delete { table, id, .. } => {
+                    (table.as_str(), *id)
+                }
+            };
+            let data = self.db.entry(table)?;
+            let conflicted = data
+                .read()
+                .chains
+                .get(&id)
+                .is_some_and(|c| c.last_write > self.snap);
+            if conflicted {
+                return Err(Error::WriteConflict {
+                    table: table.to_owned(),
+                    row: id,
+                });
+            }
+        }
+        for ((table, id), lr) in &st.local {
+            let LocalRow::Put(row) = lr else { continue };
+            let data = self.db.entry(table)?;
+            let t = data.read();
+            for ix in &t.indexes {
+                if !ix.def.unique {
+                    continue;
+                }
+                let key = ix.key_of(row);
+                if key.has_null() {
+                    continue;
+                }
+                let clash = ix.map.get(&key).is_some_and(|ids| {
+                    ids.iter().any(|cid| {
+                        cid != id
+                            && match st.local.get(&(table.clone(), *cid)) {
+                                Some(LocalRow::Deleted) => false,
+                                Some(LocalRow::Put(r)) => ix.key_of(r) == key,
+                                None => true,
+                            }
+                    })
+                });
+                if clash {
+                    return Err(Error::WriteConflict {
+                        table: table.clone(),
+                        row: *id,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Append the buffered ops and the commit record. Called under the
+    /// commit fence, so this transaction's records land contiguously.
+    fn append_to_wal(&self, sink: &Arc<dyn WalSink>) -> Result<()> {
+        let st = self.state.lock();
+        for op in &st.log {
+            let view = match op {
+                LoggedOp::Insert { table, id, after } => RowOp::Insert {
+                    table,
+                    id: *id,
+                    after,
+                },
+                LoggedOp::Update {
+                    table,
+                    id,
+                    before,
+                    after,
+                } => RowOp::Update {
+                    table,
+                    id: *id,
+                    before,
+                    after,
+                },
+                LoggedOp::Delete { table, id, before } => RowOp::Delete {
+                    table,
+                    id: *id,
+                    before,
+                },
+            };
+            sink.on_op(self.id, view)?;
+        }
+        sink.on_commit(self.id)
+    }
+
+    fn close_and_release(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        st.local.clear();
+        st.log.clear();
+        drop(st);
+        self.db.release_snapshot(self.snap);
+    }
+
+    /// Roll back explicitly (dropping the handle does the same):
+    /// buffered writes are simply discarded — nothing reached the
+    /// version store or the WAL.
+    pub fn rollback(self) {
+        self.rollback_inner();
+    }
+
+    fn rollback_inner(&self) {
+        if self.state.lock().closed {
+            return;
+        }
+        self.close_and_release();
+        self.db.metrics.inc("relstore.txn.aborts");
+        self.db.metrics.observe(
+            "relstore.txn.abort_us",
+            self.born.elapsed().as_micros() as u64,
+        );
+    }
+}
+
+impl Drop for MvccTxn {
+    fn drop(&mut self) {
+        self.rollback_inner();
+    }
+}
+
+impl LoggedOp {
+    fn table(&self) -> &str {
+        match self {
+            LoggedOp::Insert { table, .. }
+            | LoggedOp::Update { table, .. }
+            | LoggedOp::Delete { table, .. } => table,
+        }
+    }
+}
+
+/// Find a unique index of `table` covering exactly the column *set*
+/// `cols` (order-insensitive); returns its position in
+/// `table.indexes`. Mirrors the 2PL engine's FK-target lookup.
+fn find_unique_index(table: &MvccTable, cols: &[String]) -> Result<usize> {
+    let mut want = table.schema.resolve_columns(cols)?;
+    want.sort_unstable();
+    for (i, ix) in table.indexes.iter().enumerate() {
+        let mut have = ix.cols.clone();
+        have.sort_unstable();
+        if ix.def.unique && have == want {
+            return Ok(i);
+        }
+    }
+    Err(Error::NoSuchIndex {
+        table: table.schema.name.clone(),
+        index: PRIMARY_INDEX.to_owned(),
+    })
+}
+
+/// Rebuild `key` (whose components follow `declared` column-name order)
+/// into the order of `index_cols` (column positions in `table`).
+fn reorder_key(
+    table: &MvccTable,
+    index_cols: &[usize],
+    declared: &[String],
+    key: &Key,
+) -> Result<Key> {
+    let mut out = Vec::with_capacity(index_cols.len());
+    for &ci in index_cols {
+        let name = &table.schema.columns[ci].name;
+        let pos = declared
+            .iter()
+            .position(|d| d == name)
+            .ok_or_else(|| Error::NoSuchColumn {
+                table: table.schema.name.clone(),
+                column: name.clone(),
+            })?;
+        out.push(key.0[pos].clone());
+    }
+    Ok(Key(out))
+}

@@ -46,7 +46,8 @@ impl Snapshot {
 
 /// Order table names so every foreign key's target comes first.
 /// Self-references are fine (the table exists when its rows load).
-fn fk_order(tables: &BTreeMap<String, TableSnapshot>) -> Result<Vec<&str>> {
+/// Shared with the MVCC engine's restore path.
+pub(crate) fn fk_order(tables: &BTreeMap<String, TableSnapshot>) -> Result<Vec<&str>> {
     let mut order: Vec<&str> = Vec::with_capacity(tables.len());
     let mut placed: BTreeSet<&str> = BTreeSet::new();
     let mut remaining: Vec<&str> = tables.keys().map(String::as_str).collect();

@@ -63,10 +63,12 @@ mod crc;
 
 pub use crate::log::{Wal, WalOptions, WalStats};
 pub use crate::record::{scan, Scan, Tail, WalRecord};
-pub use crate::recover::{recover_bytes, recover_bytes_pooled, recover_bytes_with, RecoveryReport};
+pub use crate::recover::{
+    recover_bytes, recover_bytes_any, recover_bytes_pooled, recover_bytes_with, RecoveryReport,
+};
 pub use crc::crc32;
 
-use relstore::Database;
+use relstore::{AnyEngine, Database, EngineKind};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -148,12 +150,38 @@ pub fn open_durable(
     path: &Path,
     opts: WalOptions,
 ) -> Result<(Database, Arc<Wal>, RecoveryReport), WalError> {
+    let opts = WalOptions {
+        engine: EngineKind::TwoPl,
+        ..opts
+    };
+    let (engine, wal, report) = open_durable_any(path, opts)?;
+    let db = engine
+        .as_two_pl()
+        .expect("opened with the 2PL engine")
+        .clone();
+    Ok((db, wal, report))
+}
+
+/// Engine-selecting [`open_durable`]: recover onto the storage engine
+/// named by [`WalOptions::engine`] and attach the log. The log format
+/// is engine-agnostic, so a log written under 2PL reopens under MVCC
+/// and vice versa — recovery replays the same committed prefix either
+/// way.
+///
+/// For MVCC the flush-gate installation is a no-op (there is no buffer
+/// pool to gate); the write-ahead rule is upheld by the engine logging
+/// a transaction's operations contiguously at commit time, under its
+/// commit fence, before the new versions publish.
+pub fn open_durable_any(
+    path: &Path,
+    opts: WalOptions,
+) -> Result<(AnyEngine, Arc<Wal>, RecoveryReport), WalError> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(WalError::Io(e)),
     };
-    let (db, report) = recover_bytes_pooled(&bytes, &opts.metrics, &opts.pool)?;
+    let (db, report) = recover_bytes_any(&bytes, &opts.metrics, &opts.pool, opts.engine)?;
     let wal = Wal::open_at(path, opts, report.durable_len)?;
     db.set_wal_sink(Some(wal.clone()));
     db.set_flush_gate(Some(wal.clone()));

@@ -34,7 +34,10 @@ use obs::Registry;
 use parking_lot::{Condvar, Mutex};
 use relstore::lock::TxnId;
 use relstore::wal::{RowOp, WalSink};
-use relstore::{Database, FlushGate, PoolConfig, Predicate, Snapshot, TableSchema, TableSnapshot};
+use relstore::{
+    AnyEngine, Database, EngineKind, FlushGate, PoolConfig, Predicate, Snapshot, TableSchema,
+    TableSnapshot,
+};
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -66,6 +69,11 @@ pub struct WalOptions {
     /// or spill file), resident-page budget, page size. The default is
     /// an unbounded in-memory pool — the pre-paging behavior.
     pub pool: PoolConfig,
+    /// Storage engine [`open_durable_any`](crate::open_durable_any)
+    /// recovers onto and logs for: strict-2PL (default) or MVCC. The
+    /// log format is engine-agnostic — a log written under one engine
+    /// replays onto the other.
+    pub engine: EngineKind,
 }
 
 impl Default for WalOptions {
@@ -76,6 +84,7 @@ impl Default for WalOptions {
             simulated_disk_latency: None,
             metrics: Registry::new(),
             pool: PoolConfig::default(),
+            engine: EngineKind::TwoPl,
         }
     }
 }
@@ -392,6 +401,48 @@ impl Wal {
             };
             self.flush()?;
             return Ok(lsn);
+        }
+    }
+
+    /// Engine-dispatching [`Wal::checkpoint`]. The 2PL engine
+    /// checkpoints through its table locks as before; the MVCC engine
+    /// checkpoints under its commit fence — [`MvccDb::fenced_snapshot`]
+    /// holds the commit lock across snapshot capture *and* the log
+    /// append, so no commit record can slip between the snapshot's
+    /// serialization point and the checkpoint record. MVCC has no
+    /// buffer pool, so its checkpoints carry an empty dirty-page table.
+    ///
+    /// Lock order note: an MVCC committer takes its commit fence and
+    /// then the WAL state lock (to append); this path takes them in the
+    /// same order, so the two cannot deadlock.
+    ///
+    /// [`MvccDb::fenced_snapshot`]: relstore::MvccDb::fenced_snapshot
+    pub fn checkpoint_any(&self, db: &AnyEngine) -> Result<Lsn, WalError> {
+        match db {
+            AnyEngine::TwoPl(db) => self.checkpoint(db),
+            AnyEngine::Mvcc(db) => {
+                let lsn = db
+                    .fenced_snapshot(|snapshot, next_txn| -> Result<Lsn, WalError> {
+                        let mut st = self.state.lock();
+                        let lsn = self.append(
+                            &mut st,
+                            &WalRecord::Checkpoint {
+                                snapshot,
+                                next_txn,
+                                dirty_pages: Vec::new(),
+                            },
+                        )?;
+                        st.stats.checkpoints += 1;
+                        self.opts.metrics.inc("wal.checkpoints");
+                        self.opts
+                            .metrics
+                            .add("wal.checkpoint.bytes", st.end_lsn - lsn);
+                        Ok(lsn)
+                    })
+                    .map_err(WalError::Store)??;
+                self.flush()?;
+                Ok(lsn)
+            }
         }
     }
 }

@@ -32,7 +32,7 @@ use crate::record::{decode, scan_raw, Tail, WalRecord};
 use crate::{Lsn, WalError};
 use obs::Registry;
 use relstore::lock::TxnId;
-use relstore::{Database, PoolConfig};
+use relstore::{AnyEngine, Database, EngineKind, PoolConfig};
 use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 
@@ -105,6 +105,28 @@ pub fn recover_bytes_pooled(
     metrics: &Registry,
     cfg: &PoolConfig,
 ) -> Result<(Database, RecoveryReport), WalError> {
+    let (engine, report) = recover_bytes_any(bytes, metrics, cfg, EngineKind::TwoPl)?;
+    let db = engine
+        .as_two_pl()
+        .expect("recovered with the 2PL engine")
+        .clone();
+    Ok((db, report))
+}
+
+/// Engine-generic recovery: rebuild an [`AnyEngine`] of the requested
+/// kind from raw log bytes. The log format is engine-agnostic — begin /
+/// mutation / commit / abort records with before+after images — so a
+/// log written under one engine replays onto the other. Redo repeats
+/// history through the engine's `redo_*` primitives (for MVCC each
+/// redo installs a fresh committed version; superseded ones are
+/// ordinary GC fodder afterwards), and undo inverts loser mutations
+/// from their before images exactly as on the 2PL engine.
+pub fn recover_bytes_any(
+    bytes: &[u8],
+    metrics: &Registry,
+    cfg: &PoolConfig,
+    kind: EngineKind,
+) -> Result<(AnyEngine, RecoveryReport), WalError> {
     let phase_start = Instant::now();
     let scanned = scan_raw(bytes)?;
     let mut report = RecoveryReport {
@@ -184,12 +206,12 @@ pub fn recover_bytes_pooled(
                 // replay; the checkpoint carries the counter for them.
                 report.next_txn = report.next_txn.max(*next_txn);
                 report.checkpoint_dirty_pages = dirty_pages.len();
-                Database::restore_with(snapshot, cfg).map_err(WalError::Store)?
+                AnyEngine::restore_with(kind, snapshot, cfg).map_err(WalError::Store)?
             }
             _ => unreachable!("prefix test identified a checkpoint"),
         }
     } else {
-        Database::with_pool(cfg).map_err(WalError::Store)?
+        AnyEngine::with_pool(kind, cfg).map_err(WalError::Store)?
     };
     db.resume_txn_ids(report.next_txn);
     // Per-loser undo stacks, filled while redoing.
@@ -279,7 +301,7 @@ pub fn recover_bytes_pooled(
 }
 
 /// Invert one transaction's replayed mutations, newest first.
-fn undo_txn(db: &Database, ops: Vec<&WalRecord>) -> Result<usize, WalError> {
+fn undo_txn(db: &AnyEngine, ops: Vec<&WalRecord>) -> Result<usize, WalError> {
     let n = ops.len();
     for rec in ops.into_iter().rev() {
         match rec {
