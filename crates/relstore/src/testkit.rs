@@ -409,6 +409,438 @@ pub fn run_differential(decisions: &[u32]) -> std::result::Result<(), String> {
     Ok(())
 }
 
+/// One side of a tape differential: anything that can play the op tape
+/// against the standard catalog. [`AnyEngine`] implements it directly;
+/// the `shard` crate implements it for its router, which is how the
+/// sharded-vs-unsharded equivalence proof runs — same tape, one side a
+/// single engine, the other a hash-partitioned cluster, every outcome
+/// (including allocated row ids) compared op by op.
+///
+/// Implementations must present **global** row ids: the tape feeds ids
+/// returned by `insert` back into later ops and demands identical
+/// errors for identical ids on both sides.
+pub trait TapeTarget {
+    /// The target's transaction handle.
+    type Txn<'a>
+    where
+        Self: 'a;
+    /// Begin a transaction.
+    fn begin(&self) -> Self::Txn<'_>;
+    /// Insert a row; returns its (global) id.
+    fn insert(&self, txn: &Self::Txn<'_>, table: &str, row: Vec<Value>) -> Result<RowId>;
+    /// Fetch the row at `id`.
+    fn get(&self, txn: &Self::Txn<'_>, table: &str, id: RowId) -> Result<Vec<Value>>;
+    /// Replace the row at `id`.
+    fn update(&self, txn: &Self::Txn<'_>, table: &str, id: RowId, row: Vec<Value>) -> Result<()>;
+    /// Update named columns of the row at `id`.
+    fn update_cols(
+        &self,
+        txn: &Self::Txn<'_>,
+        table: &str,
+        id: RowId,
+        cols: &[(&str, Value)],
+    ) -> Result<()>;
+    /// Delete the row at `id`.
+    fn delete(&self, txn: &Self::Txn<'_>, table: &str, id: RowId) -> Result<()>;
+    /// All rows matching `pred`, id-ascending.
+    fn select(
+        &self,
+        txn: &Self::Txn<'_>,
+        table: &str,
+        pred: &Predicate,
+    ) -> Result<Vec<(RowId, Vec<Value>)>>;
+    /// [`TapeTarget::select`] sorted by a column and truncated.
+    fn select_ordered(
+        &self,
+        txn: &Self::Txn<'_>,
+        table: &str,
+        pred: &Predicate,
+        order_col: &str,
+        descending: bool,
+        limit: Option<usize>,
+    ) -> Result<Vec<(RowId, Vec<Value>)>>;
+    /// Equi-join of two pre-filtered tables.
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        &self,
+        txn: &Self::Txn<'_>,
+        left: &str,
+        left_col: &str,
+        left_pred: &Predicate,
+        right: &str,
+        right_col: &str,
+        right_pred: &Predicate,
+    ) -> Result<Vec<(Vec<Value>, Vec<Value>)>>;
+    /// Count rows matching `pred`.
+    fn count(&self, txn: &Self::Txn<'_>, table: &str, pred: &Predicate) -> Result<usize>;
+    /// Sum an integer column over matching rows.
+    fn sum_int(&self, txn: &Self::Txn<'_>, table: &str, pred: &Predicate, col: &str)
+        -> Result<i64>;
+    /// Commit the transaction.
+    fn commit(&self, txn: Self::Txn<'_>) -> Result<()>;
+    /// Roll the transaction back.
+    fn rollback(&self, txn: Self::Txn<'_>);
+}
+
+impl TapeTarget for AnyEngine {
+    type Txn<'a> = AnyTxn;
+    fn begin(&self) -> AnyTxn {
+        AnyEngine::begin(self)
+    }
+    fn insert(&self, txn: &AnyTxn, table: &str, row: Vec<Value>) -> Result<RowId> {
+        txn.insert(table, row)
+    }
+    fn get(&self, txn: &AnyTxn, table: &str, id: RowId) -> Result<Vec<Value>> {
+        txn.get(table, id)
+    }
+    fn update(&self, txn: &AnyTxn, table: &str, id: RowId, row: Vec<Value>) -> Result<()> {
+        txn.update(table, id, row)
+    }
+    fn update_cols(
+        &self,
+        txn: &AnyTxn,
+        table: &str,
+        id: RowId,
+        cols: &[(&str, Value)],
+    ) -> Result<()> {
+        txn.update_cols(table, id, cols)
+    }
+    fn delete(&self, txn: &AnyTxn, table: &str, id: RowId) -> Result<()> {
+        txn.delete(table, id)
+    }
+    fn select(
+        &self,
+        txn: &AnyTxn,
+        table: &str,
+        pred: &Predicate,
+    ) -> Result<Vec<(RowId, Vec<Value>)>> {
+        txn.select(table, pred)
+    }
+    fn select_ordered(
+        &self,
+        txn: &AnyTxn,
+        table: &str,
+        pred: &Predicate,
+        order_col: &str,
+        descending: bool,
+        limit: Option<usize>,
+    ) -> Result<Vec<(RowId, Vec<Value>)>> {
+        txn.select_ordered(table, pred, order_col, descending, limit)
+    }
+    fn join(
+        &self,
+        txn: &AnyTxn,
+        left: &str,
+        left_col: &str,
+        left_pred: &Predicate,
+        right: &str,
+        right_col: &str,
+        right_pred: &Predicate,
+    ) -> Result<Vec<(Vec<Value>, Vec<Value>)>> {
+        txn.join(left, left_col, left_pred, right, right_col, right_pred)
+    }
+    fn count(&self, txn: &AnyTxn, table: &str, pred: &Predicate) -> Result<usize> {
+        txn.count(table, pred)
+    }
+    fn sum_int(&self, txn: &AnyTxn, table: &str, pred: &Predicate, col: &str) -> Result<i64> {
+        txn.sum_int(table, pred, col)
+    }
+    fn commit(&self, txn: AnyTxn) -> Result<()> {
+        txn.commit()
+    }
+    fn rollback(&self, txn: AnyTxn) {
+        txn.rollback();
+    }
+}
+
+/// Order-by column per table for the tape's `select_ordered` op —
+/// deliberately non-unique (and nullable for `parent`) so the stable
+/// tie-break over the base id order is what's actually under test.
+fn order_col(table: &str) -> &'static str {
+    match table {
+        "parent" => "tag",
+        "child" => "score",
+        _ => "stars",
+    }
+}
+
+/// Compare the committed state of two tape targets through fresh
+/// transactions: full-table contents (ids and values), a predicate
+/// battery, the standard join, and an aggregate.
+pub fn compare_tape_committed<A: TapeTarget, B: TapeTarget>(
+    step: usize,
+    a: &A,
+    b: &B,
+) -> std::result::Result<(), String> {
+    let ta = a.begin();
+    let tb = b.begin();
+    for table in TABLES {
+        let preds = [
+            Predicate::True,
+            Predicate::eq("id", 3i64),
+            Predicate::Gt("id".into(), Value::Int(10)),
+        ];
+        for (i, pred) in preds.iter().enumerate() {
+            expect_same(
+                &format!("committed select({table}, battery {i})"),
+                step,
+                &a.select(&ta, table, pred),
+                &b.select(&tb, table, pred),
+            )?;
+            expect_same(
+                &format!("committed count({table}, battery {i})"),
+                step,
+                &a.count(&ta, table, pred),
+                &b.count(&tb, table, pred),
+            )?;
+        }
+        expect_same(
+            &format!("committed select_ordered({table})"),
+            step,
+            &a.select_ordered(&ta, table, &Predicate::True, order_col(table), false, None),
+            &b.select_ordered(&tb, table, &Predicate::True, order_col(table), false, None),
+        )?;
+    }
+    expect_same(
+        "committed join(child, parent)",
+        step,
+        &a.join(
+            &ta,
+            "child",
+            "parent",
+            &Predicate::True,
+            "parent",
+            "id",
+            &Predicate::True,
+        ),
+        &b.join(
+            &tb,
+            "child",
+            "parent",
+            &Predicate::True,
+            "parent",
+            "id",
+            &Predicate::True,
+        ),
+    )?;
+    expect_same(
+        "committed sum_int(child.score)",
+        step,
+        &a.sum_int(&ta, "child", &Predicate::True, "score"),
+        &b.sum_int(&tb, "child", &Predicate::True, "score"),
+    )?;
+    a.commit(ta)
+        .map_err(|e| format!("left battery commit: {e}"))?;
+    b.commit(tb)
+        .map_err(|e| format!("right battery commit: {e}"))?;
+    Ok(())
+}
+
+/// Interpret `decisions` as an op tape and play it against two
+/// [`TapeTarget`]s in lockstep — the generic core behind the
+/// sharded-vs-unsharded equivalence proof. Uses a richer palette than
+/// [`run_differential`] (adds point gets, ordered selects and joins,
+/// which exercise a router's scatter-gather paths); the decision-vector
+/// shrinking properties are the same.
+pub fn run_tape<A: TapeTarget, B: TapeTarget>(
+    a: &A,
+    b: &B,
+    decisions: &[u32],
+) -> std::result::Result<(), String> {
+    let mut d = Decisions {
+        data: decisions,
+        pos: 0,
+    };
+    let mut known: BTreeMap<&'static str, Vec<RowId>> = BTreeMap::new();
+    let mut ta = Some(a.begin());
+    let mut tb = Some(b.begin());
+    let steps = decisions.len();
+    for step in 0..steps {
+        let (ja, jb) = (ta.as_ref().expect("open"), tb.as_ref().expect("open"));
+        let table = TABLES[(d.next() as usize) % TABLES.len()];
+        match d.next() % 16 {
+            0..=2 => {
+                let mut side = Decisions {
+                    data: d.data,
+                    pos: d.pos,
+                };
+                let row_a = gen_row(table, &mut side);
+                let row_b = gen_row(table, &mut d);
+                let ra = a.insert(ja, table, row_a);
+                let rb = b.insert(jb, table, row_b);
+                expect_same(&format!("insert({table})"), step, &ra, &rb)?;
+                if let Ok(id) = ra {
+                    known.entry(table).or_default().push(id);
+                }
+            }
+            3 | 4 => {
+                let id = pick_id(known.get(table).map_or(&[][..], Vec::as_slice), &mut d);
+                let mut side = Decisions {
+                    data: d.data,
+                    pos: d.pos,
+                };
+                let row_a = gen_row(table, &mut side);
+                let row_b = gen_row(table, &mut d);
+                expect_same(
+                    &format!("update({table}, {id:?})"),
+                    step,
+                    &a.update(ja, table, id, row_a),
+                    &b.update(jb, table, id, row_b),
+                )?;
+            }
+            5 => {
+                let id = pick_id(known.get(table).map_or(&[][..], Vec::as_slice), &mut d);
+                let cols: Vec<(&str, Value)> = match table {
+                    "parent" => vec![("tag", Value::from(format!("t{}", d.next() % 8)))],
+                    "child" => vec![
+                        ("parent", Value::Int(i64::from(d.next() % 24))),
+                        ("score", Value::Int(i64::from(d.next() % 100))),
+                    ],
+                    _ => vec![("stars", Value::Int(i64::from(d.next() % 5)))],
+                };
+                expect_same(
+                    &format!("update_cols({table}, {id:?})"),
+                    step,
+                    &a.update_cols(ja, table, id, &cols),
+                    &b.update_cols(jb, table, id, &cols),
+                )?;
+            }
+            6 => {
+                let id = pick_id(known.get(table).map_or(&[][..], Vec::as_slice), &mut d);
+                expect_same(
+                    &format!("delete({table}, {id:?})"),
+                    step,
+                    &a.delete(ja, table, id),
+                    &b.delete(jb, table, id),
+                )?;
+            }
+            7 => {
+                let id = pick_id(known.get(table).map_or(&[][..], Vec::as_slice), &mut d);
+                expect_same(
+                    &format!("get({table}, {id:?})"),
+                    step,
+                    &a.get(ja, table, id),
+                    &b.get(jb, table, id),
+                )?;
+            }
+            8 | 9 => {
+                let mut side = Decisions {
+                    data: d.data,
+                    pos: d.pos,
+                };
+                let pred_a = gen_pred(table, &mut side);
+                let pred_b = gen_pred(table, &mut d);
+                expect_same(
+                    &format!("select({table})"),
+                    step,
+                    &a.select(ja, table, &pred_a),
+                    &b.select(jb, table, &pred_b),
+                )?;
+            }
+            10 => {
+                let mut side = Decisions {
+                    data: d.data,
+                    pos: d.pos,
+                };
+                let pred_a = gen_pred(table, &mut side);
+                let pred_b = gen_pred(table, &mut d);
+                let desc = d.next() % 2 == 1;
+                let limit = match d.next() % 3 {
+                    0 => None,
+                    n => Some(n as usize * 4),
+                };
+                expect_same(
+                    &format!("select_ordered({table})"),
+                    step,
+                    &a.select_ordered(ja, table, &pred_a, order_col(table), desc, limit),
+                    &b.select_ordered(jb, table, &pred_b, order_col(table), desc, limit),
+                )?;
+            }
+            11 => {
+                let mut side = Decisions {
+                    data: d.data,
+                    pos: d.pos,
+                };
+                let pred_a = gen_pred("child", &mut side);
+                let pred_b = gen_pred("child", &mut d);
+                expect_same(
+                    "join(child, parent)",
+                    step,
+                    &a.join(
+                        ja,
+                        "child",
+                        "parent",
+                        &pred_a,
+                        "parent",
+                        "id",
+                        &Predicate::True,
+                    ),
+                    &b.join(
+                        jb,
+                        "child",
+                        "parent",
+                        &pred_b,
+                        "parent",
+                        "id",
+                        &Predicate::True,
+                    ),
+                )?;
+            }
+            12 => {
+                let mut side = Decisions {
+                    data: d.data,
+                    pos: d.pos,
+                };
+                let pred_a = gen_pred(table, &mut side);
+                let pred_b = gen_pred(table, &mut d);
+                expect_same(
+                    &format!("count({table})"),
+                    step,
+                    &a.count(ja, table, &pred_a),
+                    &b.count(jb, table, &pred_b),
+                )?;
+            }
+            13 | 14 => {
+                expect_same(
+                    "commit",
+                    step,
+                    &a.commit(ta.take().expect("open")),
+                    &b.commit(tb.take().expect("open")),
+                )?;
+                compare_tape_committed(step, a, b)?;
+                ta = Some(a.begin());
+                tb = Some(b.begin());
+            }
+            _ => {
+                a.rollback(ta.take().expect("open"));
+                b.rollback(tb.take().expect("open"));
+                compare_tape_committed(step, a, b)?;
+                known.clear();
+                for table in TABLES {
+                    let t = a.begin();
+                    if let Ok(rows) = a.select(&t, table, &Predicate::True) {
+                        known
+                            .entry(table)
+                            .or_default()
+                            .extend(rows.iter().map(|(id, _)| *id));
+                    }
+                    a.commit(t).map_err(|e| format!("refresh commit: {e}"))?;
+                }
+                ta = Some(a.begin());
+                tb = Some(b.begin());
+            }
+        }
+    }
+    expect_same(
+        "final commit",
+        steps,
+        &a.commit(ta.take().expect("open")),
+        &b.commit(tb.take().expect("open")),
+    )?;
+    compare_tape_committed(steps, a, b)?;
+    Ok(())
+}
+
 /// Apply one scripted op to a transaction — the building block for the
 /// deterministic anomaly scripts in the test tree. `Err` outcomes are
 /// returned, not panicked, so scripts can assert on them.

@@ -8,7 +8,7 @@
 //! minimises failures to short scripts automatically.
 
 use proptest::prelude::*;
-use relstore::testkit::run_differential;
+use relstore::testkit::{engine_pair, run_differential, run_tape};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
@@ -37,6 +37,17 @@ proptest! {
             decisions.extend_from_slice(&[a, b, c]);
         }
         if let Err(report) = run_differential(&decisions) {
+            prop_assert!(false, "{report}");
+        }
+    }
+
+    /// The generic tape interpreter (the one the `shard` crate replays
+    /// against its router) agrees with itself across engines too — this
+    /// pins the interpreter before any sharded target trusts it.
+    #[test]
+    fn tape_targets_agree_on_random_scripts(decisions in proptest::collection::vec(any::<u32>(), 0..240)) {
+        let (a, b) = engine_pair();
+        if let Err(report) = run_tape(&a, &b, &decisions) {
             prop_assert!(false, "{report}");
         }
     }

@@ -1,0 +1,1557 @@
+//! The routing layer: engine-level operations over hash-partitioned
+//! tables, with single-engine semantics preserved *exactly*.
+//!
+//! A [`Router`] owns one [`AnyEngine`] per shard plus the directories
+//! that make the partitioned whole look like one engine:
+//!
+//! * a **global row-id directory** — callers see global [`RowId`]s
+//!   (gids) allocated with precisely the single-engine burn semantics
+//!   (ids are consumed by successful inserts and by inserts of
+//!   rolled-back transactions, never by failed inserts), so the
+//!   sharded-vs-unsharded differential can demand `gid == RowId`
+//!   equality, byte for byte;
+//! * a **homes directory** — for every routed row, the shard its
+//!   primary key lives on. [`RoutingSpec::ByParent`] tables consult it
+//!   to co-locate children with parents. Entries are *refreshed* by
+//!   every successful insert/update and never eagerly deleted; a stale
+//!   entry is harmless because the engine on the stale shard produces
+//!   exactly the error (usually a foreign-key violation) the single
+//!   engine would.
+//!
+//! # Co-location invariants
+//!
+//! Exact parity rests on routing specs that keep every foreign-key
+//! edge intra-shard (or targeting a [`RoutingSpec::Global`] table,
+//! replicated everywhere):
+//!
+//! * a table's FK target is either Global, or routed such that the
+//!   referencing row hashes to the referenced row's shard (route a
+//!   child `ByColumn` over its FK column, or `ByParent` through the
+//!   homes directory);
+//! * when an update changes a row's routing value the row **moves**
+//!   shards, dragging its `ByParent` dependents along; referrers that
+//!   are *not* `ByParent`-routed must be unaffected by the move (their
+//!   own routing value keeps them co-located, as with the wdoc
+//!   schema's `test_record.url → implementation` edge, where both
+//!   tables route by `script`);
+//! * `ByParent` chains are depth 1: a dragged dependent has no
+//!   dependents of its own.
+//!
+//! The testkit schemas used by the differential satisfy all three by
+//! construction; [`crate::wdoc`] documents how the paper's tables do.
+//!
+//! # Cross-shard checks
+//!
+//! Two constraint classes cannot be decided by one shard's engine:
+//!
+//! * **global uniqueness** — a unique index whose key does not
+//!   determine the routing shard is *scattered*: after (or, on the
+//!   move path, before) the local write, the router probes the other
+//!   shards in engine index order and, on a hit, compensates the local
+//!   write and reports the [`Error::UniqueViolation`] the single
+//!   engine would have reported — including picking the *earliest*
+//!   violated index when local and remote conflicts coexist;
+//! * **distributed atomicity** — a commit touching two or more dirty
+//!   shards runs two-phase commit ([`crate::twopc`]): prepare forces
+//!   each participant's WAL, the coordinator's forced
+//!   `CommitDecision` is the commit point, and the participants'
+//!   ordinary `Commit` frames resolve them. With at most one dirty
+//!   shard the router commits directly (the single-shard fast path the
+//!   E19 sweep measures).
+
+use crate::map::ShardMap;
+use crate::twopc::{self, Coordinator};
+use obs::Registry;
+use relstore::schema::PRIMARY_INDEX;
+use relstore::{
+    AnyEngine, AnyTxn, EngineKind, Error, ForeignKey, Key, Predicate, Result, Row, RowId,
+    TableSchema, Value,
+};
+use std::cell::{Cell, OnceCell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use wal::{Wal, WalError, WalOptions};
+
+/// A local row id no real row can have: engine ids start at 1 and
+/// count up, so `u64::MAX` is unreachable. Operations on unknown gids
+/// are delegated to shard 0 under this id, which makes the engine
+/// itself produce the right error *in the right order* (e.g. a
+/// malformed row still fails `check_row` before `NoSuchRow`, exactly
+/// as on a single engine); the router then rewrites the reported row
+/// id back to the caller's gid.
+const BOGUS_LID: RowId = RowId(u64::MAX);
+
+/// How a table's rows are placed across shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingSpec {
+    /// Fully replicated: every shard holds every row, writes apply to
+    /// all shards, reads are served by shard 0. For small hub tables
+    /// every partition references (the paper's `wdoc_database`).
+    Global,
+    /// Shard by the hash of the named column's value. Co-location
+    /// follows from hashing *values*, not `(table, value)`: a child
+    /// routed `ByColumn` over its FK column lands exactly where the
+    /// parent routed `ByColumn` over its primary key does.
+    ByColumn(String),
+    /// Shard where the parent row lives: `col` holds the parent
+    /// table's primary-key value and the homes directory maps it to a
+    /// shard. When `col` is NULL, or the parent was never seen, fall
+    /// back to hashing the `fallback` column (any engine-level error —
+    /// e.g. the FK violation for a nonexistent parent — then surfaces
+    /// from the fallback shard, identical to the single engine's).
+    ByParent {
+        /// Column holding the parent's primary-key value.
+        col: String,
+        /// Parent table (must be registered first, single-column PK).
+        parent: String,
+        /// Column hashed when `col` gives no placement.
+        fallback: String,
+    },
+}
+
+/// One unique constraint in engine check order.
+#[derive(Debug, Clone)]
+struct UniqueIx {
+    name: String,
+    cols: Vec<usize>,
+    /// True when the index key determines the routing shard (the
+    /// routing column is the whole key), so the local engine's own
+    /// uniqueness check is already global and no scatter is needed.
+    local: bool,
+}
+
+/// Everything the router caches about one table.
+#[derive(Debug, Clone)]
+pub struct TableRoute {
+    /// The schema, as registered on every shard.
+    pub schema: TableSchema,
+    /// Placement rule.
+    pub spec: RoutingSpec,
+    /// Unique indexes in the engine's check order (`__primary` first,
+    /// then declared indexes in declaration order).
+    uniques: Vec<UniqueIx>,
+    /// Primary-key column positions (homes directory key).
+    pk_cols: Vec<usize>,
+}
+
+/// One shard: its engine and (in durable mode) its write-ahead log.
+pub struct ShardNode {
+    /// The shard-local storage engine.
+    pub engine: AnyEngine,
+    /// The shard's WAL; `None` in the in-memory configuration.
+    pub wal: Option<Arc<Wal>>,
+}
+
+/// Committed directory state for one table.
+#[derive(Debug)]
+struct TableDir {
+    /// Next gid to hand out; mirrors the single engine's `next_row`.
+    next_gid: u64,
+    /// gid → (shard, local id).
+    fwd: BTreeMap<u64, (usize, RowId)>,
+    /// (shard, local id) → gid.
+    rev: BTreeMap<(usize, u64), u64>,
+    /// primary key → shard that last hosted it (never eagerly pruned;
+    /// see the module docs on stale safety).
+    homes: BTreeMap<Key, usize>,
+}
+
+impl Default for TableDir {
+    fn default() -> Self {
+        TableDir {
+            next_gid: 1,
+            fwd: BTreeMap::new(),
+            rev: BTreeMap::new(),
+            homes: BTreeMap::new(),
+        }
+    }
+}
+
+impl TableDir {
+    fn new() -> Self {
+        TableDir::default()
+    }
+}
+
+/// A hash-partitioned database: per-shard engines behind a single
+/// engine-shaped interface. See the module docs.
+pub struct Router {
+    shards: Vec<ShardNode>,
+    map: ShardMap,
+    routes: Mutex<BTreeMap<String, Arc<TableRoute>>>,
+    /// table → referencing (table, FK) pairs, in table-creation order
+    /// (mirrors the engine's referrer registry, which fixes the order
+    /// reverse-FK checks and cascades observe).
+    referrers: Mutex<BTreeMap<String, Vec<(String, ForeignKey)>>>,
+    dirs: Mutex<BTreeMap<String, TableDir>>,
+    coordinator: Coordinator,
+    metrics: Registry,
+}
+
+impl Router {
+    /// In-memory router: one engine of `kind` per shard of `map`, no
+    /// WALs (commits are still atomic per the engines; 2PC degenerates
+    /// to its in-memory decision table).
+    #[must_use]
+    pub fn new(kind: EngineKind, map: ShardMap, metrics: Registry) -> Self {
+        let shards = (0..map.shards())
+            .map(|_| ShardNode {
+                engine: AnyEngine::new(kind),
+                wal: None,
+            })
+            .collect();
+        let coordinator = Coordinator::new(None, metrics.clone());
+        Router {
+            shards,
+            map,
+            routes: Mutex::new(BTreeMap::new()),
+            referrers: Mutex::new(BTreeMap::new()),
+            dirs: Mutex::new(BTreeMap::new()),
+            coordinator,
+            metrics,
+        }
+    }
+
+    /// Durable router: shard `i`'s engine is recovered from
+    /// `dir/shard-<i>.wal` and logs to it; the coordinator's decision
+    /// log is co-hosted on shard 0's WAL (the paper's root station).
+    pub fn with_wals(
+        kind: EngineKind,
+        map: ShardMap,
+        dir: &Path,
+        metrics: Registry,
+    ) -> std::result::Result<Self, WalError> {
+        std::fs::create_dir_all(dir).map_err(WalError::Io)?;
+        let mut shards = Vec::with_capacity(map.shards());
+        for i in 0..map.shards() {
+            let path = dir.join(format!("shard-{i}.wal"));
+            let opts = WalOptions {
+                engine: kind,
+                metrics: metrics.clone(),
+                ..WalOptions::default()
+            };
+            let (engine, wal, _report) = wal::open_durable_any(&path, opts)?;
+            shards.push(ShardNode {
+                engine,
+                wal: Some(wal),
+            });
+        }
+        let coord_wal = shards[0].wal.clone();
+        let coordinator = Coordinator::new(coord_wal, metrics.clone());
+        Ok(Router {
+            shards,
+            map,
+            routes: Mutex::new(BTreeMap::new()),
+            referrers: Mutex::new(BTreeMap::new()),
+            dirs: Mutex::new(BTreeMap::new()),
+            coordinator,
+            metrics,
+        })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `s`'s engine (tests and benchmarks reach through for
+    /// snapshots and per-shard metrics).
+    #[must_use]
+    pub fn engine(&self, s: usize) -> &AnyEngine {
+        &self.shards[s].engine
+    }
+
+    /// Shard `s`'s WAL, when running durably.
+    #[must_use]
+    pub fn wal(&self, s: usize) -> Option<&Arc<Wal>> {
+        self.shards[s].wal.as_ref()
+    }
+
+    /// The shard map.
+    #[must_use]
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The 2PC coordinator.
+    #[must_use]
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coordinator
+    }
+
+    /// The router's metric registry (`shard.router.*`, `shard.2pc.*`).
+    #[must_use]
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// The registered route for `table`, if any.
+    #[must_use]
+    pub fn route_of(&self, table: &str) -> Option<Arc<TableRoute>> {
+        self.routes.lock().unwrap().get(table).cloned()
+    }
+
+    /// Create `schema` on every shard and register its placement.
+    ///
+    /// `ByParent` parents must be registered first and have a
+    /// single-column primary key; spec columns must exist.
+    pub fn create_table(&self, schema: TableSchema, spec: RoutingSpec) -> Result<()> {
+        match &spec {
+            RoutingSpec::Global => {}
+            RoutingSpec::ByColumn(col) => {
+                schema.require_column(col)?;
+            }
+            RoutingSpec::ByParent {
+                col,
+                parent,
+                fallback,
+            } => {
+                schema.require_column(col)?;
+                schema.require_column(fallback)?;
+                let routes = self.routes.lock().unwrap();
+                let proute = routes
+                    .get(parent)
+                    .ok_or_else(|| Error::NoSuchTable(parent.clone()))?;
+                if proute.schema.primary_key.len() != 1 {
+                    return Err(Error::BadSchema(format!(
+                        "ByParent parent `{parent}` must have a single-column primary key"
+                    )));
+                }
+            }
+        }
+        for node in &self.shards {
+            node.engine.create_table(schema.clone())?;
+        }
+        let pk_cols = schema.resolve_columns(&schema.primary_key)?;
+        let route_col = match &spec {
+            RoutingSpec::ByColumn(c) => Some(schema.require_column(c)?),
+            _ => None,
+        };
+        let mut uniques = vec![UniqueIx {
+            name: PRIMARY_INDEX.to_owned(),
+            cols: pk_cols.clone(),
+            local: route_col.is_some_and(|rc| pk_cols.as_slice() == [rc]),
+        }];
+        for ix in schema.indexes.iter().filter(|ix| ix.unique) {
+            let cols = schema.resolve_columns(&ix.columns)?;
+            uniques.push(UniqueIx {
+                name: ix.name.clone(),
+                local: route_col.is_some_and(|rc| cols.as_slice() == [rc]),
+                cols,
+            });
+        }
+        {
+            let mut referrers = self.referrers.lock().unwrap();
+            for fk in &schema.foreign_keys {
+                referrers
+                    .entry(fk.ref_table.clone())
+                    .or_default()
+                    .push((schema.name.clone(), fk.clone()));
+            }
+        }
+        self.dirs
+            .lock()
+            .unwrap()
+            .insert(schema.name.clone(), TableDir::new());
+        self.routes.lock().unwrap().insert(
+            schema.name.clone(),
+            Arc::new(TableRoute {
+                schema,
+                spec,
+                uniques,
+                pk_cols,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Begin a distributed transaction. Per-shard engine transactions
+    /// open lazily on first touch.
+    #[must_use]
+    pub fn begin(&self) -> DistTxn<'_> {
+        self.metrics.inc("shard.router.txns");
+        DistTxn {
+            router: self,
+            txns: (0..self.shards.len()).map(|_| OnceCell::new()).collect(),
+            dirty: (0..self.shards.len()).map(|_| Cell::new(false)).collect(),
+            overlay: RefCell::new(BTreeMap::new()),
+            done: Cell::new(false),
+        }
+    }
+
+    /// Run `f` in a distributed transaction, committing on success and
+    /// retrying on the engines' transient aborts — the distributed
+    /// mirror of [`AnyEngine::with_txn`].
+    pub fn with_txn<T>(&self, f: impl Fn(&DistTxn<'_>) -> Result<T>) -> Result<T> {
+        loop {
+            let txn = self.begin();
+            match f(&txn).and_then(|v| txn.commit().map(|()| v)) {
+                Ok(v) => return Ok(v),
+                Err(Error::TxnAborted { .. } | Error::WriteConflict { .. }) => {
+                    self.metrics.inc("shard.router.retries");
+                    std::thread::yield_now();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn referrers_of(&self, table: &str) -> Vec<(String, ForeignKey)> {
+        self.referrers
+            .lock()
+            .unwrap()
+            .get(table)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// Canonical bytes of a value for routing. Tagged so e.g. `Int(1)` and
+/// `Text("1")` cannot collide; *not* tagged with the table, so a child
+/// hashing its FK column lands with its parent hashing its key column.
+fn value_bytes(v: &Value) -> Vec<u8> {
+    match v {
+        Value::Null => b"n".to_vec(),
+        Value::Bool(x) => vec![b'o', u8::from(*x)],
+        Value::Int(i) => {
+            let mut b = vec![b'i'];
+            b.extend_from_slice(&i.to_le_bytes());
+            b
+        }
+        Value::Float(f) => {
+            let mut b = vec![b'f'];
+            b.extend_from_slice(&f.to_bits().to_le_bytes());
+            b
+        }
+        Value::Text(s) => {
+            let mut b = vec![b't'];
+            b.extend_from_slice(s.as_bytes());
+            b
+        }
+        Value::Bytes(x) => {
+            let mut b = vec![b'b'];
+            b.extend_from_slice(x);
+            b
+        }
+        Value::Timestamp(t) => {
+            let mut b = vec![b's'];
+            b.extend_from_slice(&t.to_le_bytes());
+            b
+        }
+    }
+}
+
+/// The shard a routing value hashes to.
+fn shard_of_value(map: &ShardMap, v: &Value) -> usize {
+    map.shard_of(&value_bytes(v))
+}
+
+/// Conjunction of `column = value` over the given columns.
+fn eq_pred(schema: &TableSchema, cols: &[usize], vals: &[Value]) -> Predicate {
+    let mut pred: Option<Predicate> = None;
+    for (&c, v) in cols.iter().zip(vals) {
+        let e = Predicate::Eq(schema.columns[c].name.clone(), v.clone());
+        pred = Some(match pred {
+            None => e,
+            Some(p) => p.and(e),
+        });
+    }
+    pred.unwrap_or(Predicate::True)
+}
+
+/// Rewrite an engine-reported `NoSuchRow` on `table` to carry the
+/// caller's gid instead of the shard-local row id.
+fn regid(table: &str, gid: u64, e: Error) -> Error {
+    match e {
+        Error::NoSuchRow { table: t, .. } if t == table => Error::NoSuchRow {
+            table: t,
+            row: RowId(gid),
+        },
+        other => other,
+    }
+}
+
+/// Mirror of `Table::check_row` (arity, then per column NULL/type, in
+/// column order), used by the move path, which must report validation
+/// errors *before* touching any shard. Field construction matches the
+/// engine's byte for byte — the differential tapes pin this.
+fn check_row_like_engine(schema: &TableSchema, row: &[Value]) -> Result<()> {
+    if row.len() != schema.columns.len() {
+        return Err(Error::ArityMismatch {
+            table: schema.name.clone(),
+            expected: schema.columns.len(),
+            got: row.len(),
+        });
+    }
+    for (col, val) in schema.columns.iter().zip(row) {
+        match val.column_type() {
+            None => {
+                if !col.nullable {
+                    return Err(Error::NullViolation {
+                        table: schema.name.clone(),
+                        column: col.name.clone(),
+                    });
+                }
+            }
+            Some(ty) if ty != col.ty => {
+                return Err(Error::TypeMismatch {
+                    table: schema.name.clone(),
+                    column: col.name.clone(),
+                    expected: col.ty,
+                    got: format!("{val}"),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Per-table transaction-local directory changes, merged into the
+/// committed [`TableDir`] at commit (or reduced to the gid burn at
+/// rollback — exactly the single engine's id-burn behavior).
+#[derive(Debug, Default)]
+struct TableOverlay {
+    /// gids allocated by this transaction (burned even on rollback).
+    allocated: u64,
+    /// gid → new location (inserts and moves).
+    added: BTreeMap<u64, (usize, RowId)>,
+    /// location → gid for `added`.
+    added_rev: BTreeMap<(usize, u64), u64>,
+    /// gids deleted by this transaction.
+    removed: BTreeSet<u64>,
+    /// homes refreshes.
+    homes: BTreeMap<Key, usize>,
+}
+
+type Overlay = BTreeMap<String, TableOverlay>;
+
+/// Where the scatter uniqueness probe runs, relative to the local
+/// engine's own check.
+enum ScatterMode {
+    /// The engine on `home` already ran its local checks (insert and
+    /// in-place update): skip `home` and skip locally-sufficient
+    /// indexes.
+    AfterLocal { home: usize },
+    /// Nothing has been checked yet (move path): probe every shard and
+    /// every index, excluding the moving row itself.
+    PreCheck { exclude: (usize, RowId) },
+}
+
+/// A distributed transaction over a [`Router`]. Mirrors [`AnyTxn`]'s
+/// surface; row ids are global. Dropping rolls back (burning the gids
+/// this transaction allocated, as the single engine burns row ids of
+/// rolled-back inserts).
+pub struct DistTxn<'r> {
+    router: &'r Router,
+    txns: Vec<OnceCell<AnyTxn>>,
+    dirty: Vec<Cell<bool>>,
+    overlay: RefCell<Overlay>,
+    done: Cell<bool>,
+}
+
+/// How far [`DistTxn::commit_until`] runs before "crashing" — the
+/// failover and recovery tests inject crashes between 2PC stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitStage {
+    /// Stop after participants are prepared (forced `Prepare` frames),
+    /// before any decision is logged. Recovery must presume abort.
+    Prepared,
+    /// Stop after the coordinator's forced `CommitDecision`, before
+    /// any participant commits. Recovery must commit everywhere.
+    Decided,
+    /// Run to completion.
+    Done,
+}
+
+impl<'r> DistTxn<'r> {
+    fn txn(&self, s: usize) -> &AnyTxn {
+        self.txns[s].get_or_init(|| self.router.shards[s].engine.begin())
+    }
+
+    fn route(&self, table: &str) -> Result<Arc<TableRoute>> {
+        self.router
+            .route_of(table)
+            .ok_or_else(|| Error::NoSuchTable(table.to_owned()))
+    }
+
+    /// This transaction's view of gid → location.
+    fn to_local(&self, table: &str, gid: u64) -> Option<(usize, RowId)> {
+        let ov = self.overlay.borrow();
+        if let Some(t) = ov.get(table) {
+            if let Some(&loc) = t.added.get(&gid) {
+                return Some(loc);
+            }
+            if t.removed.contains(&gid) {
+                return None;
+            }
+        }
+        drop(ov);
+        self.router
+            .dirs
+            .lock()
+            .unwrap()
+            .get(table)
+            .and_then(|d| d.fwd.get(&gid).copied())
+    }
+
+    /// This transaction's view of (shard, local id) → gid.
+    fn to_gid(&self, table: &str, shard: usize, lid: RowId) -> Option<u64> {
+        let ov = self.overlay.borrow();
+        if let Some(t) = ov.get(table) {
+            if let Some(&gid) = t.added_rev.get(&(shard, lid.0)) {
+                return Some(gid);
+            }
+        }
+        drop(ov);
+        self.router
+            .dirs
+            .lock()
+            .unwrap()
+            .get(table)
+            .and_then(|d| d.rev.get(&(shard, lid.0)).copied())
+    }
+
+    /// This transaction's view of the homes directory.
+    fn home_of(&self, table: &str, key: &Key) -> Option<usize> {
+        let ov = self.overlay.borrow();
+        if let Some(t) = ov.get(table) {
+            if let Some(&s) = t.homes.get(key) {
+                return Some(s);
+            }
+        }
+        drop(ov);
+        self.router
+            .dirs
+            .lock()
+            .unwrap()
+            .get(table)
+            .and_then(|d| d.homes.get(key).copied())
+    }
+
+    /// Target shard for a (valid-enough) row of `table`. Defensive on
+    /// malformed rows: routing falls back to shard 0, whose engine
+    /// then produces the same validation error a single engine would.
+    fn route_row(&self, route: &TableRoute, row: &[Value]) -> usize {
+        match &route.spec {
+            RoutingSpec::Global => 0,
+            RoutingSpec::ByColumn(col) => match route.schema.column_index(col) {
+                Some(c) if c < row.len() => shard_of_value(&self.router.map, &row[c]),
+                _ => 0,
+            },
+            RoutingSpec::ByParent {
+                col,
+                parent,
+                fallback,
+            } => {
+                let ci = route.schema.column_index(col);
+                let fi = route.schema.column_index(fallback);
+                match (ci, fi) {
+                    (Some(c), Some(f)) if c < row.len() && f < row.len() => {
+                        if row[c].is_null() {
+                            shard_of_value(&self.router.map, &row[f])
+                        } else {
+                            self.home_of(parent, &Key(vec![row[c].clone()]))
+                                .unwrap_or_else(|| shard_of_value(&self.router.map, &row[f]))
+                        }
+                    }
+                    _ => 0,
+                }
+            }
+        }
+    }
+
+    /// Record a fresh gid for a row that landed at `loc`, refreshing
+    /// the homes directory. Returns the gid.
+    fn alloc_gid(&self, route: &TableRoute, row: &[Value], loc: (usize, RowId)) -> u64 {
+        let mut ov = self.overlay.borrow_mut();
+        let t = ov.entry(route.schema.name.clone()).or_default();
+        let base = self
+            .router
+            .dirs
+            .lock()
+            .unwrap()
+            .get(&route.schema.name)
+            .map_or(1, |d| d.next_gid);
+        let gid = base + t.allocated;
+        t.allocated += 1;
+        t.added.insert(gid, loc);
+        t.added_rev.insert((loc.0, (loc.1).0), gid);
+        t.homes.insert(Key::from_row(row, &route.pk_cols), loc.0);
+        gid
+    }
+
+    /// Move `gid`'s mapping to `loc` and refresh its home.
+    fn remap_gid(&self, route: &TableRoute, gid: u64, row: &[Value], loc: (usize, RowId)) {
+        let mut ov = self.overlay.borrow_mut();
+        let t = ov.entry(route.schema.name.clone()).or_default();
+        if let Some(old) = t.added.insert(gid, loc) {
+            t.added_rev.remove(&(old.0, (old.1).0));
+        }
+        t.added_rev.insert((loc.0, (loc.1).0), gid);
+        t.removed.remove(&gid);
+        t.homes.insert(Key::from_row(row, &route.pk_cols), loc.0);
+    }
+
+    /// Mark `gid` deleted.
+    fn drop_gid(&self, table: &str, gid: u64) {
+        let mut ov = self.overlay.borrow_mut();
+        let t = ov.entry(table.to_owned()).or_default();
+        if let Some(old) = t.added.remove(&gid) {
+            t.added_rev.remove(&(old.0, (old.1).0));
+        }
+        t.removed.insert(gid);
+    }
+
+    /// First unique index of `route` (engine order, positions below
+    /// `limit`) whose key for `row` collides on another shard. See
+    /// [`ScatterMode`].
+    fn scatter_conflict(
+        &self,
+        table: &str,
+        route: &TableRoute,
+        row: &[Value],
+        mode: &ScatterMode,
+        limit: usize,
+    ) -> Result<Option<usize>> {
+        for (i, ix) in route.uniques.iter().enumerate() {
+            if i >= limit {
+                break;
+            }
+            if let ScatterMode::AfterLocal { .. } = mode {
+                if ix.local {
+                    continue;
+                }
+            }
+            let vals: Vec<Value> = ix.cols.iter().map(|&c| row[c].clone()).collect();
+            if vals.iter().any(Value::is_null) {
+                continue; // NULL keys are unique-exempt, as in SQL
+            }
+            let pred = eq_pred(&route.schema, &ix.cols, &vals);
+            for s in 0..self.router.shards() {
+                let hit = match *mode {
+                    ScatterMode::AfterLocal { home } => {
+                        if s == home {
+                            continue;
+                        }
+                        self.txn(s).count(table, &pred)? > 0
+                    }
+                    ScatterMode::PreCheck { exclude: (es, eid) } => {
+                        if s == es {
+                            self.txn(s)
+                                .select(table, &pred)?
+                                .iter()
+                                .any(|&(id, _)| id != eid)
+                        } else {
+                            self.txn(s).count(table, &pred)? > 0
+                        }
+                    }
+                };
+                self.router.metrics.inc("shard.router.scatter_checks");
+                if hit {
+                    return Ok(Some(i));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Position of `name` in `route.uniques` (engine check order).
+    fn unique_pos(route: &TableRoute, name: &str) -> usize {
+        route
+            .uniques
+            .iter()
+            .position(|ix| ix.name == name)
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Insert a row; returns its global id.
+    pub fn insert(&self, table: &str, row: Row) -> Result<RowId> {
+        self.router.metrics.inc("shard.router.ops");
+        let route = self.route(table)?;
+        if route.spec == RoutingSpec::Global {
+            let lid0 = self.txn(0).insert(table, row.clone())?;
+            self.dirty[0].set(true);
+            for s in 1..self.router.shards() {
+                let lid = self.txn(s).insert(table, row.clone())?;
+                self.dirty[s].set(true);
+                debug_assert_eq!(lid, lid0, "replicas of a Global table diverged");
+            }
+            let gid = self.alloc_gid(&route, &row, (0, lid0));
+            return Ok(RowId(gid));
+        }
+        let target = self.route_row(&route, &row);
+        let local = self.txn(target).insert(table, row.clone());
+        let limit = match &local {
+            Ok(_) => usize::MAX,
+            Err(Error::UniqueViolation { index, .. }) => Self::unique_pos(&route, index),
+            Err(_) => return local,
+        };
+        let remote = self.scatter_conflict(
+            table,
+            &route,
+            &row,
+            &ScatterMode::AfterLocal { home: target },
+            limit,
+        )?;
+        match (local, remote) {
+            (Ok(lid), None) => {
+                self.dirty[target].set(true);
+                let gid = self.alloc_gid(&route, &row, (target, lid));
+                self.router.metrics.inc("shard.router.single_shard_ops");
+                Ok(RowId(gid))
+            }
+            (Ok(lid), Some(i)) => {
+                // The single engine would have refused before writing:
+                // compensate the local insert (the brand-new row has no
+                // referrers, so this is a plain delete) and report the
+                // earliest violated index.
+                self.txn(target).delete(table, lid)?;
+                self.dirty[target].set(true);
+                Err(Error::UniqueViolation {
+                    table: table.to_owned(),
+                    index: route.uniques[i].name.clone(),
+                })
+            }
+            (Err(e), None) => Err(e),
+            (Err(_), Some(i)) => Err(Error::UniqueViolation {
+                table: table.to_owned(),
+                index: route.uniques[i].name.clone(),
+            }),
+        }
+    }
+
+    /// Fetch a copy of the row at `gid`.
+    pub fn get(&self, table: &str, gid: RowId) -> Result<Row> {
+        self.router.metrics.inc("shard.router.ops");
+        let route = self.route(table)?;
+        let loc = if route.spec == RoutingSpec::Global {
+            self.to_local(table, gid.0).map(|(_, lid)| (0, lid))
+        } else {
+            self.to_local(table, gid.0)
+        };
+        match loc {
+            Some((s, lid)) => self
+                .txn(s)
+                .get(table, lid)
+                .map_err(|e| regid(table, gid.0, e)),
+            None => self
+                .txn(0)
+                .get(table, BOGUS_LID)
+                .map_err(|e| regid(table, gid.0, e)),
+        }
+    }
+
+    /// Replace the entire row at `gid`.
+    pub fn update(&self, table: &str, gid: RowId, new_row: Row) -> Result<()> {
+        self.router.metrics.inc("shard.router.ops");
+        let route = self.route(table)?;
+        if route.spec == RoutingSpec::Global {
+            let Some((_, lid)) = self.to_local(table, gid.0) else {
+                return self
+                    .txn(0)
+                    .update(table, BOGUS_LID, new_row)
+                    .map_err(|e| regid(table, gid.0, e));
+            };
+            for s in 0..self.router.shards() {
+                self.txn(s).update(table, lid, new_row.clone())?;
+                self.dirty[s].set(true);
+            }
+            let mut ov = self.overlay.borrow_mut();
+            ov.entry(table.to_owned())
+                .or_default()
+                .homes
+                .insert(Key::from_row(&new_row, &route.pk_cols), 0);
+            return Ok(());
+        }
+        let Some((shard, lid)) = self.to_local(table, gid.0) else {
+            return self
+                .txn(0)
+                .update(table, BOGUS_LID, new_row)
+                .map_err(|e| regid(table, gid.0, e));
+        };
+        let target = self.route_row(&route, &new_row);
+        if target == shard {
+            return self.update_in_place(table, &route, gid.0, shard, lid, new_row);
+        }
+        self.move_row(table, &route, gid.0, shard, lid, new_row, target)
+    }
+
+    /// Update whose new routing value keeps the row on its shard: the
+    /// local engine does the full single-engine check sequence; only
+    /// global uniqueness needs the scatter probe afterwards.
+    fn update_in_place(
+        &self,
+        table: &str,
+        route: &TableRoute,
+        gid: u64,
+        shard: usize,
+        lid: RowId,
+        new_row: Row,
+    ) -> Result<()> {
+        let old = self
+            .txn(shard)
+            .get(table, lid)
+            .map_err(|e| regid(table, gid, e))?;
+        let local = self.txn(shard).update(table, lid, new_row.clone());
+        let limit = match &local {
+            Ok(()) => usize::MAX,
+            Err(Error::UniqueViolation { index, .. }) => Self::unique_pos(route, index),
+            Err(_) => return local.map_err(|e| regid(table, gid, e)),
+        };
+        let remote = self.scatter_conflict(
+            table,
+            route,
+            &new_row,
+            &ScatterMode::AfterLocal { home: shard },
+            limit,
+        )?;
+        match (local, remote) {
+            (Ok(()), None) => {
+                self.dirty[shard].set(true);
+                let mut ov = self.overlay.borrow_mut();
+                ov.entry(table.to_owned())
+                    .or_default()
+                    .homes
+                    .insert(Key::from_row(&new_row, &route.pk_cols), shard);
+                Ok(())
+            }
+            (Ok(()), Some(i)) => {
+                // Undo the applied update; the reverse restore cannot
+                // itself violate (the old values just held).
+                self.txn(shard).update(table, lid, old)?;
+                self.dirty[shard].set(true);
+                Err(Error::UniqueViolation {
+                    table: table.to_owned(),
+                    index: route.uniques[i].name.clone(),
+                })
+            }
+            (Err(e), None) => Err(regid(table, gid, e)),
+            (Err(_), Some(i)) => Err(Error::UniqueViolation {
+                table: table.to_owned(),
+                index: route.uniques[i].name.clone(),
+            }),
+        }
+    }
+
+    /// Update whose new routing value re-homes the row: replicate the
+    /// engine's check sequence (`check_row` → forward FKs on changed
+    /// columns, probed on the *target* shard → reverse key-change on
+    /// the old shard → uniqueness, scattered) *before* mutating, then
+    /// delete the row and its `ByParent` dependents from the old shard
+    /// and re-insert them on the target, preserving every gid.
+    #[allow(clippy::too_many_arguments)]
+    fn move_row(
+        &self,
+        table: &str,
+        route: &TableRoute,
+        gid: u64,
+        shard: usize,
+        lid: RowId,
+        new_row: Row,
+        target: usize,
+    ) -> Result<()> {
+        self.router.metrics.inc("shard.router.moves");
+        check_row_like_engine(&route.schema, &new_row)?;
+        let old = self
+            .txn(shard)
+            .get(table, lid)
+            .map_err(|e| regid(table, gid, e))?;
+        let changed: Vec<&str> = (0..old.len())
+            .filter(|&i| old[i] != new_row[i])
+            .map(|i| route.schema.columns[i].name.as_str())
+            .collect();
+        // Forward FKs whose columns changed, existence-checked where
+        // the row is headed (its FK targets are co-located there).
+        for fk in route
+            .schema
+            .foreign_keys
+            .iter()
+            .filter(|fk| fk.columns.iter().any(|c| changed.contains(&c.as_str())))
+        {
+            let cols = route.schema.resolve_columns(&fk.columns)?;
+            let key = Key::from_row(&new_row, &cols);
+            if key.has_null() {
+                continue;
+            }
+            let ref_route = self.route(&fk.ref_table)?;
+            let ref_cols = ref_route.schema.resolve_columns(&fk.ref_columns)?;
+            // Global targets exist on every shard, so probing `target`
+            // is right for them too.
+            let pred = eq_pred(&ref_route.schema, &ref_cols, &key.0);
+            if self.txn(target).count(&fk.ref_table, &pred)? == 0 {
+                return Err(Error::ForeignKeyViolation {
+                    table: table.to_owned(),
+                    references: fk.ref_table.clone(),
+                });
+            }
+        }
+        // Reverse FKs: refuse changing a referenced key while rows
+        // reference it (they are co-located with the old placement).
+        for (rtable, fk) in self.router.referrers_of(table) {
+            if !fk.ref_columns.iter().any(|c| changed.contains(&c.as_str())) {
+                continue;
+            }
+            let ref_cols = route.schema.resolve_columns(&fk.ref_columns)?;
+            let key = Key::from_row(&old, &ref_cols);
+            if key.has_null() {
+                continue;
+            }
+            let rroute = self.route(&rtable)?;
+            let rcols = rroute.schema.resolve_columns(&fk.columns)?;
+            let pred = eq_pred(&rroute.schema, &rcols, &key.0);
+            if self.txn(shard).count(&rtable, &pred)? > 0 {
+                return Err(Error::RestrictViolation {
+                    table: table.to_owned(),
+                    referenced_by: rtable,
+                });
+            }
+        }
+        if let Some(i) = self.scatter_conflict(
+            table,
+            route,
+            &new_row,
+            &ScatterMode::PreCheck {
+                exclude: (shard, lid),
+            },
+            usize::MAX,
+        )? {
+            return Err(Error::UniqueViolation {
+                table: table.to_owned(),
+                index: route.uniques[i].name.clone(),
+            });
+        }
+        // All checks passed — the single engine would have applied the
+        // update. Mutate: drag dependents, then the row itself.
+        let old_pk = Key::from_row(&old, &route.pk_cols);
+        let mut drags: Vec<(String, u64, Row)> = Vec::new();
+        if old_pk.0.len() == 1 {
+            let routes: Vec<(String, Arc<TableRoute>)> = {
+                let r = self.router.routes.lock().unwrap();
+                r.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+            };
+            for (dname, droute) in routes {
+                let RoutingSpec::ByParent { col, parent, .. } = &droute.spec else {
+                    continue;
+                };
+                if parent != table {
+                    continue;
+                }
+                let ci = droute.schema.require_column(col)?;
+                let pred = eq_pred(&droute.schema, &[ci], &old_pk.0);
+                for (dlid, drow) in self.txn(shard).select(&dname, &pred)? {
+                    let dgid = self
+                        .to_gid(&dname, shard, dlid)
+                        .expect("router owns every routed row");
+                    self.txn(shard).delete(&dname, dlid)?;
+                    drags.push((dname.clone(), dgid, drow));
+                }
+            }
+        }
+        self.txn(shard).delete(table, lid)?;
+        let new_lid = self.txn(target).insert(table, new_row.clone())?;
+        self.remap_gid(route, gid, &new_row, (target, new_lid));
+        for (dname, dgid, drow) in drags {
+            let droute = self.route(&dname)?;
+            let dlid = self.txn(target).insert(&dname, drow.clone())?;
+            self.remap_gid(&droute, dgid, &drow, (target, dlid));
+        }
+        self.dirty[shard].set(true);
+        self.dirty[target].set(true);
+        Ok(())
+    }
+
+    /// Update only the named columns of the row at `gid`.
+    pub fn update_cols(&self, table: &str, gid: RowId, cols: &[(&str, Value)]) -> Result<()> {
+        self.router.metrics.inc("shard.router.ops");
+        let route = self.route(table)?;
+        let loc = if route.spec == RoutingSpec::Global {
+            self.to_local(table, gid.0).map(|(_, lid)| (0usize, lid))
+        } else {
+            self.to_local(table, gid.0)
+        };
+        let Some((shard, lid)) = loc else {
+            return self
+                .txn(0)
+                .update_cols(table, BOGUS_LID, cols)
+                .map_err(|e| regid(table, gid.0, e));
+        };
+        // Mirror the engine's order: fetch the base row (NoSuchRow
+        // first), then resolve each named column, then a full update.
+        let mut row = self
+            .txn(shard)
+            .get(table, lid)
+            .map_err(|e| regid(table, gid.0, e))?;
+        for (name, value) in cols {
+            let ix = route.schema.require_column(name)?;
+            row[ix] = value.clone();
+        }
+        self.update(table, gid, row)
+    }
+
+    /// Walk the cascade closure of deleting `(table, lid)` on `shard`
+    /// *before* deleting, mirroring the engine's referrer order, so
+    /// the directory can forget every row the engine will remove.
+    /// Read-only; `SetNull` referrers keep their rows (and gids).
+    fn cascade_closure(
+        &self,
+        shard: usize,
+        table: &str,
+        lid: RowId,
+    ) -> Result<Vec<(String, RowId)>> {
+        let mut out = Vec::new();
+        let mut seen: BTreeSet<(String, u64)> = BTreeSet::new();
+        let mut stack = vec![(table.to_owned(), lid)];
+        while let Some((t, id)) = stack.pop() {
+            if !seen.insert((t.clone(), id.0)) {
+                continue;
+            }
+            let row = match self.txn(shard).get(&t, id) {
+                Ok(r) => r,
+                Err(Error::NoSuchRow { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            let troute = self.route(&t)?;
+            for (rtable, fk) in self.router.referrers_of(&t) {
+                if fk.on_delete != relstore::FkAction::Cascade {
+                    continue;
+                }
+                let ref_cols = troute.schema.resolve_columns(&fk.ref_columns)?;
+                let key = Key::from_row(&row, &ref_cols);
+                if key.has_null() {
+                    continue;
+                }
+                let rroute = self.route(&rtable)?;
+                let rcols = rroute.schema.resolve_columns(&fk.columns)?;
+                let pred = eq_pred(&rroute.schema, &rcols, &key.0);
+                for (rid, _) in self.txn(shard).select(&rtable, &pred)? {
+                    stack.push((rtable.clone(), rid));
+                }
+            }
+            out.push((t, id));
+        }
+        Ok(out)
+    }
+
+    /// Delete the row at `gid`, honouring reverse foreign keys exactly
+    /// as the engine does (cascades and SET NULLs stay intra-shard by
+    /// the co-location invariants).
+    pub fn delete(&self, table: &str, gid: RowId) -> Result<()> {
+        self.router.metrics.inc("shard.router.ops");
+        let route = self.route(table)?;
+        if route.spec == RoutingSpec::Global {
+            let Some((_, lid)) = self.to_local(table, gid.0) else {
+                return self
+                    .txn(0)
+                    .delete(table, BOGUS_LID)
+                    .map_err(|e| regid(table, gid.0, e));
+            };
+            // Each shard cascades into its own routed rows; gather the
+            // per-shard closures first for directory bookkeeping.
+            let mut closures = Vec::with_capacity(self.router.shards());
+            for s in 0..self.router.shards() {
+                closures.push(self.cascade_closure(s, table, lid)?);
+            }
+            for s in 0..self.router.shards() {
+                self.txn(s)
+                    .delete(table, lid)
+                    .map_err(|e| regid(table, gid.0, e))?;
+                self.dirty[s].set(true);
+            }
+            for (s, closure) in closures.into_iter().enumerate() {
+                for (t, id) in closure {
+                    if t == table {
+                        if s == 0 {
+                            self.drop_gid(&t, gid.0);
+                        }
+                        continue;
+                    }
+                    let g = self
+                        .to_gid(&t, s, id)
+                        .expect("router owns every routed row");
+                    self.drop_gid(&t, g);
+                }
+            }
+            return Ok(());
+        }
+        let Some((shard, lid)) = self.to_local(table, gid.0) else {
+            return self
+                .txn(0)
+                .delete(table, BOGUS_LID)
+                .map_err(|e| regid(table, gid.0, e));
+        };
+        let closure = self.cascade_closure(shard, table, lid)?;
+        self.txn(shard)
+            .delete(table, lid)
+            .map_err(|e| regid(table, gid.0, e))?;
+        self.dirty[shard].set(true);
+        for (t, id) in closure {
+            let g = self
+                .to_gid(&t, shard, id)
+                .expect("router owns every routed row");
+            self.drop_gid(&t, g);
+        }
+        Ok(())
+    }
+
+    /// All rows matching `pred`, gid-ascending — the scatter-gather
+    /// mirror of the engine's id-ascending select.
+    pub fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
+        self.router.metrics.inc("shard.router.ops");
+        let route = self.route(table)?;
+        let mut out: Vec<(RowId, Row)> = Vec::new();
+        if route.spec == RoutingSpec::Global {
+            for (lid, row) in self.txn(0).select(table, pred)? {
+                let gid = self
+                    .to_gid(table, 0, lid)
+                    .expect("router owns every Global row");
+                out.push((RowId(gid), row));
+            }
+        } else {
+            for s in 0..self.router.shards() {
+                for (lid, row) in self.txn(s).select(table, pred)? {
+                    let gid = self
+                        .to_gid(table, s, lid)
+                        .expect("router owns every routed row");
+                    out.push((RowId(gid), row));
+                }
+            }
+        }
+        out.sort_by_key(|&(id, _)| id);
+        Ok(out)
+    }
+
+    /// Like [`DistTxn::select`], sorted by `order_col` and truncated —
+    /// the same stable sort over the same gid-ascending base order as
+    /// the engine's.
+    pub fn select_ordered(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        order_col: &str,
+        descending: bool,
+        limit: Option<usize>,
+    ) -> Result<Vec<(RowId, Row)>> {
+        let route = self.route(table)?;
+        let col = route.schema.require_column(order_col)?;
+        let mut rows = self.select(table, pred)?;
+        rows.sort_by(|(_, a), (_, b)| {
+            let ord = a[col].cmp(&b[col]);
+            if descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        if let Some(n) = limit {
+            rows.truncate(n);
+        }
+        Ok(rows)
+    }
+
+    /// Equi-join, mirroring the engine's hash join over the same row
+    /// orders (both sides gid-ascending, NULL keys never join).
+    pub fn join(
+        &self,
+        left: &str,
+        left_col: &str,
+        left_pred: &Predicate,
+        right: &str,
+        right_col: &str,
+        right_pred: &Predicate,
+    ) -> Result<Vec<(Row, Row)>> {
+        self.router.metrics.inc("shard.router.ops");
+        let lroute = self.route(left)?;
+        let rroute = self.route(right)?;
+        let lcol = lroute.schema.require_column(left_col)?;
+        let rcol = rroute.schema.require_column(right_col)?;
+        let lrows = self.select(left, left_pred)?;
+        let rrows = self.select(right, right_pred)?;
+        let mut table: BTreeMap<Value, Vec<&Row>> = BTreeMap::new();
+        for (_, row) in &rrows {
+            let key = &row[rcol];
+            if !key.is_null() {
+                table.entry(key.clone()).or_default().push(row);
+            }
+        }
+        let mut out = Vec::new();
+        for (_, lrow) in &lrows {
+            let key = &lrow[lcol];
+            if key.is_null() {
+                continue;
+            }
+            if let Some(matches) = table.get(key) {
+                for rrow in matches {
+                    out.push((lrow.clone(), (*rrow).clone()));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum an integer column over matching rows (NULLs contribute 0).
+    pub fn sum_int(&self, table: &str, pred: &Predicate, col: &str) -> Result<i64> {
+        self.router.metrics.inc("shard.router.ops");
+        let route = self.route(table)?;
+        if route.spec == RoutingSpec::Global {
+            return self.txn(0).sum_int(table, pred, col);
+        }
+        let mut sum = 0i64;
+        for s in 0..self.router.shards() {
+            sum += self.txn(s).sum_int(table, pred, col)?;
+        }
+        Ok(sum)
+    }
+
+    /// Count rows matching `pred`.
+    pub fn count(&self, table: &str, pred: &Predicate) -> Result<usize> {
+        self.router.metrics.inc("shard.router.ops");
+        let route = self.route(table)?;
+        if route.spec == RoutingSpec::Global {
+            return self.txn(0).count(table, pred);
+        }
+        let mut n = 0usize;
+        for s in 0..self.router.shards() {
+            n += self.txn(s).count(table, pred)?;
+        }
+        Ok(n)
+    }
+
+    /// Shards this transaction has written to.
+    #[must_use]
+    pub fn dirty_shards(&self) -> Vec<usize> {
+        self.dirty
+            .iter()
+            .enumerate()
+            .filter_map(|(s, d)| d.get().then_some(s))
+            .collect()
+    }
+
+    /// Commit. With at most one dirty shard this is a plain engine
+    /// commit; otherwise two-phase commit across the dirty shards.
+    pub fn commit(self) -> Result<()> {
+        self.commit_until(CommitStage::Done)
+    }
+
+    /// [`DistTxn::commit`] with a crash-injection point: stop (leaking
+    /// engine transactions un-resolved, as a crash would) after the
+    /// named 2PC stage. The failover and recovery tests drive this;
+    /// production callers use [`DistTxn::commit`].
+    pub fn commit_until(mut self, stage: CommitStage) -> Result<()> {
+        let dirty = self.dirty_shards();
+        let txns: Vec<Option<AnyTxn>> = std::mem::take(&mut self.txns)
+            .into_iter()
+            .map(OnceCell::into_inner)
+            .collect();
+        let overlay = std::mem::take(&mut *self.overlay.borrow_mut());
+        self.done.set(true);
+        let finish = |ok: bool| {
+            let mut dirs = self.router.dirs.lock().unwrap();
+            for (table, ov) in &overlay {
+                let dir = dirs.entry(table.clone()).or_default();
+                dir.next_gid += ov.allocated;
+                if !ok {
+                    continue; // rollback burns gids but drops mappings
+                }
+                for (&gid, &loc) in &ov.added {
+                    if let Some(old) = dir.fwd.insert(gid, loc) {
+                        dir.rev.remove(&(old.0, (old.1).0));
+                    }
+                    dir.rev.insert((loc.0, (loc.1).0), gid);
+                }
+                for &gid in &ov.removed {
+                    if let Some(old) = dir.fwd.remove(&gid) {
+                        dir.rev.remove(&(old.0, (old.1).0));
+                    }
+                }
+                for (key, &s) in &ov.homes {
+                    dir.homes.insert(key.clone(), s);
+                }
+            }
+        };
+        if dirty.len() <= 1 {
+            self.router.metrics.inc("shard.router.single_shard_commits");
+            for (s, txn) in txns
+                .into_iter()
+                .enumerate()
+                .filter_map(|(s, t)| Some((s, t?)))
+            {
+                if dirty.contains(&s) {
+                    if let Err(e) = txn.commit() {
+                        finish(false);
+                        return Err(e);
+                    }
+                } else {
+                    txn.rollback();
+                }
+            }
+            finish(true);
+            return Ok(());
+        }
+        self.router.metrics.inc("shard.router.cross_shard_commits");
+        let gtid = self.router.coordinator.begin();
+        let mut held: Vec<(usize, AnyTxn)> = Vec::new();
+        let mut prepared = true;
+        for (s, txn) in txns
+            .into_iter()
+            .enumerate()
+            .filter_map(|(s, t)| Some((s, t?)))
+        {
+            if !dirty.contains(&s) {
+                txn.rollback();
+                continue;
+            }
+            if let Some(wal) = &self.router.shards[s].wal {
+                if let Err(e) = twopc::prepare(wal, gtid, txn.id(), &self.router.metrics) {
+                    prepared = false;
+                    drop(txn);
+                    let _ = e;
+                    break;
+                }
+            }
+            held.push((s, txn));
+        }
+        if !prepared || held.len() != dirty.len() {
+            self.router.coordinator.decide_abort(gtid);
+            drop(held); // rollback of every prepared participant
+            finish(false);
+            return Err(Error::TxnAborted {
+                reason: "2PC prepare failed".to_owned(),
+            });
+        }
+        if stage == CommitStage::Prepared {
+            // Simulated crash: prepared participants stay in doubt.
+            for (_, txn) in held {
+                std::mem::forget(txn);
+            }
+            finish(false);
+            return Ok(());
+        }
+        let participants: Vec<u64> = held.iter().map(|&(s, _)| s as u64).collect();
+        if let Err(e) = self.router.coordinator.decide_commit(gtid, &participants) {
+            drop(held);
+            finish(false);
+            return Err(Error::Wal(e.to_string()));
+        }
+        if stage == CommitStage::Decided {
+            // Simulated crash after the commit point: the decision is
+            // durable, no participant has resolved.
+            for (_, txn) in held {
+                std::mem::forget(txn);
+            }
+            finish(false);
+            return Ok(());
+        }
+        for (_, txn) in held {
+            // Past the commit point the promise must hold; a commit
+            // failure here is a broken participant, surfaced loudly.
+            if let Err(e) = txn.commit() {
+                finish(false);
+                return Err(e);
+            }
+        }
+        finish(true);
+        Ok(())
+    }
+
+    /// Roll back explicitly (dropping the handle does the same): every
+    /// engine transaction rolls back and the gids this transaction
+    /// allocated burn, exactly like rolled-back single-engine inserts.
+    pub fn rollback(self) {
+        // Drop runs the shared rollback path.
+    }
+}
+
+impl Drop for DistTxn<'_> {
+    fn drop(&mut self) {
+        if self.done.get() {
+            return;
+        }
+        self.done.set(true);
+        // Engine txns roll back when their OnceCells drop; burn gids.
+        let overlay = std::mem::take(&mut *self.overlay.borrow_mut());
+        let mut dirs = self.router.dirs.lock().unwrap();
+        for (table, ov) in &overlay {
+            let dir = dirs.entry(table.clone()).or_default();
+            dir.next_gid += ov.allocated;
+        }
+    }
+}
+
+/// The router plays the testkit's op tapes directly: this is what the
+/// sharded-vs-unsharded differential proof (`tests/router_equiv.rs`)
+/// and the E19 one-shard equivalence gate run on. Every method is a
+/// straight delegation — the router's own semantics are the thing
+/// under test, so nothing may be adapted here.
+impl relstore::testkit::TapeTarget for Router {
+    type Txn<'a> = DistTxn<'a>;
+    fn begin(&self) -> DistTxn<'_> {
+        Router::begin(self)
+    }
+    fn insert(&self, txn: &DistTxn<'_>, table: &str, row: Row) -> Result<RowId> {
+        txn.insert(table, row)
+    }
+    fn get(&self, txn: &DistTxn<'_>, table: &str, id: RowId) -> Result<Row> {
+        txn.get(table, id)
+    }
+    fn update(&self, txn: &DistTxn<'_>, table: &str, id: RowId, row: Row) -> Result<()> {
+        txn.update(table, id, row)
+    }
+    fn update_cols(
+        &self,
+        txn: &DistTxn<'_>,
+        table: &str,
+        id: RowId,
+        cols: &[(&str, Value)],
+    ) -> Result<()> {
+        txn.update_cols(table, id, cols)
+    }
+    fn delete(&self, txn: &DistTxn<'_>, table: &str, id: RowId) -> Result<()> {
+        txn.delete(table, id)
+    }
+    fn select(
+        &self,
+        txn: &DistTxn<'_>,
+        table: &str,
+        pred: &Predicate,
+    ) -> Result<Vec<(RowId, Row)>> {
+        txn.select(table, pred)
+    }
+    fn select_ordered(
+        &self,
+        txn: &DistTxn<'_>,
+        table: &str,
+        pred: &Predicate,
+        order_col: &str,
+        descending: bool,
+        limit: Option<usize>,
+    ) -> Result<Vec<(RowId, Row)>> {
+        txn.select_ordered(table, pred, order_col, descending, limit)
+    }
+    fn join(
+        &self,
+        txn: &DistTxn<'_>,
+        left: &str,
+        left_col: &str,
+        left_pred: &Predicate,
+        right: &str,
+        right_col: &str,
+        right_pred: &Predicate,
+    ) -> Result<Vec<(Row, Row)>> {
+        txn.join(left, left_col, left_pred, right, right_col, right_pred)
+    }
+    fn count(&self, txn: &DistTxn<'_>, table: &str, pred: &Predicate) -> Result<usize> {
+        txn.count(table, pred)
+    }
+    fn sum_int(&self, txn: &DistTxn<'_>, table: &str, pred: &Predicate, col: &str) -> Result<i64> {
+        txn.sum_int(table, pred, col)
+    }
+    fn commit(&self, txn: DistTxn<'_>) -> Result<()> {
+        txn.commit()
+    }
+    fn rollback(&self, txn: DistTxn<'_>) {
+        txn.rollback();
+    }
+}

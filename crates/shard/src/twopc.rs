@@ -1,0 +1,368 @@
+//! Two-phase commit with durable, presumed-abort state.
+//!
+//! The protocol state machines are textbook (Mohan/Lindsay presumed
+//! abort), made concrete over the `wal` crate's log:
+//!
+//! **Participant** (one per shard touched by a distributed txn):
+//!
+//! ```text
+//! working ──prepare()──▶ PREPARED ──commit──▶ committed
+//!    │                       │
+//!    └──abort──▶ aborted ◀───┘ (decision = abort, or presumed)
+//! ```
+//!
+//! `prepare` forces a [`WalRecord::Prepare`] frame — and, transitively,
+//! every op frame of the local transaction before it — to disk, then
+//! the participant may vote yes. The local `Commit`/`Abort` frame that
+//! later resolves the transaction doubles as the 2PC resolution record:
+//! a prepared transaction with neither is **in doubt**.
+//!
+//! **Coordinator**:
+//!
+//! ```text
+//! collecting votes ──all yes──▶ log CommitDecision (forced) ──▶ committed
+//!         │
+//!         └─any no / timeout──▶ aborted (AbortDecision logged lazily)
+//! ```
+//!
+//! The forced `CommitDecision` is the commit point. Under presumed
+//! abort, a gtid absent from the coordinator's log *is* aborted — an
+//! abort needs no forced write, which is the optimization's point.
+//!
+//! **Recovery** reuses the WAL's ordinary analysis/redo/undo pipeline:
+//! [`resolve_log`] scans a participant log for in-doubt prepared
+//! transactions, asks a decision oracle (the coordinator's recovered
+//! decision table), and appends the decided `Commit`/`Abort` frame to
+//! the log. After the patch, plain [`wal::open_durable_any`] recovery
+//! classifies the transaction as an ordinary winner or loser — no
+//! second redo/undo implementation exists.
+
+use obs::Registry;
+use relstore::engine::AnyEngine;
+use relstore::lock::TxnId;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use wal::record::encode_frame;
+use wal::{Lsn, RecoveryReport, Wal, WalError, WalOptions, WalRecord};
+
+/// Global (distributed) transaction id.
+pub type Gtid = u64;
+
+/// A coordinator's verdict on one distributed transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Every participant prepared; the decision record is durable.
+    Commit,
+    /// At least one participant refused, or the gtid is unknown
+    /// (presumed abort).
+    Abort,
+}
+
+/// Force a participant's prepared state durable: the local
+/// transaction's op frames, then the `Prepare` frame, all on disk
+/// before this returns — only then may the participant vote yes.
+pub fn prepare(wal: &Wal, gtid: Gtid, txn: TxnId, metrics: &Registry) -> Result<Lsn, WalError> {
+    let lsn = wal.log_dist(&WalRecord::Prepare { gtid, txn })?;
+    metrics.inc("shard.2pc.prepares");
+    Ok(lsn)
+}
+
+/// The coordinator side: gtid allocation and the durable decision
+/// table. The write-ahead log is optional so purely in-memory routers
+/// (differential tests) can run the same commit path; when present,
+/// every commit decision is forced before it is revealed.
+pub struct Coordinator {
+    wal: Option<Arc<Wal>>,
+    next_gtid: std::sync::atomic::AtomicU64,
+    decisions: std::sync::Mutex<BTreeMap<Gtid, Decision>>,
+    metrics: Registry,
+}
+
+impl Coordinator {
+    /// A fresh coordinator. `wal` is the log decisions are forced to
+    /// (share the hosting station's shard log — decision frames
+    /// interleave harmlessly with row traffic).
+    #[must_use]
+    pub fn new(wal: Option<Arc<Wal>>, metrics: Registry) -> Self {
+        Coordinator {
+            wal,
+            next_gtid: std::sync::atomic::AtomicU64::new(1),
+            decisions: std::sync::Mutex::new(BTreeMap::new()),
+            metrics,
+        }
+    }
+
+    /// Restore a coordinator from its recovered decision table
+    /// (`read_decisions` over the log it previously wrote).
+    #[must_use]
+    pub fn resume(
+        wal: Option<Arc<Wal>>,
+        decisions: BTreeMap<Gtid, Decision>,
+        metrics: Registry,
+    ) -> Self {
+        let next = decisions.keys().next_back().map_or(1, |g| g + 1);
+        Coordinator {
+            wal,
+            next_gtid: std::sync::atomic::AtomicU64::new(next),
+            decisions: std::sync::Mutex::new(decisions),
+            metrics,
+        }
+    }
+
+    /// Allocate the next distributed transaction id.
+    pub fn begin(&self) -> Gtid {
+        self.next_gtid
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Commit point: force the decision durable, then record it. After
+    /// this returns, every participant must eventually commit `gtid`,
+    /// crash or no crash.
+    pub fn decide_commit(&self, gtid: Gtid, participants: &[u64]) -> Result<(), WalError> {
+        if let Some(wal) = &self.wal {
+            wal.log_dist(&WalRecord::CommitDecision {
+                gtid,
+                participants: participants.to_vec(),
+            })?;
+        }
+        self.decisions
+            .lock()
+            .unwrap()
+            .insert(gtid, Decision::Commit);
+        self.metrics.inc("shard.2pc.commit_decisions");
+        Ok(())
+    }
+
+    /// Record an abort. Lazy by design: presumed abort means losing
+    /// this record changes nothing, so I/O errors are swallowed.
+    pub fn decide_abort(&self, gtid: Gtid) {
+        if let Some(wal) = &self.wal {
+            let _ = wal.log_dist(&WalRecord::AbortDecision { gtid });
+        }
+        self.decisions.lock().unwrap().insert(gtid, Decision::Abort);
+        self.metrics.inc("shard.2pc.abort_decisions");
+    }
+
+    /// The verdict on `gtid`. Unknown gtids are aborted — that *is*
+    /// presumed abort.
+    #[must_use]
+    pub fn decision_of(&self, gtid: Gtid) -> Decision {
+        self.decisions
+            .lock()
+            .unwrap()
+            .get(&gtid)
+            .copied()
+            .unwrap_or(Decision::Abort)
+    }
+
+    /// Snapshot of the explicit decision table (tests and scenario
+    /// assertions; presumed aborts are by definition absent).
+    #[must_use]
+    pub fn decisions(&self) -> BTreeMap<Gtid, Decision> {
+        self.decisions.lock().unwrap().clone()
+    }
+}
+
+/// Rebuild a coordinator's decision table from its log bytes: every
+/// durable `CommitDecision`/`AbortDecision` frame, later frames
+/// winning. Torn tails are fine (they are the crash being recovered
+/// from); corruption is not.
+pub fn read_decisions(bytes: &[u8]) -> Result<BTreeMap<Gtid, Decision>, WalError> {
+    let scan = wal::scan(bytes)?;
+    let mut out = BTreeMap::new();
+    for (_, rec) in scan.records {
+        match rec {
+            WalRecord::CommitDecision { gtid, .. } => {
+                out.insert(gtid, Decision::Commit);
+            }
+            WalRecord::AbortDecision { gtid } => {
+                out.insert(gtid, Decision::Abort);
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// One prepared-but-unresolved transaction found in a participant log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InDoubt {
+    /// The distributed transaction.
+    pub gtid: Gtid,
+    /// Its local transaction id on this participant.
+    pub txn: TxnId,
+}
+
+/// The in-doubt set of a participant log: transactions with a durable
+/// `Prepare` frame but no local `Commit`/`Abort` resolution.
+pub fn in_doubt(bytes: &[u8]) -> Result<Vec<InDoubt>, WalError> {
+    let scan = wal::scan(bytes)?;
+    let mut prepared: BTreeMap<TxnId, Gtid> = BTreeMap::new();
+    let mut resolved: std::collections::BTreeSet<TxnId> = std::collections::BTreeSet::new();
+    for (_, rec) in scan.records {
+        match rec {
+            WalRecord::Prepare { gtid, txn } => {
+                prepared.insert(txn, gtid);
+            }
+            WalRecord::Commit { txn } | WalRecord::Abort { txn } => {
+                resolved.insert(txn);
+            }
+            _ => {}
+        }
+    }
+    Ok(prepared
+        .into_iter()
+        .filter(|(txn, _)| !resolved.contains(txn))
+        .map(|(txn, gtid)| InDoubt { gtid, txn })
+        .collect())
+}
+
+/// Resolve a participant log's in-doubt transactions against a
+/// decision oracle by *patching the log*: truncate the torn tail, then
+/// append the decided `Commit`/`Abort` frame for every in-doubt local
+/// transaction. Returns the resolved set (with the decisions applied).
+///
+/// After this, the log is self-describing — ordinary recovery
+/// classifies each patched transaction as a winner (redo keeps its
+/// effects) or loser (undo reverses them), and a second crash before
+/// the engine even opens needs no second oracle round-trip.
+pub fn resolve_log(
+    path: &Path,
+    decide: impl Fn(Gtid) -> Decision,
+) -> Result<Vec<(InDoubt, Decision)>, WalError> {
+    let bytes = std::fs::read(path)?;
+    let scan = wal::record::scan_raw(&bytes)?;
+    let doubts = in_doubt(&bytes[..scan.durable_len as usize])?;
+    if doubts.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut patched = bytes[..scan.durable_len as usize].to_vec();
+    let mut out = Vec::with_capacity(doubts.len());
+    for d in doubts {
+        let decision = decide(d.gtid);
+        let frame = match decision {
+            Decision::Commit => encode_frame(&WalRecord::Commit { txn: d.txn })?,
+            Decision::Abort => encode_frame(&WalRecord::Abort { txn: d.txn })?,
+        };
+        patched.extend_from_slice(&frame);
+        out.push((d, decision));
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .write(true)
+        .truncate(true)
+        .open(path)?;
+    f.write_all(&patched)?;
+    f.sync_data()?;
+    Ok(out)
+}
+
+/// Full participant recovery: resolve in-doubt transactions against
+/// `decide`, then run the ordinary WAL recovery pipeline. Returns the
+/// recovered engine/log plus the resolutions that were applied.
+#[allow(clippy::type_complexity)]
+pub fn recover_participant(
+    path: &Path,
+    opts: WalOptions,
+    metrics: &Registry,
+    decide: impl Fn(Gtid) -> Decision,
+) -> Result<
+    (
+        AnyEngine,
+        Arc<Wal>,
+        RecoveryReport,
+        Vec<(InDoubt, Decision)>,
+    ),
+    WalError,
+> {
+    let resolved = if path.exists() {
+        resolve_log(path, decide)?
+    } else {
+        Vec::new()
+    };
+    for (_, d) in &resolved {
+        match d {
+            Decision::Commit => metrics.inc("shard.2pc.resolved_commit"),
+            Decision::Abort => metrics.inc("shard.2pc.resolved_abort"),
+        }
+    }
+    let (engine, wal, report) = wal::open_durable_any(path, opts)?;
+    Ok((engine, wal, report, resolved))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("shard-2pc-{}-{tag}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn presumed_abort_for_unknown_gtid() {
+        let c = Coordinator::new(None, Registry::disabled());
+        assert_eq!(c.decision_of(999), Decision::Abort);
+        let g = c.begin();
+        c.decide_commit(g, &[0, 1]).unwrap();
+        assert_eq!(c.decision_of(g), Decision::Commit);
+    }
+
+    #[test]
+    fn in_doubt_detection() {
+        let mut log = wal::record::MAGIC.to_vec();
+        let frames = [
+            WalRecord::Begin { txn: 3 },
+            WalRecord::Prepare { gtid: 10, txn: 3 },
+            WalRecord::Begin { txn: 4 },
+            WalRecord::Prepare { gtid: 11, txn: 4 },
+            WalRecord::Commit { txn: 4 },
+        ];
+        for f in &frames {
+            log.extend_from_slice(&encode_frame(f).unwrap());
+        }
+        let doubts = in_doubt(&log).unwrap();
+        assert_eq!(doubts, vec![InDoubt { gtid: 10, txn: 3 }]);
+    }
+
+    #[test]
+    fn resolve_log_patches_commit_and_abort() {
+        let path = tmp("resolve");
+        let _ = std::fs::remove_file(&path);
+        let mut log = wal::record::MAGIC.to_vec();
+        for f in [
+            WalRecord::Begin { txn: 1 },
+            WalRecord::Prepare { gtid: 7, txn: 1 },
+            WalRecord::Begin { txn: 2 },
+            WalRecord::Prepare { gtid: 8, txn: 2 },
+        ] {
+            log.extend_from_slice(&encode_frame(&f).unwrap());
+        }
+        // A torn tail (half a frame) on top: must be truncated away.
+        log.extend_from_slice(&[9, 0, 0, 0]);
+        std::fs::write(&path, &log).unwrap();
+        let resolved = resolve_log(&path, |g| {
+            if g == 7 {
+                Decision::Commit
+            } else {
+                Decision::Abort
+            }
+        })
+        .unwrap();
+        assert_eq!(resolved.len(), 2);
+        let patched = std::fs::read(&path).unwrap();
+        let doubts = in_doubt(&patched).unwrap();
+        assert!(doubts.is_empty(), "patched log is self-describing");
+        let scan = wal::scan(&patched).unwrap();
+        assert!(matches!(scan.tail, wal::Tail::Clean));
+        assert!(scan
+            .records
+            .iter()
+            .any(|(_, r)| matches!(r, WalRecord::Commit { txn: 1 })));
+        assert!(scan
+            .records
+            .iter()
+            .any(|(_, r)| matches!(r, WalRecord::Abort { txn: 2 })));
+        let _ = std::fs::remove_file(&path);
+    }
+}

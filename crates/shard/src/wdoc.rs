@@ -1,0 +1,367 @@
+//! Routing for the paper's document catalog, and a sharded facade
+//! over it.
+//!
+//! The placement follows the catalog's foreign-key geometry so that
+//! every constraint the engine enforces stays intra-shard:
+//!
+//! * `wdoc_database` is tiny (one row per courseware database) and
+//!   referenced from everywhere, so it is [`RoutingSpec::Global`] —
+//!   fully replicated, forward-FK probes always succeed locally.
+//! * `script` hashes on its own primary key (`name`);
+//!   `implementation`, `test_record` and `annotation` hash on their
+//!   `script` column. Hashing *values* (not `(table, value)`) makes
+//!   all four land on the same shard for the same script, so the
+//!   CASCADE edges from `script` and the SET NULL edges from
+//!   `implementation` (a test record / annotation only ever cites an
+//!   implementation of its *own* script) never cross shards.
+//! * `html_file` / `program_file` ride [`RoutingSpec::ByParent`] on
+//!   their `url` column: wherever the owning implementation row went
+//!   (by its script hash), the files follow via the homes directory.
+//! * `bug_report` rides `ByParent` on `test_record` the same way.
+//!
+//! The facade mirrors the single-station `WebDocDb` document API for
+//! the operations the E19 sweep replays, so the benchmark can run the
+//! identical trace against one engine and against an n-shard cluster
+//! and compare committed state.
+
+use crate::map::ShardMap;
+use crate::router::{DistTxn, Router, RoutingSpec};
+use obs::Registry;
+use relstore::{EngineKind, Predicate, Result, RowId, TableSchema, Value};
+use wdoc_core::tables::{
+    self, Annotation, BugReport, HtmlFile, Implementation, ProgramFile, Script, TestRecord,
+};
+use wdoc_core::DatabaseInfo;
+
+/// The sharded catalog: every document-layer table with its routing
+/// spec, in dependency order (parents before children — the router
+/// requires `ByParent` targets to be registered first).
+#[must_use]
+pub fn catalog() -> Vec<(TableSchema, RoutingSpec)> {
+    let by_script = || RoutingSpec::ByColumn("script".into());
+    let by_url = || RoutingSpec::ByParent {
+        col: "url".into(),
+        parent: Implementation::TABLE.into(),
+        fallback: "url".into(),
+    };
+    vec![
+        (tables::database_schema(), RoutingSpec::Global),
+        (Script::schema(), RoutingSpec::ByColumn("name".into())),
+        (Implementation::schema(), by_script()),
+        (HtmlFile::schema(), by_url()),
+        (ProgramFile::schema(), by_url()),
+        (TestRecord::schema(), by_script()),
+        (
+            BugReport::schema(),
+            RoutingSpec::ByParent {
+                col: "test_record".into(),
+                parent: TestRecord::TABLE.into(),
+                fallback: "name".into(),
+            },
+        ),
+        (Annotation::schema(), by_script()),
+    ]
+}
+
+/// The paper's document tables, hash-partitioned: a thin typed facade
+/// over a [`Router`] loaded with [`catalog`].
+pub struct ShardedWdoc {
+    router: Router,
+}
+
+impl ShardedWdoc {
+    /// A fresh sharded document store over `map`.
+    ///
+    /// # Panics
+    /// Panics if the static catalog fails to register (it cannot).
+    #[must_use]
+    pub fn new(kind: EngineKind, map: ShardMap, metrics: Registry) -> Self {
+        let router = Router::new(kind, map, metrics);
+        for (schema, spec) in catalog() {
+            router.create_table(schema, spec).expect("static catalog");
+        }
+        ShardedWdoc { router }
+    }
+
+    /// The router underneath (for metrics, shard inspection, manual
+    /// transactions).
+    #[must_use]
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Register a Web document database.
+    pub fn create_database(&self, info: &DatabaseInfo) -> Result<()> {
+        self.router.with_txn(|t| {
+            t.insert(
+                "wdoc_database",
+                vec![
+                    info.name.as_str().into(),
+                    tables::join_keywords(&info.keywords).into(),
+                    info.author.as_str().into(),
+                    Value::Int(info.version),
+                    Value::Timestamp(info.created),
+                ],
+            )
+            .map(|_| ())
+        })
+    }
+
+    /// Add a script (its database must exist).
+    pub fn add_script(&self, s: &Script) -> Result<()> {
+        self.router
+            .with_txn(|t| t.insert(Script::TABLE, s.to_row()).map(|_| ()))
+    }
+
+    /// Add an implementation together with its HTML and program files
+    /// — one distributed transaction; the files land on the
+    /// implementation's shard, so after the first insert the
+    /// transaction stays single-shard.
+    pub fn add_implementation(
+        &self,
+        imp: &Implementation,
+        html: &[HtmlFile],
+        programs: &[ProgramFile],
+    ) -> Result<()> {
+        self.router.with_txn(|t| {
+            t.insert(Implementation::TABLE, imp.to_row())?;
+            for f in html {
+                t.insert(HtmlFile::TABLE, f.to_row())?;
+            }
+            for p in programs {
+                t.insert(ProgramFile::TABLE, p.to_row())?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Record a test run.
+    pub fn add_test_record(&self, tr: &TestRecord) -> Result<()> {
+        self.router
+            .with_txn(|t| t.insert(TestRecord::TABLE, tr.to_row()).map(|_| ()))
+    }
+
+    /// File a bug report against a test record.
+    pub fn add_bug_report(&self, br: &BugReport) -> Result<()> {
+        self.router
+            .with_txn(|t| t.insert(BugReport::TABLE, br.to_row()).map(|_| ()))
+    }
+
+    /// Attach an annotation to a script.
+    pub fn add_annotation(&self, a: &Annotation) -> Result<()> {
+        self.router
+            .with_txn(|t| t.insert(Annotation::TABLE, a.to_row()).map(|_| ()))
+    }
+
+    /// Fetch a script by name (point read on its home shard).
+    pub fn script(&self, name: &str) -> Result<Option<Script>> {
+        self.router.with_txn(|t| {
+            let rows = t.select(Script::TABLE, &Predicate::eq("name", name))?;
+            Ok(match rows.first() {
+                Some((_, row)) => Some(Script::from_row(row)?),
+                None => None,
+            })
+        })
+    }
+
+    /// All implementations of a script (single-shard by co-location).
+    pub fn implementations_of(&self, script: &str) -> Result<Vec<Implementation>> {
+        self.router.with_txn(|t| {
+            t.select(Implementation::TABLE, &Predicate::eq("script", script))?
+                .iter()
+                .map(|(_, r)| Implementation::from_row(r))
+                .collect()
+        })
+    }
+
+    /// The HTML files of an implementation.
+    pub fn html_files(&self, url: &str) -> Result<Vec<HtmlFile>> {
+        self.router.with_txn(|t| {
+            t.select(HtmlFile::TABLE, &Predicate::eq("url", url))?
+                .iter()
+                .map(|(_, r)| HtmlFile::from_row(r))
+                .collect()
+        })
+    }
+
+    /// Bug reports filed against any test of a script.
+    pub fn bug_reports_of_script(&self, script: &str) -> Result<Vec<BugReport>> {
+        self.router.with_txn(|t| {
+            let trs = t.select(TestRecord::TABLE, &Predicate::eq("script", script))?;
+            let mut out = Vec::new();
+            for (_, tr) in &trs {
+                let name = tr[0].as_text().unwrap_or_default().to_owned();
+                for (_, r) in t.select(BugReport::TABLE, &Predicate::eq("test_record", name))? {
+                    out.push(BugReport::from_row(&r)?);
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    /// Annotations on a script.
+    pub fn annotations_of_script(&self, script: &str) -> Result<Vec<Annotation>> {
+        self.router.with_txn(|t| {
+            t.select(Annotation::TABLE, &Predicate::eq("script", script))?
+                .iter()
+                .map(|(_, r)| Annotation::from_row(r))
+                .collect()
+        })
+    }
+
+    /// Delete a script; the CASCADE fans out to implementations,
+    /// files, test records, bug reports and annotations — all on the
+    /// script's own shard, which is the point of the placement.
+    pub fn remove_script(&self, name: &str) -> Result<bool> {
+        self.router.with_txn(|t| {
+            let rows = t.select(Script::TABLE, &Predicate::eq("name", name))?;
+            match rows.first() {
+                Some((gid, _)) => t.delete(Script::TABLE, *gid).map(|()| true),
+                None => Ok(false),
+            }
+        })
+    }
+
+    /// Total rows of `table` across all shards, through a fresh
+    /// transaction.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        self.router.with_txn(|t| t.count(table, &Predicate::True))
+    }
+
+    /// Run a closure in a distributed transaction (retrying aborts),
+    /// for workloads the typed methods don't cover.
+    pub fn with_txn<T>(&self, f: impl Fn(&DistTxn<'_>) -> Result<T>) -> Result<T> {
+        self.router.with_txn(f)
+    }
+}
+
+/// Sorted committed contents of every catalog table, as one canonical
+/// string — what the E19 one-shard gate compares byte-for-byte against
+/// the unsharded baseline. Row ids are included: the router must
+/// allocate the *same* ids the single engine does.
+pub fn committed_fingerprint<F>(mut select_all: F) -> String
+where
+    F: FnMut(&str) -> Vec<(RowId, Vec<Value>)>,
+{
+    let mut out = String::new();
+    for (schema, _) in catalog() {
+        out.push_str(&format!("== {} ==\n", schema.name));
+        for (id, row) in select_all(&schema.name) {
+            out.push_str(&format!("{}:", id.0));
+            for v in row {
+                out.push_str(&format!(" {v:?}"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdoc_core::ids::{DbName, ScriptName, StartUrl, UserId};
+
+    fn db_info() -> DatabaseInfo {
+        DatabaseInfo {
+            name: DbName::new("mmu-courses"),
+            keywords: vec!["courseware".into()],
+            author: UserId::new("shih"),
+            version: 1,
+            created: 10,
+        }
+    }
+
+    fn script(name: &str) -> Script {
+        Script {
+            name: ScriptName::new(name),
+            db: DbName::new("mmu-courses"),
+            keywords: vec!["lecture".into()],
+            author: UserId::new("shih"),
+            version: 1,
+            created: 20,
+            description: format!("script {name}"),
+            expected_completion: None,
+            percent_complete: 50,
+        }
+    }
+
+    fn implementation(url: &str, script: &str) -> Implementation {
+        Implementation {
+            url: StartUrl::new(url),
+            script: ScriptName::new(script),
+            author: UserId::new("impl-team"),
+            created: 30,
+        }
+    }
+
+    #[test]
+    fn catalog_registers_on_every_shard_count() {
+        for n in [1u32, 2, 5] {
+            let db = ShardedWdoc::new(EngineKind::TwoPl, ShardMap::uniform(n, 1), Registry::new());
+            assert_eq!(db.router().shards(), n as usize);
+        }
+    }
+
+    #[test]
+    fn script_and_children_are_co_located() {
+        let db = ShardedWdoc::new(EngineKind::TwoPl, ShardMap::uniform(4, 1), Registry::new());
+        db.create_database(&db_info()).unwrap();
+        for i in 0..12 {
+            let name = format!("s{i}");
+            db.add_script(&script(&name)).unwrap();
+            let url = format!("http://host/{name}/start.html");
+            db.add_implementation(
+                &implementation(&url, &name),
+                &[HtmlFile {
+                    url: StartUrl::new(&url),
+                    path: "a.html".into(),
+                    content: b"<html/>".as_ref().into(),
+                }],
+                &[],
+            )
+            .unwrap();
+        }
+        // Every script row shares its shard with its implementation
+        // and files: per shard, the set of script names present in
+        // `script` equals the set referenced by `implementation`.
+        for s in 0..db.router().shards() {
+            let t = db.router().engine(s).begin();
+            let scripts: std::collections::BTreeSet<String> = t
+                .select(Script::TABLE, &Predicate::True)
+                .unwrap()
+                .iter()
+                .map(|(_, r)| r[0].as_text().unwrap().to_owned())
+                .collect();
+            let impled: std::collections::BTreeSet<String> = t
+                .select(Implementation::TABLE, &Predicate::True)
+                .unwrap()
+                .iter()
+                .map(|(_, r)| r[1].as_text().unwrap().to_owned())
+                .collect();
+            assert_eq!(scripts, impled, "shard {s} split a script family");
+            t.commit().unwrap();
+        }
+        // And the cascade stays intra-shard: removing a script removes
+        // its whole family everywhere.
+        for i in 0..12 {
+            assert!(db.remove_script(&format!("s{i}")).unwrap());
+        }
+        assert_eq!(db.row_count(Script::TABLE).unwrap(), 0);
+        assert_eq!(db.row_count(Implementation::TABLE).unwrap(), 0);
+        assert_eq!(db.row_count(HtmlFile::TABLE).unwrap(), 0);
+    }
+
+    #[test]
+    fn reads_round_trip_through_the_facade() {
+        let db = ShardedWdoc::new(EngineKind::TwoPl, ShardMap::uniform(3, 1), Registry::new());
+        db.create_database(&db_info()).unwrap();
+        db.add_script(&script("intro")).unwrap();
+        db.add_implementation(&implementation("http://h/intro", "intro"), &[], &[])
+            .unwrap();
+        assert_eq!(db.script("intro").unwrap().unwrap().name.as_str(), "intro");
+        assert!(db.script("missing").unwrap().is_none());
+        assert_eq!(db.implementations_of("intro").unwrap().len(), 1);
+        assert!(db.annotations_of_script("intro").unwrap().is_empty());
+    }
+}

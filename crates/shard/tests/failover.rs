@@ -1,0 +1,241 @@
+//! Deterministic failure scenarios for the simulated shard cluster:
+//! primary crash mid-commit with replica promotion, coordinator crash
+//! before the decision (presumed abort), and a partition/heal
+//! convergence matrix. Every run is a fixed fault schedule over the
+//! discrete-event simulator, so the timelines — and therefore the
+//! assertions — are exactly reproducible.
+//!
+//! The invariants under test:
+//!
+//! 1. the coordinator's commit decision survives its own or any
+//!    participant's crash (it is force-logged before any `Decide`
+//!    message leaves);
+//! 2. no half-applied transactions: a gtid's writes are applied on a
+//!    participating shard iff the durable decision is commit, and the
+//!    in-doubt window closes on every station once links heal and
+//!    stations recover;
+//! 3. a promoted replica serves the shard's replicated data during the
+//!    outage and converges to the full committed state afterwards.
+
+use netsim::{Fault, FaultSchedule, SimTime};
+use shard::{SimCluster, Write};
+
+fn ms(v: u64) -> SimTime {
+    SimTime::from_millis(v)
+}
+
+/// Crash the primary of shard 1 *between its yes-vote and the commit
+/// decision's delivery*: the decision is durable at the coordinator,
+/// the crashed primary is in doubt, a replica is promoted for
+/// availability, and recovery converges everyone to commit.
+#[test]
+fn primary_crash_mid_commit_recovers_to_commit() {
+    let mut c = SimCluster::new(4, 2);
+
+    // Seed shard 1 with a committed, replicated write.
+    c.submit(vec![Write {
+        shard: 1,
+        key: 100,
+        val: 7,
+    }]);
+    c.run_until(ms(10));
+    let t = c.now();
+    let coord = c.primary(0);
+    let victim = c.primary(1);
+    assert_eq!(c.read_at(victim, 1, 100), Some(7), "seed committed");
+
+    // Crash the victim 2.5 ms in: after its vote leaves (~1 ms), before
+    // the Decide arrives (~3 ms on LAN links). Recover it at +80 ms.
+    c.set_faults(
+        FaultSchedule::new()
+            .at(
+                t + SimTime::from_micros(2_500),
+                Fault::Crash { station: victim },
+            )
+            .at(t + ms(80), Fault::Recover { station: victim }),
+    );
+    let gtid = c.submit(vec![
+        Write {
+            shard: 0,
+            key: 1,
+            val: 10,
+        },
+        Write {
+            shard: 1,
+            key: 2,
+            val: 20,
+        },
+    ]);
+    c.run_until(t + ms(40));
+
+    // The decision is durable and shard 0 applied; the victim is in
+    // doubt with nothing applied — not half-committed, just unresolved.
+    assert_eq!(c.decision_at(coord, gtid), Some(true));
+    assert_eq!(c.read_at(coord, 0, 1), Some(10));
+    assert_eq!(c.read_at(victim, 1, 2), None);
+    assert_eq!(c.in_doubt_at(victim), vec![gtid]);
+
+    // Failover: the first live tree-neighbour replica takes over and
+    // serves the seed data it replicated before the crash.
+    let promoted = c.promote(1);
+    assert_ne!(promoted, victim);
+    assert_eq!(c.read_at(promoted, 1, 100), Some(7));
+    assert_eq!(
+        c.metrics().counter("shard.failover.promotions"),
+        1,
+        "promotion counted"
+    );
+
+    // Recovery: replay the log, resolve in doubt against the
+    // coordinator, apply, and replicate — the whole host set of
+    // shard 1 converges on the committed state.
+    c.run_until(t + ms(81));
+    c.recover_station(victim);
+    c.run_until(t + ms(400));
+    assert!(c.in_doubt_at(victim).is_empty(), "in-doubt window closed");
+    assert_eq!(c.read_at(victim, 1, 2), Some(20));
+    assert_eq!(c.read_at(promoted, 1, 2), Some(20), "replica caught up");
+    assert_eq!(
+        c.shard_view(victim, 1),
+        c.shard_view(promoted, 1),
+        "old primary and promoted replica diverged"
+    );
+    assert!(c.metrics().counter("shard.2pc.in_doubt_resolved") >= 1);
+}
+
+/// Crash the *coordinator* before it collects the votes: no decision
+/// is ever logged, so recovery resolves every prepared participant to
+/// presumed abort and nothing is applied anywhere.
+#[test]
+fn coordinator_crash_before_decision_presumes_abort() {
+    let mut c = SimCluster::new(3, 1);
+    c.run_until(ms(5));
+    let t = c.now();
+    let coord = c.primary(0);
+
+    // Crash at +1.6 ms: prepares are delivered (~1 ms), votes are in
+    // flight and die against the downed coordinator.
+    c.set_faults(
+        FaultSchedule::new()
+            .at(
+                t + SimTime::from_micros(1_600),
+                Fault::Crash { station: coord },
+            )
+            .at(t + ms(60), Fault::Recover { station: coord }),
+    );
+    let gtid = c.submit(vec![
+        Write {
+            shard: 0,
+            key: 1,
+            val: 1,
+        },
+        Write {
+            shard: 2,
+            key: 2,
+            val: 2,
+        },
+    ]);
+    c.run_until(t + ms(50));
+    let other = c.primary(2);
+    assert_eq!(c.in_doubt_at(other), vec![gtid], "participant in doubt");
+    assert_eq!(c.read_at(other, 2, 2), None);
+
+    // Recover the coordinator (it was also the shard-0 participant:
+    // its own prepared record is in doubt too) and let the status
+    // queries through.
+    c.run_until(t + ms(61));
+    c.recover_station(coord);
+    c.run_until(t + ms(400));
+
+    assert_eq!(c.decision_at(coord, gtid), None, "no commit was decided");
+    assert!(c.in_doubt_at(coord).is_empty());
+    assert!(c.in_doubt_at(other).is_empty());
+    assert_eq!(
+        c.read_at(coord, 0, 1),
+        None,
+        "presumed abort applied nothing"
+    );
+    assert_eq!(c.read_at(other, 2, 2), None);
+    assert!(c.metrics().counter("shard.2pc.presumed_aborts") >= 1);
+}
+
+/// Partition/heal matrix: cut the coordinator↔participant pair right
+/// inside the decision window, heal at varying times, and require the
+/// same convergence every run — the participant stays in doubt (never
+/// half-applies) while cut, and resolves to the durable decision once
+/// healed.
+#[test]
+fn partition_heal_matrix_converges() {
+    for heal_ms in [20u64, 60, 150] {
+        let mut c = SimCluster::new(2, 1);
+        c.run_until(ms(5));
+        let t = c.now();
+        let coord = c.primary(0);
+        let other = c.primary(1);
+
+        let mut faults = FaultSchedule::new();
+        // Cut both directions at +2.5 ms (vote already delivered, the
+        // Decide dies in flight), heal both at +heal_ms.
+        for (src, dst) in [(coord, other), (other, coord)] {
+            faults.push(
+                t + SimTime::from_micros(2_500),
+                Fault::Partition { src, dst },
+            );
+            faults.push(t + ms(heal_ms), Fault::Heal { src, dst });
+        }
+        c.set_faults(faults);
+
+        let gtid = c.submit(vec![
+            Write {
+                shard: 0,
+                key: 1,
+                val: 11,
+            },
+            Write {
+                shard: 1,
+                key: 9,
+                val: 99,
+            },
+        ]);
+
+        // While cut: decision durable on one side, in doubt on the
+        // other, and *no* partial application of shard 1's write.
+        c.run_until(t + ms(heal_ms.min(15)));
+        assert_eq!(c.decision_at(coord, gtid), Some(true), "heal={heal_ms}ms");
+        if c.now() < t + ms(heal_ms) {
+            assert_eq!(c.in_doubt_at(other), vec![gtid], "heal={heal_ms}ms");
+            assert_eq!(c.read_at(other, 1, 9), None, "heal={heal_ms}ms");
+        }
+
+        // After healing, the participant's retry loop gets the status
+        // query through and converges to commit.
+        c.run_until(t + ms(heal_ms) + ms(300));
+        assert!(c.in_doubt_at(other).is_empty(), "heal={heal_ms}ms");
+        assert_eq!(c.read_at(other, 1, 9), Some(99), "heal={heal_ms}ms");
+        assert_eq!(c.read_at(coord, 0, 1), Some(11), "heal={heal_ms}ms");
+    }
+}
+
+/// Baseline sanity for the matrix: the same schedule with no faults
+/// commits both sides almost immediately.
+#[test]
+fn unfaulted_baseline_commits_quickly() {
+    let mut c = SimCluster::new(2, 1);
+    let gtid = c.submit(vec![
+        Write {
+            shard: 0,
+            key: 1,
+            val: 11,
+        },
+        Write {
+            shard: 1,
+            key: 9,
+            val: 99,
+        },
+    ]);
+    c.run_until(ms(10));
+    assert_eq!(c.decision_at(c.primary(0), gtid), Some(true));
+    assert_eq!(c.read_at(c.primary(1), 1, 9), Some(99));
+    assert!(c.in_doubt_at(c.primary(0)).is_empty());
+    assert!(c.in_doubt_at(c.primary(1)).is_empty());
+}

@@ -1,0 +1,102 @@
+//! Property tests pinning the three guarantees the shard map
+//! advertises: placement is a pure function of `(key, topology)`,
+//! load stays within 2× of ideal at 16 shards, and removing a station
+//! remaps only the keys that station owned.
+
+use netsim::StationId;
+use proptest::prelude::*;
+use shard::ShardMap;
+use std::collections::BTreeMap;
+
+fn keys(n: u32) -> impl Iterator<Item = String> {
+    (0..n).map(|k| format!("doc/{k}/page.html"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Determinism: two maps built from the same topology agree on
+    /// every key, independent of construction order or process state.
+    #[test]
+    fn placement_is_pure(n in 1u32..20, replication in 1usize..4, seed in any::<u32>()) {
+        let a = ShardMap::uniform(n, replication);
+        let b = ShardMap::uniform(n, replication);
+        for k in 0..64u32 {
+            let key = format!("k{}-{seed}", k);
+            prop_assert_eq!(a.placement_of(key.as_bytes()), b.placement_of(key.as_bytes()));
+            let p = a.placement_of(key.as_bytes());
+            prop_assert_eq!(p.primary, a.stations()[p.shard]);
+            prop_assert!(p.replicas.len() < replication.max(1));
+            prop_assert!(!p.replicas.contains(&p.primary));
+        }
+    }
+
+    /// Minimal disruption: dropping one station remaps only that
+    /// station's keys; every survivor keeps every key it owned.
+    #[test]
+    fn removal_remaps_only_the_lost_stations_keys(
+        n in 2u32..16,
+        victim_ix in any::<u32>(),
+        salt in any::<u32>(),
+    ) {
+        let map = ShardMap::uniform(n, 2);
+        let victim = map.stations()[victim_ix as usize % map.stations().len()];
+        let shrunk = map.without_station(victim);
+        for k in 0..256u32 {
+            let key = format!("k{k}.{salt}");
+            let before = map.primary_of(key.as_bytes());
+            let after = shrunk.primary_of(key.as_bytes());
+            if before == victim {
+                prop_assert_ne!(after, victim, "victim still owns {}", key);
+            } else {
+                prop_assert_eq!(before, after, "unaffected key {} moved", key);
+            }
+        }
+    }
+}
+
+/// Balance: with the default vnode count, 16 stations each hold less
+/// than 2× the ideal share of a large uniform keyspace (and nobody
+/// starves outright).
+#[test]
+fn sixteen_shards_stay_within_twice_ideal() {
+    let map = ShardMap::uniform(16, 1);
+    let total = 32_000u32;
+    let mut load: BTreeMap<StationId, u32> = BTreeMap::new();
+    for key in keys(total) {
+        *load.entry(map.primary_of(key.as_bytes())).or_default() += 1;
+    }
+    let ideal = f64::from(total) / 16.0;
+    assert_eq!(load.len(), 16, "some station owns no keys at all");
+    for (station, n) in load {
+        let ratio = f64::from(n) / ideal;
+        assert!(
+            ratio < 2.0,
+            "station {station:?} holds {n} keys ({ratio:.2}x ideal)"
+        );
+        assert!(
+            ratio > 0.25,
+            "station {station:?} starves at {n} keys ({ratio:.2}x ideal)"
+        );
+    }
+}
+
+/// Replicas follow the distribution tree: the first replica of every
+/// shard is a direct tree neighbour of its primary, and placements
+/// never repeat a station.
+#[test]
+fn replicas_ride_tree_edges() {
+    for n in [2u32, 5, 8, 16] {
+        let map = ShardMap::uniform(n, 3.min(n as usize));
+        for shard in 0..map.shards() {
+            let p = map.placement_of_shard(shard);
+            let pos = map.tree().position_of(p.primary).unwrap();
+            let mut near: Vec<u64> = map.tree().children_of(pos);
+            near.extend(map.tree().parent_of(pos));
+            if let Some(first) = p.replicas.first() {
+                let rpos = map.tree().position_of(*first).unwrap();
+                assert!(near.contains(&rpos), "first replica is not adjacent");
+            }
+        }
+    }
+}

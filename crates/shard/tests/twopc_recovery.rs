@@ -1,0 +1,310 @@
+//! End-to-end 2PC recovery over *real* WAL files: a durable router
+//! ([`Router::with_wals`]) crashes mid-commit at each protocol stage
+//! (via [`DistTxn::commit_until`], which leaks the prepared engine
+//! transactions exactly as a power cut would), and every shard's log
+//! is then recovered independently with
+//! [`twopc::recover_participant`], using the coordinator's decision
+//! table read back from shard 0's WAL as the oracle.
+//!
+//! The invariants:
+//!
+//! * crash **after** the forced `CommitDecision` frame → every
+//!   participant resolves to commit and the transaction's rows appear
+//!   in full, partitioned exactly once across the shards;
+//! * crash **before** any decision frame → presumed abort: every
+//!   participant resolves to abort and no row of the transaction
+//!   survives anywhere;
+//! * recovery patches the logs ([`twopc::resolve_log`]), so a second
+//!   recovery pass finds nothing in doubt and reproduces the same
+//!   state without consulting the oracle.
+
+use obs::Registry;
+use relstore::testkit::standard_schemas;
+use relstore::{EngineKind, Predicate, RowId, Value};
+use shard::twopc::{self, Decision};
+use shard::{CommitStage, Router, RoutingSpec, ShardMap};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use wal::{WalError, WalOptions};
+
+const SHARDS: u32 = 2;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("shard-2pc-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec_of(table: &str) -> RoutingSpec {
+    match table {
+        "parent" => RoutingSpec::ByColumn("id".into()),
+        "child" => RoutingSpec::ByColumn("parent".into()),
+        _ => RoutingSpec::ByParent {
+            col: "child".into(),
+            parent: "child".into(),
+            fallback: "id".into(),
+        },
+    }
+}
+
+fn durable_router(dir: &Path) -> Router {
+    let router = Router::with_wals(
+        EngineKind::TwoPl,
+        ShardMap::uniform(SHARDS, 1),
+        dir,
+        Registry::new(),
+    )
+    .expect("open durable router");
+    for schema in standard_schemas() {
+        let spec = spec_of(schema.name.as_str());
+        router.create_table(schema, spec).expect("sharded catalog");
+    }
+    router
+}
+
+fn parent_row(id: i64) -> Vec<Value> {
+    vec![
+        Value::Int(id),
+        Value::Text(format!("p{id}")),
+        Value::Text(format!("tag-{id}")),
+    ]
+}
+
+/// Commit `ids` as parents in one distributed transaction, stopping at
+/// `stage`. Returns the ids that made the transaction span both
+/// shards (panics if the spread never happens — with 16 ids over two
+/// shards that would be a hash catastrophe, not flakiness).
+fn crash_txn(router: &Router, ids: &[i64], stage: CommitStage) {
+    let txn = router.begin();
+    for &id in ids {
+        txn.insert("parent", parent_row(id)).expect("insert parent");
+    }
+    assert!(
+        txn.dirty_shards().len() == SHARDS as usize,
+        "crash txn must span every shard to exercise 2PC"
+    );
+    txn.commit_until(stage).expect("commit_until");
+}
+
+/// Recover every shard WAL in `dir` against the coordinator's durable
+/// decision table (shard 0's log), returning each shard's committed
+/// parent ids plus the resolutions recovery applied.
+fn recover_all(dir: &Path) -> Result<(Vec<BTreeSet<i64>>, Vec<Decision>), WalError> {
+    let coord_bytes = std::fs::read(dir.join("shard-0.wal"))?;
+    let decisions = twopc::read_decisions(&coord_bytes)?;
+    let mut per_shard = Vec::new();
+    let mut applied = Vec::new();
+    for i in 0..SHARDS {
+        let path = dir.join(format!("shard-{i}.wal"));
+        let metrics = Registry::new();
+        let opts = WalOptions {
+            engine: EngineKind::TwoPl,
+            metrics: metrics.clone(),
+            ..WalOptions::default()
+        };
+        let (engine, _wal, _report, resolved) =
+            twopc::recover_participant(&path, opts, &metrics, |gtid| {
+                *decisions.get(&gtid).unwrap_or(&Decision::Abort)
+            })?;
+        applied.extend(resolved.iter().map(|(_, d)| *d));
+        let txn = engine.begin();
+        let rows = txn.select("parent", &Predicate::True).expect("select");
+        per_shard.push(
+            rows.iter()
+                .map(|(_, row)| match row[0] {
+                    Value::Int(v) => v,
+                    ref other => panic!("non-int parent id {other:?}"),
+                })
+                .collect(),
+        );
+        txn.rollback();
+    }
+    Ok((per_shard, applied))
+}
+
+fn union(sets: &[BTreeSet<i64>]) -> BTreeSet<i64> {
+    let mut all = BTreeSet::new();
+    let mut total = 0usize;
+    for s in sets {
+        total += s.len();
+        all.extend(s.iter().copied());
+    }
+    assert_eq!(all.len(), total, "a parent id appears on two shards");
+    all
+}
+
+/// Crash after the forced `CommitDecision`: the commit point was
+/// reached, so recovery must drive every prepared participant forward
+/// and materialise the whole transaction.
+#[test]
+fn decided_crash_recovers_to_commit() {
+    let dir = tmp("decided");
+    let baseline: Vec<i64> = (1..=4).collect();
+    let crash_ids: Vec<i64> = (10..=25).collect();
+    {
+        let router = durable_router(&dir);
+        router
+            .with_txn(|t| {
+                for &id in &baseline {
+                    t.insert("parent", parent_row(id))?;
+                }
+                Ok(())
+            })
+            .expect("baseline commit");
+        crash_txn(&router, &crash_ids, CommitStage::Decided);
+
+        // The crash left both participants prepared and unresolved.
+        for i in 0..SHARDS {
+            let bytes = std::fs::read(dir.join(format!("shard-{i}.wal"))).unwrap();
+            assert!(
+                !twopc::in_doubt(&bytes).unwrap().is_empty(),
+                "shard {i} should be in doubt after the simulated crash"
+            );
+        }
+    }
+
+    let (per_shard, applied) = recover_all(&dir).expect("recovery");
+    assert!(!applied.is_empty(), "recovery resolved nothing");
+    assert!(
+        applied.iter().all(|d| *d == Decision::Commit),
+        "a durable CommitDecision must resolve forward: {applied:?}"
+    );
+    let expected: BTreeSet<i64> = baseline.iter().chain(&crash_ids).copied().collect();
+    assert_eq!(union(&per_shard), expected, "rows lost or duplicated");
+    assert!(
+        per_shard.iter().all(|s| !s.is_empty()),
+        "the crash transaction spanned both shards, so both must hold rows"
+    );
+
+    // resolve_log patched the logs: the second pass is a no-op with
+    // identical state and an empty in-doubt set.
+    let (again, reapplied) = recover_all(&dir).expect("second recovery");
+    assert_eq!(again, per_shard, "recovery is not idempotent");
+    assert!(reapplied.is_empty(), "patched logs still in doubt");
+}
+
+/// Crash after the `Prepare` frames but before any decision: nothing
+/// reached the commit point, so recovery presumes abort everywhere
+/// and only the baseline survives.
+#[test]
+fn prepared_crash_presumes_abort() {
+    let dir = tmp("prepared");
+    let baseline: Vec<i64> = (1..=4).collect();
+    let crash_ids: Vec<i64> = (10..=25).collect();
+    let decisions_before;
+    {
+        let router = durable_router(&dir);
+        router
+            .with_txn(|t| {
+                for &id in &baseline {
+                    t.insert("parent", parent_row(id))?;
+                }
+                Ok(())
+            })
+            .expect("baseline commit");
+        let bytes = std::fs::read(dir.join("shard-0.wal")).unwrap();
+        decisions_before = twopc::read_decisions(&bytes).unwrap();
+        crash_txn(&router, &crash_ids, CommitStage::Prepared);
+    }
+
+    // The crash wrote no new decision frame (the baseline's own — if
+    // it happened to span shards — was already durable before it).
+    let coord_bytes = std::fs::read(dir.join("shard-0.wal")).unwrap();
+    assert_eq!(
+        twopc::read_decisions(&coord_bytes).unwrap(),
+        decisions_before,
+        "a Prepared-stage crash must leave no durable decision"
+    );
+
+    let (per_shard, applied) = recover_all(&dir).expect("recovery");
+    assert!(!applied.is_empty(), "recovery resolved nothing");
+    assert!(
+        applied.iter().all(|d| *d == Decision::Abort),
+        "no decision on disk must presume abort: {applied:?}"
+    );
+    let expected: BTreeSet<i64> = baseline.iter().copied().collect();
+    assert_eq!(
+        union(&per_shard),
+        expected,
+        "presumed abort leaked crash-transaction rows"
+    );
+
+    let (again, reapplied) = recover_all(&dir).expect("second recovery");
+    assert_eq!(again, per_shard);
+    assert!(reapplied.is_empty());
+}
+
+/// Three fates in one log: a fully committed transaction, a crashed
+/// *undecided* one (on `review`, so its leaked 2PL locks never touch
+/// the later transactions), and a crashed *decided* one. Recovery
+/// must keep the first, roll the second back, and resolve the third
+/// forward.
+#[test]
+fn mixed_fates_in_one_log() {
+    let dir = tmp("mixed");
+    let committed: Vec<i64> = (1..=8).collect();
+    let undecided: Vec<i64> = (50..=65).collect();
+    let decided: Vec<i64> = (20..=35).collect();
+    {
+        let router = durable_router(&dir);
+        router
+            .with_txn(|t| {
+                for &id in &committed {
+                    t.insert("parent", parent_row(id))?;
+                }
+                Ok(())
+            })
+            .expect("committed txn");
+        // Undecided crash on `review` (NULL fk → routes by its own
+        // pk, no FK lookup into the locked-later `parent` rows).
+        let txn = router.begin();
+        for &id in &undecided {
+            txn.insert("review", vec![Value::Int(id), Value::Null, Value::Int(3)])
+                .expect("insert review");
+        }
+        assert_eq!(txn.dirty_shards().len(), SHARDS as usize);
+        txn.commit_until(CommitStage::Prepared)
+            .expect("prepared crash");
+        // Decided crash on `parent` rows disjoint from the committed
+        // set (and on a table the leaked review txn never locked).
+        crash_txn(&router, &decided, CommitStage::Decided);
+    }
+
+    let (per_shard, applied) = recover_all(&dir).expect("recovery");
+    assert!(
+        applied.contains(&Decision::Commit),
+        "decided txn not resolved"
+    );
+    assert!(
+        applied.contains(&Decision::Abort),
+        "undecided txn not aborted"
+    );
+    let expected: BTreeSet<i64> = committed.iter().chain(&decided).copied().collect();
+    assert_eq!(union(&per_shard), expected, "wrong parent survivor set");
+
+    // The undecided review rows are gone everywhere, and each shard's
+    // surviving RowIds are unique.
+    for i in 0..SHARDS {
+        let path = dir.join(format!("shard-{i}.wal"));
+        let metrics = Registry::new();
+        let opts = WalOptions {
+            engine: EngineKind::TwoPl,
+            metrics: metrics.clone(),
+            ..WalOptions::default()
+        };
+        let (engine, _wal, _report, _resolved) =
+            twopc::recover_participant(&path, opts, &metrics, |_| Decision::Abort)
+                .expect("third recovery");
+        let txn = engine.begin();
+        let reviews = txn
+            .select("review", &Predicate::True)
+            .expect("select review");
+        assert!(reviews.is_empty(), "undecided txn leaked rows on shard {i}");
+        let rows = txn
+            .select("parent", &Predicate::True)
+            .expect("select parent");
+        let ids: BTreeSet<RowId> = rows.iter().map(|(rid, _)| *rid).collect();
+        assert_eq!(ids.len(), rows.len(), "duplicate row ids on shard {i}");
+        txn.rollback();
+    }
+}

@@ -305,6 +305,29 @@ impl Wal {
         self.wait_durable(target)
     }
 
+    /// Append a two-phase-commit protocol frame
+    /// ([`WalRecord::Prepare`], [`WalRecord::CommitDecision`],
+    /// [`WalRecord::AbortDecision`]) and force it durable before
+    /// returning. Durability ordering is the whole point of these
+    /// records: a participant must not vote yes before its `Prepare`
+    /// (and every op frame before it) is on disk, and a coordinator
+    /// must not announce a commit before its `CommitDecision` is.
+    /// Returns the frame's LSN.
+    pub fn log_dist(&self, record: &WalRecord) -> Result<Lsn, WalError> {
+        debug_assert!(
+            matches!(
+                record,
+                WalRecord::Prepare { .. }
+                    | WalRecord::CommitDecision { .. }
+                    | WalRecord::AbortDecision { .. }
+            ),
+            "log_dist is for 2PC protocol frames"
+        );
+        let lsn = self.append_record(record)?;
+        self.flush()?;
+        Ok(lsn)
+    }
+
     /// Per-commit-flush baseline: serialize entirely, write whatever is
     /// pending, and sync — one sync *per caller*, never shared.
     fn flush_per_commit(&self) -> Result<(), WalError> {

@@ -122,6 +122,43 @@ pub enum WalRecord {
         #[serde(default)]
         dirty_pages: Vec<(u64, u64)>,
     },
+    /// Two-phase commit, participant side: local transaction `txn` is
+    /// *prepared* on behalf of distributed transaction `gtid` — all of
+    /// its op records precede this frame and are durable, and the
+    /// participant has promised to commit or abort exactly as the
+    /// coordinator decides. Under presumed abort, a prepared
+    /// transaction with no later `Commit`/`Abort` frame is **in
+    /// doubt**: recovery must resolve it against the coordinator's
+    /// decision log before the usual loser-undo may run
+    /// (`shard::recovery` patches the log with the resolved outcome and
+    /// then reuses the ordinary analysis/redo/undo machinery).
+    Prepare {
+        /// The distributed (global) transaction id.
+        gtid: u64,
+        /// The participant's local transaction being prepared.
+        txn: TxnId,
+    },
+    /// Two-phase commit, coordinator side: the commit decision for
+    /// `gtid` is durable. Forced to disk *before* any participant is
+    /// told to commit — the decision is the commit point of the
+    /// distributed transaction. Under presumed abort this is the only
+    /// record a coordinator must force; a `gtid` absent from the
+    /// decision log is, by definition, aborted.
+    CommitDecision {
+        /// The distributed transaction id.
+        gtid: u64,
+        /// Participant shards (informational: lets recovery and the
+        /// scenario tests enumerate who must converge).
+        participants: Vec<u64>,
+    },
+    /// Two-phase commit, coordinator side: `gtid` was aborted. Never
+    /// *required* under presumed abort (absence means abort); logged
+    /// lazily so operators and tests can distinguish "decided abort"
+    /// from "never heard of it".
+    AbortDecision {
+        /// The distributed transaction id.
+        gtid: u64,
+    },
 }
 
 impl WalRecord {
@@ -135,7 +172,16 @@ impl WalRecord {
             | WalRecord::Insert { txn, .. }
             | WalRecord::Update { txn, .. }
             | WalRecord::Delete { txn, .. } => Some(*txn),
-            WalRecord::CreateTable { .. } | WalRecord::Checkpoint { .. } => None,
+            // `Prepare` carries a local txn id, but deliberately does
+            // not *own* the transaction for analysis purposes: the
+            // local txn's own Begin/op/Commit frames drive the ordinary
+            // winner/loser classification, and the 2PC layer resolves
+            // in-doubt outcomes before that classification runs.
+            WalRecord::CreateTable { .. }
+            | WalRecord::Checkpoint { .. }
+            | WalRecord::Prepare { .. }
+            | WalRecord::CommitDecision { .. }
+            | WalRecord::AbortDecision { .. } => None,
         }
     }
 }
@@ -401,6 +447,40 @@ mod tests {
                 assert!(dirty_pages.is_empty());
             }
             other => panic!("expected checkpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn twopc_records_roundtrip_and_own_no_txn() {
+        let records = [
+            WalRecord::Prepare { gtid: 40, txn: 7 },
+            WalRecord::CommitDecision {
+                gtid: 40,
+                participants: vec![0, 2, 5],
+            },
+            WalRecord::AbortDecision { gtid: 41 },
+        ];
+        let mut log = MAGIC.to_vec();
+        for rec in &records {
+            assert_eq!(rec.txn(), None, "2PC frames drive no analysis");
+            log.extend_from_slice(&encode_frame(rec).unwrap());
+        }
+        let scan = scan(&log).unwrap();
+        assert_eq!(scan.tail, Tail::Clean);
+        match &scan.records[0].1 {
+            WalRecord::Prepare { gtid, txn } => assert_eq!((*gtid, *txn), (40, 7)),
+            other => panic!("expected prepare, got {other:?}"),
+        }
+        match &scan.records[1].1 {
+            WalRecord::CommitDecision { gtid, participants } => {
+                assert_eq!(*gtid, 40);
+                assert_eq!(participants, &[0, 2, 5]);
+            }
+            other => panic!("expected commit decision, got {other:?}"),
+        }
+        match &scan.records[2].1 {
+            WalRecord::AbortDecision { gtid } => assert_eq!(*gtid, 41),
+            other => panic!("expected abort decision, got {other:?}"),
         }
     }
 

@@ -267,7 +267,17 @@ pub fn recover_bytes_any(
                     report.undone_ops += undo_txn(&db, ops)?;
                 }
             }
-            WalRecord::Begin { .. } | WalRecord::Commit { .. } | WalRecord::Checkpoint { .. } => {}
+            // 2PC protocol frames carry no row images: the prepared
+            // local transaction's own op records were replayed above,
+            // and its fate was fixed *before* this routine ran (the
+            // shard layer resolves in-doubt outcomes by appending the
+            // decided Commit/Abort frame — see `shard::recovery`).
+            WalRecord::Begin { .. }
+            | WalRecord::Commit { .. }
+            | WalRecord::Checkpoint { .. }
+            | WalRecord::Prepare { .. }
+            | WalRecord::CommitDecision { .. }
+            | WalRecord::AbortDecision { .. } => {}
         }
     }
     let redo_done = Instant::now();

@@ -19,6 +19,10 @@
 //! * [`obs`] — deterministic observability: metrics registry and
 //!   bounded event tracing, timestamped in simulated time so traces
 //!   replay byte-for-byte under a fixed seed;
+//! * [`shard`] — hash-partitioned tables over per-shard engines:
+//!   consistent-hash placement with tree-aligned replicas, a router
+//!   with exact single-engine parity, WAL-backed presumed-abort
+//!   two-phase commit, and the simulated cluster protocol;
 //! * [`core`] — the Web document DBMS: three-layer hierarchy, five
 //!   document tables, referential integrity alerts, hierarchical
 //!   locking, class/instance/reference objects, SCM, quizzes,
@@ -37,6 +41,7 @@ pub use blobstore;
 pub use netsim;
 pub use obs;
 pub use relstore;
+pub use shard;
 pub use wal;
 pub use wdoc_collab as collab;
 pub use wdoc_core as core;
