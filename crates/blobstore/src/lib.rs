@@ -141,6 +141,92 @@ struct Inner {
     stores: u64,
     dedup_hits: u64,
     evictions: u64,
+    /// Present on a log-backed store: every mutation is written
+    /// through to the log, so the durable state reclaims itself via
+    /// segment merges instead of being rewritten wholesale.
+    log: Option<LogBacking>,
+}
+
+/// Durable key layout of a log-backed store. Two keyspaces, both
+/// prefixed so they sort apart: `b` + id (25 bytes) holds
+/// `kind byte | payload`, `r` + id holds the reference count (u64 LE).
+/// Payload and refcount are separate records so a retain/release never
+/// rewrites megabytes of media.
+fn blob_key(id: BlobId) -> [u8; 25] {
+    let mut k = [0u8; 25];
+    k[0] = b'b';
+    k[1..9].copy_from_slice(&id.hi.to_be_bytes());
+    k[9..17].copy_from_slice(&id.lo.to_be_bytes());
+    k[17..25].copy_from_slice(&id.len.to_be_bytes());
+    k
+}
+
+fn refs_key(id: BlobId) -> [u8; 25] {
+    let mut k = blob_key(id);
+    k[0] = b'r';
+    k
+}
+
+fn key_id(k: &[u8]) -> Option<BlobId> {
+    if k.len() != 25 {
+        return None;
+    }
+    Some(BlobId {
+        hi: u64::from_be_bytes(k[1..9].try_into().ok()?),
+        lo: u64::from_be_bytes(k[9..17].try_into().ok()?),
+        len: u64::from_be_bytes(k[17..25].try_into().ok()?),
+    })
+}
+
+fn kind_byte(kind: MediaKind) -> u8 {
+    MediaKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("kind is in ALL") as u8
+}
+
+/// The write-through handle. The in-memory API stays infallible: a
+/// persistence failure is remembered here and surfaced by the next
+/// [`BlobStore::sync`] (the checkpoint path), mirroring how a failed
+/// JSON rewrite would have surfaced at checkpoint time.
+#[derive(Debug)]
+struct LogBacking {
+    store: logstore::LogStore,
+    error: Option<logstore::LogError>,
+}
+
+impl LogBacking {
+    fn try_put(&mut self, key: &[u8], value: &[u8]) {
+        if self.error.is_none() {
+            if let Err(e) = self.store.put(key, value) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn try_remove(&mut self, key: &[u8]) {
+        if self.error.is_none() {
+            if let Err(e) = self.store.remove(key) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn put_blob(&mut self, id: BlobId, kind: MediaKind, data: &[u8]) {
+        let mut value = Vec::with_capacity(1 + data.len());
+        value.push(kind_byte(kind));
+        value.extend_from_slice(data);
+        self.try_put(&blob_key(id), &value);
+    }
+
+    fn put_refs(&mut self, id: BlobId, refs: u64) {
+        self.try_put(&refs_key(id), &refs.to_le_bytes());
+    }
+
+    fn evict(&mut self, id: BlobId) {
+        self.try_remove(&blob_key(id));
+        self.try_remove(&refs_key(id));
+    }
 }
 
 /// One workstation's BLOB storage. Cheap to clone (shared handle).
@@ -185,6 +271,93 @@ impl BlobStore {
         Self::default()
     }
 
+    /// Open a store durably backed by a [`logstore::LogStore`] rooted
+    /// at `dir`: every resident payload and reference count found in
+    /// the log is restored, and every further mutation is written
+    /// through. Appends become durable at [`sync`](BlobStore::sync)
+    /// (the checkpoint path) or when the log itself seals a segment;
+    /// dead payloads are reclaimed by the log's merge compaction
+    /// rather than by rewriting a monolithic dump.
+    pub fn open_logged(
+        dir: &std::path::Path,
+        cfg: logstore::LogConfig,
+        metrics: obs::Registry,
+    ) -> Result<BlobStore, logstore::LogError> {
+        let store = logstore::LogStore::open_with_metrics(dir, cfg, metrics)?;
+        let mut inner = Inner::default();
+        let mut refs: BTreeMap<BlobId, u64> = BTreeMap::new();
+        for (k, v) in store.entries()? {
+            let Some(id) = key_id(&k) else { continue };
+            match k.first() {
+                Some(&b'b') if !v.is_empty() => {
+                    let kind =
+                        *MediaKind::ALL
+                            .get(v[0] as usize)
+                            .ok_or(logstore::LogError::Corrupt {
+                                seg: 0,
+                                off: 0,
+                                reason: format!("blob {id} has unknown media kind {}", v[0]),
+                            })?;
+                    inner.slots.insert(
+                        id,
+                        Slot {
+                            data: Bytes::from(v[1..].to_vec()),
+                            kind,
+                            refs: 1,
+                        },
+                    );
+                }
+                Some(&b'r') if v.len() == 8 => {
+                    refs.insert(id, u64::from_le_bytes(v.try_into().expect("8B")));
+                }
+                _ => {}
+            }
+        }
+        // Pair payloads with their counts. A payload whose refcount
+        // record was lost to a torn tail keeps the one reference its
+        // own existence implies; an orphan refcount (payload evicted,
+        // crash between the two tombstones) is dropped.
+        for (id, slot) in &mut inner.slots {
+            slot.refs = refs.get(id).copied().unwrap_or(1).max(1);
+            inner.physical += id.len();
+            inner.logical += id.len() * slot.refs;
+        }
+        inner.log = Some(LogBacking { store, error: None });
+        Ok(BlobStore {
+            inner: Arc::new(RwLock::new(inner)),
+        })
+    }
+
+    /// Force the write-through log to disk and surface any persistence
+    /// error a mutation hit since the last sync. No-op (always `Ok`)
+    /// on a purely in-memory store.
+    pub fn sync(&self) -> Result<(), logstore::LogError> {
+        let mut g = self.inner.write();
+        let Some(lb) = g.log.as_mut() else {
+            return Ok(());
+        };
+        if let Some(e) = lb.error.take() {
+            return Err(e);
+        }
+        lb.store.sync()
+    }
+
+    /// Run the backing log's merge compaction, if this store is
+    /// log-backed. Returns bytes reclaimed.
+    pub fn compact(&self) -> Result<u64, logstore::LogError> {
+        let mut g = self.inner.write();
+        match g.log.as_mut() {
+            Some(lb) => Ok(lb.store.merge()?.reclaimed_bytes),
+            None => Ok(0),
+        }
+    }
+
+    /// Counters of the backing log (`None` for in-memory stores).
+    #[must_use]
+    pub fn log_stats(&self) -> Option<logstore::LogStats> {
+        self.inner.read().log.as_ref().map(|lb| lb.store.stats())
+    }
+
     /// Store a payload, taking one reference. Identical content
     /// deduplicates to the same id and a single physical copy.
     pub fn store(&self, kind: MediaKind, data: impl Into<Bytes>) -> BlobMeta {
@@ -198,19 +371,27 @@ impl BlobStore {
             Some(slot) => {
                 slot.refs += 1;
                 let kind = slot.kind;
+                let refs = slot.refs;
                 g.dedup_hits += 1;
+                if let Some(lb) = g.log.as_mut() {
+                    lb.put_refs(id, refs);
+                }
                 BlobMeta { id, kind, size }
             }
             None => {
                 g.slots.insert(
                     id,
                     Slot {
-                        data,
+                        data: data.clone(),
                         kind,
                         refs: 1,
                     },
                 );
                 g.physical += size;
+                if let Some(lb) = g.log.as_mut() {
+                    lb.put_blob(id, kind, &data);
+                    lb.put_refs(id, 1);
+                }
                 BlobMeta { id, kind, size }
             }
         }
@@ -223,7 +404,11 @@ impl BlobStore {
         match g.slots.get_mut(&id) {
             Some(slot) => {
                 slot.refs += 1;
+                let refs = slot.refs;
                 g.logical += id.len();
+                if let Some(lb) = g.log.as_mut() {
+                    lb.put_refs(id, refs);
+                }
                 true
             }
             None => false,
@@ -243,6 +428,11 @@ impl BlobStore {
             g.slots.remove(&id);
             g.physical -= id.len();
             g.evictions += 1;
+            if let Some(lb) = g.log.as_mut() {
+                lb.evict(id);
+            }
+        } else if let Some(lb) = g.log.as_mut() {
+            lb.put_refs(id, remaining);
         }
         Some(remaining)
     }
@@ -502,5 +692,60 @@ mod tests {
         let bs2 = bs.clone();
         let m = bs.store(MediaKind::Midi, payload(8, 1));
         assert!(bs2.contains(m.id));
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("blobstore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn logged_store_survives_reopen() {
+        let dir = scratch("reopen");
+        let cfg = logstore::LogConfig::default();
+        let bs = BlobStore::open_logged(&dir, cfg.clone(), obs::Registry::disabled()).unwrap();
+        let a = bs.store(MediaKind::Video, payload(100, 1));
+        bs.retain(a.id);
+        bs.retain(a.id); // refs = 3
+        let b = bs.store(MediaKind::Midi, payload(10, 2));
+        bs.release(b.id); // evicted
+        bs.sync().unwrap();
+        let expect = bs.stats();
+        drop(bs);
+
+        let bs = BlobStore::open_logged(&dir, cfg, obs::Registry::disabled()).unwrap();
+        assert_eq!(bs.ref_count(a.id), 3);
+        assert!(!bs.contains(b.id), "evicted blob stays evicted");
+        assert_eq!(bs.get(a.id).unwrap(), Bytes::from(payload(100, 1)));
+        assert_eq!(bs.meta(a.id).unwrap().kind, MediaKind::Video);
+        let got = bs.stats();
+        assert_eq!(got.physical_bytes, expect.physical_bytes);
+        assert_eq!(got.logical_bytes, expect.logical_bytes);
+        assert_eq!(got.blob_count, expect.blob_count);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn logged_store_compacts_churn() {
+        let dir = scratch("compact");
+        let cfg = logstore::LogConfig {
+            segment_bytes: 4096,
+            auto_compact: false,
+            ..logstore::LogConfig::default()
+        };
+        let bs = BlobStore::open_logged(&dir, cfg, obs::Registry::disabled()).unwrap();
+        // Churn: store and fully release many distinct payloads.
+        for i in 0..200u32 {
+            let m = bs.store(MediaKind::StillImage, i.to_le_bytes().repeat(32));
+            bs.release(m.id);
+        }
+        let keeper = bs.store(MediaKind::Audio, payload(64, 9));
+        let before = bs.log_stats().unwrap().disk_bytes;
+        let reclaimed = bs.compact().unwrap();
+        assert!(reclaimed > 0);
+        assert!(bs.log_stats().unwrap().disk_bytes < before / 2);
+        assert!(bs.contains(keeper.id));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -14,7 +14,7 @@ use crate::integrity::{Alert, IntegrityDiagram, ObjectRef};
 use crate::tables::{
     self, Annotation, BugReport, HtmlFile, Implementation, ProgramFile, Script, TestRecord,
 };
-use blobstore::{BlobExport, BlobMeta, BlobStore, MediaKind};
+use blobstore::{BlobExport, BlobId, BlobMeta, BlobStore, MediaKind};
 use bytes::Bytes;
 use relstore::{AnyEngine, EngineKind, Predicate, Value};
 use serde::{Deserialize, Serialize};
@@ -68,7 +68,16 @@ pub struct WebDocDb {
 /// The on-disk attachments of a durably opened station.
 struct Durable {
     wal: std::sync::Arc<wal::Wal>,
-    blobs_path: std::path::PathBuf,
+    blobs_sink: BlobSink,
+}
+
+/// How the BLOB layer persists at checkpoints.
+enum BlobSink {
+    /// Whole-store JSON snapshot rewritten at every checkpoint.
+    Json(std::path::PathBuf),
+    /// Log-structured store: every mutation is already appended;
+    /// checkpoint only fsyncs the tail.
+    Log,
 }
 
 impl Default for WebDocDb {
@@ -166,7 +175,57 @@ impl WebDocDb {
                 rel,
                 blobs,
                 diagram: IntegrityDiagram::paper_default(),
-                durable: Some(Durable { wal, blobs_path }),
+                durable: Some(Durable {
+                    wal,
+                    blobs_sink: BlobSink::Json(blobs_path),
+                }),
+            },
+            report,
+        ))
+    }
+
+    /// Open (or create) a durable station on **log-structured storage**
+    /// end to end: the WAL as a directory of segments at `dir/wal.d`
+    /// (each checkpoint deletes every segment it fully covers, so the
+    /// log's disk footprint is bounded by the checkpoint interval), and
+    /// the BLOB layer as an append-only compacting log at `dir/blobs.d`
+    /// (every store/retain/release is written through immediately;
+    /// checkpoints only fsync, instead of rewriting a JSON snapshot of
+    /// the whole store).
+    ///
+    /// To also place the relational *page store* on the log backend,
+    /// pass a [`wal::WalOptions::pool`] built with
+    /// `relstore::PoolConfig::log(..)` — all three layers then share
+    /// the same storage discipline.
+    pub fn open_durable_logged(
+        dir: &std::path::Path,
+        opts: wal::WalOptions,
+        log_cfg: logstore::LogConfig,
+    ) -> Result<(WebDocDb, wal::RecoveryReport)> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CoreError::Durability(format!("create {}: {e}", dir.display())))?;
+        let opts = wal::WalOptions {
+            segment_bytes: Some(opts.segment_bytes.unwrap_or(log_cfg.segment_bytes)),
+            ..opts
+        };
+        let metrics = opts.metrics.clone();
+        let (rel, wal, report) = wal::open_durable_any(&dir.join("wal.d"), opts)?;
+        if report.records_scanned == 0 {
+            for schema in Self::station_schemas() {
+                rel.create_table(schema)?;
+            }
+        }
+        let blobs = BlobStore::open_logged(&dir.join("blobs.d"), log_cfg, metrics)
+            .map_err(|e| CoreError::Durability(format!("open blob log: {e}")))?;
+        Ok((
+            WebDocDb {
+                rel,
+                blobs,
+                diagram: IntegrityDiagram::paper_default(),
+                durable: Some(Durable {
+                    wal,
+                    blobs_sink: BlobSink::Log,
+                }),
             },
             report,
         ))
@@ -185,13 +244,22 @@ impl WebDocDb {
             ));
         };
         let lsn = d.wal.checkpoint_any(&self.rel)?;
-        let text = serde_json::to_string(&self.blobs.export())
-            .map_err(|e| CoreError::Durability(format!("serialize blobs: {e}")))?;
-        let tmp = d.blobs_path.with_extension("json.tmp");
-        std::fs::write(&tmp, text)
-            .map_err(|e| CoreError::Durability(format!("write blobs: {e}")))?;
-        std::fs::rename(&tmp, &d.blobs_path)
-            .map_err(|e| CoreError::Durability(format!("publish blobs: {e}")))?;
+        match &d.blobs_sink {
+            BlobSink::Json(path) => {
+                let text = serde_json::to_string(&self.blobs.export())
+                    .map_err(|e| CoreError::Durability(format!("serialize blobs: {e}")))?;
+                let tmp = path.with_extension("json.tmp");
+                std::fs::write(&tmp, text)
+                    .map_err(|e| CoreError::Durability(format!("write blobs: {e}")))?;
+                std::fs::rename(&tmp, path)
+                    .map_err(|e| CoreError::Durability(format!("publish blobs: {e}")))?;
+            }
+            BlobSink::Log => {
+                self.blobs
+                    .sync()
+                    .map_err(|e| CoreError::Durability(format!("sync blob log: {e}")))?;
+            }
+        }
         Ok(lsn)
     }
 
@@ -396,6 +464,31 @@ impl WebDocDb {
             return Err(e.into());
         }
         Ok(meta)
+    }
+
+    /// Detach one multimedia resource from a script: deletes its
+    /// descriptor row and drops the script's BLOB reference (the
+    /// payload is evicted once no reference remains).
+    pub fn detach_script_resource(&self, name: &ScriptName, id: BlobId) -> Result<()> {
+        let blob = id.to_string();
+        let removed = self.rel.with_txn(|t| {
+            let rows = t.select(Script::RESOURCES, &Predicate::eq("owner", name.as_str()))?;
+            for (rid, row) in rows {
+                if row.get(1).and_then(Value::as_text) == Some(blob.as_str()) {
+                    t.delete(Script::RESOURCES, rid)?;
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        })?;
+        if !removed {
+            return Err(CoreError::NotFound {
+                kind: ObjectKind::MultimediaResource,
+                name: format!("{blob} on script {}", name.as_str()),
+            });
+        }
+        self.blobs.release(id);
+        Ok(())
     }
 
     /// Descriptors of a script's multimedia resources.

@@ -102,6 +102,109 @@ fn blobs_ride_checkpoints() {
 }
 
 #[test]
+fn logged_station_survives_crash_and_reopen() {
+    let dir = temp_dir("logged");
+    let payload = vec![9u8; 2048];
+    let cfg = logstore::LogConfig::default();
+
+    {
+        let (db, report) =
+            WebDocDb::open_durable_logged(&dir, wal::WalOptions::default(), cfg.clone()).unwrap();
+        assert!(report.winners.is_empty());
+        db.create_database(&course_db()).unwrap();
+        db.add_script(&script("s1")).unwrap();
+        db.attach_script_resource(
+            &ScriptName::new("s1"),
+            MediaKind::StillImage,
+            payload.clone(),
+        )
+        .unwrap();
+        // No checkpoint: the blob log's write-through appends alone
+        // must carry the BLOB layer across the crash (unlike JSON
+        // mode, where un-checkpointed blobs are lost).
+    }
+
+    let (db, report) =
+        WebDocDb::open_durable_logged(&dir, wal::WalOptions::default(), cfg).unwrap();
+    assert!(report.losers.is_empty());
+    assert_eq!(db.scripts_in(&DbName::new("mm-course")).unwrap().len(), 1);
+    let resources = db.script_resources(&ScriptName::new("s1")).unwrap();
+    assert_eq!(resources.len(), 1);
+    let blob = db.blobs().get(resources[0].id).unwrap();
+    assert_eq!(blob.as_ref(), payload.as_slice());
+    assert!(dir.join("wal.d").is_dir(), "segmented WAL directory");
+    assert!(dir.join("blobs.d").is_dir(), "blob log directory");
+    assert!(
+        !dir.join("blobs.json").exists(),
+        "log mode writes no JSON snapshot"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn logged_station_checkpoint_prunes_wal_segments() {
+    let dir = temp_dir("logged-prune");
+    let cfg = logstore::LogConfig {
+        segment_bytes: 4096,
+        ..logstore::LogConfig::default()
+    };
+
+    let (db, _) =
+        WebDocDb::open_durable_logged(&dir, wal::WalOptions::default(), cfg.clone()).unwrap();
+    db.create_database(&course_db()).unwrap();
+    for i in 0..200 {
+        db.add_script(&script(&format!("s{i}"))).unwrap();
+    }
+    let wal = db.wal().unwrap().clone();
+    let live_before = wal.segments_live();
+    assert!(live_before > 1, "workload rotated segments");
+    db.checkpoint().unwrap();
+    assert!(
+        wal.segments_live() < live_before,
+        "checkpoint dropped covered segments ({} -> {})",
+        live_before,
+        wal.segments_live()
+    );
+    assert!(wal.bytes_reclaimed() > 0);
+
+    // The pruned log still recovers the full committed state.
+    drop(db);
+    let (db, report) =
+        WebDocDb::open_durable_logged(&dir, wal::WalOptions::default(), cfg).unwrap();
+    assert!(report.checkpoint_lsn.is_some());
+    assert_eq!(db.scripts_in(&DbName::new("mm-course")).unwrap().len(), 200);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn logged_station_runs_on_log_page_store() {
+    // All three layers on the log backend: segmented WAL, log-backed
+    // blobs, and a buffer pool whose spill store is a `logstore`.
+    let dir = temp_dir("logged-pool");
+    let opts = wal::WalOptions {
+        pool: relstore::PoolConfig::log(dir.join("pages.d"), 8),
+        ..wal::WalOptions::default()
+    };
+    {
+        let (db, _) =
+            WebDocDb::open_durable_logged(&dir, opts.clone(), logstore::LogConfig::default())
+                .unwrap();
+        db.create_database(&course_db()).unwrap();
+        for i in 0..64 {
+            db.add_script(&script(&format!("p{i}"))).unwrap();
+        }
+        db.checkpoint().unwrap();
+    }
+    let (db, _) =
+        WebDocDb::open_durable_logged(&dir, opts, logstore::LogConfig::default()).unwrap();
+    assert_eq!(db.scripts_in(&DbName::new("mm-course")).unwrap().len(), 64);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn checkpoint_requires_durable_station() {
     let db = WebDocDb::new();
     match db.checkpoint() {

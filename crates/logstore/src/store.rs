@@ -1,0 +1,910 @@
+//! The log-structured store: key directory, segment rotation, hint
+//! files, and the full-merge compactor.
+//!
+//! # Crash-safety argument for merge
+//!
+//! Merge copies every *live* directory entry out of the sealed
+//! segments into fresh output segments, then deletes the sealed
+//! segments **in ascending id order**. Tombstone records are dropped
+//! entirely (the directory holds no entry for a deleted key). The
+//! ordering makes every intermediate state recoverable:
+//!
+//! * versions are store-wide monotone and every record carries its
+//!   own, so duplicate records (original + merge copy) are harmless —
+//!   the scan keeps the highest version wherever it finds it;
+//! * for any key, a record's version order matches its
+//!   `(segment id, offset)` order *among originals*, and a merge copy
+//!   never carries a version newer than the newest record of the
+//!   segments it replaces — so after deleting a prefix of the merged
+//!   segments, the newest surviving record for a key is either its
+//!   directory entry's copy in the output or a tombstone that still
+//!   correctly shadows it;
+//! * a tombstone's shadowed values always live in segments with ids
+//!   `<=` the tombstone's own (they were written earlier), so deleting
+//!   ascending removes every shadowed value **before** the tombstone
+//!   that kills it — a torn merge can therefore never resurrect a
+//!   deleted key or shadow a live record.
+//!
+//! Output data files are fully written and synced before their hint
+//! file appears (hints are written to a temp name, synced and
+//! renamed), and deletion only starts after every output is durable.
+//! The crash-point suite in `tests/crash_points.rs` sweeps every byte
+//! cut of the output, torn hints, and every prefix of the deletion
+//! sequence against a committed-state oracle.
+
+use crate::format::{
+    self, DataRecord, FrameScan, HintRecord, DATA_MAGIC, FILE_HEADER, FRAME_HEADER, HINT_MAGIC,
+};
+use crate::{LogConfig, LogError, Result};
+use obs::Registry;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Data-segment file path for segment `id` under `root`.
+#[must_use]
+pub fn data_path(root: &Path, id: u64) -> PathBuf {
+    root.join(format!("seg-{id:012}.log"))
+}
+
+/// Hint file path for segment `id` under `root`.
+#[must_use]
+pub fn hint_path(root: &Path, id: u64) -> PathBuf {
+    root.join(format!("seg-{id:012}.hint"))
+}
+
+/// One key's directory entry: where its current record lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DirEntry {
+    seg: u64,
+    /// File offset of the record's frame.
+    off: u64,
+    /// Total frame length (header + payload).
+    len: u32,
+    version: u64,
+}
+
+struct SegMeta {
+    file: File,
+    /// Valid data length (file header + complete frames).
+    len: u64,
+    /// Frames known to be in the file. Exact for segments written or
+    /// fully scanned by this process; for hint-loaded segments it
+    /// counts the hint's entries (live-at-seal + tombstones).
+    records: u64,
+    live_records: u64,
+    live_bytes: u64,
+    sealed: bool,
+}
+
+/// Point-in-time description of one segment, from
+/// [`LogStore::segment_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Segment id (file `seg-<id>.log`).
+    pub id: u64,
+    /// Valid bytes in the data file (header included).
+    pub bytes: u64,
+    /// Frames known to be in the file (see caveat on hint-loaded
+    /// segments in the module docs).
+    pub records: u64,
+    /// Records that are some key's current directory entry.
+    pub live_records: u64,
+    /// Bytes of live record frames.
+    pub live_bytes: u64,
+    /// `records - live_records`: superseded records and tombstones.
+    pub dead_records: u64,
+    /// Reclaimable bytes: everything that is not a live frame.
+    pub dead_bytes: u64,
+    /// False only for the active (append) segment.
+    pub sealed: bool,
+}
+
+/// Counters exposed for tests, experiments and the `PageStore`
+/// adapter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogStats {
+    /// Segments on disk (sealed + active).
+    pub segments: u64,
+    /// Sealed segments (merge candidates).
+    pub sealed_segments: u64,
+    /// Keys in the directory.
+    pub live_records: u64,
+    /// Bytes of live record frames (the store's logical payload, plus
+    /// framing).
+    pub live_bytes: u64,
+    /// Valid bytes across all segment data files.
+    pub disk_bytes: u64,
+    /// `disk_bytes` minus live frames and file headers — what a merge
+    /// could reclaim.
+    pub dead_bytes: u64,
+    /// Cumulative bytes appended (puts, removes and merge copies).
+    pub appended_bytes: u64,
+    /// Cumulative bytes reclaimed by merges (data + hint files).
+    pub reclaimed_bytes: u64,
+    /// Merges completed.
+    pub merges: u64,
+    /// Segments restored from hint files at open.
+    pub hints_loaded: u64,
+    /// Segments restored by scanning the data file at open (missing,
+    /// torn or corrupt hint).
+    pub segments_scanned: u64,
+}
+
+/// What one merge did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Sealed segments that were merged (and deleted), ascending.
+    pub merged: Vec<u64>,
+    /// Output segments the live entries were rewritten into.
+    pub outputs: Vec<u64>,
+    /// Live records copied forward.
+    pub live_records: u64,
+    /// Bytes of live frames copied forward.
+    pub live_bytes: u64,
+    /// Bytes reclaimed (old data + hint files minus nothing — outputs
+    /// are accounted as new appends).
+    pub reclaimed_bytes: u64,
+}
+
+struct Inner {
+    dir: BTreeMap<Vec<u8>, DirEntry>,
+    segs: BTreeMap<u64, SegMeta>,
+    active: u64,
+    /// Next segment id to allocate (for rotation and merge outputs).
+    next_seg: u64,
+    /// Store-wide monotone record sequence number.
+    next_version: u64,
+    /// Tombstone hint records of the *active* segment, kept so the
+    /// hint written at seal time can shadow older segments on reopen.
+    active_tombs: Vec<HintRecord>,
+    stats: LogStats,
+}
+
+/// A Bitcask-style log-structured key/value store rooted at one
+/// directory. Thread-safe; share it behind an `Arc` and run
+/// [`merge`](LogStore::merge) from a janitor thread if desired.
+pub struct LogStore {
+    root: PathBuf,
+    cfg: LogConfig,
+    metrics: Registry,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for LogStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogStore")
+            .field("root", &self.root)
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl LogStore {
+    /// Open (or create) the store rooted at `root`, rebuilding the key
+    /// directory from hint files where possible and from data-segment
+    /// scans otherwise. Metrics go nowhere; see
+    /// [`open_with_metrics`](LogStore::open_with_metrics).
+    pub fn open(root: &Path, cfg: LogConfig) -> Result<LogStore> {
+        Self::open_with_metrics(root, cfg, Registry::disabled())
+    }
+
+    /// [`open`](LogStore::open) recording `logstore.*` metrics into
+    /// `metrics`.
+    pub fn open_with_metrics(root: &Path, cfg: LogConfig, metrics: Registry) -> Result<LogStore> {
+        std::fs::create_dir_all(root).map_err(LogError::Io)?;
+        let mut ids: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(root).map_err(LogError::Io)? {
+            let entry = entry.map_err(LogError::Io)?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+
+        // Scan phase: apply every surviving record (or its hint twin)
+        // under the max-version rule, tombstones included.
+        #[derive(Clone)]
+        struct OpenEntry {
+            seg: u64,
+            off: u64,
+            len: u32,
+            version: u64,
+            tombstone: bool,
+        }
+        let mut staged: BTreeMap<Vec<u8>, OpenEntry> = BTreeMap::new();
+        let mut stats = LogStats::default();
+        let mut segs: BTreeMap<u64, SegMeta> = BTreeMap::new();
+        let mut next_version = 1u64;
+        for &id in &ids {
+            let path = data_path(root, id);
+            let (valid_len, records, entries) = match Self::load_hint(root, id) {
+                Some(hints) => {
+                    stats.hints_loaded += 1;
+                    let len = std::fs::metadata(&path).map_err(LogError::Io)?.len();
+                    let n = hints.len() as u64;
+                    (len, n, hints)
+                }
+                None => {
+                    stats.segments_scanned += 1;
+                    let bytes = std::fs::read(&path).map_err(LogError::Io)?;
+                    if bytes.len() < FILE_HEADER && Some(id) == ids.last().copied() {
+                        // A crash tore the newest segment's creation
+                        // before its header completed: the file holds
+                        // no frames, so drop it. Anywhere but the
+                        // newest id a short header is bit rot, not a
+                        // crash, and stays an error below.
+                        std::fs::remove_file(&path).map_err(LogError::Io)?;
+                        continue;
+                    }
+                    let header_seg = format::decode_header(DATA_MAGIC, &bytes)?;
+                    if header_seg != id {
+                        return Err(LogError::Corrupt {
+                            seg: id,
+                            off: 0,
+                            reason: format!("file named {id} carries header id {header_seg}"),
+                        });
+                    }
+                    let FrameScan {
+                        frames, valid_len, ..
+                    } = format::scan_frames(id, &bytes)?;
+                    let mut out = Vec::with_capacity(frames.len());
+                    for (off, payload) in &frames {
+                        let DataRecord {
+                            version,
+                            tombstone,
+                            key,
+                            ..
+                        } = format::decode_data(id, *off, payload)?;
+                        out.push(HintRecord {
+                            version,
+                            tombstone,
+                            off: *off,
+                            frame_len: (FRAME_HEADER + payload.len()) as u32,
+                            key: key.to_vec(),
+                        });
+                    }
+                    (valid_len, frames.len() as u64, out)
+                }
+            };
+            for h in entries {
+                next_version = next_version.max(h.version + 1);
+                let newer = staged
+                    .get(&h.key)
+                    .is_none_or(|cur| h.version >= cur.version);
+                if newer {
+                    staged.insert(
+                        h.key.clone(),
+                        OpenEntry {
+                            seg: id,
+                            off: h.off,
+                            len: h.frame_len,
+                            version: h.version,
+                            tombstone: h.tombstone,
+                        },
+                    );
+                }
+            }
+            let file = OpenOptions::new()
+                .read(true)
+                .open(&path)
+                .map_err(LogError::Io)?;
+            segs.insert(
+                id,
+                SegMeta {
+                    file,
+                    len: valid_len,
+                    records,
+                    live_records: 0,
+                    live_bytes: 0,
+                    sealed: true,
+                },
+            );
+        }
+
+        // Keep only live values: tombstones have done their shadowing
+        // job during the scan and carry no directory entry afterwards.
+        let mut dir: BTreeMap<Vec<u8>, DirEntry> = BTreeMap::new();
+        for (key, e) in staged {
+            if e.tombstone {
+                continue;
+            }
+            if let Some(seg) = segs.get_mut(&e.seg) {
+                seg.live_records += 1;
+                seg.live_bytes += u64::from(e.len);
+            }
+            dir.insert(
+                key,
+                DirEntry {
+                    seg: e.seg,
+                    off: e.off,
+                    len: e.len,
+                    version: e.version,
+                },
+            );
+        }
+
+        let active = ids.last().map_or(1, |m| m + 1);
+        let store = LogStore {
+            root: root.to_path_buf(),
+            cfg,
+            metrics,
+            inner: Mutex::new(Inner {
+                dir,
+                segs,
+                active,
+                next_seg: active + 1,
+                next_version,
+                active_tombs: Vec::new(),
+                stats,
+            }),
+        };
+        {
+            let mut inner = store.inner.lock().unwrap();
+            store.create_segment(&mut inner, active, false)?;
+            store.refresh_stats(&mut inner);
+        }
+        Ok(store)
+    }
+
+    /// Try to restore one sealed segment's directory contribution from
+    /// its hint file. Any defect (missing, wrong header, torn, corrupt,
+    /// undecodable) returns `None` — the caller scans the data file.
+    fn load_hint(root: &Path, id: u64) -> Option<Vec<HintRecord>> {
+        let bytes = std::fs::read(hint_path(root, id)).ok()?;
+        let header_seg = format::decode_header(HINT_MAGIC, &bytes).ok()?;
+        if header_seg != id {
+            return None;
+        }
+        let scan = format::scan_frames(id, &bytes).ok()?;
+        if scan.torn_at.is_some() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(scan.frames.len());
+        for (_, payload) in scan.frames {
+            out.push(format::decode_hint(payload).ok()?);
+        }
+        Some(out)
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The configuration the store was opened with.
+    #[must_use]
+    pub fn config(&self) -> &LogConfig {
+        &self.cfg
+    }
+
+    fn create_segment(&self, inner: &mut Inner, id: u64, from_merge: bool) -> Result<()> {
+        let path = data_path(&self.root, id);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(LogError::Io)?;
+        file.write_all(&format::encode_header(DATA_MAGIC, id))
+            .map_err(LogError::Io)?;
+        inner.segs.insert(
+            id,
+            SegMeta {
+                file,
+                len: FILE_HEADER as u64,
+                records: 0,
+                live_records: 0,
+                live_bytes: 0,
+                sealed: from_merge,
+            },
+        );
+        Ok(())
+    }
+
+    /// Store `value` under `key`, superseding any previous value.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let version = inner.next_version;
+        inner.next_version += 1;
+        let frame = format::encode_data(version, false, key, value);
+        let (off, len) = self.append_active(inner, &frame)?;
+        if let Some(old) = inner.dir.insert(
+            key.to_vec(),
+            DirEntry {
+                seg: inner.active,
+                off,
+                len,
+                version,
+            },
+        ) {
+            if let Some(seg) = inner.segs.get_mut(&old.seg) {
+                seg.live_records -= 1;
+                seg.live_bytes -= u64::from(old.len);
+            }
+        }
+        let seg = inner.segs.get_mut(&inner.active).expect("active exists");
+        seg.live_records += 1;
+        seg.live_bytes += u64::from(len);
+        self.roll_if_full(inner)?;
+        self.refresh_stats(inner);
+        Ok(())
+    }
+
+    /// Delete `key`. Returns whether the key was present. Appends a
+    /// tombstone record only when it was (absent keys leave no trace).
+    pub fn remove(&self, key: &[u8]) -> Result<bool> {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let Some(old) = inner.dir.remove(key) else {
+            return Ok(false);
+        };
+        let version = inner.next_version;
+        inner.next_version += 1;
+        let frame = format::encode_data(version, true, key, &[]);
+        let (off, len) = self.append_active(inner, &frame)?;
+        inner.active_tombs.push(HintRecord {
+            version,
+            tombstone: true,
+            off,
+            frame_len: len,
+            key: key.to_vec(),
+        });
+        if let Some(seg) = inner.segs.get_mut(&old.seg) {
+            seg.live_records -= 1;
+            seg.live_bytes -= u64::from(old.len);
+        }
+        self.roll_if_full(inner)?;
+        self.refresh_stats(inner);
+        Ok(true)
+    }
+
+    fn append_active(&self, inner: &mut Inner, frame: &[u8]) -> Result<(u64, u32)> {
+        let active = inner.active;
+        let seg = inner.segs.get_mut(&active).expect("active exists");
+        let off = seg.len;
+        seg.file.seek(SeekFrom::Start(off)).map_err(LogError::Io)?;
+        seg.file.write_all(frame).map_err(LogError::Io)?;
+        if self.cfg.sync_writes {
+            seg.file.sync_data().map_err(LogError::Io)?;
+        }
+        seg.len += frame.len() as u64;
+        seg.records += 1;
+        inner.stats.appended_bytes += frame.len() as u64;
+        self.metrics
+            .add("logstore.appended_bytes", frame.len() as u64);
+        Ok((off, frame.len() as u32))
+    }
+
+    /// Seal the active segment once it crosses the size threshold, and
+    /// let the compaction policy look at the sealed set.
+    fn roll_if_full(&self, inner: &mut Inner) -> Result<()> {
+        let full = inner.segs[&inner.active].len >= self.cfg.segment_bytes;
+        if !full {
+            return Ok(());
+        }
+        self.seal_active(inner)?;
+        if self.cfg.auto_compact && self.compaction_due(inner) {
+            self.merge_inner(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Seal the active segment: sync it, write its hint file, open a
+    /// fresh active segment.
+    fn seal_active(&self, inner: &mut Inner) -> Result<()> {
+        let active = inner.active;
+        {
+            let seg = inner.segs.get_mut(&active).expect("active exists");
+            if seg.records == 0 {
+                return Ok(()); // nothing to seal
+            }
+            seg.file.sync_data().map_err(LogError::Io)?;
+            seg.sealed = true;
+        }
+        let mut hints: Vec<HintRecord> = inner
+            .dir
+            .iter()
+            .filter(|(_, e)| e.seg == active)
+            .map(|(k, e)| HintRecord {
+                version: e.version,
+                tombstone: false,
+                off: e.off,
+                frame_len: e.len,
+                key: k.clone(),
+            })
+            .collect();
+        hints.append(&mut inner.active_tombs);
+        hints.sort_by_key(|h| h.off);
+        self.write_hint(active, &hints)?;
+        let id = inner.next_seg;
+        inner.next_seg += 1;
+        inner.active = id;
+        self.create_segment(inner, id, false)?;
+        Ok(())
+    }
+
+    /// Write a hint file durably: temp name, sync, rename — so a hint
+    /// either exists complete or not at all (the crash suite also
+    /// proves a hand-torn hint merely forces a data scan).
+    fn write_hint(&self, id: u64, hints: &[HintRecord]) -> Result<()> {
+        let final_path = hint_path(&self.root, id);
+        let tmp = final_path.with_extension("hint.tmp");
+        let mut buf = format::encode_header(HINT_MAGIC, id).to_vec();
+        for h in hints {
+            buf.extend_from_slice(&format::encode_hint(h));
+        }
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(LogError::Io)?;
+        f.write_all(&buf).map_err(LogError::Io)?;
+        f.sync_data().map_err(LogError::Io)?;
+        drop(f);
+        std::fs::rename(&tmp, &final_path).map_err(LogError::Io)?;
+        Ok(())
+    }
+
+    /// Fetch the current value of `key`, reading (and CRC-checking)
+    /// its frame from the owning segment.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let Some(e) = inner.dir.get(key).copied() else {
+            return Ok(None);
+        };
+        let value = Self::read_value(inner, key, e)?;
+        Ok(Some(value))
+    }
+
+    fn read_frame(inner: &mut Inner, e: DirEntry) -> Result<Vec<u8>> {
+        let seg = inner
+            .segs
+            .get_mut(&e.seg)
+            .expect("directory points at a live segment");
+        let mut buf = vec![0u8; e.len as usize];
+        seg.file
+            .seek(SeekFrom::Start(e.off))
+            .map_err(LogError::Io)?;
+        seg.file.read_exact(&mut buf).map_err(LogError::Io)?;
+        let payload = &buf[FRAME_HEADER..];
+        let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4B"));
+        if format::crc32(payload) != crc {
+            return Err(LogError::Corrupt {
+                seg: e.seg,
+                off: e.off,
+                reason: "stored frame failed its CRC".into(),
+            });
+        }
+        Ok(buf)
+    }
+
+    fn read_value(inner: &mut Inner, key: &[u8], e: DirEntry) -> Result<Vec<u8>> {
+        let buf = Self::read_frame(inner, e)?;
+        let rec = format::decode_data(e.seg, e.off, &buf[FRAME_HEADER..])?;
+        debug_assert_eq!(rec.key, key, "directory points at the right key");
+        Ok(rec.value.to_vec())
+    }
+
+    /// Whether `key` currently has a value.
+    #[must_use]
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.inner.lock().unwrap().dir.contains_key(key)
+    }
+
+    /// Number of live keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().dir.len()
+    }
+
+    /// True when no key is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All live keys, ascending.
+    #[must_use]
+    pub fn keys(&self) -> Vec<Vec<u8>> {
+        self.inner.lock().unwrap().dir.keys().cloned().collect()
+    }
+
+    /// Every live `(key, value)` pair, ascending by key. Reads every
+    /// value frame — meant for rebuilds (e.g. the blob layer at open),
+    /// not hot paths.
+    pub fn entries(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let dir: Vec<(Vec<u8>, DirEntry)> =
+            inner.dir.iter().map(|(k, e)| (k.clone(), *e)).collect();
+        let mut out = Vec::with_capacity(dir.len());
+        for (k, e) in dir {
+            let v = Self::read_value(inner, &k, e)?;
+            out.push((k, v));
+        }
+        Ok(out)
+    }
+
+    /// Deterministic byte encoding of the key directory: for each key
+    /// in order, `klen | key | seg | off | len | version` (all LE).
+    /// Two stores whose directories are byte-identical agree on every
+    /// key, every record location, and every version — the
+    /// "hint files reproduce the directory byte-for-byte" invariant.
+    #[must_use]
+    pub fn directory_export(&self) -> Vec<u8> {
+        let inner = self.inner.lock().unwrap();
+        let mut out = Vec::new();
+        for (k, e) in &inner.dir {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k);
+            out.extend_from_slice(&e.seg.to_le_bytes());
+            out.extend_from_slice(&e.off.to_le_bytes());
+            out.extend_from_slice(&e.len.to_le_bytes());
+            out.extend_from_slice(&e.version.to_le_bytes());
+        }
+        out
+    }
+
+    /// Order-independent FNV-1a fingerprint of live `(key, value)`
+    /// content (location-independent: merge must not change it).
+    pub fn fingerprint(&self) -> Result<u64> {
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for (k, v) in self.entries()? {
+            let mut h: u64 = 0x6c62_272e_07bb_0142;
+            for &b in k.iter().chain([0xffu8].iter()).chain(v.iter()) {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            acc ^= h;
+        }
+        Ok(acc)
+    }
+
+    /// Force everything appended so far onto disk (active segment
+    /// sync).
+    pub fn sync(&self) -> Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let active = inner.active;
+        let seg = inner.segs.get_mut(&active).expect("active exists");
+        seg.file.sync_data().map_err(LogError::Io)
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> LogStats {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        self.refresh_stats(inner);
+        inner.stats
+    }
+
+    /// Per-segment breakdown, ascending by id.
+    #[must_use]
+    pub fn segment_report(&self) -> Vec<SegmentInfo> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .segs
+            .iter()
+            .map(|(&id, s)| SegmentInfo {
+                id,
+                bytes: s.len,
+                records: s.records,
+                live_records: s.live_records,
+                live_bytes: s.live_bytes,
+                dead_records: s.records - s.live_records,
+                dead_bytes: s.len - FILE_HEADER as u64 - s.live_bytes,
+                sealed: s.sealed,
+            })
+            .collect()
+    }
+
+    fn refresh_stats(&self, inner: &mut Inner) {
+        let mut disk = 0u64;
+        let mut live_bytes = 0u64;
+        let mut sealed = 0u64;
+        for s in inner.segs.values() {
+            disk += s.len;
+            live_bytes += s.live_bytes;
+            if s.sealed {
+                sealed += 1;
+            }
+        }
+        inner.stats.segments = inner.segs.len() as u64;
+        inner.stats.sealed_segments = sealed;
+        inner.stats.live_records = inner.dir.len() as u64;
+        inner.stats.live_bytes = live_bytes;
+        inner.stats.disk_bytes = disk;
+        inner.stats.dead_bytes = disk - live_bytes - inner.segs.len() as u64 * FILE_HEADER as u64;
+        self.metrics
+            .gauge_set("logstore.segments", inner.segs.len() as i64);
+        self.metrics.gauge_set("logstore.disk_bytes", disk as i64);
+        self.metrics
+            .gauge_set("logstore.dead_bytes", inner.stats.dead_bytes as i64);
+    }
+
+    /// Whether the configured policy wants a merge right now.
+    fn compaction_due(&self, inner: &Inner) -> bool {
+        let mut sealed = 0usize;
+        let mut sealed_bytes = 0u64;
+        let mut sealed_live = 0u64;
+        let mut headers = 0u64;
+        for s in inner.segs.values().filter(|s| s.sealed) {
+            sealed += 1;
+            sealed_bytes += s.len;
+            sealed_live += s.live_bytes;
+            headers += FILE_HEADER as u64;
+        }
+        if sealed < self.cfg.min_sealed_segments {
+            return false;
+        }
+        let payload = sealed_bytes.saturating_sub(headers);
+        if payload == 0 {
+            return false;
+        }
+        let dead = payload - sealed_live;
+        dead * 100 >= u64::from(self.cfg.dead_ratio_pct) * payload
+    }
+
+    /// Run the policy check and merge if it fires. Returns the report
+    /// when a merge ran.
+    pub fn maybe_merge(&self) -> Result<Option<MergeReport>> {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        if !self.compaction_due(inner) {
+            return Ok(None);
+        }
+        self.merge_inner(inner).map(Some)
+    }
+
+    /// Merge every sealed segment: rewrite live entries into fresh
+    /// output segments (hint files included), then delete the merged
+    /// segments in ascending id order. See the module docs for why
+    /// this ordering is crash-safe. Blocks writers for the duration.
+    pub fn merge(&self) -> Result<MergeReport> {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        self.merge_inner(inner)
+    }
+
+    fn merge_inner(&self, inner: &mut Inner) -> Result<MergeReport> {
+        let merged: Vec<u64> = inner
+            .segs
+            .iter()
+            .filter(|(_, s)| s.sealed)
+            .map(|(&id, _)| id)
+            .collect();
+        if merged.is_empty() {
+            return Ok(MergeReport::default());
+        }
+        let merge_set: std::collections::BTreeSet<u64> = merged.iter().copied().collect();
+
+        // Copy phase: every live directory entry that points into the
+        // merge set moves, frame bytes verbatim (version preserved),
+        // into output segments rotated at the configured size.
+        let moves: Vec<(Vec<u8>, DirEntry)> = inner
+            .dir
+            .iter()
+            .filter(|(_, e)| merge_set.contains(&e.seg))
+            .map(|(k, e)| (k.clone(), *e))
+            .collect();
+        let mut outputs: Vec<u64> = Vec::new();
+        let mut out_hints: Vec<HintRecord> = Vec::new();
+        let mut installs: Vec<(Vec<u8>, u64, DirEntry)> = Vec::new();
+        let mut report = MergeReport {
+            merged: merged.clone(),
+            ..MergeReport::default()
+        };
+        for (key, old) in moves {
+            let frame = Self::read_frame(inner, old)?;
+            let need_new = match outputs.last() {
+                None => true,
+                Some(id) => inner.segs[id].len >= self.cfg.segment_bytes,
+            };
+            if need_new {
+                if let Some(&prev) = outputs.last() {
+                    self.finish_output(inner, prev, &mut out_hints)?;
+                }
+                let id = inner.next_seg;
+                inner.next_seg += 1;
+                self.create_segment(inner, id, true)?;
+                outputs.push(id);
+            }
+            let out_id = *outputs.last().expect("output exists");
+            let seg = inner.segs.get_mut(&out_id).expect("output exists");
+            let off = seg.len;
+            seg.file.seek(SeekFrom::Start(off)).map_err(LogError::Io)?;
+            seg.file.write_all(&frame).map_err(LogError::Io)?;
+            seg.len += frame.len() as u64;
+            seg.records += 1;
+            inner.stats.appended_bytes += frame.len() as u64;
+            out_hints.push(HintRecord {
+                version: old.version,
+                tombstone: false,
+                off,
+                frame_len: old.len,
+                key: key.clone(),
+            });
+            installs.push((
+                key,
+                old.version,
+                DirEntry {
+                    seg: out_id,
+                    off,
+                    len: old.len,
+                    version: old.version,
+                },
+            ));
+            report.live_records += 1;
+            report.live_bytes += u64::from(old.len);
+        }
+        if let Some(&last) = outputs.last() {
+            self.finish_output(inner, last, &mut out_hints)?;
+        }
+
+        // Install phase: point the directory at the copies. The
+        // version check is the guard that a concurrent overwrite (were
+        // merge ever run with finer locking) could never be shadowed
+        // by a stale copy.
+        for (key, copied_version, new_entry) in installs {
+            match inner.dir.get_mut(&key) {
+                Some(cur) if cur.version == copied_version => {
+                    *cur = new_entry;
+                    let seg = inner.segs.get_mut(&new_entry.seg).expect("output exists");
+                    seg.live_records += 1;
+                    seg.live_bytes += u64::from(new_entry.len);
+                }
+                _ => {
+                    // Superseded while copying: the copy is immediately
+                    // dead in its output segment.
+                }
+            }
+        }
+
+        // Delete phase: ascending id, hint before data, so every
+        // intermediate state still contains each tombstone at least as
+        // long as every value it shadows.
+        for &id in &merged {
+            let hint = hint_path(&self.root, id);
+            let data = data_path(&self.root, id);
+            let hint_len = std::fs::metadata(&hint).map(|m| m.len()).unwrap_or(0);
+            let data_len = std::fs::metadata(&data).map(|m| m.len()).unwrap_or(0);
+            let _ = std::fs::remove_file(&hint);
+            std::fs::remove_file(&data).map_err(LogError::Io)?;
+            inner.segs.remove(&id);
+            report.reclaimed_bytes += hint_len + data_len;
+        }
+        report.outputs = outputs;
+        inner.stats.merges += 1;
+        inner.stats.reclaimed_bytes += report.reclaimed_bytes;
+        self.metrics.inc("logstore.merges");
+        self.metrics
+            .add("logstore.bytes_reclaimed", report.reclaimed_bytes);
+        self.refresh_stats(inner);
+        Ok(report)
+    }
+
+    /// Seal one merge-output segment: sync the data, then publish its
+    /// hint. Ordering matters: the hint's existence certifies the data
+    /// file is complete.
+    fn finish_output(&self, inner: &mut Inner, id: u64, hints: &mut Vec<HintRecord>) -> Result<()> {
+        let seg = inner.segs.get_mut(&id).expect("output exists");
+        seg.file.sync_data().map_err(LogError::Io)?;
+        let own: Vec<HintRecord> = std::mem::take(hints);
+        self.write_hint(id, &own)?;
+        Ok(())
+    }
+}

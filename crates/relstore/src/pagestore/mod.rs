@@ -37,7 +37,7 @@ pub mod pool;
 pub mod store;
 
 pub use pool::{BufferPool, FlushGate, PageRef, PoolStats, WritebackObserver};
-pub use store::{FileStore, MemStore, PageId, PageStore};
+pub use store::{FileStore, LogPageStore, MemStore, PageId, PageStore};
 
 use std::path::PathBuf;
 
@@ -50,6 +50,11 @@ pub enum PoolBackend {
     Memory,
     /// Spill evicted pages to a file at this path (created, truncated).
     File(PathBuf),
+    /// Spill evicted pages into a log-structured store rooted at this
+    /// directory — append-only segments with merge compaction, so a
+    /// long-lived spill reclaims dead page images instead of growing
+    /// forever like [`File`](PoolBackend::File)'s append-mostly heap.
+    Log(PathBuf, logstore::LogConfig),
 }
 
 /// Buffer-pool configuration, accepted by `Database::with_pool` and
@@ -83,6 +88,17 @@ impl PoolConfig {
     pub fn file(path: impl Into<PathBuf>, max_pages: usize) -> Self {
         PoolConfig {
             backend: PoolBackend::File(path.into()),
+            max_pages: Some(max_pages),
+            ..PoolConfig::default()
+        }
+    }
+
+    /// Convenience: a log-structured pool bounded to `max_pages`, with
+    /// the default compaction policy.
+    #[must_use]
+    pub fn log(dir: impl Into<PathBuf>, max_pages: usize) -> Self {
+        PoolConfig {
+            backend: PoolBackend::Log(dir.into(), logstore::LogConfig::default()),
             max_pages: Some(max_pages),
             ..PoolConfig::default()
         }

@@ -15,7 +15,7 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use obs::Registry;
 
-use super::store::{FileStore, MemStore, PageId, PageStore};
+use super::store::{self, FileStore, MemStore, PageId, PageStore};
 use super::{page, PoolBackend, PoolConfig};
 use crate::error::Result;
 
@@ -135,6 +135,11 @@ impl BufferPool {
         let store: Arc<dyn PageStore> = match &cfg.backend {
             PoolBackend::Memory => Arc::new(MemStore::default()),
             PoolBackend::File(path) => Arc::new(FileStore::create(path)?),
+            PoolBackend::Log(dir, log_cfg) => Arc::new(store::LogPageStore::open(
+                dir,
+                log_cfg.clone(),
+                metrics.clone(),
+            )?),
         };
         Ok(Arc::new(BufferPool {
             store,
@@ -364,6 +369,13 @@ impl BufferPool {
     #[must_use]
     pub fn store_page_count(&self) -> usize {
         self.store.page_count()
+    }
+
+    /// Ask the backend to reclaim dead space (a merge on the
+    /// log-structured backend; a no-op elsewhere). Returns bytes
+    /// reclaimed.
+    pub fn compact_backend(&self) -> Result<u64> {
+        self.store.compact()
     }
 
     fn log_hint(&self) -> u64 {

@@ -58,13 +58,15 @@ pub mod crash;
 pub mod log;
 pub mod record;
 pub mod recover;
+pub mod segments;
 
 mod crc;
 
 pub use crate::log::{Wal, WalOptions, WalStats};
 pub use crate::record::{scan, Scan, Tail, WalRecord};
 pub use crate::recover::{
-    recover_bytes, recover_bytes_any, recover_bytes_pooled, recover_bytes_with, RecoveryReport,
+    recover_bytes, recover_bytes_any, recover_bytes_pooled, recover_bytes_with, recover_scan_any,
+    RecoveryReport,
 };
 pub use crc::crc32;
 
@@ -176,12 +178,21 @@ pub fn open_durable_any(
     path: &Path,
     opts: WalOptions,
 ) -> Result<(AnyEngine, Arc<Wal>, RecoveryReport), WalError> {
-    let bytes = match std::fs::read(path) {
-        Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-        Err(e) => return Err(WalError::Io(e)),
+    let (db, report) = if opts.segment_bytes.is_some() {
+        // Segmented mode: `path` is the segment directory. Pruned
+        // prefixes are legal (the surviving stream then starts at a
+        // checkpoint); LSNs are unchanged from single-file mode.
+        let scan = segments::read_segments(path)?;
+        let raw = record::scan_raw_from(&scan.bytes, scan.base)?;
+        recover_scan_any(&raw, scan.base, &opts.metrics, &opts.pool, opts.engine)?
+    } else {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(WalError::Io(e)),
+        };
+        recover_bytes_any(&bytes, &opts.metrics, &opts.pool, opts.engine)?
     };
-    let (db, report) = recover_bytes_any(&bytes, &opts.metrics, &opts.pool, opts.engine)?;
     let wal = Wal::open_at(path, opts, report.durable_len)?;
     db.set_wal_sink(Some(wal.clone()));
     db.set_flush_gate(Some(wal.clone()));

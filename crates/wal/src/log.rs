@@ -74,6 +74,14 @@ pub struct WalOptions {
     /// log format is engine-agnostic — a log written under one engine
     /// replays onto the other.
     pub engine: EngineKind,
+    /// `Some(n)`: write the log as a *directory* of segment files
+    /// rotated at ~`n` payload bytes (see [`crate::segments`]), and
+    /// let each checkpoint delete every segment it fully covers —
+    /// bounding disk footprint and recovery work by the checkpoint
+    /// interval instead of growing forever. `None` (default) keeps the
+    /// classic single-file log; the path passed to open is then a
+    /// file. LSNs are identical in both modes.
+    pub segment_bytes: Option<u64>,
 }
 
 impl Default for WalOptions {
@@ -85,6 +93,7 @@ impl Default for WalOptions {
             metrics: Registry::new(),
             pool: PoolConfig::default(),
             engine: EngineKind::TwoPl,
+            segment_bytes: None,
         }
     }
 }
@@ -124,7 +133,36 @@ struct LogState {
     stats: WalStats,
 }
 
-/// A durable write-ahead log bound to one file.
+/// Where the bytes physically land: one file, or a directory of
+/// rotating segments ([`crate::segments`]).
+enum Sink {
+    /// The classic single-file log.
+    Single(File),
+    /// Segment files rotated at `segment_bytes`; sealed ones are
+    /// durable in full and become deletable once a checkpoint covers
+    /// them.
+    Segmented {
+        dir: PathBuf,
+        segment_bytes: u64,
+        /// `(base, payload len)` of every sealed segment, ascending.
+        sealed: Vec<(crate::Lsn, u64)>,
+        active_base: crate::Lsn,
+        active_len: u64,
+        active: File,
+    },
+}
+
+impl Sink {
+    fn segments_live(&self) -> u64 {
+        match self {
+            Sink::Single(_) => 1,
+            Sink::Segmented { sealed, .. } => sealed.len() as u64 + 1,
+        }
+    }
+}
+
+/// A durable write-ahead log bound to one file (or, with
+/// [`WalOptions::segment_bytes`], one segment directory).
 ///
 /// Implements [`WalSink`], so an `Arc<Wal>` can be installed on a
 /// [`Database`] via [`Database::set_wal_sink`]; use
@@ -134,16 +172,26 @@ pub struct Wal {
     path: PathBuf,
     opts: WalOptions,
     state: Mutex<LogState>,
-    file: Mutex<File>,
+    file: Mutex<Sink>,
     durable: Condvar,
+    /// Cumulative bytes reclaimed by segment pruning.
+    reclaimed: std::sync::atomic::AtomicU64,
+    /// Segments deleted by pruning.
+    pruned: std::sync::atomic::AtomicU64,
 }
 
 impl Wal {
     /// Open (creating if missing) the log at `path`, truncated to
     /// `durable_len` — the valid-prefix length a prior
     /// [`scan`](crate::record::scan) reported. A `durable_len` of 0
-    /// (re)writes the magic header.
+    /// (re)writes the magic header. With
+    /// [`WalOptions::segment_bytes`] set, `path` names the segment
+    /// *directory* and the torn tail is cut out of its newest segment
+    /// instead.
     pub fn open_at(path: &Path, opts: WalOptions, durable_len: u64) -> Result<Arc<Wal>, WalError> {
+        if opts.segment_bytes.is_some() {
+            return Self::open_segmented(path, opts, durable_len);
+        }
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -164,7 +212,67 @@ impl Wal {
         };
         use std::io::Seek;
         file.seek(std::io::SeekFrom::End(0))?;
-        Ok(Arc::new(Wal {
+        Ok(Self::build(path, opts, durable_lsn, Sink::Single(file)))
+    }
+
+    /// Segmented open: find the segment holding `durable_len`, cut the
+    /// torn tail out of it, delete anything beyond it, and make it the
+    /// active segment.
+    fn open_segmented(
+        dir: &Path,
+        opts: WalOptions,
+        durable_len: u64,
+    ) -> Result<Arc<Wal>, WalError> {
+        std::fs::create_dir_all(dir)?;
+        let segment_bytes = opts.segment_bytes.expect("segmented mode");
+        let scan = crate::segments::read_segments(dir)?;
+        let mut sealed: Vec<(crate::Lsn, u64)> = Vec::new();
+        let mut last: Option<(crate::Lsn, u64)> = None;
+        for seg in &scan.segments {
+            if seg.base < durable_len {
+                let len = (durable_len - seg.base).min(seg.len);
+                if let Some(prev) = last.replace((seg.base, len)) {
+                    sealed.push(prev);
+                }
+            } else {
+                // Every frame of this segment is beyond the valid
+                // prefix (torn or superseded): drop the whole file.
+                std::fs::remove_file(&seg.path)?;
+            }
+        }
+        let (active_base, active_len, file) = match last {
+            Some((base, len)) => {
+                let mut file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(crate::segments::segment_path(dir, base))?;
+                file.set_len(crate::segments::SEG_HEADER as u64 + len)?;
+                file.sync_data()?;
+                use std::io::Seek;
+                file.seek(std::io::SeekFrom::End(0))?;
+                (base, len, file)
+            }
+            None => {
+                let base = MAGIC.len() as u64;
+                (base, 0, crate::segments::create_segment(dir, base)?)
+            }
+        };
+        let durable_lsn = active_base + active_len;
+        let sink = Sink::Segmented {
+            dir: dir.to_owned(),
+            segment_bytes,
+            sealed,
+            active_base,
+            active_len,
+            active: file,
+        };
+        opts.metrics
+            .gauge_set("wal.segments_live", sink.segments_live() as i64);
+        Ok(Self::build(dir, opts, durable_lsn, sink))
+    }
+
+    fn build(path: &Path, opts: WalOptions, durable_lsn: u64, sink: Sink) -> Arc<Wal> {
+        Arc::new(Wal {
             path: path.to_owned(),
             opts,
             state: Mutex::new(LogState {
@@ -177,9 +285,11 @@ impl Wal {
                 pending_commits: 0,
                 stats: WalStats::default(),
             }),
-            file: Mutex::new(file),
+            file: Mutex::new(sink),
             durable: Condvar::new(),
-        }))
+            reclaimed: std::sync::atomic::AtomicU64::new(0),
+            pruned: std::sync::atomic::AtomicU64::new(0),
+        })
     }
 
     /// The log file path.
@@ -228,16 +338,117 @@ impl Wal {
 
     /// Perform one physical flush of `chunk`; returns bytes written.
     fn write_chunk(&self, chunk: &[u8]) -> Result<(), WalError> {
-        let mut file = self.file.lock();
-        file.write_all(chunk)?;
-        if self.opts.sync_data {
-            file.sync_data()?;
-            self.opts.metrics.inc("wal.fsyncs");
+        let mut sink = self.file.lock();
+        match &mut *sink {
+            Sink::Single(file) => {
+                file.write_all(chunk)?;
+                if self.opts.sync_data {
+                    file.sync_data()?;
+                    self.opts.metrics.inc("wal.fsyncs");
+                }
+            }
+            Sink::Segmented {
+                dir,
+                segment_bytes,
+                sealed,
+                active_base,
+                active_len,
+                active,
+            } => {
+                // Rotate *between* chunks only: a chunk is whole
+                // frames, so segment boundaries stay frame boundaries
+                // and recovery can concatenate payloads blindly.
+                if *active_len >= *segment_bytes && !chunk.is_empty() {
+                    // Seal durably regardless of `sync_data`: pruning
+                    // and hint-free recovery both rely on sealed
+                    // segments being complete on disk.
+                    active.sync_data()?;
+                    sealed.push((*active_base, *active_len));
+                    let base = *active_base + *active_len;
+                    *active = crate::segments::create_segment(dir, base)?;
+                    *active_base = base;
+                    *active_len = 0;
+                    self.opts
+                        .metrics
+                        .gauge_set("wal.segments_live", sealed.len() as i64 + 1);
+                }
+                active.write_all(chunk)?;
+                *active_len += chunk.len() as u64;
+                if self.opts.sync_data {
+                    active.sync_data()?;
+                    self.opts.metrics.inc("wal.fsyncs");
+                }
+            }
         }
         if let Some(d) = self.opts.simulated_disk_latency {
             std::thread::sleep(d);
         }
         Ok(())
+    }
+
+    /// Delete every sealed segment fully covered by a durable
+    /// checkpoint at `covered` (segment end `<=` the checkpoint LSN:
+    /// everything in it is superseded by the snapshot). Returns bytes
+    /// reclaimed. No-op on a single-file log. Called automatically at
+    /// the end of every checkpoint; callers only need it directly if
+    /// they append checkpoints by hand.
+    pub fn prune_segments(&self, covered: Lsn) -> Result<u64, WalError> {
+        let mut sink = self.file.lock();
+        let Sink::Segmented { dir, sealed, .. } = &mut *sink else {
+            return Ok(0);
+        };
+        let mut reclaimed = 0u64;
+        let mut dropped = 0u64;
+        // The drop set is a strict prefix: ends are ascending.
+        while let Some(&(base, len)) = sealed.first() {
+            if base + len > covered {
+                break;
+            }
+            let path = crate::segments::segment_path(dir, base);
+            std::fs::remove_file(&path)?;
+            sealed.remove(0);
+            reclaimed += len + crate::segments::SEG_HEADER as u64;
+            dropped += 1;
+        }
+        if dropped > 0 {
+            use std::sync::atomic::Ordering;
+            self.reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+            self.pruned.fetch_add(dropped, Ordering::Relaxed);
+            self.opts.metrics.add("wal.bytes_reclaimed", reclaimed);
+            self.opts.metrics.add("wal.segments_pruned", dropped);
+        }
+        self.opts
+            .metrics
+            .gauge_set("wal.segments_live", sealed.len() as i64 + 1);
+        Ok(reclaimed)
+    }
+
+    /// Segment files currently on disk: 1 for a single-file log.
+    #[must_use]
+    pub fn segments_live(&self) -> u64 {
+        self.file.lock().segments_live()
+    }
+
+    /// Cumulative bytes reclaimed by checkpoint-driven segment
+    /// pruning.
+    #[must_use]
+    pub fn bytes_reclaimed(&self) -> u64 {
+        self.reclaimed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total log bytes currently on disk (headers included) — the
+    /// number a checkpoint should shrink in segmented mode.
+    #[must_use]
+    pub fn disk_bytes(&self) -> u64 {
+        match &*self.file.lock() {
+            Sink::Single(_) => self.state.lock().durable_lsn,
+            Sink::Segmented {
+                sealed, active_len, ..
+            } => {
+                let header = crate::segments::SEG_HEADER as u64;
+                sealed.iter().map(|(_, len)| len + header).sum::<u64>() + active_len + header
+            }
+        }
     }
 
     /// Record the metrics of one completed flush: the flush itself, its
@@ -423,6 +634,9 @@ impl Wal {
                 lsn
             };
             self.flush()?;
+            // The checkpoint is durable: every segment it covers is
+            // now dead weight.
+            self.prune_segments(lsn)?;
             return Ok(lsn);
         }
     }
@@ -464,6 +678,7 @@ impl Wal {
                     })
                     .map_err(WalError::Store)??;
                 self.flush()?;
+                self.prune_segments(lsn)?;
                 Ok(lsn)
             }
         }

@@ -297,17 +297,27 @@ pub fn scan_raw(bytes: &[u8]) -> Result<RawScan<'_>, WalError> {
             reason: "bad magic: not a wdoc WAL".into(),
         });
     }
+    scan_raw_from(&bytes[MAGIC.len()..], MAGIC.len() as Lsn)
+}
+
+/// Walk a headerless frame stream whose first byte sits at absolute
+/// offset `base` in the LSN space. This is how a *segmented* log is
+/// scanned: sealed segment payloads concatenate into one stream whose
+/// base is the first surviving segment's base LSN (the magic header is
+/// per-file there, not part of the stream). `scan_raw` is the
+/// single-file special case with `base = MAGIC.len()`.
+pub fn scan_raw_from(bytes: &[u8], base: Lsn) -> Result<RawScan<'_>, WalError> {
     let mut frames = Vec::new();
-    let mut off = MAGIC.len();
+    let mut off = 0usize;
     loop {
         if off == bytes.len() {
             return Ok(RawScan {
                 frames,
                 tail: Tail::Clean,
-                durable_len: off as u64,
+                durable_len: base + off as u64,
             });
         }
-        let lsn = off as Lsn;
+        let lsn = base + off as Lsn;
         if bytes.len() - off < FRAME_HEADER {
             return Ok(RawScan {
                 frames,
@@ -324,7 +334,7 @@ pub fn scan_raw(bytes: &[u8]) -> Result<RawScan<'_>, WalError> {
             });
         }
         let start = off + FRAME_HEADER;
-        let end = start + len as usize;
+        let end = start.saturating_add(len as usize);
         if end > bytes.len() {
             return Ok(RawScan {
                 frames,

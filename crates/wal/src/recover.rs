@@ -28,7 +28,7 @@
 //! checksum failure anywhere else is surfaced as
 //! [`WalError::Corrupt`] — a corrupted record is *never* applied.
 
-use crate::record::{decode, scan_raw, Tail, WalRecord};
+use crate::record::{decode, scan_raw, RawScan, Tail, WalRecord, MAGIC};
 use crate::{Lsn, WalError};
 use obs::Registry;
 use relstore::lock::TxnId;
@@ -127,8 +127,25 @@ pub fn recover_bytes_any(
     cfg: &PoolConfig,
     kind: EngineKind,
 ) -> Result<(AnyEngine, RecoveryReport), WalError> {
-    let phase_start = Instant::now();
     let scanned = scan_raw(bytes)?;
+    recover_scan_any(&scanned, MAGIC.len() as Lsn, metrics, cfg, kind)
+}
+
+/// Recovery over an already-scanned frame stream whose first byte sits
+/// at absolute LSN `base` — the entry point for *segmented* logs,
+/// where checkpoint-driven truncation may have deleted the log's
+/// prefix. When `base` shows the prefix was pruned, the surviving
+/// stream **must** contain a checkpoint (pruning only ever deletes
+/// segments a checkpoint covers); its absence is corruption, never a
+/// silently-empty database.
+pub fn recover_scan_any(
+    scanned: &RawScan<'_>,
+    base: Lsn,
+    metrics: &Registry,
+    cfg: &PoolConfig,
+    kind: EngineKind,
+) -> Result<(AnyEngine, RecoveryReport), WalError> {
+    let phase_start = Instant::now();
     let mut report = RecoveryReport {
         records_scanned: scanned.frames.len(),
         torn_tail: match scanned.tail {
@@ -145,6 +162,14 @@ pub fn recover_bytes_any(
     // checkpoint image supersedes it, which is what keeps recovery time
     // proportional to the checkpoint interval rather than to history.
     let checkpoint_idx = scanned.last_checkpoint();
+    if checkpoint_idx.is_none() && base > MAGIC.len() as Lsn {
+        return Err(WalError::Corrupt {
+            lsn: base,
+            reason: format!(
+                "log prefix pruned (stream starts at LSN {base}) but no checkpoint survives"
+            ),
+        });
+    }
     let decode_from = match checkpoint_idx {
         Some(i) => {
             report.checkpoint_lsn = Some(scanned.frames[i].0);

@@ -1,0 +1,242 @@
+//! Segmented-log integration: the unbounded-WAL footgun is closed
+//! (checkpoints shrink the disk, observably in metrics), a crash at
+//! any point during checkpoint-driven segment pruning recovers the
+//! same state, a prune that somehow outran its checkpoint is refused,
+//! and segmented recovery is observation-equivalent to the
+//! single-file log.
+
+use relstore::{ColumnType, TableSchema, Value};
+use std::path::{Path, PathBuf};
+use wal::{open_durable, WalError, WalOptions};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wal-segments-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(segment_bytes: u64) -> WalOptions {
+    WalOptions {
+        segment_bytes: Some(segment_bytes),
+        sync_data: false,
+        ..WalOptions::default()
+    }
+}
+
+fn make_table(db: &relstore::Database) {
+    db.create_table(
+        TableSchema::builder("t")
+            .column("id", ColumnType::Int)
+            .column("v", ColumnType::Text)
+            .primary_key(&["id"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+}
+
+fn insert_rows(db: &relstore::Database, range: std::ops::Range<i64>) {
+    for id in range {
+        db.with_txn(|txn| {
+            txn.insert("t", vec![Value::Int(id), Value::from(format!("row-{id}"))])?;
+            Ok(())
+        })
+        .unwrap();
+    }
+}
+
+fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .collect();
+    v.sort();
+    v
+}
+
+fn snapshot_json(db: &relstore::Database) -> String {
+    serde_json::to_string(&db.snapshot().unwrap()).unwrap()
+}
+
+/// The footgun test: without checkpoints the log grows without bound;
+/// with them, disk usage provably shrinks and the `wal.*` metrics say
+/// so.
+#[test]
+fn checkpoint_shrinks_segmented_log_disk() {
+    let dir = temp_dir("shrink");
+    let metrics = obs::Registry::new();
+    let options = WalOptions {
+        metrics: metrics.clone(),
+        ..opts(2048)
+    };
+    let (db, wal, _) = open_durable(&dir, options).unwrap();
+    make_table(&db);
+    insert_rows(&db, 0..300);
+
+    let live_before = wal.segments_live();
+    let disk_before = wal.disk_bytes();
+    assert!(live_before > 3, "workload must rotate segments");
+    assert_eq!(segment_files(&dir).len() as u64, live_before);
+    assert_eq!(metrics.gauge("wal.segments_live"), Some(live_before as i64));
+
+    wal.checkpoint(&db).unwrap();
+
+    let live_after = wal.segments_live();
+    let disk_after = wal.disk_bytes();
+    assert!(
+        live_after < live_before,
+        "checkpoint must drop covered segments ({live_before} -> {live_after})"
+    );
+    assert!(
+        disk_after < disk_before / 2,
+        "checkpoint must reclaim most of the log ({disk_before} -> {disk_after})"
+    );
+    assert_eq!(segment_files(&dir).len() as u64, live_after);
+    assert!(wal.bytes_reclaimed() >= disk_before - disk_after);
+    assert_eq!(
+        metrics.counter("wal.bytes_reclaimed"),
+        wal.bytes_reclaimed()
+    );
+    assert!(metrics.counter("wal.segments_pruned") > 0);
+    assert_eq!(metrics.gauge("wal.segments_live"), Some(live_after as i64));
+
+    // Steady state: another churn round plus checkpoint stays bounded
+    // near the post-checkpoint footprint instead of accumulating.
+    insert_rows(&db, 300..600);
+    wal.checkpoint(&db).unwrap();
+    assert!(wal.disk_bytes() < disk_before);
+
+    // And the pruned log still recovers everything.
+    drop((db, wal));
+    let (db, _wal, report) = open_durable(&dir, opts(2048)).unwrap();
+    assert!(report.checkpoint_lsn.is_some());
+    assert_eq!(db.row_count("t").unwrap(), 600);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Crash at every step of the prune: a checkpointed log with any
+/// suffix of its prunable prefix still on disk recovers to the same
+/// state as the fully pruned log.
+#[test]
+fn prune_interrupted_at_every_segment_recovers_identically() {
+    let dir = temp_dir("prune-crash");
+    let (db, wal, _) = open_durable(&dir, opts(1024)).unwrap();
+    make_table(&db);
+    insert_rows(&db, 0..150);
+    drop((db, wal));
+
+    // Pre-checkpoint snapshot of every segment file.
+    let pre = temp_dir("prune-crash-pre");
+    std::fs::create_dir_all(&pre).unwrap();
+    for f in segment_files(&dir) {
+        std::fs::copy(&f, pre.join(f.file_name().unwrap())).unwrap();
+    }
+
+    // Checkpoint (which prunes), plus a little post-checkpoint work so
+    // the tail matters too.
+    let (db, wal, _) = open_durable(&dir, opts(1024)).unwrap();
+    wal.checkpoint(&db).unwrap();
+    insert_rows(&db, 150..160);
+    let oracle = snapshot_json(&db);
+    drop((db, wal));
+
+    let survivors: Vec<PathBuf> = segment_files(&dir);
+    let pruned: Vec<PathBuf> = segment_files(&pre)
+        .into_iter()
+        .filter(|p| !survivors.iter().any(|s| s.file_name() == p.file_name()))
+        .collect();
+    assert!(
+        pruned.len() >= 2,
+        "fixture needs a multi-segment prunable prefix"
+    );
+
+    // Crash state k: the first k deletions happened, the rest did not.
+    let work = temp_dir("prune-crash-work");
+    for k in 0..=pruned.len() {
+        let _ = std::fs::remove_dir_all(&work);
+        std::fs::create_dir_all(&work).unwrap();
+        for f in &survivors {
+            std::fs::copy(f, work.join(f.file_name().unwrap())).unwrap();
+        }
+        for f in &pruned[k..] {
+            std::fs::copy(f, work.join(f.file_name().unwrap())).unwrap();
+        }
+        let (db, _wal, report) = open_durable(&work, opts(1024)).unwrap();
+        assert!(report.checkpoint_lsn.is_some(), "crash after {k} deletions");
+        assert_eq!(
+            snapshot_json(&db),
+            oracle,
+            "recovery diverged after {k} of {} deletions",
+            pruned.len()
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&pre).unwrap();
+    std::fs::remove_dir_all(&work).unwrap();
+}
+
+/// A surviving stream that starts past LSN 8 but carries no checkpoint
+/// cannot be recovered honestly — the open must refuse, not silently
+/// return an empty database.
+#[test]
+fn pruned_prefix_without_checkpoint_is_refused() {
+    let dir = temp_dir("refused");
+    let (db, wal, _) = open_durable(&dir, opts(1024)).unwrap();
+    make_table(&db);
+    insert_rows(&db, 0..80);
+    drop((db, wal));
+
+    // No checkpoint was ever taken; deleting the first segment mimics
+    // an over-eager prune (or lost file).
+    let files = segment_files(&dir);
+    assert!(files.len() > 2);
+    std::fs::remove_file(&files[0]).unwrap();
+
+    match open_durable(&dir, opts(1024)) {
+        Err(WalError::Corrupt { reason, .. }) => {
+            assert!(
+                reason.contains("no checkpoint survives"),
+                "unexpected reason: {reason}"
+            );
+        }
+        Ok(_) => panic!("open accepted a pruned log with no checkpoint"),
+        Err(e) => panic!("expected Corrupt, got {e}"),
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Same workload, two log layouts: the segmented log recovers to the
+/// same observable database as the classic single file.
+#[test]
+fn segmented_recovery_equals_single_file() {
+    let seg_dir = temp_dir("equiv-seg");
+    let single = std::env::temp_dir().join(format!(
+        "wal-segments-{}-equiv-single.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&single);
+
+    let run = |path: &Path, o: WalOptions| {
+        let (db, wal, _) = open_durable(path, o).unwrap();
+        make_table(&db);
+        insert_rows(&db, 0..120);
+        wal.checkpoint(&db).unwrap();
+        insert_rows(&db, 120..140);
+        drop(wal);
+        drop(db);
+    };
+    run(&seg_dir, opts(1024));
+    run(&single, WalOptions::default());
+
+    let (db_seg, _w1, r1) = open_durable(&seg_dir, opts(1024)).unwrap();
+    let (db_single, _w2, r2) = open_durable(&single, WalOptions::default()).unwrap();
+    assert_eq!(r1.checkpoint_lsn.is_some(), r2.checkpoint_lsn.is_some());
+    assert_eq!(snapshot_json(&db_seg), snapshot_json(&db_single));
+
+    std::fs::remove_dir_all(&seg_dir).unwrap();
+    std::fs::remove_file(&single).unwrap();
+}

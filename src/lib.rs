@@ -14,6 +14,9 @@
 //!   delegated to the commercial RDBMS);
 //! * [`blobstore`] — the BLOB layer (content-addressed, reference
 //!   counted);
+//! * [`logstore`] — Bitcask-style log-structured storage: append-only
+//!   segments, hint files, crash-safe merge compaction; backs the
+//!   page store, the BLOB layer, and segmented-WAL stations;
 //! * [`netsim`] — the deterministic network simulator standing in for
 //!   the physical campus/Internet;
 //! * [`obs`] — deterministic observability: metrics registry and
@@ -38,6 +41,7 @@
 //! E1–E10 experiment suite documented in EXPERIMENTS.md.
 
 pub use blobstore;
+pub use logstore;
 pub use netsim;
 pub use obs;
 pub use relstore;
