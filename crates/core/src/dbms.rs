@@ -7,6 +7,7 @@
 //! counting, and update-alert propagation over the referential
 //! integrity diagram.
 
+use crate::backend::{DocBackend, DocTxn};
 use crate::error::{CoreError, Result};
 use crate::hierarchy::ObjectKind;
 use crate::ids::{AnnotationName, DbName, ScriptName, StartUrl, TestRecordName, UserId};
@@ -57,9 +58,10 @@ pub struct StorageBreakdown {
     pub blob_logical_bytes: u64,
 }
 
-/// The Web document database of one workstation.
+/// The Web document database of one workstation (or, sharded, of a
+/// whole station cluster behind one facade).
 pub struct WebDocDb {
-    rel: AnyEngine,
+    store: Box<dyn DocBackend>,
     blobs: BlobStore,
     diagram: IntegrityDiagram,
     durable: Option<Durable>,
@@ -67,8 +69,17 @@ pub struct WebDocDb {
 
 /// The on-disk attachments of a durably opened station.
 struct Durable {
-    wal: std::sync::Arc<wal::Wal>,
+    rel_sink: RelSink,
     blobs_sink: BlobSink,
+}
+
+/// How the relational layer checkpoints.
+enum RelSink {
+    /// A single local engine attached to one write-ahead log.
+    Wal(std::sync::Arc<wal::Wal>),
+    /// The backend owns its own log(s) — per-shard WALs behind a
+    /// router — and checkpoints them all via [`DocBackend::checkpoint`].
+    Backend,
 }
 
 /// How the BLOB layer persists at checkpoints.
@@ -100,20 +111,64 @@ impl WebDocDb {
     /// engine.
     #[must_use]
     pub fn with_engine(kind: EngineKind) -> Self {
-        let rel = AnyEngine::new(kind);
-        for schema in Self::station_schemas() {
-            rel.create_table(schema).expect("static schemas install");
+        Self::on_backend(Box::new(AnyEngine::new(kind)), true)
+            .expect("static schemas install on a fresh engine")
+    }
+
+    /// Build a station on an arbitrary [`DocBackend`] — a local engine
+    /// or a sharded router. With `install_schemas`, the paper's schema
+    /// is created through the backend (sharded backends also register
+    /// each table's routing spec; recovered stores adopt pre-existing
+    /// tables, so installation is safe after crash recovery too).
+    pub fn on_backend(store: Box<dyn DocBackend>, install_schemas: bool) -> Result<Self> {
+        if install_schemas {
+            for schema in Self::station_schemas() {
+                store.create_table(schema)?;
+            }
         }
-        WebDocDb {
-            rel,
+        Ok(WebDocDb {
+            store,
             blobs: BlobStore::new(),
             diagram: IntegrityDiagram::paper_default(),
             durable: None,
+        })
+    }
+
+    /// Build a **durable** station on a backend that owns its own
+    /// write-ahead log(s) — e.g. a router threading per-shard WALs.
+    /// The BLOB layer persists to `dir/blobs.json` at checkpoints,
+    /// exactly like [`WebDocDb::open_durable`]; the relational layer
+    /// checkpoints through [`DocBackend::checkpoint`].
+    pub fn on_durable_backend(
+        store: Box<dyn DocBackend>,
+        install_schemas: bool,
+        dir: &std::path::Path,
+    ) -> Result<Self> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CoreError::Durability(format!("create {}: {e}", dir.display())))?;
+        let blobs_path = dir.join("blobs.json");
+        let mut db = Self::on_backend(store, install_schemas)?;
+        match std::fs::read_to_string(&blobs_path) {
+            Ok(text) => {
+                let exports: Vec<BlobExport> = serde_json::from_str(&text)
+                    .map_err(|e| CoreError::Durability(format!("blobs.json corrupt: {e}")))?;
+                db.blobs.import(exports);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(CoreError::Durability(format!("read blobs.json: {e}")));
+            }
         }
+        db.durable = Some(Durable {
+            rel_sink: RelSink::Backend,
+            blobs_sink: BlobSink::Json(blobs_path),
+        });
+        Ok(db)
     }
 
     /// The paper's full schema, in foreign-key dependency order.
-    fn station_schemas() -> [relstore::TableSchema; 10] {
+    #[must_use]
+    pub fn station_schemas() -> [relstore::TableSchema; 10] {
         [
             tables::database_schema(),
             Script::schema(),
@@ -172,11 +227,11 @@ impl WebDocDb {
         }
         Ok((
             WebDocDb {
-                rel,
+                store: Box::new(rel),
                 blobs,
                 diagram: IntegrityDiagram::paper_default(),
                 durable: Some(Durable {
-                    wal,
+                    rel_sink: RelSink::Wal(wal),
                     blobs_sink: BlobSink::Json(blobs_path),
                 }),
             },
@@ -219,11 +274,11 @@ impl WebDocDb {
             .map_err(|e| CoreError::Durability(format!("open blob log: {e}")))?;
         Ok((
             WebDocDb {
-                rel,
+                store: Box::new(rel),
                 blobs,
                 diagram: IntegrityDiagram::paper_default(),
                 durable: Some(Durable {
-                    wal,
+                    rel_sink: RelSink::Wal(wal),
                     blobs_sink: BlobSink::Log,
                 }),
             },
@@ -243,7 +298,16 @@ impl WebDocDb {
                 "checkpoint on a non-durable station".into(),
             ));
         };
-        let lsn = d.wal.checkpoint_any(&self.rel)?;
+        let lsn = match &d.rel_sink {
+            RelSink::Wal(wal) => wal.checkpoint_any(
+                self.store
+                    .as_engine()
+                    .expect("RelSink::Wal is only attached to a single local engine"),
+            )?,
+            RelSink::Backend => self.store.checkpoint()?.ok_or_else(|| {
+                CoreError::InvalidInput("backend has no write-ahead log to checkpoint".into())
+            })?,
+        };
         match &d.blobs_sink {
             BlobSink::Json(path) => {
                 let text = serde_json::to_string(&self.blobs.export())
@@ -263,22 +327,62 @@ impl WebDocDb {
         Ok(lsn)
     }
 
-    /// The write-ahead log handle, when opened durably.
+    /// The write-ahead log handle, when opened durably on a single
+    /// local engine (sharded stations own one log per shard; reach
+    /// them through the router).
     #[must_use]
     pub fn wal(&self) -> Option<&std::sync::Arc<wal::Wal>> {
-        self.durable.as_ref().map(|d| &d.wal)
+        self.durable.as_ref().and_then(|d| match &d.rel_sink {
+            RelSink::Wal(wal) => Some(wal),
+            RelSink::Backend => None,
+        })
+    }
+
+    /// The storage backend the facade runs on.
+    #[must_use]
+    pub fn backend(&self) -> &dyn DocBackend {
+        self.store.as_ref()
+    }
+
+    /// Run `f` in one transaction on the backend, committing on
+    /// success and retrying transparently on transient aborts — the
+    /// typed facade methods are all built on this, and it is public as
+    /// the escape hatch for tools that need raw relational access on
+    /// *any* backend (sharded included).
+    pub fn with_txn<T>(
+        &self,
+        f: impl Fn(&dyn DocTxn) -> relstore::Result<T>,
+    ) -> relstore::Result<T> {
+        let mut slot = None;
+        self.store.with_txn_dyn(&mut |t| {
+            slot = Some(f(t)?);
+            Ok(())
+        })?;
+        Ok(slot.expect("with_txn_dyn runs the closure before Ok"))
     }
 
     /// The relational substrate (escape hatch for tools and tests).
+    ///
+    /// # Panics
+    /// On a sharded station, which has no single engine — use
+    /// [`WebDocDb::with_txn`] or [`WebDocDb::backend`] instead.
     #[must_use]
     pub fn relational(&self) -> &AnyEngine {
-        &self.rel
+        self.store
+            .as_engine()
+            .expect("relational(): sharded station has no single engine; use with_txn/backend")
     }
 
     /// Which storage engine backs the relational layer.
     #[must_use]
     pub fn engine_kind(&self) -> EngineKind {
-        self.rel.kind()
+        self.store.engine_kind()
+    }
+
+    /// How many shards the station spans (1 when unsharded).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.store.shards()
     }
 
     /// This workstation's BLOB store.
@@ -299,7 +403,7 @@ impl WebDocDb {
 
     /// Register a Web document database.
     pub fn create_database(&self, info: &DatabaseInfo) -> Result<()> {
-        self.rel.with_txn(|t| {
+        self.with_txn(|t| {
             t.insert(
                 "wdoc_database",
                 vec![
@@ -317,9 +421,7 @@ impl WebDocDb {
 
     /// All registered databases.
     pub fn databases(&self) -> Result<Vec<DatabaseInfo>> {
-        let rows = self
-            .rel
-            .with_txn(|t| t.select("wdoc_database", &Predicate::True))?;
+        let rows = self.with_txn(|t| t.select("wdoc_database", &Predicate::True))?;
         rows.iter()
             .map(|(_, r)| {
                 Ok(DatabaseInfo {
@@ -339,16 +441,14 @@ impl WebDocDb {
 
     /// Add a script (its database must exist).
     pub fn add_script(&self, s: &Script) -> Result<()> {
-        self.rel
-            .with_txn(|t| t.insert(Script::TABLE, s.to_row()).map(|_| ()))?;
+        self.with_txn(|t| t.insert(Script::TABLE, s.to_row()).map(|_| ()))?;
         Ok(())
     }
 
     /// Fetch a script by name.
     pub fn script(&self, name: &ScriptName) -> Result<Script> {
-        let rows = self
-            .rel
-            .with_txn(|t| t.select(Script::TABLE, &Predicate::eq("name", name.as_str())))?;
+        let rows =
+            self.with_txn(|t| t.select(Script::TABLE, &Predicate::eq("name", name.as_str())))?;
         match rows.first() {
             Some((_, row)) => Ok(Script::from_row(row)?),
             None => Err(CoreError::NotFound {
@@ -360,17 +460,14 @@ impl WebDocDb {
 
     /// Scripts belonging to one database.
     pub fn scripts_in(&self, db: &DbName) -> Result<Vec<Script>> {
-        let rows = self
-            .rel
-            .with_txn(|t| t.select(Script::TABLE, &Predicate::eq("db", db.as_str())))?;
+        let rows = self.with_txn(|t| t.select(Script::TABLE, &Predicate::eq("db", db.as_str())))?;
         rows.iter().map(|(_, r)| Ok(Script::from_row(r)?)).collect()
     }
 
     /// Scripts by author.
     pub fn scripts_by_author(&self, author: &UserId) -> Result<Vec<Script>> {
-        let rows = self
-            .rel
-            .with_txn(|t| t.select(Script::TABLE, &Predicate::eq("author", author.as_str())))?;
+        let rows =
+            self.with_txn(|t| t.select(Script::TABLE, &Predicate::eq("author", author.as_str())))?;
         rows.iter().map(|(_, r)| Ok(Script::from_row(r)?)).collect()
     }
 
@@ -386,7 +483,7 @@ impl WebDocDb {
         // Read-modify-write inside one transaction, so a concurrent
         // committed update cannot be clobbered by a stale full-row
         // write (the closure may run again if wait-die retries).
-        let renamed = self.rel.with_txn(|t| {
+        let renamed = self.with_txn(|t| {
             let rows = t.select(Script::TABLE, &Predicate::eq("name", name.as_str()))?;
             let (id, row) = rows.first().ok_or(relstore::Error::NoSuchRow {
                 table: Script::TABLE.into(),
@@ -430,7 +527,7 @@ impl WebDocDb {
         for imp in self.implementations_of(name)? {
             metas.extend(self.implementation_resources(&imp.url)?);
         }
-        self.rel.with_txn(|t| {
+        self.with_txn(|t| {
             let rows = t.select(Script::TABLE, &Predicate::eq("name", name.as_str()))?;
             match rows.first() {
                 Some((id, _)) => t.delete(Script::TABLE, *id),
@@ -452,7 +549,7 @@ impl WebDocDb {
         data: impl Into<Bytes>,
     ) -> Result<BlobMeta> {
         let meta = self.blobs.store(kind, data);
-        let res = self.rel.with_txn(|t| {
+        let res = self.with_txn(|t| {
             t.insert(
                 Script::RESOURCES,
                 tables::resource_row(name.as_str(), &meta),
@@ -471,7 +568,7 @@ impl WebDocDb {
     /// payload is evicted once no reference remains).
     pub fn detach_script_resource(&self, name: &ScriptName, id: BlobId) -> Result<()> {
         let blob = id.to_string();
-        let removed = self.rel.with_txn(|t| {
+        let removed = self.with_txn(|t| {
             let rows = t.select(Script::RESOURCES, &Predicate::eq("owner", name.as_str()))?;
             for (rid, row) in rows {
                 if row.get(1).and_then(Value::as_text) == Some(blob.as_str()) {
@@ -493,9 +590,8 @@ impl WebDocDb {
 
     /// Descriptors of a script's multimedia resources.
     pub fn script_resources(&self, name: &ScriptName) -> Result<Vec<BlobMeta>> {
-        let rows = self
-            .rel
-            .with_txn(|t| t.select(Script::RESOURCES, &Predicate::eq("owner", name.as_str())))?;
+        let rows =
+            self.with_txn(|t| t.select(Script::RESOURCES, &Predicate::eq("owner", name.as_str())))?;
         rows.iter()
             .map(|(_, r)| Ok(tables::resource_from_row(r)?))
             .collect()
@@ -523,7 +619,7 @@ impl WebDocDb {
                 "file rows must belong to the implementation being added".into(),
             ));
         }
-        self.rel.with_txn(|t| {
+        self.with_txn(|t| {
             t.insert(Implementation::TABLE, imp.to_row())?;
             for h in html {
                 t.insert(HtmlFile::TABLE, h.to_row())?;
@@ -539,7 +635,6 @@ impl WebDocDb {
     /// Fetch an implementation by starting URL.
     pub fn implementation(&self, url: &StartUrl) -> Result<Implementation> {
         let rows = self
-            .rel
             .with_txn(|t| t.select(Implementation::TABLE, &Predicate::eq("url", url.as_str())))?;
         match rows.first() {
             Some((_, row)) => Ok(Implementation::from_row(row)?),
@@ -552,9 +647,7 @@ impl WebDocDb {
 
     /// Every implementation in the database (global testing scope).
     pub fn all_implementations(&self) -> Result<Vec<Implementation>> {
-        let rows = self
-            .rel
-            .with_txn(|t| t.select(Implementation::TABLE, &Predicate::True))?;
+        let rows = self.with_txn(|t| t.select(Implementation::TABLE, &Predicate::True))?;
         rows.iter()
             .map(|(_, r)| Ok(Implementation::from_row(r)?))
             .collect()
@@ -562,7 +655,7 @@ impl WebDocDb {
 
     /// All implementation tries of a script.
     pub fn implementations_of(&self, script: &ScriptName) -> Result<Vec<Implementation>> {
-        let rows = self.rel.with_txn(|t| {
+        let rows = self.with_txn(|t| {
             t.select(
                 Implementation::TABLE,
                 &Predicate::eq("script", script.as_str()),
@@ -575,9 +668,8 @@ impl WebDocDb {
 
     /// HTML files of an implementation.
     pub fn html_files(&self, url: &StartUrl) -> Result<Vec<HtmlFile>> {
-        let rows = self
-            .rel
-            .with_txn(|t| t.select(HtmlFile::TABLE, &Predicate::eq("url", url.as_str())))?;
+        let rows =
+            self.with_txn(|t| t.select(HtmlFile::TABLE, &Predicate::eq("url", url.as_str())))?;
         rows.iter()
             .map(|(_, r)| Ok(HtmlFile::from_row(r)?))
             .collect()
@@ -585,9 +677,8 @@ impl WebDocDb {
 
     /// Program files of an implementation.
     pub fn program_files(&self, url: &StartUrl) -> Result<Vec<ProgramFile>> {
-        let rows = self
-            .rel
-            .with_txn(|t| t.select(ProgramFile::TABLE, &Predicate::eq("url", url.as_str())))?;
+        let rows =
+            self.with_txn(|t| t.select(ProgramFile::TABLE, &Predicate::eq("url", url.as_str())))?;
         rows.iter()
             .map(|(_, r)| Ok(ProgramFile::from_row(r)?))
             .collect()
@@ -601,7 +692,7 @@ impl WebDocDb {
         data: impl Into<Bytes>,
     ) -> Result<BlobMeta> {
         let meta = self.blobs.store(kind, data);
-        let res = self.rel.with_txn(|t| {
+        let res = self.with_txn(|t| {
             t.insert(
                 Implementation::RESOURCES,
                 tables::resource_row(url.as_str(), &meta),
@@ -617,7 +708,7 @@ impl WebDocDb {
 
     /// Descriptors of an implementation's multimedia resources.
     pub fn implementation_resources(&self, url: &StartUrl) -> Result<Vec<BlobMeta>> {
-        let rows = self.rel.with_txn(|t| {
+        let rows = self.with_txn(|t| {
             t.select(
                 Implementation::RESOURCES,
                 &Predicate::eq("owner", url.as_str()),
@@ -634,15 +725,13 @@ impl WebDocDb {
 
     /// Record a test run.
     pub fn add_test_record(&self, tr: &TestRecord) -> Result<()> {
-        self.rel
-            .with_txn(|t| t.insert(TestRecord::TABLE, tr.to_row()).map(|_| ()))?;
+        self.with_txn(|t| t.insert(TestRecord::TABLE, tr.to_row()).map(|_| ()))?;
         Ok(())
     }
 
     /// Test records of a script.
     pub fn test_records_of(&self, script: &ScriptName) -> Result<Vec<TestRecord>> {
         let rows = self
-            .rel
             .with_txn(|t| t.select(TestRecord::TABLE, &Predicate::eq("script", script.as_str())))?;
         rows.iter()
             .map(|(_, r)| Ok(TestRecord::from_row(r)?))
@@ -651,9 +740,8 @@ impl WebDocDb {
 
     /// Fetch one test record.
     pub fn test_record(&self, name: &TestRecordName) -> Result<TestRecord> {
-        let rows = self
-            .rel
-            .with_txn(|t| t.select(TestRecord::TABLE, &Predicate::eq("name", name.as_str())))?;
+        let rows =
+            self.with_txn(|t| t.select(TestRecord::TABLE, &Predicate::eq("name", name.as_str())))?;
         match rows.first() {
             Some((_, row)) => Ok(TestRecord::from_row(row)?),
             None => Err(CoreError::NotFound {
@@ -665,15 +753,13 @@ impl WebDocDb {
 
     /// File a bug report against a test record.
     pub fn add_bug_report(&self, br: &BugReport) -> Result<()> {
-        self.rel
-            .with_txn(|t| t.insert(BugReport::TABLE, br.to_row()).map(|_| ()))?;
+        self.with_txn(|t| t.insert(BugReport::TABLE, br.to_row()).map(|_| ()))?;
         Ok(())
     }
 
     /// Bug reports of a test record.
     pub fn bug_reports_of(&self, tr: &TestRecordName) -> Result<Vec<BugReport>> {
         let rows = self
-            .rel
             .with_txn(|t| t.select(BugReport::TABLE, &Predicate::eq("test_record", tr.as_str())))?;
         rows.iter()
             .map(|(_, r)| Ok(BugReport::from_row(r)?))
@@ -683,7 +769,7 @@ impl WebDocDb {
     /// All bug reports filed against any test record of a script — a
     /// relational join (test_record ⋈ bug_report) in one transaction.
     pub fn bug_reports_of_script(&self, script: &ScriptName) -> Result<Vec<BugReport>> {
-        let pairs = self.rel.with_txn(|t| {
+        let pairs = self.with_txn(|t| {
             t.join(
                 TestRecord::TABLE,
                 "name",
@@ -701,16 +787,14 @@ impl WebDocDb {
 
     /// Add an instructor annotation.
     pub fn add_annotation(&self, a: &Annotation) -> Result<()> {
-        self.rel
-            .with_txn(|t| t.insert(Annotation::TABLE, a.to_row()).map(|_| ()))?;
+        self.with_txn(|t| t.insert(Annotation::TABLE, a.to_row()).map(|_| ()))?;
         Ok(())
     }
 
     /// Fetch one annotation.
     pub fn annotation(&self, name: &AnnotationName) -> Result<Annotation> {
-        let rows = self
-            .rel
-            .with_txn(|t| t.select(Annotation::TABLE, &Predicate::eq("name", name.as_str())))?;
+        let rows =
+            self.with_txn(|t| t.select(Annotation::TABLE, &Predicate::eq("name", name.as_str())))?;
         match rows.first() {
             Some((_, row)) => Ok(Annotation::from_row(row)?),
             None => Err(CoreError::NotFound {
@@ -723,9 +807,8 @@ impl WebDocDb {
     /// Annotations over an implementation — "an implementation may have
     /// different annotations created by different instructors" (§3).
     pub fn annotations_of(&self, url: &StartUrl) -> Result<Vec<Annotation>> {
-        let rows = self
-            .rel
-            .with_txn(|t| t.select(Annotation::TABLE, &Predicate::eq("url", url.as_str())))?;
+        let rows =
+            self.with_txn(|t| t.select(Annotation::TABLE, &Predicate::eq("url", url.as_str())))?;
         rows.iter()
             .map(|(_, r)| Ok(Annotation::from_row(r)?))
             .collect()
@@ -734,7 +817,6 @@ impl WebDocDb {
     /// Bug reports filed by one QA engineer (assessment support).
     pub fn bug_reports_by(&self, qa: &UserId) -> Result<Vec<BugReport>> {
         let rows = self
-            .rel
             .with_txn(|t| t.select(BugReport::TABLE, &Predicate::eq("qa_engineer", qa.as_str())))?;
         rows.iter()
             .map(|(_, r)| Ok(BugReport::from_row(r)?))
@@ -799,7 +881,7 @@ impl WebDocDb {
                 .map(|m| m.id.to_string())
                 .collect(),
             (K::Implementation, K::TestRecord) => {
-                let rows = self.rel.with_txn(|t| {
+                let rows = self.with_txn(|t| {
                     t.select(TestRecord::TABLE, &Predicate::eq("url", obj.name.as_str()))
                 })?;
                 rows.iter()
@@ -832,8 +914,7 @@ impl WebDocDb {
         let existing = self.quizzes_of(url)?.len();
         let path = format!("quiz-{existing}.class");
         let file = quiz.to_program_file(url, path.clone())?;
-        self.rel
-            .with_txn(|t| t.insert(ProgramFile::TABLE, file.to_row()).map(|_| ()))?;
+        self.with_txn(|t| t.insert(ProgramFile::TABLE, file.to_row()).map(|_| ()))?;
         Ok(path)
     }
 
@@ -854,7 +935,7 @@ impl WebDocDb {
     /// Capture the whole workstation state: relational tables + BLOBs.
     pub fn backup(&self) -> Result<StationBackup> {
         Ok(StationBackup {
-            relational: self.rel.snapshot()?,
+            relational: self.store.snapshot()?,
             blobs: self.blobs.export(),
         })
     }
@@ -871,7 +952,7 @@ impl WebDocDb {
         let blobs = BlobStore::new();
         blobs.import(backup.blobs.iter().cloned());
         Ok(WebDocDb {
-            rel,
+            store: Box::new(rel),
             blobs,
             diagram: IntegrityDiagram::paper_default(),
             durable: None,
@@ -897,7 +978,7 @@ impl WebDocDb {
             Script::RESOURCES,
             Implementation::RESOURCES,
         ] {
-            document_bytes += self.rel.heap_bytes(table)? as u64;
+            document_bytes += self.store.heap_bytes(table)? as u64;
         }
         let blob = self.blobs.stats();
         Ok(StorageBreakdown {

@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backend;
 pub mod complexity;
 pub mod dbms;
 pub mod error;
@@ -79,6 +80,7 @@ pub mod tables;
 pub mod testing;
 pub mod tier;
 
+pub use backend::{DocBackend, DocTxn};
 pub use complexity::{ComplexityReport, PageGraph};
 pub use dbms::{DatabaseInfo, StationBackup, StorageBreakdown, WebDocDb};
 pub use error::{CoreError, Result};

@@ -115,6 +115,10 @@ pub enum Error {
     /// row image that did not decode). Carried as a message for the
     /// same `Clone`/`Eq` reason as [`Error::Wal`].
     Page(String),
+    /// The backend does not implement this catalog operation (e.g. a
+    /// whole-state snapshot of a sharded router, which has no single
+    /// consistent engine to capture).
+    Unsupported(String),
 }
 
 impl fmt::Display for Error {
@@ -177,6 +181,7 @@ impl fmt::Display for Error {
             Error::BadSchema(msg) => write!(f, "bad schema: {msg}"),
             Error::Wal(msg) => write!(f, "write-ahead log: {msg}"),
             Error::Page(msg) => write!(f, "page store: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
         }
     }
 }

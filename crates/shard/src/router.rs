@@ -115,10 +115,67 @@ pub enum RoutingSpec {
 struct UniqueIx {
     name: String,
     cols: Vec<usize>,
-    /// True when the index key determines the routing shard (the
-    /// routing column is the whole key), so the local engine's own
-    /// uniqueness check is already global and no scatter is needed.
+    /// True when the index key determines the routing shard (the key
+    /// *contains* the routing column: equal keys then hash to the same
+    /// shard), so the local engine's own uniqueness check is already
+    /// global and no scatter is needed.
     local: bool,
+}
+
+/// Bits in one unique-probe Bloom filter (8 KiB per non-local unique
+/// index). Saturation only degrades skips back to full scatters —
+/// correctness never depends on the filter being roomy.
+const BLOOM_BITS: usize = 1 << 16;
+
+/// A Bloom filter over the keys of one non-local unique index.
+///
+/// Fed on every *attempted* insert/update/move — before the engine
+/// write, so a concurrent writer of the same key can never probe the
+/// filter between our write and our feed and wrongly skip its scatter.
+/// Keys are never removed: phantoms from rollbacks and deletes are
+/// safe (a false positive costs one redundant scatter), and definite
+/// absence means no shard can hold the key, so the probe is skipped.
+#[derive(Debug, Clone)]
+struct Bloom {
+    words: Vec<u64>,
+}
+
+impl Bloom {
+    fn new() -> Self {
+        Bloom {
+            words: vec![0; BLOOM_BITS / 64],
+        }
+    }
+
+    /// Two bit positions per key: the key hash and a remix of it.
+    fn slots(h: u64) -> [usize; 2] {
+        let h2 = crate::map::hash_bytes(&h.to_le_bytes());
+        [(h as usize) % BLOOM_BITS, (h2 as usize) % BLOOM_BITS]
+    }
+
+    fn add(&mut self, h: u64) {
+        for s in Self::slots(h) {
+            self.words[s / 64] |= 1 << (s % 64);
+        }
+    }
+
+    fn may_contain(&self, h: u64) -> bool {
+        Self::slots(h)
+            .iter()
+            .all(|&s| self.words[s / 64] & (1 << (s % 64)) != 0)
+    }
+}
+
+/// Canonical hash of one unique-index key (length-framed so adjacent
+/// values cannot alias).
+fn unique_key_hash(vals: &[Value]) -> u64 {
+    let mut buf = Vec::new();
+    for v in vals {
+        let b = value_bytes(v);
+        buf.extend_from_slice(&u32::try_from(b.len()).unwrap_or(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&b);
+    }
+    crate::map::hash_bytes(&buf)
 }
 
 /// Everything the router caches about one table.
@@ -185,6 +242,9 @@ pub struct Router {
     /// reverse-FK checks and cascades observe).
     referrers: Mutex<BTreeMap<String, Vec<(String, ForeignKey)>>>,
     dirs: Mutex<BTreeMap<String, TableDir>>,
+    /// table → one [`Bloom`] per unique index (engine check order;
+    /// local indexes keep an unfed filter as a placeholder).
+    blooms: Mutex<BTreeMap<String, Vec<Bloom>>>,
     coordinator: Coordinator,
     metrics: Registry,
 }
@@ -208,6 +268,7 @@ impl Router {
             routes: Mutex::new(BTreeMap::new()),
             referrers: Mutex::new(BTreeMap::new()),
             dirs: Mutex::new(BTreeMap::new()),
+            blooms: Mutex::new(BTreeMap::new()),
             coordinator,
             metrics,
         }
@@ -245,9 +306,69 @@ impl Router {
             routes: Mutex::new(BTreeMap::new()),
             referrers: Mutex::new(BTreeMap::new()),
             dirs: Mutex::new(BTreeMap::new()),
+            blooms: Mutex::new(BTreeMap::new()),
             coordinator,
             metrics,
         })
+    }
+
+    /// Reopen a durable router after a crash: rebuild the
+    /// coordinator's decision table from shard 0's log, resolve every
+    /// participant's in-doubt prepared transactions against it
+    /// (presumed abort for unknown gtids), then run ordinary WAL
+    /// recovery per shard. [`Router::with_wals`] plus the 2PC
+    /// resolution step a crashed cluster needs; on a fresh directory
+    /// this degenerates to `with_wals`.
+    ///
+    /// The returned router has no tables registered — re-mount each
+    /// table with [`Router::mount_table`] to rebuild the gid and homes
+    /// directories from the recovered rows.
+    pub fn recover(
+        kind: EngineKind,
+        map: ShardMap,
+        dir: &Path,
+        metrics: Registry,
+    ) -> std::result::Result<(Self, Vec<wal::RecoveryReport>), WalError> {
+        std::fs::create_dir_all(dir).map_err(WalError::Io)?;
+        let coord_path = dir.join("shard-0.wal");
+        let decisions = if coord_path.exists() {
+            twopc::read_decisions(&std::fs::read(&coord_path).map_err(WalError::Io)?)?
+        } else {
+            BTreeMap::new()
+        };
+        let mut shards = Vec::with_capacity(map.shards());
+        let mut reports = Vec::with_capacity(map.shards());
+        for i in 0..map.shards() {
+            let path = dir.join(format!("shard-{i}.wal"));
+            let opts = WalOptions {
+                engine: kind,
+                metrics: metrics.clone(),
+                ..WalOptions::default()
+            };
+            let (engine, wal, report, _resolved) =
+                twopc::recover_participant(&path, opts, &metrics, |g| {
+                    decisions.get(&g).copied().unwrap_or(twopc::Decision::Abort)
+                })?;
+            shards.push(ShardNode {
+                engine,
+                wal: Some(wal),
+            });
+            reports.push(report);
+        }
+        let coordinator = Coordinator::resume(shards[0].wal.clone(), decisions, metrics.clone());
+        Ok((
+            Router {
+                shards,
+                map,
+                routes: Mutex::new(BTreeMap::new()),
+                referrers: Mutex::new(BTreeMap::new()),
+                dirs: Mutex::new(BTreeMap::new()),
+                blooms: Mutex::new(BTreeMap::new()),
+                coordinator,
+                metrics,
+            },
+            reports,
+        ))
     }
 
     /// Number of shards.
@@ -293,12 +414,9 @@ impl Router {
         self.routes.lock().unwrap().get(table).cloned()
     }
 
-    /// Create `schema` on every shard and register its placement.
-    ///
-    /// `ByParent` parents must be registered first and have a
-    /// single-column primary key; spec columns must exist.
-    pub fn create_table(&self, schema: TableSchema, spec: RoutingSpec) -> Result<()> {
-        match &spec {
+    /// Validate `spec` against `schema` and the registered parents.
+    fn check_spec(&self, schema: &TableSchema, spec: &RoutingSpec) -> Result<()> {
+        match spec {
             RoutingSpec::Global => {}
             RoutingSpec::ByColumn(col) => {
                 schema.require_column(col)?;
@@ -321,9 +439,12 @@ impl Router {
                 }
             }
         }
-        for node in &self.shards {
-            node.engine.create_table(schema.clone())?;
-        }
+        Ok(())
+    }
+
+    /// Register the route, referrer entries and Bloom filters for a
+    /// table whose schema already exists on every shard.
+    fn register_route(&self, schema: TableSchema, spec: RoutingSpec) -> Result<Arc<TableRoute>> {
         let pk_cols = schema.resolve_columns(&schema.primary_key)?;
         let route_col = match &spec {
             RoutingSpec::ByColumn(c) => Some(schema.require_column(c)?),
@@ -332,13 +453,13 @@ impl Router {
         let mut uniques = vec![UniqueIx {
             name: PRIMARY_INDEX.to_owned(),
             cols: pk_cols.clone(),
-            local: route_col.is_some_and(|rc| pk_cols.as_slice() == [rc]),
+            local: route_col.is_some_and(|rc| pk_cols.contains(&rc)),
         }];
         for ix in schema.indexes.iter().filter(|ix| ix.unique) {
             let cols = schema.resolve_columns(&ix.columns)?;
             uniques.push(UniqueIx {
                 name: ix.name.clone(),
-                local: route_col.is_some_and(|rc| cols.as_slice() == [rc]),
+                local: route_col.is_some_and(|rc| cols.contains(&rc)),
                 cols,
             });
         }
@@ -351,20 +472,141 @@ impl Router {
                     .push((schema.name.clone(), fk.clone()));
             }
         }
+        self.blooms
+            .lock()
+            .unwrap()
+            .insert(schema.name.clone(), vec![Bloom::new(); uniques.len()]);
+        let route = Arc::new(TableRoute {
+            schema,
+            spec,
+            uniques,
+            pk_cols,
+        });
+        self.routes
+            .lock()
+            .unwrap()
+            .insert(route.schema.name.clone(), route.clone());
+        Ok(route)
+    }
+
+    /// Atomically probe-then-feed `row`'s non-local unique keys.
+    /// Returns, per unique index, whether the key was *definitely
+    /// absent* from the whole cluster before this call — the caller may
+    /// then skip its scatter probe for that index. Probing and feeding
+    /// under one lock hold means at most one in-flight writer is ever
+    /// told "absent" for a given key; every later writer (even one
+    /// racing before the first's engine write lands) sees the feed and
+    /// scatters. Local and NULL keys are never fed and never skippable.
+    fn bloom_check_add(&self, route: &TableRoute, row: &[Value]) -> Vec<bool> {
+        let mut fresh = vec![false; route.uniques.len()];
+        if row.len() != route.schema.columns.len() {
+            return fresh; // malformed row: let the engine report it
+        }
+        let mut blooms = self.blooms.lock().unwrap();
+        let Some(filters) = blooms.get_mut(&route.schema.name) else {
+            return fresh;
+        };
+        for (i, ix) in route.uniques.iter().enumerate() {
+            if ix.local {
+                continue;
+            }
+            let vals: Vec<Value> = ix.cols.iter().map(|&c| row[c].clone()).collect();
+            if vals.iter().any(Value::is_null) {
+                continue;
+            }
+            let h = unique_key_hash(&vals);
+            fresh[i] = !filters[i].may_contain(h);
+            filters[i].add(h);
+        }
+        fresh
+    }
+
+    /// Create `schema` on every shard and register its placement.
+    ///
+    /// `ByParent` parents must be registered first and have a
+    /// single-column primary key; spec columns must exist.
+    pub fn create_table(&self, schema: TableSchema, spec: RoutingSpec) -> Result<()> {
+        self.check_spec(&schema, &spec)?;
+        for node in &self.shards {
+            node.engine.create_table(schema.clone())?;
+        }
         self.dirs
             .lock()
             .unwrap()
             .insert(schema.name.clone(), TableDir::new());
-        self.routes.lock().unwrap().insert(
-            schema.name.clone(),
-            Arc::new(TableRoute {
-                schema,
-                spec,
-                uniques,
-                pk_cols,
-            }),
-        );
+        self.register_route(schema, spec)?;
         Ok(())
+    }
+
+    /// Create-or-adopt `schema` on every shard and register its
+    /// placement, rebuilding the router's directories from whatever
+    /// rows already exist — the reopen path for durable routers, where
+    /// each shard's engine was recovered from its WAL but the gid and
+    /// homes directories (memory-only) were lost. Shards missing the
+    /// table get it created (a crash can tear the initial DDL between
+    /// shards), so mounting on a fresh router is exactly
+    /// [`Router::create_table`].
+    ///
+    /// Rebuilt gid numbering is deterministic — live rows sorted by
+    /// (local id, shard) — but not insert-ordered; callers that compare
+    /// gids across routers must mount both sides the same way.
+    pub fn mount_table(&self, schema: TableSchema, spec: RoutingSpec) -> Result<()> {
+        self.check_spec(&schema, &spec)?;
+        for node in &self.shards {
+            match node.engine.schema_of(&schema.name) {
+                Ok(_) => {}
+                Err(Error::NoSuchTable(_)) => node.engine.create_table(schema.clone())?,
+                Err(e) => return Err(e),
+            }
+        }
+        let route = self.register_route(schema, spec)?;
+        let table = route.schema.name.clone();
+        // Global replicas hold identical rows under identical local
+        // ids; reading shard 0 alone rebuilds the shared mapping.
+        let read_shards = if route.spec == RoutingSpec::Global {
+            1
+        } else {
+            self.shards.len()
+        };
+        let mut rows: Vec<(u64, usize, Row)> = Vec::new();
+        for (s, node) in self.shards.iter().enumerate().take(read_shards) {
+            for (lid, row) in node
+                .engine
+                .with_txn(|t| t.select(&table, &Predicate::True))?
+            {
+                rows.push((lid.0, s, row));
+            }
+        }
+        rows.sort_by_key(|r| (r.0, r.1));
+        let mut dir = TableDir::new();
+        for (lid, s, row) in &rows {
+            let gid = dir.next_gid;
+            dir.next_gid += 1;
+            dir.fwd.insert(gid, (*s, RowId(*lid)));
+            dir.rev.insert((*s, *lid), gid);
+            dir.homes.insert(Key::from_row(row, &route.pk_cols), *s);
+            self.bloom_check_add(&route, row);
+        }
+        self.dirs.lock().unwrap().insert(table, dir);
+        Ok(())
+    }
+
+    /// Approximate payload bytes of `table`'s live rows: summed across
+    /// shards for routed tables, shard 0 alone for Global tables
+    /// (every replica holds the same rows; counting one keeps storage
+    /// accounting identical at every shard count).
+    pub fn heap_bytes(&self, table: &str) -> Result<usize> {
+        let route = self
+            .route_of(table)
+            .ok_or_else(|| Error::NoSuchTable(table.to_owned()))?;
+        if route.spec == RoutingSpec::Global {
+            return self.shards[0].engine.heap_bytes(table);
+        }
+        let mut total = 0;
+        for node in &self.shards {
+            total += node.engine.heap_bytes(table)?;
+        }
+        Ok(total)
     }
 
     /// Begin a distributed transaction. Per-shard engine transactions
@@ -510,12 +752,12 @@ fn check_row_like_engine(schema: &TableSchema, row: &[Value]) -> Result<()> {
 }
 
 /// Per-table transaction-local directory changes, merged into the
-/// committed [`TableDir`] at commit (or reduced to the gid burn at
-/// rollback — exactly the single engine's id-burn behavior).
+/// committed [`TableDir`] at commit and simply dropped at rollback
+/// (the gids themselves were reserved eagerly in `alloc_gid`, so a
+/// rollback burns them — exactly the single engine's id-burn
+/// behavior).
 #[derive(Debug, Default)]
 struct TableOverlay {
-    /// gids allocated by this transaction (burned even on rollback).
-    allocated: u64,
     /// gid → new location (inserts and moves).
     added: BTreeMap<u64, (usize, RowId)>,
     /// location → gid for `added`.
@@ -668,15 +910,19 @@ impl<'r> DistTxn<'r> {
     fn alloc_gid(&self, route: &TableRoute, row: &[Value], loc: (usize, RowId)) -> u64 {
         let mut ov = self.overlay.borrow_mut();
         let t = ov.entry(route.schema.name.clone()).or_default();
-        let base = self
-            .router
-            .dirs
-            .lock()
-            .unwrap()
-            .get(&route.schema.name)
-            .map_or(1, |d| d.next_gid);
-        let gid = base + t.allocated;
-        t.allocated += 1;
+        // Reserve the gid eagerly: `next_gid` advances the moment the
+        // insert runs, exactly like the single engine's `next_row`, so
+        // a rolled-back transaction burns its ids with no further
+        // bookkeeping — and two *concurrent* inserting transactions
+        // can never mint the same gid (a lazy commit-time burn would
+        // let both read the same base and collide).
+        let gid = {
+            let mut dirs = self.router.dirs.lock().unwrap();
+            let dir = dirs.entry(route.schema.name.clone()).or_default();
+            let gid = dir.next_gid;
+            dir.next_gid += 1;
+            gid
+        };
         t.added.insert(gid, loc);
         t.added_rev.insert((loc.0, (loc.1).0), gid);
         t.homes.insert(Key::from_row(row, &route.pk_cols), loc.0);
@@ -715,6 +961,7 @@ impl<'r> DistTxn<'r> {
         row: &[Value],
         mode: &ScatterMode,
         limit: usize,
+        fresh: &[bool],
     ) -> Result<Option<usize>> {
         for (i, ix) in route.uniques.iter().enumerate() {
             if i >= limit {
@@ -728,6 +975,12 @@ impl<'r> DistTxn<'r> {
             let vals: Vec<Value> = ix.cols.iter().map(|&c| row[c].clone()).collect();
             if vals.iter().any(Value::is_null) {
                 continue; // NULL keys are unique-exempt, as in SQL
+            }
+            if fresh.get(i).copied().unwrap_or(false) {
+                // The Bloom filter saw every key ever attempted;
+                // definite absence means no shard can hold a collision.
+                self.router.metrics.inc("shard.router.unique_probe_skips");
+                continue;
             }
             let pred = eq_pred(&route.schema, &ix.cols, &vals);
             for s in 0..self.router.shards() {
@@ -783,6 +1036,9 @@ impl<'r> DistTxn<'r> {
             return Ok(RowId(gid));
         }
         let target = self.route_row(&route, &row);
+        // Probe-and-feed before the write: a prober racing between our
+        // write and a later feed could wrongly see a clean filter.
+        let fresh = self.router.bloom_check_add(&route, &row);
         let local = self.txn(target).insert(table, row.clone());
         let limit = match &local {
             Ok(_) => usize::MAX,
@@ -795,6 +1051,7 @@ impl<'r> DistTxn<'r> {
             &row,
             &ScatterMode::AfterLocal { home: target },
             limit,
+            &fresh,
         )?;
         match (local, remote) {
             (Ok(lid), None) => {
@@ -895,6 +1152,7 @@ impl<'r> DistTxn<'r> {
             .txn(shard)
             .get(table, lid)
             .map_err(|e| regid(table, gid, e))?;
+        let fresh = self.router.bloom_check_add(route, &new_row);
         let local = self.txn(shard).update(table, lid, new_row.clone());
         let limit = match &local {
             Ok(()) => usize::MAX,
@@ -907,6 +1165,7 @@ impl<'r> DistTxn<'r> {
             &new_row,
             &ScatterMode::AfterLocal { home: shard },
             limit,
+            &fresh,
         )?;
         match (local, remote) {
             (Ok(()), None) => {
@@ -1009,6 +1268,7 @@ impl<'r> DistTxn<'r> {
                 });
             }
         }
+        let fresh = self.router.bloom_check_add(route, &new_row);
         if let Some(i) = self.scatter_conflict(
             table,
             route,
@@ -1017,6 +1277,7 @@ impl<'r> DistTxn<'r> {
                 exclude: (shard, lid),
             },
             usize::MAX,
+            &fresh,
         )? {
             return Err(Error::UniqueViolation {
                 table: table.to_owned(),
@@ -1210,10 +1471,24 @@ impl<'r> DistTxn<'r> {
                 out.push((RowId(gid), row));
             }
         } else {
-            for s in 0..self.router.shards() {
-                for (lid, row) in self.txn(s).select(table, pred)? {
-                    let gid = self
-                        .to_gid(table, s, lid)
+            // Scatter-gather in two phases: collect every probed
+            // shard's raw rows first, then translate all local ids
+            // under ONE overlay borrow and ONE directory-lock
+            // acquisition instead of a lock round-trip per row.
+            let mut raw: Vec<(usize, Vec<(RowId, Row)>)> = Vec::new();
+            for s in self.pruned_shards(&route, pred) {
+                raw.push((s, self.txn(s).select(table, pred)?));
+            }
+            self.router.metrics.inc("shard.router.scatter_batched");
+            let ov = self.overlay.borrow();
+            let ovt = ov.get(table);
+            let dirs = self.router.dirs.lock().unwrap();
+            let dir = dirs.get(table);
+            for (s, rows) in raw {
+                for (lid, row) in rows {
+                    let gid = ovt
+                        .and_then(|t| t.added_rev.get(&(s, lid.0)).copied())
+                        .or_else(|| dir.and_then(|d| d.rev.get(&(s, lid.0)).copied()))
                         .expect("router owns every routed row");
                     out.push((RowId(gid), row));
                 }
@@ -1221,6 +1496,30 @@ impl<'r> DistTxn<'r> {
         }
         out.sort_by_key(|&(id, _)| id);
         Ok(out)
+    }
+
+    /// The shards a scatter for `pred` must visit: a `ByColumn` table
+    /// whose predicate pins the routing column with a top-level
+    /// equality conjunct lives on exactly one shard (rows route by the
+    /// column's value, NULL included, so the pinned value names the
+    /// only shard that can match). Everything else scatters to all.
+    fn pruned_shards(&self, route: &TableRoute, pred: &Predicate) -> Vec<usize> {
+        // Walks `And`/`Eq` only — any other connective could widen the
+        // match set beyond one routing value.
+        fn conjunct_eq<'p>(pred: &'p Predicate, col: &str) -> Option<&'p Value> {
+            match pred {
+                Predicate::Eq(c, v) if c == col => Some(v),
+                Predicate::And(a, b) => conjunct_eq(a, col).or_else(|| conjunct_eq(b, col)),
+                _ => None,
+            }
+        }
+        if let RoutingSpec::ByColumn(col) = &route.spec {
+            if let Some(v) = conjunct_eq(pred, col) {
+                self.router.metrics.inc("shard.router.routed_selects");
+                return vec![shard_of_value(&self.router.map, v)];
+            }
+        }
+        (0..self.router.shards()).collect()
     }
 
     /// Like [`DistTxn::select`], sorted by `order_col` and truncated —
@@ -1299,7 +1598,7 @@ impl<'r> DistTxn<'r> {
             return self.txn(0).sum_int(table, pred, col);
         }
         let mut sum = 0i64;
-        for s in 0..self.router.shards() {
+        for s in self.pruned_shards(&route, pred) {
             sum += self.txn(s).sum_int(table, pred, col)?;
         }
         Ok(sum)
@@ -1313,7 +1612,7 @@ impl<'r> DistTxn<'r> {
             return self.txn(0).count(table, pred);
         }
         let mut n = 0usize;
-        for s in 0..self.router.shards() {
+        for s in self.pruned_shards(&route, pred) {
             n += self.txn(s).count(table, pred)?;
         }
         Ok(n)
@@ -1347,14 +1646,16 @@ impl<'r> DistTxn<'r> {
             .collect();
         let overlay = std::mem::take(&mut *self.overlay.borrow_mut());
         self.done.set(true);
-        let finish = |ok: bool| {
-            let mut dirs = self.router.dirs.lock().unwrap();
+        // Publish the overlay into the committed directories. Callers
+        // hold the `dirs` guard across the engine commit(s) AND this
+        // merge: an engine commit is what makes the new rows visible
+        // to concurrent transactions, so any reader that observes one
+        // then blocks on the directory until its gid is published.
+        // (Rollback needs no directory work at all — the gids were
+        // reserved eagerly in `alloc_gid`, so they burn on their own.)
+        let publish = |dirs: &mut BTreeMap<String, TableDir>| {
             for (table, ov) in &overlay {
                 let dir = dirs.entry(table.clone()).or_default();
-                dir.next_gid += ov.allocated;
-                if !ok {
-                    continue; // rollback burns gids but drops mappings
-                }
                 for (&gid, &loc) in &ov.added {
                     if let Some(old) = dir.fwd.insert(gid, loc) {
                         dir.rev.remove(&(old.0, (old.1).0));
@@ -1373,21 +1674,19 @@ impl<'r> DistTxn<'r> {
         };
         if dirty.len() <= 1 {
             self.router.metrics.inc("shard.router.single_shard_commits");
+            let mut dirs = self.router.dirs.lock().unwrap();
             for (s, txn) in txns
                 .into_iter()
                 .enumerate()
                 .filter_map(|(s, t)| Some((s, t?)))
             {
                 if dirty.contains(&s) {
-                    if let Err(e) = txn.commit() {
-                        finish(false);
-                        return Err(e);
-                    }
+                    txn.commit()?;
                 } else {
                     txn.rollback();
                 }
             }
-            finish(true);
+            publish(&mut dirs);
             return Ok(());
         }
         self.router.metrics.inc("shard.router.cross_shard_commits");
@@ -1416,7 +1715,6 @@ impl<'r> DistTxn<'r> {
         if !prepared || held.len() != dirty.len() {
             self.router.coordinator.decide_abort(gtid);
             drop(held); // rollback of every prepared participant
-            finish(false);
             return Err(Error::TxnAborted {
                 reason: "2PC prepare failed".to_owned(),
             });
@@ -1426,13 +1724,11 @@ impl<'r> DistTxn<'r> {
             for (_, txn) in held {
                 std::mem::forget(txn);
             }
-            finish(false);
             return Ok(());
         }
         let participants: Vec<u64> = held.iter().map(|&(s, _)| s as u64).collect();
         if let Err(e) = self.router.coordinator.decide_commit(gtid, &participants) {
             drop(held);
-            finish(false);
             return Err(Error::Wal(e.to_string()));
         }
         if stage == CommitStage::Decided {
@@ -1441,18 +1737,17 @@ impl<'r> DistTxn<'r> {
             for (_, txn) in held {
                 std::mem::forget(txn);
             }
-            finish(false);
             return Ok(());
         }
+        // Participant commits make the rows visible shard by shard;
+        // hold the directory lock across them (see `publish`).
+        let mut dirs = self.router.dirs.lock().unwrap();
         for (_, txn) in held {
             // Past the commit point the promise must hold; a commit
             // failure here is a broken participant, surfaced loudly.
-            if let Err(e) = txn.commit() {
-                finish(false);
-                return Err(e);
-            }
+            txn.commit()?;
         }
-        finish(true);
+        publish(&mut dirs);
         Ok(())
     }
 
@@ -1470,13 +1765,9 @@ impl Drop for DistTxn<'_> {
             return;
         }
         self.done.set(true);
-        // Engine txns roll back when their OnceCells drop; burn gids.
-        let overlay = std::mem::take(&mut *self.overlay.borrow_mut());
-        let mut dirs = self.router.dirs.lock().unwrap();
-        for (table, ov) in &overlay {
-            let dir = dirs.entry(table.clone()).or_default();
-            dir.next_gid += ov.allocated;
-        }
+        // Engine txns roll back when their OnceCells drop; the gids
+        // this transaction allocated were reserved eagerly, so they
+        // burn with no further bookkeeping.
     }
 }
 

@@ -28,6 +28,7 @@ use crate::map::ShardMap;
 use crate::router::{DistTxn, Router, RoutingSpec};
 use obs::Registry;
 use relstore::{EngineKind, Predicate, Result, RowId, TableSchema, Value};
+use std::path::Path;
 use wdoc_core::tables::{
     self, Annotation, BugReport, HtmlFile, Implementation, ProgramFile, Script, TestRecord,
 };
@@ -60,7 +61,34 @@ pub fn catalog() -> Vec<(TableSchema, RoutingSpec)> {
             },
         ),
         (Annotation::schema(), by_script()),
+        // BLOB-descriptor junction tables: a script's resources hash on
+        // the owning script name (same value, same shard — the CASCADE
+        // stays local); an implementation's resources follow the
+        // implementation's home, which is its *script's* hash, so they
+        // ride the homes directory like the file tables do.
+        (
+            tables::resource_schema(Script::RESOURCES, Script::TABLE, "name"),
+            RoutingSpec::ByColumn("owner".into()),
+        ),
+        (
+            tables::resource_schema(Implementation::RESOURCES, Implementation::TABLE, "url"),
+            RoutingSpec::ByParent {
+                col: "owner".into(),
+                parent: Implementation::TABLE.into(),
+                fallback: "owner".into(),
+            },
+        ),
     ]
+}
+
+/// The routing spec [`catalog`] assigns to `table`, if it is one of
+/// the paper's document tables.
+#[must_use]
+pub fn routing_spec_for(table: &str) -> Option<RoutingSpec> {
+    catalog()
+        .into_iter()
+        .find(|(s, _)| s.name == table)
+        .map(|(_, spec)| spec)
 }
 
 /// The paper's document tables, hash-partitioned: a thin typed facade
@@ -255,6 +283,194 @@ where
         }
     }
     out
+}
+
+impl wdoc_core::DocTxn for DistTxn<'_> {
+    fn insert(&self, table: &str, row: relstore::Row) -> Result<RowId> {
+        DistTxn::insert(self, table, row)
+    }
+    fn get(&self, table: &str, id: RowId) -> Result<relstore::Row> {
+        DistTxn::get(self, table, id)
+    }
+    fn update(&self, table: &str, id: RowId, row: relstore::Row) -> Result<()> {
+        DistTxn::update(self, table, id, row)
+    }
+    fn update_cols(&self, table: &str, id: RowId, cols: &[(&str, Value)]) -> Result<()> {
+        DistTxn::update_cols(self, table, id, cols)
+    }
+    fn delete(&self, table: &str, id: RowId) -> Result<()> {
+        DistTxn::delete(self, table, id)
+    }
+    fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, relstore::Row)>> {
+        DistTxn::select(self, table, pred)
+    }
+    fn select_ordered(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        order_col: &str,
+        descending: bool,
+        limit: Option<usize>,
+    ) -> Result<Vec<(RowId, relstore::Row)>> {
+        DistTxn::select_ordered(self, table, pred, order_col, descending, limit)
+    }
+    fn join(
+        &self,
+        left: &str,
+        left_col: &str,
+        left_pred: &Predicate,
+        right: &str,
+        right_col: &str,
+        right_pred: &Predicate,
+    ) -> Result<Vec<(relstore::Row, relstore::Row)>> {
+        DistTxn::join(
+            self, left, left_col, left_pred, right, right_col, right_pred,
+        )
+    }
+    fn sum_int(&self, table: &str, pred: &Predicate, col: &str) -> Result<i64> {
+        DistTxn::sum_int(self, table, pred, col)
+    }
+    fn count(&self, table: &str, pred: &Predicate) -> Result<usize> {
+        DistTxn::count(self, table, pred)
+    }
+}
+
+/// A [`Router`] behind [`wdoc_core::DocBackend`]: the storage facade
+/// that lets a **full typed station** — [`wdoc_core::WebDocDb`] with
+/// its integrity diagram, BLOB layer, SCM, locking, everything — run
+/// on N hash-partitioned shards instead of one engine. Tables created
+/// through it pick up their routing spec from [`catalog`] (unknown
+/// tables fall back to [`RoutingSpec::Global`], which is correct at
+/// any shard count); on a recovered store the tables are adopted and
+/// the gid/homes directories rebuilt instead.
+pub struct ShardedBackend {
+    router: Router,
+}
+
+impl ShardedBackend {
+    /// In-memory sharded backend over `shards` uniform hash partitions.
+    #[must_use]
+    pub fn new(kind: EngineKind, shards: u32, metrics: Registry) -> Self {
+        ShardedBackend {
+            router: Router::new(kind, ShardMap::uniform(shards, 1), metrics),
+        }
+    }
+
+    /// Durable sharded backend rooted at `dir` (one WAL per shard,
+    /// 2PC decisions co-hosted on shard 0): recovers whatever the
+    /// last session left, resolving in-doubt distributed transactions
+    /// by presumed abort. On a fresh directory the reports are empty.
+    pub fn recover(
+        kind: EngineKind,
+        shards: u32,
+        dir: &Path,
+        metrics: Registry,
+    ) -> std::result::Result<(Self, Vec<wal::RecoveryReport>), wal::WalError> {
+        let (router, reports) = Router::recover(kind, ShardMap::uniform(shards, 1), dir, metrics)?;
+        Ok((ShardedBackend { router }, reports))
+    }
+
+    /// The router underneath (metrics, per-shard engines, shard map).
+    #[must_use]
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+}
+
+impl wdoc_core::DocBackend for ShardedBackend {
+    fn engine_kind(&self) -> EngineKind {
+        self.router.engine(0).kind()
+    }
+    fn shards(&self) -> usize {
+        self.router.shards()
+    }
+    fn create_table(&self, schema: TableSchema) -> Result<()> {
+        let spec = routing_spec_for(&schema.name).unwrap_or(RoutingSpec::Global);
+        self.router.mount_table(schema, spec)
+    }
+    fn with_txn_dyn(&self, f: &mut dyn FnMut(&dyn wdoc_core::DocTxn) -> Result<()>) -> Result<()> {
+        let f = std::cell::RefCell::new(f);
+        self.router
+            .with_txn(|t| (f.borrow_mut())(t as &dyn wdoc_core::DocTxn))
+    }
+    fn snapshot(&self) -> Result<relstore::Snapshot> {
+        Err(relstore::Error::Unsupported(
+            "whole-station snapshot of a sharded router: there is no single \
+             consistent engine state to capture; snapshot each shard's engine"
+                .into(),
+        ))
+    }
+    fn heap_bytes(&self, table: &str) -> Result<usize> {
+        self.router.heap_bytes(table)
+    }
+    fn checkpoint(&self) -> Result<Option<wal::Lsn>> {
+        // Checkpoint every shard's log; report the highest LSN. An
+        // in-memory router (no WALs) reports `None` so the facade can
+        // flag the misuse, matching a non-durable single engine.
+        let mut last = None;
+        for s in 0..self.router.shards() {
+            let Some(w) = self.router.wal(s) else {
+                return Ok(None);
+            };
+            let lsn = w
+                .checkpoint_any(self.router.engine(s))
+                .map_err(|e| relstore::Error::Wal(e.to_string()))?;
+            last = Some(last.map_or(lsn, |m: wal::Lsn| m.max(lsn)));
+        }
+        Ok(last)
+    }
+}
+
+/// Sharded constructors for the typed station, as an extension trait
+/// (the `shard` crate depends on `wdoc-core`, so the methods cannot
+/// live on [`WebDocDb`] itself).
+pub trait ShardedStation: Sized {
+    /// A fresh in-memory station spanning `shards` hash partitions —
+    /// the sharded sibling of [`WebDocDb::with_engine`].
+    fn open_sharded(shards: u32, kind: EngineKind) -> wdoc_core::Result<Self>;
+    /// [`ShardedStation::open_sharded`] with a caller-owned metrics
+    /// registry (pass a clone to keep reading counters afterwards).
+    fn open_sharded_with(
+        shards: u32,
+        kind: EngineKind,
+        metrics: Registry,
+    ) -> wdoc_core::Result<Self>;
+    /// A durable station over per-shard WALs rooted at `dir` — the
+    /// sharded sibling of [`WebDocDb::open_durable`]. Reopening
+    /// recovers every shard, resolves in-doubt 2PC by presumed abort,
+    /// rebuilds the routing directories from the recovered rows, and
+    /// reloads the BLOB layer from `dir/blobs.json`.
+    fn open_sharded_durable(
+        dir: &Path,
+        shards: u32,
+        kind: EngineKind,
+        metrics: Registry,
+    ) -> wdoc_core::Result<(Self, Vec<wal::RecoveryReport>)>;
+}
+
+impl ShardedStation for wdoc_core::WebDocDb {
+    fn open_sharded(shards: u32, kind: EngineKind) -> wdoc_core::Result<Self> {
+        Self::open_sharded_with(shards, kind, Registry::new())
+    }
+    fn open_sharded_with(
+        shards: u32,
+        kind: EngineKind,
+        metrics: Registry,
+    ) -> wdoc_core::Result<Self> {
+        let backend = ShardedBackend::new(kind, shards, metrics);
+        wdoc_core::WebDocDb::on_backend(Box::new(backend), true)
+    }
+    fn open_sharded_durable(
+        dir: &Path,
+        shards: u32,
+        kind: EngineKind,
+        metrics: Registry,
+    ) -> wdoc_core::Result<(Self, Vec<wal::RecoveryReport>)> {
+        let (backend, reports) = ShardedBackend::recover(kind, shards, dir, metrics)
+            .map_err(|e| wdoc_core::CoreError::Durability(format!("open sharded station: {e}")))?;
+        let db = wdoc_core::WebDocDb::on_durable_backend(Box::new(backend), true, dir)?;
+        Ok((db, reports))
+    }
 }
 
 #[cfg(test)]

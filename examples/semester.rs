@@ -4,7 +4,13 @@
 //!
 //! ```sh
 //! cargo run --release --example semester
+//! cargo run --release --example semester -- --shards 4
 //! ```
+//!
+//! With `--shards N` the same semester runs on an N-way
+//! hash-partitioned station: every typed verb below routes through the
+//! shard `Router`, and the walkthrough's output is identical — a
+//! sharded station is the unsharded one, not an approximation.
 
 use mmu_wdoc::core::ids::{CourseId, UserId};
 use mmu_wdoc::core::quiz::{grade_class, Question, Quiz, QuizResponse};
@@ -16,12 +22,24 @@ use mmu_wdoc::dist::{
 };
 use mmu_wdoc::library::{assess, rank, Catalog, CatalogEntry, CheckoutLedger};
 use mmu_wdoc::netsim::{LinkSpec, Network, SimTime};
+use mmu_wdoc::relstore::EngineKind;
+use mmu_wdoc::shard::ShardedStation;
 use mmu_wdoc::workload::{generate_course, generate_trace, CourseSpec, MediaMix, TraceSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const STUDENTS: usize = 24;
 const WEEKS: usize = 6;
+
+/// `--shards N` from the command line (default 1 = unsharded).
+fn arg_shards() -> u32 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map(|n| n.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(1)
+}
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(1999);
@@ -35,7 +53,15 @@ fn main() {
             .register(&UserId::new(format!("student{s}")), &course_id, 0)
             .expect("registration");
     }
-    let db = WebDocDb::new();
+    let shards = arg_shards();
+    let db = if shards > 1 {
+        println!(
+            "running on a {shards}-shard station (typed verbs routed through the shard Router)"
+        );
+        WebDocDb::open_sharded(shards, EngineKind::TwoPl).expect("sharded station")
+    } else {
+        WebDocDb::new()
+    };
     let spec = CourseSpec {
         name: "MM201".into(),
         instructor: "shih".into(),
