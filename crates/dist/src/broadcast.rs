@@ -15,7 +15,7 @@
 
 use crate::tree::BroadcastTree;
 use bytes::Bytes;
-use netsim::{Network, SimTime, StationId};
+use netsim::{Network, ParNet, SimTime, StationId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -80,6 +80,59 @@ fn send_to_children(net: &mut Network<Relay>, tree: &BroadcastTree, pos: u64, by
     for child in tree.children_of(pos) {
         let dst = tree.station_at(child).expect("child exists");
         net.send(src, dst, bytes, Relay { position: child });
+    }
+}
+
+/// [`broadcast`] on the island-parallel engine: the same store-and-
+/// forward relay, with each island's deliveries handled on its own
+/// worker thread. The relay handler is purely station-local (on
+/// delivery at a station, forward from that station to its tree
+/// children), so it parallelizes without any shared state; the report
+/// and — after the flush [`finish`] performs — the obs snapshot are
+/// byte-identical to the sequential [`broadcast`] for every island
+/// count and thread count.
+pub fn broadcast_par(
+    net: &mut ParNet<Relay>,
+    tree: &BroadcastTree,
+    object_bytes: u64,
+    threads: usize,
+) -> BroadcastReport {
+    // Root "has" the object; kick off sends to its children.
+    let root_src = tree.station_at(1).expect("root exists");
+    for child in tree.children_of(1) {
+        let dst = tree.station_at(child).expect("child exists");
+        net.send(root_src, dst, object_bytes, Relay { position: child });
+    }
+    let per_island: Vec<BTreeMap<u32, SimTime>> = vec![BTreeMap::new(); net.islands()];
+    let per_island = net.run(threads, per_island, |ctx, arrivals, msg| {
+        arrivals.insert(msg.dst.0, ctx.now());
+        // msg.dst is the station at msg.payload.position — island-local
+        // by delivery, so it may relay from here.
+        for child in tree.children_of(msg.payload.position) {
+            let dst = tree.station_at(child).expect("child exists");
+            ctx.send(msg.dst, dst, msg.bytes, Relay { position: child });
+        }
+    });
+    // Each station is delivered on exactly one island: the per-island
+    // maps have disjoint key sets and fold into the same BTreeMap the
+    // sequential run builds.
+    let mut arrivals = BTreeMap::new();
+    for m in per_island {
+        arrivals.extend(m);
+    }
+    net.flush_metrics();
+    let max_station_tx = tree
+        .broadcast_vector()
+        .iter()
+        .map(|&s| net.station_stats(s).tx_bytes)
+        .max()
+        .unwrap_or(0);
+    BroadcastReport {
+        completion: net.last_delivery(),
+        total_bytes: net.total_bytes(),
+        max_station_tx,
+        height: tree.height(),
+        arrivals,
     }
 }
 
@@ -194,6 +247,22 @@ pub fn broadcast_uniform(
     broadcast(&mut net, &tree, object_bytes)
 }
 
+/// Convenience: [`broadcast_par`] on a fresh uniform network split into
+/// `islands` islands. The uplink latency must be nonzero when
+/// `islands > 1` — cross-island lookahead comes from it.
+pub fn broadcast_par_uniform(
+    n: usize,
+    m: u64,
+    object_bytes: u64,
+    uplink: netsim::LinkSpec,
+    islands: usize,
+    threads: usize,
+) -> BroadcastReport {
+    let (mut net, ids) = ParNet::uniform(n, uplink, islands);
+    let tree = BroadcastTree::new(ids, m);
+    broadcast_par(&mut net, &tree, object_bytes, threads)
+}
+
 /// Convenience: run the star baseline on a fresh uniform network.
 #[must_use]
 pub fn star_uniform(n: usize, object_bytes: u64, uplink: netsim::LinkSpec) -> BroadcastReport {
@@ -297,6 +366,40 @@ mod tests {
 
     fn lan() -> LinkSpec {
         LinkSpec::new(MB, SimTime::ZERO) // 1 MB/s, no latency: clean math
+    }
+
+    // Parallel runs need nonzero latency: the cross-island lookahead is
+    // derived from the slowest link, and a zero-latency topology has no
+    // safe window to run islands independently in.
+    fn wan() -> LinkSpec {
+        LinkSpec::new(MB, SimTime::from_millis(3))
+    }
+
+    #[test]
+    fn parallel_broadcast_matches_sequential() {
+        for (n, m) in [(2usize, 1u64), (17, 2), (50, 3), (64, 8)] {
+            let seq = broadcast_uniform(n, m, 123_457, wan());
+            for (islands, threads) in [(1usize, 1usize), (3, 2), (8, 4)] {
+                let par = broadcast_par_uniform(n, m, 123_457, wan(), islands, threads);
+                assert_eq!(seq, par, "n={n} m={m} islands={islands} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_broadcast_matches_sequential_metrics() {
+        let n = 40;
+        let (mut snet, ids) = Network::uniform(n, wan());
+        let tree = BroadcastTree::new(ids, 4);
+        broadcast(&mut snet, &tree, 77_000);
+        let seq_snap = snet.metrics().snapshot().to_json();
+
+        let (mut pnet, ids) = ParNet::uniform(n, wan(), 5);
+        let tree = BroadcastTree::new(ids, 4);
+        broadcast_par(&mut pnet, &tree, 77_000, 3);
+        let par_snap = pnet.metrics().snapshot().to_json();
+
+        assert_eq!(seq_snap, par_snap, "obs snapshots must be byte-identical");
     }
 
     #[test]

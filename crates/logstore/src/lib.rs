@@ -17,6 +17,10 @@
 //! * **Merge compaction** — [`LogStore::merge`] rewrites live entries
 //!   into fresh segments and deletes the stale ones in an order proven
 //!   crash-safe (see `store.rs` module docs), reclaiming dead bytes.
+//!   [`LogStore::merge_concurrent`] does the same with the copy phase
+//!   off the writer's lock, and [`LogStore::spawn_compactor`] runs it
+//!   from a throttled janitor thread so foreground writes never wait
+//!   for a rewrite.
 //!
 //! Upstack, `relstore` mounts this as its third `PageStore` backend,
 //! `blobstore` as a durable blob backend, and `wal` borrows the same
@@ -27,7 +31,7 @@ mod format;
 mod store;
 
 pub use format::{crc32, DATA_MAGIC, FILE_HEADER, FRAME_HEADER, HINT_MAGIC};
-pub use store::{data_path, hint_path, LogStats, LogStore, MergeReport, SegmentInfo};
+pub use store::{data_path, hint_path, Compactor, LogStats, LogStore, MergeReport, SegmentInfo};
 
 /// Errors a [`LogStore`] can surface.
 #[derive(Debug)]

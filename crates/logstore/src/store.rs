@@ -41,7 +41,9 @@ use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Data-segment file path for segment `id` under `root`.
 #[must_use]
@@ -171,6 +173,10 @@ pub struct LogStore {
     cfg: LogConfig,
     metrics: Registry,
     inner: Mutex<Inner>,
+    /// True while a concurrent merge is between its snapshot and
+    /// install phases. Guards every other merge path: two compactions
+    /// over the same sealed set would double-delete segments.
+    merging: AtomicBool,
 }
 
 impl std::fmt::Debug for LogStore {
@@ -346,6 +352,7 @@ impl LogStore {
                 active_tombs: Vec::new(),
                 stats,
             }),
+            merging: AtomicBool::new(false),
         };
         {
             let mut inner = store.inner.lock().unwrap();
@@ -496,6 +503,8 @@ impl LogStore {
         }
         self.seal_active(inner)?;
         if self.cfg.auto_compact && self.compaction_due(inner) {
+            // Skipped while a background merge is in flight: it will
+            // pick the new sealed segment up on its next pass.
             self.merge_inner(inner)?;
         }
         Ok(())
@@ -575,11 +584,16 @@ impl LogStore {
             .segs
             .get_mut(&e.seg)
             .expect("directory points at a live segment");
+        Self::read_frame_from(&mut seg.file, e)
+    }
+
+    /// Read and CRC-check one frame through an explicit file handle —
+    /// the concurrent merge reads sealed segments through its own
+    /// handles so the directory lock stays free.
+    fn read_frame_from(file: &mut File, e: DirEntry) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; e.len as usize];
-        seg.file
-            .seek(SeekFrom::Start(e.off))
-            .map_err(LogError::Io)?;
-        seg.file.read_exact(&mut buf).map_err(LogError::Io)?;
+        file.seek(SeekFrom::Start(e.off)).map_err(LogError::Io)?;
+        file.read_exact(&mut buf).map_err(LogError::Io)?;
         let payload = &buf[FRAME_HEADER..];
         let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4B"));
         if format::crc32(payload) != crc {
@@ -781,6 +795,10 @@ impl LogStore {
     }
 
     fn merge_inner(&self, inner: &mut Inner) -> Result<MergeReport> {
+        if self.merging.load(Ordering::SeqCst) {
+            // A concurrent merge owns the sealed set right now.
+            return Ok(MergeReport::default());
+        }
         let merged: Vec<u64> = inner
             .segs
             .iter()
@@ -906,5 +924,296 @@ impl LogStore {
         let own: Vec<HintRecord> = std::mem::take(hints);
         self.write_hint(id, &own)?;
         Ok(())
+    }
+
+    /// [`merge`](LogStore::merge) off the writer's critical path: the
+    /// copy phase — all of the reads and all of the output writes —
+    /// runs **without** the store lock, so foreground `put`/`get`/
+    /// `remove` proceed while the merge is in flight. Only the brief
+    /// snapshot (collect the sealed set and the live entries pointing
+    /// into it) and install (swing the directory, delete the stale
+    /// segments) phases lock.
+    ///
+    /// Safe because sealed segments are immutable (the copy phase reads
+    /// them through its own handles) and the install phase re-checks
+    /// each entry's version: a key overwritten or removed while its old
+    /// record was being copied keeps the newer record, and the stale
+    /// copy is simply dead weight in the output segment. Returns an
+    /// empty report if another merge is already in flight.
+    pub fn merge_concurrent(&self) -> Result<MergeReport> {
+        self.merge_concurrent_hooked(|| {})
+    }
+
+    /// Test seam: [`merge_concurrent`](LogStore::merge_concurrent) with
+    /// a callback invoked between the unlocked copy phase and the
+    /// locked install phase — the window in which foreground traffic
+    /// overlaps an in-flight merge, made deterministic.
+    #[doc(hidden)]
+    pub fn merge_concurrent_hooked(&self, before_install: impl FnOnce()) -> Result<MergeReport> {
+        if self
+            .merging
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return Ok(MergeReport::default());
+        }
+        let result = self.merge_concurrent_inner(before_install);
+        self.merging.store(false, Ordering::SeqCst);
+        result
+    }
+
+    fn merge_concurrent_inner(&self, before_install: impl FnOnce()) -> Result<MergeReport> {
+        // Snapshot phase (locked): the sealed set, the live entries
+        // pointing into it, and a reserved id range for the outputs.
+        let (merged, moves, first_out) = {
+            let mut inner = self.inner.lock().unwrap();
+            let merged: Vec<u64> = inner
+                .segs
+                .iter()
+                .filter(|(_, s)| s.sealed)
+                .map(|(&id, _)| id)
+                .collect();
+            if merged.is_empty() {
+                return Ok(MergeReport::default());
+            }
+            let merge_set: std::collections::BTreeSet<u64> = merged.iter().copied().collect();
+            let moves: Vec<(Vec<u8>, DirEntry)> = inner
+                .dir
+                .iter()
+                .filter(|(_, e)| merge_set.contains(&e.seg))
+                .map(|(k, e)| (k.clone(), *e))
+                .collect();
+            // The output layout is a pure function of the frame sizes,
+            // so the ids can be reserved up front and the copy phase
+            // never needs the lock to rotate.
+            let mut n_outputs = 0u64;
+            let mut cur = u64::MAX;
+            for (_, e) in &moves {
+                if cur >= self.cfg.segment_bytes {
+                    n_outputs += 1;
+                    cur = FILE_HEADER as u64;
+                }
+                cur += u64::from(e.len);
+            }
+            let first_out = inner.next_seg;
+            inner.next_seg += n_outputs;
+            (merged, moves, first_out)
+        };
+
+        // Copy phase (unlocked): read each live frame from the sealed
+        // segments through private handles, write output data files and
+        // hints with the same durability ordering as the foreground
+        // merge (data synced before its hint appears).
+        let mut sources: BTreeMap<u64, File> = BTreeMap::new();
+        for &id in &merged {
+            let f = OpenOptions::new()
+                .read(true)
+                .open(data_path(&self.root, id))
+                .map_err(LogError::Io)?;
+            sources.insert(id, f);
+        }
+        struct Output {
+            id: u64,
+            file: File,
+            len: u64,
+            records: u64,
+        }
+        let mut outputs: Vec<Output> = Vec::new();
+        let mut out_hints: Vec<HintRecord> = Vec::new();
+        let mut installs: Vec<(Vec<u8>, u64, DirEntry)> = Vec::new();
+        let mut appended = 0u64;
+        let mut report = MergeReport {
+            merged: merged.clone(),
+            ..MergeReport::default()
+        };
+        for (key, old) in moves {
+            let src = sources.get_mut(&old.seg).expect("source open");
+            let frame = Self::read_frame_from(src, old)?;
+            let need_new = outputs
+                .last()
+                .is_none_or(|o| o.len >= self.cfg.segment_bytes);
+            if need_new {
+                if let Some(prev) = outputs.last_mut() {
+                    prev.file.sync_data().map_err(LogError::Io)?;
+                    self.write_hint(prev.id, &std::mem::take(&mut out_hints))?;
+                }
+                let id = first_out + outputs.len() as u64;
+                let path = data_path(&self.root, id);
+                let mut file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(&path)
+                    .map_err(LogError::Io)?;
+                file.write_all(&format::encode_header(DATA_MAGIC, id))
+                    .map_err(LogError::Io)?;
+                outputs.push(Output {
+                    id,
+                    file,
+                    len: FILE_HEADER as u64,
+                    records: 0,
+                });
+            }
+            let out = outputs.last_mut().expect("output exists");
+            let off = out.len;
+            out.file.write_all(&frame).map_err(LogError::Io)?;
+            out.len += frame.len() as u64;
+            out.records += 1;
+            appended += frame.len() as u64;
+            out_hints.push(HintRecord {
+                version: old.version,
+                tombstone: false,
+                off,
+                frame_len: old.len,
+                key: key.clone(),
+            });
+            installs.push((
+                key,
+                old.version,
+                DirEntry {
+                    seg: out.id,
+                    off,
+                    len: old.len,
+                    version: old.version,
+                },
+            ));
+            report.live_records += 1;
+            report.live_bytes += u64::from(old.len);
+        }
+        if let Some(last) = outputs.last_mut() {
+            last.file.sync_data().map_err(LogError::Io)?;
+            self.write_hint(last.id, &std::mem::take(&mut out_hints))?;
+        }
+        drop(sources);
+
+        before_install();
+
+        // Install phase (locked): adopt the outputs, swing surviving
+        // directory entries at their copies, delete the merged
+        // segments ascending — the same crash-safe ordering as the
+        // foreground merge.
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        inner.stats.appended_bytes += appended;
+        self.metrics.add("logstore.appended_bytes", appended);
+        report.outputs = outputs.iter().map(|o| o.id).collect();
+        for o in outputs {
+            inner.segs.insert(
+                o.id,
+                SegMeta {
+                    file: o.file,
+                    len: o.len,
+                    records: o.records,
+                    live_records: 0,
+                    live_bytes: 0,
+                    sealed: true,
+                },
+            );
+        }
+        for (key, copied_version, new_entry) in installs {
+            match inner.dir.get_mut(&key) {
+                Some(cur) if cur.version == copied_version => {
+                    *cur = new_entry;
+                    let seg = inner.segs.get_mut(&new_entry.seg).expect("output exists");
+                    seg.live_records += 1;
+                    seg.live_bytes += u64::from(new_entry.len);
+                }
+                _ => {
+                    // Overwritten or removed while the merge was in
+                    // flight: the newer record wins, the copy stays
+                    // dead in its output segment.
+                }
+            }
+        }
+        for &id in &merged {
+            let hint = hint_path(&self.root, id);
+            let data = data_path(&self.root, id);
+            let hint_len = std::fs::metadata(&hint).map(|m| m.len()).unwrap_or(0);
+            let data_len = std::fs::metadata(&data).map(|m| m.len()).unwrap_or(0);
+            let _ = std::fs::remove_file(&hint);
+            std::fs::remove_file(&data).map_err(LogError::Io)?;
+            inner.segs.remove(&id);
+            report.reclaimed_bytes += hint_len + data_len;
+        }
+        inner.stats.merges += 1;
+        inner.stats.reclaimed_bytes += report.reclaimed_bytes;
+        self.metrics.inc("logstore.merges");
+        self.metrics
+            .add("logstore.bytes_reclaimed", report.reclaimed_bytes);
+        self.refresh_stats(inner);
+        Ok(report)
+    }
+
+    /// Spawn a throttled janitor thread that wakes every `interval`,
+    /// asks the compaction policy whether a merge is due, and runs
+    /// [`merge_concurrent`](LogStore::merge_concurrent) when it is —
+    /// ROADMAP item 2's reclaim without stealing the writer's thread.
+    /// Each merge that actually compacts something bumps the
+    /// `logstore.compaction.background_merges` counter. The returned
+    /// handle stops and joins the thread on [`Compactor::stop`] or
+    /// drop.
+    #[must_use]
+    pub fn spawn_compactor(self: &Arc<Self>, interval: Duration) -> Compactor {
+        let store = Arc::clone(self);
+        let signal = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_signal = Arc::clone(&signal);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*thread_signal;
+            let mut stopped = lock.lock().unwrap();
+            loop {
+                if *stopped {
+                    return;
+                }
+                stopped = cv.wait_timeout(stopped, interval).unwrap().0;
+                if *stopped {
+                    return;
+                }
+                drop(stopped);
+                let due = {
+                    let inner = store.inner.lock().unwrap();
+                    store.compaction_due(&inner)
+                };
+                if due {
+                    if let Ok(report) = store.merge_concurrent() {
+                        if !report.merged.is_empty() {
+                            store.metrics.inc("logstore.compaction.background_merges");
+                        }
+                    }
+                }
+                stopped = lock.lock().unwrap();
+            }
+        });
+        Compactor {
+            signal,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Handle to a background compaction thread started by
+/// [`LogStore::spawn_compactor`]. Dropping it stops and joins the
+/// thread.
+#[derive(Debug)]
+pub struct Compactor {
+    signal: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Compactor {
+    /// Stop the janitor and wait for it to finish any in-flight merge.
+    pub fn stop(&mut self) {
+        let (lock, cv) = &*self.signal;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.stop();
     }
 }

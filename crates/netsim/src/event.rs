@@ -368,10 +368,27 @@ impl<T> EventQueue<T> {
     pub fn push(&mut self, at: SimTime, item: T) {
         let seq = self.seq;
         self.seq += 1;
+        self.push_keyed(at, seq, item);
+    }
+
+    /// Schedule `item` at time `at` with a caller-supplied tie-break
+    /// key: among events at the same time, smaller keys pop first.
+    ///
+    /// [`push`] derives its key from a queue-internal push counter,
+    /// which makes tie order depend on *global* push order — fine for a
+    /// single queue, but not reproducible when the same logical event
+    /// stream is split across several queues (the parallel simulator's
+    /// islands). Callers that need partition-independent ordering mint
+    /// their own keys (netsim packs `(source station, per-source
+    /// counter)`) and must not mix keyed and unkeyed pushes in one
+    /// queue.
+    ///
+    /// [`push`]: EventQueue::push
+    pub fn push_keyed(&mut self, at: SimTime, key: u64, item: T) {
         self.len += 1;
         let e = Entry {
             at: at.as_micros(),
-            seq,
+            seq: key,
             lane: LANE_NONE,
             item,
         };
@@ -389,12 +406,21 @@ impl<T> EventQueue<T> {
     pub fn push_lane(&mut self, lane: usize, at: SimTime, item: T) {
         let seq = self.seq;
         self.seq += 1;
+        self.push_lane_keyed(lane, at, seq, item);
+    }
+
+    /// [`push_lane`] with a caller-supplied tie-break key (see
+    /// [`push_keyed`] for the key discipline).
+    ///
+    /// [`push_lane`]: EventQueue::push_lane
+    /// [`push_keyed`]: EventQueue::push_keyed
+    pub fn push_lane_keyed(&mut self, lane: usize, at: SimTime, key: u64, item: T) {
         self.len += 1;
         match &mut self.imp {
-            Imp::Wheel(w) => w.push_lane(lane, at.as_micros(), seq, item),
+            Imp::Wheel(w) => w.push_lane(lane, at.as_micros(), key, item),
             Imp::Heap(h) => h.push(HeapEntry(Entry {
                 at: at.as_micros(),
-                seq,
+                seq: key,
                 lane: LANE_NONE,
                 item,
             })),

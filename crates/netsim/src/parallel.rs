@@ -1,0 +1,1034 @@
+//! Conservative parallel discrete-event simulation: island-partitioned
+//! networks that replay **byte-identically** to the sequential engine.
+//!
+//! ## Model
+//!
+//! Stations are partitioned into *islands*. Each island owns the
+//! mutable state of its stations (uplink clock, traffic counters, the
+//! per-station tie-break counter) plus its own timing-wheel event
+//! queue, fault-state replica and metric accumulators — so a worker
+//! thread can process its islands' events with no shared mutable
+//! state. Cross-island messages travel through per-island mailboxes
+//! that are drained only at window barriers.
+//!
+//! ## Lookahead and the window protocol
+//!
+//! The engine is *conservative*: an island only processes events it can
+//! prove no other island will still invalidate. The proof is the
+//! topology's minimum cross-island link latency *L* (scaled down by the
+//! most aggressive `Degrade` in the fault schedule): any message sent
+//! at time *t* arrives no earlier than *t + L*. Each round:
+//!
+//! 1. every island drains its mailbox into its queue and publishes its
+//!    next event time; a barrier makes all published times visible;
+//! 2. every worker computes the same global minimum *W*; the window is
+//!    `[W, W + L)`. Each island pops and delivers its events strictly
+//!    before `W + L`, appending cross-island sends to mailboxes. A
+//!    message sent in-window departs at `now ≥ W` and so arrives at
+//!    `≥ W + L` — never inside the current window, which is exactly
+//!    why the window is safe to process without coordination;
+//! 3. a second barrier ends the round; the loop exits when every
+//!    island's queue is empty.
+//!
+//! Optimistic engines (time warp) reach further ahead and roll back on
+//! conflict; rollback would have to undo handler side effects (user
+//! state, metric accumulators, shared `Bytes` bodies), which is
+//! incompatible with arbitrary user handlers and with the repo's
+//! byte-identity discipline. Conservative windows need no rollback and
+//! make determinism a *structural* property: each island processes the
+//! island-restricted subsequence of the global `(time, key)` event
+//! order, and every quantity the sequential engine accumulates is
+//! either per-station (owned by exactly one island) or a sum/max/
+//! histogram-merge of per-island accumulators.
+//!
+//! ## Determinism contract
+//!
+//! For any partition, thread count and queue kind, a [`ParNet`] run
+//! produces the same delivered bytes, the same per-station stats and —
+//! after [`ParNet::flush_metrics`] — a byte-identical obs snapshot to
+//! [`Network`] with the same inputs, provided the handler is a pure
+//! function of `(island-local state, message)` that records nothing in
+//! the shared registry itself. Fault events are applied inside each
+//! island as pure functions of time (no counters), and replayed once
+//! against the real registry when a run completes, so `netsim.fault.*`
+//! counters and traces match the sequential engine exactly.
+//!
+//! [`Network`]: crate::Network
+
+use crate::event::{EventQueue, QueueKind};
+use crate::fault::{Fault, FaultSchedule, FaultState, SendError};
+use crate::sim::{
+    deliver, flush_netsim_metrics, prepare_send, prepare_timer, Envelope, Flows, Message,
+};
+use crate::time::SimTime;
+use crate::topology::{LinkSpec, StationId, StationStats, Topology};
+use bytes::Bytes;
+use obs::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Assignment of stations to islands.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    owner: Vec<u32>,
+    count: usize,
+}
+
+impl Partition {
+    /// Split `stations` into `islands` contiguous id ranges of
+    /// near-equal size. Contiguous ranges track the m-ary tree's id
+    /// layout (a node's children are `m·k + 1 …`), so subtrees mostly
+    /// stay island-local and cross-island traffic is the exception.
+    ///
+    /// # Panics
+    /// If `islands` is zero.
+    #[must_use]
+    pub fn contiguous(stations: usize, islands: usize) -> Self {
+        assert!(islands > 0, "at least one island");
+        let islands = islands.min(stations.max(1));
+        let per = stations.div_ceil(islands);
+        Partition {
+            owner: (0..stations).map(|i| (i / per) as u32).collect(),
+            count: islands,
+        }
+    }
+
+    /// Explicit station → island map. Island ids must be dense from 0.
+    ///
+    /// # Panics
+    /// If `owner` is empty or its ids are not exactly `0..max+1`.
+    #[must_use]
+    pub fn from_owner(owner: Vec<u32>) -> Self {
+        let count = owner.iter().copied().max().map_or(0, |m| m as usize + 1);
+        assert!(count > 0, "at least one island");
+        let mut seen = vec![false; count];
+        for &o in &owner {
+            seen[o as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "island ids must be dense from 0");
+        Partition { owner, count }
+    }
+
+    /// Number of islands.
+    #[must_use]
+    pub fn islands(&self) -> usize {
+        self.count
+    }
+
+    /// Island owning `id`.
+    #[must_use]
+    pub fn island_of(&self, id: StationId) -> usize {
+        self.owner[id.0 as usize] as usize
+    }
+}
+
+/// One island: the exclusively-owned slice of the simulation.
+///
+/// `topo` is a full clone of the network topology, but the island only
+/// ever *mutates* the stations it owns (sends charge the source, which
+/// handlers may only use when island-local; deliveries charge the
+/// destination, which is island-local by routing). Reads of link specs
+/// and foreign uplink specs are of immutable construction-time data.
+struct Island<P> {
+    topo: Topology,
+    queue: EventQueue<Envelope<P>>,
+    now: SimTime,
+    faults: Option<FaultState>,
+    flows: Flows,
+}
+
+/// A cross-island message waiting in a mailbox for the next barrier.
+struct Parcel<P> {
+    at: u64,
+    key: u64,
+    env: Envelope<P>,
+}
+
+/// The island-parallel network simulator. Mirrors the [`Network`] API;
+/// see the module docs for the execution model and the determinism
+/// contract.
+///
+/// [`Network`]: crate::Network
+pub struct ParNet<P> {
+    islands: Vec<Island<P>>,
+    owner: Vec<u32>,
+    now: SimTime,
+    metrics: Registry,
+    schedule: Option<FaultSchedule>,
+    /// Fault replica advanced against the *real* registry once per run,
+    /// reproducing the sequential engine's `netsim.fault.*` counters
+    /// and traces (islands advance their replicas silently).
+    replay: Option<FaultState>,
+}
+
+impl<P> ParNet<P> {
+    /// Wrap a topology, split into `islands` contiguous islands.
+    #[must_use]
+    pub fn new(topo: Topology, islands: usize) -> Self {
+        let p = Partition::contiguous(topo.len(), islands);
+        Self::with_queue(topo, p, QueueKind::default())
+    }
+
+    /// Full-control constructor: explicit partition and queue kind.
+    #[must_use]
+    pub fn with_queue(topo: Topology, partition: Partition, kind: QueueKind) -> Self {
+        assert_eq!(
+            partition.owner.len(),
+            topo.len(),
+            "partition must cover every station"
+        );
+        let islands = (0..partition.count)
+            .map(|_| Island {
+                topo: topo.clone(),
+                queue: EventQueue::with_kind(kind),
+                now: SimTime::ZERO,
+                faults: None,
+                flows: Flows::new(),
+            })
+            .collect();
+        ParNet {
+            islands,
+            owner: partition.owner,
+            now: SimTime::ZERO,
+            metrics: Registry::new(),
+            schedule: None,
+            replay: None,
+        }
+    }
+
+    /// Convenience: uniform network of `n` stations over `islands`
+    /// islands.
+    #[must_use]
+    pub fn uniform(n: usize, uplink: LinkSpec, islands: usize) -> (Self, Vec<StationId>) {
+        let mut topo = Topology::new();
+        let ids = topo.add_stations(n, uplink);
+        (Self::new(topo, islands), ids)
+    }
+
+    /// The metrics registry this network records into.
+    #[must_use]
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Replace the registry (see [`Network::set_metrics`]).
+    ///
+    /// [`Network::set_metrics`]: crate::Network::set_metrics
+    pub fn set_metrics(&mut self, metrics: Registry) {
+        self.metrics = metrics;
+    }
+
+    /// Current simulated time (the global clock: max over islands).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of stations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// True if the network has no stations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+
+    /// Number of islands.
+    #[must_use]
+    pub fn islands(&self) -> usize {
+        self.islands.len()
+    }
+
+    /// Inject a fault schedule (see [`Network::set_faults`]). Every
+    /// island receives a replica; events apply at identical virtual
+    /// times on every replica regardless of thread count, because the
+    /// fault state is a pure function of (schedule, time).
+    ///
+    /// [`Network::set_faults`]: crate::Network::set_faults
+    pub fn set_faults(&mut self, schedule: FaultSchedule) {
+        for isl in &mut self.islands {
+            isl.faults = Some(FaultState::new(schedule.clone()));
+        }
+        self.replay = Some(FaultState::new(schedule.clone()));
+        self.schedule = Some(schedule);
+    }
+
+    /// True if `id` is currently crashed (fault events applied up to
+    /// the end of the last run).
+    #[must_use]
+    pub fn is_down(&self, id: StationId) -> bool {
+        self.replay.as_ref().is_some_and(|f| f.is_down(id))
+    }
+
+    /// Time of `id`'s most recent crash, if any (see
+    /// [`Network::last_crash`]).
+    ///
+    /// [`Network::last_crash`]: crate::Network::last_crash
+    #[must_use]
+    pub fn last_crash(&self, id: StationId) -> Option<SimTime> {
+        self.replay.as_ref().and_then(|f| f.last_crash(id))
+    }
+
+    /// Send `bytes` from `src` to `dst` at the current global time
+    /// (main-thread API, identical semantics to [`Network::send`]).
+    ///
+    /// [`Network::send`]: crate::Network::send
+    pub fn send(&mut self, src: StationId, dst: StationId, bytes: u64, payload: P) -> SimTime {
+        match self.try_send_inner(src, dst, bytes, payload, None) {
+            Ok(at) => at,
+            Err(SendError::SenderDown(_)) => {
+                let isl = &mut self.islands[self.owner[src.0 as usize] as usize];
+                isl.flows.dropped_msgs += 1;
+                isl.flows.dropped_bytes += bytes;
+                isl.flows.accum.drop_sender_down += 1;
+                self.now
+            }
+        }
+    }
+
+    /// Send an object body (see [`Network::send_body`]).
+    ///
+    /// [`Network::send_body`]: crate::Network::send_body
+    pub fn send_body(
+        &mut self,
+        src: StationId,
+        dst: StationId,
+        payload: P,
+        body: Bytes,
+    ) -> SimTime {
+        let bytes = body.len() as u64;
+        match self.try_send_inner(src, dst, bytes, payload, Some(body)) {
+            Ok(at) => at,
+            Err(SendError::SenderDown(_)) => {
+                let isl = &mut self.islands[self.owner[src.0 as usize] as usize];
+                isl.flows.dropped_msgs += 1;
+                isl.flows.dropped_bytes += bytes;
+                isl.flows.accum.drop_sender_down += 1;
+                self.now
+            }
+        }
+    }
+
+    /// Like [`ParNet::send`], but errs when the sender is crashed.
+    ///
+    /// # Errors
+    /// [`SendError::SenderDown`] if `src` is down at the current time.
+    pub fn try_send(
+        &mut self,
+        src: StationId,
+        dst: StationId,
+        bytes: u64,
+        payload: P,
+    ) -> Result<SimTime, SendError> {
+        self.try_send_inner(src, dst, bytes, payload, None)
+    }
+
+    fn try_send_inner(
+        &mut self,
+        src: StationId,
+        dst: StationId,
+        bytes: u64,
+        payload: P,
+        body: Option<Bytes>,
+    ) -> Result<SimTime, SendError> {
+        let now = self.now;
+        let si = self.owner[src.0 as usize] as usize;
+        let disabled = Registry::disabled();
+        let isl = &mut self.islands[si];
+        if let Some(f) = &mut isl.faults {
+            f.advance(now, &disabled);
+        }
+        let (arrival, key, env) = prepare_send(
+            &mut isl.topo,
+            isl.faults.as_ref(),
+            &mut isl.flows,
+            now,
+            src,
+            dst,
+            bytes,
+            payload,
+            body,
+        )?;
+        let di = self.owner[dst.0 as usize] as usize;
+        self.islands[di]
+            .queue
+            .push_lane_keyed(src.0 as usize, arrival, key, env);
+        Ok(arrival)
+    }
+
+    /// Schedule a local timer (see [`Network::schedule`]).
+    ///
+    /// [`Network::schedule`]: crate::Network::schedule
+    pub fn schedule(&mut self, station: StationId, at: SimTime, payload: P) {
+        let now = self.now;
+        let disabled = Registry::disabled();
+        let isl = &mut self.islands[self.owner[station.0 as usize] as usize];
+        if let Some(f) = &mut isl.faults {
+            f.advance(now, &disabled);
+        }
+        let (at, key, env) = prepare_timer(
+            &mut isl.topo,
+            isl.faults.as_ref(),
+            &mut isl.flows,
+            now,
+            station,
+            at,
+            payload,
+        );
+        isl.queue.push_keyed(at, key, env);
+    }
+
+    /// Conservative lookahead in microseconds: the smallest latency any
+    /// cross-island message can experience, accounting for the most
+    /// aggressive scheduled `Degrade`. `None` with a single island
+    /// (no cross-island traffic exists, the window is unbounded).
+    ///
+    /// # Panics
+    /// If the bound is zero — zero-latency cross-island links admit no
+    /// conservative window; use fewer islands or add latency.
+    fn lookahead_micros(&self) -> Option<u64> {
+        if self.islands.len() <= 1 {
+            return None;
+        }
+        let topo = &self.islands[0].topo;
+        let mut min_lat = u64::MAX;
+        for s in &topo.stations {
+            min_lat = min_lat.min(s.uplink.latency.as_micros());
+        }
+        for (&(src, dst), spec) in &topo.links {
+            if self.owner[src.0 as usize] != self.owner[dst.0 as usize] {
+                min_lat = min_lat.min(spec.latency.as_micros());
+            }
+        }
+        let mut factor = 1.0f64;
+        if let Some(s) = &self.schedule {
+            for &(_, f) in s.events() {
+                if let Fault::Degrade { latency_factor, .. } = f {
+                    factor = factor.min(latency_factor);
+                }
+            }
+        }
+        let la = if min_lat == u64::MAX {
+            u64::MAX
+        } else {
+            (min_lat as f64 * factor.clamp(0.0, 1.0)).floor() as u64
+        };
+        assert!(
+            la > 0,
+            "parallel simulation requires positive cross-island lookahead: \
+             the minimum cross-island latency (after scheduled degrades) is 0"
+        );
+        Some(la)
+    }
+
+    /// The lookahead window the next [`ParNet::run`] would use, for
+    /// diagnostics. `None` with a single island.
+    #[must_use]
+    pub fn lookahead(&self) -> Option<SimTime> {
+        self.lookahead_micros().map(SimTime::from_micros)
+    }
+
+    /// Run until every island's queue drains, delivering each message
+    /// to `handler` on the owning island's worker thread.
+    ///
+    /// `states` carries one user state per island (index = island id),
+    /// moved into the workers and returned in island order — the
+    /// parallel analogue of the `FnMut` closure state a sequential
+    /// [`Network::run`] handler captures. The handler may send from and
+    /// schedule on *island-local* stations only (it is invoked with the
+    /// delivered message, whose destination is island-local) and must
+    /// not write to the shared metrics registry — both are enforced or
+    /// covered by the determinism contract in the module docs.
+    ///
+    /// `threads` worker threads process `islands % threads`-strided
+    /// island sets; any value is clamped to `[1, islands]`. The result
+    /// is byte-identical for every choice.
+    ///
+    /// [`Network::run`]: crate::Network::run
+    pub fn run<S, H>(&mut self, threads: usize, mut states: Vec<S>, handler: H) -> Vec<S>
+    where
+        P: Send,
+        S: Send,
+        H: Fn(&mut IslandCtx<'_, P>, &mut S, Message<P>) + Sync,
+    {
+        let n = self.islands.len();
+        assert_eq!(states.len(), n, "one handler state per island");
+        let threads = threads.clamp(1, n);
+        let la = self.lookahead_micros();
+        let owner: &[u32] = &self.owner;
+
+        let mailboxes: Vec<Mutex<Vec<Parcel<P>>>> =
+            (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let next_at: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let barrier = Barrier::new(threads);
+
+        // Round-robin islands (with their states) across workers.
+        let mut buckets: Vec<Vec<(usize, &mut Island<P>, &mut S)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (idx, (isl, st)) in self.islands.iter_mut().zip(states.iter_mut()).enumerate() {
+            buckets[idx % threads].push((idx, isl, st));
+        }
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for bucket in buckets {
+                let mailboxes = &mailboxes;
+                let next_at = &next_at;
+                let barrier = &barrier;
+                let handler = &handler;
+                handles.push(scope.spawn(move || {
+                    worker(bucket, owner, mailboxes, next_at, barrier, handler, la);
+                }));
+            }
+            // Joining inside the scope surfaces worker panics directly.
+            for h in handles {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+
+        // One global clock again: the sequential engine's `now` is the
+        // time of the last popped event, i.e. the max island clock.
+        let now = self
+            .islands
+            .iter()
+            .map(|i| i.now)
+            .max()
+            .unwrap_or(self.now)
+            .max(self.now);
+        self.now = now;
+        for isl in &mut self.islands {
+            isl.now = now;
+        }
+        // Replay fault application against the real registry, exactly
+        // as far as the sequential engine would have advanced it.
+        if let Some(f) = &mut self.replay {
+            f.advance(now, &self.metrics);
+        }
+        states
+    }
+
+    /// Total bytes delivered so far (all islands).
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.islands.iter().map(|i| i.flows.total_bytes).sum()
+    }
+
+    /// Total messages delivered so far (all islands).
+    #[must_use]
+    pub fn total_msgs(&self) -> u64 {
+        self.islands.iter().map(|i| i.flows.total_msgs).sum()
+    }
+
+    /// Time of the most recent delivery on any island.
+    #[must_use]
+    pub fn last_delivery(&self) -> SimTime {
+        self.islands
+            .iter()
+            .map(|i| i.flows.last_delivery)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Messages dropped by fault injection so far (all islands).
+    #[must_use]
+    pub fn dropped_msgs(&self) -> u64 {
+        self.islands.iter().map(|i| i.flows.dropped_msgs).sum()
+    }
+
+    /// Bytes dropped by fault injection so far (all islands).
+    #[must_use]
+    pub fn dropped_bytes(&self) -> u64 {
+        self.islands.iter().map(|i| i.flows.dropped_bytes).sum()
+    }
+
+    /// Per-station counters, read from the owning island's copy.
+    #[must_use]
+    pub fn station_stats(&self, id: StationId) -> StationStats {
+        let s = &self.islands[self.owner[id.0 as usize] as usize]
+            .topo
+            .stations[id.0 as usize];
+        StationStats {
+            tx_bytes: s.tx_bytes,
+            rx_bytes: s.rx_bytes,
+            tx_msgs: s.tx_msgs,
+            rx_msgs: s.rx_msgs,
+        }
+    }
+
+    /// Export the merged `netsim.*` metrics, byte-identical to what the
+    /// sequential engine would flush after the same run. Island
+    /// accumulators fold with sums, maxes and lossless histogram
+    /// merges (all order-independent); stations are read in global id
+    /// order from their owning islands.
+    pub fn flush_metrics(&self) {
+        let mut merged = Flows::new();
+        for isl in &self.islands {
+            merged.absorb(&isl.flows);
+        }
+        flush_netsim_metrics(
+            &self.metrics,
+            self.now,
+            (0..self.owner.len()).map(|i| &self.islands[self.owner[i] as usize].topo.stations[i]),
+            &merged,
+        );
+    }
+}
+
+/// The per-window worker loop: inject mail, agree on a window, process
+/// it. See the module docs for the protocol argument.
+fn worker<P, S, H>(
+    mut bucket: Vec<(usize, &mut Island<P>, &mut S)>,
+    owner: &[u32],
+    mailboxes: &[Mutex<Vec<Parcel<P>>>],
+    next_at: &[AtomicU64],
+    barrier: &Barrier,
+    handler: &H,
+    la: Option<u64>,
+) where
+    P: Send,
+    S: Send,
+    H: Fn(&mut IslandCtx<'_, P>, &mut S, Message<P>) + Sync,
+{
+    let disabled = Registry::disabled();
+    loop {
+        // Phase 1: deliver the mail, publish next event times.
+        for (idx, isl, _) in &mut bucket {
+            let mut mail = std::mem::take(&mut *mailboxes[*idx].lock().unwrap());
+            mail.sort_by_key(|p| (p.at, p.key));
+            for p in mail {
+                isl.queue
+                    .push_keyed(SimTime::from_micros(p.at), p.key, p.env);
+            }
+            next_at[*idx].store(
+                isl.queue.peek_time().map_or(u64::MAX, SimTime::as_micros),
+                Ordering::Relaxed,
+            );
+        }
+        barrier.wait();
+
+        // Every worker computes the same window start (all times are
+        // published and frozen between the two barriers).
+        let w = next_at
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(u64::MAX);
+        if w == u64::MAX {
+            break; // all queues empty everywhere — unanimous by the barrier
+        }
+        let window_end = la.map_or(u64::MAX, |l| w.saturating_add(l));
+
+        // Phase 2: process everything strictly inside [w, window_end).
+        for (idx, isl, state) in &mut bucket {
+            while isl
+                .queue
+                .peek_time()
+                .is_some_and(|t| t.as_micros() < window_end)
+            {
+                let (at, env) = isl.queue.pop().expect("peeked event");
+                isl.now = at;
+                if let Some(f) = &mut isl.faults {
+                    f.advance(at, &disabled);
+                }
+                if let Some(msg) =
+                    deliver(at, env, isl.faults.as_ref(), &mut isl.topo, &mut isl.flows)
+                {
+                    let mut ctx = IslandCtx {
+                        idx: *idx,
+                        island: isl,
+                        owner,
+                        mailboxes,
+                        window_end,
+                        disabled: &disabled,
+                    };
+                    handler(&mut ctx, state, msg);
+                }
+            }
+        }
+        barrier.wait();
+    }
+}
+
+/// Handler-side view of one island during a window: the API a handler
+/// uses to react to a delivery, mirroring the `&mut Network` the
+/// sequential handler receives.
+pub struct IslandCtx<'a, P> {
+    idx: usize,
+    island: &'a mut Island<P>,
+    owner: &'a [u32],
+    mailboxes: &'a [Mutex<Vec<Parcel<P>>>],
+    window_end: u64,
+    disabled: &'a Registry,
+}
+
+impl<P> IslandCtx<'_, P> {
+    /// Current simulated time on this island (the time of the delivery
+    /// being handled).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.island.now
+    }
+
+    /// True if `id` is currently crashed.
+    #[must_use]
+    pub fn is_down(&self, id: StationId) -> bool {
+        self.island.faults.as_ref().is_some_and(|f| f.is_down(id))
+    }
+
+    /// Time of `id`'s most recent crash, if any.
+    #[must_use]
+    pub fn last_crash(&self, id: StationId) -> Option<SimTime> {
+        self.island.faults.as_ref().and_then(|f| f.last_crash(id))
+    }
+
+    /// Send from an island-local station (semantics of
+    /// [`Network::send`]).
+    ///
+    /// # Panics
+    /// If `src` is not owned by this island — a handler may only act
+    /// for stations whose state its island owns.
+    ///
+    /// [`Network::send`]: crate::Network::send
+    pub fn send(&mut self, src: StationId, dst: StationId, bytes: u64, payload: P) -> SimTime {
+        match self.try_send_inner(src, dst, bytes, payload, None) {
+            Ok(at) => at,
+            Err(SendError::SenderDown(_)) => {
+                self.island.flows.dropped_msgs += 1;
+                self.island.flows.dropped_bytes += bytes;
+                self.island.flows.accum.drop_sender_down += 1;
+                self.island.now
+            }
+        }
+    }
+
+    /// Send an object body from an island-local station (semantics of
+    /// [`Network::send_body`]).
+    ///
+    /// # Panics
+    /// If `src` is not owned by this island.
+    ///
+    /// [`Network::send_body`]: crate::Network::send_body
+    pub fn send_body(
+        &mut self,
+        src: StationId,
+        dst: StationId,
+        payload: P,
+        body: Bytes,
+    ) -> SimTime {
+        let bytes = body.len() as u64;
+        match self.try_send_inner(src, dst, bytes, payload, Some(body)) {
+            Ok(at) => at,
+            Err(SendError::SenderDown(_)) => {
+                self.island.flows.dropped_msgs += 1;
+                self.island.flows.dropped_bytes += bytes;
+                self.island.flows.accum.drop_sender_down += 1;
+                self.island.now
+            }
+        }
+    }
+
+    /// Like [`IslandCtx::send`], but errs when the sender is crashed.
+    ///
+    /// # Errors
+    /// [`SendError::SenderDown`] if `src` is down at the current time.
+    ///
+    /// # Panics
+    /// If `src` is not owned by this island.
+    pub fn try_send(
+        &mut self,
+        src: StationId,
+        dst: StationId,
+        bytes: u64,
+        payload: P,
+    ) -> Result<SimTime, SendError> {
+        self.try_send_inner(src, dst, bytes, payload, None)
+    }
+
+    fn try_send_inner(
+        &mut self,
+        src: StationId,
+        dst: StationId,
+        bytes: u64,
+        payload: P,
+        body: Option<Bytes>,
+    ) -> Result<SimTime, SendError> {
+        assert_eq!(
+            self.owner[src.0 as usize] as usize, self.idx,
+            "handlers may only send from stations their island owns"
+        );
+        let isl = &mut *self.island;
+        if let Some(f) = &mut isl.faults {
+            f.advance(isl.now, self.disabled);
+        }
+        let (arrival, key, env) = prepare_send(
+            &mut isl.topo,
+            isl.faults.as_ref(),
+            &mut isl.flows,
+            isl.now,
+            src,
+            dst,
+            bytes,
+            payload,
+            body,
+        )?;
+        let di = self.owner[dst.0 as usize] as usize;
+        if di == self.idx {
+            isl.queue.push_lane_keyed(src.0 as usize, arrival, key, env);
+        } else {
+            // The conservative-window safety argument in one assert:
+            // nothing sent in this window may land inside it.
+            assert!(
+                arrival.as_micros() >= self.window_end,
+                "cross-island arrival inside the current window — lookahead bound violated"
+            );
+            self.mailboxes[di].lock().unwrap().push(Parcel {
+                at: arrival.as_micros(),
+                key,
+                env,
+            });
+        }
+        Ok(arrival)
+    }
+
+    /// Schedule a timer on an island-local station (semantics of
+    /// [`Network::schedule`]).
+    ///
+    /// # Panics
+    /// If `station` is not owned by this island — a timer is volatile
+    /// local state of its station.
+    ///
+    /// [`Network::schedule`]: crate::Network::schedule
+    pub fn schedule(&mut self, station: StationId, at: SimTime, payload: P) {
+        assert_eq!(
+            self.owner[station.0 as usize] as usize, self.idx,
+            "handlers may only schedule on stations their island owns"
+        );
+        let isl = &mut *self.island;
+        if let Some(f) = &mut isl.faults {
+            f.advance(isl.now, self.disabled);
+        }
+        let (at, key, env) = prepare_timer(
+            &mut isl.topo,
+            isl.faults.as_ref(),
+            &mut isl.flows,
+            isl.now,
+            station,
+            at,
+            payload,
+        );
+        isl.queue.push_keyed(at, key, env);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Network;
+
+    /// A relay flood: every delivery under `hops` forwards to two
+    /// pseudo-random destinations. Exercises cross-island traffic,
+    /// time ties and the lane fast path.
+    fn flood_handler_seq(net: &mut Network<(u32, u64)>, msg: Message<(u32, u64)>) {
+        let (hop, salt) = msg.payload;
+        if hop == 0 {
+            return;
+        }
+        let n = net.topology().len() as u64;
+        for k in 0..2u64 {
+            let dst = StationId(((salt.wrapping_mul(2 + k).wrapping_add(hop as u64)) % n) as u32);
+            net.send(
+                msg.dst,
+                dst,
+                10_000 + salt % 1000,
+                (hop - 1, salt.wrapping_add(k)),
+            );
+        }
+    }
+
+    fn flood_handler_par(ctx: &mut IslandCtx<'_, (u32, u64)>, n: u64, msg: Message<(u32, u64)>) {
+        let (hop, salt) = msg.payload;
+        if hop == 0 {
+            return;
+        }
+        for k in 0..2u64 {
+            let dst = StationId(((salt.wrapping_mul(2 + k).wrapping_add(hop as u64)) % n) as u32);
+            ctx.send(
+                msg.dst,
+                dst,
+                10_000 + salt % 1000,
+                (hop - 1, salt.wrapping_add(k)),
+            );
+        }
+    }
+
+    fn spec() -> LinkSpec {
+        LinkSpec::new(1_000_000, SimTime::from_millis(5))
+    }
+
+    fn seq_outcome(kind: QueueKind, faults: Option<FaultSchedule>) -> (String, u64, u64, u64) {
+        let (mut net, ids) = Network::uniform_with_queue(24, spec(), kind);
+        if let Some(f) = faults {
+            net.set_faults(f);
+        }
+        for (i, &src) in ids.iter().enumerate().take(4) {
+            net.send(src, ids[(i + 7) % ids.len()], 50_000, (5u32, i as u64 + 1));
+        }
+        net.run(flood_handler_seq);
+        net.flush_metrics();
+        (
+            net.metrics().snapshot().to_json(),
+            net.total_bytes(),
+            net.total_msgs(),
+            net.now().as_micros(),
+        )
+    }
+
+    fn par_outcome(
+        kind: QueueKind,
+        islands: usize,
+        threads: usize,
+        faults: Option<FaultSchedule>,
+    ) -> (String, u64, u64, u64) {
+        let mut topo = Topology::new();
+        let ids = topo.add_stations(24, spec());
+        let mut net = ParNet::with_queue(topo, Partition::contiguous(24, islands), kind);
+        if let Some(f) = faults {
+            net.set_faults(f);
+        }
+        for (i, &src) in ids.iter().enumerate().take(4) {
+            net.send(src, ids[(i + 7) % ids.len()], 50_000, (5u32, i as u64 + 1));
+        }
+        let states = vec![ids.len() as u64; islands];
+        net.run(threads, states, |ctx, n, msg| {
+            flood_handler_par(ctx, *n, msg)
+        });
+        net.flush_metrics();
+        (
+            net.metrics().snapshot().to_json(),
+            net.total_bytes(),
+            net.total_msgs(),
+            net.now().as_micros(),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential_healthy() {
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let seq = seq_outcome(kind, None);
+            for (islands, threads) in [(1, 1), (3, 2), (8, 4), (24, 8)] {
+                assert_eq!(
+                    par_outcome(kind, islands, threads, None),
+                    seq,
+                    "islands={islands} threads={threads} kind={kind:?}"
+                );
+            }
+        }
+    }
+
+    fn crashy_schedule() -> FaultSchedule {
+        FaultSchedule::new()
+            .at(
+                SimTime::from_millis(12),
+                Fault::Crash {
+                    station: StationId(9),
+                },
+            )
+            .at(
+                SimTime::from_millis(30),
+                Fault::Partition {
+                    src: StationId(1),
+                    dst: StationId(20),
+                },
+            )
+            .at(
+                SimTime::from_millis(45),
+                Fault::Recover {
+                    station: StationId(9),
+                },
+            )
+            .at(
+                SimTime::from_millis(60),
+                Fault::Heal {
+                    src: StationId(1),
+                    dst: StationId(20),
+                },
+            )
+    }
+
+    #[test]
+    fn parallel_matches_sequential_under_faults() {
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let seq = seq_outcome(kind, Some(crashy_schedule()));
+            for (islands, threads) in [(3, 3), (8, 2), (6, 8)] {
+                assert_eq!(
+                    par_outcome(kind, islands, threads, Some(crashy_schedule())),
+                    seq,
+                    "islands={islands} threads={threads} kind={kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn station_stats_match_sequential() {
+        let (mut net, ids) = Network::uniform(6, spec());
+        net.send(ids[0], ids[5], 40_000, (3u32, 1u64));
+        net.run(flood_handler_seq);
+
+        let mut topo = Topology::new();
+        let pids = topo.add_stations(6, spec());
+        let mut par = ParNet::new(topo, 3);
+        par.send(pids[0], pids[5], 40_000, (3u32, 1u64));
+        par.run(2, vec![6u64; 3], |ctx, n, msg| {
+            flood_handler_par(ctx, *n, msg)
+        });
+
+        for &id in &ids {
+            assert_eq!(par.station_stats(id), net.station_stats(id));
+        }
+        assert_eq!(par.last_delivery(), net.last_delivery());
+    }
+
+    #[test]
+    fn degrade_shrinks_lookahead() {
+        let (mut net, _) = ParNet::<u8>::uniform(8, spec(), 4);
+        assert_eq!(net.lookahead(), Some(SimTime::from_millis(5)));
+        net.set_faults(FaultSchedule::new().at(
+            SimTime::from_millis(1),
+            Fault::Degrade {
+                src: StationId(0),
+                dst: StationId(7),
+                bandwidth_factor: 1.0,
+                latency_factor: 0.25,
+            },
+        ));
+        assert_eq!(net.lookahead(), Some(SimTime::from_micros(1250)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive cross-island lookahead")]
+    fn zero_latency_cross_island_panics() {
+        let (mut net, ids) = ParNet::uniform(4, LinkSpec::new(1_000_000, SimTime::ZERO), 2);
+        net.send(ids[0], ids[3], 100, 0u8);
+        net.run(2, vec![(); 2], |_, _, _| {});
+    }
+
+    #[test]
+    fn single_island_allows_zero_latency() {
+        let (mut net, ids) = ParNet::uniform(3, LinkSpec::new(1_000_000, SimTime::ZERO), 1);
+        net.send(ids[0], ids[1], 1_000_000, 0u8);
+        let got = net.run(1, vec![Vec::new()], |ctx, log: &mut Vec<u64>, msg| {
+            log.push(ctx.now().as_micros());
+            if msg.dst == StationId(1) {
+                ctx.send(msg.dst, StationId(2), msg.bytes, msg.payload);
+            }
+        });
+        assert_eq!(got, vec![vec![1_000_000, 2_000_000]]);
+        assert_eq!(net.now(), SimTime::from_secs(2));
+    }
+}

@@ -82,10 +82,15 @@ pub(crate) struct StationState {
     pub rx_bytes: u64,
     pub tx_msgs: u64,
     pub rx_msgs: u64,
+    /// Events this station has sourced. Packed into the event-queue
+    /// tie-break key `(src << 32) | seq`, which makes tie order a pure
+    /// function of per-station history — identical whether the event
+    /// stream lives in one queue or is partitioned across islands.
+    pub seq: u32,
 }
 
 /// The static shape of the network plus per-station counters.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Topology {
     pub(crate) stations: Vec<StationState>,
     pub(crate) links: HashMap<(StationId, StationId), LinkSpec>,
@@ -109,6 +114,7 @@ impl Topology {
             rx_bytes: 0,
             tx_msgs: 0,
             rx_msgs: 0,
+            seq: 0,
         });
         id
     }

@@ -73,4 +73,36 @@ proptest! {
         prop_assert_eq!(h.merge(&empty), h.clone());
         prop_assert_eq!(empty.merge(&h), h);
     }
+
+    /// The property the parallel simulator's flush leans on directly:
+    /// folding k per-thread accumulators is invariant under any
+    /// permutation of the fold order (commutativity + associativity,
+    /// exercised together at k-way scale rather than pairwise).
+    #[test]
+    fn k_way_fold_is_permutation_invariant(
+        shards in vec(vec(any::<u64>(), 0..20), 2..6),
+        seed in any::<u64>(),
+    ) {
+        let hists: Vec<Histogram> =
+            shards.iter().map(|s| hist_of(s, buckets::TIME_US)).collect();
+        let fold = |order: &[usize]| {
+            let mut acc = Histogram::new(buckets::TIME_US);
+            for &i in order {
+                acc.merge_from(&hists[i]);
+            }
+            acc
+        };
+        let forward: Vec<usize> = (0..hists.len()).collect();
+        // A deterministic pseudo-random permutation of the fold order.
+        let mut shuffled = forward.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        prop_assert_eq!(fold(&forward), fold(&shuffled));
+        // And both equal the histogram of the concatenated samples.
+        let all: Vec<u64> = shards.iter().flatten().copied().collect();
+        prop_assert_eq!(fold(&forward), hist_of(&all, buckets::TIME_US));
+    }
 }
